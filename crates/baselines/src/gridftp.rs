@@ -1,0 +1,630 @@
+//! GridFTP-over-TCP baseline model.
+//!
+//! The paper compares RFTP against `globus-url-copy` in extended block
+//! mode (MODE E) with authentication off and TCP buffers tuned to the
+//! bandwidth-delay product. Its analysis of why GridFTP trails RFTP
+//! (§V.C) names two mechanisms, both modelled here:
+//!
+//! 1. **Kernel TCP data path** — every byte crosses the user/kernel
+//!    boundary twice (send copy, receive copy) and every MTU packet costs
+//!    softirq processing, so the data path consumes CPU proportional to
+//!    the transfer rate.
+//! 2. **A single application thread** — `strace` showed one thread
+//!    handling both file I/O and all socket multiplexing. The model runs
+//!    the client (and server) application as exactly one simulated
+//!    thread: data loading serializes with socket writes, which both caps
+//!    throughput at what one core can copy and starves the sockets
+//!    during long block loads (the bandwidth fluctuation the paper
+//!    observes at large block sizes).
+//!
+//! TCP dynamics (slow start, AIMD recovery per Table I's cubic/bic/htcp,
+//! BDP-tuned receive windows, residual WAN microloss) come from
+//! [`rftp_netsim::tcp`]; wire timing from the same fluid link model the
+//! RDMA fabric uses, so the two contenders see identical physics.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rftp_netsim::cpu::{per_byte_cost, HostCpu, ThreadId};
+use rftp_netsim::kernel::{Scheduler, Sim, World};
+use rftp_netsim::link::{Dir, Link};
+use rftp_netsim::tcp::{TcpConfig, TcpFlow};
+use rftp_netsim::testbed::Testbed;
+use rftp_netsim::time::{SimDur, SimTime};
+
+/// Simulation granularity: one "chunk" models a burst of TCP segments
+/// (64 KiB keeps event counts tractable; ACKs are coalesced per chunk,
+/// as modern stacks do).
+const CHUNK: u64 = 64 * 1024;
+
+/// Per-block MODE E framing/processing overhead on the application
+/// thread (header build/parse, block bookkeeping).
+const PER_BLOCK_APP_COST: SimDur = SimDur(2_000);
+
+/// Per-byte MODE E processing on the receiving mover (extended-block
+/// header scanning, buffer slicing, offset bookkeeping) — the reason the
+/// paper's `nmon` traces show the GridFTP *server* above 100 % of a core
+/// too.
+const MODE_E_PER_BYTE_PS: u64 = 80;
+
+/// One GridFTP transfer configuration.
+#[derive(Debug, Clone)]
+pub struct GridFtpConfig {
+    /// Parallel TCP streams (MODE E `-p`).
+    pub streams: u32,
+    /// Mover processes per side (striped operation). The paper's strace
+    /// found the deployed GridFTP using **one** thread for file and
+    /// network work — the default here — but striped configurations run
+    /// several; the `ablation_gridftp_threads` harness uses this to show
+    /// the single mover, not TCP, is the LAN bottleneck.
+    pub processes: u32,
+    /// Application block size (file read / socket write granularity).
+    pub block_size: u64,
+    pub total_bytes: u64,
+    /// Socket send-buffer bytes per stream. The paper tunes buffers to
+    /// the BDP; LAN BDPs are tiny so 4 MB is the practical floor.
+    pub send_buf: u64,
+    /// Receive window per stream (BDP-tuned).
+    pub rwnd: u64,
+    /// RNG seed for the loss lottery.
+    pub seed: u64,
+}
+
+impl GridFtpConfig {
+    /// Tuned configuration for a testbed, as the paper's operators would
+    /// have set it: buffers at the path BDP (floor 4 MB).
+    pub fn tuned(tb: &Testbed, streams: u32, block_size: u64, total_bytes: u64) -> GridFtpConfig {
+        let bdp = tb.bdp_bytes().max(4 << 20);
+        GridFtpConfig {
+            streams,
+            processes: 1,
+            block_size,
+            total_bytes,
+            send_buf: bdp,
+            rwnd: bdp,
+            seed: 0x5EED_0001,
+        }
+    }
+}
+
+/// Transfer results.
+#[derive(Debug, Clone)]
+pub struct GridFtpReport {
+    pub bytes_moved: u64,
+    pub elapsed: SimDur,
+    pub bandwidth_gbps: f64,
+    pub client_cpu_pct: f64,
+    pub server_cpu_pct: f64,
+    pub loss_events: u64,
+    pub retransmitted_bytes: u64,
+    /// Time the forward wire sat idle during the transfer — the visible
+    /// symptom of the single app thread starving the sockets while it
+    /// loads file data (grows with block size), plus window stalls.
+    pub wire_idle: SimDur,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Client mover-thread step (load or copy).
+    ClientStep(u32),
+    /// Server mover-thread step (drain receive buffers).
+    ServerStep(u32),
+    /// A data chunk arrives at the server on `flow`.
+    ChunkArrive { flow: u32, bytes: u64 },
+    /// A coalesced ACK arrives back at the client.
+    AckArrive { flow: u32, bytes: u64 },
+    /// Dup-ack loss detection fires at the client.
+    LossDetect { flow: u32, bytes: u64 },
+}
+
+struct Flow {
+    tcp: TcpFlow,
+    /// Bytes copied into the socket but not yet transmitted.
+    buffered: u64,
+    /// Bytes in the server's receive buffer awaiting the app.
+    recv_buffered: u64,
+    /// Bytes delivered to the server app.
+    delivered: u64,
+}
+
+impl Flow {
+    fn send_buf_used(&self) -> u64 {
+        // Send buffer holds unsent + unacked bytes.
+        self.buffered + self.tcp.inflight()
+    }
+}
+
+/// One mover process's application-thread state (client side: load and
+/// copy; server side: drain).
+struct Mover {
+    thread: ThreadId,
+    /// Client: bytes of the current block still to copy out.
+    loaded_remaining: u64,
+    /// A step is scheduled or the thread is mid-work.
+    busy: bool,
+    sleeping: bool,
+    next_stream: usize,
+}
+
+struct GridFtpWorld {
+    cfg: GridFtpConfig,
+    link: Link,
+    tb_loss: f64,
+    mtu: u64,
+    overhead: u64,
+    srtt: f64,
+
+    client_cpu: HostCpu,
+    server_cpu: HostCpu,
+    c_softirq: ThreadId,
+    s_softirq: ThreadId,
+    c_costs: rftp_netsim::testbed::CostModel,
+    s_costs: rftp_netsim::testbed::CostModel,
+
+    flows: Vec<Flow>,
+    rng: StdRng,
+
+    // Client movers (one app thread each; streams split round-robin).
+    c_movers: Vec<Mover>,
+    to_load: u64, // dataset bytes not yet loaded (shared)
+
+    // Server movers.
+    s_movers: Vec<Mover>,
+
+    total_delivered: u64,
+    finished_at: Option<SimTime>,
+}
+
+impl GridFtpWorld {
+    fn new(tb: &Testbed, cfg: GridFtpConfig) -> GridFtpWorld {
+        assert!(cfg.processes >= 1);
+        let mut client_cpu = HostCpu::new(tb.src.name, tb.src.cores);
+        let mut server_cpu = HostCpu::new(tb.dst.name, tb.dst.cores);
+        let mk_movers = |cpu: &mut HostCpu, n: u32, sleeping: bool| -> Vec<Mover> {
+            (0..n)
+                .map(|_| Mover {
+                    thread: cpu.spawn("mover"),
+                    loaded_remaining: 0,
+                    busy: false,
+                    sleeping,
+                    next_stream: 0,
+                })
+                .collect()
+        };
+        let c_movers = mk_movers(&mut client_cpu, cfg.processes, false);
+        let s_movers = mk_movers(&mut server_cpu, cfg.processes, true);
+        let c_softirq = client_cpu.spawn("softirq");
+        let s_softirq = server_cpu.spawn("softirq");
+        let mss = tb.mtu.saturating_sub(52).max(1000); // TCP/IP headers
+        let flows = (0..cfg.streams)
+            .map(|_| Flow {
+                tcp: TcpFlow::new(TcpConfig::new(mss, cfg.rwnd, tb.tcp_algo)),
+                buffered: 0,
+                recv_buffered: 0,
+                delivered: 0,
+            })
+            .collect();
+        GridFtpWorld {
+            link: tb.link(),
+            tb_loss: tb.loss_per_packet,
+            mtu: tb.mtu as u64,
+            overhead: tb.wire_overhead_per_packet as u64 + 52,
+            srtt: tb.rtt().as_secs_f64(),
+            client_cpu,
+            server_cpu,
+            c_softirq,
+            s_softirq,
+            c_costs: tb.src_costs.clone(),
+            s_costs: tb.dst_costs.clone(),
+            flows,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            c_movers,
+            to_load: cfg.total_bytes,
+            // Server movers start blocked in poll(), woken by data.
+            s_movers,
+            total_delivered: 0,
+            finished_at: None,
+            cfg,
+        }
+    }
+
+    /// Streams owned by mover `m` (round-robin assignment).
+    fn mover_streams(&self, m: u32) -> impl Iterator<Item = usize> + '_ {
+        let n = self.cfg.processes as usize;
+        (0..self.flows.len()).filter(move |i| i % n == m as usize)
+    }
+
+    /// Which mover owns stream `fi`?
+    fn mover_of(&self, fi: usize) -> u32 {
+        (fi % self.cfg.processes as usize) as u32
+    }
+
+    fn packets_for(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.mtu).max(1)
+    }
+
+    /// Push as much buffered data as the window allows onto the wire.
+    fn pump_flow(&mut self, fi: usize, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        loop {
+            let f = &mut self.flows[fi];
+            // Effective receiver window shrinks as the server app falls
+            // behind draining its receive buffer.
+            let rwnd_free = self.cfg.rwnd.saturating_sub(f.recv_buffered);
+            let window_avail = f
+                .tcp
+                .available_window()
+                .min(rwnd_free.saturating_sub(f.tcp.inflight().min(rwnd_free)));
+            let bytes = f.buffered.min(window_avail).min(CHUNK);
+            if bytes == 0 {
+                break;
+            }
+            f.buffered -= bytes;
+            f.tcp.on_sent(bytes);
+            let packets = self.packets_for(bytes);
+            let wire = bytes + packets * self.overhead;
+            // Kernel TX processing on the client softirq thread.
+            let cost = SimDur(self.c_costs.tcp_per_packet.nanos() * packets);
+            self.client_cpu.run_on(self.c_softirq, now, cost);
+            let t = self.link.transmit(now, Dir::AtoB, wire);
+            // Loss lottery: per wire packet.
+            let p = 1.0 - (1.0 - self.tb_loss).powi(packets as i32);
+            if self.tb_loss > 0.0 && self.rng.gen_bool(p.clamp(0.0, 1.0)) {
+                // Dropped: sender learns via dup-acks one RTT later.
+                sched.at(
+                    t.arrival + SimDur::from_secs_f64(self.srtt / 2.0),
+                    Ev::LossDetect {
+                        flow: fi as u32,
+                        bytes,
+                    },
+                );
+            } else {
+                sched.at(
+                    t.arrival,
+                    Ev::ChunkArrive {
+                        flow: fi as u32,
+                        bytes,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Wake a client mover if it was waiting for socket-buffer space.
+    fn wake_client(&mut self, m: u32, sched: &mut Scheduler<Ev>) {
+        let mv = &mut self.c_movers[m as usize];
+        if mv.sleeping && !mv.busy {
+            mv.sleeping = false;
+            mv.busy = true;
+            sched.now_ev(Ev::ClientStep(m));
+        }
+    }
+
+    fn wake_server(&mut self, m: u32, sched: &mut Scheduler<Ev>) {
+        let mv = &mut self.s_movers[m as usize];
+        if mv.sleeping && !mv.busy {
+            mv.sleeping = false;
+            mv.busy = true;
+            sched.now_ev(Ev::ServerStep(m));
+        }
+    }
+
+    /// One client mover step: load the next block, or copy loaded data
+    /// into one of the mover's sockets, or sleep.
+    fn client_step(&mut self, m: u32, sched: &mut Scheduler<Ev>) {
+        self.c_movers[m as usize].busy = false;
+        let now = sched.now();
+        if self.c_movers[m as usize].loaded_remaining == 0 && self.to_load == 0 {
+            return; // everything loaded and copied
+        }
+        if self.c_movers[m as usize].loaded_remaining == 0 {
+            // Load the next block from the data source; this mover's
+            // sockets starve for the duration.
+            let block = self.to_load.min(self.cfg.block_size);
+            self.to_load -= block;
+            let cost = per_byte_cost(self.c_costs.load_per_byte_ps, block);
+            let mv = &mut self.c_movers[m as usize];
+            mv.loaded_remaining = block;
+            let done = self.client_cpu.run_on(mv.thread, now, cost);
+            mv.busy = true;
+            sched.at(done, Ev::ClientStep(m));
+            return;
+        }
+        // Copy into the mover's next stream with space (poll loop).
+        let my_streams: Vec<usize> = self.mover_streams(m).collect();
+        let n = my_streams.len();
+        for k in 0..n {
+            let mv = &self.c_movers[m as usize];
+            let fi = my_streams[(mv.next_stream + k) % n];
+            let space = self.cfg.send_buf.saturating_sub(self.flows[fi].send_buf_used());
+            if space == 0 {
+                continue;
+            }
+            let bytes = self.c_movers[m as usize].loaded_remaining.min(space);
+            let mv = &mut self.c_movers[m as usize];
+            mv.loaded_remaining -= bytes;
+            mv.next_stream = (mv.next_stream + k + 1) % n;
+            let cost = self.c_costs.syscall
+                + per_byte_cost(self.c_costs.copy_per_byte_ps, bytes)
+                + if self.c_movers[m as usize].loaded_remaining == 0 {
+                    PER_BLOCK_APP_COST
+                } else {
+                    SimDur::ZERO
+                };
+            let thread = self.c_movers[m as usize].thread;
+            let done = self.client_cpu.run_on(thread, now, cost);
+            self.flows[fi].buffered += bytes;
+            self.pump_flow(fi, sched);
+            self.c_movers[m as usize].busy = true;
+            sched.at(done, Ev::ClientStep(m));
+            return;
+        }
+        // All of this mover's sockets are full: sleep until an ACK.
+        self.c_movers[m as usize].sleeping = true;
+    }
+
+    /// One server mover step: drain a receive buffer it owns.
+    fn server_step(&mut self, m: u32, sched: &mut Scheduler<Ev>) {
+        self.s_movers[m as usize].busy = false;
+        let now = sched.now();
+        let my_streams: Vec<usize> = self.mover_streams(m).collect();
+        for fi in my_streams {
+            let avail = self.flows[fi].recv_buffered;
+            if avail == 0 {
+                continue;
+            }
+            let bytes = avail.min(self.cfg.block_size);
+            let cost = self.s_costs.syscall
+                + per_byte_cost(self.s_costs.copy_per_byte_ps, bytes)
+                + per_byte_cost(self.s_costs.sink_per_byte_ps, bytes)
+                + per_byte_cost(MODE_E_PER_BYTE_PS, bytes)
+                + PER_BLOCK_APP_COST;
+            let thread = self.s_movers[m as usize].thread;
+            let done = self.server_cpu.run_on(thread, now, cost);
+            self.flows[fi].recv_buffered -= bytes;
+            self.flows[fi].delivered += bytes;
+            self.total_delivered += bytes;
+            // Draining opened the advertised window again.
+            self.pump_flow(fi, sched);
+            if self.total_delivered >= self.cfg.total_bytes && self.finished_at.is_none() {
+                self.finished_at = Some(done);
+            }
+            self.s_movers[m as usize].busy = true;
+            sched.at(done, Ev::ServerStep(m));
+            return;
+        }
+        self.s_movers[m as usize].sleeping = true;
+    }
+}
+
+impl World for GridFtpWorld {
+    type Event = Ev;
+
+    fn handle(&mut self, ev: Ev, sched: &mut Scheduler<Ev>) {
+        match ev {
+            Ev::ClientStep(m) => self.client_step(m, sched),
+            Ev::ServerStep(m) => self.server_step(m, sched),
+            Ev::ChunkArrive { flow, bytes } => {
+                let now = sched.now();
+                let packets = self.packets_for(bytes);
+                // Kernel RX processing on the server softirq thread.
+                let cost = SimDur(self.s_costs.tcp_per_packet.nanos() * packets);
+                self.server_cpu.run_on(self.s_softirq, now, cost);
+                self.flows[flow as usize].recv_buffered += bytes;
+                // Coalesced ACK rides back on the reverse path.
+                let t = self.link.transmit(now, Dir::BtoA, self.overhead);
+                sched.at(t.arrival, Ev::AckArrive { flow, bytes });
+                let m = self.mover_of(flow as usize);
+                self.wake_server(m, sched);
+            }
+            Ev::AckArrive { flow, bytes } => {
+                let now = sched.now();
+                // ACK processing on the client softirq thread.
+                self.client_cpu
+                    .run_on(self.c_softirq, now, SimDur(self.c_costs.tcp_per_packet.nanos() / 2));
+                self.flows[flow as usize].tcp.on_ack(bytes, now, self.srtt);
+                self.pump_flow(flow as usize, sched);
+                let m = self.mover_of(flow as usize);
+                self.wake_client(m, sched);
+            }
+            Ev::LossDetect { flow, bytes } => {
+                let now = sched.now();
+                let f = &mut self.flows[flow as usize];
+                f.tcp.on_loss(now);
+                f.tcp.on_retransmit(bytes);
+                // The lost chunk's bytes return to the socket buffer for
+                // retransmission (they never left the send buffer in a
+                // real stack; this keeps byte conservation exact).
+                f.tcp.on_ack(bytes, now, self.srtt); // remove from inflight
+                f.buffered += bytes;
+                self.pump_flow(flow as usize, sched);
+                let m = self.mover_of(flow as usize);
+                self.wake_client(m, sched);
+            }
+        }
+    }
+}
+
+/// Run one GridFTP transfer on `tb`; deterministic for a given config.
+pub fn run_gridftp(tb: &Testbed, cfg: &GridFtpConfig) -> GridFtpReport {
+    let mut world = GridFtpWorld::new(tb, cfg.clone());
+    for m in 0..cfg.processes {
+        world.c_movers[m as usize].busy = true;
+    }
+    let mut sim = Sim::new(world);
+    for m in 0..cfg.processes {
+        sim.prime(SimDur::ZERO, Ev::ClientStep(m));
+    }
+    sim.run_until(SimTime::ZERO + SimDur::from_secs(36_000), |w| {
+        w.finished_at.is_some()
+    });
+    let w = sim.into_world();
+    let end = w.finished_at.expect("GridFTP transfer did not complete");
+    let elapsed = end.since(SimTime::ZERO);
+    let (mut loss, mut retx) = (0, 0);
+    for f in &w.flows {
+        loss += f.tcp.stats().loss_events;
+        retx += f.tcp.stats().retransmitted_bytes;
+    }
+    let wire_busy = w.link.stats(Dir::AtoB).busy;
+    GridFtpReport {
+        bytes_moved: w.total_delivered,
+        elapsed,
+        bandwidth_gbps: rftp_netsim::gbps(w.cfg.total_bytes, elapsed),
+        client_cpu_pct: w.client_cpu.utilization_pct(end),
+        server_cpu_pct: w.server_cpu.utilization_pct(end),
+        loss_events: loss,
+        retransmitted_bytes: retx,
+        wire_idle: elapsed.saturating_sub(wire_busy),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rftp_netsim::testbed;
+
+    const MB: u64 = 1 << 20;
+    const GB: u64 = 1 << 30;
+
+    #[test]
+    fn lan_throughput_is_cpu_capped() {
+        // One core copying+loading at ~0.41 ns/B caps below 40 Gbps.
+        let tb = testbed::roce_lan();
+        let cfg = GridFtpConfig::tuned(&tb, 8, 4 * MB, 4 * GB);
+        let r = run_gridftp(&tb, &cfg);
+        assert!(
+            r.bandwidth_gbps > 10.0 && r.bandwidth_gbps < 25.0,
+            "GridFTP LAN should be CPU-capped well below 40G: {:.2}",
+            r.bandwidth_gbps
+        );
+        // The paper: client and server both consume >100% of one core.
+        assert!(
+            r.client_cpu_pct > 100.0,
+            "client CPU {:.0}%",
+            r.client_cpu_pct
+        );
+    }
+
+    #[test]
+    fn more_streams_do_not_lift_the_cpu_cap() {
+        let tb = testbed::roce_lan();
+        let one = run_gridftp(&tb, &GridFtpConfig::tuned(&tb, 1, 4 * MB, 2 * GB));
+        let eight = run_gridftp(&tb, &GridFtpConfig::tuned(&tb, 8, 4 * MB, 2 * GB));
+        assert!(
+            eight.bandwidth_gbps < one.bandwidth_gbps * 1.3,
+            "streams can't beat the single-thread cap: 1s {:.1} vs 8s {:.1}",
+            one.bandwidth_gbps,
+            eight.bandwidth_gbps
+        );
+    }
+
+    #[test]
+    fn large_blocks_starve_the_wire() {
+        // The single thread loads a 64 MB block for ~10 ms during which
+        // the sockets drain; with 1 MB blocks loading interleaves finely.
+        let tb = testbed::roce_lan();
+        let small = run_gridftp(&tb, &GridFtpConfig::tuned(&tb, 4, MB, 2 * GB));
+        let large = run_gridftp(&tb, &GridFtpConfig::tuned(&tb, 4, 64 * MB, 2 * GB));
+        assert!(
+            large.wire_idle.nanos() as f64 / large.elapsed.nanos() as f64
+                > small.wire_idle.nanos() as f64 / small.elapsed.nanos() as f64,
+            "64M blocks should idle the wire more: {} / {} vs {} / {}",
+            large.wire_idle,
+            large.elapsed,
+            small.wire_idle,
+            small.elapsed
+        );
+    }
+
+    #[test]
+    fn wan_single_stream_is_loss_limited() {
+        let tb = testbed::ani_wan();
+        let one = run_gridftp(&tb, &GridFtpConfig::tuned(&tb, 1, 4 * MB, 8 * GB));
+        assert!(one.loss_events > 0, "microloss must bite on the WAN");
+        assert!(
+            one.bandwidth_gbps < 8.0,
+            "single WAN stream shouldn't approach 10G: {:.2}",
+            one.bandwidth_gbps
+        );
+    }
+
+    #[test]
+    fn wan_parallel_streams_recover_bandwidth() {
+        let tb = testbed::ani_wan();
+        let one = run_gridftp(&tb, &GridFtpConfig::tuned(&tb, 1, 4 * MB, 8 * GB));
+        let eight = run_gridftp(&tb, &GridFtpConfig::tuned(&tb, 8, 4 * MB, 8 * GB));
+        assert!(
+            eight.bandwidth_gbps > one.bandwidth_gbps * 1.3,
+            "8 streams ({:.2}) should beat 1 ({:.2}) on a lossy WAN",
+            eight.bandwidth_gbps,
+            one.bandwidth_gbps
+        );
+        // But parallel TCP still trails the link rate the RDMA path hits.
+        assert!(eight.bandwidth_gbps < 9.8);
+    }
+
+    #[test]
+    fn striped_movers_lift_the_core_ceiling() {
+        let tb = testbed::roce_lan();
+        let mut one = GridFtpConfig::tuned(&tb, 8, 4 * MB, 2 * GB);
+        one.processes = 1;
+        let mut four = one.clone();
+        four.processes = 4;
+        let r1 = run_gridftp(&tb, &one);
+        let r4 = run_gridftp(&tb, &four);
+        assert!(
+            r4.bandwidth_gbps > 1.8 * r1.bandwidth_gbps,
+            "striping should break the single-core cap: {:.1} vs {:.1}",
+            r4.bandwidth_gbps,
+            r1.bandwidth_gbps
+        );
+        // ...by spending proportionally more CPU, not by getting cheaper.
+        let eff1 = r1.client_cpu_pct / r1.bandwidth_gbps;
+        let eff4 = r4.client_cpu_pct / r4.bandwidth_gbps;
+        assert!((eff1 - eff4).abs() / eff1 < 0.15);
+    }
+
+    #[test]
+    fn deterministic() {
+        let tb = testbed::ani_wan();
+        let cfg = GridFtpConfig::tuned(&tb, 4, 4 * MB, GB);
+        let a = run_gridftp(&tb, &cfg);
+        let b = run_gridftp(&tb, &cfg);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.loss_events, b.loss_events);
+    }
+
+    #[test]
+    fn byte_conservation() {
+        let tb = testbed::ani_wan();
+        let cfg = GridFtpConfig::tuned(&tb, 4, 4 * MB, GB);
+        let r = run_gridftp(&tb, &cfg);
+        assert!(r.bytes_moved >= GB);
+    }
+}
+
+
+#[cfg(test)]
+mod calib_tests {
+    use super::*;
+    use rftp_netsim::testbed;
+
+    /// Calibration sweep for the WAN loss constant (run with
+    /// `--ignored --nocapture` when retuning the testbed preset).
+    #[test]
+    #[ignore = "calibration tool, prints a table"]
+    fn calibrate_wan_loss() {
+        for loss in [5e-7, 1e-6, 2e-6, 5e-6] {
+            let mut tb = testbed::ani_wan();
+            tb.loss_per_packet = loss;
+            for streams in [1u32, 8] {
+                let cfg = GridFtpConfig::tuned(&tb, streams, 4 << 20, 8 << 30);
+                let r = run_gridftp(&tb, &cfg);
+                println!(
+                    "loss {loss:.0e} streams {streams}: {:.2} Gbps, {} loss events, cpu {:.0}%/{:.0}%",
+                    r.bandwidth_gbps, r.loss_events, r.client_cpu_pct, r.server_cpu_pct
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # rftp-baselines — the systems the paper compares against
+//!
+//! * [`gridftp`] — GridFTP (`globus-url-copy`, MODE E) over kernel TCP:
+//!   a single-threaded application model with kernel copy and softirq
+//!   costs, BDP-tuned windows, and Table I congestion-control variants.
+//!   This is the comparator in Figs. 8–10.
+//! * [`srftp`] — a SEND/RECV (two-sided) RDMA FTP after Lai et al.,
+//!   the design §II argues against for bulk data; used for the
+//!   application-level semantics ablation.
+//!
+//! The RXIO-style request/response credit protocol (Tian et al.) that
+//! §II also critiques is available as `CreditMode::OnDemand` in
+//! `rftp-core` — it shares everything with RFTP except the credit
+//! policy, which makes the comparison exact.
+
+pub mod gridftp;
+pub mod srftp;
+
+pub use gridftp::{run_gridftp, GridFtpConfig, GridFtpReport};
+pub use srftp::{run_srftp, SrFtpConfig, SrFtpReport};

@@ -1,0 +1,349 @@
+//! SEND/RECV FTP baseline (after Lai et al., ICPP'09).
+//!
+//! §II of the paper discusses an earlier RDMA FTP built on the two-sided
+//! zero-copy SEND/RECEIVE channel semantics. Two-sided transfers involve
+//! the kernel-bypass stack at *both* ends: the sink must pre-post receive
+//! buffers, and every block costs the sink a completion event and a
+//! replacement post. This baseline reproduces that design so the
+//! application-level semantics comparison (WRITE-based RFTP vs
+//! SEND/RECV FTP) can be measured, not just the raw-verbs one in
+//! `rftp-ioengine`.
+//!
+//! Flow control is a static window per channel: the source keeps at most
+//! `window` SENDs in flight per QP, matching the sink's pre-posted
+//! receive depth, so the transfer never trips RNR.
+
+use rftp_fabric::{
+    build_sim, two_host_fabric, Api, Application, Backing, Cqe, CqeKind, MrId, MrSlice, QpId,
+    QpOptions, RecvWr, WorkRequest, WrOp,
+};
+use rftp_netsim::cpu::per_byte_cost;
+use rftp_netsim::testbed::Testbed;
+use rftp_netsim::time::{SimDur, SimTime};
+use rftp_netsim::ThreadId;
+use std::collections::VecDeque;
+
+/// SEND/RECV FTP configuration.
+#[derive(Debug, Clone)]
+pub struct SrFtpConfig {
+    pub block_size: u64,
+    pub channels: u32,
+    /// SENDs in flight per channel (= receive depth at the sink).
+    pub window: u32,
+    pub total_bytes: u64,
+    pub loader_threads: u32,
+}
+
+impl SrFtpConfig {
+    pub fn new(block_size: u64, channels: u32, total_bytes: u64) -> SrFtpConfig {
+        SrFtpConfig {
+            block_size,
+            channels,
+            window: 16,
+            total_bytes,
+            loader_threads: 2,
+        }
+    }
+
+    fn total_blocks(&self) -> u64 {
+        self.total_bytes.div_ceil(self.block_size)
+    }
+}
+
+/// Results of one SEND/RECV FTP transfer.
+#[derive(Debug, Clone)]
+pub struct SrFtpReport {
+    pub bytes_moved: u64,
+    pub elapsed: SimDur,
+    pub bandwidth_gbps: f64,
+    pub src_cpu_pct: f64,
+    pub dst_cpu_pct: f64,
+    /// Sink-side completions processed (the two-sided CPU tax).
+    pub sink_events: u64,
+}
+
+const TOK_LOAD: u64 = 1 << 56;
+
+struct SrSource {
+    cfg: SrFtpConfig,
+    qps: Vec<QpId>,
+    mr: MrId,
+    loaders: Vec<ThreadId>,
+    next_loader: usize,
+    loads_in_flight: u32,
+    /// Per-QP in-flight SEND count.
+    qp_inflight: Vec<u32>,
+    loaded_q: VecDeque<u32>, // pool slot indices ready to send
+    free_slots: VecDeque<u32>,
+    slot_len: Vec<u32>,
+    blocks_loaded: u64,
+    blocks_sent: u64,
+    bytes_sent: u64,
+    rr: usize,
+    pub done: bool,
+    finished_at: SimTime,
+}
+
+impl SrSource {
+    fn kick_loaders(&mut self, api: &mut Api) {
+        while self.loads_in_flight < self.cfg.loader_threads
+            && self.blocks_loaded + (self.loads_in_flight as u64) < self.cfg.total_blocks()
+        {
+            let Some(slot) = self.free_slots.pop_front() else {
+                break;
+            };
+            let idx = self.blocks_loaded + self.loads_in_flight as u64;
+            let len = (self.cfg.total_bytes - idx * self.cfg.block_size).min(self.cfg.block_size);
+            self.slot_len[slot as usize] = len as u32;
+            let thread = self.loaders[self.next_loader];
+            self.next_loader = (self.next_loader + 1) % self.loaders.len();
+            api.work(
+                thread,
+                per_byte_cost(api.costs().load_per_byte_ps, len),
+                TOK_LOAD | slot as u64,
+            );
+            self.loads_in_flight += 1;
+        }
+    }
+
+    fn try_send(&mut self, api: &mut Api) {
+        'outer: while let Some(&slot) = self.loaded_q.front() {
+            let n = self.qps.len();
+            for _ in 0..n {
+                let qi = self.rr;
+                self.rr = (self.rr + 1) % n;
+                if self.qp_inflight[qi] >= self.cfg.window {
+                    continue;
+                }
+                let len = self.slot_len[slot as usize] as u64;
+                let wr = WorkRequest::signaled(
+                    ((qi as u64) << 32) | slot as u64,
+                    WrOp::Send {
+                        local: MrSlice::new(self.mr, slot as u64 * self.cfg.block_size, len),
+                        imm: None,
+                    },
+                );
+                api.post_send(self.qps[qi], wr).expect("srftp send");
+                self.qp_inflight[qi] += 1;
+                self.loaded_q.pop_front();
+                continue 'outer;
+            }
+            break; // every channel at its window
+        }
+    }
+}
+
+impl Application for SrSource {
+    fn on_start(&mut self, api: &mut Api) {
+        self.kick_loaders(api);
+    }
+
+    fn on_cqe(&mut self, cqe: &Cqe, api: &mut Api) {
+        assert!(cqe.ok(), "srftp send failed: {:?}", cqe.status);
+        debug_assert_eq!(cqe.kind, CqeKind::Send);
+        let qi = (cqe.wr_id >> 32) as usize;
+        let slot = cqe.wr_id as u32;
+        self.qp_inflight[qi] -= 1;
+        self.blocks_sent += 1;
+        self.bytes_sent += self.slot_len[slot as usize] as u64;
+        self.free_slots.push_back(slot);
+        if self.blocks_sent == self.cfg.total_blocks() {
+            self.done = true;
+            self.finished_at = api.now();
+            return;
+        }
+        self.kick_loaders(api);
+        self.try_send(api);
+    }
+
+    fn on_wakeup(&mut self, token: u64, api: &mut Api) {
+        let slot = (token & !(0xFF << 56)) as u32;
+        self.loads_in_flight -= 1;
+        self.blocks_loaded += 1;
+        self.loaded_q.push_back(slot);
+        self.kick_loaders(api);
+        self.try_send(api);
+    }
+}
+
+struct SrSink {
+    cfg: SrFtpConfig,
+    qps: Vec<QpId>,
+    mr: MrId,
+    consumer: ThreadId,
+    blocks_received: u64,
+    bytes_received: u64,
+    events: u64,
+}
+
+impl Application for SrSink {
+    fn on_start(&mut self, api: &mut Api) {
+        // Pre-post the full window (double-buffered) on every channel.
+        for (qi, &qp) in self.qps.clone().iter().enumerate() {
+            for w in 0..self.cfg.window * 2 {
+                let slot = qi as u64 * (self.cfg.window as u64 * 2) + w as u64;
+                api.post_recv(
+                    qp,
+                    RecvWr {
+                        wr_id: slot,
+                        local: MrSlice::new(
+                            self.mr,
+                            slot * self.cfg.block_size,
+                            self.cfg.block_size,
+                        ),
+                    },
+                )
+                .expect("srftp recv post");
+            }
+        }
+    }
+
+    fn on_cqe(&mut self, cqe: &Cqe, api: &mut Api) {
+        assert!(cqe.ok(), "srftp recv failed: {:?}", cqe.status);
+        debug_assert_eq!(cqe.kind, CqeKind::Recv);
+        self.events += 1;
+        self.blocks_received += 1;
+        self.bytes_received += cqe.bytes;
+        // Consume and replace the receive buffer. With multiple channels
+        // the payload lands in whichever transport buffer was at the head
+        // of that QP's receive queue — NOT at its in-file position — so
+        // in-order delivery costs a copy into place. (RDMA WRITE avoids
+        // this entirely: the credit names the final destination.)
+        let mut per_byte = api.costs().sink_per_byte_ps;
+        if self.cfg.channels > 1 {
+            per_byte += api.costs().copy_per_byte_ps;
+        }
+        api.charge_on(self.consumer, per_byte_cost(per_byte, cqe.bytes));
+        api.post_recv(
+            cqe.qp,
+            RecvWr {
+                wr_id: cqe.wr_id,
+                local: MrSlice::new(
+                    self.mr,
+                    cqe.wr_id * self.cfg.block_size,
+                    self.cfg.block_size,
+                ),
+            },
+        )
+        .expect("srftp recv repost");
+    }
+}
+
+/// Run one SEND/RECV FTP transfer.
+pub fn run_srftp(tb: &Testbed, cfg: &SrFtpConfig) -> SrFtpReport {
+    let (mut core, src, dst) = two_host_fabric(tb);
+
+    let loaders: Vec<_> = (0..cfg.loader_threads)
+        .map(|_| core.hosts[src.index()].cpu.spawn("loader"))
+        .collect();
+    let src_data = core.hosts[src.index()].cpu.spawn("data");
+    let dst_data = core.hosts[dst.index()].cpu.spawn("data");
+    let consumer = core.hosts[dst.index()].cpu.spawn("consumer");
+    let src_cq = core.hosts[src.index()].create_cq(src_data);
+    let dst_cq = core.hosts[dst.index()].create_cq(dst_data);
+
+    let mut src_qps = Vec::new();
+    let mut dst_qps = Vec::new();
+    for _ in 0..cfg.channels {
+        let qa = core.create_qp(src, QpOptions::default(), src_cq, src_cq);
+        let qb = core.create_qp(dst, QpOptions::default(), dst_cq, dst_cq);
+        core.connect(qa, qb).expect("connect");
+        src_qps.push(qa);
+        dst_qps.push(qb);
+    }
+    let slots = (cfg.window * cfg.channels * 2) as u64;
+    let (mr_src, _) = core.hosts[src.index()].register_mr(Backing::Virtual(slots * cfg.block_size));
+    let (mr_dst, _) = core.hosts[dst.index()].register_mr(Backing::Virtual(slots * cfg.block_size));
+
+    let source = SrSource {
+        cfg: cfg.clone(),
+        qps: src_qps,
+        mr: mr_src,
+        loaders,
+        next_loader: 0,
+        loads_in_flight: 0,
+        qp_inflight: vec![0; cfg.channels as usize],
+        loaded_q: VecDeque::new(),
+        free_slots: (0..slots as u32).collect(),
+        slot_len: vec![0; slots as usize],
+        blocks_loaded: 0,
+        blocks_sent: 0,
+        bytes_sent: 0,
+        rr: 0,
+        done: false,
+        finished_at: SimTime::ZERO,
+    };
+    let sink = SrSink {
+        cfg: cfg.clone(),
+        qps: dst_qps,
+        mr: mr_dst,
+        consumer,
+        blocks_received: 0,
+        bytes_received: 0,
+        events: 0,
+    };
+    let mut sim = build_sim(core, vec![Some(Box::new(source)), Some(Box::new(sink))]);
+    sim.run_until(SimTime::ZERO + SimDur::from_secs(36_000), |w| {
+        w.app::<SrSource>(src).done
+    });
+    let w = sim.world();
+    let s: &SrSource = w.app(src);
+    let k: &SrSink = w.app(dst);
+    assert!(s.done, "srftp did not finish");
+    let elapsed = s.finished_at.since(SimTime::ZERO);
+    SrFtpReport {
+        bytes_moved: s.bytes_sent,
+        elapsed,
+        bandwidth_gbps: rftp_netsim::gbps(s.bytes_sent, elapsed),
+        src_cpu_pct: w.core.hosts[src.index()].cpu.utilization_pct(s.finished_at),
+        dst_cpu_pct: w.core.hosts[dst.index()].cpu.utilization_pct(s.finished_at),
+        sink_events: k.events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rftp_netsim::testbed;
+
+    const MB: u64 = 1 << 20;
+    const GB: u64 = 1 << 30;
+
+    #[test]
+    fn srftp_moves_everything() {
+        let tb = testbed::roce_lan();
+        let r = run_srftp(&tb, &SrFtpConfig::new(MB, 4, GB));
+        assert_eq!(r.bytes_moved, GB);
+        assert!(r.bandwidth_gbps > 30.0, "got {:.2}", r.bandwidth_gbps);
+        assert_eq!(r.sink_events, 1024);
+    }
+
+    #[test]
+    fn srftp_costs_sink_cpu() {
+        // The two-sided tax: the sink processes one completion + one
+        // repost per block, which the WRITE-based design avoids.
+        let tb = testbed::roce_lan();
+        let r = run_srftp(&tb, &SrFtpConfig::new(256 * 1024, 4, GB));
+        assert!(
+            r.dst_cpu_pct > 5.0,
+            "sink CPU should be visible: {:.1}%",
+            r.dst_cpu_pct
+        );
+    }
+
+    #[test]
+    fn short_tail_block() {
+        let tb = testbed::roce_lan();
+        let r = run_srftp(&tb, &SrFtpConfig::new(MB, 2, MB + 7));
+        assert_eq!(r.bytes_moved, MB + 7);
+    }
+
+    #[test]
+    fn deterministic() {
+        let tb = testbed::ib_lan();
+        let cfg = SrFtpConfig::new(MB, 2, 256 * MB);
+        let a = run_srftp(&tb, &cfg);
+        let b = run_srftp(&tb, &cfg);
+        assert_eq!(a.elapsed, b.elapsed);
+    }
+}

@@ -1,0 +1,73 @@
+//! End-to-end simulator benchmarks: how fast the reproduction's
+//! discrete-event engine runs whole experiments. Useful for sizing the
+//! `--full` figure sweeps (the paper's 900 GB points).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rftp_baselines::{run_gridftp, GridFtpConfig};
+use rftp_core::{run_transfer, SourceConfig};
+use rftp_ioengine::{run_job, JobConfig, Semantics};
+use rftp_netsim::testbed;
+
+const MB: u64 = 1 << 20;
+
+fn bench_rftp_transfer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(256 * MB));
+    g.bench_function("rftp_lan_256mb", |b| {
+        let tb = testbed::roce_lan();
+        b.iter(|| {
+            let mut cfg = SourceConfig::new(4 * MB, 4, 256 * MB);
+            cfg.pool_blocks = 32;
+            black_box(run_transfer(&tb, cfg))
+        });
+    });
+    g.bench_function("rftp_wan_256mb", |b| {
+        let tb = testbed::ani_wan();
+        b.iter(|| {
+            let mut cfg = SourceConfig::new(4 * MB, 4, 256 * MB);
+            cfg.pool_blocks = 64;
+            black_box(run_transfer(&tb, cfg))
+        });
+    });
+    g.bench_function("ioengine_write_256mb", |b| {
+        let tb = testbed::roce_lan();
+        b.iter(|| {
+            black_box(run_job(
+                &tb,
+                &JobConfig::new(Semantics::Write, 128 * 1024, 64, 256 * MB),
+            ))
+        });
+    });
+    g.bench_function("gridftp_lan_256mb", |b| {
+        let tb = testbed::roce_lan();
+        b.iter(|| {
+            black_box(run_gridftp(
+                &tb,
+                &GridFtpConfig::tuned(&tb, 4, 4 * MB, 256 * MB),
+            ))
+        });
+    });
+    g.finish();
+}
+
+fn bench_live_pipeline(c: &mut Criterion) {
+    // Real threads, real memcpy: this measures the machine, not the
+    // simulator — the native-pipeline throughput ceiling.
+    let mut g = c.benchmark_group("live_threads");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(64 * MB));
+    g.bench_function("live_64mb_4ch", |b| {
+        b.iter(|| {
+            let mut cfg = rftp_live::LiveConfig::new(1 << 20, 4, 64 * MB);
+            cfg.pool_blocks = 16;
+            let r = rftp_live::run_live(&cfg);
+            assert_eq!(r.checksum_failures, 0);
+            black_box(r)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rftp_transfer, bench_live_pipeline);
+criterion_main!(benches);

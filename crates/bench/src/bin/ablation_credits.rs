@@ -1,0 +1,50 @@
+//! Ablation: proactive credits (the paper's active-feedback design) vs
+//! RXIO-style request/response credits (Tian et al.), across all three
+//! testbeds. The request/response design pays one RTT per refill, which
+//! the paper identifies as "a drawback that will slow down data transfer
+//! in WANs with a large RTT".
+
+use rftp_bench::{f1, f2, HarnessOpts, Table, GB, MB};
+use rftp_core::{build_experiment, CreditMode, SinkConfig, SourceConfig};
+use rftp_netsim::testbed;
+use rftp_netsim::time::SimDur;
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let volume = opts.volume(4 * GB, 64 * GB);
+    println!("\nAblation: proactive (paper) vs on-demand (RXIO-style) credit flow control\n");
+    let mut t = Table::new(
+        "ablation_credits",
+        &[
+            "testbed",
+            "proactive Gbps",
+            "on-demand Gbps",
+            "speedup",
+            "on-demand starved (s)",
+        ],
+    );
+    for tb in testbed::all() {
+        let run = |mode: CreditMode| {
+            let want = (4 * tb.bdp_bytes() / (4 * MB)).clamp(16, 4096) as u32;
+            let cfg = SourceConfig::new(4 * MB, 4, volume).with_pool(want);
+            let snk = SinkConfig {
+                pool_blocks: want,
+                ctrl_ring_slots: cfg.ctrl_ring_slots,
+                credit_mode: mode,
+                grant_per_request: 8,
+                ..SinkConfig::default()
+            };
+            build_experiment(&tb, cfg, snk).run(SimDur::from_secs(36_000))
+        };
+        let pro = run(CreditMode::Proactive);
+        let dem = run(CreditMode::OnDemand);
+        t.row(vec![
+            tb.name.to_string(),
+            f2(pro.goodput_gbps),
+            f2(dem.goodput_gbps),
+            format!("{:.2}x", pro.goodput_gbps / dem.goodput_gbps),
+            f1(dem.source.credit_starved.as_secs_f64()),
+        ]);
+    }
+    t.emit(&opts);
+}

@@ -1,0 +1,38 @@
+//! Ablation: blocks in flight (pool depth). §IV.A: "a high queue depth
+//! with several data blocks in flight is the key to achieving good
+//! performance" — on the WAN the pool must cover the credit loop's
+//! ~2xRTT x bandwidth, or the pipe drains between credit rounds.
+
+use rftp_bench::{bs_label, f2, HarnessOpts, Table, GB, MB};
+use rftp_core::{build_experiment, SinkConfig, SourceConfig};
+use rftp_netsim::testbed;
+use rftp_netsim::time::SimDur;
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let volume = opts.volume(4 * GB, 64 * GB);
+    let block = 4 * MB;
+    println!(
+        "\nAblation: pool depth (blocks in flight) at {} blocks — LAN vs WAN\n",
+        bs_label(block)
+    );
+    let mut t = Table::new(
+        "ablation_depth",
+        &["pool blocks", "in-flight cap", "RoCE LAN Gbps", "ANI WAN Gbps"],
+    );
+    for pool in [2u32, 4, 8, 16, 32, 64, 128] {
+        let mut row = vec![pool.to_string(), bs_label(pool as u64 * block)];
+        for tb in [testbed::roce_lan(), testbed::ani_wan()] {
+            let cfg = SourceConfig::new(block, 4, volume).with_pool(pool);
+            let snk = SinkConfig {
+                pool_blocks: pool,
+                ctrl_ring_slots: cfg.ctrl_ring_slots,
+                ..SinkConfig::default()
+            };
+            let r = build_experiment(&tb, cfg, snk).run(SimDur::from_secs(36_000));
+            row.push(f2(r.goodput_gbps));
+        }
+        t.row(row);
+    }
+    t.emit(&opts);
+}

@@ -1,0 +1,40 @@
+//! Ablation: application-level semantics — the full WRITE-based RFTP vs
+//! a SEND/RECV FTP after Lai et al. Same fabric, same loader costs; the
+//! two-sided design pays sink-side completions and reposts per block.
+
+use rftp_bench::{bs_label, f1, f2, HarnessOpts, Table, GB};
+use rftp_baselines::{run_srftp, SrFtpConfig};
+use rftp_bench::rftp_point;
+use rftp_netsim::testbed;
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let tb = testbed::roce_lan();
+    let volume = opts.volume(4 * GB, 64 * GB);
+    println!(
+        "\nAblation: RFTP (RDMA WRITE) vs SEND/RECV FTP (Lai-style) on {}\n",
+        tb.name
+    );
+    let mut t = Table::new(
+        "ablation_semantics",
+        &[
+            "block",
+            "RFTP Gbps",
+            "RFTP srv CPU",
+            "SR-FTP Gbps",
+            "SR-FTP srv CPU",
+        ],
+    );
+    for bs in [256 << 10, 1 << 20, 4 << 20] {
+        let w = rftp_point(&tb, bs, 4, volume);
+        let s = run_srftp(&tb, &SrFtpConfig::new(bs, 4, volume));
+        t.row(vec![
+            bs_label(bs),
+            f2(w.gbps),
+            f1(w.server_cpu),
+            f2(s.bandwidth_gbps),
+            f1(s.dst_cpu_pct),
+        ]);
+    }
+    t.emit(&opts);
+}

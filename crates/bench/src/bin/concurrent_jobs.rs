@@ -1,0 +1,56 @@
+//! Concurrent independent transfers sharing one link (§IV.C: "the
+//! application probably issues multiple data transfer tasks
+//! simultaneously"). Each job has its own control channel, pools, and
+//! session ids; the wire is the only shared resource.
+
+use rftp_bench::{f2, HarnessOpts, Table, GB, MB};
+use rftp_core::harness::run_parallel_jobs;
+use rftp_core::{SinkConfig, SourceConfig};
+use rftp_netsim::testbed;
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let per_job = opts.volume(2 * GB, 32 * GB);
+    println!("\nConcurrent independent jobs over one link (4 MB blocks, 2 channels each)\n");
+    let mut t = Table::new(
+        "concurrent_jobs",
+        &[
+            "testbed",
+            "jobs",
+            "per-job Gbps (min..max)",
+            "aggregate Gbps",
+            "fairness (min/max)",
+        ],
+    );
+    for tb in testbed::all() {
+        for n in [1usize, 2, 4, 8] {
+            let pool = ((4 * tb.bdp_bytes()) / (4 * MB)).clamp(16, 1024) as u32;
+            let jobs: Vec<_> = (0..n)
+                .map(|_| {
+                    let cfg = SourceConfig::new(4 * MB, 2, per_job).with_pool(pool);
+                    let snk = SinkConfig {
+                        pool_blocks: pool,
+                        ctrl_ring_slots: cfg.ctrl_ring_slots,
+                        ..SinkConfig::default()
+                    };
+                    (cfg, snk)
+                })
+                .collect();
+            let (stats, elapsed) = run_parallel_jobs(&tb, jobs);
+            let rates: Vec<f64> = stats.iter().map(|s| s.goodput_gbps()).collect();
+            let (lo, hi) = (
+                rates.iter().cloned().fold(f64::MAX, f64::min),
+                rates.iter().cloned().fold(0.0, f64::max),
+            );
+            let agg = rftp_netsim::gbps(per_job * n as u64, elapsed);
+            t.row(vec![
+                tb.name.to_string(),
+                n.to_string(),
+                format!("{:.2}..{:.2}", lo, hi),
+                f2(agg),
+                format!("{:.2}", lo / hi),
+            ]);
+        }
+    }
+    t.emit(&opts);
+}

@@ -1,0 +1,50 @@
+//! Full-duplex experiment: simultaneous transfers in both directions
+//! over one link. Every Table I link is full duplex, so both directions
+//! should independently reach (near) line rate — a property TCP-based
+//! movers often fail to exploit when ack-path congestion couples the
+//! directions.
+
+use rftp_bench::{f1, f2, HarnessOpts, Table, GB, MB};
+use rftp_core::harness::run_duplex;
+use rftp_core::{SinkConfig, SourceConfig};
+use rftp_netsim::testbed;
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let volume = opts.volume(4 * GB, 64 * GB);
+    println!("\nFull-duplex: concurrent A→B and B→A transfers (4 MB blocks, 4 streams)\n");
+    let mut t = Table::new(
+        "duplex",
+        &[
+            "testbed",
+            "A→B Gbps",
+            "B→A Gbps",
+            "sum / line rate",
+            "host A CPU",
+            "host B CPU",
+        ],
+    );
+    for tb in testbed::all() {
+        let pool = ((4 * tb.bdp_bytes()) / (4 * MB)).clamp(16, 4096) as u32;
+        let mk_src = || SourceConfig::new(4 * MB, 4, volume).with_pool(pool);
+        let ring = mk_src().ctrl_ring_slots;
+        let mk_snk = || SinkConfig {
+            pool_blocks: pool,
+            ctrl_ring_slots: ring,
+            ..SinkConfig::default()
+        };
+        let r = run_duplex(&tb, mk_src(), mk_snk(), mk_src(), mk_snk());
+        t.row(vec![
+            tb.name.to_string(),
+            f2(r.forward_gbps),
+            f2(r.reverse_gbps),
+            format!(
+                "{:.2}x",
+                (r.forward_gbps + r.reverse_gbps) / tb.bare_metal.as_gbps()
+            ),
+            f1(r.a_cpu_pct),
+            f1(r.b_cpu_pct),
+        ]);
+    }
+    t.emit(&opts);
+}

@@ -1,0 +1,48 @@
+//! Fig. 10 — GridFTP vs RFTP over the ANI WAN (10 Gbps RoCE, 49 ms RTT),
+//! 1 and 8 streams, memory-to-memory.
+
+use rftp_bench::{
+    bs_label, f1, f2, gridftp_point, rftp_point, HarnessOpts, Table, FTP_BLOCK_SIZES, GB,
+};
+use rftp_netsim::testbed;
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let tb = testbed::ani_wan();
+    let volume = opts.volume(8 * GB, 256 * GB);
+    for streams in [1u32, 8] {
+        println!(
+            "\nFig. 10 ({} streams): GridFTP vs RFTP over {} — bandwidth (Gbps), client/server CPU (%)\n",
+            streams, tb.name
+        );
+        let mut t = Table::new(
+            if streams == 1 { "fig10_s1" } else { "fig10_s8" },
+            &[
+                "block",
+                "GridFTP Gbps",
+                "GridFTP cli CPU",
+                "GridFTP srv CPU",
+                "RFTP Gbps",
+                "RFTP cli CPU",
+                "RFTP srv CPU",
+            ],
+        );
+        let rows = rftp_bench::parallel_map(FTP_BLOCK_SIZES.to_vec(), |bs| {
+            let g = gridftp_point(&tb, bs, streams, volume);
+            let r = rftp_point(&tb, bs, streams as u16, volume);
+            (bs, g, r)
+        });
+        for (bs, g, r) in rows {
+            t.row(vec![
+                bs_label(bs),
+                f2(g.gbps),
+                f1(g.client_cpu),
+                f1(g.server_cpu),
+                f2(r.gbps),
+                f1(r.client_cpu),
+                f1(r.server_cpu),
+            ]);
+        }
+        t.emit(&opts);
+    }
+}

@@ -1,0 +1,50 @@
+//! Fig. 11 — RFTP memory-to-memory vs memory-to-disk (direct I/O, RAID
+//! array) on the ANI WAN: same bandwidth, slightly higher server CPU.
+
+use rftp_bench::{bs_label, f1, f2, rftp_point_with, HarnessOpts, Table, FTP_BLOCK_SIZES, GB};
+use rftp_core::ConsumeMode;
+use rftp_netsim::testbed;
+use rftp_netsim::Bandwidth;
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let tb = testbed::ani_wan();
+    // Paper: a group of 400 GB files across RAID disks.
+    let volume = opts.volume(8 * GB, 400 * GB);
+    let streams = 4u16;
+    println!(
+        "\nFig. 11: RFTP server, memory-to-memory vs memory-to-disk (direct I/O) over {} ({} streams)\n",
+        tb.name, streams
+    );
+    let mut t = Table::new(
+        "fig11",
+        &[
+            "block",
+            "mem Gbps",
+            "mem srv CPU",
+            "disk Gbps",
+            "disk srv CPU",
+        ],
+    );
+    for &bs in &FTP_BLOCK_SIZES {
+        let mem = rftp_point_with(&tb, bs, streams, volume, ConsumeMode::Null);
+        let disk = rftp_point_with(
+            &tb,
+            bs,
+            streams,
+            volume,
+            ConsumeMode::Disk {
+                rate: Bandwidth::from_gbps(16),
+                direct_io: true,
+            },
+        );
+        t.row(vec![
+            bs_label(bs),
+            f2(mem.gbps),
+            f1(mem.server_cpu),
+            f2(disk.gbps),
+            f1(disk.server_cpu),
+        ]);
+    }
+    t.emit(&opts);
+}

@@ -1,0 +1,43 @@
+//! Fig. 3 — RDMA semantics performance on RoCE: bandwidth and CPU vs
+//! block size, at I/O depth 1 (panel a) and high depth 64 (panel b).
+//!
+//! Usage: `fig3 [a|b] [--full] [--csv]` (both panels by default).
+
+use rftp_bench::{bs_label, f1, f2, HarnessOpts, Table, GB, IO_BLOCK_SIZES};
+use rftp_ioengine::{run_job, JobConfig, Semantics};
+use rftp_netsim::testbed;
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let tb = testbed::roce_lan();
+    let only: Option<&str> = opts.rest.first().map(|s| s.as_str());
+    let volume = opts.volume(2 * GB, 64 * GB);
+
+    for (depth, label) in [(1u32, "a"), (64, "b")] {
+        if only.is_some_and(|p| p != label) {
+            continue;
+        }
+        println!(
+            "\nFig. 3({label}): {}, I/O depth {depth} — bandwidth (Gbps) and CPU (% of one core, both ends)\n",
+            tb.name
+        );
+        let mut t = Table::new(
+            if depth == 1 { "fig3a" } else { "fig3b" },
+            &[
+                "block", "WRITE Gbps", "WRITE CPU", "READ Gbps", "READ CPU", "SEND/RECV Gbps",
+                "SEND/RECV CPU",
+            ],
+        );
+        for &bs in &IO_BLOCK_SIZES {
+            let vol = volume.max(bs * depth as u64);
+            let mut cells = vec![bs_label(bs)];
+            for sem in [Semantics::Write, Semantics::Read, Semantics::SendRecv] {
+                let r = run_job(&tb, &JobConfig::new(sem, bs, depth, vol));
+                cells.push(f2(r.bandwidth_gbps));
+                cells.push(f1(r.total_cpu_pct()));
+            }
+            t.row(cells);
+        }
+        t.emit(&opts);
+    }
+}

@@ -1,0 +1,49 @@
+//! I/O latency distributions — the fio statistics §III.B leans on
+//! ("CPU usage, I/O latency, bandwidth, I/O performance distribution").
+//! Per-operation latency percentiles for each verb at representative
+//! block sizes and depths, on a chosen testbed.
+//!
+//! Usage: `latency [roce|ib|wan]`
+
+use rftp_bench::{bs_label, f2, HarnessOpts, Table, GB};
+use rftp_ioengine::{run_job, JobConfig, Semantics};
+use rftp_netsim::testbed;
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let tb = match opts.rest.first().map(|s| s.as_str()) {
+        Some("ib") => testbed::ib_lan(),
+        Some("wan") => testbed::ani_wan(),
+        _ => testbed::roce_lan(),
+    };
+    let volume = opts.volume(GB, 16 * GB);
+    println!(
+        "\nPer-operation latency (post → completion) on {}\n",
+        tb.name
+    );
+    let mut t = Table::new(
+        "latency",
+        &[
+            "semantics", "block", "depth", "Gbps", "mean", "p50", "p99", "ops",
+        ],
+    );
+    for sem in [Semantics::Write, Semantics::Read, Semantics::SendRecv] {
+        for (bs, depth) in [(64 << 10, 1u32), (64 << 10, 64), (1 << 20, 64)] {
+            let r = run_job(&tb, &JobConfig::new(sem, bs, depth, volume));
+            t.row(vec![
+                sem.name().to_string(),
+                bs_label(bs),
+                depth.to_string(),
+                f2(r.bandwidth_gbps),
+                format!("{}", r.lat_mean),
+                format!("{}", r.lat_p50),
+                format!("{}", r.lat_p99),
+                r.ops.to_string(),
+            ]);
+        }
+    }
+    t.emit(&opts);
+    println!(
+        "\n(Depth-64 latencies are queueing-dominated: ~depth x service time. READ's p99\n reflects its serialized request slots under max_rd_atomic.)"
+    );
+}

@@ -1,0 +1,63 @@
+//! Table I — testbed description.
+
+use rftp_bench::{HarnessOpts, Table};
+use rftp_netsim::testbed;
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let mut t = Table::new(
+        "table1",
+        &[
+            "", "InfiniBand LAN", "RoCE LAN", "RoCE WAN (ANI)",
+        ],
+    );
+    let tbs = [testbed::ib_lan(), testbed::roce_lan(), testbed::ani_wan()];
+    let row = |label: &str, f: &dyn Fn(&testbed::Testbed) -> String| -> Vec<String> {
+        let mut v = vec![label.to_string()];
+        v.extend(tbs.iter().map(f));
+        v
+    };
+    t.row(row("CPU", &|tb| {
+        if tb.src.cpu == tb.dst.cpu {
+            format!("{} ({} cores)", tb.src.cpu, tb.src.cores)
+        } else {
+            format!(
+                "{} ({}c) / {} ({}c)",
+                tb.src.cpu, tb.src.cores, tb.dst.cpu, tb.dst.cores
+            )
+        }
+    }));
+    t.row(row("Mem (GB)", &|tb| {
+        if tb.src.mem_gbytes == tb.dst.mem_gbytes {
+            tb.src.mem_gbytes.to_string()
+        } else {
+            format!("{} / {}", tb.src.mem_gbytes, tb.dst.mem_gbytes)
+        }
+    }));
+    t.row(row("NICs (Gbps)", &|tb| tb.nic_gbps.to_string()));
+    t.row(row("Bare-metal (Gbps)", &|tb| {
+        format!("{:.1}", tb.bare_metal.as_gbps())
+    }));
+    t.row(row("OS", &|tb| {
+        if tb.src.os == tb.dst.os {
+            tb.src.os.to_string()
+        } else {
+            format!("{} / {}", tb.src.os, tb.dst.os)
+        }
+    }));
+    t.row(row("Kernel", &|tb| {
+        if tb.src.kernel == tb.dst.kernel {
+            tb.src.kernel.to_string()
+        } else {
+            format!("{} / {}", tb.src.kernel, tb.dst.kernel)
+        }
+    }));
+    t.row(row("TCP congestion control", &|tb| {
+        tb.tcp_algo.name().to_string()
+    }));
+    t.row(row("MTU", &|tb| tb.mtu.to_string()));
+    t.row(row("RTT (ms)", &|tb| format!("{}", tb.rtt_ms)));
+    t.row(row("BDP (bytes)", &|tb| tb.bdp_bytes().to_string()));
+    println!("Table I: testbed description (simulated presets)\n");
+    t.emit(&opts);
+}

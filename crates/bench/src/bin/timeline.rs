@@ -1,0 +1,66 @@
+//! Ramp-up timeline: how the source's credit stock and goodput evolve
+//! over the first seconds of a WAN transfer — the "exponential increase
+//! in the number of available remote MR ... similar to the slow start of
+//! TCP" (§IV.C), made visible.
+//!
+//! Usage: `timeline [wan|esnet100g]`
+
+use rftp_bench::{HarnessOpts, Table, GB, MB};
+use rftp_core::{build_experiment, SinkConfig, SourceConfig};
+use rftp_netsim::testbed;
+use rftp_netsim::time::SimDur;
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let tb = match opts.rest.first().map(|s| s.as_str()) {
+        Some("esnet100g") => testbed::esnet_100g(),
+        _ => testbed::ani_wan(),
+    };
+    let volume = opts.volume(8 * GB, 64 * GB);
+    let block = 4 * MB;
+    let pool = ((4 * tb.bdp_bytes()) / block).clamp(16, 4096) as u32;
+    let mut cfg = SourceConfig::new(block, 4, volume).with_pool(pool);
+    cfg.record_timeline = true;
+    let snk = SinkConfig {
+        pool_blocks: pool,
+        ctrl_ring_slots: cfg.ctrl_ring_slots,
+        ..SinkConfig::default()
+    };
+    let r = build_experiment(&tb, cfg, snk).run(SimDur::from_secs(36_000));
+
+    println!(
+        "\nCredit ramp on {} (4 MB blocks, pool {pool}): goodput and stock in 100 ms windows\n",
+        tb.name
+    );
+    let mut t = Table::new(
+        "timeline",
+        &["t (ms)", "window Gbps", "credit stock", "blocks in flight"],
+    );
+    let window_ns = 100_000_000u64;
+    let mut next_edge = window_ns;
+    let mut last_bytes = 0u64;
+    let mut last_point = None;
+    for p in &r.source.timeline {
+        if p.at.nanos() >= next_edge {
+            let gbps = (p.bytes - last_bytes) as f64 * 8.0 / window_ns as f64;
+            t.row(vec![
+                (next_edge / 1_000_000).to_string(),
+                format!("{gbps:.2}"),
+                p.credit_stock.to_string(),
+                p.inflight.to_string(),
+            ]);
+            last_bytes = p.bytes;
+            next_edge += window_ns;
+            if next_edge > 3_000_000_000 {
+                break;
+            }
+        }
+        last_point = Some(p);
+    }
+    let _ = last_point;
+    t.emit(&opts);
+    println!(
+        "\nwhole-run goodput: {:.2} Gbps; max stock {}; starved {}",
+        r.goodput_gbps, r.source.max_credit_stock, r.source.credit_starved
+    );
+}

@@ -1,0 +1,173 @@
+//! Protocol and endpoint configuration.
+
+use crate::credit::CreditMode;
+use rftp_netsim::time::Bandwidth;
+
+/// How the source tells the sink a block landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NotifyMode {
+    /// The paper's design: plain RDMA WRITE for the payload, then a
+    /// `BlockComplete` control message on the control queue pair once the
+    /// source polls the WRITE's completion.
+    CtrlMsg,
+    /// Alternative: RDMA WRITE WITH IMMEDIATE — the immediate consumes a
+    /// pre-posted receive at the sink's data QP and carries
+    /// (slot, seq) packed into 32 bits. Saves the per-block control
+    /// message at the cost of sink-side receive management.
+    WriteImm,
+}
+
+/// How the sink disposes of delivered payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsumeMode {
+    /// Discard (the `/dev/null` memory-to-memory experiments): a small
+    /// per-byte CPU touch on the consumer thread.
+    Null,
+    /// Write to a disk array: a rate-limited FIFO device plus per-byte
+    /// CPU for the write path. `direct_io` skips the kernel buffer copy
+    /// (the paper's RFTP uses direct I/O; GridFTP does not).
+    Disk {
+        rate: Bandwidth,
+        direct_io: bool,
+    },
+}
+
+/// Everything a transfer job negotiates or assumes.
+#[derive(Debug, Clone)]
+pub struct SourceConfig {
+    /// First session id (successive jobs increment it).
+    pub first_session: u32,
+    /// Proposed data bytes per block.
+    pub block_size: u64,
+    /// Parallel data channels to request (the paper's "streams").
+    pub channels: u16,
+    /// Blocks in the source's registered pool.
+    pub pool_blocks: u32,
+    /// Completion notification mode.
+    pub notify: NotifyMode,
+    /// Loader threads filling blocks concurrently (Fig. 2's thread pool).
+    pub loader_threads: u32,
+    /// Threads polling data-channel CQs (channels are spread over them).
+    pub data_cq_threads: u32,
+    /// Back the pool with real bytes (checksummable) instead of virtual.
+    pub real_data: bool,
+    /// Control send/recv ring depth. Must cover the per-RTT control
+    /// message rate (≈ one `BlockComplete` per block); sized ~2x the
+    /// pool by default so the ring never throttles notifications.
+    pub ctrl_ring_slots: u32,
+    /// Record per-completion progress samples into
+    /// `SourceStats::timeline` (bounded; for ramp-up visualizations).
+    pub record_timeline: bool,
+    /// Record a human-readable protocol trace (control messages sent and
+    /// received, with timestamps) into the stats; bounded at 10k lines.
+    pub record_trace: bool,
+    /// Total bytes of each job, in order. One "job" ≈ one file.
+    pub jobs: Vec<u64>,
+}
+
+impl SourceConfig {
+    /// Paper-flavoured defaults for a single memory-to-memory job.
+    pub fn new(block_size: u64, channels: u16, total_bytes: u64) -> SourceConfig {
+        SourceConfig {
+            first_session: 1,
+            block_size,
+            channels,
+            pool_blocks: 64,
+            notify: NotifyMode::CtrlMsg,
+            loader_threads: 2,
+            data_cq_threads: 2,
+            real_data: false,
+            ctrl_ring_slots: 256,
+            record_timeline: false,
+            record_trace: false,
+            jobs: vec![total_bytes],
+        }
+    }
+
+    /// Size the control rings and pool together: rings at twice the pool
+    /// depth (so notifications for every in-flight block plus the credit
+    /// traffic fit within one RTT of ring turnaround).
+    pub fn with_pool(mut self, pool_blocks: u32) -> SourceConfig {
+        self.pool_blocks = pool_blocks;
+        self.ctrl_ring_slots = (pool_blocks * 2).max(256);
+        self
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.jobs.iter().sum()
+    }
+
+    /// Blocks needed for `job_bytes` at the configured block size.
+    pub fn blocks_for(&self, job_bytes: u64) -> u64 {
+        job_bytes.div_ceil(self.block_size)
+    }
+}
+
+/// Sink-side policy.
+#[derive(Debug, Clone)]
+pub struct SinkConfig {
+    /// Largest block size the sink will accept (else `SessionReject`).
+    pub max_block_size: u64,
+    /// Most data channels the sink will provision.
+    pub max_channels: u16,
+    /// Blocks in the sink's registered pool.
+    pub pool_blocks: u32,
+    /// Credit policy (paper default: proactive).
+    pub credit_mode: CreditMode,
+    /// Credits pushed with the accept.
+    pub initial_credits: u32,
+    /// Credits granted per completion notification (2 in the paper).
+    pub grant_per_completion: u32,
+    /// Credits granted per explicit request.
+    pub grant_per_request: u32,
+    /// Control send/recv ring depth (see `SourceConfig::ctrl_ring_slots`).
+    pub ctrl_ring_slots: u32,
+    /// Threads polling data CQs (only loaded in `WriteImm` mode).
+    pub data_cq_threads: u32,
+    /// Payload disposal.
+    pub consume: ConsumeMode,
+    pub real_data: bool,
+    /// Record a protocol trace into the sink stats (see `SourceConfig`).
+    pub record_trace: bool,
+}
+
+impl Default for SinkConfig {
+    fn default() -> SinkConfig {
+        SinkConfig {
+            max_block_size: 256 << 20,
+            max_channels: 32,
+            pool_blocks: 64,
+            credit_mode: CreditMode::Proactive,
+            initial_credits: 2,
+            grant_per_completion: 2,
+            grant_per_request: 4,
+            ctrl_ring_slots: 256,
+            data_cq_threads: 2,
+            consume: ConsumeMode::Null,
+            real_data: false,
+            record_trace: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_defaults() {
+        let c = SourceConfig::new(4 << 20, 8, 1 << 30);
+        assert_eq!(c.total_bytes(), 1 << 30);
+        assert_eq!(c.blocks_for(1 << 30), 256);
+        assert_eq!(c.blocks_for((1 << 30) + 1), 257); // short tail block
+        assert_eq!(c.notify, NotifyMode::CtrlMsg);
+    }
+
+    #[test]
+    fn sink_defaults_match_paper_policy() {
+        let s = SinkConfig::default();
+        assert_eq!(s.credit_mode, CreditMode::Proactive);
+        assert_eq!(s.grant_per_completion, 2);
+        assert_eq!(s.initial_credits, 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! Full-duplex endpoints: a host that is simultaneously a data source
+//! (uploading) and a data sink (downloading) over the same link.
+//!
+//! The paper's testbeds are full-duplex (separate transmit and receive
+//! serialization on every link), and inter-datacenter replication
+//! commonly runs both directions at once. [`DuplexEngine`] composes a
+//! [`SourceEngine`] and a [`SinkEngine`] behind one
+//! [`rftp_fabric::Application`], routing completions by queue-pair
+//! ownership and wakeups by token namespace (the two engines use
+//! disjoint token kinds).
+
+use crate::engine::{SinkEngine, SourceEngine};
+use rftp_fabric::{Api, Application, Cqe};
+
+/// A source and a sink sharing one host.
+pub struct DuplexEngine {
+    pub source: SourceEngine,
+    pub sink: SinkEngine,
+}
+
+impl DuplexEngine {
+    pub fn new(source: SourceEngine, sink: SinkEngine) -> DuplexEngine {
+        DuplexEngine { source, sink }
+    }
+
+    pub fn is_finished(&self) -> bool {
+        self.source.is_finished() && self.sink.all_sessions_complete()
+    }
+}
+
+impl Application for DuplexEngine {
+    fn on_start(&mut self, api: &mut Api) {
+        self.source.on_start(api);
+        self.sink.on_start(api);
+    }
+
+    fn on_cqe(&mut self, cqe: &Cqe, api: &mut Api) {
+        // Route by QP ownership. Data QPs appear dynamically (the source
+        // creates its channels at accept; the sink at session request),
+        // so ownership is consulted per completion.
+        if self.source.owns_qp(cqe.qp) {
+            self.source.on_cqe(cqe, api);
+        } else if self.sink.owns_qp(cqe.qp) {
+            self.sink.on_cqe(cqe, api);
+        } else {
+            panic!("duplex: completion for unowned qp {:?}", cqe.qp);
+        }
+    }
+
+    fn on_wakeup(&mut self, token: u64, api: &mut Api) {
+        if self.source.owns_token(token) {
+            self.source.on_wakeup(token, api);
+        } else {
+            debug_assert!(self.sink.owns_token(token));
+            self.sink.on_wakeup(token, api);
+        }
+    }
+}

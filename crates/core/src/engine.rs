@@ -1,0 +1,1310 @@
+//! The protocol engines: event-driven source and sink endpoints.
+//!
+//! This module is the paper's §IV made executable. Each endpoint is a
+//! [`rftp_fabric::Application`] — an event-driven state machine reacting
+//! to completions, timers, and worker-thread wakeups, mirroring the
+//! middleware's thread-pool architecture (Fig. 2):
+//!
+//! * the **control thread** polls the control QP's completion queue and
+//!   runs negotiation, credit, and notification handlers;
+//! * **loader threads** (source) fill blocks from the data source;
+//! * **data threads** poll the data-channel CQs;
+//! * the **consumer thread** (sink) drains in-order blocks to the
+//!   application (null sink or disk device).
+//!
+//! A transfer runs the paper's three phases: (1) initialization and
+//! parameter negotiation, (2) data transfer with credit flow control and
+//! out-of-order reassembly, (3) teardown via *dataset transfer
+//! completion*. Multiple jobs (files) run as sequential sessions over the
+//! same queue pairs and the same registered pools — the "reuse of memory
+//! regions" optimization.
+
+use crate::config::{ConsumeMode, NotifyMode, SinkConfig, SourceConfig};
+use crate::credit::{CreditStock, Granter};
+use crate::pool::{BlockIdx, PoolGeometry, SinkPool, SourcePool};
+use crate::reorder::ReorderBuffer;
+use crate::stats::{SinkStats, SourceStats};
+use crate::wire::{
+    reject_reason, Credit, CtrlMsg, PayloadHeader, CTRL_SLOT_LEN, MAX_CREDITS_PER_MSG,
+    PAYLOAD_HEADER_LEN,
+};
+use rftp_fabric::{
+    Api, Application, Backing, Cqe, CqeKind, CqId, DeviceId, MrId, MrSlice, QpId, QpOptions,
+    RecvWr, RemoteSlice, Rkey, WorkRequest, WrOp,
+};
+use rftp_netsim::cpu::per_byte_cost;
+use rftp_netsim::time::SimTime;
+use rftp_netsim::ThreadId;
+use std::collections::{HashMap, VecDeque};
+
+/// Default slots in each control send/recv ring. On long-fat paths the
+/// ring must be deeper: a send slot is only reusable after the RC ack
+/// returns (one RTT), so the control channel carries at most
+/// `slots / RTT` messages per second — with one `BlockComplete` per
+/// block, an undersized ring throttles the whole transfer. Endpoint
+/// configs size rings at ~2x the pool depth for this reason.
+pub const CTRL_RING_SLOTS: u32 = 64;
+
+/// Wakeup-token layout: kind in the top byte, an engine *tag* in the
+/// next byte (so several engines can share one host application — see
+/// [`crate::multi`] and [`crate::duplex`]), payload below.
+const TOK_LOAD: u64 = 1 << 56;
+const TOK_CONSUME: u64 = 2 << 56;
+
+fn tok_kind(token: u64) -> u64 {
+    token & (0xFF << 56)
+}
+
+fn tok_tag(token: u64) -> u8 {
+    (token >> 48) as u8
+}
+
+fn tok_with_tag(kind: u64, tag: u8, payload: u64) -> u64 {
+    debug_assert_eq!(payload >> 48, 0, "token payload overflows into the tag");
+    kind | ((tag as u64) << 48) | payload
+}
+
+fn tok_payload(token: u64) -> u64 {
+    token & !(0xFFFF << 48)
+}
+
+/// A ring of registered control-message slots plus overflow queue.
+struct CtrlRing {
+    mr: MrId,
+    capacity: u32,
+    free: VecDeque<u32>,
+    pending: VecDeque<CtrlMsg>,
+}
+
+impl CtrlRing {
+    fn create(api: &mut Api, slots: u32) -> CtrlRing {
+        assert!(slots > 0);
+        let mr = api.register_mr(Backing::zeroed(slots as usize * CTRL_SLOT_LEN));
+        CtrlRing {
+            mr,
+            capacity: slots,
+            free: (0..slots).collect(),
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Send (or queue) a control message on `qp`. Returns messages put on
+    /// the wire now (0 or more if the pending queue drained).
+    fn send(&mut self, api: &mut Api, qp: QpId, msg: CtrlMsg) -> u64 {
+        self.pending.push_back(msg);
+        self.drain(api, qp)
+    }
+
+    fn drain(&mut self, api: &mut Api, qp: QpId) -> u64 {
+        let mut sent = 0;
+        while let (Some(&slot), true) = (self.free.front(), !self.pending.is_empty()) {
+            let msg = self.pending.pop_front().expect("checked nonempty");
+            let mut buf = [0u8; CTRL_SLOT_LEN];
+            let n = msg.encode(&mut buf);
+            let off = slot as u64 * CTRL_SLOT_LEN as u64;
+            api.mr_mut(self.mr).write_bytes(off, &buf[..n]);
+            let wr = WorkRequest::signaled(
+                slot as u64,
+                WrOp::Send {
+                    local: MrSlice::new(self.mr, off, n as u64),
+                    imm: None,
+                },
+            );
+            api.post_send(qp, wr).expect("control send failed");
+            self.free.pop_front();
+            sent += 1;
+        }
+        sent
+    }
+
+    /// A control send completed; its slot is reusable.
+    fn on_sent(&mut self, api: &mut Api, qp: QpId, slot: u32) -> u64 {
+        self.free.push_back(slot);
+        self.drain(api, qp)
+    }
+
+    fn idle(&self) -> bool {
+        self.free.len() == self.capacity as usize && self.pending.is_empty()
+    }
+}
+
+/// A ring of posted control receive buffers.
+struct RecvRing {
+    mr: MrId,
+}
+
+impl RecvRing {
+    fn create_and_post(api: &mut Api, qp: QpId, slots: u32) -> RecvRing {
+        let mr = api.register_mr(Backing::zeroed(slots as usize * CTRL_SLOT_LEN));
+        for slot in 0..slots {
+            Self::post(api, qp, mr, slot);
+        }
+        RecvRing { mr }
+    }
+
+    fn post(api: &mut Api, qp: QpId, mr: MrId, slot: u32) {
+        api.post_recv(
+            qp,
+            RecvWr {
+                wr_id: slot as u64,
+                local: MrSlice::new(mr, slot as u64 * CTRL_SLOT_LEN as u64, CTRL_SLOT_LEN as u64),
+            },
+        )
+        .expect("control recv post failed");
+    }
+
+    /// Decode the message in `slot` and repost the buffer.
+    fn take(&self, api: &mut Api, qp: QpId, slot: u32, len: u64) -> CtrlMsg {
+        let off = slot as u64 * CTRL_SLOT_LEN as u64;
+        let msg = {
+            let bytes = api.mr(self.mr).bytes(off, len);
+            CtrlMsg::decode(bytes).expect("undecodable control message")
+        };
+        Self::post(api, qp, self.mr, slot);
+        msg
+    }
+}
+
+/// Per-block in-flight bookkeeping at the source.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    seq: u32,
+    /// Offset of the block within the current job.
+    offset: u64,
+    /// Payload bytes (short for the tail block).
+    len: u32,
+    /// Sink slot the credit named (filled at dispatch).
+    sink_slot: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SrcPhase {
+    AwaitAccept,
+    Transfer,
+    Draining,
+    Done,
+    Failed,
+}
+
+/// The data-source protocol engine.
+pub struct SourceEngine {
+    cfg: SourceConfig,
+    ctrl_qp: QpId,
+    loader_threads: Vec<ThreadId>,
+    data_threads: Vec<ThreadId>,
+    data_cqs: Vec<CqId>,
+
+    pool_mr: MrId,
+    pool: SourcePool,
+    ctrl_tx: Option<CtrlRing>,
+    ctrl_rx: Option<RecvRing>,
+    data_qps: Vec<QpId>,
+    rr_qp: usize,
+
+    // Current job/session state.
+    job_idx: usize,
+    session: u32,
+    phase: SrcPhase,
+    next_seq: u32,
+    next_load_off: u64,
+    job_blocks: u64,
+    blocks_completed: u64,
+    loads_in_flight: u32,
+    next_loader: usize,
+    /// Blocks loaded but not yet dispatched, ordered by sequence number.
+    /// Dispatching strictly in sequence order is load-bearing: if a later
+    /// sequence could take the last credits while an earlier one is still
+    /// loading, the sink's bounded pool could fill with blocks its
+    /// in-order consumer cannot accept — a head-of-line deadlock (the
+    /// live-thread port of this engine exposed it).
+    loaded_order: ReorderBuffer<BlockIdx>,
+    loaded_q: VecDeque<BlockIdx>,
+    inflight: Vec<Option<InFlight>>,
+    credits: CreditStock,
+    starved_since: Option<SimTime>,
+
+    /// Token namespace when several engines share one host application.
+    token_tag: u8,
+
+    pub stats: SourceStats,
+    pub done: bool,
+    pub failure: Option<String>,
+}
+
+impl SourceEngine {
+    /// Build an engine. `ctrl_qp` must already be connected to the sink's
+    /// control QP; `threads` are pre-spawned on the host (see
+    /// [`crate::harness`]).
+    pub fn new(
+        cfg: SourceConfig,
+        ctrl_qp: QpId,
+        loader_threads: Vec<ThreadId>,
+        data_threads: Vec<ThreadId>,
+    ) -> SourceEngine {
+        assert!(!cfg.jobs.is_empty(), "no jobs configured");
+        assert!(!loader_threads.is_empty() && !data_threads.is_empty());
+        let geo = PoolGeometry::new(cfg.block_size, cfg.pool_blocks);
+        let pool = SourcePool::new(geo);
+        let inflight = vec![None; cfg.pool_blocks as usize];
+        let job0 = cfg.jobs[0];
+        let job_blocks = cfg.blocks_for(job0);
+        SourceEngine {
+            session: cfg.first_session,
+            cfg,
+            ctrl_qp,
+            loader_threads,
+            data_threads,
+            data_cqs: Vec::new(),
+            pool_mr: MrId(0),
+            pool,
+            ctrl_tx: None,
+            ctrl_rx: None,
+            data_qps: Vec::new(),
+            rr_qp: 0,
+            job_idx: 0,
+            phase: SrcPhase::AwaitAccept,
+            next_seq: 0,
+            next_load_off: 0,
+            job_blocks,
+            blocks_completed: 0,
+            loads_in_flight: 0,
+            next_loader: 0,
+            loaded_order: ReorderBuffer::new(),
+            loaded_q: VecDeque::new(),
+            inflight,
+            credits: CreditStock::new(),
+            starved_since: None,
+            token_tag: 0,
+            stats: SourceStats::default(),
+            done: false,
+            failure: None,
+        }
+    }
+
+    /// Assign a token namespace (required when composing several engines
+    /// into one host application, e.g. parallel jobs).
+    pub fn with_token_tag(mut self, tag: u8) -> SourceEngine {
+        self.token_tag = tag;
+        self
+    }
+
+    pub fn is_finished(&self) -> bool {
+        self.done || self.failure.is_some()
+    }
+
+    /// Does this engine own `qp` (its control QP or one of its data
+    /// channels)? Used by [`crate::duplex::DuplexEngine`] to route
+    /// completions when a host runs a source and a sink side by side.
+    pub fn owns_qp(&self, qp: QpId) -> bool {
+        qp == self.ctrl_qp || self.data_qps.contains(&qp)
+    }
+
+    /// Wakeup tokens this engine understands (loader kind + its tag).
+    pub fn owns_token(&self, token: u64) -> bool {
+        tok_kind(token) == TOK_LOAD && tok_tag(token) == self.token_tag
+    }
+
+    /// One-line state dump for debugging stalls.
+    pub fn debug_snapshot(&self) -> String {
+        let sq: Vec<u32> = Vec::new();
+        let _ = sq;
+        format!(
+            "src: phase={:?} seq={} loaded_q={} credits={} loads_inflight={} completed={}/{} pool_free={} req_out={}",
+            self.phase,
+            self.next_seq,
+            self.loaded_q.len(),
+            self.credits.available(),
+            self.loads_in_flight,
+            self.blocks_completed,
+            self.job_blocks,
+            self.pool.free_count(),
+            self.credits.request_outstanding,
+        )
+    }
+
+    fn job_bytes(&self) -> u64 {
+        self.cfg.jobs[self.job_idx]
+    }
+
+    fn fail(&mut self, why: impl Into<String>) {
+        self.failure = Some(why.into());
+        self.phase = SrcPhase::Failed;
+    }
+
+    fn send_ctrl(&mut self, api: &mut Api, msg: CtrlMsg) {
+        if self.cfg.record_trace && self.stats.trace.len() < 10_000 {
+            self.stats
+                .trace
+                .push(format!("{} src --> {msg:?}", api.now()));
+        }
+        let ring = self.ctrl_tx.as_mut().expect("ctrl ring not built");
+        self.stats.ctrl_msgs_sent += ring.send(api, self.ctrl_qp, msg);
+    }
+
+    /// Start filling free blocks, up to one outstanding load per loader
+    /// thread (the paper's loader pool).
+    fn kick_loaders(&mut self, api: &mut Api) {
+        while self.loads_in_flight < self.loader_threads.len() as u32
+            && self.next_load_off < self.job_bytes()
+        {
+            let Some(block) = self.pool.get_free() else {
+                break;
+            };
+            let len = (self.job_bytes() - self.next_load_off).min(self.cfg.block_size) as u32;
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.inflight[block as usize] = Some(InFlight {
+                seq,
+                offset: self.next_load_off,
+                len,
+                sink_slot: u32::MAX,
+            });
+            self.next_load_off += len as u64;
+            let thread = self.loader_threads[self.next_loader];
+            self.next_loader = (self.next_loader + 1) % self.loader_threads.len();
+            let cost = per_byte_cost(api.costs().load_per_byte_ps, len as u64);
+            api.work(thread, cost, tok_with_tag(TOK_LOAD, self.token_tag, block as u64));
+            self.loads_in_flight += 1;
+        }
+    }
+
+    fn on_load_done(&mut self, api: &mut Api, block: BlockIdx) {
+        self.loads_in_flight -= 1;
+        let inf = self.inflight[block as usize].expect("load for unknown block");
+        if self.cfg.real_data {
+            // Write the Fig. 7b payload header followed by pattern data.
+            let geo = self.pool.geometry();
+            let base = geo.offset(block);
+            let mut hdr = [0u8; PAYLOAD_HEADER_LEN];
+            PayloadHeader {
+                session: self.session,
+                seq: inf.seq,
+                offset: inf.offset,
+                len: inf.len,
+            }
+            .encode(&mut hdr);
+            let mr = api.mr_mut(self.pool_mr);
+            mr.write_bytes(base, &hdr);
+            mr.fill_pattern(
+                base + PAYLOAD_HEADER_LEN as u64,
+                inf.len as u64,
+                pattern_seed(self.session, inf.seq),
+            );
+        }
+        self.pool.loaded(block).expect("FSM: loaded");
+        for (_, b) in self.loaded_order.push(inf.seq, block) {
+            self.loaded_q.push_back(b);
+        }
+        self.kick_loaders(api);
+        self.try_dispatch(api);
+    }
+
+    /// Pair loaded blocks with credits and fire RDMA WRITEs across the
+    /// data channels.
+    fn try_dispatch(&mut self, api: &mut Api) {
+        if self.phase != SrcPhase::Transfer {
+            return;
+        }
+        'dispatch: while !self.loaded_q.is_empty() {
+            let Some(credit) = self.credits.take() else {
+                break;
+            };
+            let block = *self.loaded_q.front().expect("checked nonempty");
+            let inf = self.inflight[block as usize].expect("loaded block untracked");
+            let wire_len = inf.len as u64 + PAYLOAD_HEADER_LEN as u64;
+            if (credit.len as u64) < wire_len {
+                self.fail(format!(
+                    "credit too small: {} < {}",
+                    credit.len, wire_len
+                ));
+                return;
+            }
+            let geo = self.pool.geometry();
+            let local = MrSlice::new(self.pool_mr, geo.offset(block), wire_len);
+            let remote = RemoteSlice {
+                rkey: Rkey::from_raw(credit.rkey),
+                offset: credit.offset,
+            };
+            let imm = match self.cfg.notify {
+                NotifyMode::CtrlMsg => None,
+                NotifyMode::WriteImm => Some(pack_imm(credit.slot, inf.seq)),
+            };
+            // Try the data channels round-robin until one has SQ room.
+            let nqp = self.data_qps.len();
+            let mut posted = false;
+            for _ in 0..nqp {
+                let qp = self.data_qps[self.rr_qp];
+                self.rr_qp = (self.rr_qp + 1) % nqp;
+                let wr = WorkRequest::signaled(block as u64, WrOp::Write { local, remote, imm });
+                match api.post_send(qp, wr) {
+                    Ok(()) => {
+                        posted = true;
+                        break;
+                    }
+                    Err(rftp_fabric::PostError::SqFull) => {
+                        self.stats.sq_full_retries += 1;
+                        continue;
+                    }
+                    Err(e) => {
+                        self.fail(format!("post_send: {e:?}"));
+                        return;
+                    }
+                }
+            }
+            if !posted {
+                // All SQs full: put the credit back and retry on the next
+                // completion.
+                self.credits.restore(credit);
+                break 'dispatch;
+            }
+            self.loaded_q.pop_front();
+            self.inflight[block as usize]
+                .as_mut()
+                .expect("just read")
+                .sink_slot = credit.slot;
+            self.pool.start_sending(block).expect("FSM: start_sending");
+            self.pool.posted(block).expect("FSM: posted");
+        }
+
+        // Starvation bookkeeping + explicit credit request.
+        let now = api.now();
+        if !self.loaded_q.is_empty() && self.credits.is_empty() {
+            if self.starved_since.is_none() {
+                self.starved_since = Some(now);
+            }
+            if self.credits.should_request() {
+                self.stats.credit_requests += 1;
+                self.send_ctrl(api, CtrlMsg::MrRequest {
+                    session: self.session,
+                });
+            }
+        } else if let Some(since) = self.starved_since.take() {
+            self.stats.credit_starved += now.since(since);
+        }
+        self.stats.max_credit_stock = self.stats.max_credit_stock.max(self.credits.max_stock);
+    }
+
+    fn on_data_write_done(&mut self, api: &mut Api, cqe: &Cqe) {
+        if !cqe.ok() {
+            self.fail(format!("data write failed: {:?}", cqe.status));
+            return;
+        }
+        let block = cqe.wr_id as BlockIdx;
+        let inf = self.inflight[block as usize].take().expect("completion for idle block");
+        self.pool.complete(block).expect("FSM: complete");
+        self.stats.blocks_sent += 1;
+        self.stats.bytes_sent += inf.len as u64;
+        self.blocks_completed += 1;
+        if self.cfg.record_timeline && self.stats.timeline.len() < 65_536 {
+            let inflight = self
+                .inflight
+                .iter()
+                .filter(|x| x.is_some_and(|i| i.sink_slot != u32::MAX))
+                .count() as u32;
+            self.stats.timeline.push(crate::stats::TimelinePoint {
+                at: api.now(),
+                bytes: self.stats.bytes_sent,
+                credit_stock: self.credits.available(),
+                inflight,
+            });
+        }
+        if self.cfg.notify == NotifyMode::CtrlMsg {
+            // Safe only now: the WRITE completion proves the payload is
+            // placed at the sink, so the notification cannot overtake it.
+            self.send_ctrl(api, CtrlMsg::BlockComplete {
+                session: self.session,
+                seq: inf.seq,
+                slot: inf.sink_slot,
+                len: inf.len,
+            });
+        }
+        if self.blocks_completed == self.job_blocks {
+            self.send_ctrl(api, CtrlMsg::DatasetComplete {
+                session: self.session,
+                total_blocks: self.job_blocks as u32,
+            });
+            self.phase = SrcPhase::Draining;
+        } else {
+            self.kick_loaders(api);
+            self.try_dispatch(api);
+        }
+    }
+
+    fn maybe_advance_job(&mut self, api: &mut Api) {
+        if self.phase != SrcPhase::Draining
+            || !self.ctrl_tx.as_ref().expect("ring").idle()
+        {
+            return;
+        }
+        self.stats.sessions_completed += 1;
+        self.job_idx += 1;
+        if self.job_idx == self.cfg.jobs.len() {
+            self.phase = SrcPhase::Done;
+            self.done = true;
+            self.stats.finished_at = api.now();
+            return;
+        }
+        // Next job: new session over the same QPs and the same registered
+        // pool (channels = 0 ⇒ reuse).
+        self.session += 1;
+        self.next_seq = 0;
+        self.next_load_off = 0;
+        self.loaded_order = ReorderBuffer::new();
+        self.blocks_completed = 0;
+        self.job_blocks = self.cfg.blocks_for(self.job_bytes());
+        self.credits = CreditStock::new();
+        self.phase = SrcPhase::AwaitAccept;
+        let msg = CtrlMsg::SessionRequest {
+            session: self.session,
+            block_size: self.cfg.block_size,
+            channels: 0,
+            total_bytes: self.job_bytes(),
+            notify_imm: self.cfg.notify == NotifyMode::WriteImm,
+        };
+        self.send_ctrl(api, msg);
+    }
+
+    fn on_ctrl_msg(&mut self, api: &mut Api, msg: CtrlMsg) {
+        self.stats.ctrl_msgs_received += 1;
+        if self.cfg.record_trace && self.stats.trace.len() < 10_000 {
+            self.stats
+                .trace
+                .push(format!("{} src <-- {msg:?}", api.now()));
+        }
+        match msg {
+            CtrlMsg::SessionAccept {
+                session,
+                block_size,
+                data_qpns,
+            } => {
+                if session != self.session || block_size != self.cfg.block_size {
+                    self.fail("accept for wrong session/parameters");
+                    return;
+                }
+                if self.data_qps.is_empty() {
+                    // First session: build and connect the data channels.
+                    for (i, qpn) in data_qpns.iter().enumerate() {
+                        let cq = self.data_cqs[i % self.data_cqs.len()];
+                        let qp = api.create_qp(QpOptions::default(), cq, cq);
+                        if let Err(e) = api.connect(qp, QpId(*qpn)) {
+                            self.fail(format!("connect: {e:?}"));
+                            return;
+                        }
+                        self.data_qps.push(qp);
+                    }
+                    self.send_ctrl(api, CtrlMsg::ChannelsReady {
+                        session: self.session,
+                    });
+                }
+                self.phase = SrcPhase::Transfer;
+                self.kick_loaders(api);
+                self.try_dispatch(api);
+            }
+            CtrlMsg::SessionReject { reason, .. } => {
+                self.fail(format!("session rejected: reason {reason}"));
+            }
+            CtrlMsg::Credits { session, credits } => {
+                if session != self.session {
+                    // Stale credits from a finished session: drop.
+                    return;
+                }
+                self.credits.deposit(credits);
+                self.try_dispatch(api);
+            }
+            other => {
+                self.fail(format!("unexpected control message at source: {other:?}"));
+            }
+        }
+    }
+}
+
+impl Application for SourceEngine {
+    fn on_start(&mut self, api: &mut Api) {
+        self.stats.started_at = api.now();
+        // Registered resources: one big data pool + control rings. The
+        // pool is registered once and reused for every block and session.
+        let geo = self.pool.geometry();
+        let backing = if self.cfg.real_data {
+            Backing::zeroed(geo.total_bytes() as usize)
+        } else {
+            Backing::Virtual(geo.total_bytes())
+        };
+        self.pool_mr = api.register_mr(backing);
+        self.ctrl_tx = Some(CtrlRing::create(api, self.cfg.ctrl_ring_slots));
+        self.ctrl_rx = Some(RecvRing::create_and_post(
+            api,
+            self.ctrl_qp,
+            self.cfg.ctrl_ring_slots,
+        ));
+        for i in 0..self.cfg.data_cq_threads {
+            let t = self.data_threads[i as usize % self.data_threads.len()];
+            self.data_cqs.push(api.create_cq(t));
+        }
+        let msg = CtrlMsg::SessionRequest {
+            session: self.session,
+            block_size: self.cfg.block_size,
+            channels: self.cfg.channels,
+            total_bytes: self.job_bytes(),
+            notify_imm: self.cfg.notify == NotifyMode::WriteImm,
+        };
+        self.send_ctrl(api, msg);
+        // Loading can start before the accept arrives.
+        self.kick_loaders(api);
+    }
+
+    fn on_cqe(&mut self, cqe: &Cqe, api: &mut Api) {
+        if self.phase == SrcPhase::Failed {
+            return;
+        }
+        if cqe.qp == self.ctrl_qp {
+            match cqe.kind {
+                CqeKind::Send => {
+                    if !cqe.ok() {
+                        self.fail(format!("ctrl send failed: {:?}", cqe.status));
+                        return;
+                    }
+                    let ring = self.ctrl_tx.as_mut().expect("ring");
+                    self.stats.ctrl_msgs_sent +=
+                        ring.on_sent(api, self.ctrl_qp, cqe.wr_id as u32);
+                    self.maybe_advance_job(api);
+                }
+                CqeKind::Recv => {
+                    if !cqe.ok() {
+                        self.fail(format!("ctrl recv failed: {:?}", cqe.status));
+                        return;
+                    }
+                    let ring = self.ctrl_rx.as_ref().expect("ring");
+                    let msg = ring.take(api, self.ctrl_qp, cqe.wr_id as u32, cqe.bytes);
+                    self.on_ctrl_msg(api, msg);
+                }
+                other => self.fail(format!("unexpected ctrl completion {other:?}")),
+            }
+        } else {
+            debug_assert_eq!(cqe.kind, CqeKind::RdmaWrite);
+            self.on_data_write_done(api, cqe);
+        }
+    }
+
+    fn on_wakeup(&mut self, token: u64, api: &mut Api) {
+        if self.phase == SrcPhase::Failed {
+            return;
+        }
+        match tok_kind(token) {
+            TOK_LOAD => self.on_load_done(api, tok_payload(token) as BlockIdx),
+            other => panic!("source: unknown wakeup token kind {other:#x}"),
+        }
+    }
+}
+
+/// Pack (sink slot, sequence) into a 32-bit immediate for `WriteImm`
+/// notification mode: slot in the high 16 bits, the low 16 bits of the
+/// sequence below. The sequence is reconstructed at the sink from its
+/// expected window (valid while fewer than 2^16 blocks are in flight).
+pub fn pack_imm(slot: u32, seq: u32) -> u32 {
+    assert!(slot < (1 << 16), "WriteImm mode supports 2^16 sink slots");
+    (slot << 16) | (seq & 0xFFFF)
+}
+
+/// Unpack an immediate at the sink given the reorder buffer's expected
+/// sequence number.
+pub fn unpack_imm(imm: u32, expected_seq: u32) -> (u32, u32) {
+    let slot = imm >> 16;
+    let seq16 = (imm & 0xFFFF) as u16;
+    let delta = seq16.wrapping_sub(expected_seq as u16);
+    (slot, expected_seq.wrapping_add(delta as u32))
+}
+
+fn pattern_seed(session: u32, seq: u32) -> u64 {
+    ((session as u64) << 32) | seq as u64
+}
+
+/// Per-session sink state.
+struct SnkSession {
+    reorder: ReorderBuffer<(u32, u32)>, // seq -> (slot, len)
+    delivered: u64,
+    total_blocks: Option<u32>,
+    notify_imm: bool,
+    /// Credits advertised to the source and not yet written into. Any
+    /// still outstanding at teardown are revoked back to the free pool —
+    /// otherwise every session would strand the source's leftover stock.
+    granted_outstanding: Vec<u32>,
+}
+
+/// The data-sink protocol engine.
+pub struct SinkEngine {
+    cfg: SinkConfig,
+    ctrl_qp: QpId,
+    data_threads: Vec<ThreadId>,
+    consumer_thread: ThreadId,
+    data_cqs: Vec<CqId>,
+
+    pool_mr: MrId,
+    pool: Option<SinkPool>,
+    granter: Granter,
+    ctrl_tx: Option<CtrlRing>,
+    ctrl_rx: Option<RecvRing>,
+    data_qps: Vec<QpId>,
+    /// Zero-length buffers backing WriteImm receives.
+    imm_rq_mr: MrId,
+    /// Shared receive queue feeding all data channels in WriteImm mode,
+    /// so pre-posting scales with the pool rather than channel count.
+    imm_srq: Option<rftp_fabric::SrqId>,
+
+    sessions: HashMap<u32, SnkSession>,
+    active_session: u32,
+    device: Option<DeviceId>,
+    deliver_q: VecDeque<(u32, u32, u32, u32)>, // (session, seq, slot, len)
+    consuming: bool,
+    consuming_len: Option<u32>,
+    token_tag: u8,
+
+    pub stats: SinkStats,
+    pub failure: Option<String>,
+}
+
+impl SinkEngine {
+    pub fn new(
+        cfg: SinkConfig,
+        ctrl_qp: QpId,
+        data_threads: Vec<ThreadId>,
+        consumer_thread: ThreadId,
+    ) -> SinkEngine {
+        let granter = Granter::new(
+            cfg.credit_mode,
+            cfg.initial_credits,
+            cfg.grant_per_completion,
+            cfg.grant_per_request,
+        );
+        SinkEngine {
+            cfg,
+            ctrl_qp,
+            data_threads,
+            consumer_thread,
+            data_cqs: Vec::new(),
+            pool_mr: MrId(0),
+            pool: None,
+            granter,
+            ctrl_tx: None,
+            ctrl_rx: None,
+            data_qps: Vec::new(),
+            imm_rq_mr: MrId(0),
+            imm_srq: None,
+            sessions: HashMap::new(),
+            active_session: 0,
+            device: None,
+            deliver_q: VecDeque::new(),
+            consuming: false,
+            consuming_len: None,
+            token_tag: 0,
+            stats: SinkStats::default(),
+            failure: None,
+        }
+    }
+
+    /// Assign a token namespace (for composite host applications).
+    pub fn with_token_tag(mut self, tag: u8) -> SinkEngine {
+        self.token_tag = tag;
+        self
+    }
+
+    /// Does this engine own `qp`?
+    pub fn owns_qp(&self, qp: QpId) -> bool {
+        qp == self.ctrl_qp || self.data_qps.contains(&qp)
+    }
+
+    /// Wakeup tokens this engine understands (consumer kind + its tag).
+    pub fn owns_token(&self, token: u64) -> bool {
+        tok_kind(token) == TOK_CONSUME && tok_tag(token) == self.token_tag
+    }
+
+    /// One-line state dump for debugging stalls.
+    pub fn debug_snapshot(&self) -> String {
+        use crate::block::SnkState;
+        let (mut free, mut waiting, mut ready) = (0, 0, 0);
+        if let Some(pool) = &self.pool {
+            for i in 0..pool.geometry().blocks {
+                match pool.state(i) {
+                    SnkState::Free => free += 1,
+                    SnkState::Waiting => waiting += 1,
+                    SnkState::DataReady => ready += 1,
+                }
+            }
+        }
+        let held: usize = self.sessions.values().map(|s| s.reorder.held()).sum();
+        format!(
+            "snk: free={free} waiting={waiting} ready={ready} deliver_q={} consuming={} reorder_held={held} granted_total={} pending_req={}",
+            self.deliver_q.len(),
+            self.consuming,
+            self.granter.granted_total,
+            self.granter.pending_request,
+        )
+    }
+
+    /// All sessions that were opened have fully delivered their datasets.
+    pub fn all_sessions_complete(&self) -> bool {
+        !self.sessions.is_empty()
+            && self.sessions.values().all(|s| {
+                s.total_blocks
+                    .is_some_and(|t| s.delivered == t as u64)
+            })
+    }
+
+    fn fail(&mut self, why: impl Into<String>) {
+        self.failure = Some(why.into());
+    }
+
+    fn send_ctrl(&mut self, api: &mut Api, msg: CtrlMsg) {
+        if self.cfg.record_trace && self.stats.trace.len() < 10_000 {
+            self.stats
+                .trace
+                .push(format!("{} snk --> {msg:?}", api.now()));
+        }
+        let ring = self.ctrl_tx.as_mut().expect("ctrl ring not built");
+        self.stats.ctrl_msgs_sent += ring.send(api, self.ctrl_qp, msg);
+    }
+
+    /// Advertise up to `want` free blocks to the source.
+    fn grant_credits(&mut self, api: &mut Api, session: u32, want: u32) {
+        if want == 0 {
+            return;
+        }
+        let rkey = api.mr(self.pool_mr).rkey().raw();
+        let pool = self.pool.as_mut().expect("pool not built");
+        let geo = pool.geometry();
+        let mut batch: Vec<Credit> = Vec::with_capacity(want as usize);
+        for _ in 0..want {
+            let Some(slot) = pool.grant() else {
+                break;
+            };
+            batch.push(Credit {
+                slot,
+                rkey,
+                offset: geo.offset(slot),
+                len: geo.slot_bytes() as u32,
+            });
+        }
+        if batch.is_empty() {
+            return;
+        }
+        if let Some(sess) = self.sessions.get_mut(&session) {
+            sess.granted_outstanding
+                .extend(batch.iter().map(|c| c.slot));
+        }
+        self.granter.note_granted(batch.len() as u32);
+        self.stats.credits_granted += batch.len() as u64;
+        for chunk in batch.chunks(MAX_CREDITS_PER_MSG) {
+            self.send_ctrl(api, CtrlMsg::Credits {
+                session,
+                credits: chunk.to_vec(),
+            });
+        }
+    }
+
+    fn on_session_request(
+        &mut self,
+        api: &mut Api,
+        session: u32,
+        block_size: u64,
+        channels: u16,
+        total_bytes: u64,
+        notify_imm: bool,
+    ) {
+        if block_size > self.cfg.max_block_size {
+            self.send_ctrl(api, CtrlMsg::SessionReject {
+                session,
+                reason: reject_reason::BLOCK_TOO_LARGE,
+            });
+            return;
+        }
+        if channels > self.cfg.max_channels {
+            self.send_ctrl(api, CtrlMsg::SessionReject {
+                session,
+                reason: reject_reason::TOO_MANY_CHANNELS,
+            });
+            return;
+        }
+        // Build (or reuse) the registered pool. Geometry changes force a
+        // re-registration; sequential same-size jobs reuse the region.
+        let geo = PoolGeometry::new(block_size, self.cfg.pool_blocks);
+        let rebuild = self
+            .pool
+            .as_ref()
+            .map(|p| p.geometry().slot_bytes() != geo.slot_bytes())
+            .unwrap_or(true);
+        if rebuild {
+            let backing = if self.cfg.real_data {
+                Backing::zeroed(geo.total_bytes() as usize)
+            } else {
+                Backing::Virtual(geo.total_bytes())
+            };
+            self.pool_mr = api.register_mr(backing);
+            self.pool = Some(SinkPool::new(geo));
+        }
+        // Provision data channels (first session; later sessions reuse).
+        // In write-with-immediate mode every channel draws its receives
+        // from one shared receive queue.
+        if channels > 0 && self.data_qps.is_empty() {
+            let srq = if notify_imm {
+                let srq = api.create_srq();
+                self.imm_srq = Some(srq);
+                Some(srq)
+            } else {
+                None
+            };
+            for i in 0..channels {
+                let cq = self.data_cqs[i as usize % self.data_cqs.len()];
+                let opts = QpOptions {
+                    srq,
+                    ..QpOptions::default()
+                };
+                let qp = api.create_qp(opts, cq, cq);
+                self.data_qps.push(qp);
+            }
+        }
+        if notify_imm {
+            // Pre-post zero-length receives (one per potential in-flight
+            // block, pool-sized with headroom) to absorb the immediates.
+            let srq = self.imm_srq.expect("imm mode without SRQ");
+            let want = (self.cfg.pool_blocks * 2).max(64);
+            for _ in 0..want {
+                api.post_srq_recv(
+                    srq,
+                    RecvWr {
+                        wr_id: 0,
+                        local: MrSlice::new(self.imm_rq_mr, 0, 0),
+                    },
+                )
+                .expect("imm srq post");
+            }
+        }
+        self.sessions.insert(session, SnkSession {
+            reorder: ReorderBuffer::new(),
+            delivered: 0,
+            total_blocks: None,
+            notify_imm,
+            granted_outstanding: Vec::new(),
+        });
+        self.active_session = session;
+        let _ = total_bytes;
+        let qpns = self.data_qps.iter().map(|q| q.0).collect();
+        self.send_ctrl(api, CtrlMsg::SessionAccept {
+            session,
+            block_size,
+            data_qpns: qpns,
+        });
+        let initial = self.granter.on_accept();
+        let free = self.pool.as_ref().expect("pool").free_count() as u32;
+        self.grant_credits(api, session, initial.min(free));
+    }
+
+    /// A block landed (notification via control message or immediate).
+    fn on_block_arrival(&mut self, api: &mut Api, session: u32, seq: u32, slot: u32, len: u32) {
+        let pool = self.pool.as_mut().expect("pool");
+        if let Err(e) = pool.ready(slot) {
+            self.fail(format!("block arrival: {e}"));
+            return;
+        }
+        if self.cfg.real_data {
+            self.verify_block(api, session, seq, slot, len);
+        }
+        let Some(sess) = self.sessions.get_mut(&session) else {
+            self.fail(format!("block for unknown session {session}"));
+            return;
+        };
+        if let Some(pos) = sess.granted_outstanding.iter().position(|&s| s == slot) {
+            sess.granted_outstanding.swap_remove(pos);
+        }
+        let before_ooo = sess.reorder.ooo_arrivals;
+        let deliverable = sess.reorder.push(seq, (slot, len));
+        self.stats.ooo_blocks += sess.reorder.ooo_arrivals - before_ooo;
+        self.stats.max_reorder_depth = self.stats.max_reorder_depth.max(sess.reorder.max_held);
+        for (s, (slot, len)) in deliverable {
+            self.deliver_q.push_back((session, s, slot, len));
+        }
+        // Proactive feedback: up to two fresh credits ride every
+        // completion notification ("exponential increase ... similar to
+        // the slow start of TCP").
+        let want = self.granter.on_completion();
+        self.grant_credits(api, session, want);
+        self.kick_consumer(api);
+    }
+
+    /// Validate the payload header and pattern of a received block
+    /// (real-data mode: end-to-end integrity check).
+    fn verify_block(&mut self, api: &mut Api, session: u32, seq: u32, slot: u32, len: u32) {
+        let geo = self.pool.as_ref().expect("pool").geometry();
+        let base = geo.offset(slot);
+        let mr = api.mr(self.pool_mr);
+        let hdr = PayloadHeader::decode(mr.bytes(base, PAYLOAD_HEADER_LEN as u64))
+            .expect("payload header decode");
+        let mut ok = hdr.session == session && hdr.seq == seq && hdr.len == len;
+        if ok {
+            // Spot-check the pattern via checksum of the payload.
+            let expect = expected_checksum(session, seq, len);
+            let got = mr.checksum(base + PAYLOAD_HEADER_LEN as u64, len as u64);
+            ok = expect == got;
+        }
+        if !ok {
+            self.stats.checksum_failures += 1;
+        }
+    }
+
+    /// Deliver in-order blocks to the consumer, one at a time.
+    fn kick_consumer(&mut self, api: &mut Api) {
+        if self.consuming {
+            return;
+        }
+        let Some((session, _seq, slot, len)) = self.deliver_q.pop_front() else {
+            return;
+        };
+        self.consuming = true;
+        self.consuming_len = Some(len);
+        debug_assert!(session < (1 << 16), "session id overflows the token layout");
+        let token = tok_with_tag(TOK_CONSUME, self.token_tag, ((session as u64) << 32) | slot as u64);
+        match self.cfg.consume {
+            ConsumeMode::Null => {
+                let cost = per_byte_cost(api.costs().sink_per_byte_ps, len as u64);
+                api.work(self.consumer_thread, cost, token);
+            }
+            ConsumeMode::Disk { rate, direct_io } => {
+                if self.device.is_none() {
+                    self.device = Some(api.create_device(rate));
+                }
+                let dev = self.device.expect("device");
+                // Direct I/O skips the kernel buffer copy but still pays
+                // the write syscall; POSIX buffered writes additionally
+                // pay the user→kernel copy per byte.
+                let cpu_ps = if direct_io {
+                    api.costs().disk_direct_per_byte_ps
+                } else {
+                    api.costs().disk_buffered_per_byte_ps
+                };
+                let cost = api.costs().syscall + per_byte_cost(cpu_ps, len as u64);
+                api.charge_on(self.consumer_thread, cost);
+                api.device_submit(dev, len as u64, self.consumer_thread, token);
+            }
+        }
+    }
+
+    fn on_consume_done(&mut self, api: &mut Api, session: u32, slot: u32) {
+        let len = self
+            .consuming_len
+            .take()
+            .expect("consume completion without active consume");
+        let pool = self.pool.as_mut().expect("pool");
+        pool.put_free(slot).expect("FSM: put_free");
+        let Some(sess) = self.sessions.get_mut(&session) else {
+            return;
+        };
+        sess.delivered += 1;
+        self.stats.blocks_delivered += 1;
+        self.stats.bytes_delivered += len as u64;
+        self.consuming = false;
+        // A starved MrRequest is answered as soon as a block frees up
+        // ("the responder will be delayed until one becomes available").
+        let owed = self.granter.on_block_freed();
+        self.grant_credits(api, session, owed);
+        self.check_session_done(api, session);
+        self.kick_consumer(api);
+    }
+
+    fn check_session_done(&mut self, api: &mut Api, session: u32) {
+        let Some(sess) = self.sessions.get(&session) else {
+            return;
+        };
+        if sess.total_blocks.is_some_and(|t| sess.delivered == t as u64) {
+            self.stats.sessions_completed += 1;
+            self.stats.finished_at = api.now();
+        }
+    }
+
+    fn on_ctrl_msg(&mut self, api: &mut Api, msg: CtrlMsg) {
+        self.stats.ctrl_msgs_received += 1;
+        if self.cfg.record_trace && self.stats.trace.len() < 10_000 {
+            self.stats
+                .trace
+                .push(format!("{} snk <-- {msg:?}", api.now()));
+        }
+        match msg {
+            CtrlMsg::SessionRequest {
+                session,
+                block_size,
+                channels,
+                total_bytes,
+                notify_imm,
+            } => self.on_session_request(api, session, block_size, channels, total_bytes, notify_imm),
+            CtrlMsg::ChannelsReady { .. } => {}
+            CtrlMsg::BlockComplete {
+                session,
+                seq,
+                slot,
+                len,
+            } => self.on_block_arrival(api, session, seq, slot, len),
+            CtrlMsg::MrRequest { session } => {
+                let free = self.pool.as_ref().map(|p| p.free_count()).unwrap_or(0);
+                let n = self.granter.on_request(free);
+                self.grant_credits(api, session, n);
+            }
+            CtrlMsg::DatasetComplete {
+                session,
+                total_blocks,
+            } => {
+                if let Some(sess) = self.sessions.get_mut(&session) {
+                    sess.total_blocks = Some(total_blocks);
+                    // Revoke credits the source never used: the session is
+                    // over, so those advertisements are dead and their
+                    // blocks must rejoin the free pool for the next job.
+                    let leftovers = std::mem::take(&mut sess.granted_outstanding);
+                    if let Some(pool) = self.pool.as_mut() {
+                        for slot in leftovers {
+                            pool.revoke(slot).expect("revoke granted block");
+                        }
+                    }
+                }
+                self.check_session_done(api, session);
+            }
+            other => self.fail(format!("unexpected control message at sink: {other:?}")),
+        }
+    }
+}
+
+impl Application for SinkEngine {
+    fn on_start(&mut self, api: &mut Api) {
+        self.ctrl_tx = Some(CtrlRing::create(api, self.cfg.ctrl_ring_slots));
+        self.ctrl_rx = Some(RecvRing::create_and_post(
+            api,
+            self.ctrl_qp,
+            self.cfg.ctrl_ring_slots,
+        ));
+        self.imm_rq_mr = api.register_mr(Backing::zeroed(64));
+        for i in 0..self.cfg.data_cq_threads {
+            let t = self.data_threads[i as usize % self.data_threads.len()];
+            self.data_cqs.push(api.create_cq(t));
+        }
+    }
+
+    fn on_cqe(&mut self, cqe: &Cqe, api: &mut Api) {
+        if self.failure.is_some() {
+            return;
+        }
+        if cqe.qp == self.ctrl_qp {
+            match cqe.kind {
+                CqeKind::Send => {
+                    if !cqe.ok() {
+                        self.fail(format!("ctrl send failed: {:?}", cqe.status));
+                        return;
+                    }
+                    let ring = self.ctrl_tx.as_mut().expect("ring");
+                    self.stats.ctrl_msgs_sent +=
+                        ring.on_sent(api, self.ctrl_qp, cqe.wr_id as u32);
+                }
+                CqeKind::Recv => {
+                    if !cqe.ok() {
+                        self.fail(format!("ctrl recv failed: {:?}", cqe.status));
+                        return;
+                    }
+                    let ring = self.ctrl_rx.as_ref().expect("ring");
+                    let msg = ring.take(api, self.ctrl_qp, cqe.wr_id as u32, cqe.bytes);
+                    self.on_ctrl_msg(api, msg);
+                }
+                other => self.fail(format!("unexpected ctrl completion {other:?}")),
+            }
+        } else {
+            // Data-QP completion: only WriteImm mode produces these.
+            debug_assert_eq!(cqe.kind, CqeKind::RecvRdmaWithImm);
+            let session = self.active_session;
+            let Some(sess) = self.sessions.get(&session) else {
+                self.fail("imm for unknown session");
+                return;
+            };
+            debug_assert!(sess.notify_imm);
+            let imm = cqe.imm.expect("imm completion without immediate");
+            let (slot, seq) = unpack_imm(imm, sess.reorder.expected());
+            let len = (cqe.bytes as u32).saturating_sub(PAYLOAD_HEADER_LEN as u32);
+            // Replenish the consumed zero-length receive on the SRQ.
+            api.post_srq_recv(
+                self.imm_srq.expect("imm mode without SRQ"),
+                RecvWr {
+                    wr_id: 0,
+                    local: MrSlice::new(self.imm_rq_mr, 0, 0),
+                },
+            )
+            .expect("imm srq repost");
+            self.on_block_arrival(api, session, seq, slot, len);
+        }
+    }
+
+    fn on_wakeup(&mut self, token: u64, api: &mut Api) {
+        if self.failure.is_some() {
+            return;
+        }
+        match tok_kind(token) {
+            TOK_CONSUME => {
+                let payload = tok_payload(token);
+                let session = (payload >> 32) as u32;
+                let slot = payload as u32;
+                self.on_consume_done(api, session, slot);
+            }
+            other => panic!("sink: unknown wakeup token kind {other:#x}"),
+        }
+    }
+}
+
+/// Checksum a generated pattern block without materializing it (what the
+/// sink expects to find after an intact transfer).
+pub fn expected_checksum(session: u32, seq: u32, len: u32) -> u64 {
+    // Mirrors MemoryRegion::fill_pattern + checksum over a scratch buffer.
+    let seed = pattern_seed(session, seq);
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for i in 0..len as u64 {
+        let x = (i ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= (x >> 32) as u8 as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imm_packing_roundtrip() {
+        for (slot, seq) in [(0u32, 0u32), (5, 1), (65535, 70000), (3, u32::MAX - 1)] {
+            let imm = pack_imm(slot, seq);
+            // Reconstruct with an expectation within 2^15 of the truth.
+            let (s2, q2) = unpack_imm(imm, seq.saturating_sub(100));
+            assert_eq!(s2, slot);
+            assert_eq!(q2, seq);
+            let (s3, q3) = unpack_imm(imm, seq);
+            assert_eq!((s3, q3), (slot, seq));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2^16 sink slots")]
+    fn imm_slot_overflow_panics() {
+        pack_imm(1 << 16, 0);
+    }
+
+    #[test]
+    fn token_encoding() {
+        let t = TOK_LOAD | 42;
+        assert_eq!(tok_kind(t), TOK_LOAD);
+        assert_eq!(tok_payload(t), 42);
+        let t = TOK_CONSUME | (7u64 << 32) | 9;
+        assert_eq!(tok_kind(t), TOK_CONSUME);
+        assert_eq!(tok_payload(t) >> 32, 7);
+        assert_eq!(tok_payload(t) as u32, 9);
+    }
+
+    #[test]
+    fn expected_checksum_is_stable_and_keyed() {
+        let a = expected_checksum(1, 2, 1024);
+        let b = expected_checksum(1, 2, 1024);
+        assert_eq!(a, b);
+        assert_ne!(a, expected_checksum(1, 3, 1024));
+        assert_ne!(a, expected_checksum(2, 2, 1024));
+        assert_ne!(a, expected_checksum(1, 2, 1023));
+    }
+}

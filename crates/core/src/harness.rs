@@ -1,0 +1,372 @@
+//! Experiment wiring: build a two-host fabric, spawn the middleware's
+//! thread pools, connect the control channel, and run a transfer to
+//! completion.
+//!
+//! This is the programmatic equivalent of starting an RFTP server and
+//! client on two testbed machines. The control queue pair is wired
+//! up-front (in reality `rdma_cm` does this before the protocol speaks);
+//! everything else — parameter negotiation, data-channel establishment,
+//! credits, teardown — happens in-protocol.
+
+use crate::config::{SinkConfig, SourceConfig};
+use crate::engine::{SinkEngine, SourceEngine};
+use crate::stats::{SinkStats, SourceStats};
+use rftp_fabric::{build_sim, two_host_fabric_with_frag, FabricWorld, HostId, QpOptions};
+use rftp_netsim::kernel::Sim;
+use rftp_netsim::testbed::Testbed;
+use rftp_netsim::time::{SimDur, SimTime};
+
+/// A fully wired transfer experiment, ready to run.
+pub struct Experiment {
+    pub sim: Sim<FabricWorld>,
+    pub src: HostId,
+    pub dst: HostId,
+}
+
+/// Results of a completed transfer.
+#[derive(Debug, Clone)]
+pub struct TransferReport {
+    pub source: SourceStats,
+    pub sink: SinkStats,
+    /// Wall-clock (simulated) duration from start to the source's finish.
+    pub elapsed: SimDur,
+    /// Application goodput in Gbps over the whole run.
+    pub goodput_gbps: f64,
+    /// Client (source host) CPU in nmon convention.
+    pub src_cpu_pct: f64,
+    /// Server (sink host) CPU.
+    pub dst_cpu_pct: f64,
+    /// Per-thread CPU breakdown, (label, pct), source then sink.
+    pub src_threads: Vec<(&'static str, f64)>,
+    pub dst_threads: Vec<(&'static str, f64)>,
+}
+
+/// Build an experiment on `tb` with the given endpoint configurations.
+pub fn build_experiment(tb: &Testbed, src_cfg: SourceConfig, snk_cfg: SinkConfig) -> Experiment {
+    build_experiment_with_frag(tb, src_cfg, snk_cfg, rftp_fabric::DEFAULT_FRAG_SIZE)
+}
+
+/// Like [`build_experiment`] with an explicit NIC fragment size (large
+/// sweeps trade arbitration granularity for event count).
+pub fn build_experiment_with_frag(
+    tb: &Testbed,
+    src_cfg: SourceConfig,
+    snk_cfg: SinkConfig,
+    frag_size: u64,
+) -> Experiment {
+    let (mut core, src, dst) = two_host_fabric_with_frag(tb, frag_size);
+
+    // Source threads: control poller, loaders, data-CQ pollers (Fig. 2).
+    let src_ctrl = core.hosts[src.index()].cpu.spawn("ctrl");
+    let loaders: Vec<_> = (0..src_cfg.loader_threads)
+        .map(|_| core.hosts[src.index()].cpu.spawn("loader"))
+        .collect();
+    let src_data: Vec<_> = (0..src_cfg.data_cq_threads)
+        .map(|_| core.hosts[src.index()].cpu.spawn("data"))
+        .collect();
+
+    // Sink threads: control poller, data-CQ pollers, consumer.
+    let dst_ctrl = core.hosts[dst.index()].cpu.spawn("ctrl");
+    let dst_data: Vec<_> = (0..snk_cfg.data_cq_threads)
+        .map(|_| core.hosts[dst.index()].cpu.spawn("data"))
+        .collect();
+    let consumer = core.hosts[dst.index()].cpu.spawn("consumer");
+
+    // Control channel, pre-wired (rdma_cm's job). Queue depths must
+    // cover the control rings: every ring slot can be outstanding at
+    // once on a long-RTT path.
+    let ring = src_cfg.ctrl_ring_slots.max(snk_cfg.ctrl_ring_slots);
+    let ctrl_opts = QpOptions {
+        sq_depth: ring + 8,
+        rq_depth: ring + 8,
+        ..QpOptions::default()
+    };
+    let src_ctrl_cq = core.hosts[src.index()].create_cq(src_ctrl);
+    let dst_ctrl_cq = core.hosts[dst.index()].create_cq(dst_ctrl);
+    let ctrl_a = core.create_qp(src, ctrl_opts, src_ctrl_cq, src_ctrl_cq);
+    let ctrl_b = core.create_qp(dst, ctrl_opts, dst_ctrl_cq, dst_ctrl_cq);
+    core.connect(ctrl_a, ctrl_b).expect("control connect");
+
+    let source = SourceEngine::new(src_cfg, ctrl_a, loaders, src_data);
+    let sink = SinkEngine::new(snk_cfg, ctrl_b, dst_data, consumer);
+    let sim = build_sim(core, vec![Some(Box::new(source)), Some(Box::new(sink))]);
+    Experiment { sim, src, dst }
+}
+
+impl Experiment {
+    /// Run until the transfer completes (or `horizon`). Panics on
+    /// protocol failure; returns the report.
+    pub fn run(mut self, horizon: SimDur) -> TransferReport {
+        let src = self.src;
+        let dst = self.dst;
+        let outcome = self.sim.run_until(SimTime::ZERO + horizon, |w| {
+            let s: &SourceEngine = w.app(src);
+            let k: &SinkEngine = w.app(dst);
+            // Stop on failure either side, or when both endpoints have
+            // fully finished (the sink keeps consuming briefly after the
+            // source's teardown message).
+            s.failure.is_some()
+                || k.failure.is_some()
+                || (s.done && k.all_sessions_complete())
+        });
+        let w = self.sim.world();
+        let source: &SourceEngine = w.app(src);
+        let sink: &SinkEngine = w.app(dst);
+        if let Some(f) = &source.failure {
+            panic!("source failed: {f}");
+        }
+        if let Some(f) = &sink.failure {
+            panic!("sink failed: {f}");
+        }
+        assert!(
+            source.done,
+            "transfer did not finish before horizon ({outcome:?}, now={})",
+            self.sim.now()
+        );
+        let end = source.stats.finished_at;
+        let elapsed = end.since(source.stats.started_at);
+        TransferReport {
+            goodput_gbps: rftp_netsim::gbps(source.stats.bytes_sent, elapsed),
+            elapsed,
+            source: source.stats.clone(),
+            sink: sink.stats.clone(),
+            src_cpu_pct: w.core.hosts[src.index()].cpu.utilization_pct(end),
+            dst_cpu_pct: w.core.hosts[dst.index()].cpu.utilization_pct(end),
+            src_threads: w.core.hosts[src.index()].cpu.per_thread_pct(end),
+            dst_threads: w.core.hosts[dst.index()].cpu.per_thread_pct(end),
+        }
+    }
+
+    /// Run and also return the world for deeper inspection.
+    pub fn run_keep_world(mut self, horizon: SimDur) -> (TransferReport, Sim<FabricWorld>) {
+        let src = self.src;
+        let dst = self.dst;
+        self.sim.run_until(SimTime::ZERO + horizon, |w| {
+            let s: &SourceEngine = w.app(src);
+            let k: &SinkEngine = w.app(dst);
+            s.failure.is_some()
+                || k.failure.is_some()
+                || (s.done && k.all_sessions_complete())
+        });
+        let report = {
+            let w = self.sim.world();
+            let source: &SourceEngine = w.app(src);
+            let sink: &SinkEngine = w.app(dst);
+            assert!(source.failure.is_none() && sink.failure.is_none() && source.done);
+            let end = source.stats.finished_at;
+            let elapsed = end.since(source.stats.started_at);
+            TransferReport {
+                goodput_gbps: rftp_netsim::gbps(source.stats.bytes_sent, elapsed),
+                elapsed,
+                source: source.stats.clone(),
+                sink: sink.stats.clone(),
+                src_cpu_pct: w.core.hosts[src.index()].cpu.utilization_pct(end),
+                dst_cpu_pct: w.core.hosts[dst.index()].cpu.utilization_pct(end),
+                src_threads: w.core.hosts[src.index()].cpu.per_thread_pct(end),
+                dst_threads: w.core.hosts[dst.index()].cpu.per_thread_pct(end),
+            }
+        };
+        (report, self.sim)
+    }
+}
+
+/// Convenience: run one memory-to-memory transfer with default sink
+/// policy and return the report.
+pub fn run_transfer(tb: &Testbed, src_cfg: SourceConfig) -> TransferReport {
+    build_experiment(tb, src_cfg, SinkConfig::default()).run(SimDur::from_secs(3600))
+}
+
+/// Run N independent jobs concurrently over one link: job `i` gets its
+/// own source engine on host A and sink engine on host B (distinct
+/// control QPs, pools, sessions, token tags), all sharing the wire.
+/// Returns per-job source stats plus total elapsed time.
+pub fn run_parallel_jobs(
+    tb: &Testbed,
+    jobs: Vec<(SourceConfig, SinkConfig)>,
+) -> (Vec<SourceStats>, SimDur) {
+    use crate::multi::{Endpoint, MultiEngine};
+    assert!(!jobs.is_empty() && jobs.len() <= 200);
+    let (mut core, a, b) = rftp_fabric::two_host_fabric(tb);
+    let mut a_parts = Vec::new();
+    let mut b_parts = Vec::new();
+    for (i, (src_cfg, snk_cfg)) in jobs.into_iter().enumerate() {
+        let tag = (i + 1) as u8;
+        let ring = src_cfg.ctrl_ring_slots.max(snk_cfg.ctrl_ring_slots);
+        let ctrl_opts = QpOptions {
+            sq_depth: ring + 8,
+            rq_depth: ring + 8,
+            ..QpOptions::default()
+        };
+        let src_ctrl = core.hosts[a.index()].cpu.spawn("ctrl");
+        let loaders: Vec<_> = (0..src_cfg.loader_threads)
+            .map(|_| core.hosts[a.index()].cpu.spawn("loader"))
+            .collect();
+        let src_data: Vec<_> = (0..src_cfg.data_cq_threads)
+            .map(|_| core.hosts[a.index()].cpu.spawn("data"))
+            .collect();
+        let dst_ctrl = core.hosts[b.index()].cpu.spawn("ctrl");
+        let dst_data: Vec<_> = (0..snk_cfg.data_cq_threads)
+            .map(|_| core.hosts[b.index()].cpu.spawn("data"))
+            .collect();
+        let consumer = core.hosts[b.index()].cpu.spawn("consumer");
+        let a_cq = core.hosts[a.index()].create_cq(src_ctrl);
+        let b_cq = core.hosts[b.index()].create_cq(dst_ctrl);
+        let qa = core.create_qp(a, ctrl_opts, a_cq, a_cq);
+        let qb = core.create_qp(b, ctrl_opts, b_cq, b_cq);
+        core.connect(qa, qb).expect("ctrl connect");
+        // Distinct session-id ranges per job keep wire traces readable.
+        let mut src_cfg = src_cfg;
+        src_cfg.first_session = (i as u32 + 1) * 1000;
+        a_parts.push(Endpoint::Source(
+            SourceEngine::new(src_cfg, qa, loaders, src_data).with_token_tag(tag),
+        ));
+        b_parts.push(Endpoint::Sink(
+            SinkEngine::new(snk_cfg, qb, dst_data, consumer).with_token_tag(tag),
+        ));
+    }
+    let app_a = MultiEngine::new(a_parts);
+    let app_b = MultiEngine::new(b_parts);
+    let mut sim = rftp_fabric::build_sim(core, vec![Some(Box::new(app_a)), Some(Box::new(app_b))]);
+    sim.run_until(SimTime::ZERO + SimDur::from_secs(36_000), |w| {
+        let ma: &MultiEngine = w.app(a);
+        let mb: &MultiEngine = w.app(b);
+        (ma.is_finished() && mb.is_finished())
+            || ma.failure().is_some()
+            || mb.failure().is_some()
+    });
+    let w = sim.world();
+    let ma: &MultiEngine = w.app(a);
+    let mb: &MultiEngine = w.app(b);
+    assert!(ma.failure().is_none(), "source side: {:?}", ma.failure());
+    assert!(mb.failure().is_none(), "sink side: {:?}", mb.failure());
+    assert!(ma.is_finished() && mb.is_finished(), "parallel jobs incomplete");
+    let stats: Vec<SourceStats> = ma
+        .endpoints
+        .iter()
+        .filter_map(|e| e.as_source().map(|s| s.stats.clone()))
+        .collect();
+    let end = stats
+        .iter()
+        .map(|s| s.finished_at)
+        .max()
+        .expect("at least one job");
+    (stats, end.since(SimTime::ZERO))
+}
+
+/// Results of a bidirectional (full-duplex) experiment.
+#[derive(Debug, Clone)]
+pub struct DuplexReport {
+    /// A→B direction.
+    pub forward: SourceStats,
+    /// B→A direction.
+    pub reverse: SourceStats,
+    pub forward_gbps: f64,
+    pub reverse_gbps: f64,
+    pub a_cpu_pct: f64,
+    pub b_cpu_pct: f64,
+}
+
+/// Run two simultaneous transfers in opposite directions over one link:
+/// host A uploads `a_cfg` to B while B uploads `b_cfg` to A. Each host
+/// runs a [`crate::DuplexEngine`] (source + sink behind one
+/// application); full-duplex links carry both payload streams at line
+/// rate concurrently.
+pub fn run_duplex(
+    tb: &Testbed,
+    a_cfg: SourceConfig,
+    a_snk: SinkConfig,
+    b_cfg: SourceConfig,
+    b_snk: SinkConfig,
+) -> DuplexReport {
+    use crate::DuplexEngine;
+    let ring = a_cfg
+        .ctrl_ring_slots
+        .max(b_cfg.ctrl_ring_slots)
+        .max(a_snk.ctrl_ring_slots)
+        .max(b_snk.ctrl_ring_slots);
+    let (mut core, a, b) = rftp_fabric::two_host_fabric(tb);
+
+    // Thread pools per host, one set per role.
+    let mut mk_threads = |h: rftp_fabric::HostId, src: &SourceConfig, snk: &SinkConfig| {
+        let ctrl_src = core.hosts[h.index()].cpu.spawn("ctrl-src");
+        let loaders: Vec<_> = (0..src.loader_threads)
+            .map(|_| core.hosts[h.index()].cpu.spawn("loader"))
+            .collect();
+        let src_data: Vec<_> = (0..src.data_cq_threads)
+            .map(|_| core.hosts[h.index()].cpu.spawn("data-src"))
+            .collect();
+        let ctrl_snk = core.hosts[h.index()].cpu.spawn("ctrl-snk");
+        let snk_data: Vec<_> = (0..snk.data_cq_threads)
+            .map(|_| core.hosts[h.index()].cpu.spawn("data-snk"))
+            .collect();
+        let consumer = core.hosts[h.index()].cpu.spawn("consumer");
+        (ctrl_src, loaders, src_data, ctrl_snk, snk_data, consumer)
+    };
+    let (a_ctrl_src, a_loaders, a_src_data, a_ctrl_snk, a_snk_data, a_consumer) =
+        mk_threads(a, &a_cfg, &a_snk);
+    let (b_ctrl_src, b_loaders, b_src_data, b_ctrl_snk, b_snk_data, b_consumer) =
+        mk_threads(b, &b_cfg, &b_snk);
+
+    let ctrl_opts = QpOptions {
+        sq_depth: ring + 8,
+        rq_depth: ring + 8,
+        ..QpOptions::default()
+    };
+    // Control pair for A→B (A's source talks to B's sink)...
+    let a_src_cq = core.hosts[a.index()].create_cq(a_ctrl_src);
+    let b_snk_cq = core.hosts[b.index()].create_cq(b_ctrl_snk);
+    let qp_a_src = core.create_qp(a, ctrl_opts, a_src_cq, a_src_cq);
+    let qp_b_snk = core.create_qp(b, ctrl_opts, b_snk_cq, b_snk_cq);
+    core.connect(qp_a_src, qp_b_snk).expect("ctrl A->B");
+    // ...and for B→A.
+    let b_src_cq = core.hosts[b.index()].create_cq(b_ctrl_src);
+    let a_snk_cq = core.hosts[a.index()].create_cq(a_ctrl_snk);
+    let qp_b_src = core.create_qp(b, ctrl_opts, b_src_cq, b_src_cq);
+    let qp_a_snk = core.create_qp(a, ctrl_opts, a_snk_cq, a_snk_cq);
+    core.connect(qp_b_src, qp_a_snk).expect("ctrl B->A");
+
+    let app_a = DuplexEngine::new(
+        SourceEngine::new(a_cfg, qp_a_src, a_loaders, a_src_data),
+        SinkEngine::new(a_snk, qp_a_snk, a_snk_data, a_consumer),
+    );
+    let app_b = DuplexEngine::new(
+        SourceEngine::new(b_cfg, qp_b_src, b_loaders, b_src_data),
+        SinkEngine::new(b_snk, qp_b_snk, b_snk_data, b_consumer),
+    );
+    let mut sim = rftp_fabric::build_sim(core, vec![Some(Box::new(app_a)), Some(Box::new(app_b))]);
+    let outcome = sim.run_until(SimTime::ZERO + SimDur::from_secs(36_000), |w| {
+        let da: &DuplexEngine = w.app(a);
+        let db: &DuplexEngine = w.app(b);
+        (da.is_finished() && db.is_finished())
+            || da.source.failure.is_some()
+            || db.source.failure.is_some()
+            || da.sink.failure.is_some()
+            || db.sink.failure.is_some()
+    });
+    let w = sim.world();
+    let da: &DuplexEngine = w.app(a);
+    let db: &DuplexEngine = w.app(b);
+    for (label, f) in [
+        ("A source", &da.source.failure),
+        ("B source", &db.source.failure),
+        ("A sink", &da.sink.failure),
+        ("B sink", &db.sink.failure),
+    ] {
+        assert!(f.is_none(), "{label} failed: {f:?}");
+    }
+    assert!(
+        da.is_finished() && db.is_finished(),
+        "duplex run incomplete ({outcome:?})"
+    );
+    let end_a = da.source.stats.finished_at;
+    let end_b = db.source.stats.finished_at;
+    let end = end_a.max(end_b);
+    DuplexReport {
+        forward_gbps: da.source.stats.goodput_gbps(),
+        reverse_gbps: db.source.stats.goodput_gbps(),
+        forward: da.source.stats.clone(),
+        reverse: db.source.stats.clone(),
+        a_cpu_pct: w.core.hosts[a.index()].cpu.utilization_pct(end),
+        b_cpu_pct: w.core.hosts[b.index()].cpu.utilization_pct(end),
+    }
+}

@@ -1,0 +1,114 @@
+//! Composite host applications: any number of engines behind one
+//! [`rftp_fabric::Application`].
+//!
+//! §IV.C: "The application probably issues multiple data transfer tasks
+//! simultaneously. Each task is associated with a global session
+//! identifier." Concurrent tasks need concurrent protocol endpoints;
+//! this module routes a host's completions and wakeups to whichever
+//! engine owns the queue pair / token namespace, letting one host run N
+//! parallel sources, N parallel sinks, or any mix (the
+//! [`crate::duplex::DuplexEngine`] is the two-engine special case).
+
+use crate::engine::{SinkEngine, SourceEngine};
+use rftp_fabric::{Api, Application, Cqe, QpId};
+
+/// An engine that can be composed behind a router.
+pub enum Endpoint {
+    Source(SourceEngine),
+    Sink(SinkEngine),
+}
+
+impl Endpoint {
+    fn owns_qp(&self, qp: QpId) -> bool {
+        match self {
+            Endpoint::Source(e) => e.owns_qp(qp),
+            Endpoint::Sink(e) => e.owns_qp(qp),
+        }
+    }
+
+    fn owns_token(&self, token: u64) -> bool {
+        match self {
+            Endpoint::Source(e) => e.owns_token(token),
+            Endpoint::Sink(e) => e.owns_token(token),
+        }
+    }
+
+    pub fn as_source(&self) -> Option<&SourceEngine> {
+        match self {
+            Endpoint::Source(e) => Some(e),
+            Endpoint::Sink(_) => None,
+        }
+    }
+
+    pub fn as_sink(&self) -> Option<&SinkEngine> {
+        match self {
+            Endpoint::Sink(e) => Some(e),
+            Endpoint::Source(_) => None,
+        }
+    }
+}
+
+/// N engines on one host. Every composed engine must carry a distinct
+/// token tag (`with_token_tag`) so wakeups route unambiguously.
+pub struct MultiEngine {
+    pub endpoints: Vec<Endpoint>,
+}
+
+impl MultiEngine {
+    pub fn new(endpoints: Vec<Endpoint>) -> MultiEngine {
+        MultiEngine { endpoints }
+    }
+
+    /// All sources done and all sinks drained?
+    pub fn is_finished(&self) -> bool {
+        self.endpoints.iter().all(|e| match e {
+            Endpoint::Source(s) => s.is_finished(),
+            Endpoint::Sink(k) => k.all_sessions_complete(),
+        })
+    }
+
+    /// First failure across the composed engines, if any.
+    pub fn failure(&self) -> Option<&str> {
+        self.endpoints.iter().find_map(|e| match e {
+            Endpoint::Source(s) => s.failure.as_deref(),
+            Endpoint::Sink(k) => k.failure.as_deref(),
+        })
+    }
+}
+
+impl Application for MultiEngine {
+    fn on_start(&mut self, api: &mut Api) {
+        for e in &mut self.endpoints {
+            match e {
+                Endpoint::Source(s) => s.on_start(api),
+                Endpoint::Sink(k) => k.on_start(api),
+            }
+        }
+    }
+
+    fn on_cqe(&mut self, cqe: &Cqe, api: &mut Api) {
+        for e in &mut self.endpoints {
+            if e.owns_qp(cqe.qp) {
+                match e {
+                    Endpoint::Source(s) => s.on_cqe(cqe, api),
+                    Endpoint::Sink(k) => k.on_cqe(cqe, api),
+                }
+                return;
+            }
+        }
+        panic!("multi: completion for unowned qp {:?}", cqe.qp);
+    }
+
+    fn on_wakeup(&mut self, token: u64, api: &mut Api) {
+        for e in &mut self.endpoints {
+            if e.owns_token(token) {
+                match e {
+                    Endpoint::Source(s) => s.on_wakeup(token, api),
+                    Endpoint::Sink(k) => k.on_wakeup(token, api),
+                }
+                return;
+            }
+        }
+        panic!("multi: wakeup for unowned token {token:#x}");
+    }
+}

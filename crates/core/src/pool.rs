@@ -1,0 +1,327 @@
+//! Registered buffer pools.
+//!
+//! The middleware pre-registers one large memory region per endpoint and
+//! carves it into fixed-size blocks (payload header + negotiated block
+//! size). Registration happens once and regions are reused across blocks
+//! and sessions — the "reuse of memory regions" optimization §III.A calls
+//! out (and the `ablation_mr` bench quantifies).
+//!
+//! `SourcePool` and `SinkPool` wrap the block FSMs of [`crate::block`]
+//! with free-list bookkeeping. Both are plain data structures — they know
+//! nothing about the fabric — which keeps them trivially testable and
+//! shareable with the real-thread stress tests.
+
+use crate::block::{FsmError, SnkState, SrcState};
+use crate::wire::PAYLOAD_HEADER_LEN;
+use std::collections::VecDeque;
+
+/// Index of a block within a pool.
+pub type BlockIdx = u32;
+
+/// Geometry shared by both pools.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolGeometry {
+    /// Negotiated data bytes per block.
+    pub block_size: u64,
+    /// Number of blocks.
+    pub blocks: u32,
+}
+
+impl PoolGeometry {
+    pub fn new(block_size: u64, blocks: u32) -> PoolGeometry {
+        assert!(block_size > 0 && blocks > 0);
+        PoolGeometry { block_size, blocks }
+    }
+
+    /// Bytes per slot: payload header + data.
+    pub fn slot_bytes(&self) -> u64 {
+        self.block_size + PAYLOAD_HEADER_LEN as u64
+    }
+
+    /// Total registered bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.slot_bytes() * self.blocks as u64
+    }
+
+    /// Byte offset of block `i` within the pool's MR.
+    pub fn offset(&self, i: BlockIdx) -> u64 {
+        assert!(i < self.blocks);
+        i as u64 * self.slot_bytes()
+    }
+}
+
+/// Source-side pool: blocks move Free → Loading → Loaded →
+/// StartSending → Waiting → Free.
+///
+/// ```
+/// use rftp_core::{PoolGeometry, SourcePool};
+/// let mut p = SourcePool::new(PoolGeometry::new(1 << 20, 4));
+/// let b = p.get_free().unwrap();     // get_free_blk
+/// p.loaded(b).unwrap();
+/// p.start_sending(b).unwrap();
+/// p.posted(b).unwrap();
+/// p.complete(b).unwrap();            // back on the free list
+/// assert_eq!(p.free_count(), 4);
+/// ```
+#[derive(Debug)]
+pub struct SourcePool {
+    geo: PoolGeometry,
+    states: Vec<SrcState>,
+    free: VecDeque<BlockIdx>,
+}
+
+impl SourcePool {
+    pub fn new(geo: PoolGeometry) -> SourcePool {
+        SourcePool {
+            geo,
+            states: vec![SrcState::Free; geo.blocks as usize],
+            free: (0..geo.blocks).collect(),
+        }
+    }
+
+    pub fn geometry(&self) -> PoolGeometry {
+        self.geo
+    }
+
+    pub fn state(&self, i: BlockIdx) -> SrcState {
+        self.states[i as usize]
+    }
+
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// `get_free_blk`: reserve a block for loading.
+    pub fn get_free(&mut self) -> Option<BlockIdx> {
+        let i = self.free.pop_front()?;
+        self.states[i as usize] = self.states[i as usize]
+            .reserve()
+            .expect("free list held a non-free block");
+        Some(i)
+    }
+
+    fn transition(
+        &mut self,
+        i: BlockIdx,
+        f: impl FnOnce(SrcState) -> Result<SrcState, FsmError>,
+    ) -> Result<(), FsmError> {
+        let s = f(self.states[i as usize])?;
+        self.states[i as usize] = s;
+        Ok(())
+    }
+
+    pub fn loaded(&mut self, i: BlockIdx) -> Result<(), FsmError> {
+        self.transition(i, SrcState::loaded)
+    }
+
+    pub fn start_sending(&mut self, i: BlockIdx) -> Result<(), FsmError> {
+        self.transition(i, SrcState::start_sending)
+    }
+
+    pub fn posted(&mut self, i: BlockIdx) -> Result<(), FsmError> {
+        self.transition(i, SrcState::posted)
+    }
+
+    /// Completion success: block returns to the free list.
+    pub fn complete(&mut self, i: BlockIdx) -> Result<(), FsmError> {
+        self.transition(i, SrcState::complete)?;
+        self.free.push_back(i);
+        Ok(())
+    }
+
+    /// Completion failure: block goes back to Loaded for re-send.
+    pub fn send_failed(&mut self, i: BlockIdx) -> Result<(), FsmError> {
+        self.transition(i, SrcState::send_failed)
+    }
+
+    /// Invariant check: free list and states agree (used by tests and
+    /// debug assertions).
+    pub fn check_invariants(&self) {
+        let free_states = self
+            .states
+            .iter()
+            .filter(|s| **s == SrcState::Free)
+            .count();
+        assert_eq!(free_states, self.free.len(), "free list out of sync");
+        let mut seen = vec![false; self.states.len()];
+        for &i in &self.free {
+            assert!(!seen[i as usize], "duplicate block in free list");
+            seen[i as usize] = true;
+            assert_eq!(self.states[i as usize], SrcState::Free);
+        }
+    }
+}
+
+/// Sink-side pool: blocks move Free → Waiting (granted as a credit) →
+/// DataReady → Free.
+#[derive(Debug)]
+pub struct SinkPool {
+    geo: PoolGeometry,
+    states: Vec<SnkState>,
+    free: VecDeque<BlockIdx>,
+}
+
+impl SinkPool {
+    pub fn new(geo: PoolGeometry) -> SinkPool {
+        SinkPool {
+            geo,
+            states: vec![SnkState::Free; geo.blocks as usize],
+            free: (0..geo.blocks).collect(),
+        }
+    }
+
+    pub fn geometry(&self) -> PoolGeometry {
+        self.geo
+    }
+
+    pub fn state(&self, i: BlockIdx) -> SnkState {
+        self.states[i as usize]
+    }
+
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Advertise a free block as a credit. Returns the granted block.
+    pub fn grant(&mut self) -> Option<BlockIdx> {
+        let i = self.free.pop_front()?;
+        self.states[i as usize] = self.states[i as usize]
+            .grant()
+            .expect("free list held a non-free block");
+        Some(i)
+    }
+
+    /// A finish notification arrived for block `i`.
+    pub fn ready(&mut self, i: BlockIdx) -> Result<(), FsmError> {
+        self.states[i as usize] = self.states[i as usize].ready()?;
+        Ok(())
+    }
+
+    /// `put_free_blk`: application consumed the payload.
+    pub fn put_free(&mut self, i: BlockIdx) -> Result<(), FsmError> {
+        self.states[i as usize] = self.states[i as usize].put_free()?;
+        self.free.push_back(i);
+        Ok(())
+    }
+
+    /// Reclaim a granted-but-unused block at session teardown.
+    pub fn revoke(&mut self, i: BlockIdx) -> Result<(), FsmError> {
+        self.states[i as usize] = self.states[i as usize].revoke()?;
+        self.free.push_back(i);
+        Ok(())
+    }
+
+    pub fn check_invariants(&self) {
+        let free_states = self
+            .states
+            .iter()
+            .filter(|s| **s == SnkState::Free)
+            .count();
+        assert_eq!(free_states, self.free.len(), "free list out of sync");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo() -> PoolGeometry {
+        PoolGeometry::new(128 * 1024, 8)
+    }
+
+    #[test]
+    fn geometry_math() {
+        let g = geo();
+        assert_eq!(g.slot_bytes(), 128 * 1024 + PAYLOAD_HEADER_LEN as u64);
+        assert_eq!(g.total_bytes(), g.slot_bytes() * 8);
+        assert_eq!(g.offset(0), 0);
+        assert_eq!(g.offset(3), 3 * g.slot_bytes());
+    }
+
+    #[test]
+    #[should_panic]
+    fn geometry_offset_bounds() {
+        geo().offset(8);
+    }
+
+    #[test]
+    fn source_pool_cycle() {
+        let mut p = SourcePool::new(geo());
+        assert_eq!(p.free_count(), 8);
+        let b = p.get_free().unwrap();
+        assert_eq!(p.state(b), SrcState::Loading);
+        p.loaded(b).unwrap();
+        p.start_sending(b).unwrap();
+        p.posted(b).unwrap();
+        assert_eq!(p.free_count(), 7);
+        p.complete(b).unwrap();
+        assert_eq!(p.free_count(), 8);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn source_pool_exhaustion() {
+        let mut p = SourcePool::new(PoolGeometry::new(1024, 2));
+        assert!(p.get_free().is_some());
+        assert!(p.get_free().is_some());
+        assert!(p.get_free().is_none());
+    }
+
+    #[test]
+    fn source_pool_resend() {
+        let mut p = SourcePool::new(geo());
+        let b = p.get_free().unwrap();
+        p.loaded(b).unwrap();
+        p.start_sending(b).unwrap();
+        p.posted(b).unwrap();
+        p.send_failed(b).unwrap();
+        assert_eq!(p.state(b), SrcState::Loaded);
+        // Block is not on the free list while in Loaded.
+        assert_eq!(p.free_count(), 7);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn source_pool_rejects_illegal() {
+        let mut p = SourcePool::new(geo());
+        let b = p.get_free().unwrap();
+        assert!(p.complete(b).is_err()); // Loading -> complete is illegal
+        p.check_invariants();
+    }
+
+    #[test]
+    fn sink_pool_cycle() {
+        let mut p = SinkPool::new(geo());
+        let b = p.grant().unwrap();
+        assert_eq!(p.state(b), SnkState::Waiting);
+        assert_eq!(p.free_count(), 7);
+        p.ready(b).unwrap();
+        p.put_free(b).unwrap();
+        assert_eq!(p.free_count(), 8);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn sink_pool_grant_order_is_fifo() {
+        let mut p = SinkPool::new(geo());
+        let a = p.grant().unwrap();
+        let b = p.grant().unwrap();
+        assert_ne!(a, b);
+        p.ready(a).unwrap();
+        p.put_free(a).unwrap();
+        p.ready(b).unwrap();
+        p.put_free(b).unwrap();
+        // Freed blocks recycle in order.
+        let order: Vec<_> = (0..8).map(|_| p.grant().unwrap()).collect();
+        assert_eq!(order[6], a);
+        assert_eq!(order[7], b);
+    }
+
+    #[test]
+    fn sink_pool_rejects_double_ready() {
+        let mut p = SinkPool::new(geo());
+        let b = p.grant().unwrap();
+        p.ready(b).unwrap();
+        assert!(p.ready(b).is_err());
+    }
+}

@@ -1,0 +1,493 @@
+//! Wire formats (Fig. 7 of the paper).
+//!
+//! Two formats cross the network:
+//!
+//! * **Control messages** (Fig. 7a) ride the dedicated control queue pair
+//!   as SEND/RECV: a fixed header — type, flags, session id — followed by
+//!   type-associated data. They carry parameter negotiation, credits
+//!   (memory-region advertisements), block-completion notifications, and
+//!   teardown.
+//! * **Payload block headers** (Fig. 7b) prefix every user payload block
+//!   written via RDMA WRITE: session id (32), sequence number (32),
+//!   offset (64), user payload length (32), reserved (32) — 24 bytes.
+//!   The sink uses (session, sequence) to reassemble out-of-order blocks
+//!   from parallel queue pairs into an in-order stream.
+//!
+//! Encoding is explicit big-endian via `bytes`; round-trips are covered
+//! by unit tests and property tests.
+
+use bytes::{Buf, BufMut};
+
+/// Length of the payload block header (Fig. 7b).
+pub const PAYLOAD_HEADER_LEN: usize = 24;
+
+/// Size of one control-message slot. Large enough for the biggest
+/// variant (a `SessionAccept` with 32 channels or a `Credits` batch of 8).
+pub const CTRL_SLOT_LEN: usize = 256;
+
+/// A memory-region credit: the sink advertises "you may WRITE `len`
+/// bytes at (`rkey`, `offset`); it is my block `slot`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Credit {
+    /// Sink-side block index (echoed back in the completion notification).
+    pub slot: u32,
+    /// Remote key of the sink pool's region (64-bit in this model).
+    pub rkey: u64,
+    /// Byte offset of the block within the region.
+    pub offset: u64,
+    /// Capacity of the block (header + data).
+    pub len: u32,
+}
+
+const CREDIT_WIRE_LEN: usize = 4 + 8 + 8 + 4;
+
+/// Maximum credits per `Credits` message (fits the slot with headroom).
+pub const MAX_CREDITS_PER_MSG: usize = 8;
+
+/// Maximum parallel data channels a `SessionAccept` can carry.
+pub const MAX_CHANNELS: usize = 32;
+
+/// Control message body (Fig. 7a "Type" + "Type Associated Data").
+///
+/// ```
+/// use rftp_core::wire::{CtrlMsg, CTRL_SLOT_LEN};
+/// let msg = CtrlMsg::BlockComplete { session: 7, seq: 42, slot: 3, len: 4096 };
+/// let mut buf = [0u8; CTRL_SLOT_LEN];
+/// let n = msg.encode(&mut buf);
+/// assert_eq!(CtrlMsg::decode(&buf[..n]).unwrap(), msg);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtrlMsg {
+    /// Phase 1: the source proposes transfer parameters.
+    SessionRequest {
+        session: u32,
+        /// Proposed data bytes per block.
+        block_size: u64,
+        /// Requested parallel data channels (0 = reuse existing).
+        channels: u16,
+        /// Total dataset bytes for this job.
+        total_bytes: u64,
+        /// Completion notification mode (see `config::NotifyMode`).
+        notify_imm: bool,
+    },
+    /// Phase 1: the sink accepts and returns its data-channel QPNs.
+    SessionAccept {
+        session: u32,
+        block_size: u64,
+        data_qpns: Vec<u32>,
+    },
+    /// Phase 1: the sink rejects (e.g. block size beyond its memory).
+    SessionReject { session: u32, reason: u8 },
+    /// Phase 1: the source confirms its channel endpoints are connected.
+    ChannelsReady { session: u32 },
+    /// Phase 2: memory-region block information response — one or more
+    /// credits, sent proactively or in answer to `MrRequest`.
+    Credits { session: u32, credits: Vec<Credit> },
+    /// Phase 2: memory-region block information request — the source ran
+    /// out of credits and is blocked.
+    MrRequest { session: u32 },
+    /// Phase 2: block transfer completion notification — block `seq`
+    /// landed in sink slot `slot` with `len` payload bytes.
+    BlockComplete {
+        session: u32,
+        seq: u32,
+        slot: u32,
+        len: u32,
+    },
+    /// Phase 3: the whole dataset was transferred.
+    DatasetComplete { session: u32, total_blocks: u32 },
+}
+
+/// Rejection reasons for `SessionReject`.
+pub mod reject_reason {
+    pub const BLOCK_TOO_LARGE: u8 = 1;
+    pub const TOO_MANY_CHANNELS: u8 = 2;
+    pub const BUSY: u8 = 3;
+}
+
+/// Decode failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    Truncated,
+    UnknownType(u16),
+    BadCount,
+}
+
+const T_SESSION_REQUEST: u16 = 1;
+const T_SESSION_ACCEPT: u16 = 2;
+const T_SESSION_REJECT: u16 = 3;
+const T_CHANNELS_READY: u16 = 4;
+const T_CREDITS: u16 = 5;
+const T_MR_REQUEST: u16 = 6;
+const T_BLOCK_COMPLETE: u16 = 7;
+const T_DATASET_COMPLETE: u16 = 8;
+
+impl CtrlMsg {
+    pub fn session(&self) -> u32 {
+        match *self {
+            CtrlMsg::SessionRequest { session, .. }
+            | CtrlMsg::SessionAccept { session, .. }
+            | CtrlMsg::SessionReject { session, .. }
+            | CtrlMsg::ChannelsReady { session }
+            | CtrlMsg::Credits { session, .. }
+            | CtrlMsg::MrRequest { session }
+            | CtrlMsg::BlockComplete { session, .. }
+            | CtrlMsg::DatasetComplete { session, .. } => session,
+        }
+    }
+
+    fn type_code(&self) -> u16 {
+        match self {
+            CtrlMsg::SessionRequest { .. } => T_SESSION_REQUEST,
+            CtrlMsg::SessionAccept { .. } => T_SESSION_ACCEPT,
+            CtrlMsg::SessionReject { .. } => T_SESSION_REJECT,
+            CtrlMsg::ChannelsReady { .. } => T_CHANNELS_READY,
+            CtrlMsg::Credits { .. } => T_CREDITS,
+            CtrlMsg::MrRequest { .. } => T_MR_REQUEST,
+            CtrlMsg::BlockComplete { .. } => T_BLOCK_COMPLETE,
+            CtrlMsg::DatasetComplete { .. } => T_DATASET_COMPLETE,
+        }
+    }
+
+    /// Encode into `buf`; returns bytes written. Panics if the message
+    /// violates the documented maxima (caller bugs, not wire conditions).
+    pub fn encode(&self, buf: &mut [u8]) -> usize {
+        let mut w = &mut buf[..];
+        let start = w.remaining_mut();
+        w.put_u16(self.type_code());
+        w.put_u16(0); // flags, reserved
+        w.put_u32(self.session());
+        match self {
+            CtrlMsg::SessionRequest {
+                block_size,
+                channels,
+                total_bytes,
+                notify_imm,
+                ..
+            } => {
+                w.put_u64(*block_size);
+                w.put_u16(*channels);
+                w.put_u8(u8::from(*notify_imm));
+                w.put_u8(0);
+                w.put_u64(*total_bytes);
+            }
+            CtrlMsg::SessionAccept {
+                block_size,
+                data_qpns,
+                ..
+            } => {
+                assert!(data_qpns.len() <= MAX_CHANNELS, "too many channels");
+                w.put_u64(*block_size);
+                w.put_u16(data_qpns.len() as u16);
+                for q in data_qpns {
+                    w.put_u32(*q);
+                }
+            }
+            CtrlMsg::SessionReject { reason, .. } => {
+                w.put_u8(*reason);
+            }
+            CtrlMsg::ChannelsReady { .. } | CtrlMsg::MrRequest { .. } => {}
+            CtrlMsg::Credits { credits, .. } => {
+                assert!(
+                    !credits.is_empty() && credits.len() <= MAX_CREDITS_PER_MSG,
+                    "credit batch size out of range"
+                );
+                w.put_u16(credits.len() as u16);
+                for c in credits {
+                    w.put_u32(c.slot);
+                    w.put_u64(c.rkey);
+                    w.put_u64(c.offset);
+                    w.put_u32(c.len);
+                }
+            }
+            CtrlMsg::BlockComplete { seq, slot, len, .. } => {
+                w.put_u32(*seq);
+                w.put_u32(*slot);
+                w.put_u32(*len);
+            }
+            CtrlMsg::DatasetComplete { total_blocks, .. } => {
+                w.put_u32(*total_blocks);
+            }
+        }
+        start - w.remaining_mut()
+    }
+
+    /// Decode from `buf`.
+    pub fn decode(mut buf: &[u8]) -> Result<CtrlMsg, WireError> {
+        if buf.remaining() < 8 {
+            return Err(WireError::Truncated);
+        }
+        let ty = buf.get_u16();
+        let _flags = buf.get_u16();
+        let session = buf.get_u32();
+        let need = |b: &&[u8], n: usize| {
+            if b.remaining() < n {
+                Err(WireError::Truncated)
+            } else {
+                Ok(())
+            }
+        };
+        match ty {
+            T_SESSION_REQUEST => {
+                need(&buf, 8 + 2 + 1 + 1 + 8)?;
+                let block_size = buf.get_u64();
+                let channels = buf.get_u16();
+                let notify_imm = buf.get_u8() != 0;
+                let _pad = buf.get_u8();
+                let total_bytes = buf.get_u64();
+                Ok(CtrlMsg::SessionRequest {
+                    session,
+                    block_size,
+                    channels,
+                    total_bytes,
+                    notify_imm,
+                })
+            }
+            T_SESSION_ACCEPT => {
+                need(&buf, 10)?;
+                let block_size = buf.get_u64();
+                let n = buf.get_u16() as usize;
+                if n > MAX_CHANNELS {
+                    return Err(WireError::BadCount);
+                }
+                need(&buf, 4 * n)?;
+                let data_qpns = (0..n).map(|_| buf.get_u32()).collect();
+                Ok(CtrlMsg::SessionAccept {
+                    session,
+                    block_size,
+                    data_qpns,
+                })
+            }
+            T_SESSION_REJECT => {
+                need(&buf, 1)?;
+                Ok(CtrlMsg::SessionReject {
+                    session,
+                    reason: buf.get_u8(),
+                })
+            }
+            T_CHANNELS_READY => Ok(CtrlMsg::ChannelsReady { session }),
+            T_CREDITS => {
+                need(&buf, 2)?;
+                let n = buf.get_u16() as usize;
+                if n == 0 || n > MAX_CREDITS_PER_MSG {
+                    return Err(WireError::BadCount);
+                }
+                need(&buf, n * CREDIT_WIRE_LEN)?;
+                let credits = (0..n)
+                    .map(|_| Credit {
+                        slot: buf.get_u32(),
+                        rkey: buf.get_u64(),
+                        offset: buf.get_u64(),
+                        len: buf.get_u32(),
+                    })
+                    .collect();
+                Ok(CtrlMsg::Credits { session, credits })
+            }
+            T_MR_REQUEST => Ok(CtrlMsg::MrRequest { session }),
+            T_BLOCK_COMPLETE => {
+                need(&buf, 12)?;
+                Ok(CtrlMsg::BlockComplete {
+                    session,
+                    seq: buf.get_u32(),
+                    slot: buf.get_u32(),
+                    len: buf.get_u32(),
+                })
+            }
+            T_DATASET_COMPLETE => {
+                need(&buf, 4)?;
+                Ok(CtrlMsg::DatasetComplete {
+                    session,
+                    total_blocks: buf.get_u32(),
+                })
+            }
+            other => Err(WireError::UnknownType(other)),
+        }
+    }
+}
+
+/// Payload block header (Fig. 7b), prepended to every bulk data block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PayloadHeader {
+    pub session: u32,
+    pub seq: u32,
+    /// Byte offset of this block within the dataset.
+    pub offset: u64,
+    /// User payload length (the last block may be short).
+    pub len: u32,
+}
+
+impl PayloadHeader {
+    pub fn encode(&self, buf: &mut [u8]) {
+        assert!(buf.len() >= PAYLOAD_HEADER_LEN);
+        let mut w = &mut buf[..];
+        w.put_u32(self.session);
+        w.put_u32(self.seq);
+        w.put_u64(self.offset);
+        w.put_u32(self.len);
+        w.put_u32(0); // reserved
+    }
+
+    pub fn decode(mut buf: &[u8]) -> Result<PayloadHeader, WireError> {
+        if buf.remaining() < PAYLOAD_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let session = buf.get_u32();
+        let seq = buf.get_u32();
+        let offset = buf.get_u64();
+        let len = buf.get_u32();
+        let _reserved = buf.get_u32();
+        Ok(PayloadHeader {
+            session,
+            seq,
+            offset,
+            len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: CtrlMsg) {
+        let mut buf = [0u8; CTRL_SLOT_LEN];
+        let n = msg.encode(&mut buf);
+        assert!(n <= CTRL_SLOT_LEN);
+        let back = CtrlMsg::decode(&buf[..n]).expect("decode");
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(CtrlMsg::SessionRequest {
+            session: 7,
+            block_size: 4 << 20,
+            channels: 8,
+            total_bytes: 900 << 30,
+            notify_imm: true,
+        });
+        roundtrip(CtrlMsg::SessionAccept {
+            session: 7,
+            block_size: 4 << 20,
+            data_qpns: vec![3, 4, 5, 6],
+        });
+        roundtrip(CtrlMsg::SessionReject {
+            session: 7,
+            reason: reject_reason::BLOCK_TOO_LARGE,
+        });
+        roundtrip(CtrlMsg::ChannelsReady { session: 7 });
+        roundtrip(CtrlMsg::Credits {
+            session: 7,
+            credits: vec![
+                Credit {
+                    slot: 1,
+                    rkey: 0xDEAD_BEEF_0000_0001,
+                    offset: 128 << 10,
+                    len: 131_096,
+                },
+                Credit {
+                    slot: 9,
+                    rkey: 0xDEAD_BEEF_0000_0001,
+                    offset: 0,
+                    len: 131_096,
+                },
+            ],
+        });
+        roundtrip(CtrlMsg::MrRequest { session: 7 });
+        roundtrip(CtrlMsg::BlockComplete {
+            session: 7,
+            seq: 123456,
+            slot: 3,
+            len: 4096,
+        });
+        roundtrip(CtrlMsg::DatasetComplete {
+            session: 7,
+            total_blocks: 1 << 20,
+        });
+    }
+
+    #[test]
+    fn max_size_variants_fit_the_slot() {
+        let mut buf = [0u8; CTRL_SLOT_LEN];
+        let accept = CtrlMsg::SessionAccept {
+            session: 1,
+            block_size: u64::MAX,
+            data_qpns: (0..MAX_CHANNELS as u32).collect(),
+        };
+        assert!(accept.encode(&mut buf) <= CTRL_SLOT_LEN);
+        let credits = CtrlMsg::Credits {
+            session: 1,
+            credits: vec![
+                Credit {
+                    slot: u32::MAX,
+                    rkey: u64::MAX,
+                    offset: u64::MAX,
+                    len: u32::MAX,
+                };
+                MAX_CREDITS_PER_MSG
+            ],
+        };
+        assert!(credits.encode(&mut buf) <= CTRL_SLOT_LEN);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut buf = [0u8; CTRL_SLOT_LEN];
+        let msg = CtrlMsg::BlockComplete {
+            session: 1,
+            seq: 2,
+            slot: 3,
+            len: 4,
+        };
+        let n = msg.encode(&mut buf);
+        for cut in 0..n {
+            assert!(
+                CtrlMsg::decode(&buf[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut buf = [0u8; 8];
+        (&mut buf[..]).put_u16(999);
+        assert_eq!(
+            CtrlMsg::decode(&buf),
+            Err(WireError::UnknownType(999))
+        );
+    }
+
+    #[test]
+    fn bad_counts_rejected() {
+        // Credits with count 0.
+        let mut buf = [0u8; 16];
+        {
+            let mut w = &mut buf[..];
+            w.put_u16(T_CREDITS);
+            w.put_u16(0);
+            w.put_u32(1);
+            w.put_u16(0);
+        }
+        assert_eq!(CtrlMsg::decode(&buf), Err(WireError::BadCount));
+    }
+
+    #[test]
+    fn payload_header_roundtrip() {
+        let h = PayloadHeader {
+            session: 42,
+            seq: 1_000_000,
+            offset: 900u64 << 30,
+            len: 64 << 20,
+        };
+        let mut buf = [0u8; PAYLOAD_HEADER_LEN];
+        h.encode(&mut buf);
+        assert_eq!(PayloadHeader::decode(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn payload_header_is_24_bytes() {
+        // Fig. 7b: 32 + 32 + 64 + 32 + 32 bits.
+        assert_eq!(PAYLOAD_HEADER_LEN, 24);
+    }
+}

@@ -1,0 +1,227 @@
+//! Per-host state: CPU, registered memory, completion queues, devices.
+
+use crate::ids::{CqId, DeviceId, HostId, MrId, SrqId};
+use crate::mr::{Backing, MemoryRegion};
+use crate::nic::Nic;
+use crate::wr::Cqe;
+use rftp_netsim::cpu::{HostCpu, ThreadId};
+use rftp_netsim::testbed::CostModel;
+use rftp_netsim::time::{Bandwidth, SimDur, SimTime};
+use std::collections::VecDeque;
+
+/// A completion queue: completions pile up here until the owning thread
+/// reaps them (each push schedules one reap on that thread).
+#[derive(Debug)]
+pub struct CqState {
+    pub id: CqId,
+    /// Simulated thread that polls this CQ.
+    pub thread: ThreadId,
+    pub queue: VecDeque<Cqe>,
+    /// Total completions ever delivered through this CQ.
+    pub total: u64,
+    /// Interrupt moderation: completions coalesced per event-channel
+    /// wakeup (`ibv_modify_cq` moderation count). 1 = every completion
+    /// pays the full interrupt cost; N > 1 = one interrupt per N, the
+    /// rest are cheap polls within the batch.
+    pub moderation: u32,
+    /// Completions since the last interrupt charge.
+    pub since_interrupt: u32,
+}
+
+/// A shared receive queue: receive buffers consumed FIFO by whichever
+/// associated queue pair needs one next. The middleware's sink uses one
+/// SRQ across all data channels in write-with-immediate mode, so
+/// pre-posting scales with the pool, not with the channel count.
+#[derive(Debug, Default)]
+pub struct SrqState {
+    pub queue: VecDeque<crate::wr::RecvWr>,
+    pub posted_total: u64,
+    pub consumed_total: u64,
+}
+
+/// A rate-limited FIFO device (disk array, for the memory-to-disk
+/// experiments). Service discipline matches the link model: one request
+/// at a time at `rate`, FIFO.
+#[derive(Debug)]
+pub struct DeviceState {
+    pub id: DeviceId,
+    pub rate: Bandwidth,
+    pub free_at: SimTime,
+    pub busy: SimDur,
+    pub bytes: u64,
+    pub ops: u64,
+}
+
+impl DeviceState {
+    /// Enqueue an operation of `bytes`; returns its completion time.
+    pub fn submit(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        let start = self.free_at.max(now);
+        let dur = self.rate.tx_time(bytes);
+        let end = start + dur;
+        self.free_at = end;
+        self.busy += dur;
+        self.bytes += bytes;
+        self.ops += 1;
+        end
+    }
+
+    /// Device utilization over `[0, now]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now.nanos() == 0 {
+            return 0.0;
+        }
+        self.busy.nanos() as f64 / now.nanos() as f64
+    }
+}
+
+/// Miscellaneous per-host counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HostCounters {
+    pub mr_registrations: u64,
+    pub mr_pages_registered: u64,
+    pub cqes_reaped: u64,
+    pub posts: u64,
+}
+
+/// Everything one simulated machine owns.
+#[derive(Debug)]
+pub struct HostState {
+    pub id: HostId,
+    pub cpu: HostCpu,
+    pub costs: CostModel,
+    pub mrs: Vec<MemoryRegion>,
+    mr_nonce: u32,
+    pub cqs: Vec<CqState>,
+    pub devices: Vec<DeviceState>,
+    pub srqs: Vec<SrqState>,
+    pub nic: Nic,
+    pub counters: HostCounters,
+}
+
+impl HostState {
+    pub fn new(id: HostId, name: impl Into<String>, cores: u32, costs: CostModel) -> HostState {
+        HostState {
+            id,
+            cpu: HostCpu::new(name, cores),
+            costs,
+            mrs: Vec::new(),
+            mr_nonce: 0,
+            cqs: Vec::new(),
+            devices: Vec::new(),
+            srqs: Vec::new(),
+            nic: Nic::default(),
+            counters: HostCounters::default(),
+        }
+    }
+
+    /// Register a memory region. Returns the MR and the CPU cost of the
+    /// registration (pinning, proportional to pages), which the caller
+    /// charges to the registering thread.
+    pub fn register_mr(&mut self, backing: Backing) -> (MrId, SimDur) {
+        let id = MrId(self.mrs.len() as u32);
+        self.mr_nonce += 1;
+        let mr = MemoryRegion::new(id, self.mr_nonce, backing);
+        let pages = mr.pages();
+        let cost = SimDur(self.costs.mr_reg_per_page.nanos() * pages);
+        self.counters.mr_registrations += 1;
+        self.counters.mr_pages_registered += pages;
+        self.mrs.push(mr);
+        (id, cost)
+    }
+
+    /// Invalidate an MR (stale-rkey faults afterwards, as on hardware).
+    pub fn deregister_mr(&mut self, id: MrId) {
+        self.mrs[id.index()].invalidate();
+    }
+
+    pub fn mr(&self, id: MrId) -> &MemoryRegion {
+        &self.mrs[id.index()]
+    }
+
+    pub fn mr_mut(&mut self, id: MrId) -> &mut MemoryRegion {
+        &mut self.mrs[id.index()]
+    }
+
+    pub fn create_cq(&mut self, thread: ThreadId) -> CqId {
+        self.create_cq_moderated(thread, 1)
+    }
+
+    /// Create a CQ with interrupt moderation: one wakeup per `moderation`
+    /// completions (the rest are polled within the batch at the cheaper
+    /// `verbs_poll` cost). Trades completion latency for CPU — the knob
+    /// that rescues tiny-block workloads from interrupt storms.
+    pub fn create_cq_moderated(&mut self, thread: ThreadId, moderation: u32) -> CqId {
+        assert!(moderation >= 1);
+        let id = CqId(self.cqs.len() as u32);
+        self.cqs.push(CqState {
+            id,
+            thread,
+            queue: VecDeque::new(),
+            total: 0,
+            moderation,
+            since_interrupt: 0,
+        });
+        id
+    }
+
+    pub fn create_srq(&mut self) -> SrqId {
+        let id = SrqId(self.srqs.len() as u32);
+        self.srqs.push(SrqState::default());
+        id
+    }
+
+    pub fn create_device(&mut self, rate: Bandwidth) -> DeviceId {
+        let id = DeviceId(self.devices.len() as u32);
+        self.devices.push(DeviceState {
+            id,
+            rate,
+            free_at: SimTime::ZERO,
+            busy: SimDur::ZERO,
+            bytes: 0,
+            ops: 0,
+        });
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host() -> HostState {
+        HostState::new(HostId(0), "h", 8, CostModel::roce())
+    }
+
+    #[test]
+    fn mr_registration_cost_scales_with_pages() {
+        let mut h = host();
+        let (small, c_small) = h.register_mr(Backing::Virtual(4096));
+        let (big, c_big) = h.register_mr(Backing::Virtual(64 << 20));
+        assert_eq!(c_big.nanos(), c_small.nanos() * (64 << 20) / 4096);
+        assert_ne!(h.mr(small).rkey(), h.mr(big).rkey());
+        assert_eq!(h.counters.mr_registrations, 2);
+    }
+
+    #[test]
+    fn dereg_invalidates() {
+        let mut h = host();
+        let (id, _) = h.register_mr(Backing::zeroed(100));
+        let key = h.mr(id).rkey();
+        h.deregister_mr(id);
+        assert!(h.mr(id).check_remote(key, 0, 1).is_err());
+    }
+
+    #[test]
+    fn device_fifo_service() {
+        let mut h = host();
+        // 1 GB/s device = 8 Gbps.
+        let d = h.create_device(Bandwidth::from_gbps(8));
+        let dev = &mut h.devices[d.index()];
+        let a = dev.submit(SimTime::ZERO, 1_000_000); // 1 ms
+        let b = dev.submit(SimTime::ZERO, 1_000_000); // queues behind
+        assert_eq!(a, SimTime(1_000_000));
+        assert_eq!(b, SimTime(2_000_000));
+        assert_eq!(dev.ops, 2);
+        assert!((dev.utilization(SimTime(4_000_000)) - 0.5).abs() < 1e-9);
+    }
+}

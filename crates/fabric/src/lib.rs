@@ -1,0 +1,53 @@
+//! # rftp-fabric — a verbs-like RDMA fabric over the netsim substrate
+//!
+//! The paper's middleware is built on the OFED verbs API (`libibverbs`):
+//! protection domains, registered memory regions, RC/UD queue pairs, send
+//! and receive queues, and completion queues. This crate reproduces that
+//! API surface over the deterministic [`rftp_netsim`] simulator so the
+//! protocol code above it is structured exactly as it would be against
+//! real RoCE / InfiniBand hardware:
+//!
+//! * [`mr`] — registered memory regions with rkeys, bounds and stale-key
+//!   faults, real or virtual backing.
+//! * [`wr`] — work requests (SEND / RDMA WRITE / RDMA READ, with or
+//!   without immediates), receive WRs, completions.
+//! * [`qp`] — RC and UD queue pairs: depths, `max_rd_atomic`, RNR retry
+//!   policy.
+//! * [`nic`] — the per-host transmit engine: fragment-granularity
+//!   round-robin across QPs, strict-priority transport control.
+//! * [`world`] — event semantics: delivery, acknowledgements, RNR NAK and
+//!   back-off, READ responses, completion scheduling onto polling
+//!   threads, plus the [`world::Api`] applications program against.
+//! * [`topology`] — two-host worlds wired from Table I testbed presets.
+//!
+//! ## Fidelity notes (what is and is not modelled)
+//!
+//! * RC ordering, acknowledgement timing, RNR NAK/back-off/retry budgets,
+//!   `max_rd_atomic` read limits, CQ-per-thread completion costs, and MR
+//!   registration costs are modelled; these are the mechanisms the
+//!   paper's design decisions respond to.
+//! * RNR is detected at message (not first-packet) granularity, so a
+//!   NAK'd transfer wastes the whole message's wire time — a conservative
+//!   over-penalty; the paper's point that RNR stalls are catastrophic is
+//!   preserved.
+//! * Link-level loss is not modelled for RDMA (the testbeds are clean,
+//!   flow-controlled fabrics); TCP loss for the WAN baseline is modelled
+//!   in `rftp-baselines`.
+
+pub mod host;
+pub mod ids;
+pub mod mr;
+pub mod nic;
+pub mod qp;
+pub mod topology;
+pub mod util;
+pub mod world;
+pub mod wr;
+
+pub use host::{CqState, DeviceState, HostState, SrqState};
+pub use ids::{CqId, DeviceId, HostId, MrId, QpId, Rkey, SrqId};
+pub use mr::{Backing, MemoryRegion, MrError, MrSlice, RemoteSlice};
+pub use qp::{QpOptions, QpState, QpType};
+pub use topology::{two_host_fabric, two_host_fabric_with_frag, DEFAULT_FRAG_SIZE};
+pub use world::{build_sim, Api, Application, ConnectError, Ev, FabricCore, FabricWorld};
+pub use wr::{Cqe, CqeKind, PostError, RecvWr, WcStatus, WorkRequest, WrOp};

@@ -1,0 +1,218 @@
+//! Queue-pair state.
+//!
+//! The paper selects **Reliable Connected (RC)** queue pairs: ordered,
+//! acknowledged delivery with arbitrarily large messages, the transport
+//! every design decision in §IV assumes. **Unreliable Datagram (UD)** is
+//! also modelled — the paper rejects it because the block size is limited
+//! by the MTU and small blocks "trigger a large number of queue pair
+//! events and interrupts"; the UD ablation quantifies exactly that.
+
+use crate::ids::{CqId, HostId, QpId, SrqId};
+use crate::wr::RecvWr;
+use rftp_netsim::time::{SimDur, SimTime};
+use std::collections::VecDeque;
+
+/// Transport service type of a queue pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QpType {
+    /// Reliable Connected: ordered, acked, message size unlimited.
+    Rc,
+    /// Unreliable Datagram: connectionless, MTU-limited, drops silently.
+    Ud,
+}
+
+/// Creation-time attributes of a queue pair.
+#[derive(Debug, Clone, Copy)]
+pub struct QpOptions {
+    pub qp_type: QpType,
+    /// Max work requests outstanding on the send queue.
+    pub sq_depth: u32,
+    /// Max receive buffers posted.
+    pub rq_depth: u32,
+    /// Max concurrent outstanding RDMA READs (HCA `max_rd_atomic`;
+    /// 4 is a common hardware default and the reason READ pipelines
+    /// poorly in Figs. 3–4).
+    pub max_rd_atomic: u32,
+    /// RNR retry budget. 7 means "retry forever", per the IB spec.
+    pub rnr_retry: u8,
+    /// Back-off before an RNR retry.
+    pub rnr_timer: SimDur,
+    /// Draw receive buffers from this shared receive queue instead of
+    /// the QP's own RQ.
+    pub srq: Option<SrqId>,
+}
+
+impl Default for QpOptions {
+    fn default() -> QpOptions {
+        QpOptions {
+            qp_type: QpType::Rc,
+            sq_depth: 512,
+            rq_depth: 1024,
+            max_rd_atomic: 4,
+            rnr_retry: 7,
+            rnr_timer: SimDur::from_micros(640), // IB RNR NAK timer class ~0.64 ms
+            srq: None,
+        }
+    }
+}
+
+impl QpOptions {
+    pub fn ud() -> QpOptions {
+        QpOptions {
+            qp_type: QpType::Ud,
+            ..QpOptions::default()
+        }
+    }
+}
+
+/// Counters exposed per QP for experiment reports.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QpCounters {
+    pub msgs_sent: u64,
+    pub bytes_sent: u64,
+    pub msgs_received: u64,
+    pub bytes_received: u64,
+    pub rnr_naks: u64,
+    pub rnr_retries_exhausted: u64,
+    pub remote_errors: u64,
+    /// UD only: messages discarded at the receiver for lack of an RQ entry.
+    pub ud_drops: u64,
+}
+
+/// Live state of one queue pair.
+#[derive(Debug)]
+pub struct QpState {
+    pub id: QpId,
+    pub host: HostId,
+    pub opts: QpOptions,
+    pub send_cq: CqId,
+    pub recv_cq: CqId,
+    /// RC peer: (host, qp). None until connected.
+    pub peer: Option<(HostId, QpId)>,
+    /// In-order launch queue: message slab keys awaiting fragmentation.
+    pub launch_q: VecDeque<u32>,
+    /// Byte cursor into the head message of `launch_q`.
+    pub head_sent: u64,
+    /// WRs posted and not yet completed (SQ occupancy).
+    pub sq_outstanding: u32,
+    /// Posted receive buffers.
+    pub rq: VecDeque<RecvWr>,
+    /// Concurrent outstanding RDMA READ requests.
+    pub outstanding_reads: u32,
+    /// RNR back-off: the QP may not transmit until this instant.
+    pub stalled_until: SimTime,
+    /// Set when the QP entered the error state (fatal completion).
+    pub error: bool,
+    /// Is this QP currently queued in its host NIC's round-robin ring?
+    pub in_nic_ring: bool,
+    /// Wire bytes consumed during the QP's current arbitration turn
+    /// (deficit round robin: a turn lasts one quantum of bytes, so many
+    /// small messages cost one turn, same as one large fragment).
+    pub turn_bytes: u64,
+    pub counters: QpCounters,
+}
+
+impl QpState {
+    pub fn new(id: QpId, host: HostId, opts: QpOptions, send_cq: CqId, recv_cq: CqId) -> QpState {
+        QpState {
+            id,
+            host,
+            opts,
+            send_cq,
+            recv_cq,
+            peer: None,
+            launch_q: VecDeque::new(),
+            head_sent: 0,
+            sq_outstanding: 0,
+            rq: VecDeque::new(),
+            outstanding_reads: 0,
+            stalled_until: SimTime::ZERO,
+            error: false,
+            in_nic_ring: false,
+            turn_bytes: 0,
+            counters: QpCounters::default(),
+        }
+    }
+
+    pub fn is_connected(&self) -> bool {
+        match self.opts.qp_type {
+            QpType::Rc => self.peer.is_some(),
+            QpType::Ud => true, // UD is connectionless
+        }
+    }
+
+    /// Can this QP hand a fragment to the NIC at `now`?
+    pub fn transmittable(&self, now: SimTime) -> bool {
+        !self.error && !self.launch_q.is_empty() && self.stalled_until <= now
+    }
+
+    /// Space for another send WR?
+    pub fn sq_has_room(&self) -> bool {
+        self.sq_outstanding < self.opts.sq_depth
+    }
+
+    pub fn rq_has_room(&self) -> bool {
+        (self.rq.len() as u32) < self.opts.rq_depth
+    }
+
+    /// Pop the next posted receive buffer, if any.
+    pub fn pop_rq(&mut self) -> Option<RecvWr> {
+        self.rq.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{CqId, HostId, MrId, QpId};
+    use crate::mr::MrSlice;
+
+    fn qp() -> QpState {
+        QpState::new(QpId(0), HostId(0), QpOptions::default(), CqId(0), CqId(0))
+    }
+
+    #[test]
+    fn rc_needs_connection() {
+        let mut q = qp();
+        assert!(!q.is_connected());
+        q.peer = Some((HostId(1), QpId(1)));
+        assert!(q.is_connected());
+    }
+
+    #[test]
+    fn ud_is_always_connected() {
+        let q = QpState::new(QpId(0), HostId(0), QpOptions::ud(), CqId(0), CqId(0));
+        assert!(q.is_connected());
+    }
+
+    #[test]
+    fn transmittable_respects_stall_and_error() {
+        let mut q = qp();
+        q.launch_q.push_back(0);
+        assert!(q.transmittable(SimTime::ZERO));
+        q.stalled_until = SimTime(100);
+        assert!(!q.transmittable(SimTime(99)));
+        assert!(q.transmittable(SimTime(100)));
+        q.error = true;
+        assert!(!q.transmittable(SimTime(100)));
+    }
+
+    #[test]
+    fn queue_capacities() {
+        let mut q = qp();
+        q.sq_outstanding = q.opts.sq_depth - 1;
+        assert!(q.sq_has_room());
+        q.sq_outstanding += 1;
+        assert!(!q.sq_has_room());
+
+        for i in 0..q.opts.rq_depth {
+            assert!(q.rq_has_room());
+            q.rq.push_back(RecvWr {
+                wr_id: i as u64,
+                local: MrSlice::new(MrId(0), 0, 1),
+            });
+        }
+        assert!(!q.rq_has_room());
+        assert_eq!(q.pop_rq().unwrap().wr_id, 0); // FIFO
+    }
+}

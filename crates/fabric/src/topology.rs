@@ -1,0 +1,44 @@
+//! Convenience constructors wiring testbed presets into fabric worlds.
+
+use crate::ids::HostId;
+use crate::world::FabricCore;
+use rftp_netsim::testbed::Testbed;
+
+/// Default NIC arbitration granularity: 64 KiB fragments. Small enough
+/// that control messages never wait more than ~13 µs behind bulk data at
+/// 40 Gbps, large enough that a 20 GB experiment is ~300 k fragments.
+pub const DEFAULT_FRAG_SIZE: u64 = 64 * 1024;
+
+/// Build a two-host fabric (source, sink) over the given testbed preset.
+/// Returns the core plus the two host ids: `(core, source, sink)`.
+pub fn two_host_fabric(tb: &Testbed) -> (FabricCore, HostId, HostId) {
+    two_host_fabric_with_frag(tb, DEFAULT_FRAG_SIZE)
+}
+
+/// Same as [`two_host_fabric`] with an explicit fragment size (large
+/// experiments trade arbitration fidelity for event count).
+pub fn two_host_fabric_with_frag(tb: &Testbed, frag_size: u64) -> (FabricCore, HostId, HostId) {
+    let mut core = FabricCore::new(frag_size);
+    let src = core.add_host(tb.src.name, tb.src.cores, tb.src_costs.clone());
+    let dst = core.add_host(tb.dst.name, tb.dst.cores, tb.dst_costs.clone());
+    core.add_link(src, dst, tb.link(), tb.wire_overhead_per_packet);
+    (core, src, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rftp_netsim::testbed;
+
+    #[test]
+    fn builds_all_presets() {
+        for tb in testbed::all() {
+            let (core, src, dst) = two_host_fabric(&tb);
+            assert_eq!(core.hosts.len(), 2);
+            assert!(core.link_between(src, dst).is_some());
+            assert!(core.link_between(dst, src).is_some());
+            let (li, _) = core.link_between(src, dst).unwrap();
+            assert_eq!(core.link(li).link.rate(), tb.bare_metal);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Small utilities: a slab allocator for in-flight message records.
+
+/// A minimal slab: stable `u32` keys, O(1) insert/remove, free-list reuse.
+///
+/// Message records churn at block rate (tens of thousands per simulated
+/// second); the slab keeps them in one contiguous allocation with no
+/// per-message heap traffic, per the hot-path allocation guidance of the
+/// perf book.
+#[derive(Debug)]
+pub struct Slab<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    pub fn new() -> Slab<T> {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    pub fn with_capacity(cap: usize) -> Slab<T> {
+        Slab {
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    pub fn insert(&mut self, value: T) -> u32 {
+        self.len += 1;
+        if let Some(idx) = self.free.pop() {
+            debug_assert!(self.slots[idx as usize].is_none());
+            self.slots[idx as usize] = Some(value);
+            idx
+        } else {
+            self.slots.push(Some(value));
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    pub fn remove(&mut self, key: u32) -> T {
+        let v = self.slots[key as usize]
+            .take()
+            .expect("slab: double free or bad key");
+        self.free.push(key);
+        self.len -= 1;
+        v
+    }
+
+    pub fn get(&self, key: u32) -> Option<&T> {
+        self.slots.get(key as usize).and_then(|s| s.as_ref())
+    }
+
+    pub fn get_mut(&mut self, key: u32) -> Option<&mut T> {
+        self.slots.get_mut(key as usize).and_then(|s| s.as_mut())
+    }
+
+    pub fn contains(&self, key: u32) -> bool {
+        self.get(key).is_some()
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (i as u32, v)))
+    }
+}
+
+impl<T> std::ops::Index<u32> for Slab<T> {
+    type Output = T;
+    fn index(&self, key: u32) -> &T {
+        self.slots[key as usize].as_ref().expect("slab: bad key")
+    }
+}
+
+impl<T> std::ops::IndexMut<u32> for Slab<T> {
+    fn index_mut(&mut self, key: u32) -> &mut T {
+        self.slots[key as usize].as_mut().expect("slab: bad key")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[a], "a");
+        assert_eq!(s.remove(a), "a");
+        assert_eq!(s.len(), 1);
+        assert!(!s.contains(a));
+        assert!(s.contains(b));
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        s.remove(a);
+        let b = s.insert(2);
+        assert_eq!(a, b, "freed slot must be reused");
+        assert_eq!(s.slots.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        s.remove(a);
+        s.remove(a);
+    }
+
+    #[test]
+    fn iteration_skips_holes() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        let _b = s.insert(2);
+        let _c = s.insert(3);
+        s.remove(a);
+        let items: Vec<i32> = s.iter().map(|(_, &v)| v).collect();
+        assert_eq!(items, vec![2, 3]);
+    }
+}

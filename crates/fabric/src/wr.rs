@@ -1,0 +1,234 @@
+//! Work requests and completions — the verbs data plane vocabulary.
+//!
+//! Applications drive the fabric exactly the way OFED applications drive
+//! `libibverbs`: they post [`WorkRequest`]s to a queue pair's send queue,
+//! post [`RecvWr`]s to its receive queue, and reap [`Cqe`]s from
+//! completion queues.
+
+use crate::ids::QpId;
+use crate::mr::{MrSlice, RemoteSlice};
+
+/// Operation carried by a send-queue work request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WrOp {
+    /// Two-sided channel semantics: deliver into a receive-queue buffer
+    /// posted by the peer. Consumes one RQ entry at the target.
+    Send {
+        local: MrSlice,
+        /// Optional 32-bit immediate delivered in the peer's recv CQE.
+        imm: Option<u32>,
+    },
+    /// One-sided memory semantics: place bytes directly into the peer's
+    /// advertised region. No RQ entry, no peer CPU.
+    Write {
+        local: MrSlice,
+        remote: RemoteSlice,
+        /// With an immediate, the write additionally consumes one RQ
+        /// entry at the target and raises a recv completion there —
+        /// how the protocol tells the sink "this block landed".
+        imm: Option<u32>,
+    },
+    /// One-sided fetch from the peer's region into a local region.
+    Read {
+        local: MrSlice,
+        remote: RemoteSlice,
+    },
+}
+
+impl WrOp {
+    /// Payload length of the operation.
+    pub fn len(&self) -> u64 {
+        match self {
+            WrOp::Send { local, .. } | WrOp::Read { local, .. } | WrOp::Write { local, .. } => {
+                local.len
+            }
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Does this op consume an RQ entry at the target?
+    pub fn consumes_rq(&self) -> bool {
+        matches!(
+            self,
+            WrOp::Send { .. }
+                | WrOp::Write {
+                    imm: Some(_),
+                    ..
+                }
+        )
+    }
+}
+
+/// A send-queue work request.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkRequest {
+    /// Application cookie returned in the completion.
+    pub wr_id: u64,
+    pub op: WrOp,
+    /// Unsignaled requests complete silently on success (errors always
+    /// complete). The middleware signals every bulk write; fine-grained
+    /// control traffic is often unsignaled.
+    pub signaled: bool,
+}
+
+impl WorkRequest {
+    pub fn signaled(wr_id: u64, op: WrOp) -> WorkRequest {
+        WorkRequest {
+            wr_id,
+            op,
+            signaled: true,
+        }
+    }
+
+    pub fn unsignaled(wr_id: u64, op: WrOp) -> WorkRequest {
+        WorkRequest {
+            wr_id,
+            op,
+            signaled: false,
+        }
+    }
+}
+
+/// A receive-queue work request: a buffer awaiting an incoming SEND (or
+/// the immediate of a WRITE_WITH_IMM).
+#[derive(Debug, Clone, Copy)]
+pub struct RecvWr {
+    pub wr_id: u64,
+    pub local: MrSlice,
+}
+
+/// Completion status. Mirrors the `ibv_wc_status` values the protocol
+/// actually has to handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WcStatus {
+    Success,
+    /// Local length/bounds error caught at post or DMA time.
+    LocalLenError,
+    /// Remote side rejected the rkey/bounds of a one-sided op.
+    RemoteAccessError,
+    /// Receiver-not-ready retries exhausted (SEND into an empty RQ).
+    RnrRetryExceeded,
+    /// The QP moved to the error state and this WR was flushed.
+    WrFlushed,
+}
+
+impl WcStatus {
+    pub fn is_ok(self) -> bool {
+        self == WcStatus::Success
+    }
+}
+
+/// What kind of work completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CqeKind {
+    Send,
+    RdmaWrite,
+    RdmaRead,
+    /// An RQ entry completed: a SEND landed in it, or a WRITE_WITH_IMM
+    /// consumed it to deliver the immediate.
+    Recv,
+    /// A WRITE_WITH_IMM consumed the RQ entry; payload went to the
+    /// one-sided target region, not the RQ buffer.
+    RecvRdmaWithImm,
+}
+
+/// A completion-queue entry.
+#[derive(Debug, Clone, Copy)]
+pub struct Cqe {
+    pub wr_id: u64,
+    pub qp: QpId,
+    pub kind: CqeKind,
+    pub status: WcStatus,
+    /// Bytes moved by the completed operation.
+    pub bytes: u64,
+    /// Immediate data, present on recv completions of ops that carried it.
+    pub imm: Option<u32>,
+}
+
+impl Cqe {
+    pub fn ok(&self) -> bool {
+        self.status.is_ok()
+    }
+}
+
+/// Errors surfaced synchronously by `post_send` / `post_recv`, mirroring
+/// `ibv_post_send` failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PostError {
+    /// The send queue is at capacity (`sq_depth` WRs outstanding).
+    SqFull,
+    /// The receive queue is at capacity.
+    RqFull,
+    /// The local slice fails MR validation.
+    BadLocalMr,
+    /// The QP is not connected, or is in the error state.
+    BadQpState,
+    /// Operation not supported by the QP type (e.g. RDMA on UD, or a UD
+    /// send exceeding the MTU).
+    OpNotSupported,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{MrId, Rkey};
+    use crate::mr::MrSlice;
+
+    fn slice(len: u64) -> MrSlice {
+        MrSlice::new(MrId(0), 0, len)
+    }
+
+    #[test]
+    fn rq_consumption_rules() {
+        assert!(WrOp::Send {
+            local: slice(1),
+            imm: None
+        }
+        .consumes_rq());
+        assert!(WrOp::Write {
+            local: slice(1),
+            remote: RemoteSlice {
+                rkey: Rkey::new(MrId(0), 0),
+                offset: 0
+            },
+            imm: Some(9)
+        }
+        .consumes_rq());
+        assert!(!WrOp::Write {
+            local: slice(1),
+            remote: RemoteSlice {
+                rkey: Rkey::new(MrId(0), 0),
+                offset: 0
+            },
+            imm: None
+        }
+        .consumes_rq());
+        assert!(!WrOp::Read {
+            local: slice(1),
+            remote: RemoteSlice {
+                rkey: Rkey::new(MrId(0), 0),
+                offset: 0
+            }
+        }
+        .consumes_rq());
+    }
+
+    #[test]
+    fn op_len() {
+        let op = WrOp::Send {
+            local: slice(4096),
+            imm: None,
+        };
+        assert_eq!(op.len(), 4096);
+        assert!(!op.is_empty());
+    }
+
+    #[test]
+    fn status_predicates() {
+        assert!(WcStatus::Success.is_ok());
+        assert!(!WcStatus::RnrRetryExceeded.is_ok());
+    }
+}

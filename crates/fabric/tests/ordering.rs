@@ -1,0 +1,294 @@
+//! Transport-ordering and timing guarantees of the fabric: the
+//! properties the middleware's correctness silently depends on.
+
+use rftp_fabric::{
+    build_sim, two_host_fabric, Api, Application, Backing, Cqe, CqeKind, MrId, MrSlice, QpId,
+    QpOptions, RecvWr, RemoteSlice, WorkRequest, WrOp,
+};
+use rftp_netsim::testbed;
+use rftp_netsim::time::{SimDur, SimTime};
+use rftp_netsim::ThreadId;
+
+fn horizon() -> SimTime {
+    SimTime::ZERO + SimDur::from_secs(600)
+}
+
+/// RC delivers messages of one QP strictly in post order, even when the
+/// messages differ wildly in size (a small message posted after a large
+/// one must not overtake it).
+#[test]
+fn rc_same_qp_messages_never_reorder() {
+    let tb = testbed::ani_wan();
+    let (mut core, a, b) = two_host_fabric(&tb);
+    let cq_a = core.hosts[a.index()].create_cq(ThreadId(0));
+    let cq_b = core.hosts[b.index()].create_cq(ThreadId(0));
+    let qa = core.create_qp(a, QpOptions::default(), cq_a, cq_a);
+    let qb = core.create_qp(b, QpOptions::default(), cq_b, cq_b);
+    core.connect(qa, qb).unwrap();
+    let sizes: Vec<u64> = vec![8 << 20, 64, 1 << 20, 9000, 4 << 20, 1];
+    let total: u64 = sizes.iter().sum();
+    let (mr_a, _) = core.hosts[a.index()].register_mr(Backing::Virtual(total));
+    let (mr_b, _) = core.hosts[b.index()].register_mr(Backing::Virtual(16 << 20));
+
+    struct Sender {
+        qp: QpId,
+        mr: MrId,
+        sizes: Vec<u64>,
+    }
+    impl Application for Sender {
+        fn on_start(&mut self, api: &mut Api) {
+            let mut off = 0;
+            for (i, &s) in self.sizes.iter().enumerate() {
+                api.post_send(
+                    self.qp,
+                    WorkRequest::signaled(
+                        i as u64,
+                        WrOp::Send {
+                            local: MrSlice::new(self.mr, off, s),
+                            imm: None,
+                        },
+                    ),
+                )
+                .unwrap();
+                off += s;
+            }
+        }
+        fn on_cqe(&mut self, _c: &Cqe, _a: &mut Api) {}
+    }
+    struct Receiver {
+        qp: QpId,
+        mr: MrId,
+        order: Vec<u64>,
+    }
+    impl Application for Receiver {
+        fn on_start(&mut self, api: &mut Api) {
+            for i in 0..8 {
+                api.post_recv(
+                    self.qp,
+                    RecvWr {
+                        wr_id: i,
+                        local: MrSlice::new(self.mr, 0, 16 << 20),
+                    },
+                )
+                .unwrap();
+            }
+        }
+        fn on_cqe(&mut self, cqe: &Cqe, _api: &mut Api) {
+            if cqe.kind == CqeKind::Recv {
+                self.order.push(cqe.bytes);
+            }
+        }
+    }
+    let sender = Sender {
+        qp: qa,
+        mr: mr_a,
+        sizes: sizes.clone(),
+    };
+    let recv = Receiver {
+        qp: qb,
+        mr: mr_b,
+        order: vec![],
+    };
+    let mut sim = build_sim(core, vec![Some(Box::new(sender)), Some(Box::new(recv))]);
+    sim.run(horizon());
+    let r: &Receiver = sim.world().app(b);
+    assert_eq!(r.order, sizes, "RC must deliver in post order");
+}
+
+/// Send completions on one QP arrive in post order too (ack stream is
+/// ordered).
+#[test]
+fn rc_send_completions_in_order() {
+    let tb = testbed::roce_lan();
+    let (mut core, a, b) = two_host_fabric(&tb);
+    let cq_a = core.hosts[a.index()].create_cq(ThreadId(0));
+    let cq_b = core.hosts[b.index()].create_cq(ThreadId(0));
+    let qa = core.create_qp(a, QpOptions::default(), cq_a, cq_a);
+    let qb = core.create_qp(b, QpOptions::default(), cq_b, cq_b);
+    core.connect(qa, qb).unwrap();
+    let n = 64u64;
+    let blk = 1 << 20;
+    let (mr_a, _) = core.hosts[a.index()].register_mr(Backing::Virtual(n * blk));
+    let (mr_b, _) = core.hosts[b.index()].register_mr(Backing::Virtual(n * blk));
+    let rkey = core.hosts[b.index()].mr(mr_b).rkey();
+
+    struct Writer {
+        qp: QpId,
+        mr: MrId,
+        rkey: rftp_fabric::Rkey,
+        n: u64,
+        blk: u64,
+        completions: Vec<u64>,
+    }
+    impl Application for Writer {
+        fn on_start(&mut self, api: &mut Api) {
+            for i in 0..self.n {
+                api.post_send(
+                    self.qp,
+                    WorkRequest::signaled(
+                        i,
+                        WrOp::Write {
+                            local: MrSlice::new(self.mr, i * self.blk, self.blk),
+                            remote: RemoteSlice {
+                                rkey: self.rkey,
+                                offset: i * self.blk,
+                            },
+                            imm: None,
+                        },
+                    ),
+                )
+                .unwrap();
+            }
+        }
+        fn on_cqe(&mut self, cqe: &Cqe, _api: &mut Api) {
+            self.completions.push(cqe.wr_id);
+        }
+    }
+    struct Quiet;
+    impl Application for Quiet {
+        fn on_cqe(&mut self, _c: &Cqe, _a: &mut Api) {}
+    }
+    let w = Writer {
+        qp: qa,
+        mr: mr_a,
+        rkey,
+        n,
+        blk,
+        completions: vec![],
+    };
+    let mut sim = build_sim(core, vec![Some(Box::new(w)), Some(Box::new(Quiet))]);
+    sim.run(horizon());
+    let w: &Writer = sim.world().app(a);
+    assert_eq!(w.completions.len(), n as usize);
+    assert!(
+        w.completions.windows(2).all(|p| p[0] < p[1]),
+        "completions out of post order"
+    );
+}
+
+/// A WRITE's completion time includes the full round trip: data there,
+/// ack back. On the WAN this is ≥ one RTT after posting.
+#[test]
+fn write_completion_pays_the_ack_round_trip() {
+    let tb = testbed::ani_wan();
+    let (mut core, a, b) = two_host_fabric(&tb);
+    let cq_a = core.hosts[a.index()].create_cq(ThreadId(0));
+    let cq_b = core.hosts[b.index()].create_cq(ThreadId(0));
+    let qa = core.create_qp(a, QpOptions::default(), cq_a, cq_a);
+    let qb = core.create_qp(b, QpOptions::default(), cq_b, cq_b);
+    core.connect(qa, qb).unwrap();
+    let (mr_a, _) = core.hosts[a.index()].register_mr(Backing::Virtual(4096));
+    let (mr_b, _) = core.hosts[b.index()].register_mr(Backing::Virtual(4096));
+    let rkey = core.hosts[b.index()].mr(mr_b).rkey();
+
+    struct W {
+        qp: QpId,
+        mr: MrId,
+        rkey: rftp_fabric::Rkey,
+        done_at: Option<SimTime>,
+    }
+    impl Application for W {
+        fn on_start(&mut self, api: &mut Api) {
+            api.post_send(
+                self.qp,
+                WorkRequest::signaled(
+                    0,
+                    WrOp::Write {
+                        local: MrSlice::new(self.mr, 0, 4096),
+                        remote: RemoteSlice {
+                            rkey: self.rkey,
+                            offset: 0,
+                        },
+                        imm: None,
+                    },
+                ),
+            )
+            .unwrap();
+        }
+        fn on_cqe(&mut self, _c: &Cqe, api: &mut Api) {
+            self.done_at = Some(api.now());
+        }
+    }
+    struct Quiet;
+    impl Application for Quiet {
+        fn on_cqe(&mut self, _c: &Cqe, _a: &mut Api) {}
+    }
+    let w = W {
+        qp: qa,
+        mr: mr_a,
+        rkey,
+        done_at: None,
+    };
+    let mut sim = build_sim(core, vec![Some(Box::new(w)), Some(Box::new(Quiet))]);
+    sim.run(horizon());
+    let w: &W = sim.world().app(a);
+    let t = w.done_at.expect("write completed");
+    assert!(
+        t >= SimTime::ZERO + SimDur::from_millis(49),
+        "completion at {t} is earlier than one RTT"
+    );
+    assert!(t < SimTime::ZERO + SimDur::from_millis(51));
+}
+
+/// Device FIFO: submissions complete in order at the device rate, and
+/// utilization reflects busy time.
+#[test]
+fn devices_serialize_like_disks() {
+    let tb = testbed::roce_lan();
+    let (core, a, _b) = two_host_fabric(&tb);
+    struct App {
+        completions: Vec<(u64, SimTime)>,
+    }
+    impl Application for App {
+        fn on_start(&mut self, api: &mut Api) {
+            let thread = api.thread();
+            let dev = api.create_device(rftp_netsim::Bandwidth::from_gbps(8)); // 1 GB/s
+            for i in 0..4 {
+                api.device_submit(dev, 1_000_000, thread, i); // 1 ms each
+            }
+        }
+        fn on_cqe(&mut self, _c: &Cqe, _a: &mut Api) {}
+        fn on_wakeup(&mut self, token: u64, api: &mut Api) {
+            self.completions.push((token, api.now()));
+        }
+    }
+    struct Quiet;
+    impl Application for Quiet {
+        fn on_cqe(&mut self, _c: &Cqe, _a: &mut Api) {}
+    }
+    let mut sim = build_sim(
+        core,
+        vec![Some(Box::new(App { completions: vec![] })), Some(Box::new(Quiet))],
+    );
+    sim.run(horizon());
+    let app: &App = sim.world().app(a);
+    assert_eq!(app.completions.len(), 4);
+    for (i, (tok, at)) in app.completions.iter().enumerate() {
+        assert_eq!(*tok, i as u64);
+        assert_eq!(at.nanos(), (i as u64 + 1) * 1_000_000);
+    }
+}
+
+/// MR registration cost lands on the registering thread and scales with
+/// the region size.
+#[test]
+fn registration_charges_the_calling_thread() {
+    let tb = testbed::roce_lan();
+    let (core, a, _b) = two_host_fabric(&tb);
+    struct App;
+    impl Application for App {
+        fn on_start(&mut self, api: &mut Api) {
+            api.register_mr(Backing::Virtual(64 << 20)); // 16384 pages
+        }
+        fn on_cqe(&mut self, _c: &Cqe, _a: &mut Api) {}
+    }
+    struct Quiet;
+    impl Application for Quiet {
+        fn on_cqe(&mut self, _c: &Cqe, _a: &mut Api) {}
+    }
+    let mut sim = build_sim(core, vec![Some(Box::new(App)), Some(Box::new(Quiet))]);
+    sim.run(horizon());
+    let busy = sim.world().core.hosts[a.index()].cpu.busy_in_window();
+    // 16384 pages x 350 ns = 5.7344 ms of pinning.
+    assert_eq!(busy.nanos(), 16384 * 350);
+}

@@ -1,0 +1,503 @@
+//! # rftp-ioengine — a fio-style RDMA benchmark engine
+//!
+//! §III.B of the paper validates the middleware's choice of RDMA
+//! semantics with an RDMA I/O engine plugged into `fio`: for each of the
+//! three verbs (RDMA WRITE, RDMA READ, SEND/RECEIVE) it sweeps block
+//! sizes and I/O depths and reports bandwidth and CPU usage (Figures 3
+//! and 4). This crate is that engine, targeting the simulated fabric.
+//!
+//! The engine keeps `iodepth` operations in flight on one queue pair:
+//! it posts the initial window at start and posts one replacement per
+//! completion, exactly like an asynchronous fio job. Per-operation
+//! latency (post → completion) feeds a histogram; CPU is accounted by
+//! the host model (initiator *and* target — the paper's central
+//! observation is that two-sided transfers burn sink CPU that one-sided
+//! transfers do not).
+
+use rftp_fabric::{
+    build_sim, two_host_fabric, Api, Application, Backing, Cqe, CqeKind, MrId, MrSlice, QpId,
+    QpOptions, RecvWr, RemoteSlice, Rkey, WcStatus, WorkRequest, WrOp,
+};
+use rftp_netsim::stats::LatencyHistogram;
+use rftp_netsim::testbed::Testbed;
+use rftp_netsim::time::{SimDur, SimTime};
+
+/// Which verb moves the bulk data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Semantics {
+    /// One-sided RDMA WRITE (initiator pushes).
+    Write,
+    /// One-sided RDMA READ (initiator pulls).
+    Read,
+    /// Two-sided SEND/RECEIVE on a reliable connection.
+    SendRecv,
+    /// Two-sided SEND over Unreliable Datagram QPs: MTU-limited blocks,
+    /// silent drops when the target's receive queue runs dry — the
+    /// transport §IV.A rejects.
+    UdSend,
+}
+
+impl Semantics {
+    pub const ALL: [Semantics; 3] = [Semantics::Write, Semantics::Read, Semantics::SendRecv];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Semantics::Write => "RDMA WRITE",
+            Semantics::Read => "RDMA READ",
+            Semantics::SendRecv => "SEND/RECV",
+            Semantics::UdSend => "UD SEND",
+        }
+    }
+}
+
+/// One benchmark job, fio-style.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    pub semantics: Semantics,
+    /// Bytes per operation.
+    pub block_size: u64,
+    /// Concurrent operations in flight.
+    pub iodepth: u32,
+    /// Total bytes to move.
+    pub total_bytes: u64,
+    /// HCA attributes (notably `max_rd_atomic`, which gates READ).
+    pub qp_opts: QpOptions,
+    /// Override the target's posted receive count (default: 2x iodepth).
+    /// Undersizing it provokes RNR stalls (RC) or drops (UD) — the
+    /// pre-posting requirement §III.B discusses.
+    pub target_slots: Option<u32>,
+    /// Delay before the target reposts a consumed receive buffer (models
+    /// a busy sink application). With serialized arrivals the receive
+    /// queue only runs dry when repost latency exceeds per-message wire
+    /// time, so RNR experiments combine this with small `target_slots`.
+    pub target_repost_delay: Option<SimDur>,
+    /// CQ interrupt moderation on both endpoints (1 = off).
+    pub cq_moderation: u32,
+}
+
+impl JobConfig {
+    pub fn new(semantics: Semantics, block_size: u64, iodepth: u32, total_bytes: u64) -> JobConfig {
+        assert!(block_size > 0 && iodepth > 0 && total_bytes >= block_size);
+        JobConfig {
+            semantics,
+            block_size,
+            iodepth,
+            total_bytes,
+            qp_opts: QpOptions::default(),
+            target_slots: None,
+            target_repost_delay: None,
+            cq_moderation: 1,
+        }
+    }
+}
+
+/// Results of one job.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    pub semantics: Semantics,
+    pub block_size: u64,
+    pub iodepth: u32,
+    pub bytes_moved: u64,
+    pub elapsed: SimDur,
+    /// Goodput in Gbps.
+    pub bandwidth_gbps: f64,
+    /// Initiator (client) CPU, percent of one core summed over threads.
+    pub initiator_cpu_pct: f64,
+    /// Target (server) CPU.
+    pub target_cpu_pct: f64,
+    pub lat_mean: SimDur,
+    pub lat_p50: SimDur,
+    pub lat_p99: SimDur,
+    pub ops: u64,
+    /// Bytes that actually landed at the target (differs from
+    /// `bytes_moved` only for UD, which can drop).
+    pub delivered_bytes: u64,
+    /// Datagrams the target dropped for lack of a receive buffer (UD).
+    pub drops: u64,
+    /// Receiver-not-ready NAKs the initiator took (RC with an
+    /// insufficiently pre-posted target).
+    pub rnr_naks: u64,
+}
+
+impl JobReport {
+    /// Combined CPU of both ends — the total host cost of the transfer.
+    pub fn total_cpu_pct(&self) -> f64 {
+        self.initiator_cpu_pct + self.target_cpu_pct
+    }
+}
+
+/// Initiator application: keeps `iodepth` ops outstanding.
+struct Initiator {
+    cfg: JobConfig,
+    qp: QpId,
+    mr: MrId,
+    remote_key: Rkey,
+    /// UD destination (host, qpn).
+    ud_dst: Option<(rftp_fabric::HostId, QpId)>,
+    posted: u64,
+    completed_bytes: u64,
+    issued: Vec<SimTime>, // post time per slot
+    lat: LatencyHistogram,
+    finished_at: SimTime,
+    done: bool,
+    errors: u64,
+}
+
+impl Initiator {
+    fn blocks_total(&self) -> u64 {
+        self.cfg.total_bytes.div_ceil(self.cfg.block_size)
+    }
+
+    fn post_one(&mut self, api: &mut Api) {
+        if self.posted >= self.blocks_total() {
+            return;
+        }
+        let slot = (self.posted % self.cfg.iodepth as u64) as usize;
+        let n = self.posted;
+        self.posted += 1;
+        let local = MrSlice::new(
+            self.mr,
+            slot as u64 * self.cfg.block_size,
+            self.cfg.block_size,
+        );
+        let remote = RemoteSlice {
+            rkey: self.remote_key,
+            offset: slot as u64 * self.cfg.block_size,
+        };
+        let op = match self.cfg.semantics {
+            Semantics::Write => WrOp::Write {
+                local,
+                remote,
+                imm: None,
+            },
+            Semantics::Read => WrOp::Read { local, remote },
+            Semantics::SendRecv | Semantics::UdSend => WrOp::Send { local, imm: None },
+        };
+        self.issued[slot] = api.now();
+        let wr = WorkRequest::signaled(n, op);
+        match self.ud_dst {
+            None => api.post_send(self.qp, wr).expect("ioengine post_send"),
+            Some((h, q)) => api
+                .post_send_ud(self.qp, wr, h, q)
+                .expect("ioengine post_send_ud"),
+        }
+    }
+}
+
+impl Application for Initiator {
+    fn on_start(&mut self, api: &mut Api) {
+        // fio "ramp": fill the whole I/O depth at once.
+        let window = (self.cfg.iodepth as u64).min(self.blocks_total());
+        for _ in 0..window {
+            self.post_one(api);
+        }
+    }
+
+    fn on_cqe(&mut self, cqe: &Cqe, api: &mut Api) {
+        if cqe.status != WcStatus::Success {
+            self.errors += 1;
+            return;
+        }
+        let slot = (cqe.wr_id % self.cfg.iodepth as u64) as usize;
+        self.lat.record(api.now().since(self.issued[slot]));
+        self.completed_bytes += self.cfg.block_size;
+        if self.completed_bytes >= self.cfg.total_bytes {
+            self.finished_at = api.now();
+            self.done = true;
+            return;
+        }
+        self.post_one(api);
+    }
+}
+
+/// Target application: passive for one-sided jobs; for SEND/RECV it
+/// pre-posts and replenishes receive buffers (this is the sink-side CPU
+/// the paper measures).
+struct Target {
+    qp: QpId,
+    mr: MrId,
+    block_size: u64,
+    slots: u32,
+    recv_count: u64,
+    recv_bytes: u64,
+    repost_delay: Option<SimDur>,
+}
+
+impl Target {
+    fn post_slot(&self, api: &mut Api, slot: u64) {
+        api.post_recv(
+            self.qp,
+            RecvWr {
+                wr_id: slot,
+                local: MrSlice::new(self.mr, slot * self.block_size, self.block_size),
+            },
+        )
+        .expect("target post_recv");
+    }
+}
+
+impl Application for Target {
+    fn on_start(&mut self, api: &mut Api) {
+        for i in 0..self.slots {
+            self.post_slot(api, i as u64);
+        }
+    }
+
+    fn on_cqe(&mut self, cqe: &Cqe, api: &mut Api) {
+        if cqe.kind == CqeKind::Recv && cqe.ok() {
+            self.recv_count += 1;
+            self.recv_bytes += cqe.bytes;
+            let slot = cqe.wr_id % self.slots as u64;
+            match self.repost_delay {
+                None => self.post_slot(api, slot),
+                Some(d) => {
+                    let thread = api.thread();
+                    api.set_timer(thread, d, slot);
+                }
+            }
+        }
+    }
+
+    fn on_wakeup(&mut self, slot: u64, api: &mut Api) {
+        self.post_slot(api, slot);
+    }
+}
+
+/// Run one job on the given testbed; deterministic.
+pub fn run_job(tb: &Testbed, cfg: &JobConfig) -> JobReport {
+    let (mut core, src, dst) = two_host_fabric(tb);
+    let is_ud = cfg.semantics == Semantics::UdSend;
+    if is_ud {
+        let (li, _) = core.link_between(src, dst).expect("link");
+        assert!(
+            cfg.block_size <= core.link(li).link.mtu() as u64,
+            "UD blocks are limited to one MTU"
+        );
+    }
+
+    // Engine thread on each side polls the completion queue, separate
+    // from the main thread, matching the middleware's threaded layout.
+    let src_engine = core.hosts[src.index()].cpu.spawn("engine");
+    let dst_engine = core.hosts[dst.index()].cpu.spawn("engine");
+    let src_cq = core.hosts[src.index()].create_cq_moderated(src_engine, cfg.cq_moderation);
+    let dst_cq = core.hosts[dst.index()].create_cq_moderated(dst_engine, cfg.cq_moderation);
+    let mut opts = cfg.qp_opts;
+    if is_ud {
+        opts.qp_type = rftp_fabric::QpType::Ud;
+    }
+    let qa = core.create_qp(src, opts, src_cq, src_cq);
+    let qb = core.create_qp(dst, opts, dst_cq, dst_cq);
+    if !is_ud {
+        core.connect(qa, qb).expect("connect");
+    }
+
+    // The target double-buffers its receive window so replenishment
+    // latency does not immediately RNR-stall the sender (the pre-posting
+    // requirement §III.B discusses). Ablations may undersize it.
+    let target_slots = cfg.target_slots.unwrap_or((cfg.iodepth * 2).max(1)).max(1);
+    let src_pool = cfg.block_size * cfg.iodepth as u64;
+    let dst_pool = cfg.block_size * target_slots as u64;
+    let (mr_src, _) = core.hosts[src.index()].register_mr(Backing::Virtual(src_pool));
+    let (mr_dst, _) = core.hosts[dst.index()].register_mr(Backing::Virtual(dst_pool));
+    let rkey = core.hosts[dst.index()].mr(mr_dst).rkey();
+
+    let initiator = Initiator {
+        cfg: cfg.clone(),
+        qp: qa,
+        mr: mr_src,
+        remote_key: rkey,
+        ud_dst: is_ud.then_some((dst, qb)),
+        posted: 0,
+        completed_bytes: 0,
+        issued: vec![SimTime::ZERO; cfg.iodepth as usize],
+        lat: LatencyHistogram::new(),
+        finished_at: SimTime::ZERO,
+        done: false,
+        errors: 0,
+    };
+    let target = Target {
+        qp: qb,
+        mr: mr_dst,
+        block_size: cfg.block_size,
+        slots: target_slots,
+        recv_count: 0,
+        recv_bytes: 0,
+        repost_delay: cfg.target_repost_delay,
+    };
+
+    let mut sim = build_sim(core, vec![Some(Box::new(initiator)), Some(Box::new(target))]);
+    let horizon = SimTime::ZERO + SimDur::from_secs(3600);
+    sim.run_until(horizon, |w| w.app::<Initiator>(src).done);
+
+    let w = sim.world();
+    let ini: &Initiator = w.app(src);
+    let tgt: &Target = w.app(dst);
+    assert!(ini.done, "job did not finish before horizon");
+    assert_eq!(ini.errors, 0, "ioengine saw completion errors");
+    let elapsed = ini.finished_at.since(SimTime::ZERO);
+    let drops = w.core.qps[qb.index()].counters.ud_drops;
+    let rnr_naks = w.core.qps[qa.index()].counters.rnr_naks;
+
+    JobReport {
+        semantics: cfg.semantics,
+        block_size: cfg.block_size,
+        iodepth: cfg.iodepth,
+        bytes_moved: ini.completed_bytes,
+        elapsed,
+        bandwidth_gbps: rftp_netsim::gbps(ini.completed_bytes, elapsed),
+        initiator_cpu_pct: w.core.hosts[src.index()]
+            .cpu
+            .utilization_pct(ini.finished_at),
+        target_cpu_pct: w.core.hosts[dst.index()]
+            .cpu
+            .utilization_pct(ini.finished_at),
+        lat_mean: ini.lat.mean(),
+        lat_p50: ini.lat.quantile(0.5),
+        lat_p99: ini.lat.quantile(0.99),
+        ops: ini.lat.count(),
+        delivered_bytes: tgt.recv_bytes,
+        drops,
+        rnr_naks,
+    }
+}
+
+/// Sweep helper: run a grid of (semantics × block sizes) at one I/O depth.
+pub fn sweep(tb: &Testbed, block_sizes: &[u64], iodepth: u32, total_bytes: u64) -> Vec<JobReport> {
+    let mut out = Vec::new();
+    for &s in Semantics::ALL.iter() {
+        for &bs in block_sizes {
+            let total = total_bytes.max(bs);
+            out.push(run_job(tb, &JobConfig::new(s, bs, iodepth, total)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rftp_netsim::testbed;
+
+    const MB: u64 = 1 << 20;
+
+    fn quick(tb: &Testbed, sem: Semantics, bs: u64, depth: u32) -> JobReport {
+        run_job(tb, &JobConfig::new(sem, bs, depth, 256 * MB))
+    }
+
+    #[test]
+    fn write_saturates_roce_lan_at_high_depth() {
+        let tb = testbed::roce_lan();
+        let r = quick(&tb, Semantics::Write, 128 * 1024, 64);
+        assert!(
+            r.bandwidth_gbps > 37.0,
+            "128K x depth 64 should saturate 40G: {:.2}",
+            r.bandwidth_gbps
+        );
+    }
+
+    #[test]
+    fn low_iodepth_underutilizes_the_link() {
+        // §III.B: "an application must post multiple I/O tasks in flight".
+        let tb = testbed::roce_lan();
+        let shallow = quick(&tb, Semantics::Write, 64 * 1024, 1);
+        let deep = quick(&tb, Semantics::Write, 64 * 1024, 64);
+        assert!(
+            deep.bandwidth_gbps > shallow.bandwidth_gbps * 2.0,
+            "depth 64 ({:.1}) should far exceed depth 1 ({:.1})",
+            deep.bandwidth_gbps,
+            shallow.bandwidth_gbps
+        );
+    }
+
+    #[test]
+    fn read_trails_write_at_moderate_blocks() {
+        // max_rd_atomic caps READ's pipeline.
+        let tb = testbed::roce_lan();
+        let wr = quick(&tb, Semantics::Write, 16 * 1024, 64);
+        let rd = quick(&tb, Semantics::Read, 16 * 1024, 64);
+        assert!(
+            wr.bandwidth_gbps > rd.bandwidth_gbps * 1.2,
+            "WRITE {:.1} vs READ {:.1}",
+            wr.bandwidth_gbps,
+            rd.bandwidth_gbps
+        );
+    }
+
+    #[test]
+    fn send_recv_costs_more_cpu_than_write() {
+        // The paper's headline semantics observation.
+        let tb = testbed::roce_lan();
+        let wr = quick(&tb, Semantics::Write, 128 * 1024, 64);
+        let sr = quick(&tb, Semantics::SendRecv, 128 * 1024, 64);
+        // Similar bandwidth...
+        assert!((wr.bandwidth_gbps - sr.bandwidth_gbps).abs() / wr.bandwidth_gbps < 0.15);
+        // ...but the two-sided variant burns target CPU the write doesn't.
+        assert!(sr.target_cpu_pct > wr.target_cpu_pct + 5.0);
+        assert!(sr.total_cpu_pct() > wr.total_cpu_pct() * 1.3);
+    }
+
+    #[test]
+    fn cpu_decreases_with_block_size() {
+        let tb = testbed::roce_lan();
+        let small = quick(&tb, Semantics::Write, 16 * 1024, 64);
+        let large = quick(&tb, Semantics::Write, 1024 * 1024, 64);
+        assert!(
+            small.initiator_cpu_pct > large.initiator_cpu_pct * 2.0,
+            "16K CPU {:.1}% vs 1M CPU {:.1}%",
+            small.initiator_cpu_pct,
+            large.initiator_cpu_pct
+        );
+    }
+
+    #[test]
+    fn tiny_blocks_are_cpu_bound() {
+        // 4K blocks: the engine thread's per-op cost gates throughput.
+        let tb = testbed::roce_lan();
+        let r = quick(&tb, Semantics::Write, 4 * 1024, 64);
+        assert!(
+            r.bandwidth_gbps < 25.0,
+            "4K blocks shouldn't saturate 40G: {:.1}",
+            r.bandwidth_gbps
+        );
+    }
+
+    #[test]
+    fn latency_grows_with_queue_depth() {
+        let tb = testbed::roce_lan();
+        let d1 = quick(&tb, Semantics::Write, 64 * 1024, 1);
+        let d64 = quick(&tb, Semantics::Write, 64 * 1024, 64);
+        assert!(d64.lat_mean > d1.lat_mean, "queueing must show in latency");
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let tb = testbed::ib_lan();
+        let a = quick(&tb, Semantics::SendRecv, 64 * 1024, 16);
+        let b = quick(&tb, Semantics::SendRecv, 64 * 1024, 16);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.bytes_moved, b.bytes_moved);
+        assert!((a.bandwidth_gbps - b.bandwidth_gbps).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_covers_grid() {
+        let tb = testbed::ib_lan();
+        let rows = sweep(&tb, &[64 * 1024, 256 * 1024], 4, 16 * MB);
+        assert_eq!(rows.len(), 6); // 3 semantics x 2 sizes
+        assert!(rows.iter().all(|r| r.bytes_moved >= 16 * MB));
+    }
+
+    #[test]
+    fn ib_has_lower_cpu_than_roce() {
+        // The paper: libibverbs overhead is lower on native InfiniBand.
+        let roce = quick(&testbed::roce_lan(), Semantics::Write, 256 * 1024, 32);
+        let ib = quick(&testbed::ib_lan(), Semantics::Write, 256 * 1024, 32);
+        // Normalize by goodput: CPU per Gbps moved.
+        let roce_eff = roce.initiator_cpu_pct / roce.bandwidth_gbps;
+        let ib_eff = ib.initiator_cpu_pct / ib.bandwidth_gbps;
+        assert!(
+            ib_eff < roce_eff,
+            "IB should be cheaper per Gbps: {ib_eff:.3} vs {roce_eff:.3}"
+        );
+    }
+}

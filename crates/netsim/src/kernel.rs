@@ -1,0 +1,291 @@
+//! Discrete-event simulation kernel.
+//!
+//! The kernel is a priority queue of timestamped events plus a virtual
+//! clock. It is generic over a [`World`]: the world owns all model state
+//! (hosts, links, NICs, protocol endpoints) and interprets events. Ties in
+//! timestamps are broken by insertion sequence number, which makes every
+//! run fully deterministic for a given seed and input.
+
+use crate::time::{SimDur, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A model driven by the simulation kernel.
+pub trait World: Sized {
+    /// The event alphabet of this world.
+    type Event;
+
+    /// Handle one event at its scheduled time. New events are scheduled
+    /// through `sched`; the current time is `sched.now()`.
+    fn handle(&mut self, ev: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The event queue handed to [`World::handle`]; schedules future events.
+pub struct Scheduler<E> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Entry<E>>,
+}
+
+impl<E> Scheduler<E> {
+    fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `ev` to fire `delay` from now.
+    #[inline]
+    pub fn after(&mut self, delay: SimDur, ev: E) {
+        self.at(self.now + delay, ev);
+    }
+
+    /// Schedule `ev` at an absolute time. Scheduling in the past is a model
+    /// bug; it is clamped to `now` in release builds and panics in debug.
+    #[inline]
+    pub fn at(&mut self, at: SimTime, ev: E) {
+        debug_assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        let at = at.max(self.now);
+        self.heap.push(Entry {
+            at,
+            seq: self.seq,
+            ev,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedule `ev` to fire immediately (after already-queued events at
+    /// the current instant).
+    #[inline]
+    pub fn now_ev(&mut self, ev: E) {
+        self.at(self.now, ev);
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// Outcome of [`Sim::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained: nothing left to simulate.
+    Drained,
+    /// The configured horizon was reached with events still pending.
+    Horizon,
+    /// The world signalled completion via [`Sim::run_until`]'s predicate.
+    Predicate,
+    /// The event budget was exhausted (runaway-model guard).
+    EventBudget,
+}
+
+/// The simulator: a world plus its event queue and clock.
+pub struct Sim<W: World> {
+    world: W,
+    sched: Scheduler<W::Event>,
+    processed: u64,
+    /// Hard cap on processed events; guards against accidental infinite
+    /// event loops in model code. Generous default: 2^33 events.
+    pub event_budget: u64,
+}
+
+impl<W: World> Sim<W> {
+    pub fn new(world: W) -> Self {
+        Sim {
+            world,
+            sched: Scheduler::new(),
+            processed: 0,
+            event_budget: 1 << 33,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Immutable access to the world (for inspecting results).
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world (for wiring up experiments).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consume the simulator and return the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Schedule an initial event before running.
+    pub fn prime(&mut self, delay: SimDur, ev: W::Event) {
+        self.sched.after(delay, ev);
+    }
+
+    /// Run until the queue drains or `horizon` is reached.
+    pub fn run(&mut self, horizon: SimTime) -> RunOutcome {
+        self.run_until(horizon, |_| false)
+    }
+
+    /// Run until the queue drains, `horizon` passes, or `done(&world)`
+    /// returns true (checked after each event).
+    pub fn run_until(&mut self, horizon: SimTime, mut done: impl FnMut(&W) -> bool) -> RunOutcome {
+        loop {
+            let Some(head) = self.sched.heap.peek() else {
+                return RunOutcome::Drained;
+            };
+            if head.at > horizon {
+                // Leave the event queued; advance the clock to the horizon so
+                // callers measuring elapsed time see the full window.
+                self.sched.now = horizon;
+                return RunOutcome::Horizon;
+            }
+            let entry = self.sched.heap.pop().expect("peeked entry vanished");
+            self.sched.now = entry.at;
+            self.world.handle(entry.ev, &mut self.sched);
+            self.processed += 1;
+            if self.processed >= self.event_budget {
+                return RunOutcome::EventBudget;
+            }
+            if done(&self.world) {
+                return RunOutcome::Predicate;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy world: events are integers; each event `n > 0` schedules `n - 1`
+    /// one microsecond later and records its firing time.
+    struct Countdown {
+        fired: Vec<(SimTime, u32)>,
+    }
+
+    impl World for Countdown {
+        type Event = u32;
+        fn handle(&mut self, ev: u32, sched: &mut Scheduler<u32>) {
+            self.fired.push((sched.now(), ev));
+            if ev > 0 {
+                sched.after(SimDur::from_micros(1), ev - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn runs_in_time_order_and_drains() {
+        let mut sim = Sim::new(Countdown { fired: vec![] });
+        sim.prime(SimDur::from_micros(5), 3);
+        let out = sim.run(SimTime(u64::MAX / 2));
+        assert_eq!(out, RunOutcome::Drained);
+        let w = sim.world();
+        assert_eq!(
+            w.fired,
+            vec![
+                (SimTime(5_000), 3),
+                (SimTime(6_000), 2),
+                (SimTime(7_000), 1),
+                (SimTime(8_000), 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn horizon_stops_early() {
+        let mut sim = Sim::new(Countdown { fired: vec![] });
+        sim.prime(SimDur::from_micros(1), 100);
+        let out = sim.run(SimTime(3_500));
+        assert_eq!(out, RunOutcome::Horizon);
+        assert_eq!(sim.world().fired.len(), 3); // events at 1us, 2us, 3us
+        assert_eq!(sim.now(), SimTime(3_500));
+    }
+
+    #[test]
+    fn predicate_stops() {
+        let mut sim = Sim::new(Countdown { fired: vec![] });
+        sim.prime(SimDur::ZERO, 100);
+        let out = sim.run_until(SimTime(u64::MAX / 2), |w| w.fired.len() == 4);
+        assert_eq!(out, RunOutcome::Predicate);
+        assert_eq!(sim.world().fired.len(), 4);
+    }
+
+    /// Ties at the same instant must fire in scheduling order.
+    struct Recorder {
+        order: Vec<u32>,
+    }
+    impl World for Recorder {
+        type Event = u32;
+        fn handle(&mut self, ev: u32, _s: &mut Scheduler<u32>) {
+            self.order.push(ev);
+        }
+    }
+
+    #[test]
+    fn fifo_among_ties() {
+        let mut sim = Sim::new(Recorder { order: vec![] });
+        for i in 0..100 {
+            sim.prime(SimDur::from_micros(7), i);
+        }
+        sim.run(SimTime(u64::MAX / 2));
+        assert_eq!(sim.world().order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn event_budget_guards_runaway() {
+        /// Schedules itself forever at the same instant.
+        struct Runaway;
+        impl World for Runaway {
+            type Event = ();
+            fn handle(&mut self, _ev: (), sched: &mut Scheduler<()>) {
+                sched.now_ev(());
+            }
+        }
+        let mut sim = Sim::new(Runaway);
+        sim.event_budget = 1000;
+        sim.prime(SimDur::ZERO, ());
+        assert_eq!(sim.run(SimTime(u64::MAX / 2)), RunOutcome::EventBudget);
+        assert_eq!(sim.events_processed(), 1000);
+    }
+}

@@ -1,0 +1,40 @@
+//! # rftp-netsim — deterministic discrete-event network substrate
+//!
+//! This crate is the hardware substitute for the reproduction of
+//! *"Protocols for Wide-Area Data-intensive Applications: Design and
+//! Performance Issues"* (SC 2012). The paper's evaluation ran on 40 Gbps
+//! RoCE and InfiniBand LANs and the DOE ANI 10 Gbps / 49 ms-RTT WAN; this
+//! crate provides those environments as a deterministic simulator:
+//!
+//! * [`kernel`] — the discrete-event core: virtual clock, event queue,
+//!   the [`kernel::World`] trait.
+//! * [`link`] — fluid FIFO point-to-point links (rate, propagation
+//!   delay, MTU).
+//! * [`cpu`] — per-host thread/core CPU accounting in the paper's
+//!   `nmon` percent convention.
+//! * [`tcp`] — TCP congestion-window state machine (reno/cubic/htcp/bic)
+//!   for the GridFTP baseline.
+//! * [`testbed`] — Table I presets (RoCE LAN, IB LAN, ANI WAN) and the
+//!   calibrated per-operation cost model.
+//! * [`stats`] — throughput meters and latency histograms.
+//! * [`time`] — nanosecond virtual time and bandwidth arithmetic.
+//!
+//! Determinism: all randomness flows through caller-provided seeded RNGs
+//! and event ties break by insertion order, so a given experiment
+//! configuration always produces bit-identical results.
+
+pub mod cpu;
+pub mod kernel;
+pub mod link;
+pub mod stats;
+pub mod tcp;
+pub mod testbed;
+pub mod time;
+
+pub use cpu::{per_byte_cost, HostCpu, ThreadId};
+pub use kernel::{RunOutcome, Scheduler, Sim, World};
+pub use link::{Dir, Link, Transmission};
+pub use stats::{LatencyHistogram, SeriesStats, ThroughputMeter};
+pub use tcp::{CcAlgo, TcpConfig, TcpFlow};
+pub use testbed::{ani_wan, esnet_100g, ib_lan, iwarp_lan, roce_lan, CostModel, HostProfile, Testbed};
+pub use time::{gbps, Bandwidth, SimDur, SimTime};

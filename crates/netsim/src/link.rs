@@ -1,0 +1,245 @@
+//! Fluid FIFO link model.
+//!
+//! A [`Link`] is a full-duplex point-to-point pipe with a serialization
+//! rate, a propagation delay, and an MTU. Messages are transmitted as
+//! fluid bursts: a message of `n` bytes occupies the transmitter for
+//! `n * 8 / rate` and arrives one propagation delay after its last bit is
+//! serialized. The transmitter is a FIFO server (`free_at` horizon per
+//! direction), which is O(1) per message and preserves both aggregate
+//! bandwidth and ordering — the two properties every experiment in the
+//! paper depends on. Per-packet behaviour (interrupt and kernel costs
+//! proportional to `ceil(bytes / mtu)`) is charged by the host CPU model,
+//! not simulated per packet, keeping event counts proportional to message
+//! counts rather than byte counts.
+
+use crate::time::{Bandwidth, SimDur, SimTime};
+
+/// Direction of travel across a [`Link`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// From endpoint A to endpoint B.
+    AtoB,
+    /// From endpoint B to endpoint A.
+    BtoA,
+}
+
+impl Dir {
+    #[inline]
+    pub fn flip(self) -> Dir {
+        match self {
+            Dir::AtoB => Dir::BtoA,
+            Dir::BtoA => Dir::AtoB,
+        }
+    }
+
+    #[inline]
+    fn idx(self) -> usize {
+        match self {
+            Dir::AtoB => 0,
+            Dir::BtoA => 1,
+        }
+    }
+}
+
+/// Per-direction transmit statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkDirStats {
+    pub messages: u64,
+    pub bytes: u64,
+    /// Total time the transmitter was busy serializing.
+    pub busy: SimDur,
+}
+
+/// A full-duplex point-to-point link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    rate: Bandwidth,
+    prop_delay: SimDur,
+    mtu: u32,
+    /// Per-direction time at which the transmitter becomes idle.
+    free_at: [SimTime; 2],
+    stats: [LinkDirStats; 2],
+}
+
+/// Result of enqueueing a message on a link transmitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transmission {
+    /// When the first bit leaves the transmitter (end of queueing delay).
+    pub tx_start: SimTime,
+    /// When the last bit leaves the transmitter.
+    pub tx_end: SimTime,
+    /// When the last bit arrives at the far end (delivery time).
+    pub arrival: SimTime,
+}
+
+impl Link {
+    pub fn new(rate: Bandwidth, prop_delay: SimDur, mtu: u32) -> Link {
+        assert!(mtu > 0, "MTU must be positive");
+        Link {
+            rate,
+            prop_delay,
+            mtu,
+            free_at: [SimTime::ZERO; 2],
+            stats: [LinkDirStats::default(); 2],
+        }
+    }
+
+    #[inline]
+    pub fn rate(&self) -> Bandwidth {
+        self.rate
+    }
+
+    #[inline]
+    pub fn prop_delay(&self) -> SimDur {
+        self.prop_delay
+    }
+
+    /// Round-trip propagation time (ignoring serialization).
+    #[inline]
+    pub fn rtt(&self) -> SimDur {
+        SimDur(self.prop_delay.nanos() * 2)
+    }
+
+    #[inline]
+    pub fn mtu(&self) -> u32 {
+        self.mtu
+    }
+
+    /// Number of MTU-sized packets a message of `bytes` occupies on the wire.
+    #[inline]
+    pub fn packets_for(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.mtu as u64).max(1)
+    }
+
+    /// Enqueue a message of `bytes` for transmission in direction `dir` at
+    /// time `now`. Returns when it starts, finishes serializing, and arrives.
+    pub fn transmit(&mut self, now: SimTime, dir: Dir, bytes: u64) -> Transmission {
+        let i = dir.idx();
+        let tx_start = self.free_at[i].max(now);
+        let ser = self.rate.tx_time(bytes);
+        let tx_end = tx_start + ser;
+        self.free_at[i] = tx_end;
+        let s = &mut self.stats[i];
+        s.messages += 1;
+        s.bytes += bytes;
+        s.busy += ser;
+        Transmission {
+            tx_start,
+            tx_end,
+            arrival: tx_end + self.prop_delay,
+        }
+    }
+
+    /// Current queueing backlog in direction `dir` as seen at `now`.
+    pub fn backlog(&self, now: SimTime, dir: Dir) -> SimDur {
+        self.free_at[dir.idx()].since(now)
+    }
+
+    /// Transmitter idle at `now`?
+    pub fn idle(&self, now: SimTime, dir: Dir) -> bool {
+        self.free_at[dir.idx()] <= now
+    }
+
+    pub fn stats(&self, dir: Dir) -> LinkDirStats {
+        self.stats[dir.idx()]
+    }
+
+    /// Utilization of direction `dir` over the window `[0, now]`.
+    pub fn utilization(&self, now: SimTime, dir: Dir) -> f64 {
+        if now.nanos() == 0 {
+            return 0.0;
+        }
+        self.stats[dir.idx()].busy.nanos() as f64 / now.nanos() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Bandwidth;
+
+    fn link_10g() -> Link {
+        // 10 Gbps, 24.5 ms one-way (the ANI WAN in Table I), MTU 9000.
+        Link::new(
+            Bandwidth::from_gbps(10),
+            SimDur::from_micros(24_500),
+            9000,
+        )
+    }
+
+    #[test]
+    fn single_message_timing() {
+        let mut l = link_10g();
+        // 1.25 MB at 10 Gbps serializes in exactly 1 ms.
+        let t = l.transmit(SimTime::ZERO, Dir::AtoB, 1_250_000);
+        assert_eq!(t.tx_start, SimTime::ZERO);
+        assert_eq!(t.tx_end, SimTime(1_000_000));
+        assert_eq!(t.arrival, SimTime(1_000_000 + 24_500_000));
+    }
+
+    #[test]
+    fn fifo_queueing() {
+        let mut l = link_10g();
+        let a = l.transmit(SimTime::ZERO, Dir::AtoB, 1_250_000);
+        let b = l.transmit(SimTime::ZERO, Dir::AtoB, 1_250_000);
+        // Second message waits for the first to finish serializing.
+        assert_eq!(b.tx_start, a.tx_end);
+        assert_eq!(b.tx_end, SimTime(2_000_000));
+        // Arrival order matches send order.
+        assert!(b.arrival > a.arrival);
+    }
+
+    #[test]
+    fn directions_independent() {
+        let mut l = link_10g();
+        let a = l.transmit(SimTime::ZERO, Dir::AtoB, 1_250_000);
+        let b = l.transmit(SimTime::ZERO, Dir::BtoA, 1_250_000);
+        // Full duplex: reverse direction does not queue behind forward.
+        assert_eq!(a.tx_start, b.tx_start);
+        assert_eq!(a.tx_end, b.tx_end);
+    }
+
+    #[test]
+    fn idle_gap_resets_queue() {
+        let mut l = link_10g();
+        let a = l.transmit(SimTime::ZERO, Dir::AtoB, 1_250_000);
+        // Transmit long after the first finished: no queueing delay.
+        let later = a.tx_end + SimDur::from_millis(5);
+        let b = l.transmit(later, Dir::AtoB, 125);
+        assert_eq!(b.tx_start, later);
+    }
+
+    #[test]
+    fn aggregate_bandwidth_respected() {
+        let mut l = link_10g();
+        // Blast 100 x 1.25 MB back to back: last bit leaves at exactly 100 ms,
+        // i.e. the link carried exactly 10 Gbps.
+        let mut last = SimTime::ZERO;
+        for _ in 0..100 {
+            last = l.transmit(SimTime::ZERO, Dir::AtoB, 1_250_000).tx_end;
+        }
+        assert_eq!(last, SimTime(100_000_000));
+        assert_eq!(l.stats(Dir::AtoB).bytes, 125_000_000);
+        assert!((l.utilization(last, Dir::AtoB) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packets_for_mtu() {
+        let l = link_10g();
+        assert_eq!(l.packets_for(1), 1);
+        assert_eq!(l.packets_for(9000), 1);
+        assert_eq!(l.packets_for(9001), 2);
+        assert_eq!(l.packets_for(0), 1); // control frames still occupy one packet
+        assert_eq!(l.packets_for(90_000), 10);
+    }
+
+    #[test]
+    fn backlog_and_idle() {
+        let mut l = link_10g();
+        assert!(l.idle(SimTime::ZERO, Dir::AtoB));
+        l.transmit(SimTime::ZERO, Dir::AtoB, 1_250_000);
+        assert!(!l.idle(SimTime::ZERO, Dir::AtoB));
+        assert_eq!(l.backlog(SimTime::ZERO, Dir::AtoB), SimDur::from_millis(1));
+        assert!(l.idle(SimTime(1_000_000), Dir::AtoB));
+    }
+}

@@ -1,0 +1,441 @@
+//! TCP congestion-window state machine.
+//!
+//! The GridFTP baseline transfers bulk data over TCP; what shapes its
+//! throughput in the paper's experiments is (a) the congestion window's
+//! ramp-up and recovery dynamics over a 49 ms WAN path and (b) the
+//! receiver window, which the authors tuned to the bandwidth-delay
+//! product. This module models exactly that: a per-flow window state
+//! machine with pluggable congestion-avoidance growth laws matching the
+//! variants named in Table I (cubic, bic, htcp) plus classic Reno.
+//!
+//! The machine is *pure*: it owns no events and no links. The transfer
+//! world (in `rftp-baselines`) feeds it sent/acked/lost notifications and
+//! asks how many bytes may be in flight. That keeps this module easy to
+//! test exhaustively and reusable by any TCP-based workload model.
+//!
+//! Losses are injected by the caller (random per-packet lottery or
+//! deterministic schedules); all losses are treated as fast-retransmit
+//! recoverable (no RTO modelling — the reproduced experiments run on
+//! clean research networks where timeouts were not a factor).
+
+use crate::time::SimTime;
+
+/// Congestion-avoidance growth law. Names follow Table I of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CcAlgo {
+    /// Classic AIMD: +1 MSS per RTT, halve on loss.
+    Reno,
+    /// CUBIC: cubic growth in time since last loss, beta = 0.7.
+    Cubic,
+    /// H-TCP: growth rate increases with time since last loss.
+    Htcp,
+    /// BIC: binary search toward the pre-loss maximum.
+    Bic,
+}
+
+impl CcAlgo {
+    pub fn name(self) -> &'static str {
+        match self {
+            CcAlgo::Reno => "reno",
+            CcAlgo::Cubic => "cubic",
+            CcAlgo::Htcp => "htcp",
+            CcAlgo::Bic => "bic",
+        }
+    }
+}
+
+/// Static configuration of one TCP flow.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Maximum segment size in bytes (wire MTU minus headers).
+    pub mss: u32,
+    /// Initial congestion window in bytes (Linux default: 10 segments).
+    pub init_cwnd: u64,
+    /// Receiver window (socket buffer) in bytes. The paper tunes this to
+    /// the path BDP.
+    pub rwnd: u64,
+    /// Congestion-avoidance algorithm.
+    pub algo: CcAlgo,
+}
+
+impl TcpConfig {
+    pub fn new(mss: u32, rwnd: u64, algo: CcAlgo) -> TcpConfig {
+        assert!(mss > 0 && rwnd >= mss as u64);
+        TcpConfig {
+            mss,
+            init_cwnd: 10 * mss as u64,
+            rwnd,
+            algo,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    SlowStart,
+    CongestionAvoidance,
+    /// Fast recovery: window already halved; new growth deferred until the
+    /// recovery point is acked.
+    Recovery,
+}
+
+/// Counters exposed for experiment reports.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TcpStats {
+    pub bytes_acked: u64,
+    pub loss_events: u64,
+    pub retransmitted_bytes: u64,
+    pub max_cwnd: u64,
+}
+
+/// One TCP flow's window state.
+#[derive(Debug, Clone)]
+pub struct TcpFlow {
+    cfg: TcpConfig,
+    cwnd: f64,
+    ssthresh: f64,
+    inflight: u64,
+    phase: Phase,
+    /// Bytes that must be acked to exit recovery.
+    recovery_mark: u64,
+    /// Cumulative acked bytes (the "sequence space" proxy).
+    acked_total: u64,
+    /// cwnd at the last loss (CUBIC's W_max, BIC's target).
+    w_max: f64,
+    /// Time of the last loss event (drives CUBIC/H-TCP growth).
+    last_loss: Option<SimTime>,
+    stats: TcpStats,
+}
+
+impl TcpFlow {
+    pub fn new(cfg: TcpConfig) -> TcpFlow {
+        let cwnd = cfg.init_cwnd as f64;
+        TcpFlow {
+            ssthresh: cfg.rwnd as f64, // no prior loss: slow start up to rwnd
+            cwnd,
+            cfg,
+            inflight: 0,
+            phase: Phase::SlowStart,
+            recovery_mark: 0,
+            acked_total: 0,
+            w_max: 0.0,
+            last_loss: None,
+            stats: TcpStats::default(),
+        }
+    }
+
+    pub fn config(&self) -> &TcpConfig {
+        &self.cfg
+    }
+
+    pub fn stats(&self) -> TcpStats {
+        self.stats
+    }
+
+    /// Effective send window: min(cwnd, rwnd), at least one segment.
+    pub fn window(&self) -> u64 {
+        (self.cwnd as u64).min(self.cfg.rwnd).max(self.cfg.mss as u64)
+    }
+
+    /// Bytes currently unacknowledged.
+    pub fn inflight(&self) -> u64 {
+        self.inflight
+    }
+
+    /// Bytes the sender may put on the wire right now.
+    pub fn available_window(&self) -> u64 {
+        self.window().saturating_sub(self.inflight)
+    }
+
+    pub fn in_slow_start(&self) -> bool {
+        self.phase == Phase::SlowStart
+    }
+
+    pub fn cwnd_bytes(&self) -> u64 {
+        self.cwnd as u64
+    }
+
+    /// Sender put `bytes` on the wire.
+    pub fn on_sent(&mut self, bytes: u64) {
+        debug_assert!(
+            self.inflight + bytes <= self.window() + self.cfg.mss as u64,
+            "sent beyond window: inflight {} + {} > window {}",
+            self.inflight,
+            bytes,
+            self.window()
+        );
+        self.inflight += bytes;
+    }
+
+    /// A retransmission of `bytes` was put on the wire (already counted in
+    /// `inflight`; only the statistic is updated).
+    pub fn on_retransmit(&mut self, bytes: u64) {
+        self.stats.retransmitted_bytes += bytes;
+    }
+
+    /// Cumulative ACK for `bytes`, observed at `now` with smoothed RTT
+    /// `srtt_s` (seconds). Grows the window per the configured algorithm.
+    pub fn on_ack(&mut self, bytes: u64, now: SimTime, srtt_s: f64) {
+        let bytes = bytes.min(self.inflight);
+        self.inflight -= bytes;
+        self.acked_total += bytes;
+        self.stats.bytes_acked += bytes;
+
+        match self.phase {
+            Phase::Recovery => {
+                if self.acked_total >= self.recovery_mark {
+                    self.phase = Phase::CongestionAvoidance;
+                }
+            }
+            Phase::SlowStart => {
+                // Exponential: one MSS of growth per MSS acked.
+                self.cwnd += bytes as f64;
+                if self.cwnd >= self.ssthresh {
+                    self.cwnd = self.ssthresh;
+                    self.phase = Phase::CongestionAvoidance;
+                }
+            }
+            Phase::CongestionAvoidance => {
+                self.grow_ca(bytes, now, srtt_s);
+            }
+        }
+        self.cwnd = self.cwnd.min(self.cfg.rwnd as f64);
+        self.stats.max_cwnd = self.stats.max_cwnd.max(self.cwnd as u64);
+    }
+
+    /// Congestion-avoidance growth for `acked` bytes.
+    fn grow_ca(&mut self, acked: u64, now: SimTime, srtt_s: f64) {
+        let mss = self.cfg.mss as f64;
+        match self.cfg.algo {
+            CcAlgo::Reno => {
+                // +mss per cwnd of acked data (=> +1 MSS per RTT).
+                self.cwnd += mss * acked as f64 / self.cwnd;
+            }
+            CcAlgo::Cubic => {
+                // W(t) = C*(t-K)^3 + W_max, K = cbrt(W_max*beta/C).
+                // C is in segments/s^3 in the RFC; convert via MSS.
+                const C: f64 = 0.4;
+                const BETA: f64 = 0.3; // multiplicative decrease fraction
+                let t = self
+                    .last_loss
+                    .map(|l| now.since(l).as_secs_f64())
+                    .unwrap_or(0.0);
+                let wmax_seg = (self.w_max / mss).max(1.0);
+                let k = (wmax_seg * BETA / C).cbrt();
+                let target_seg = C * (t - k).powi(3) + wmax_seg;
+                let target = (target_seg * mss).max(self.cwnd + mss * acked as f64 / self.cwnd);
+                // Approach the cubic target over one RTT's worth of acks.
+                let step = (target - self.cwnd).max(0.0) * acked as f64 / self.cwnd.max(1.0);
+                self.cwnd += step.min(mss * acked as f64 / mss); // cap: <=1 MSS per MSS acked
+            }
+            CcAlgo::Htcp => {
+                // alpha grows quadratically with seconds since last loss.
+                let dt = self
+                    .last_loss
+                    .map(|l| now.since(l).as_secs_f64())
+                    .unwrap_or(1.0);
+                let d = (dt - 1.0).max(0.0);
+                let alpha = (1.0 + 10.0 * d + (d * d) / 4.0) * 2.0 * (1.0 - 0.5);
+                self.cwnd += alpha * mss * acked as f64 / self.cwnd;
+            }
+            CcAlgo::Bic => {
+                // Binary increase toward w_max, then slow probing beyond.
+                let target = if self.cwnd < self.w_max {
+                    self.cwnd + (self.w_max - self.cwnd) / 2.0
+                } else {
+                    self.cwnd + mss
+                };
+                let max_step = 16.0 * mss; // BIC's Smax
+                let step = (target - self.cwnd).clamp(mss * 0.01, max_step);
+                self.cwnd += step * acked as f64 / self.cwnd;
+            }
+        }
+        let _ = srtt_s; // growth laws here are ack-clocked; srtt reserved for pacing models
+    }
+
+    /// Loss detected (triple-dup-ack equivalent) at `now`. Returns true if
+    /// this starts a new recovery episode (multiple losses within one
+    /// window count once, as in fast recovery).
+    pub fn on_loss(&mut self, now: SimTime) -> bool {
+        if self.phase == Phase::Recovery {
+            return false;
+        }
+        self.stats.loss_events += 1;
+        self.w_max = self.cwnd;
+        self.last_loss = Some(now);
+        let beta = match self.cfg.algo {
+            CcAlgo::Reno => 0.5,
+            CcAlgo::Cubic => 0.7,
+            CcAlgo::Htcp => 0.5,
+            CcAlgo::Bic => 0.8,
+        };
+        self.ssthresh = (self.cwnd * beta).max(2.0 * self.cfg.mss as f64);
+        self.cwnd = self.ssthresh;
+        self.phase = Phase::Recovery;
+        self.recovery_mark = self.acked_total + self.inflight;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDur;
+
+    fn cfg(algo: CcAlgo) -> TcpConfig {
+        TcpConfig::new(9000, 64 * 1024 * 1024, algo)
+    }
+
+    /// Drive one RTT: send the full window, then ack it all.
+    fn pump_rtt(f: &mut TcpFlow, now: SimTime) -> u64 {
+        let w = f.available_window();
+        f.on_sent(w);
+        f.on_ack(w, now, 0.049);
+        w
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut f = TcpFlow::new(cfg(CcAlgo::Reno));
+        let w0 = f.window();
+        assert_eq!(w0, 90_000); // 10 * MSS
+        let mut now = SimTime::ZERO;
+        let mut prev = 0;
+        for i in 0..5 {
+            now += SimDur::from_millis(49);
+            let sent = pump_rtt(&mut f, now);
+            if i > 0 {
+                assert_eq!(sent, prev * 2, "slow start must double per RTT");
+            }
+            prev = sent;
+        }
+        assert!(f.in_slow_start());
+    }
+
+    #[test]
+    fn slow_start_caps_at_rwnd() {
+        let mut f = TcpFlow::new(TcpConfig::new(9000, 900_000, CcAlgo::Reno));
+        let mut now = SimTime::ZERO;
+        for _ in 0..20 {
+            now += SimDur::from_millis(49);
+            pump_rtt(&mut f, now);
+        }
+        assert_eq!(f.window(), 900_000);
+    }
+
+    #[test]
+    fn reno_halves_on_loss_and_recovers_linearly() {
+        let mut f = TcpFlow::new(cfg(CcAlgo::Reno));
+        let mut now = SimTime::ZERO;
+        for _ in 0..8 {
+            now += SimDur::from_millis(49);
+            pump_rtt(&mut f, now);
+        }
+        let before = f.cwnd_bytes();
+        assert!(f.on_loss(now));
+        let after = f.cwnd_bytes();
+        assert!((after as f64 - before as f64 * 0.5).abs() < 9000.0);
+        // Second loss within the same window is absorbed by recovery.
+        assert!(!f.on_loss(now));
+        assert_eq!(f.stats().loss_events, 1);
+
+        // Exit recovery by acking everything outstanding, then grow ~1 MSS/RTT.
+        let inflight = f.inflight();
+        f.on_ack(inflight, now, 0.049);
+        let w1 = f.window();
+        now += SimDur::from_millis(49);
+        pump_rtt(&mut f, now);
+        let w2 = f.window();
+        let growth = w2 - w1;
+        assert!(
+            (8000..=10_000).contains(&growth),
+            "Reno CA growth per RTT should be ~1 MSS, got {growth}"
+        );
+    }
+
+    #[test]
+    fn window_never_exceeds_rwnd() {
+        for algo in [CcAlgo::Reno, CcAlgo::Cubic, CcAlgo::Htcp, CcAlgo::Bic] {
+            let mut f = TcpFlow::new(TcpConfig::new(9000, 1_000_000, algo));
+            let mut now = SimTime::ZERO;
+            for i in 0..200 {
+                now += SimDur::from_millis(49);
+                pump_rtt(&mut f, now);
+                if i == 50 {
+                    f.on_loss(now);
+                    let inflight = f.inflight();
+                    f.on_ack(inflight, now, 0.049);
+                }
+                assert!(f.window() <= 1_000_000, "{algo:?} exceeded rwnd");
+            }
+        }
+    }
+
+    #[test]
+    fn cubic_recovers_faster_than_reno_on_long_rtt() {
+        let run = |algo: CcAlgo| -> u64 {
+            let mut f = TcpFlow::new(cfg(algo));
+            let mut now = SimTime::ZERO;
+            // Ramp to a large window, lose, then measure cwnd after 40 RTTs.
+            for _ in 0..12 {
+                now += SimDur::from_millis(49);
+                pump_rtt(&mut f, now);
+            }
+            f.on_loss(now);
+            let inflight = f.inflight();
+            f.on_ack(inflight, now, 0.049);
+            for _ in 0..40 {
+                now += SimDur::from_millis(49);
+                pump_rtt(&mut f, now);
+            }
+            f.cwnd_bytes()
+        };
+        let reno = run(CcAlgo::Reno);
+        let cubic = run(CcAlgo::Cubic);
+        let htcp = run(CcAlgo::Htcp);
+        assert!(
+            cubic > reno,
+            "cubic ({cubic}) should out-recover reno ({reno}) at 49 ms RTT"
+        );
+        assert!(
+            htcp > reno,
+            "htcp ({htcp}) should out-recover reno ({reno}) at 49 ms RTT"
+        );
+    }
+
+    #[test]
+    fn bic_binary_search_approaches_wmax() {
+        let mut f = TcpFlow::new(cfg(CcAlgo::Bic));
+        let mut now = SimTime::ZERO;
+        for _ in 0..12 {
+            now += SimDur::from_millis(49);
+            pump_rtt(&mut f, now);
+        }
+        let wmax = f.cwnd_bytes();
+        f.on_loss(now);
+        let inflight = f.inflight();
+        f.on_ack(inflight, now, 0.049);
+        for _ in 0..30 {
+            now += SimDur::from_millis(49);
+            pump_rtt(&mut f, now);
+        }
+        let w = f.cwnd_bytes() as f64;
+        assert!(
+            w >= wmax as f64 * 0.8,
+            "BIC should close most of the gap to w_max: {w} vs {wmax}"
+        );
+    }
+
+    #[test]
+    fn inflight_accounting() {
+        let mut f = TcpFlow::new(cfg(CcAlgo::Reno));
+        f.on_sent(50_000);
+        assert_eq!(f.inflight(), 50_000);
+        assert_eq!(f.available_window(), 40_000);
+        f.on_ack(30_000, SimTime(1), 0.001);
+        assert_eq!(f.inflight(), 20_000);
+        // Over-ack is clamped (idempotent cumulative-ack semantics).
+        f.on_ack(1_000_000, SimTime(2), 0.001);
+        assert_eq!(f.inflight(), 0);
+    }
+}

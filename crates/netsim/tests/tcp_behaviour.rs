@@ -1,0 +1,130 @@
+//! TCP state-machine behaviour across the Table I congestion-control
+//! variants: the dynamics that shape the GridFTP baseline.
+
+use rftp_netsim::tcp::{CcAlgo, TcpConfig, TcpFlow};
+use rftp_netsim::time::{SimDur, SimTime};
+
+/// Drive one RTT: send the full available window, then ack it back.
+fn pump(f: &mut TcpFlow, now: SimTime) -> u64 {
+    let w = f.available_window();
+    f.on_sent(w);
+    f.on_ack(w, now, 0.049);
+    w
+}
+
+fn ramp_rtts_to(window: u64, algo: CcAlgo) -> u32 {
+    let mut f = TcpFlow::new(TcpConfig::new(9000, 128 << 20, algo));
+    let mut now = SimTime::ZERO;
+    for rtt in 1..=64 {
+        now += SimDur::from_millis(49);
+        pump(&mut f, now);
+        if f.window() >= window {
+            return rtt;
+        }
+    }
+    u32::MAX
+}
+
+/// Slow start reaches a 61 MB (ANI BDP) window in O(log) RTTs for every
+/// variant — about 10 doublings from the 90 KB initial window.
+#[test]
+fn slow_start_fills_the_ani_bdp_in_about_ten_rtts() {
+    for algo in [CcAlgo::Reno, CcAlgo::Cubic, CcAlgo::Htcp, CcAlgo::Bic] {
+        let rtts = ramp_rtts_to(61_250_000, algo);
+        assert!(
+            (9..=12).contains(&rtts),
+            "{algo:?}: took {rtts} RTTs to open the BDP window"
+        );
+    }
+}
+
+/// After a loss at a large window, the modern variants (cubic, htcp,
+/// bic) recover to 90% of the pre-loss window far faster than Reno —
+/// the reason Table I's hosts run them.
+#[test]
+fn modern_variants_out_recover_reno() {
+    let recovery_rtts = |algo: CcAlgo| -> u32 {
+        let mut f = TcpFlow::new(TcpConfig::new(9000, 128 << 20, algo));
+        let mut now = SimTime::ZERO;
+        // Open a ~61 MB window.
+        while f.window() < 61_250_000 {
+            now += SimDur::from_millis(49);
+            pump(&mut f, now);
+        }
+        let target = f.cwnd_bytes() * 9 / 10;
+        f.on_loss(now);
+        let inflight = f.inflight();
+        f.on_ack(inflight, now, 0.049);
+        for rtt in 1..=4000 {
+            now += SimDur::from_millis(49);
+            pump(&mut f, now);
+            if f.cwnd_bytes() >= target {
+                return rtt;
+            }
+        }
+        u32::MAX
+    };
+    let reno = recovery_rtts(CcAlgo::Reno);
+    for algo in [CcAlgo::Cubic, CcAlgo::Htcp, CcAlgo::Bic] {
+        let r = recovery_rtts(algo);
+        assert!(
+            r * 4 <= reno,
+            "{algo:?} recovery {r} RTTs should be <= 1/4 of Reno's {reno}"
+        );
+    }
+    // Reno at 9 KB MSS needs thousands of RTTs for ~3 MB of window.
+    assert!(reno > 300, "Reno recovery unrealistically fast: {reno}");
+}
+
+/// Loss events inside one window are absorbed into a single recovery
+/// episode (fast-recovery semantics), so a burst of drops doesn't
+/// multiplicatively collapse the window.
+#[test]
+fn loss_burst_counts_once() {
+    let mut f = TcpFlow::new(TcpConfig::new(9000, 64 << 20, CcAlgo::Cubic));
+    let mut now = SimTime::ZERO;
+    for _ in 0..10 {
+        now += SimDur::from_millis(49);
+        pump(&mut f, now);
+    }
+    let before = f.cwnd_bytes();
+    assert!(f.on_loss(now));
+    let after_first = f.cwnd_bytes();
+    for _ in 0..5 {
+        assert!(!f.on_loss(now), "same-window losses must be absorbed");
+    }
+    assert_eq!(f.cwnd_bytes(), after_first);
+    assert_eq!(f.stats().loss_events, 1);
+    assert!(after_first as f64 >= before as f64 * 0.65); // cubic beta = 0.7
+}
+
+/// The paper tunes rwnd to the BDP: a flow with rwnd below the BDP is
+/// throughput-capped at rwnd/RTT no matter how long it runs.
+#[test]
+fn undersized_rwnd_caps_throughput() {
+    let rwnd = 8 << 20; // 8 MB on a 61 MB-BDP path
+    let mut f = TcpFlow::new(TcpConfig::new(9000, rwnd, CcAlgo::Htcp));
+    let mut now = SimTime::ZERO;
+    let mut moved = 0u64;
+    let rtts = 100;
+    for _ in 0..rtts {
+        now += SimDur::from_millis(49);
+        moved += pump(&mut f, now);
+    }
+    let gbps = moved as f64 * 8.0 / (rtts as f64 * 0.049) / 1e9;
+    let cap = rwnd as f64 * 8.0 / 0.049 / 1e9;
+    assert!(gbps <= cap * 1.01, "{gbps:.2} Gbps exceeds rwnd cap {cap:.2}");
+    assert!(gbps >= cap * 0.9, "{gbps:.2} Gbps far below rwnd cap {cap:.2}");
+}
+
+/// Retransmission accounting: retransmitted bytes are tracked separately
+/// and never counted as progress.
+#[test]
+fn retransmissions_are_accounted() {
+    let mut f = TcpFlow::new(TcpConfig::new(9000, 1 << 20, CcAlgo::Reno));
+    f.on_sent(90_000);
+    f.on_loss(SimTime(1));
+    f.on_retransmit(9_000);
+    assert_eq!(f.stats().retransmitted_bytes, 9_000);
+    assert_eq!(f.stats().bytes_acked, 0);
+}

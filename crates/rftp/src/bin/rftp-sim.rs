@@ -1,0 +1,238 @@
+//! `rftp-sim` — command-line front end for the simulated RFTP tool.
+//!
+//! Mirrors the knobs the paper's RFTP binary exposed (block size,
+//! parallel streams, direct I/O) plus the simulated environment:
+//!
+//! ```text
+//! rftp-sim --testbed wan --block 4M --streams 8 --size 8G
+//! rftp-sim --testbed roce --sink disk --verify --files 3 --size 2G
+//! rftp-sim --help
+//! ```
+
+use rftp::{disk, Client, DataSink, DataSource, NotifyMode, Server};
+use rftp_netsim::testbed::{self, Testbed};
+
+struct Args {
+    testbed: String,
+    block: u64,
+    streams: u16,
+    size: u64,
+    files: u32,
+    pool: u32,
+    sink: String,
+    verify: bool,
+    write_imm: bool,
+    on_demand_credits: bool,
+}
+
+fn parse_size(s: &str) -> Option<u64> {
+    let (num, mult) = match s.chars().last()? {
+        'K' | 'k' => (&s[..s.len() - 1], 1u64 << 10),
+        'M' | 'm' => (&s[..s.len() - 1], 1 << 20),
+        'G' | 'g' => (&s[..s.len() - 1], 1 << 30),
+        'T' | 't' => (&s[..s.len() - 1], 1 << 40),
+        _ => (s, 1),
+    };
+    num.parse::<u64>().ok().map(|n| n * mult)
+}
+
+const HELP: &str = "rftp-sim: RFTP over the simulated testbeds of Ren et al., SC 2012
+
+USAGE: rftp-sim [OPTIONS]
+
+OPTIONS:
+  --testbed <roce|ib|wan|esnet100g>  environment (default wan)
+  --block <SIZE>       block size, e.g. 4M (default 4M)
+  --streams <N>        parallel data channels (default 4)
+  --size <SIZE>        bytes per file, e.g. 8G (default 4G)
+  --files <N>          number of files in the job train (default 1)
+  --pool <N>           pool blocks per endpoint (default: 4x BDP / block)
+  --sink <null|disk>   payload destination (default null)
+  --verify             pattern data + end-to-end checksums
+  --write-imm          WRITE_WITH_IMM notification mode
+  --on-demand-credits  RXIO-style request/response credits (ablation)
+  --help               this text";
+
+fn parse_args() -> Result<Args, String> {
+    let mut a = Args {
+        testbed: "wan".into(),
+        block: 4 << 20,
+        streams: 4,
+        size: 4 << 30,
+        files: 1,
+        pool: 0,
+        sink: "null".into(),
+        verify: false,
+        write_imm: false,
+        on_demand_credits: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--testbed" => a.testbed = val("--testbed")?,
+            "--block" => {
+                a.block = parse_size(&val("--block")?).ok_or("bad --block")?;
+            }
+            "--streams" => {
+                a.streams = val("--streams")?.parse().map_err(|_| "bad --streams")?;
+            }
+            "--size" => {
+                a.size = parse_size(&val("--size")?).ok_or("bad --size")?;
+            }
+            "--files" => {
+                a.files = val("--files")?.parse().map_err(|_| "bad --files")?;
+            }
+            "--pool" => {
+                a.pool = val("--pool")?.parse().map_err(|_| "bad --pool")?;
+            }
+            "--sink" => a.sink = val("--sink")?,
+            "--verify" => a.verify = true,
+            "--write-imm" => a.write_imm = true,
+            "--on-demand-credits" => a.on_demand_credits = true,
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(a)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{HELP}");
+            std::process::exit(2);
+        }
+    };
+    let tb: Testbed = match args.testbed.as_str() {
+        "roce" => testbed::roce_lan(),
+        "ib" => testbed::ib_lan(),
+        "wan" => testbed::ani_wan(),
+        "esnet100g" => testbed::esnet_100g(),
+        other => {
+            eprintln!("unknown testbed '{other}' (roce|ib|wan|esnet100g)");
+            std::process::exit(2);
+        }
+    };
+    let pool = if args.pool > 0 {
+        args.pool
+    } else {
+        ((4 * tb.bdp_bytes()) / args.block).clamp(16, 4096) as u32
+    };
+
+    println!(
+        "rftp-sim: {} — {:.1} Gbps bare-metal, RTT {} ms, BDP {:.1} MB",
+        tb.name,
+        tb.bare_metal.as_gbps(),
+        tb.rtt_ms,
+        tb.bdp_bytes() as f64 / 1e6
+    );
+    println!(
+        "config: block {} KB x pool {pool}, {} stream(s), {} file(s) x {} MB, sink {}{}{}{}",
+        args.block >> 10,
+        args.streams,
+        args.files,
+        args.size >> 20,
+        args.sink,
+        if args.verify { ", verified" } else { "" },
+        if args.write_imm { ", write-imm" } else { "" },
+        if args.on_demand_credits {
+            ", on-demand credits"
+        } else {
+            ""
+        },
+    );
+
+    let mut client = Client::new()
+        .block_size(args.block)
+        .streams(args.streams)
+        .pool_blocks(pool)
+        .notify(if args.write_imm {
+            NotifyMode::WriteImm
+        } else {
+            NotifyMode::CtrlMsg
+        })
+        .source(if args.verify {
+            DataSource::Pattern
+        } else {
+            DataSource::Zero
+        });
+    for i in 0..args.files {
+        client = client.push_job(format!("file-{i:03}.dat"), args.size);
+    }
+
+    let mut server = Server::new().pool_blocks(pool).verify_payload(args.verify);
+    server = match args.sink.as_str() {
+        "null" => server.sink(DataSink::Null),
+        "disk" => server.sink(DataSink::Disk(disk::raid_array())),
+        other => {
+            eprintln!("unknown sink '{other}' (null|disk)");
+            std::process::exit(2);
+        }
+    };
+    if args.on_demand_credits {
+        server = server.credit_mode(rftp::CreditMode::OnDemand);
+    }
+
+    let r = client.transfer_to(server, &tb);
+
+    println!();
+    println!(
+        "transferred {} files / {:.2} GB in {} (simulated)",
+        r.jobs_completed,
+        r.bytes as f64 / 1e9,
+        r.elapsed
+    );
+    println!(
+        "goodput      {:.2} Gbps ({:.0}% of bare-metal)",
+        r.goodput_gbps,
+        100.0 * r.goodput_gbps / tb.bare_metal.as_gbps()
+    );
+    println!(
+        "CPU          client {:.0}%  server {:.0}% (nmon convention)",
+        r.client_cpu_pct, r.server_cpu_pct
+    );
+    println!(
+        "flow control {} credits granted, {} credit requests, starved {}",
+        r.detail.sink.credits_granted,
+        r.detail.source.credit_requests,
+        r.detail.source.credit_starved
+    );
+    println!(
+        "reassembly   {} of {} blocks arrived out of order (max depth {})",
+        r.reordered_blocks, r.detail.sink.blocks_delivered, r.detail.sink.max_reorder_depth
+    );
+    if args.verify {
+        println!(
+            "integrity    {} checksum failures",
+            r.checksum_failures
+        );
+        if r.checksum_failures > 0 {
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_size;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(parse_size("100"), Some(100));
+        assert_eq!(parse_size("4K"), Some(4 << 10));
+        assert_eq!(parse_size("4k"), Some(4 << 10));
+        assert_eq!(parse_size("8M"), Some(8 << 20));
+        assert_eq!(parse_size("2G"), Some(2 << 30));
+        assert_eq!(parse_size("1T"), Some(1 << 40));
+        assert_eq!(parse_size("x"), None);
+        assert_eq!(parse_size(""), None);
+    }
+}

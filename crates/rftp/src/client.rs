@@ -1,0 +1,244 @@
+//! The RFTP client (data source): job list, tuning knobs, and the
+//! transfer runner.
+
+use crate::server::Server;
+use rftp_core::{harness, NotifyMode, SourceConfig, TransferReport};
+use rftp_netsim::testbed::Testbed;
+use rftp_netsim::time::SimDur;
+
+/// What fills the outgoing blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataSource {
+    /// `/dev/zero`-style synthetic data; costs the loader thread the
+    /// paper's measured 160 ps/B.
+    Zero,
+    /// Deterministic pattern data with end-to-end checksum verification
+    /// (forces real buffers; used by correctness runs).
+    Pattern,
+}
+
+/// One named transfer job (≈ one file).
+#[derive(Debug, Clone)]
+pub struct Job {
+    pub name: String,
+    pub bytes: u64,
+}
+
+/// Application-level transfer report.
+#[derive(Debug, Clone)]
+pub struct RftpReport {
+    /// Aggregate application goodput, Gbps.
+    pub goodput_gbps: f64,
+    pub elapsed: SimDur,
+    pub bytes: u64,
+    pub jobs_completed: u32,
+    /// Client host CPU (percent of one core, summed over threads).
+    pub client_cpu_pct: f64,
+    /// Server host CPU.
+    pub server_cpu_pct: f64,
+    /// Blocks that arrived out of order and were reassembled.
+    pub reordered_blocks: u64,
+    /// Payload verification failures (Pattern source only; must be 0).
+    pub checksum_failures: u64,
+    /// The raw middleware report for detailed analysis.
+    pub detail: TransferReport,
+}
+
+/// Builder for the source endpoint.
+#[derive(Debug, Clone)]
+pub struct Client {
+    block_size: u64,
+    streams: u16,
+    pool_blocks: u32,
+    notify: NotifyMode,
+    source: DataSource,
+    loader_threads: u32,
+    jobs: Vec<Job>,
+}
+
+impl Default for Client {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Client {
+    pub fn new() -> Client {
+        Client {
+            block_size: 4 << 20,
+            streams: 1,
+            pool_blocks: 64,
+            notify: NotifyMode::CtrlMsg,
+            source: DataSource::Zero,
+            loader_threads: 2,
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Data bytes per block (the paper sweeps 128 KB – 64 MB).
+    pub fn block_size(mut self, bytes: u64) -> Client {
+        self.block_size = bytes;
+        self
+    }
+
+    /// Parallel data channels ("streams", 1 or 8 in the paper's runs).
+    pub fn streams(mut self, n: u16) -> Client {
+        self.streams = n;
+        self
+    }
+
+    /// Registered source pool size in blocks; with `block_size` this
+    /// bounds the data in flight (must exceed the path BDP to saturate).
+    pub fn pool_blocks(mut self, n: u32) -> Client {
+        self.pool_blocks = n;
+        self
+    }
+
+    /// Completion-notification mode (control message vs write-with-imm).
+    pub fn notify(mut self, mode: NotifyMode) -> Client {
+        self.notify = mode;
+        self
+    }
+
+    pub fn source(mut self, s: DataSource) -> Client {
+        self.source = s;
+        self
+    }
+
+    pub fn loader_threads(mut self, n: u32) -> Client {
+        self.loader_threads = n;
+        self
+    }
+
+    /// Queue a job (≈ one file). Jobs run as sequential sessions reusing
+    /// channels and registered memory.
+    pub fn push_job(mut self, name: impl Into<String>, bytes: u64) -> Client {
+        self.jobs.push(Job {
+            name: name.into(),
+            bytes,
+        });
+        self
+    }
+
+    fn into_config(self) -> SourceConfig {
+        assert!(!self.jobs.is_empty(), "no jobs queued");
+        let mut cfg = SourceConfig::new(self.block_size, self.streams, 0);
+        cfg.jobs = self.jobs.iter().map(|j| j.bytes).collect();
+        cfg.pool_blocks = self.pool_blocks;
+        cfg.notify = self.notify;
+        cfg.loader_threads = self.loader_threads;
+        cfg.real_data = self.source == DataSource::Pattern;
+        cfg
+    }
+
+    /// Run the transfer against `server` on testbed `tb`. Simulated time
+    /// is unbounded within a 10-hour guard; the call is deterministic.
+    pub fn transfer_to(self, server: Server, tb: &Testbed) -> RftpReport {
+        let jobs = self.jobs.len() as u32;
+        let src_cfg = self.into_config();
+        let mut snk_cfg = server.into_config();
+        // Pattern verification needs real buffers on both ends.
+        if src_cfg.real_data {
+            snk_cfg.real_data = true;
+        }
+        let report =
+            harness::build_experiment(tb, src_cfg, snk_cfg).run(SimDur::from_secs(36_000));
+        RftpReport {
+            goodput_gbps: report.goodput_gbps,
+            elapsed: report.elapsed,
+            bytes: report.source.bytes_sent,
+            jobs_completed: jobs,
+            client_cpu_pct: report.src_cpu_pct,
+            server_cpu_pct: report.dst_cpu_pct,
+            reordered_blocks: report.sink.ooo_blocks,
+            checksum_failures: report.sink.checksum_failures,
+            detail: report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::DataSink;
+    use rftp_netsim::testbed;
+
+    const MB: u64 = 1 << 20;
+    const GB: u64 = 1 << 30;
+
+    #[test]
+    fn quick_lan_transfer() {
+        let r = Client::new()
+            .block_size(MB)
+            .streams(4)
+            .push_job("a.dat", GB)
+            .transfer_to(Server::new(), &testbed::roce_lan());
+        assert_eq!(r.bytes, GB);
+        assert!(r.goodput_gbps > 35.0, "{:.2}", r.goodput_gbps);
+        assert_eq!(r.jobs_completed, 1);
+    }
+
+    #[test]
+    fn pattern_source_verifies() {
+        // 64 MB + a short tail block: the tail serializes faster than its
+        // full-size predecessor on the neighbouring channel, so it
+        // arrives out of order and must be reassembled.
+        let r = Client::new()
+            .block_size(512 * 1024)
+            .streams(4)
+            .source(DataSource::Pattern)
+            .pool_blocks(16)
+            .push_job("verify.dat", 64 * MB + 4096)
+            .transfer_to(Server::new().pool_blocks(16), &testbed::ib_lan());
+        assert_eq!(r.checksum_failures, 0);
+        assert_eq!(r.bytes, 64 * MB + 4096);
+        assert!(
+            r.reordered_blocks > 0,
+            "the short tail should overtake and be reordered"
+        );
+    }
+
+    #[test]
+    fn file_group_to_disk() {
+        // Fig. 11 workload shape: a group of files to a RAID array.
+        let r = Client::new()
+            .block_size(4 * MB)
+            .streams(4)
+            .push_job("f1", 3 * GB)
+            .push_job("f2", 3 * GB)
+            .transfer_to(
+                Server::new().sink(DataSink::Disk(crate::disk::raid_array())),
+                &testbed::ani_wan(),
+            );
+        assert_eq!(r.jobs_completed, 2);
+        assert_eq!(r.bytes, 6 * GB);
+        // Each session pays its credit slow-start; large files amortize it.
+        assert!(r.goodput_gbps > 8.5, "{:.2}", r.goodput_gbps);
+    }
+
+    #[test]
+    fn slow_disk_gates_goodput() {
+        // A 4 Gbps SSD behind a 40 Gbps LAN: the disk is the bottleneck
+        // and backpressure (credits stop flowing) must slow the source.
+        let r = Client::new()
+            .block_size(4 * MB)
+            .streams(4)
+            .push_job("big", 2 * GB)
+            .transfer_to(
+                Server::new().sink(DataSink::Disk(crate::disk::laptop_ssd())),
+                &testbed::roce_lan(),
+            );
+        assert!(
+            r.goodput_gbps < 5.0,
+            "disk backpressure must gate the transfer: {:.2}",
+            r.goodput_gbps
+        );
+        assert!(r.goodput_gbps > 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no jobs queued")]
+    fn empty_job_list_panics() {
+        let _ = Client::new().transfer_to(Server::new(), &testbed::roce_lan());
+    }
+}

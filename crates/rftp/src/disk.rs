@@ -1,0 +1,61 @@
+//! Storage-device presets for memory-to-disk transfers.
+//!
+//! The paper's disk experiments (Fig. 11) write "a group of 400 GB files
+//! spread across multiple RAID disks to achieve the best performance of
+//! the disk system", with RFTP's direct-I/O feature enabled. The device
+//! model is a rate-limited FIFO (the fabric's `Device`); these presets
+//! pick rates representative of the hardware classes involved.
+
+use rftp_netsim::time::Bandwidth;
+
+/// A storage device: sustained streaming rate plus the I/O mode.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskSpec {
+    /// Sustained sequential write rate.
+    pub rate: Bandwidth,
+    /// Use direct I/O (bypass the page cache). RFTP enables this; the
+    /// paper notes GridFTP had not integrated direct I/O.
+    pub direct_io: bool,
+    pub name: &'static str,
+}
+
+impl DiskSpec {
+    /// Flip to buffered POSIX writes (what GridFTP would do).
+    pub fn buffered(mut self) -> DiskSpec {
+        self.direct_io = false;
+        self
+    }
+}
+
+/// The testbeds' striped RAID array (with Fusion-io class backing): fast
+/// enough to keep a 10 Gbps WAN busy with headroom, as Fig. 11 requires.
+pub fn raid_array() -> DiskSpec {
+    DiskSpec {
+        rate: Bandwidth::from_gbps(16),
+        direct_io: true,
+        name: "raid-array",
+    }
+}
+
+/// A single consumer SSD — deliberately *slower* than the fast networks,
+/// for experiments about disk-bound transfers.
+pub fn laptop_ssd() -> DiskSpec {
+    DiskSpec {
+        rate: Bandwidth::from_gbps(4),
+        direct_io: true,
+        name: "laptop-ssd",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert!(raid_array().rate.bits_per_sec() > 10_000_000_000);
+        assert!(raid_array().direct_io);
+        assert!(!raid_array().buffered().direct_io);
+        assert!(laptop_ssd().rate < raid_array().rate);
+    }
+}

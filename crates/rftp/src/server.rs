@@ -1,0 +1,110 @@
+//! The RFTP server (data sink) configuration.
+
+use crate::disk::DiskSpec;
+use rftp_core::{ConsumeMode, CreditMode, SinkConfig};
+
+/// Where received payload goes.
+#[derive(Debug, Clone, Copy)]
+pub enum DataSink {
+    /// Discard (`/dev/null`) — the memory-to-memory experiments.
+    Null,
+    /// Write to a storage device — the memory-to-disk experiments.
+    Disk(DiskSpec),
+}
+
+/// Builder for the sink endpoint. Defaults follow the paper's protocol:
+/// proactive credits, two per completion, 64-block registered pool.
+#[derive(Debug, Clone)]
+pub struct Server {
+    cfg: SinkConfig,
+    sink: DataSink,
+}
+
+impl Default for Server {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Server {
+    pub fn new() -> Server {
+        Server {
+            cfg: SinkConfig::default(),
+            sink: DataSink::Null,
+        }
+    }
+
+    /// Choose the payload destination.
+    pub fn sink(mut self, sink: DataSink) -> Server {
+        self.sink = sink;
+        self
+    }
+
+    /// Size of the registered receive pool, in blocks.
+    pub fn pool_blocks(mut self, n: u32) -> Server {
+        self.cfg.pool_blocks = n;
+        self
+    }
+
+    /// Credit policy (paper default: proactive).
+    pub fn credit_mode(mut self, mode: CreditMode) -> Server {
+        self.cfg.credit_mode = mode;
+        self
+    }
+
+    /// Credits granted per completion notification (2 in the paper).
+    pub fn grant_per_completion(mut self, n: u32) -> Server {
+        self.cfg.grant_per_completion = n;
+        self
+    }
+
+    /// Largest block size the server will accept.
+    pub fn max_block_size(mut self, bytes: u64) -> Server {
+        self.cfg.max_block_size = bytes;
+        self
+    }
+
+    /// Validate payload contents end-to-end (forces real data buffers).
+    pub fn verify_payload(mut self, on: bool) -> Server {
+        self.cfg.real_data = on;
+        self
+    }
+
+    /// Resolve to the middleware configuration.
+    pub fn into_config(self) -> SinkConfig {
+        let mut cfg = self.cfg;
+        cfg.consume = match self.sink {
+            DataSink::Null => ConsumeMode::Null,
+            DataSink::Disk(spec) => ConsumeMode::Disk {
+                rate: spec.rate,
+                direct_io: spec.direct_io,
+            },
+        };
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_resolves_consume_mode() {
+        let cfg = Server::new()
+            .sink(DataSink::Disk(crate::disk::raid_array()))
+            .pool_blocks(128)
+            .into_config();
+        assert_eq!(cfg.pool_blocks, 128);
+        match cfg.consume {
+            ConsumeMode::Disk { direct_io, .. } => assert!(direct_io),
+            other => panic!("wrong consume mode {other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_are_paper_policy() {
+        let cfg = Server::new().into_config();
+        assert_eq!(cfg.grant_per_completion, 2);
+        assert!(matches!(cfg.consume, ConsumeMode::Null));
+    }
+}

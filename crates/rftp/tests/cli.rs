@@ -1,0 +1,64 @@
+//! End-to-end smoke tests for the `rftp-sim` command-line binary.
+
+use std::process::Command;
+
+fn rftp_sim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rftp-sim"))
+}
+
+#[test]
+fn cli_help_exits_zero() {
+    let out = rftp_sim().arg("--help").output().expect("spawn rftp-sim");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("--testbed"));
+    assert!(text.contains("--block"));
+}
+
+#[test]
+fn cli_runs_a_verified_lan_transfer() {
+    let out = rftp_sim()
+        .args([
+            "--testbed", "roce", "--block", "1M", "--streams", "4", "--size", "64M", "--verify",
+        ])
+        .output()
+        .expect("spawn rftp-sim");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("goodput"), "output: {text}");
+    assert!(text.contains("0 checksum failures"), "output: {text}");
+}
+
+#[test]
+fn cli_rejects_bad_flags() {
+    let out = rftp_sim().arg("--bogus").output().expect("spawn rftp-sim");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}
+
+#[test]
+fn cli_runs_on_demand_credit_ablation() {
+    let out = rftp_sim()
+        .args(["--testbed", "wan", "--size", "512M", "--on-demand-credits"])
+        .output()
+        .expect("spawn rftp-sim");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("on-demand credits"));
+}
+
+#[test]
+fn cli_esnet_run_reports_bare_metal_fraction() {
+    let out = rftp_sim()
+        .args(["--testbed", "esnet100g", "--size", "4G", "--streams", "8", "--block", "8M"])
+        .output()
+        .expect("spawn rftp-sim");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ESnet 100G WAN"));
+    assert!(text.contains("% of bare-metal"));
+}

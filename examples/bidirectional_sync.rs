@@ -1,0 +1,53 @@
+//! Bidirectional synchronization: two sites exchange datasets
+//! simultaneously over one wide-area link. Each host runs a source and a
+//! sink behind a single application (`DuplexEngine`); the full-duplex
+//! link carries both payload streams at line rate concurrently.
+//!
+//! ```text
+//! cargo run --release --example bidirectional_sync
+//! ```
+
+use rftp_core::harness::run_duplex;
+use rftp_core::{SinkConfig, SourceConfig};
+use rftp_netsim::testbed;
+
+const GB: u64 = 1 << 30;
+const MB: u64 = 1 << 20;
+
+fn main() {
+    let tb = testbed::ani_wan();
+    println!(
+        "site exchange over {}: {} Gbps each way, RTT {} ms\n",
+        tb.name, tb.nic_gbps, tb.rtt_ms
+    );
+
+    let pool = ((4 * tb.bdp_bytes()) / (4 * MB)).clamp(16, 4096) as u32;
+    // ANL pushes 8 GB of fresh events east→west while NERSC pushes 4 GB
+    // of reprocessed results back.
+    let a_cfg = SourceConfig::new(4 * MB, 4, 8 * GB).with_pool(pool);
+    let b_cfg = SourceConfig::new(4 * MB, 4, 4 * GB).with_pool(pool);
+    let ring = a_cfg.ctrl_ring_slots;
+    let snk = || SinkConfig {
+        pool_blocks: pool,
+        ctrl_ring_slots: ring,
+        ..SinkConfig::default()
+    };
+
+    let r = run_duplex(&tb, a_cfg, snk(), b_cfg, snk());
+    println!(
+        "ANL → NERSC: {} GB at {:.2} Gbps",
+        r.forward.bytes_sent / GB,
+        r.forward_gbps
+    );
+    println!(
+        "NERSC → ANL: {} GB at {:.2} Gbps",
+        r.reverse.bytes_sent / GB,
+        r.reverse_gbps
+    );
+    println!(
+        "host CPU: ANL {:.0}%, NERSC {:.0}%",
+        r.a_cpu_pct, r.b_cpu_pct
+    );
+    assert!(r.forward_gbps > 8.5 && r.reverse_gbps > 8.0);
+    println!("\nBoth directions ran concurrently at (near) line rate: the link is full duplex\nand RFTP's flow control keeps each direction's pipe independently full.");
+}

@@ -1,0 +1,43 @@
+//! Live pipeline: run the RFTP middleware on REAL operating-system
+//! threads — crossbeam-channel queue pairs, real memory placement, the
+//! actual Fig. 7 wire encodings — and measure true wall-clock
+//! throughput. This is the concurrency proof for the same data
+//! structures the simulator exercises in virtual time.
+//!
+//! ```text
+//! cargo run --release --example live_pipeline
+//! ```
+
+use rftp_live::{run_live, LiveConfig};
+
+fn main() {
+    println!("RFTP middleware on native threads (pattern-verified end to end)\n");
+    println!(
+        "{:>9} {:>9} {:>8} {:>8} {:>12} {:>10} {:>8}",
+        "block", "channels", "loaders", "blocks", "GB/s (real)", "ctrl msgs", "ooo"
+    );
+    for (block, channels, loaders) in [
+        (256 << 10, 1, 1),
+        (256 << 10, 4, 2),
+        (1 << 20, 4, 2),
+        (1 << 20, 8, 4),
+        (4 << 20, 8, 4),
+    ] {
+        let mut cfg = LiveConfig::new(block, channels, 512 << 20);
+        cfg.loaders = loaders;
+        cfg.pool_blocks = 32;
+        let r = run_live(&cfg);
+        assert_eq!(r.checksum_failures, 0, "integrity violated");
+        println!(
+            "{:>8}K {:>9} {:>8} {:>8} {:>12.2} {:>10} {:>8}",
+            block >> 10,
+            channels,
+            loaders,
+            r.blocks,
+            r.gbytes_per_sec,
+            r.ctrl_msgs,
+            r.ooo_blocks
+        );
+    }
+    println!("\nEvery run moved 512 MB with zero checksum failures and strict in-order delivery.");
+}

@@ -1,0 +1,78 @@
+//! Tuning advisor: sweep block sizes and stream counts on a chosen
+//! testbed and report the cheapest configuration that saturates the
+//! path — the decision the paper's §V parameter studies inform.
+//!
+//! ```text
+//! cargo run --release --example tuning_advisor [roce|ib|wan]
+//! ```
+
+use rftp::{Client, Server};
+use rftp_netsim::testbed::{self, Testbed};
+
+const MB: u64 = 1 << 20;
+const GB: u64 = 1 << 30;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "wan".into());
+    let tb: Testbed = match which.as_str() {
+        "roce" => testbed::roce_lan(),
+        "ib" => testbed::ib_lan(),
+        "wan" => testbed::ani_wan(),
+        other => {
+            eprintln!("unknown testbed '{other}', expected roce|ib|wan");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "tuning for {}: line rate {:.1} Gbps, BDP {:.1} MB\n",
+        tb.name,
+        tb.bare_metal.as_gbps(),
+        tb.bdp_bytes() as f64 / 1e6
+    );
+    println!(
+        "{:>8} {:>8} {:>10} {:>10} {:>12}",
+        "block", "streams", "Gbps", "cli CPU%", "pool (MB)"
+    );
+
+    let line = tb.bare_metal.as_gbps();
+    let mut best: Option<(u64, u16, f64, f64)> = None;
+    for block in [256 * 1024, MB, 4 * MB, 16 * MB] {
+        for streams in [1u16, 4] {
+            // Pools must cover the ~2-RTT credit loop.
+            let pool = ((4 * tb.bdp_bytes()) / block).clamp(16, 2048) as u32;
+            let r = Client::new()
+                .block_size(block)
+                .streams(streams)
+                .pool_blocks(pool)
+                .push_job("probe", 4 * GB)
+                .transfer_to(Server::new().pool_blocks(pool), &tb);
+            println!(
+                "{:>7}K {:>8} {:>10.2} {:>10.0} {:>12.0}",
+                block / 1024,
+                streams,
+                r.goodput_gbps,
+                r.client_cpu_pct,
+                (pool as u64 * block) as f64 / 1e6
+            );
+            let saturates = r.goodput_gbps > 0.92 * line;
+            let better = match best {
+                None => saturates,
+                Some((_, _, _, cpu)) => saturates && r.client_cpu_pct < cpu,
+            };
+            if better {
+                best = Some((block, streams, r.goodput_gbps, r.client_cpu_pct));
+            }
+        }
+    }
+
+    match best {
+        Some((block, streams, gbps, cpu)) => println!(
+            "\nrecommendation: {} MB blocks, {} stream(s) -> {:.2} Gbps at {:.0}% CPU",
+            block / MB,
+            streams,
+            gbps,
+            cpu
+        ),
+        None => println!("\nno configuration saturated the path; grow the pools"),
+    }
+}

@@ -1,0 +1,53 @@
+//! Verified transfer: move pattern data with end-to-end integrity
+//! checking and watch the protocol reassemble out-of-order blocks from
+//! parallel channels.
+//!
+//! ```text
+//! cargo run --release --example verified_transfer
+//! ```
+//!
+//! Every block carries the Fig. 7(b) payload header (session, sequence,
+//! offset, length); the sink validates headers and payload checksums as
+//! blocks arrive over 8 parallel queue pairs, and delivers an in-order
+//! stream to the consumer regardless of arrival order.
+
+use rftp::{Client, DataSink, DataSource, Server};
+use rftp_netsim::testbed;
+
+fn main() {
+    let tb = testbed::ib_lan();
+    println!(
+        "verified transfer over {} (bare-metal ceiling {:.1} Gbps)\n",
+        tb.name,
+        tb.bare_metal.as_gbps()
+    );
+
+    let r = Client::new()
+        .block_size(512 << 10)
+        .streams(8)
+        .source(DataSource::Pattern) // real bytes, checksummable
+        .pool_blocks(32)
+        // The odd tail byte forces a short final block, which overtakes
+        // its on-the-wire predecessors and exercises reassembly.
+        .push_job("checked.dat", (512 << 20) + 1)
+        .transfer_to(
+            Server::new()
+                .pool_blocks(32)
+                .verify_payload(true)
+                .sink(DataSink::Null),
+            &tb,
+        );
+
+    println!("goodput:            {:.2} Gbps", r.goodput_gbps);
+    println!("blocks delivered:   {}", r.detail.sink.blocks_delivered);
+    println!("arrived out of order: {}", r.reordered_blocks);
+    println!("max reorder depth:  {}", r.detail.sink.max_reorder_depth);
+    println!("checksum failures:  {}", r.checksum_failures);
+
+    assert_eq!(r.checksum_failures, 0, "payload integrity must hold");
+    assert!(
+        r.reordered_blocks > 0,
+        "8 channels should produce out-of-order arrivals"
+    );
+    println!("\nEvery byte verified; reassembly delivered a strictly in-order stream.");
+}

@@ -1,0 +1,19 @@
+//! # rftp-suite — reproduction of "Protocols for Wide-Area
+//! Data-intensive Applications: Design and Performance Issues" (SC 2012)
+//!
+//! This is the umbrella crate: it re-exports the workspace's public
+//! surface so examples and integration tests can use one import root.
+//!
+//! * [`rftp`] — the RFTP application (client/server builders).
+//! * [`rftp_core`] — the protocol middleware (the paper's contribution).
+//! * [`rftp_fabric`] — the verbs-like RDMA fabric simulator.
+//! * [`rftp_netsim`] — the discrete-event network substrate.
+//! * [`rftp_baselines`] — GridFTP-over-TCP and SEND/RECV FTP baselines.
+//! * [`rftp_ioengine`] — the fio-style semantics benchmark engine.
+
+pub use rftp;
+pub use rftp_baselines;
+pub use rftp_core;
+pub use rftp_fabric;
+pub use rftp_ioengine;
+pub use rftp_netsim;
