@@ -714,7 +714,9 @@ pub fn unpack_imm(imm: u32, expected_seq: u32) -> (u32, u32) {
     (slot, expected_seq.wrapping_add(delta as u32))
 }
 
-fn pattern_seed(session: u32, seq: u32) -> u64 {
+/// The pattern seed a source uses when generating block `seq` of
+/// `session` (and the one the sink's verifier must therefore assume).
+pub fn pattern_seed(session: u32, seq: u32) -> u64 {
     ((session as u64) << 32) | seq as u64
 }
 
@@ -1251,17 +1253,10 @@ impl Application for SinkEngine {
 }
 
 /// Checksum a generated pattern block without materializing it (what the
-/// sink expects to find after an intact transfer).
+/// sink expects to find after an intact transfer). Folds the pattern's
+/// word stream directly; see [`rftp_fabric::pattern`].
 pub fn expected_checksum(session: u32, seq: u32, len: u32) -> u64 {
-    // Mirrors MemoryRegion::fill_pattern + checksum over a scratch buffer.
-    let seed = pattern_seed(session, seq);
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for i in 0..len as u64 {
-        let x = (i ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        h ^= (x >> 32) as u8 as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
+    rftp_fabric::pattern::pattern_checksum(pattern_seed(session, seq), len as u64)
 }
 
 #[cfg(test)]

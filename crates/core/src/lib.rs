@@ -51,6 +51,10 @@ pub mod reorder;
 pub mod stats;
 pub mod wire;
 
+/// The shared word-at-a-time test-data pattern / checksum (re-exported so
+/// `rftp-live` verifies with the exact definition the simulator uses).
+pub use rftp_fabric::pattern;
+
 pub use block::{FsmError, SnkState, SrcState};
 pub use config::{ConsumeMode, NotifyMode, SinkConfig, SourceConfig};
 pub use credit::{CreditMode, CreditStock, Granter};

@@ -38,6 +38,7 @@ pub mod host;
 pub mod ids;
 pub mod mr;
 pub mod nic;
+pub mod pattern;
 pub mod qp;
 pub mod topology;
 pub mod util;

@@ -181,27 +181,22 @@ impl MemoryRegion {
     /// Fill a range with a deterministic pattern (test data generator).
     /// The pattern depends only on `(seed, index-within-range)`, so a
     /// receiver can recompute it without knowing where in the sender's
-    /// region the data lived.
+    /// region the data lived. Word-at-a-time; see [`crate::pattern`].
     pub fn fill_pattern(&mut self, offset: u64, len: u64, seed: u64) {
         if let Backing::Real(v) = &mut self.backing {
-            for i in 0..len {
-                let x = (i ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                v[(offset + i) as usize] = (x >> 32) as u8;
-            }
+            crate::pattern::fill_pattern(
+                &mut v[offset as usize..(offset + len) as usize],
+                seed,
+            );
         }
     }
 
-    /// FNV-1a checksum of a range (0 for virtual backing).
+    /// Checksum of a range (0 for virtual backing); see [`crate::pattern`].
     pub fn checksum(&self, offset: u64, len: u64) -> u64 {
         match &self.backing {
             Backing::Virtual(_) => 0,
             Backing::Real(v) => {
-                let mut h = 0xcbf2_9ce4_8422_2325u64;
-                for &b in &v[offset as usize..(offset + len) as usize] {
-                    h ^= b as u64;
-                    h = h.wrapping_mul(0x1000_0000_01b3);
-                }
-                h
+                crate::pattern::checksum(&v[offset as usize..(offset + len) as usize])
             }
         }
     }

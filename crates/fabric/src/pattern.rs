@@ -1,0 +1,133 @@
+//! Deterministic test-data pattern and checksum, word-at-a-time.
+//!
+//! One definition shared by every layer that generates or verifies
+//! payload bytes — [`crate::mr::MemoryRegion`] (simulated registered
+//! memory), the `rftp-core` sink's streaming verifier, and the
+//! `rftp-live` native pipeline — so a pattern written anywhere checks out
+//! anywhere else.
+//!
+//! Both directions operate on `u64` words rather than bytes: the pattern
+//! is a mixed counter stream (one multiply-xor mix per 8 bytes, serialized
+//! little-endian) and the checksum is an FNV-style fold over the same
+//! 8-byte lanes, finalized with the length so prefixes don't collide.
+//! Byte `k` of a pattern depends only on `(seed, k)`, so a receiver can
+//! recompute any range without knowing where in the sender's region the
+//! data lived, and [`pattern_checksum`] can verify a block without ever
+//! materializing it.
+
+/// FNV-1a 64-bit offset basis (used as the fold's initial state).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime (used as the fold's multiplier).
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+/// splitmix64's output mix: one cheap invertible scramble per word.
+#[inline]
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Word `j` of the pattern stream for `seed`.
+#[inline]
+fn word(seed: u64, j: u64) -> u64 {
+    mix(seed ^ j)
+}
+
+/// Fill `buf` with the deterministic pattern for `seed`, 8 bytes per mix.
+pub fn fill_pattern(buf: &mut [u8], seed: u64) {
+    let mut chunks = buf.chunks_exact_mut(8);
+    let mut j = 0u64;
+    for c in &mut chunks {
+        c.copy_from_slice(&word(seed, j).to_le_bytes());
+        j += 1;
+    }
+    let rem = chunks.into_remainder();
+    if !rem.is_empty() {
+        let tail = word(seed, j).to_le_bytes();
+        let n = rem.len();
+        rem.copy_from_slice(&tail[..n]);
+    }
+}
+
+/// Fold one word into the running checksum state.
+#[inline]
+fn fold(h: u64, w: u64) -> u64 {
+    (h ^ w).wrapping_mul(FNV_PRIME)
+}
+
+/// Checksum of a byte range, 8-byte lanes, length-finalized.
+pub fn checksum(buf: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut chunks = buf.chunks_exact(8);
+    for c in &mut chunks {
+        h = fold(h, u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut w = 0u64;
+        for (i, &b) in rem.iter().enumerate() {
+            w |= (b as u64) << (8 * i);
+        }
+        h = fold(h, w);
+    }
+    fold(h, buf.len() as u64)
+}
+
+/// [`checksum`] of a `len`-byte [`fill_pattern`] block for `seed`,
+/// computed from the word stream without materializing the bytes.
+pub fn pattern_checksum(seed: u64, len: u64) -> u64 {
+    let mut h = FNV_OFFSET;
+    let words = len / 8;
+    let rem = len % 8;
+    for j in 0..words {
+        h = fold(h, word(seed, j));
+    }
+    if rem > 0 {
+        // The tail bytes are the low `rem` bytes of the next word
+        // (little-endian serialization), exactly as `checksum` refolds
+        // them from a partially filled buffer.
+        h = fold(h, word(seed, words) & (u64::MAX >> (64 - 8 * rem)));
+    }
+    fold(h, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_checksum_matches_materialized_for_all_tail_lengths() {
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 4096, 4097] {
+            let mut buf = vec![0u8; len];
+            fill_pattern(&mut buf, 0xDEAD_BEEF);
+            assert_eq!(
+                checksum(&buf),
+                pattern_checksum(0xDEAD_BEEF, len as u64),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_is_seed_and_position_dependent() {
+        let mut a = [0u8; 64];
+        let mut b = [0u8; 64];
+        fill_pattern(&mut a, 1);
+        fill_pattern(&mut b, 2);
+        assert_ne!(a, b);
+        assert_ne!(&a[..32], &a[32..], "pattern must not repeat positionally");
+    }
+
+    #[test]
+    fn checksum_distinguishes_length_and_content() {
+        let mut buf = [0u8; 16];
+        fill_pattern(&mut buf, 9);
+        assert_ne!(checksum(&buf[..15]), checksum(&buf));
+        assert_ne!(checksum(&[1, 0]), checksum(&[1]));
+        let mut tweaked = buf;
+        tweaked[3] ^= 1;
+        assert_ne!(checksum(&tweaked), checksum(&buf));
+    }
+}

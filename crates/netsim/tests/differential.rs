@@ -1,0 +1,147 @@
+//! Differential test: the calendar-queue scheduler must pop in *exactly*
+//! the `(time, seq)` order of the reference binary heap it replaced —
+//! same timestamps, same sequence numbers, same events, for any legal
+//! interleaving of pushes and pops.
+//!
+//! Legal means what `Scheduler` guarantees the queue: sequence numbers
+//! strictly increase across pushes, and nothing is scheduled before the
+//! last popped timestamp (no time travel). The generators below exercise
+//! every placement class the calendar queue distinguishes: same-instant
+//! bursts, same-bucket neighbours, in-window spread, the wheel/overflow
+//! boundary, and far-future pages that must be lazily promoted.
+
+use proptest::prelude::*;
+use rftp_netsim::kernel::{reference::HeapQueue, CalendarQueue};
+use rftp_netsim::time::SimTime;
+
+/// One step of a scheduler-shaped workload.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Push at `now + delta`.
+    Push { delta: u64 },
+    /// Pop one event (advancing `now` to its timestamp).
+    Pop,
+}
+
+/// Drive both queues through `ops`, asserting lock-step equality of
+/// every observable: `peek_at`, popped `(time, seq, payload)`, and
+/// lengths. Returns how many pops actually compared.
+fn run_differential(ops: impl IntoIterator<Item = Op>) -> (u64, u64) {
+    let mut cal = CalendarQueue::new();
+    let mut heap = HeapQueue::new();
+    let mut now = SimTime(0);
+    let mut seq = 0u64;
+    let (mut pushes, mut pops) = (0u64, 0u64);
+    for op in ops {
+        match op {
+            Op::Push { delta } => {
+                let at = SimTime(now.0.saturating_add(delta));
+                // Payload = seq, so popped events self-identify.
+                cal.push(at, seq, seq);
+                heap.push(at, seq, seq);
+                seq += 1;
+                pushes += 1;
+            }
+            Op::Pop => {
+                assert_eq!(cal.peek_at(), heap.peek_at(), "peek diverged");
+                let got = cal.pop();
+                let want = heap.pop();
+                assert_eq!(got, want, "pop diverged after {pops} pops");
+                if let Some((at, _, _)) = got {
+                    now = at;
+                    pops += 1;
+                }
+            }
+        }
+        assert_eq!(cal.len(), heap.len());
+    }
+    // Drain both: the tail must agree too.
+    loop {
+        assert_eq!(cal.peek_at(), heap.peek_at(), "drain peek diverged");
+        let got = cal.pop();
+        let want = heap.pop();
+        assert_eq!(got, want, "drain pop diverged");
+        match got {
+            Some(_) => pops += 1,
+            None => break,
+        }
+    }
+    assert_eq!(pushes, pops, "events lost or duplicated");
+    (pushes, pops)
+}
+
+/// Map a raw `(kind, magnitude)` pair onto a placement-class-stratified
+/// delta: the magnitude is folded into whichever timing band `kind`
+/// selects so every class sees real variety.
+fn delta_for(kind: u8, magnitude: u64) -> u64 {
+    match kind % 6 {
+        0 => 0,                                    // same instant
+        1 => 1 + magnitude % ((1 << 16) - 1),      // same / next bucket
+        2 => magnitude % (1 << 22),                // well inside the wheel
+        3 => (1 << 25) + magnitude % (1 << 26),    // straddles the window edge
+        4 => (1 << 26) + magnitude % (1 << 40),    // overflow heap
+        _ => magnitude % (1 << 50),                // anything at all
+    }
+}
+
+/// The headline run: one deterministic randomized workload of 150k ops
+/// (~2/3 pushes), covering every placement class, compared pop-for-pop.
+#[test]
+fn calendar_queue_matches_heap_over_150k_random_ops() {
+    let mut rng = proptest::TestRng::for_test("differential_150k");
+    let ops = (0..150_000).map(|_| {
+        if rng.next_u64() % 3 < 2 {
+            Op::Push {
+                delta: delta_for(rng.next_u64() as u8, rng.next_u64()),
+            }
+        } else {
+            Op::Pop
+        }
+    });
+    let (pushes, pops) = run_differential(ops);
+    assert!(pushes >= 90_000, "workload too push-light: {pushes}");
+    assert_eq!(pushes, pops);
+}
+
+/// Adversarial corner: long same-instant bursts punctuated by pops, the
+/// workload the batch-drain fast path exists for.
+#[test]
+fn same_instant_bursts_preserve_fifo_against_heap() {
+    let mut rng = proptest::TestRng::for_test("differential_bursts");
+    let mut ops = Vec::with_capacity(30_000);
+    while ops.len() < 30_000 {
+        let burst = 1 + (rng.next_u64() % 64) as usize;
+        let delta = delta_for(rng.next_u64() as u8, rng.next_u64());
+        ops.push(Op::Push { delta });
+        for _ in 1..burst {
+            ops.push(Op::Push { delta: 0 });
+        }
+        for _ in 0..(rng.next_u64() % burst as u64) {
+            ops.push(Op::Pop);
+        }
+    }
+    run_differential(ops);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 32,
+        ..ProptestConfig::default()
+    })]
+
+    /// Any random op tape at all (structured only by the legality rules
+    /// `run_differential` enforces) pops identically.
+    #[test]
+    fn arbitrary_op_tapes_match(
+        tape in prop::collection::vec((any::<u8>(), any::<u64>(), any::<bool>()), 1..800),
+    ) {
+        let ops = tape.into_iter().map(|(kind, magnitude, is_push)| {
+            if is_push {
+                Op::Push { delta: delta_for(kind, magnitude) }
+            } else {
+                Op::Pop
+            }
+        });
+        run_differential(ops);
+    }
+}

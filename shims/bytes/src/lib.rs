@@ -1,0 +1,124 @@
+//! Offline stand-in for `bytes`.
+//!
+//! Provides the `Buf` / `BufMut` cursor traits over plain slices with the
+//! big-endian accessors the wire codecs use. Semantics match `bytes` 1.x
+//! for these methods: reads and writes advance the slice in place and
+//! panic when the slice is too short (wire codecs bound-check with
+//! `remaining()` first).
+
+/// Read cursor over a byte source (subset of `bytes::Buf`).
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn get_u8(&mut self) -> u8;
+    fn get_u16(&mut self) -> u16;
+    fn get_u32(&mut self) -> u32;
+    fn get_u64(&mut self) -> u64;
+}
+
+/// Write cursor over a byte sink (subset of `bytes::BufMut`).
+pub trait BufMut {
+    fn remaining_mut(&self) -> usize;
+    fn put_u8(&mut self, v: u8);
+    fn put_u16(&mut self, v: u16);
+    fn put_u32(&mut self, v: u32);
+    fn put_u64(&mut self, v: u64);
+}
+
+macro_rules! get_be {
+    ($self:ident, $t:ty) => {{
+        const N: usize = std::mem::size_of::<$t>();
+        let (head, rest) = $self.split_at(N);
+        let v = <$t>::from_be_bytes(head.try_into().unwrap());
+        *$self = rest;
+        v
+    }};
+}
+
+impl Buf for &[u8] {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    #[inline]
+    fn get_u8(&mut self) -> u8 {
+        get_be!(self, u8)
+    }
+    #[inline]
+    fn get_u16(&mut self) -> u16 {
+        get_be!(self, u16)
+    }
+    #[inline]
+    fn get_u32(&mut self) -> u32 {
+        get_be!(self, u32)
+    }
+    #[inline]
+    fn get_u64(&mut self) -> u64 {
+        get_be!(self, u64)
+    }
+}
+
+macro_rules! put_be {
+    ($self:ident, $v:expr) => {{
+        let bytes = $v.to_be_bytes();
+        let this = std::mem::take($self);
+        let (head, rest) = this.split_at_mut(bytes.len());
+        head.copy_from_slice(&bytes);
+        *$self = rest;
+    }};
+}
+
+impl BufMut for &mut [u8] {
+    #[inline]
+    fn remaining_mut(&self) -> usize {
+        self.len()
+    }
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        put_be!(self, v)
+    }
+    #[inline]
+    fn put_u16(&mut self, v: u16) {
+        put_be!(self, v)
+    }
+    #[inline]
+    fn put_u32(&mut self, v: u32) {
+        put_be!(self, v)
+    }
+    #[inline]
+    fn put_u64(&mut self, v: u64) {
+        put_be!(self, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_advance() {
+        let mut buf = [0u8; 15];
+        let mut w: &mut [u8] = &mut buf;
+        assert_eq!(w.remaining_mut(), 15);
+        w.put_u8(0xAB);
+        w.put_u16(0x1234);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(0x0102_0304_0506_0708);
+        assert_eq!(w.remaining_mut(), 0);
+
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.remaining(), 15);
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u16(), 0x1234);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64(), 0x0102_0304_0506_0708);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn big_endian_layout() {
+        let mut buf = [0u8; 2];
+        let mut w: &mut [u8] = &mut buf;
+        w.put_u16(0x0102);
+        assert_eq!(buf, [0x01, 0x02]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A compact wall-clock benchmark harness with criterion's API shape:
+//! groups, throughput annotation, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. Statistics are
+//! intentionally simple — warm-up, then timed batches until the
+//! measurement window closes, reporting median-of-batches ns/iter plus
+//! derived throughput. Every result line is also emitted as a
+//! machine-readable JSON object (prefix `CRITERION_JSON`), which the
+//! repo's bench scripts scrape into `BENCH_*.json` files.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes moved per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement_time: Duration::from_secs(3),
+            sample_size: 60,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let mut g = self.benchmark_group("ungrouped");
+        g.bench_function(name, f);
+        g.finish();
+    }
+}
+
+/// A named group of related benchmarks (criterion's `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+    sample_size: usize,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n.max(2);
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) {
+        self.measurement_time = d;
+    }
+
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples_ns: Vec::new(),
+            iters_done: 0,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.report(&self.name, name, self.throughput);
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    iters_done: u64,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly: one warm-up call, then samples until
+    /// either `sample_size` samples are collected or the measurement
+    /// window elapses (whichever comes first, always ≥ 3 samples).
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up (also primes caches/allocators) and calibration.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed();
+
+        // Batch enough iterations that one sample is ≥ ~200 us, so cheap
+        // routines aren't dominated by timer quantization.
+        let batch = if once < Duration::from_micros(200) {
+            let per_iter = once.as_nanos().max(1) as u64;
+            (200_000 / per_iter).clamp(1, 1 << 22)
+        } else {
+            1
+        };
+
+        let window = Instant::now();
+        while self.samples_ns.len() < self.sample_size.max(3)
+            && (window.elapsed() < self.measurement_time || self.samples_ns.len() < 3)
+        {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t.elapsed().as_nanos() as f64 / batch as f64;
+            self.samples_ns.push(dt);
+            self.iters_done += batch;
+        }
+    }
+
+    fn report(&mut self, group: &str, name: &str, throughput: Option<Throughput>) {
+        if self.samples_ns.is_empty() {
+            println!("{group}/{name}: no samples collected");
+            return;
+        }
+        self.samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = self.samples_ns[self.samples_ns.len() / 2];
+        let lo = self.samples_ns[0];
+        let hi = self.samples_ns[self.samples_ns.len() - 1];
+        let mut line = format!(
+            "{group}/{name}: median {} [min {}, max {}] ({} samples)",
+            fmt_ns(median),
+            fmt_ns(lo),
+            fmt_ns(hi),
+            self.samples_ns.len()
+        );
+        let mut thr_json = String::new();
+        if let Some(t) = throughput {
+            match t {
+                Throughput::Bytes(b) => {
+                    let gbs = b as f64 / median; // bytes/ns == GB/s
+                    line.push_str(&format!(", {gbs:.3} GB/s"));
+                    thr_json = format!(",\"gb_per_sec\":{gbs:.6}");
+                }
+                Throughput::Elements(n) => {
+                    let meps = n as f64 / median * 1e3; // elements/ns -> M/s
+                    line.push_str(&format!(", {meps:.3} Melem/s"));
+                    thr_json = format!(",\"melem_per_sec\":{meps:.6}");
+                }
+            }
+        }
+        println!("{line}");
+        println!(
+            "CRITERION_JSON {{\"group\":\"{group}\",\"bench\":\"{name}\",\"median_ns\":{median:.1},\"min_ns\":{lo:.1},\"max_ns\":{hi:.1}{thr_json}}}"
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Define a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("selftest");
+        g.sample_size(5);
+        g.measurement_time(Duration::from_millis(50));
+        g.throughput(Throughput::Bytes(1024));
+        let mut count = 0u64;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                count += 1;
+                std::hint::black_box(count)
+            })
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,333 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::channel`'s bounded MPMC channel with the same
+//! disconnect semantics the live pipeline relies on:
+//!
+//! * `send` blocks while the queue is full and fails only when every
+//!   receiver is gone (returning the rejected value);
+//! * `recv` blocks while the queue is empty and fails only when every
+//!   sender is gone *and* the queue has drained;
+//! * `Receiver::iter` yields until disconnection, like crossbeam's.
+//!
+//! Built on `Mutex` + two `Condvar`s rather than a lock-free ring: the
+//! pipeline moves block *descriptors* (tens of bytes) at block-transfer
+//! granularity, so channel overhead is nowhere near the hot path.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        cap: usize,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the rejected value like crossbeam's.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] on a drained, disconnected
+    /// channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    pub struct Sender<T>(Arc<Shared<T>>);
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Create a bounded MPMC channel of capacity `cap` (≥ 1).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let cap = cap.max(1);
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::with_capacity(cap),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(shared.clone()), Receiver(shared))
+    }
+
+    impl<T> Sender<T> {
+        /// Block until there is room, then enqueue. Fails only when every
+        /// receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.0.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if inner.queue.len() < inner.cap {
+                    inner.queue.push_back(value);
+                    drop(inner);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                inner = self
+                    .0
+                    .not_full
+                    .wait(inner)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives. Fails only when the queue is empty
+        /// and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.0.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self
+                    .0
+                    .not_empty
+                    .wait(inner)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.0.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(v) = inner.queue.pop_front() {
+                drop(inner);
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Iterate until the channel disconnects and drains.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// A receiver that is never ready and never disconnects (crossbeam's
+    /// `never()`): backed by a channel whose sender is intentionally
+    /// leaked so `recv` blocks forever and `select!` skips it.
+    pub fn never<T>() -> Receiver<T> {
+        let (tx, rx) = bounded::<T>(1);
+        std::mem::forget(tx);
+        rx
+    }
+
+    /// Outcome of a two-way [`select!`]: which arm fired, with the value
+    /// `recv` would have produced. Not public API parity — support type
+    /// for the macro expansion.
+    #[doc(hidden)]
+    pub enum SelectedTwo<A, B> {
+        First(Result<A, RecvError>),
+        Second(Result<B, RecvError>),
+    }
+
+    #[doc(hidden)]
+    pub fn poll_two<A, B>(a: &Receiver<A>, b: &Receiver<B>) -> SelectedTwo<A, B> {
+        // Polling select. crossbeam proper parks on an event list; for the
+        // shim a short-sleep poll is adequate (the pipeline's select loop
+        // handles control messages, not per-byte work). The caller must be
+        // the only consumer of both receivers, which holds for every use
+        // in this workspace.
+        loop {
+            match a.try_recv() {
+                Ok(v) => return SelectedTwo::First(Ok(v)),
+                Err(TryRecvError::Disconnected) => return SelectedTwo::First(Err(RecvError)),
+                Err(TryRecvError::Empty) => {}
+            }
+            match b.try_recv() {
+                Ok(v) => return SelectedTwo::Second(Ok(v)),
+                Err(TryRecvError::Disconnected) => return SelectedTwo::Second(Err(RecvError)),
+                Err(TryRecvError::Empty) => {}
+            }
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+    }
+
+    /// Two-arm `select!` over `recv` operations (the only shape this
+    /// workspace uses). Arm bodies run *outside* the polling loop, so
+    /// `continue` / `break` inside them bind to the caller's loops, as
+    /// with crossbeam's macro.
+    #[macro_export]
+    macro_rules! select {
+        (recv($rx1:expr) -> $p1:pat => $b1:block recv($rx2:expr) -> $p2:pat => $b2:block) => {
+            match $crate::channel::poll_two(&$rx1, &$rx2) {
+                $crate::channel::SelectedTwo::First(__res) => {
+                    let $p1 = __res;
+                    $b1
+                }
+                $crate::channel::SelectedTwo::Second(__res) => {
+                    let $p2 = __res;
+                    $b2
+                }
+            }
+        };
+    }
+
+    // `crossbeam::channel::select!` path form.
+    pub use crate::select;
+
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .senders += 1;
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .receivers += 1;
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.0.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                drop(inner);
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.0.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                drop(inner);
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_roundtrip() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!((0..4).map(|_| rx.recv().unwrap()).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn recv_fails_after_last_sender_drops_and_drain() {
+        let (tx, rx) = bounded(4);
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_when_receivers_gone() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+    }
+
+    #[test]
+    fn bounded_blocks_until_room() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2).unwrap());
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv(), Ok(1));
+        t.join().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn iter_drains_until_disconnect() {
+        let (tx, rx) = bounded(8);
+        let t = std::thread::spawn(move || {
+            for i in 0..20 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = rx.iter().collect();
+        t.join().unwrap();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mpmc_conserves_items() {
+        let (tx, rx) = bounded(4);
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        tx.send(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || rx.iter().count())
+            })
+            .collect();
+        drop(rx);
+        producers.into_iter().for_each(|h| h.join().unwrap());
+        let total: usize = consumers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 400);
+    }
+}
