@@ -339,7 +339,10 @@ impl GridFtpWorld {
         for k in 0..n {
             let mv = &self.c_movers[m as usize];
             let fi = my_streams[(mv.next_stream + k) % n];
-            let space = self.cfg.send_buf.saturating_sub(self.flows[fi].send_buf_used());
+            let space = self
+                .cfg
+                .send_buf
+                .saturating_sub(self.flows[fi].send_buf_used());
             if space == 0 {
                 continue;
             }
@@ -423,8 +426,11 @@ impl World for GridFtpWorld {
             Ev::AckArrive { flow, bytes } => {
                 let now = sched.now();
                 // ACK processing on the client softirq thread.
-                self.client_cpu
-                    .run_on(self.c_softirq, now, SimDur(self.c_costs.tcp_per_packet.nanos() / 2));
+                self.client_cpu.run_on(
+                    self.c_softirq,
+                    now,
+                    SimDur(self.c_costs.tcp_per_packet.nanos() / 2),
+                );
                 self.flows[flow as usize].tcp.on_ack(bytes, now, self.srtt);
                 self.pump_flow(flow as usize, sched);
                 let m = self.mover_of(flow as usize);
@@ -606,7 +612,6 @@ mod tests {
         assert!(r.bytes_moved >= GB);
     }
 }
-
 
 #[cfg(test)]
 mod calib_tests {

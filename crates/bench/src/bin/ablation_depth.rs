@@ -18,7 +18,12 @@ fn main() {
     );
     let mut t = Table::new(
         "ablation_depth",
-        &["pool blocks", "in-flight cap", "RoCE LAN Gbps", "ANI WAN Gbps"],
+        &[
+            "pool blocks",
+            "in-flight cap",
+            "RoCE LAN Gbps",
+            "ANI WAN Gbps",
+        ],
     );
     for pool in [2u32, 4, 8, 16, 32, 64, 128] {
         let mut row = vec![pool.to_string(), bs_label(pool as u64 * block)];

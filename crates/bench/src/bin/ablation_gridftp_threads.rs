@@ -22,7 +22,13 @@ fn main() {
     );
     let mut t = Table::new(
         "ablation_gridftp_threads",
-        &["movers", "Gbps", "client CPU", "server CPU", "CPU per Gbps (both ends)"],
+        &[
+            "movers",
+            "Gbps",
+            "client CPU",
+            "server CPU",
+            "CPU per Gbps (both ends)",
+        ],
     );
     for processes in [1u32, 2, 4, 8] {
         let mut cfg = GridFtpConfig::tuned(&tb, 8, 4 * MB, volume);

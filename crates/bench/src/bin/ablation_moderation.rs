@@ -19,7 +19,11 @@ fn main() {
     let mut t = Table::new(
         "ablation_moderation",
         &[
-            "block", "moderation", "Gbps", "CPU both ends", "mean latency",
+            "block",
+            "moderation",
+            "Gbps",
+            "CPU both ends",
+            "mean latency",
         ],
     );
     for bs in [4 << 10, 16 << 10, 64 << 10] {

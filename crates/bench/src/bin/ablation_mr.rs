@@ -52,5 +52,8 @@ fn main() {
          {:.1} ms x 3 sessions of pure pinning stall.",
         (64u64 * (4 * MB + 24).div_ceil(4096) * tb.src_costs.mr_reg_per_page.nanos()) as f64 / 1e6
     );
-    println!("Aggregate goodput across the session train: {:.2} Gbps", r.goodput_gbps);
+    println!(
+        "Aggregate goodput across the session train: {:.2} Gbps",
+        r.goodput_gbps
+    );
 }

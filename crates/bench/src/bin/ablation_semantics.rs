@@ -2,9 +2,9 @@
 //! a SEND/RECV FTP after Lai et al. Same fabric, same loader costs; the
 //! two-sided design pays sink-side completions and reposts per block.
 
-use rftp_bench::{bs_label, f1, f2, HarnessOpts, Table, GB};
 use rftp_baselines::{run_srftp, SrFtpConfig};
 use rftp_bench::rftp_point;
+use rftp_bench::{bs_label, f1, f2, HarnessOpts, Table, GB};
 use rftp_netsim::testbed;
 
 fn main() {

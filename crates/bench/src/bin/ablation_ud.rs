@@ -19,7 +19,12 @@ fn main() {
     let mut t = Table::new(
         "ablation_ud",
         &[
-            "transport", "block", "Gbps moved", "delivered Gbps-equiv", "drops", "CPU both ends",
+            "transport",
+            "block",
+            "Gbps moved",
+            "delivered Gbps-equiv",
+            "drops",
+            "CPU both ends",
         ],
     );
     // UD at its best: MTU-sized datagrams, deep pipeline.

@@ -17,11 +17,7 @@ fn main() {
         Some("wan") => testbed::ani_wan(),
         _ => testbed::roce_lan(),
     };
-    let block_mb: u64 = opts
-        .rest
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4);
+    let block_mb: u64 = opts.rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
     let volume = opts.volume(8 * GB, 128 * GB);
     let block = block_mb * MB;
     let pool = ((4 * tb.bdp_bytes()) / block).clamp(16, 4096) as u32;

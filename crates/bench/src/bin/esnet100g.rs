@@ -70,7 +70,13 @@ fn main() {
 
     let mut t = Table::new(
         "esnet100g",
-        &["variant", "Gbps", "% of line", "ramp to 90% (ms)", "client CPU"],
+        &[
+            "variant",
+            "Gbps",
+            "% of line",
+            "ramp to 90% (ms)",
+            "client CPU",
+        ],
     );
     for v in variants {
         let mut cfg = SourceConfig::new(block, 8, volume).with_pool(pool);

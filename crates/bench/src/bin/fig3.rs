@@ -24,7 +24,12 @@ fn main() {
         let mut t = Table::new(
             if depth == 1 { "fig3a" } else { "fig3b" },
             &[
-                "block", "WRITE Gbps", "WRITE CPU", "READ Gbps", "READ CPU", "SEND/RECV Gbps",
+                "block",
+                "WRITE Gbps",
+                "WRITE CPU",
+                "READ Gbps",
+                "READ CPU",
+                "SEND/RECV Gbps",
                 "SEND/RECV CPU",
             ],
         );

@@ -25,7 +25,12 @@ fn main() {
         let mut t = Table::new(
             if depth == 1 { "fig4a" } else { "fig4b" },
             &[
-                "block", "WRITE Gbps", "WRITE CPU", "READ Gbps", "READ CPU", "SEND/RECV Gbps",
+                "block",
+                "WRITE Gbps",
+                "WRITE CPU",
+                "READ Gbps",
+                "READ CPU",
+                "SEND/RECV Gbps",
                 "SEND/RECV CPU",
             ],
         );

@@ -24,7 +24,14 @@ fn main() {
     let mut t = Table::new(
         "latency",
         &[
-            "semantics", "block", "depth", "Gbps", "mean", "p50", "p99", "ops",
+            "semantics",
+            "block",
+            "depth",
+            "Gbps",
+            "mean",
+            "p50",
+            "p99",
+            "ops",
         ],
     );
     for sem in [Semantics::Write, Semantics::Read, Semantics::SendRecv] {

@@ -11,9 +11,7 @@ use rftp_netsim::testbed;
 fn main() {
     let opts = HarnessOpts::parse();
     let volume = opts.volume(4 * GB, 64 * GB);
-    println!(
-        "\nRDMA architectures at 128K x depth 64 (raw WRITE) and 4M x 4 streams (RFTP)\n"
-    );
+    println!("\nRDMA architectures at 128K x depth 64 (raw WRITE) and 4M x 4 streams (RFTP)\n");
     let mut t = Table::new(
         "rdma_architectures",
         &[
@@ -26,7 +24,10 @@ fn main() {
         ],
     );
     for tb in [testbed::ib_lan(), testbed::roce_lan(), testbed::iwarp_lan()] {
-        let v = run_job(&tb, &JobConfig::new(Semantics::Write, 128 << 10, 64, volume));
+        let v = run_job(
+            &tb,
+            &JobConfig::new(Semantics::Write, 128 << 10, 64, volume),
+        );
         let r = rftp_point(&tb, 4 * MB, 4, volume);
         t.row(vec![
             tb.name.to_string(),

@@ -7,9 +7,7 @@ fn main() {
     let opts = HarnessOpts::parse();
     let mut t = Table::new(
         "table1",
-        &[
-            "", "InfiniBand LAN", "RoCE LAN", "RoCE WAN (ANI)",
-        ],
+        &["", "InfiniBand LAN", "RoCE LAN", "RoCE WAN (ANI)"],
     );
     let tbs = [testbed::ib_lan(), testbed::roce_lan(), testbed::ani_wan()];
     let row = |label: &str, f: &dyn Fn(&testbed::Testbed) -> String| -> Vec<String> {

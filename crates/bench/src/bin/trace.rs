@@ -11,11 +11,7 @@ use rftp_netsim::time::SimDur;
 
 fn main() {
     let opts = HarnessOpts::parse();
-    let lines: usize = opts
-        .rest
-        .first()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(60);
+    let lines: usize = opts.rest.first().and_then(|s| s.parse().ok()).unwrap_or(60);
     let tb = testbed::ani_wan();
     let mut cfg = SourceConfig::new(4 * MB, 2, 64 * MB).with_pool(16);
     cfg.record_trace = true;
@@ -30,7 +26,13 @@ fn main() {
     // Merge the two sides' traces by timestamp prefix.
     let mut all: Vec<&String> = r.source.trace.iter().chain(r.sink.trace.iter()).collect();
     all.sort_by(|a, b| {
-        let t = |s: &str| s.split('s').next().unwrap_or("0").parse::<f64>().unwrap_or(0.0);
+        let t = |s: &str| {
+            s.split('s')
+                .next()
+                .unwrap_or("0")
+                .parse::<f64>()
+                .unwrap_or(0.0)
+        };
         t(a).partial_cmp(&t(b)).unwrap()
     });
     println!(

@@ -190,14 +190,7 @@ pub fn gridftp_point(tb: &Testbed, block: u64, streams: u32, bytes: u64) -> Rftp
 }
 
 /// Standard block-size sweep used by Figs. 8–10 (the paper's x-axis).
-pub const FTP_BLOCK_SIZES: [u64; 6] = [
-    128 * KB,
-    512 * KB,
-    2 * MB,
-    8 * MB,
-    16 * MB,
-    64 * MB,
-];
+pub const FTP_BLOCK_SIZES: [u64; 6] = [128 * KB, 512 * KB, 2 * MB, 8 * MB, 16 * MB, 64 * MB];
 
 /// Block sizes for the semantics study (Figs. 3–4).
 pub const IO_BLOCK_SIZES: [u64; 8] = [
@@ -226,8 +219,10 @@ where
         .unwrap_or(4)
         .min(inputs.len().max(1));
     let n = inputs.len();
-    let jobs: Vec<std::sync::Mutex<Option<I>>> =
-        inputs.into_iter().map(|i| std::sync::Mutex::new(Some(i))).collect();
+    let jobs: Vec<std::sync::Mutex<Option<I>>> = inputs
+        .into_iter()
+        .map(|i| std::sync::Mutex::new(Some(i)))
+        .collect();
     let results: Vec<std::sync::Mutex<Option<T>>> =
         (0..n).map(|_| std::sync::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);

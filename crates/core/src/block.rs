@@ -62,7 +62,11 @@ pub struct FsmError {
 
 impl fmt::Display for FsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "illegal block transition {} from state {}", self.op, self.actual)
+        write!(
+            f,
+            "illegal block transition {} from state {}",
+            self.op, self.actual
+        )
     }
 }
 

@@ -1,7 +1,7 @@
 //! Protocol and endpoint configuration.
 
 use crate::credit::CreditMode;
-use rftp_netsim::time::Bandwidth;
+use rftp_netsim::time::{Bandwidth, SimDur};
 
 /// How the source tells the sink a block landed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,10 +26,58 @@ pub enum ConsumeMode {
     /// Write to a disk array: a rate-limited FIFO device plus per-byte
     /// CPU for the write path. `direct_io` skips the kernel buffer copy
     /// (the paper's RFTP uses direct I/O; GridFTP does not).
-    Disk {
-        rate: Bandwidth,
-        direct_io: bool,
-    },
+    Disk { rate: Bandwidth, direct_io: bool },
+}
+
+/// Loss-recovery policy (retransmit watchdog + session resume).
+///
+/// The watchdog re-sends blocks whose completion never arrived (lost
+/// `BlockComplete`, swallowed CQE); the resume path rebuilds the whole
+/// session after a fatal QP error (link flap, transport retry budget
+/// exhausted). Disabling recovery restores the seed behaviour: any
+/// fabric error is fatal and panics the engine.
+#[derive(Debug, Clone)]
+pub struct RecoveryConfig {
+    pub enabled: bool,
+    /// A posted block whose completion hasn't arrived after this long is
+    /// retransmitted. Must comfortably exceed the WAN RTT plus the
+    /// fabric's loss-detection timeout (a few RTTs).
+    pub retx_timeout: SimDur,
+    /// Watchdog scan period.
+    pub retx_check: SimDur,
+    /// Give up (engine fails) after this many retransmits of one block.
+    pub max_retx_per_block: u32,
+    /// First back-off before a session resume attempt; doubles per
+    /// consecutive failure up to `resume_backoff_max`.
+    pub resume_backoff: SimDur,
+    pub resume_backoff_max: SimDur,
+    /// Give up (engine fails) after this many resume attempts without a
+    /// completed session.
+    pub max_resume_attempts: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> RecoveryConfig {
+        RecoveryConfig {
+            enabled: true,
+            retx_timeout: SimDur::from_secs(1),
+            retx_check: SimDur::from_millis(250),
+            max_retx_per_block: 16,
+            resume_backoff: SimDur::from_millis(10),
+            resume_backoff_max: SimDur::from_millis(640),
+            max_resume_attempts: 64,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// The seed behaviour: any fabric error is fatal.
+    pub fn disabled() -> RecoveryConfig {
+        RecoveryConfig {
+            enabled: false,
+            ..RecoveryConfig::default()
+        }
+    }
 }
 
 /// Everything a transfer job negotiates or assumes.
@@ -63,6 +111,8 @@ pub struct SourceConfig {
     pub record_trace: bool,
     /// Total bytes of each job, in order. One "job" ≈ one file.
     pub jobs: Vec<u64>,
+    /// Loss-recovery policy (on by default; see [`RecoveryConfig`]).
+    pub recovery: RecoveryConfig,
 }
 
 impl SourceConfig {
@@ -81,6 +131,7 @@ impl SourceConfig {
             record_timeline: false,
             record_trace: false,
             jobs: vec![total_bytes],
+            recovery: RecoveryConfig::default(),
         }
     }
 
@@ -129,6 +180,10 @@ pub struct SinkConfig {
     pub real_data: bool,
     /// Record a protocol trace into the sink stats (see `SourceConfig`).
     pub record_trace: bool,
+    /// Tolerate faults: self-repair the control QP after an error,
+    /// honour `SessionResume`, and free duplicate blocks instead of
+    /// failing. Off restores the seed's fail-fast behaviour.
+    pub recovery: bool,
 }
 
 impl Default for SinkConfig {
@@ -146,6 +201,7 @@ impl Default for SinkConfig {
             consume: ConsumeMode::Null,
             real_data: false,
             record_trace: false,
+            recovery: true,
         }
     }
 }

@@ -85,6 +85,16 @@ impl CreditStock {
         self.consumed_total -= 1;
     }
 
+    /// Drop every stocked credit and forget any outstanding request —
+    /// used on session resume, when the sink re-advertises its pool and
+    /// stale credits would name blocks about to be re-granted. The
+    /// received/consumed counters keep their history (the dropped
+    /// credits were received but never consumed, which is accurate).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+        self.request_outstanding = false;
+    }
+
     /// Should the source send an `MrRequest` now? True exactly once per
     /// dry spell (the flag debounces repeated requests).
     pub fn should_request(&mut self) -> bool {
@@ -224,6 +234,31 @@ mod tests {
         s.take();
         assert!(s.should_request(), "new dry spell, new request");
         assert_eq!(s.requests_sent, 2);
+    }
+
+    /// Resume discards stale-session credits: a cleared stock accepts
+    /// re-grants of the very same slots without double-counting state.
+    #[test]
+    fn clear_discards_stale_credits_and_request() {
+        let mut s = CreditStock::new();
+        s.deposit([credit(0), credit(1)]);
+        s.take();
+        assert!(!s.should_request());
+        s.take();
+        assert!(s.should_request()); // dry, request outstanding
+        s.deposit([credit(2)]);
+        s.take();
+        assert!(s.should_request());
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.request_outstanding, "resume forgets the in-flight ask");
+        // Double-grant after resume: the sink re-advertises slots 0 and 1.
+        // The stock treats them as fresh credits, FIFO as usual.
+        s.deposit([credit(0), credit(1)]);
+        assert_eq!(s.available(), 2);
+        assert_eq!(s.take().unwrap().slot, 0);
+        assert!(!s.should_request());
+        assert_eq!(s.take().unwrap().slot, 1);
     }
 
     #[test]

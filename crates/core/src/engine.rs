@@ -29,11 +29,11 @@ use crate::wire::{
     PAYLOAD_HEADER_LEN,
 };
 use rftp_fabric::{
-    Api, Application, Backing, Cqe, CqeKind, CqId, DeviceId, MrId, MrSlice, QpId, QpOptions,
-    RecvWr, RemoteSlice, Rkey, WorkRequest, WrOp,
+    Api, Application, Backing, CqId, Cqe, CqeKind, DeviceId, MrId, MrSlice, PostError, QpId,
+    QpOptions, RecvWr, RemoteSlice, Rkey, WcStatus, WorkRequest, WrOp,
 };
 use rftp_netsim::cpu::per_byte_cost;
-use rftp_netsim::time::SimTime;
+use rftp_netsim::time::{SimDur, SimTime};
 use rftp_netsim::ThreadId;
 use std::collections::{HashMap, VecDeque};
 
@@ -50,6 +50,13 @@ pub const CTRL_RING_SLOTS: u32 = 64;
 /// [`crate::multi`] and [`crate::duplex`]), payload below.
 const TOK_LOAD: u64 = 1 << 56;
 const TOK_CONSUME: u64 = 2 << 56;
+/// Source retransmit-watchdog tick (pure timer, armed while recovery is
+/// enabled; a no-op scan on a healthy transfer).
+const TOK_RETX: u64 = 3 << 56;
+/// Source session-resume back-off timer.
+const TOK_RESUME: u64 = 4 << 56;
+/// Sink control-QP self-repair (debounced reset after an error CQE).
+const TOK_REPAIR: u64 = 5 << 56;
 
 fn tok_kind(token: u64) -> u64 {
     token & (0xFF << 56)
@@ -89,16 +96,18 @@ impl CtrlRing {
     }
 
     /// Send (or queue) a control message on `qp`. Returns messages put on
-    /// the wire now (0 or more if the pending queue drained).
-    fn send(&mut self, api: &mut Api, qp: QpId, msg: CtrlMsg) -> u64 {
+    /// the wire now (0 or more if the pending queue drained), or the post
+    /// error that interrupted draining (the message stays queued; a
+    /// recovering engine resets the ring and re-drives the conversation).
+    fn send(&mut self, api: &mut Api, qp: QpId, msg: CtrlMsg) -> Result<u64, PostError> {
         self.pending.push_back(msg);
         self.drain(api, qp)
     }
 
-    fn drain(&mut self, api: &mut Api, qp: QpId) -> u64 {
+    fn drain(&mut self, api: &mut Api, qp: QpId) -> Result<u64, PostError> {
         let mut sent = 0;
         while let (Some(&slot), true) = (self.free.front(), !self.pending.is_empty()) {
-            let msg = self.pending.pop_front().expect("checked nonempty");
+            let msg = self.pending.front().expect("checked nonempty");
             let mut buf = [0u8; CTRL_SLOT_LEN];
             let n = msg.encode(&mut buf);
             let off = slot as u64 * CTRL_SLOT_LEN as u64;
@@ -110,17 +119,38 @@ impl CtrlRing {
                     imm: None,
                 },
             );
-            api.post_send(qp, wr).expect("control send failed");
-            self.free.pop_front();
-            sent += 1;
+            match api.post_send(qp, wr) {
+                Ok(()) => {
+                    self.pending.pop_front();
+                    self.free.pop_front();
+                    sent += 1;
+                }
+                // SQ backpressure: the message stays pending and goes out
+                // on the next send completion.
+                Err(PostError::SqFull) => break,
+                Err(e) => return Err(e),
+            }
         }
-        sent
+        Ok(sent)
     }
 
     /// A control send completed; its slot is reusable.
-    fn on_sent(&mut self, api: &mut Api, qp: QpId, slot: u32) -> u64 {
-        self.free.push_back(slot);
+    fn on_sent(&mut self, api: &mut Api, qp: QpId, slot: u32) -> Result<u64, PostError> {
+        // Ignore completions from before a `reset` (their slots were
+        // already returned wholesale); double-pushing would make the ring
+        // look permanently non-idle.
+        if self.free.len() < self.capacity as usize && !self.free.contains(&slot) {
+            self.free.push_back(slot);
+        }
         self.drain(api, qp)
+    }
+
+    /// Forget all in-flight sends and queued messages (session resume:
+    /// the QP was reset, so nothing posted will ever complete, and the
+    /// recovering engine re-drives the conversation from scratch).
+    fn reset(&mut self) {
+        self.free = (0..self.capacity).collect();
+        self.pending.clear();
     }
 
     fn idle(&self) -> bool {
@@ -131,18 +161,18 @@ impl CtrlRing {
 /// A ring of posted control receive buffers.
 struct RecvRing {
     mr: MrId,
+    slots: u32,
 }
 
 impl RecvRing {
-    fn create_and_post(api: &mut Api, qp: QpId, slots: u32) -> RecvRing {
+    fn create_and_post(api: &mut Api, qp: QpId, slots: u32) -> Result<RecvRing, PostError> {
         let mr = api.register_mr(Backing::zeroed(slots as usize * CTRL_SLOT_LEN));
-        for slot in 0..slots {
-            Self::post(api, qp, mr, slot);
-        }
-        RecvRing { mr }
+        let ring = RecvRing { mr, slots };
+        ring.repost_all(api, qp)?;
+        Ok(ring)
     }
 
-    fn post(api: &mut Api, qp: QpId, mr: MrId, slot: u32) {
+    fn post(api: &mut Api, qp: QpId, mr: MrId, slot: u32) -> Result<(), PostError> {
         api.post_recv(
             qp,
             RecvWr {
@@ -150,18 +180,34 @@ impl RecvRing {
                 local: MrSlice::new(mr, slot as u64 * CTRL_SLOT_LEN as u64, CTRL_SLOT_LEN as u64),
             },
         )
-        .expect("control recv post failed");
     }
 
-    /// Decode the message in `slot` and repost the buffer.
-    fn take(&self, api: &mut Api, qp: QpId, slot: u32, len: u64) -> CtrlMsg {
+    /// Post the full ring of receives — at startup, and again after a QP
+    /// reset (which empties the receive queue).
+    fn repost_all(&self, api: &mut Api, qp: QpId) -> Result<(), PostError> {
+        for slot in 0..self.slots {
+            Self::post(api, qp, self.mr, slot)?;
+        }
+        Ok(())
+    }
+
+    /// Decode the message in `slot` and repost the buffer. A repost
+    /// failure (errored QP) is returned alongside the message, which is
+    /// still valid — it was delivered before the QP died.
+    fn take(
+        &self,
+        api: &mut Api,
+        qp: QpId,
+        slot: u32,
+        len: u64,
+    ) -> (CtrlMsg, Result<(), PostError>) {
         let off = slot as u64 * CTRL_SLOT_LEN as u64;
         let msg = {
             let bytes = api.mr(self.mr).bytes(off, len);
             CtrlMsg::decode(bytes).expect("undecodable control message")
         };
-        Self::post(api, qp, self.mr, slot);
-        msg
+        let reposted = Self::post(api, qp, self.mr, slot);
+        (msg, reposted)
     }
 }
 
@@ -173,8 +219,14 @@ struct InFlight {
     offset: u64,
     /// Payload bytes (short for the tail block).
     len: u32,
-    /// Sink slot the credit named (filled at dispatch).
-    sink_slot: u32,
+    /// The credit consumed at dispatch (`None` while loading). Kept so
+    /// the retransmit watchdog can re-WRITE to the same sink slot.
+    credit: Option<Credit>,
+    /// When the WRITE was (last) posted; the watchdog compares this
+    /// against the retransmit timeout.
+    posted_at: SimTime,
+    /// Watchdog retransmissions of this block so far.
+    retries: u32,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -182,6 +234,10 @@ enum SrcPhase {
     AwaitAccept,
     Transfer,
     Draining,
+    /// A fatal QP error was detected; the engine tears its QPs down and
+    /// re-runs an abbreviated negotiation (`SessionResume`) under an
+    /// exponential back-off, then rewinds to the sink's resume point.
+    Recovering,
     Done,
     Failed,
 }
@@ -222,6 +278,42 @@ pub struct SourceEngine {
     inflight: Vec<Option<InFlight>>,
     credits: CreditStock,
     starved_since: Option<SimTime>,
+    /// When the outstanding `MrRequest` (if any) was sent; the watchdog
+    /// re-asks once it has gone unanswered for a full timeout.
+    request_sent_at: SimTime,
+
+    // Recovery state.
+    /// Thread the watchdog / resume timers fire on (set at `on_start`).
+    timer_thread: ThreadId,
+    /// Bumped on every resume; loader completions carrying a stale epoch
+    /// are ignored (their pool was torn down under them).
+    load_epoch: u8,
+    /// High-water mark of assigned sequence numbers; re-assigning below
+    /// it means a resume is re-sending, which counts as retransmission.
+    max_seq_started: u32,
+    /// The current session has seen its `SessionAccept` (resume can use
+    /// the abbreviated handshake instead of a full request).
+    negotiated: bool,
+    resume_attempts: u32,
+    resume_backoff_cur: SimDur,
+    /// Identifies the latest resume attempt; the sink echoes it and the
+    /// source ignores accepts for superseded attempts (their credits
+    /// were revoked when the sink processed the newer attempt).
+    resume_nonce: u32,
+    /// The transport must be torn down (QPs reset, rings cleared, pool
+    /// rebuilt) before the next resume attempt. Set on every fatal
+    /// error; cleared once the teardown runs. Re-sending a lost
+    /// handshake over a healthy QP must NOT reset it again — the reset
+    /// orphans the peer's in-flight replies, whose NAKs then fail the
+    /// peer's QP, whose repair fails ours: a reset war that never
+    /// converges.
+    resume_needs_reset: bool,
+    /// Set when a fatal error is detected, cleared when the session is
+    /// reestablished; the difference accumulates into `faults.degraded`.
+    degraded_since: Option<SimTime>,
+    /// When the engine (last) entered `AwaitAccept`; a quiet timeout
+    /// re-sends the request (a lost accept leaves no error CQE here).
+    await_since: SimTime,
 
     /// Token namespace when several engines share one host application.
     token_tag: u8,
@@ -248,6 +340,8 @@ impl SourceEngine {
         let inflight = vec![None; cfg.pool_blocks as usize];
         let job0 = cfg.jobs[0];
         let job_blocks = cfg.blocks_for(job0);
+        let timer_thread = loader_threads[0];
+        let resume_backoff_cur = cfg.recovery.resume_backoff;
         SourceEngine {
             session: cfg.first_session,
             cfg,
@@ -274,6 +368,17 @@ impl SourceEngine {
             inflight,
             credits: CreditStock::new(),
             starved_since: None,
+            request_sent_at: SimTime::ZERO,
+            timer_thread,
+            load_epoch: 0,
+            max_seq_started: 0,
+            negotiated: false,
+            resume_attempts: 0,
+            resume_backoff_cur,
+            resume_nonce: 0,
+            resume_needs_reset: false,
+            degraded_since: None,
+            await_since: SimTime::ZERO,
             token_tag: 0,
             stats: SourceStats::default(),
             done: false,
@@ -299,9 +404,12 @@ impl SourceEngine {
         qp == self.ctrl_qp || self.data_qps.contains(&qp)
     }
 
-    /// Wakeup tokens this engine understands (loader kind + its tag).
+    /// Wakeup tokens this engine understands (loader, watchdog, and
+    /// resume kinds + its tag).
     pub fn owns_token(&self, token: u64) -> bool {
-        tok_kind(token) == TOK_LOAD && tok_tag(token) == self.token_tag
+        let kind = tok_kind(token);
+        (kind == TOK_LOAD || kind == TOK_RETX || kind == TOK_RESUME)
+            && tok_tag(token) == self.token_tag
     }
 
     /// One-line state dump for debugging stalls.
@@ -331,6 +439,38 @@ impl SourceEngine {
         self.phase = SrcPhase::Failed;
     }
 
+    /// Route a fatal completion: recoverable errors start a session
+    /// resume; with recovery disabled (or on RNR exhaustion, which means
+    /// the peer stopped posting receives — retrying cannot cure a
+    /// protocol/config failure) the engine fails as the seed did.
+    fn on_fatal(&mut self, api: &mut Api, status: WcStatus, what: &str) {
+        if self.cfg.record_trace && self.stats.trace.len() < 10_000 {
+            self.stats
+                .trace
+                .push(format!("{} src !! {what}: {status:?}", api.now()));
+        }
+        if !self.cfg.recovery.enabled || status == WcStatus::RnrRetryExceeded {
+            self.fail(format!("{what} failed: {status:?}"));
+        } else {
+            self.enter_recovery(api);
+        }
+    }
+
+    /// Route a synchronous post failure (typically `BadQpState` racing an
+    /// errored QP) the same way.
+    fn on_post_error(&mut self, api: &mut Api, e: PostError, what: &str) {
+        if self.cfg.record_trace && self.stats.trace.len() < 10_000 {
+            self.stats
+                .trace
+                .push(format!("{} src !! {what}: {e:?}", api.now()));
+        }
+        if !self.cfg.recovery.enabled {
+            self.fail(format!("{what}: {e:?}"));
+        } else {
+            self.enter_recovery(api);
+        }
+    }
+
     fn send_ctrl(&mut self, api: &mut Api, msg: CtrlMsg) {
         if self.cfg.record_trace && self.stats.trace.len() < 10_000 {
             self.stats
@@ -338,7 +478,10 @@ impl SourceEngine {
                 .push(format!("{} src --> {msg:?}", api.now()));
         }
         let ring = self.ctrl_tx.as_mut().expect("ctrl ring not built");
-        self.stats.ctrl_msgs_sent += ring.send(api, self.ctrl_qp, msg);
+        match ring.send(api, self.ctrl_qp, msg) {
+            Ok(n) => self.stats.ctrl_msgs_sent += n,
+            Err(e) => self.on_post_error(api, e, "ctrl send"),
+        }
     }
 
     /// Start filling free blocks, up to one outstanding load per loader
@@ -353,22 +496,41 @@ impl SourceEngine {
             let len = (self.job_bytes() - self.next_load_off).min(self.cfg.block_size) as u32;
             let seq = self.next_seq;
             self.next_seq += 1;
+            if seq < self.max_seq_started {
+                // Re-assigning a sequence that was dispatched in a failed
+                // incarnation of this session: a resume retransmission.
+                self.stats.faults.retransmits += 1;
+            } else {
+                self.max_seq_started = seq + 1;
+            }
             self.inflight[block as usize] = Some(InFlight {
                 seq,
                 offset: self.next_load_off,
                 len,
-                sink_slot: u32::MAX,
+                credit: None,
+                posted_at: SimTime::ZERO,
+                retries: 0,
             });
             self.next_load_off += len as u64;
             let thread = self.loader_threads[self.next_loader];
             self.next_loader = (self.next_loader + 1) % self.loader_threads.len();
             let cost = per_byte_cost(api.costs().load_per_byte_ps, len as u64);
-            api.work(thread, cost, tok_with_tag(TOK_LOAD, self.token_tag, block as u64));
+            let tok = tok_with_tag(
+                TOK_LOAD,
+                self.token_tag,
+                ((self.load_epoch as u64) << 40) | block as u64,
+            );
+            api.work(thread, cost, tok);
             self.loads_in_flight += 1;
         }
     }
 
-    fn on_load_done(&mut self, api: &mut Api, block: BlockIdx) {
+    fn on_load_done(&mut self, api: &mut Api, epoch: u8, block: BlockIdx) {
+        if epoch != self.load_epoch {
+            // A load from before a resume: its pool slot was rebuilt and
+            // possibly re-assigned; the resume already re-queued the data.
+            return;
+        }
         self.loads_in_flight -= 1;
         let inf = self.inflight[block as usize].expect("load for unknown block");
         if self.cfg.real_data {
@@ -413,10 +575,7 @@ impl SourceEngine {
             let inf = self.inflight[block as usize].expect("loaded block untracked");
             let wire_len = inf.len as u64 + PAYLOAD_HEADER_LEN as u64;
             if (credit.len as u64) < wire_len {
-                self.fail(format!(
-                    "credit too small: {} < {}",
-                    credit.len, wire_len
-                ));
+                self.fail(format!("credit too small: {} < {}", credit.len, wire_len));
                 return;
             }
             let geo = self.pool.geometry();
@@ -441,12 +600,12 @@ impl SourceEngine {
                         posted = true;
                         break;
                     }
-                    Err(rftp_fabric::PostError::SqFull) => {
+                    Err(PostError::SqFull) => {
                         self.stats.sq_full_retries += 1;
                         continue;
                     }
                     Err(e) => {
-                        self.fail(format!("post_send: {e:?}"));
+                        self.on_post_error(api, e, "data post");
                         return;
                     }
                 }
@@ -458,10 +617,9 @@ impl SourceEngine {
                 break 'dispatch;
             }
             self.loaded_q.pop_front();
-            self.inflight[block as usize]
-                .as_mut()
-                .expect("just read")
-                .sink_slot = credit.slot;
+            let inf = self.inflight[block as usize].as_mut().expect("just read");
+            inf.credit = Some(credit);
+            inf.posted_at = api.now();
             self.pool.start_sending(block).expect("FSM: start_sending");
             self.pool.posted(block).expect("FSM: posted");
         }
@@ -474,9 +632,13 @@ impl SourceEngine {
             }
             if self.credits.should_request() {
                 self.stats.credit_requests += 1;
-                self.send_ctrl(api, CtrlMsg::MrRequest {
-                    session: self.session,
-                });
+                self.request_sent_at = now;
+                self.send_ctrl(
+                    api,
+                    CtrlMsg::MrRequest {
+                        session: self.session,
+                    },
+                );
             }
         } else if let Some(since) = self.starved_since.take() {
             self.stats.credit_starved += now.since(since);
@@ -486,11 +648,15 @@ impl SourceEngine {
 
     fn on_data_write_done(&mut self, api: &mut Api, cqe: &Cqe) {
         if !cqe.ok() {
-            self.fail(format!("data write failed: {:?}", cqe.status));
+            self.on_fatal(api, cqe.status, "data write");
             return;
         }
         let block = cqe.wr_id as BlockIdx;
-        let inf = self.inflight[block as usize].take().expect("completion for idle block");
+        let Some(inf) = self.inflight[block as usize].take() else {
+            // Completion from before a resume; the pool was rebuilt and
+            // this block's data already re-queued.
+            return;
+        };
         self.pool.complete(block).expect("FSM: complete");
         self.stats.blocks_sent += 1;
         self.stats.bytes_sent += inf.len as u64;
@@ -499,7 +665,7 @@ impl SourceEngine {
             let inflight = self
                 .inflight
                 .iter()
-                .filter(|x| x.is_some_and(|i| i.sink_slot != u32::MAX))
+                .filter(|x| x.is_some_and(|i| i.credit.is_some()))
                 .count() as u32;
             self.stats.timeline.push(crate::stats::TimelinePoint {
                 at: api.now(),
@@ -511,18 +677,24 @@ impl SourceEngine {
         if self.cfg.notify == NotifyMode::CtrlMsg {
             // Safe only now: the WRITE completion proves the payload is
             // placed at the sink, so the notification cannot overtake it.
-            self.send_ctrl(api, CtrlMsg::BlockComplete {
-                session: self.session,
-                seq: inf.seq,
-                slot: inf.sink_slot,
-                len: inf.len,
-            });
+            self.send_ctrl(
+                api,
+                CtrlMsg::BlockComplete {
+                    session: self.session,
+                    seq: inf.seq,
+                    slot: inf.credit.expect("completed block had no credit").slot,
+                    len: inf.len,
+                },
+            );
         }
         if self.blocks_completed == self.job_blocks {
-            self.send_ctrl(api, CtrlMsg::DatasetComplete {
-                session: self.session,
-                total_blocks: self.job_blocks as u32,
-            });
+            self.send_ctrl(
+                api,
+                CtrlMsg::DatasetComplete {
+                    session: self.session,
+                    total_blocks: self.job_blocks as u32,
+                },
+            );
             self.phase = SrcPhase::Draining;
         } else {
             self.kick_loaders(api);
@@ -531,9 +703,7 @@ impl SourceEngine {
     }
 
     fn maybe_advance_job(&mut self, api: &mut Api) {
-        if self.phase != SrcPhase::Draining
-            || !self.ctrl_tx.as_ref().expect("ring").idle()
-        {
+        if self.phase != SrcPhase::Draining || !self.ctrl_tx.as_ref().expect("ring").idle() {
             return;
         }
         self.stats.sessions_completed += 1;
@@ -553,6 +723,9 @@ impl SourceEngine {
         self.blocks_completed = 0;
         self.job_blocks = self.cfg.blocks_for(self.job_bytes());
         self.credits = CreditStock::new();
+        self.max_seq_started = 0;
+        self.negotiated = false;
+        self.await_since = api.now();
         self.phase = SrcPhase::AwaitAccept;
         let msg = CtrlMsg::SessionRequest {
             session: self.session,
@@ -562,6 +735,320 @@ impl SourceEngine {
             notify_imm: self.cfg.notify == NotifyMode::WriteImm,
         };
         self.send_ctrl(api, msg);
+    }
+
+    /// A fatal QP error was observed: stop the pipeline and schedule a
+    /// session resume after the current back-off. Idempotent while a
+    /// resume is already pending (flushed completions arrive in bursts).
+    fn enter_recovery(&mut self, api: &mut Api) {
+        debug_assert!(self.cfg.recovery.enabled);
+        // Even when a resume is already pending, a fresh fatal error
+        // means the transport broke (again) and the next attempt must
+        // tear it down.
+        self.resume_needs_reset = true;
+        if self.phase == SrcPhase::Recovering || self.is_finished() {
+            return;
+        }
+        self.stats.faults.qp_errors += 1;
+        if self.degraded_since.is_none() {
+            self.degraded_since = Some(api.now());
+        }
+        self.phase = SrcPhase::Recovering;
+        api.set_timer(
+            self.timer_thread,
+            self.resume_backoff_cur,
+            tok_with_tag(TOK_RESUME, self.token_tag, 0),
+        );
+    }
+
+    /// Rewind the job cursor to `resume_from` (the sink's highest
+    /// contiguous sequence): everything before it is already placed and
+    /// is never re-sent.
+    fn rewind_to(&mut self, resume_from: u32) {
+        self.next_seq = resume_from;
+        self.next_load_off = (resume_from as u64 * self.cfg.block_size).min(self.job_bytes());
+        self.loaded_order = ReorderBuffer::starting_at(resume_from);
+        self.blocks_completed = resume_from as u64;
+    }
+
+    /// The back-off expired: tear the transport down to a clean state and
+    /// re-run the (abbreviated) negotiation.
+    fn do_resume(&mut self, api: &mut Api) {
+        if self.phase != SrcPhase::Recovering {
+            return; // stale back-off timer after a completed resume
+        }
+        self.resume_attempts += 1;
+        if self.resume_attempts > self.cfg.recovery.max_resume_attempts {
+            self.fail("resume attempts exhausted");
+            return;
+        }
+        if self.resume_needs_reset {
+            self.resume_needs_reset = false;
+            // Resetting bumps each QP's epoch, so anything from the
+            // failed incarnation still in flight is dropped at delivery
+            // instead of landing in reused slots.
+            api.reset_qp(self.ctrl_qp);
+            for i in 0..self.data_qps.len() {
+                let qp = self.data_qps[i];
+                api.reset_qp(qp);
+            }
+            self.ctrl_tx.as_mut().expect("ring").reset();
+            if let Err(e) = self
+                .ctrl_rx
+                .as_ref()
+                .expect("ring")
+                .repost_all(api, self.ctrl_qp)
+            {
+                self.fail(format!("resume recv repost: {e:?}"));
+                return;
+            }
+            // Forget all in-flight work. Loads still running on the
+            // loader threads complete into a stale epoch and are ignored.
+            self.load_epoch = self.load_epoch.wrapping_add(1);
+            self.loads_in_flight = 0;
+            self.pool = SourcePool::new(self.pool.geometry());
+            self.loaded_q.clear();
+            for f in &mut self.inflight {
+                *f = None;
+            }
+            if let Some(since) = self.starved_since.take() {
+                self.stats.credit_starved += api.now().since(since);
+            }
+            self.rr_qp = 0;
+        }
+        // Every attempt voids the stock: the sink revokes all
+        // outstanding grants when it processes the resume, so credits
+        // deposited before this send name slots about to be re-owned.
+        self.credits.clear();
+        // Arm the next attempt before asking: if this handshake is lost
+        // too, the timer fires again with a doubled back-off.
+        api.set_timer(
+            self.timer_thread,
+            self.resume_backoff_cur,
+            tok_with_tag(TOK_RESUME, self.token_tag, 0),
+        );
+        self.resume_backoff_cur = SimDur(
+            (self.resume_backoff_cur.0.saturating_mul(2))
+                .min(self.cfg.recovery.resume_backoff_max.0),
+        );
+        if self.negotiated {
+            self.resume_nonce = self.resume_nonce.wrapping_add(1);
+            self.send_ctrl(
+                api,
+                CtrlMsg::SessionResume {
+                    session: self.session,
+                    next_seq: self.next_seq,
+                    nonce: self.resume_nonce,
+                },
+            );
+        } else {
+            // The failure hit during negotiation: nothing was dispatched,
+            // so start the session over with a plain request (idempotent
+            // at the sink).
+            self.phase = SrcPhase::AwaitAccept;
+            self.await_since = api.now();
+            self.rewind_to(0);
+            self.max_seq_started = 0;
+            self.send_ctrl(
+                api,
+                CtrlMsg::SessionRequest {
+                    session: self.session,
+                    block_size: self.cfg.block_size,
+                    channels: if self.data_qps.is_empty() {
+                        self.cfg.channels
+                    } else {
+                        0
+                    },
+                    total_bytes: self.job_bytes(),
+                    notify_imm: self.cfg.notify == NotifyMode::WriteImm,
+                },
+            );
+        }
+    }
+
+    /// The session is reestablished: close the degraded-time window and
+    /// reset the back-off schedule.
+    fn recovered(&mut self, api: &mut Api) {
+        if let Some(since) = self.degraded_since.take() {
+            self.stats.faults.degraded += api.now().since(since);
+            self.stats.faults.reconnects += 1;
+        }
+        self.resume_attempts = 0;
+        self.resume_backoff_cur = self.cfg.recovery.resume_backoff;
+    }
+
+    fn on_resume_accept(&mut self, api: &mut Api, session: u32, resume_from: u32, nonce: u32) {
+        if session != self.session
+            || self.phase != SrcPhase::Recovering
+            || nonce != self.resume_nonce
+        {
+            // Stale acknowledgement of a superseded attempt: the sink
+            // revoked its credits when it processed the newer attempt,
+            // so resuming on it would write into re-owned slots.
+            return;
+        }
+        self.rewind_to(resume_from);
+        self.phase = SrcPhase::Transfer;
+        self.recovered(api);
+        if self.blocks_completed >= self.job_blocks {
+            // The failure hit at teardown; every block already landed.
+            self.send_ctrl(
+                api,
+                CtrlMsg::DatasetComplete {
+                    session: self.session,
+                    total_blocks: self.job_blocks as u32,
+                },
+            );
+            self.phase = SrcPhase::Draining;
+        } else {
+            self.kick_loaders(api);
+            self.try_dispatch(api);
+        }
+    }
+
+    /// Periodic watchdog: re-post blocks whose completion never arrived
+    /// (a swallowed CQE), re-ask for credits lost in flight, and re-send
+    /// a session request nobody answered. A no-op scan on a healthy
+    /// transfer — the timer is pure, so arming it costs nothing.
+    fn on_retx_tick(&mut self, api: &mut Api) {
+        if self.is_finished() {
+            return; // let the timer lapse
+        }
+        api.set_timer(
+            self.timer_thread,
+            self.cfg.recovery.retx_check,
+            tok_with_tag(TOK_RETX, self.token_tag, 0),
+        );
+        let now = api.now();
+        let timeout = self.cfg.recovery.retx_timeout;
+        match self.phase {
+            // A lost request or accept leaves no error completion on
+            // our side; re-ask after a quiet timeout.
+            SrcPhase::AwaitAccept if now.since(self.await_since) >= timeout => {
+                self.await_since = now;
+                self.send_ctrl(
+                    api,
+                    CtrlMsg::SessionRequest {
+                        session: self.session,
+                        block_size: self.cfg.block_size,
+                        channels: if self.data_qps.is_empty() {
+                            self.cfg.channels
+                        } else {
+                            0
+                        },
+                        total_bytes: self.job_bytes(),
+                        notify_imm: self.cfg.notify == NotifyMode::WriteImm,
+                    },
+                );
+            }
+            SrcPhase::Transfer => {
+                let stale: Vec<BlockIdx> = self
+                    .inflight
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(b, inf)| match inf {
+                        Some(i) if i.credit.is_some() && now.since(i.posted_at) >= timeout => {
+                            Some(b as BlockIdx)
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                if !stale.is_empty() && self.cfg.notify == NotifyMode::WriteImm {
+                    // A re-WRITE with immediate would consume a second
+                    // receive and could chase a slot the sink already
+                    // recycled; rewind the whole session instead.
+                    self.enter_recovery(api);
+                    return;
+                }
+                for block in stale {
+                    self.retransmit(api, block);
+                    if self.phase != SrcPhase::Transfer {
+                        return;
+                    }
+                }
+                // A credit request or grant lost in flight leaves the
+                // source dry with its request bit set forever; re-ask
+                // once the outstanding request has gone unanswered for a
+                // full timeout. (Keying off `starved_since` would misfire
+                // on healthy runs: a dry spell legitimately spans many
+                // answered grant cycles when the stock keeps draining to
+                // zero between them.)
+                if self.credits.request_outstanding
+                    && self.credits.is_empty()
+                    && now.since(self.request_sent_at) >= timeout
+                {
+                    self.request_sent_at = now;
+                    self.credits.request_outstanding = false;
+                    if self.credits.should_request() {
+                        self.stats.credit_requests += 1;
+                        self.send_ctrl(
+                            api,
+                            CtrlMsg::MrRequest {
+                                session: self.session,
+                            },
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Re-post one block whose WRITE completion never arrived. The
+    /// original credit is reused — the slot is still reserved at the sink
+    /// — and if both copies land, the sink frees the duplicate.
+    fn retransmit(&mut self, api: &mut Api, block: BlockIdx) {
+        let Some(inf) = self.inflight[block as usize] else {
+            return;
+        };
+        let Some(credit) = inf.credit else {
+            return;
+        };
+        if inf.retries >= self.cfg.recovery.max_retx_per_block {
+            self.fail(format!(
+                "block seq {} exhausted its retransmit budget",
+                inf.seq
+            ));
+            return;
+        }
+        let wire_len = inf.len as u64 + PAYLOAD_HEADER_LEN as u64;
+        let geo = self.pool.geometry();
+        let local = MrSlice::new(self.pool_mr, geo.offset(block), wire_len);
+        let remote = RemoteSlice {
+            rkey: Rkey::from_raw(credit.rkey),
+            offset: credit.offset,
+        };
+        let nqp = self.data_qps.len();
+        for _ in 0..nqp {
+            let qp = self.data_qps[self.rr_qp];
+            self.rr_qp = (self.rr_qp + 1) % nqp;
+            let wr = WorkRequest::signaled(
+                block as u64,
+                WrOp::Write {
+                    local,
+                    remote,
+                    imm: None,
+                },
+            );
+            match api.post_send(qp, wr) {
+                Ok(()) => {
+                    let inf = self.inflight[block as usize].as_mut().expect("just read");
+                    inf.retries += 1;
+                    inf.posted_at = api.now();
+                    self.stats.faults.retransmits += 1;
+                    return;
+                }
+                Err(PostError::SqFull) => {
+                    self.stats.sq_full_retries += 1;
+                    continue;
+                }
+                Err(e) => {
+                    self.on_post_error(api, e, "retransmit post");
+                    return;
+                }
+            }
+        }
+        // Every SQ full: the block stays timed out; the next scan retries.
     }
 
     fn on_ctrl_msg(&mut self, api: &mut Api, msg: CtrlMsg) {
@@ -577,10 +1064,17 @@ impl SourceEngine {
                 block_size,
                 data_qpns,
             } => {
+                if self.phase != SrcPhase::AwaitAccept {
+                    // Duplicate accept (the sink answered a re-sent
+                    // request it had already honoured): drop it.
+                    return;
+                }
                 if session != self.session || block_size != self.cfg.block_size {
                     self.fail("accept for wrong session/parameters");
                     return;
                 }
+                self.negotiated = true;
+                self.recovered(api);
                 if self.data_qps.is_empty() {
                     // First session: build and connect the data channels.
                     for (i, qpn) in data_qpns.iter().enumerate() {
@@ -592,9 +1086,12 @@ impl SourceEngine {
                         }
                         self.data_qps.push(qp);
                     }
-                    self.send_ctrl(api, CtrlMsg::ChannelsReady {
-                        session: self.session,
-                    });
+                    self.send_ctrl(
+                        api,
+                        CtrlMsg::ChannelsReady {
+                            session: self.session,
+                        },
+                    );
                 }
                 self.phase = SrcPhase::Transfer;
                 self.kick_loaders(api);
@@ -604,13 +1101,24 @@ impl SourceEngine {
                 self.fail(format!("session rejected: reason {reason}"));
             }
             CtrlMsg::Credits { session, credits } => {
-                if session != self.session {
-                    // Stale credits from a finished session: drop.
+                if session != self.session
+                    || !matches!(self.phase, SrcPhase::Transfer | SrcPhase::Draining)
+                {
+                    // Stale credits: a finished session's leftovers, or
+                    // grants from a resume attempt this engine has since
+                    // superseded (mid-recovery the sink revokes and
+                    // re-owns those slots, so banking them would corrupt
+                    // the next incarnation).
                     return;
                 }
                 self.credits.deposit(credits);
                 self.try_dispatch(api);
             }
+            CtrlMsg::ResumeAccept {
+                session,
+                resume_from,
+                nonce,
+            } => self.on_resume_accept(api, session, resume_from, nonce),
             other => {
                 self.fail(format!("unexpected control message at source: {other:?}"));
             }
@@ -631,14 +1139,25 @@ impl Application for SourceEngine {
         };
         self.pool_mr = api.register_mr(backing);
         self.ctrl_tx = Some(CtrlRing::create(api, self.cfg.ctrl_ring_slots));
-        self.ctrl_rx = Some(RecvRing::create_and_post(
-            api,
-            self.ctrl_qp,
-            self.cfg.ctrl_ring_slots,
-        ));
+        match RecvRing::create_and_post(api, self.ctrl_qp, self.cfg.ctrl_ring_slots) {
+            Ok(ring) => self.ctrl_rx = Some(ring),
+            Err(e) => {
+                self.fail(format!("control recv post failed: {e:?}"));
+                return;
+            }
+        }
         for i in 0..self.cfg.data_cq_threads {
             let t = self.data_threads[i as usize % self.data_threads.len()];
             self.data_cqs.push(api.create_cq(t));
+        }
+        self.timer_thread = api.thread();
+        self.await_since = api.now();
+        if self.cfg.recovery.enabled {
+            api.set_timer(
+                self.timer_thread,
+                self.cfg.recovery.retx_check,
+                tok_with_tag(TOK_RETX, self.token_tag, 0),
+            );
         }
         let msg = CtrlMsg::SessionRequest {
             session: self.session,
@@ -660,27 +1179,40 @@ impl Application for SourceEngine {
             match cqe.kind {
                 CqeKind::Send => {
                     if !cqe.ok() {
-                        self.fail(format!("ctrl send failed: {:?}", cqe.status));
+                        self.on_fatal(api, cqe.status, "ctrl send");
                         return;
                     }
                     let ring = self.ctrl_tx.as_mut().expect("ring");
-                    self.stats.ctrl_msgs_sent +=
-                        ring.on_sent(api, self.ctrl_qp, cqe.wr_id as u32);
+                    match ring.on_sent(api, self.ctrl_qp, cqe.wr_id as u32) {
+                        Ok(n) => self.stats.ctrl_msgs_sent += n,
+                        Err(e) => {
+                            self.on_post_error(api, e, "ctrl drain");
+                            return;
+                        }
+                    }
                     self.maybe_advance_job(api);
                 }
                 CqeKind::Recv => {
                     if !cqe.ok() {
-                        self.fail(format!("ctrl recv failed: {:?}", cqe.status));
+                        self.on_fatal(api, cqe.status, "ctrl recv");
                         return;
                     }
                     let ring = self.ctrl_rx.as_ref().expect("ring");
-                    let msg = ring.take(api, self.ctrl_qp, cqe.wr_id as u32, cqe.bytes);
+                    let (msg, reposted) = ring.take(api, self.ctrl_qp, cqe.wr_id as u32, cqe.bytes);
                     self.on_ctrl_msg(api, msg);
+                    if let Err(e) = reposted {
+                        self.on_post_error(api, e, "ctrl recv repost");
+                    }
                 }
                 other => self.fail(format!("unexpected ctrl completion {other:?}")),
             }
         } else {
-            debug_assert_eq!(cqe.kind, CqeKind::RdmaWrite);
+            if self.phase == SrcPhase::Recovering {
+                // Flushed data completions racing the teardown; the
+                // resume rebuilds everything they refer to.
+                return;
+            }
+            debug_assert!(cqe.kind == CqeKind::RdmaWrite || !cqe.ok());
             self.on_data_write_done(api, cqe);
         }
     }
@@ -690,7 +1222,12 @@ impl Application for SourceEngine {
             return;
         }
         match tok_kind(token) {
-            TOK_LOAD => self.on_load_done(api, tok_payload(token) as BlockIdx),
+            TOK_LOAD => {
+                let payload = tok_payload(token);
+                self.on_load_done(api, (payload >> 40) as u8, payload as u32 as BlockIdx);
+            }
+            TOK_RETX => self.on_retx_tick(api),
+            TOK_RESUME => self.do_resume(api),
             other => panic!("source: unknown wakeup token kind {other:#x}"),
         }
     }
@@ -730,6 +1267,9 @@ struct SnkSession {
     /// still outstanding at teardown are revoked back to the free pool —
     /// otherwise every session would strand the source's leftover stock.
     granted_outstanding: Vec<u32>,
+    /// Completion already counted in the stats (a resumed teardown can
+    /// replay `DatasetComplete`; the count must not double).
+    completed: bool,
 }
 
 /// The data-sink protocol engine.
@@ -758,6 +1298,11 @@ pub struct SinkEngine {
     deliver_q: VecDeque<(u32, u32, u32, u32)>, // (session, seq, slot, len)
     consuming: bool,
     consuming_len: Option<u32>,
+    /// Thread the self-repair timer fires on (set at `on_start`).
+    timer_thread: ThreadId,
+    /// A control-QP repair is already scheduled (debounces the burst of
+    /// flushed completions one error produces).
+    repair_pending: bool,
     token_tag: u8,
 
     pub stats: SinkStats,
@@ -771,6 +1316,7 @@ impl SinkEngine {
         data_threads: Vec<ThreadId>,
         consumer_thread: ThreadId,
     ) -> SinkEngine {
+        let timer_thread = consumer_thread;
         let granter = Granter::new(
             cfg.credit_mode,
             cfg.initial_credits,
@@ -797,6 +1343,8 @@ impl SinkEngine {
             deliver_q: VecDeque::new(),
             consuming: false,
             consuming_len: None,
+            timer_thread,
+            repair_pending: false,
             token_tag: 0,
             stats: SinkStats::default(),
             failure: None,
@@ -814,9 +1362,11 @@ impl SinkEngine {
         qp == self.ctrl_qp || self.data_qps.contains(&qp)
     }
 
-    /// Wakeup tokens this engine understands (consumer kind + its tag).
+    /// Wakeup tokens this engine understands (consumer and repair kinds
+    /// + its tag).
     pub fn owns_token(&self, token: u64) -> bool {
-        tok_kind(token) == TOK_CONSUME && tok_tag(token) == self.token_tag
+        let kind = tok_kind(token);
+        (kind == TOK_CONSUME || kind == TOK_REPAIR) && tok_tag(token) == self.token_tag
     }
 
     /// One-line state dump for debugging stalls.
@@ -845,10 +1395,10 @@ impl SinkEngine {
     /// All sessions that were opened have fully delivered their datasets.
     pub fn all_sessions_complete(&self) -> bool {
         !self.sessions.is_empty()
-            && self.sessions.values().all(|s| {
-                s.total_blocks
-                    .is_some_and(|t| s.delivered == t as u64)
-            })
+            && self
+                .sessions
+                .values()
+                .all(|s| s.total_blocks.is_some_and(|t| s.delivered == t as u64))
     }
 
     fn fail(&mut self, why: impl Into<String>) {
@@ -862,13 +1412,53 @@ impl SinkEngine {
                 .push(format!("{} snk --> {msg:?}", api.now()));
         }
         let ring = self.ctrl_tx.as_mut().expect("ctrl ring not built");
-        self.stats.ctrl_msgs_sent += ring.send(api, self.ctrl_qp, msg);
+        match ring.send(api, self.ctrl_qp, msg) {
+            Ok(n) => self.stats.ctrl_msgs_sent += n,
+            Err(e) => self.ctrl_broken(api, format!("ctrl send: {e:?}")),
+        }
     }
 
-    /// Advertise up to `want` free blocks to the source.
-    fn grant_credits(&mut self, api: &mut Api, session: u32, want: u32) {
-        if want == 0 {
+    /// The control QP died (error completion or failed post). Schedule a
+    /// debounced self-repair: reset the QP, clear the send ring (dropped
+    /// messages — credit grants, resume replies — are re-driven by the
+    /// source's timeouts), repost the receives. The data path is left to
+    /// the source's session resume.
+    fn ctrl_broken(&mut self, api: &mut Api, why: String) {
+        if !self.cfg.recovery {
+            self.fail(why);
             return;
+        }
+        self.stats.faults.qp_errors += 1;
+        if self.repair_pending {
+            return;
+        }
+        self.repair_pending = true;
+        api.set_timer(
+            self.timer_thread,
+            SimDur::from_millis(1),
+            tok_with_tag(TOK_REPAIR, self.token_tag, 0),
+        );
+    }
+
+    fn do_repair(&mut self, api: &mut Api) {
+        self.repair_pending = false;
+        api.reset_qp(self.ctrl_qp);
+        self.ctrl_tx.as_mut().expect("ring").reset();
+        if let Err(e) = self
+            .ctrl_rx
+            .as_ref()
+            .expect("ring")
+            .repost_all(api, self.ctrl_qp)
+        {
+            self.fail(format!("repair recv repost: {e:?}"));
+        }
+    }
+
+    /// Advertise up to `want` free blocks to the source. Returns how many
+    /// credits actually went out (the pool may run dry first).
+    fn grant_credits(&mut self, api: &mut Api, session: u32, want: u32) -> u32 {
+        if want == 0 {
+            return 0;
         }
         let rkey = api.mr(self.pool_mr).rkey().raw();
         let pool = self.pool.as_mut().expect("pool not built");
@@ -886,7 +1476,7 @@ impl SinkEngine {
             });
         }
         if batch.is_empty() {
-            return;
+            return 0;
         }
         if let Some(sess) = self.sessions.get_mut(&session) {
             sess.granted_outstanding
@@ -895,11 +1485,15 @@ impl SinkEngine {
         self.granter.note_granted(batch.len() as u32);
         self.stats.credits_granted += batch.len() as u64;
         for chunk in batch.chunks(MAX_CREDITS_PER_MSG) {
-            self.send_ctrl(api, CtrlMsg::Credits {
-                session,
-                credits: chunk.to_vec(),
-            });
+            self.send_ctrl(
+                api,
+                CtrlMsg::Credits {
+                    session,
+                    credits: chunk.to_vec(),
+                },
+            );
         }
+        batch.len() as u32
     }
 
     fn on_session_request(
@@ -911,18 +1505,41 @@ impl SinkEngine {
         total_bytes: u64,
         notify_imm: bool,
     ) {
+        if self.sessions.contains_key(&session) {
+            // The source re-sent a request whose accept was lost in
+            // flight. Idempotent re-accept: answer again but never
+            // re-grant — the credits from the first accept are either
+            // live at the source or covered by the resume path.
+            self.active_session = session;
+            let qpns = self.data_qps.iter().map(|q| q.0).collect();
+            self.send_ctrl(
+                api,
+                CtrlMsg::SessionAccept {
+                    session,
+                    block_size,
+                    data_qpns: qpns,
+                },
+            );
+            return;
+        }
         if block_size > self.cfg.max_block_size {
-            self.send_ctrl(api, CtrlMsg::SessionReject {
-                session,
-                reason: reject_reason::BLOCK_TOO_LARGE,
-            });
+            self.send_ctrl(
+                api,
+                CtrlMsg::SessionReject {
+                    session,
+                    reason: reject_reason::BLOCK_TOO_LARGE,
+                },
+            );
             return;
         }
         if channels > self.cfg.max_channels {
-            self.send_ctrl(api, CtrlMsg::SessionReject {
-                session,
-                reason: reject_reason::TOO_MANY_CHANNELS,
-            });
+            self.send_ctrl(
+                api,
+                CtrlMsg::SessionReject {
+                    session,
+                    reason: reject_reason::TOO_MANY_CHANNELS,
+                },
+            );
             return;
         }
         // Build (or reuse) the registered pool. Geometry changes force a
@@ -979,21 +1596,28 @@ impl SinkEngine {
                 .expect("imm srq post");
             }
         }
-        self.sessions.insert(session, SnkSession {
-            reorder: ReorderBuffer::new(),
-            delivered: 0,
-            total_blocks: None,
-            notify_imm,
-            granted_outstanding: Vec::new(),
-        });
+        self.sessions.insert(
+            session,
+            SnkSession {
+                reorder: ReorderBuffer::new(),
+                delivered: 0,
+                total_blocks: None,
+                notify_imm,
+                granted_outstanding: Vec::new(),
+                completed: false,
+            },
+        );
         self.active_session = session;
         let _ = total_bytes;
         let qpns = self.data_qps.iter().map(|q| q.0).collect();
-        self.send_ctrl(api, CtrlMsg::SessionAccept {
-            session,
-            block_size,
-            data_qpns: qpns,
-        });
+        self.send_ctrl(
+            api,
+            CtrlMsg::SessionAccept {
+                session,
+                block_size,
+                data_qpns: qpns,
+            },
+        );
         let initial = self.granter.on_accept();
         let free = self.pool.as_ref().expect("pool").free_count() as u32;
         self.grant_credits(api, session, initial.min(free));
@@ -1003,7 +1627,14 @@ impl SinkEngine {
     fn on_block_arrival(&mut self, api: &mut Api, session: u32, seq: u32, slot: u32, len: u32) {
         let pool = self.pool.as_mut().expect("pool");
         if let Err(e) = pool.ready(slot) {
-            self.fail(format!("block arrival: {e}"));
+            if self.cfg.recovery {
+                // Duplicate notification for a slot already filled or
+                // already recycled (a retransmission whose original
+                // landed after all): count it and move on.
+                self.stats.faults.duplicate_blocks += 1;
+            } else {
+                self.fail(format!("block arrival: {e}"));
+            }
             return;
         }
         if self.cfg.real_data {
@@ -1017,9 +1648,30 @@ impl SinkEngine {
             sess.granted_outstanding.swap_remove(pos);
         }
         let before_ooo = sess.reorder.ooo_arrivals;
-        let deliverable = sess.reorder.push(seq, (slot, len));
-        self.stats.ooo_blocks += sess.reorder.ooo_arrivals - before_ooo;
-        self.stats.max_reorder_depth = self.stats.max_reorder_depth.max(sess.reorder.max_held);
+        let (deliverable, ooo_delta, max_held) = match sess.reorder.offer(seq, (slot, len)) {
+            Ok(d) => (
+                d,
+                sess.reorder.ooo_arrivals - before_ooo,
+                sess.reorder.max_held,
+            ),
+            Err(_) => {
+                // A resume re-sent a block that had already been placed
+                // (delivered or parked out of order). Free the duplicate
+                // copy's slot; the original stands.
+                self.stats.faults.duplicate_blocks += 1;
+                self.pool
+                    .as_mut()
+                    .expect("pool")
+                    .put_free(slot)
+                    .expect("FSM: free duplicate");
+                let want = self.granter.on_completion();
+                self.grant_credits(api, session, want);
+                self.kick_consumer(api);
+                return;
+            }
+        };
+        self.stats.ooo_blocks += ooo_delta;
+        self.stats.max_reorder_depth = self.stats.max_reorder_depth.max(max_held);
         for (s, (slot, len)) in deliverable {
             self.deliver_q.push_back((session, s, slot, len));
         }
@@ -1062,7 +1714,11 @@ impl SinkEngine {
         self.consuming = true;
         self.consuming_len = Some(len);
         debug_assert!(session < (1 << 16), "session id overflows the token layout");
-        let token = tok_with_tag(TOK_CONSUME, self.token_tag, ((session as u64) << 32) | slot as u64);
+        let token = tok_with_tag(
+            TOK_CONSUME,
+            self.token_tag,
+            ((session as u64) << 32) | slot as u64,
+        );
         match self.cfg.consume {
             ConsumeMode::Null => {
                 let cost = per_byte_cost(api.costs().sink_per_byte_ps, len as u64);
@@ -1111,13 +1767,66 @@ impl SinkEngine {
     }
 
     fn check_session_done(&mut self, api: &mut Api, session: u32) {
-        let Some(sess) = self.sessions.get(&session) else {
+        let Some(sess) = self.sessions.get_mut(&session) else {
             return;
         };
-        if sess.total_blocks.is_some_and(|t| sess.delivered == t as u64) {
+        if sess
+            .total_blocks
+            .is_some_and(|t| sess.delivered == t as u64)
+            && !sess.completed
+        {
+            sess.completed = true;
             self.stats.sessions_completed += 1;
             self.stats.finished_at = api.now();
         }
+    }
+
+    /// The source lost its transport and asks to continue `session` from
+    /// wherever we are. Reply with our highest contiguous sequence and
+    /// restart the credit pipeline; blocks at or past the resume point
+    /// that already landed will arrive again and be freed as duplicates.
+    fn on_session_resume(&mut self, api: &mut Api, session: u32, next_seq: u32, nonce: u32) {
+        let _ = next_seq; // the sink's own frontier is authoritative
+        if !self.sessions.contains_key(&session) {
+            self.send_ctrl(
+                api,
+                CtrlMsg::SessionReject {
+                    session,
+                    reason: reject_reason::BUSY,
+                },
+            );
+            return;
+        }
+        self.stats.faults.reconnects += 1;
+        // Quiesce the data path: bump every data QP's epoch so writes
+        // from the failed incarnation cannot land in recycled slots.
+        for i in 0..self.data_qps.len() {
+            let qp = self.data_qps[i];
+            api.reset_qp(qp);
+        }
+        self.active_session = session;
+        let sess = self.sessions.get_mut(&session).expect("checked");
+        let resume_from = sess.reorder.expected();
+        // Outstanding grants died with the old transport: the source
+        // dropped its stock, so revoke and re-advertise from scratch.
+        let leftovers = std::mem::take(&mut sess.granted_outstanding);
+        if let Some(pool) = self.pool.as_mut() {
+            for slot in leftovers {
+                pool.revoke(slot).expect("revoke granted block");
+            }
+        }
+        self.send_ctrl(
+            api,
+            CtrlMsg::ResumeAccept {
+                session,
+                resume_from,
+                nonce,
+            },
+        );
+        let initial = self.granter.on_accept();
+        let free = self.pool.as_ref().map(|p| p.free_count()).unwrap_or(0) as u32;
+        let granted = self.grant_credits(api, session, initial.min(free));
+        self.stats.faults.credits_regranted += granted as u64;
     }
 
     fn on_ctrl_msg(&mut self, api: &mut Api, msg: CtrlMsg) {
@@ -1134,7 +1843,9 @@ impl SinkEngine {
                 channels,
                 total_bytes,
                 notify_imm,
-            } => self.on_session_request(api, session, block_size, channels, total_bytes, notify_imm),
+            } => {
+                self.on_session_request(api, session, block_size, channels, total_bytes, notify_imm)
+            }
             CtrlMsg::ChannelsReady { .. } => {}
             CtrlMsg::BlockComplete {
                 session,
@@ -1165,6 +1876,11 @@ impl SinkEngine {
                 }
                 self.check_session_done(api, session);
             }
+            CtrlMsg::SessionResume {
+                session,
+                next_seq,
+                nonce,
+            } => self.on_session_resume(api, session, next_seq, nonce),
             other => self.fail(format!("unexpected control message at sink: {other:?}")),
         }
     }
@@ -1172,12 +1888,15 @@ impl SinkEngine {
 
 impl Application for SinkEngine {
     fn on_start(&mut self, api: &mut Api) {
+        self.timer_thread = api.thread();
         self.ctrl_tx = Some(CtrlRing::create(api, self.cfg.ctrl_ring_slots));
-        self.ctrl_rx = Some(RecvRing::create_and_post(
-            api,
-            self.ctrl_qp,
-            self.cfg.ctrl_ring_slots,
-        ));
+        match RecvRing::create_and_post(api, self.ctrl_qp, self.cfg.ctrl_ring_slots) {
+            Ok(ring) => self.ctrl_rx = Some(ring),
+            Err(e) => {
+                self.fail(format!("control recv post failed: {e:?}"));
+                return;
+            }
+        }
         self.imm_rq_mr = api.register_mr(Backing::zeroed(64));
         for i in 0..self.cfg.data_cq_threads {
             let t = self.data_threads[i as usize % self.data_threads.len()];
@@ -1193,27 +1912,44 @@ impl Application for SinkEngine {
             match cqe.kind {
                 CqeKind::Send => {
                     if !cqe.ok() {
-                        self.fail(format!("ctrl send failed: {:?}", cqe.status));
+                        if cqe.status == WcStatus::RnrRetryExceeded {
+                            self.fail(format!("ctrl send failed: {:?}", cqe.status));
+                        } else {
+                            self.ctrl_broken(api, format!("ctrl send: {:?}", cqe.status));
+                        }
                         return;
                     }
                     let ring = self.ctrl_tx.as_mut().expect("ring");
-                    self.stats.ctrl_msgs_sent +=
-                        ring.on_sent(api, self.ctrl_qp, cqe.wr_id as u32);
+                    match ring.on_sent(api, self.ctrl_qp, cqe.wr_id as u32) {
+                        Ok(n) => self.stats.ctrl_msgs_sent += n,
+                        Err(e) => self.ctrl_broken(api, format!("ctrl drain: {e:?}")),
+                    }
                 }
                 CqeKind::Recv => {
                     if !cqe.ok() {
-                        self.fail(format!("ctrl recv failed: {:?}", cqe.status));
+                        self.ctrl_broken(api, format!("ctrl recv: {:?}", cqe.status));
                         return;
                     }
                     let ring = self.ctrl_rx.as_ref().expect("ring");
-                    let msg = ring.take(api, self.ctrl_qp, cqe.wr_id as u32, cqe.bytes);
+                    let (msg, reposted) = ring.take(api, self.ctrl_qp, cqe.wr_id as u32, cqe.bytes);
                     self.on_ctrl_msg(api, msg);
+                    if let Err(e) = reposted {
+                        self.ctrl_broken(api, format!("ctrl recv repost: {e:?}"));
+                    }
                 }
                 other => self.fail(format!("unexpected ctrl completion {other:?}")),
             }
         } else {
-            // Data-QP completion: only WriteImm mode produces these.
-            debug_assert_eq!(cqe.kind, CqeKind::RecvRdmaWithImm);
+            // Data-QP completion: only WriteImm mode produces successful
+            // ones; error completions (a killed QP, flushed receives)
+            // are absorbed here — the source's resume rebuilds the path.
+            if !cqe.ok() {
+                self.stats.faults.qp_errors += 1;
+                return;
+            }
+            if cqe.kind != CqeKind::RecvRdmaWithImm {
+                return;
+            }
             let session = self.active_session;
             let Some(sess) = self.sessions.get(&session) else {
                 self.fail("imm for unknown session");
@@ -1247,6 +1983,7 @@ impl Application for SinkEngine {
                 let slot = payload as u32;
                 self.on_consume_done(api, session, slot);
             }
+            TOK_REPAIR => self.do_repair(api),
             other => panic!("sink: unknown wakeup token kind {other:#x}"),
         }
     }

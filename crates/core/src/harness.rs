@@ -105,9 +105,7 @@ impl Experiment {
             // Stop on failure either side, or when both endpoints have
             // fully finished (the sink keeps consuming briefly after the
             // source's teardown message).
-            s.failure.is_some()
-                || k.failure.is_some()
-                || (s.done && k.all_sessions_complete())
+            s.failure.is_some() || k.failure.is_some() || (s.done && k.all_sessions_complete())
         });
         let w = self.sim.world();
         let source: &SourceEngine = w.app(src);
@@ -144,9 +142,7 @@ impl Experiment {
         self.sim.run_until(SimTime::ZERO + horizon, |w| {
             let s: &SourceEngine = w.app(src);
             let k: &SinkEngine = w.app(dst);
-            s.failure.is_some()
-                || k.failure.is_some()
-                || (s.done && k.all_sessions_complete())
+            s.failure.is_some() || k.failure.is_some() || (s.done && k.all_sessions_complete())
         });
         let report = {
             let w = self.sim.world();
@@ -230,16 +226,17 @@ pub fn run_parallel_jobs(
     sim.run_until(SimTime::ZERO + SimDur::from_secs(36_000), |w| {
         let ma: &MultiEngine = w.app(a);
         let mb: &MultiEngine = w.app(b);
-        (ma.is_finished() && mb.is_finished())
-            || ma.failure().is_some()
-            || mb.failure().is_some()
+        (ma.is_finished() && mb.is_finished()) || ma.failure().is_some() || mb.failure().is_some()
     });
     let w = sim.world();
     let ma: &MultiEngine = w.app(a);
     let mb: &MultiEngine = w.app(b);
     assert!(ma.failure().is_none(), "source side: {:?}", ma.failure());
     assert!(mb.failure().is_none(), "sink side: {:?}", mb.failure());
-    assert!(ma.is_finished() && mb.is_finished(), "parallel jobs incomplete");
+    assert!(
+        ma.is_finished() && mb.is_finished(),
+        "parallel jobs incomplete"
+    );
     let stats: Vec<SourceStats> = ma
         .endpoints
         .iter()

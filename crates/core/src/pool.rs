@@ -137,11 +137,7 @@ impl SourcePool {
     /// Invariant check: free list and states agree (used by tests and
     /// debug assertions).
     pub fn check_invariants(&self) {
-        let free_states = self
-            .states
-            .iter()
-            .filter(|s| **s == SrcState::Free)
-            .count();
+        let free_states = self.states.iter().filter(|s| **s == SrcState::Free).count();
         assert_eq!(free_states, self.free.len(), "free list out of sync");
         let mut seen = vec![false; self.states.len()];
         for &i in &self.free {
@@ -212,11 +208,7 @@ impl SinkPool {
     }
 
     pub fn check_invariants(&self) {
-        let free_states = self
-            .states
-            .iter()
-            .filter(|s| **s == SnkState::Free)
-            .count();
+        let free_states = self.states.iter().filter(|s| **s == SnkState::Free).count();
         assert_eq!(free_states, self.free.len(), "free list out of sync");
     }
 }

@@ -37,8 +37,14 @@ impl<T> Default for ReorderBuffer<T> {
 
 impl<T> ReorderBuffer<T> {
     pub fn new() -> ReorderBuffer<T> {
+        ReorderBuffer::starting_at(0)
+    }
+
+    /// A buffer whose first expected sequence is `next` (a resumed
+    /// session continues from the old buffer's high-water mark).
+    pub fn starting_at(next: u32) -> ReorderBuffer<T> {
         ReorderBuffer {
-            next: 0,
+            next,
             held: BTreeMap::new(),
             max_held: 0,
             ooo_arrivals: 0,
@@ -80,6 +86,19 @@ impl<T> ReorderBuffer<T> {
             self.next += 1;
         }
         out
+    }
+
+    /// Like [`push`](Self::push), but tolerant of duplicate and stale
+    /// sequences, which a recovering session legitimately produces (a
+    /// retransmitted block whose original did land, or a resend of
+    /// everything past the resume point). Returns `Err(item)` when `seq`
+    /// was already delivered or is already parked — the caller must free
+    /// the backing block rather than place it twice.
+    pub fn offer(&mut self, seq: u32, item: T) -> Result<Vec<(u32, T)>, T> {
+        if seq < self.next || self.held.contains_key(&seq) {
+            return Err(item);
+        }
+        Ok(self.push(seq, item))
     }
 
     /// True when nothing is parked (all arrived blocks were delivered).
@@ -140,6 +159,30 @@ mod tests {
         let mut r = ReorderBuffer::new();
         r.push(0, ());
         r.push(0, ());
+    }
+
+    #[test]
+    fn offer_rejects_duplicates_without_double_delivery() {
+        let mut r = ReorderBuffer::new();
+        assert_eq!(r.offer(0, "a").unwrap(), vec![(0, "a")]);
+        // Stale: 0 already delivered. The item comes back for freeing.
+        assert_eq!(r.offer(0, "a2"), Err("a2"));
+        // Parked duplicate: 2 held, second copy rejected.
+        assert!(r.offer(2, "c").unwrap().is_empty());
+        assert_eq!(r.offer(2, "c2"), Err("c2"));
+        // The original parked copy is the one delivered.
+        assert_eq!(r.offer(1, "b").unwrap(), vec![(1, "b"), (2, "c")]);
+        assert_eq!(r.expected(), 3);
+        assert!(r.is_drained());
+    }
+
+    #[test]
+    fn starting_at_resumes_mid_sequence() {
+        let mut r = ReorderBuffer::starting_at(70);
+        assert_eq!(r.expected(), 70);
+        assert_eq!(r.offer(69, ()), Err(())); // below the resume point
+        assert_eq!(r.offer(70, ()).unwrap().len(), 1);
+        assert_eq!(r.expected(), 71);
     }
 
     #[test]

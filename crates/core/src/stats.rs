@@ -16,6 +16,25 @@ pub struct TimelinePoint {
     pub inflight: u32,
 }
 
+/// Fault-recovery counters (all zero on a clean run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Blocks re-sent by the retransmit watchdog or a session resume.
+    pub retransmits: u64,
+    /// Session resume round-trips completed (source) / honoured (sink).
+    pub reconnects: u64,
+    /// Credits re-granted after loss detection or resume.
+    pub credits_regranted: u64,
+    /// Blocks that arrived more than once at the sink (freed, not
+    /// double-placed).
+    pub duplicate_blocks: u64,
+    /// Fatal QP error completions observed.
+    pub qp_errors: u64,
+    /// Time spent in a degraded state (between detecting a fatal error
+    /// and completing the resume handshake).
+    pub degraded: SimDur,
+}
+
 /// Source-side transfer statistics.
 #[derive(Debug, Clone, Default)]
 pub struct SourceStats {
@@ -31,6 +50,8 @@ pub struct SourceStats {
     /// Posts rejected with SqFull and retried.
     pub sq_full_retries: u64,
     pub sessions_completed: u32,
+    /// Loss-recovery counters (zero on a clean run).
+    pub faults: FaultStats,
     pub started_at: SimTime,
     pub finished_at: SimTime,
     /// Progress samples (empty unless timeline recording is enabled).
@@ -60,6 +81,8 @@ pub struct SinkStats {
     /// Payload checksum mismatches (real-data mode only; must be zero).
     pub checksum_failures: u64,
     pub sessions_completed: u32,
+    /// Loss-recovery counters (zero on a clean run).
+    pub faults: FaultStats,
     pub finished_at: SimTime,
     /// Protocol trace lines (empty unless trace recording is enabled).
     pub trace: Vec<String>,

@@ -96,6 +96,27 @@ pub enum CtrlMsg {
     },
     /// Phase 3: the whole dataset was transferred.
     DatasetComplete { session: u32, total_blocks: u32 },
+    /// Recovery: the source reconnected after a fatal QP error and asks
+    /// to resume the session where it left off. `next_seq` is the lowest
+    /// sequence the source cannot prove was delivered. `nonce` identifies
+    /// the resume attempt: the sink echoes it, and the source honours
+    /// only the accept matching its latest attempt — an accept for a
+    /// superseded attempt describes credits the sink has since revoked.
+    /// The sink resets its side of the data channels before answering.
+    SessionResume {
+        session: u32,
+        next_seq: u32,
+        nonce: u32,
+    },
+    /// Recovery: the sink agrees to resume. `resume_from` is the sink's
+    /// next expected sequence — every block below it is already placed
+    /// and must not be re-sent; blocks at or above it will be re-credited.
+    /// `nonce` echoes the `SessionResume` this answers.
+    ResumeAccept {
+        session: u32,
+        resume_from: u32,
+        nonce: u32,
+    },
 }
 
 /// Rejection reasons for `SessionReject`.
@@ -121,6 +142,8 @@ const T_CREDITS: u16 = 5;
 const T_MR_REQUEST: u16 = 6;
 const T_BLOCK_COMPLETE: u16 = 7;
 const T_DATASET_COMPLETE: u16 = 8;
+const T_SESSION_RESUME: u16 = 9;
+const T_RESUME_ACCEPT: u16 = 10;
 
 impl CtrlMsg {
     pub fn session(&self) -> u32 {
@@ -132,7 +155,9 @@ impl CtrlMsg {
             | CtrlMsg::Credits { session, .. }
             | CtrlMsg::MrRequest { session }
             | CtrlMsg::BlockComplete { session, .. }
-            | CtrlMsg::DatasetComplete { session, .. } => session,
+            | CtrlMsg::DatasetComplete { session, .. }
+            | CtrlMsg::SessionResume { session, .. }
+            | CtrlMsg::ResumeAccept { session, .. } => session,
         }
     }
 
@@ -146,6 +171,8 @@ impl CtrlMsg {
             CtrlMsg::MrRequest { .. } => T_MR_REQUEST,
             CtrlMsg::BlockComplete { .. } => T_BLOCK_COMPLETE,
             CtrlMsg::DatasetComplete { .. } => T_DATASET_COMPLETE,
+            CtrlMsg::SessionResume { .. } => T_SESSION_RESUME,
+            CtrlMsg::ResumeAccept { .. } => T_RESUME_ACCEPT,
         }
     }
 
@@ -207,6 +234,18 @@ impl CtrlMsg {
             }
             CtrlMsg::DatasetComplete { total_blocks, .. } => {
                 w.put_u32(*total_blocks);
+            }
+            CtrlMsg::SessionResume {
+                next_seq, nonce, ..
+            } => {
+                w.put_u32(*next_seq);
+                w.put_u32(*nonce);
+            }
+            CtrlMsg::ResumeAccept {
+                resume_from, nonce, ..
+            } => {
+                w.put_u32(*resume_from);
+                w.put_u32(*nonce);
             }
         }
         start - w.remaining_mut()
@@ -298,6 +337,22 @@ impl CtrlMsg {
                 Ok(CtrlMsg::DatasetComplete {
                     session,
                     total_blocks: buf.get_u32(),
+                })
+            }
+            T_SESSION_RESUME => {
+                need(&buf, 8)?;
+                Ok(CtrlMsg::SessionResume {
+                    session,
+                    next_seq: buf.get_u32(),
+                    nonce: buf.get_u32(),
+                })
+            }
+            T_RESUME_ACCEPT => {
+                need(&buf, 8)?;
+                Ok(CtrlMsg::ResumeAccept {
+                    session,
+                    resume_from: buf.get_u32(),
+                    nonce: buf.get_u32(),
                 })
             }
             other => Err(WireError::UnknownType(other)),
@@ -404,6 +459,16 @@ mod tests {
             session: 7,
             total_blocks: 1 << 20,
         });
+        roundtrip(CtrlMsg::SessionResume {
+            session: 7,
+            next_seq: 77,
+            nonce: 3,
+        });
+        roundtrip(CtrlMsg::ResumeAccept {
+            session: 7,
+            resume_from: 75,
+            nonce: 3,
+        });
     }
 
     #[test]
@@ -452,10 +517,7 @@ mod tests {
     fn unknown_type_rejected() {
         let mut buf = [0u8; 8];
         (&mut buf[..]).put_u16(999);
-        assert_eq!(
-            CtrlMsg::decode(&buf),
-            Err(WireError::UnknownType(999))
-        );
+        assert_eq!(CtrlMsg::decode(&buf), Err(WireError::UnknownType(999)));
     }
 
     #[test]

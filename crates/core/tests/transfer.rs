@@ -214,13 +214,11 @@ fn oversized_block_is_rejected() {
     let src = {
         let mut e = build_experiment(&tb, cfg, snk);
         let src = e.src;
-        e.sim.run_until(
-            rftp_netsim::SimTime::ZERO + SimDur::from_secs(10),
-            |w| {
+        e.sim
+            .run_until(rftp_netsim::SimTime::ZERO + SimDur::from_secs(10), |w| {
                 let s: &rftp_core::SourceEngine = w.app(src);
                 s.is_finished()
-            },
-        );
+            });
         let s: &rftp_core::SourceEngine = e.sim.world().app(src);
         s.failure.clone()
     };

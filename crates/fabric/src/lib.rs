@@ -30,9 +30,14 @@
 //!   NAK'd transfer wastes the whole message's wire time — a conservative
 //!   over-penalty; the paper's point that RNR stalls are catastrophic is
 //!   preserved.
-//! * Link-level loss is not modelled for RDMA (the testbeds are clean,
-//!   flow-controlled fabrics); TCP loss for the WAN baseline is modelled
-//!   in `rftp-baselines`.
+//! * Link-level loss is off by default (the testbeds are clean,
+//!   flow-controlled fabrics); the fault layer can inject outages — link
+//!   flaps, per-fragment drop windows, QP kills, NIC stalls, swallowed
+//!   completions (see [`world::FaultAction`] and the `rftp-faults`
+//!   crate). A lost message surfaces at its initiator as a
+//!   `WcStatus::RetryExceeded` error after a few RTTs, like an RC
+//!   transport exhausting its retry budget. TCP loss for the WAN
+//!   baseline is modelled in `rftp-baselines`.
 
 pub mod host;
 pub mod ids;
@@ -50,5 +55,8 @@ pub use ids::{CqId, DeviceId, HostId, MrId, QpId, Rkey, SrqId};
 pub use mr::{Backing, MemoryRegion, MrError, MrSlice, RemoteSlice};
 pub use qp::{QpOptions, QpState, QpType};
 pub use topology::{two_host_fabric, two_host_fabric_with_frag, DEFAULT_FRAG_SIZE};
-pub use world::{build_sim, Api, Application, ConnectError, Ev, FabricCore, FabricWorld};
+pub use world::{
+    build_sim, Api, Application, ConnectError, Ev, FabricCore, FabricWorld, FaultAction,
+    FaultCounters,
+};
 pub use wr::{Cqe, CqeKind, PostError, RecvWr, WcStatus, WorkRequest, WrOp};

@@ -70,11 +70,7 @@ impl MrSlice {
 
     /// The whole of `mr`, given its length.
     pub fn whole(mr: MrId, len: u64) -> MrSlice {
-        MrSlice {
-            mr,
-            offset: 0,
-            len,
-        }
+        MrSlice { mr, offset: 0, len }
     }
 }
 
@@ -184,10 +180,7 @@ impl MemoryRegion {
     /// region the data lived. Word-at-a-time; see [`crate::pattern`].
     pub fn fill_pattern(&mut self, offset: u64, len: u64, seed: u64) {
         if let Backing::Real(v) = &mut self.backing {
-            crate::pattern::fill_pattern(
-                &mut v[offset as usize..(offset + len) as usize],
-                seed,
-            );
+            crate::pattern::fill_pattern(&mut v[offset as usize..(offset + len) as usize], seed);
         }
     }
 

@@ -54,6 +54,10 @@ impl MsgKind {
 #[derive(Debug, Clone, Copy)]
 pub struct MsgState {
     pub kind: MsgKind,
+    /// Unique id, never reused. The slab recycles keys, so a fragment
+    /// still in flight when its message is freed could otherwise alias a
+    /// newer message that inherited the key; the uid disambiguates.
+    pub uid: u64,
     /// Initiating QP (for ACK/NAK: the QP that emits them).
     pub qp: QpId,
     pub src_host: HostId,
@@ -75,12 +79,24 @@ pub struct MsgState {
     /// Remaining RNR retries (counts down from the QP's budget; only
     /// meaningful for RQ-consuming kinds).
     pub rnr_left: u8,
+    /// Epoch of the initiating QP at post time. A QP reset bumps its
+    /// epoch; terminal events (ACKs, losses) for stale-epoch messages
+    /// are silently forgotten instead of corrupting the new incarnation.
+    pub src_epoch: u32,
+    /// Epoch of the destination QP at post time.
+    pub dst_epoch: u32,
+    /// A fragment of this message was dropped by an injected fault; the
+    /// remaining fragments still serialize but never deliver, and a loss
+    /// timer eventually fails the message at its initiator.
+    pub lost: bool,
 }
 
 /// One wire fragment of a message.
 #[derive(Debug, Clone, Copy)]
 pub struct Fragment {
     pub msg: u32,
+    /// Uid of the message this fragment belongs to (see [`MsgState::uid`]).
+    pub uid: u64,
     pub bytes: u64,
     pub last: bool,
 }
@@ -96,6 +112,9 @@ pub struct Nic {
     pub active: bool,
     /// Total fragments put on the wire (all QPs).
     pub fragments_sent: u64,
+    /// Injected-fault stall: no fragment may start transmitting before
+    /// this instant (the DMA engine is frozen; nothing is dropped).
+    pub stalled_until: SimTime,
 }
 
 impl Nic {
@@ -155,6 +174,7 @@ pub fn next_fragment(
     }
     Some(Fragment {
         msg: head,
+        uid: m.uid,
         bytes,
         last,
     })
@@ -170,6 +190,7 @@ mod tests {
     fn msg(len: u64, kind: MsgKind) -> MsgState {
         MsgState {
             kind,
+            uid: 0,
             qp: QpId(0),
             src_host: HostId(0),
             dst_host: HostId(1),
@@ -182,6 +203,9 @@ mod tests {
             remote: None,
             imm: None,
             rnr_left: 7,
+            src_epoch: 0,
+            dst_epoch: 0,
+            lost: false,
         }
     }
 

@@ -74,6 +74,9 @@ pub struct QpCounters {
     pub bytes_received: u64,
     pub rnr_naks: u64,
     pub rnr_retries_exhausted: u64,
+    /// Messages given up on after loss (injected faults): the transport
+    /// retry budget ran out without an acknowledgement.
+    pub transport_retries_exceeded: u64,
     pub remote_errors: u64,
     /// UD only: messages discarded at the receiver for lack of an RQ entry.
     pub ud_drops: u64,
@@ -103,6 +106,10 @@ pub struct QpState {
     pub stalled_until: SimTime,
     /// Set when the QP entered the error state (fatal completion).
     pub error: bool,
+    /// Incarnation counter, bumped by a reset (ERR → RESET → RTS).
+    /// Messages record the epoch at post time; anything still in flight
+    /// across a reset is ignored when it finally lands or times out.
+    pub epoch: u32,
     /// Is this QP currently queued in its host NIC's round-robin ring?
     pub in_nic_ring: bool,
     /// Wire bytes consumed during the QP's current arbitration turn
@@ -128,6 +135,7 @@ impl QpState {
             outstanding_reads: 0,
             stalled_until: SimTime::ZERO,
             error: false,
+            epoch: 0,
             in_nic_ring: false,
             turn_bytes: 0,
             counters: QpCounters::default(),

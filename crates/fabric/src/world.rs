@@ -15,12 +15,12 @@ use crate::nic::{next_fragment, Fragment, MsgKind, MsgState};
 use crate::qp::{QpOptions, QpState, QpType};
 use crate::util::Slab;
 use crate::wr::{Cqe, CqeKind, PostError, RecvWr, WcStatus, WorkRequest, WrOp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rftp_netsim::cpu::ThreadId;
 use rftp_netsim::kernel::{Scheduler, Sim, World};
 use rftp_netsim::link::{Dir, Link};
 use rftp_netsim::time::{Bandwidth, SimDur, SimTime};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::any::Any;
 use std::collections::HashMap;
 
@@ -44,6 +44,53 @@ pub enum Ev {
         thread: ThreadId,
         token: u64,
     },
+    /// A scheduled fault-plan action fires (see the `rftp-faults` crate,
+    /// which compiles a `FaultPlan` onto the kernel as these events).
+    Fault(FaultAction),
+    /// Loss timer: a message had fragments dropped and its initiator's
+    /// transport has now exhausted its retry budget. The `uid` guards
+    /// against the slab key having been recycled in the meantime.
+    MsgLost { msg: u32, uid: u64 },
+}
+
+/// One fault-plan action applied to the fabric at a scheduled instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// Take a link down: every fragment that starts serializing while
+    /// the link is down is lost (both directions).
+    LinkDown { link: u32 },
+    /// Bring a link back up.
+    LinkUp { link: u32 },
+    /// Start dropping each newly transmitted fragment with probability
+    /// `p` (independent Bernoulli draws from the dedicated fault RNG).
+    DropStart { link: u32, p: f64 },
+    /// End a probabilistic drop window.
+    DropStop { link: u32 },
+    /// Force a QP into the error state, as a local async fatal event
+    /// (`IBV_EVENT_QP_FATAL`) would. The owner sees an error CQE with
+    /// `wr_id == u64::MAX` plus flushes for anything queued.
+    QpKill { qp: u32 },
+    /// Freeze a host NIC's transmit engine for `dur` (nothing dropped;
+    /// in-flight receives still land, acks queue up behind the stall).
+    NicStall { host: HostId, dur: SimDur },
+    /// Start swallowing successful RDMA WRITE send completions on
+    /// `host` — the "lost completion" fault the retransmit timer covers.
+    CqeDropStart { host: HostId },
+    /// Stop swallowing completions on `host`.
+    CqeDropStop { host: HostId },
+}
+
+/// What the fault layer actually injected (for reports and tests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultCounters {
+    /// Fragments lost to downed links or drop windows.
+    pub frags_dropped: u64,
+    /// Successful completions swallowed by `CqeDrop` windows.
+    pub cqes_dropped: u64,
+    /// QPs force-failed by `QpKill`.
+    pub qp_kills: u64,
+    /// Link up/down transitions applied.
+    pub link_transitions: u64,
 }
 
 /// A point-to-point cable between two hosts, plus its per-packet framing
@@ -54,6 +101,12 @@ pub struct FabricLink {
     pub b: HostId,
     pub link: Link,
     pub overhead_per_packet: u32,
+    /// Fault state: false while a `LinkDown` outage is in effect.
+    pub up: bool,
+    /// Fault state: per-fragment drop probability (0.0 outside windows).
+    pub drop_p: f64,
+    /// Fragments this link lost to injected faults (both directions).
+    pub faults_dropped: u64,
 }
 
 impl FabricLink {
@@ -83,6 +136,16 @@ pub struct FabricCore {
     pub frag_size: u64,
     /// Seeded noise source for cost jitter (`CostModel::jitter_pct`).
     rng: StdRng,
+    /// Monotonic message-uid source (uids are never reused).
+    next_msg_uid: u64,
+    /// Dedicated RNG for fault draws. Kept separate from the jitter RNG
+    /// and only consumed inside active drop windows, so an empty fault
+    /// plan leaves runs byte-identical to a fabric without fault hooks.
+    fault_rng: StdRng,
+    /// Per-host lost-completion fault switch (indexed by `HostId`).
+    cqe_drop: Vec<bool>,
+    /// Aggregate tally of injected faults.
+    pub fault_counters: FaultCounters,
 }
 
 impl FabricCore {
@@ -96,12 +159,26 @@ impl FabricCore {
             link_map: HashMap::new(),
             frag_size,
             rng: StdRng::seed_from_u64(0x5EED_FAB1),
+            next_msg_uid: 0,
+            fault_rng: StdRng::seed_from_u64(0xFA_017),
+            cqe_drop: Vec::new(),
+            fault_counters: FaultCounters::default(),
         }
     }
 
     /// Reseed the jitter RNG (runs remain deterministic per seed).
     pub fn reseed(&mut self, seed: u64) {
         self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// Reseed the fault RNG (drop windows draw from this stream only).
+    pub fn reseed_faults(&mut self, seed: u64) {
+        self.fault_rng = StdRng::seed_from_u64(seed);
+    }
+
+    fn alloc_msg_uid(&mut self) -> u64 {
+        self.next_msg_uid += 1;
+        self.next_msg_uid
     }
 
     /// Apply the host's configured cost jitter to `cost`.
@@ -126,6 +203,7 @@ impl FabricCore {
         let mut host = HostState::new(id, name, cores, costs);
         host.cpu.spawn("main");
         self.hosts.push(host);
+        self.cqe_drop.push(false);
         id
     }
 
@@ -137,6 +215,9 @@ impl FabricCore {
             b,
             link,
             overhead_per_packet,
+            up: true,
+            drop_p: 0.0,
+            faults_dropped: 0,
         });
         let key = (a.0.min(b.0), a.0.max(b.0));
         self.link_map.insert(key, idx);
@@ -170,7 +251,8 @@ impl FabricCore {
         recv_cq: CqId,
     ) -> QpId {
         let id = QpId(self.qps.len() as u32);
-        self.qps.push(QpState::new(id, host, opts, send_cq, recv_cq));
+        self.qps
+            .push(QpState::new(id, host, opts, send_cq, recv_cq));
         id
     }
 
@@ -220,6 +302,16 @@ impl FabricCore {
     /// thread. With moderation, only the first completion of each batch
     /// pays the interrupt cost; the rest are polled cheaply.
     fn push_cqe(&mut self, sched: &mut Scheduler<Ev>, host: HostId, cq: CqId, cqe: Cqe) {
+        // Lost-completion fault: swallow successful bulk-data send
+        // completions (only those — eating control-ring or error CQEs
+        // would model a broken *host*, not a flaky completion path).
+        if self.cqe_drop[host.index()]
+            && cqe.status == WcStatus::Success
+            && cqe.kind == CqeKind::RdmaWrite
+        {
+            self.fault_counters.cqes_dropped += 1;
+            return;
+        }
         let base = {
             let q = &mut self.hosts[host.index()].cqs[cq.index()];
             q.since_interrupt += 1;
@@ -254,10 +346,18 @@ impl FabricCore {
     /// nothing was transmittable (chain goes idle).
     fn nic_tx_one(&mut self, sched: &mut Scheduler<Ev>, host: HostId) -> bool {
         let now = sched.now();
+        // 0. NIC-stall fault: the transmit engine is frozen; resume the
+        // chain when the stall expires.
+        let stalled_until = self.hosts[host.index()].nic.stalled_until;
+        if stalled_until > now {
+            sched.at(stalled_until, Ev::NicTx(host));
+            return true;
+        }
         // 1. Strict-priority transport control (ACKs / NAKs).
         let frag = if let Some(m) = self.hosts[host.index()].nic.ctrl_q.pop_front() {
             Some(Fragment {
                 msg: m,
+                uid: self.msgs[m].uid,
                 bytes: 0,
                 last: true,
             })
@@ -277,6 +377,7 @@ impl FabricCore {
         let signaled = m.signaled;
         let wr_id = m.wr_id;
         let len = m.len;
+        let already_lost = m.lost;
 
         let (li, dir) = self
             .link_between(host, dst)
@@ -284,9 +385,34 @@ impl FabricCore {
         let fl = &mut self.links[li as usize];
         let wire = fl.wire_bytes(frag.bytes);
         let tx = fl.link.transmit(now, dir, wire);
+        let link_up = fl.up;
+        let drop_p = fl.drop_p;
+        let rtt = fl.link.rtt();
         let h = &mut self.hosts[host.index()];
         h.nic.fragments_sent += 1;
-        sched.at(tx.arrival, Ev::Deliver { dst, frag });
+        // Fault check at serialization time: a downed link or an active
+        // drop window loses the fragment on the wire. The sender cannot
+        // tell — the NIC keeps transmitting the rest of the message and
+        // the transport only finds out when its retries time out (the
+        // `MsgLost` loss timer, modelled at a few RTTs).
+        if already_lost {
+            // A sibling fragment was already dropped; the rest of the
+            // message serializes but never delivers.
+        } else if !link_up || (drop_p > 0.0 && self.fault_rng.gen_bool(drop_p)) {
+            self.links[li as usize].faults_dropped += 1;
+            self.fault_counters.frags_dropped += 1;
+            self.msgs[frag.msg].lost = true;
+            let timeout = SimDur(rtt.nanos().saturating_mul(4) + 10_000_000);
+            sched.at(
+                tx.arrival + timeout,
+                Ev::MsgLost {
+                    msg: frag.msg,
+                    uid: frag.uid,
+                },
+            );
+        } else {
+            sched.at(tx.arrival, Ev::Deliver { dst, frag });
+        }
         sched.at(tx.tx_end, Ev::NicTx(host));
 
         // Count data-plane bytes on the sending QP.
@@ -345,7 +471,11 @@ impl FabricCore {
             if qp.turn_bytes >= self.frag_size {
                 // Quantum spent: rotate to the back of the ring.
                 qp.turn_bytes = 0;
-                let id = self.hosts[host.index()].nic.ring.pop_front().expect("front");
+                let id = self.hosts[host.index()]
+                    .nic
+                    .ring
+                    .pop_front()
+                    .expect("front");
                 self.hosts[host.index()].nic.ring.push_back(id);
                 continue;
             }
@@ -363,7 +493,11 @@ impl FabricCore {
                     // Stalled (RNR back-off or rd_atomic budget): keep it
                     // in the ring so it is revisited, but move on.
                     qp.turn_bytes = 0;
-                    let id = self.hosts[host.index()].nic.ring.pop_front().expect("front");
+                    let id = self.hosts[host.index()]
+                        .nic
+                        .ring
+                        .pop_front()
+                        .expect("front");
                     self.hosts[host.index()].nic.ring.push_back(id);
                 }
             }
@@ -382,8 +516,10 @@ impl FabricCore {
         to_qp: QpId,
         kind: MsgKind,
     ) {
+        let uid = self.alloc_msg_uid();
         let key = self.msgs.insert(MsgState {
             kind,
+            uid,
             qp: from_qp,
             src_host: from_host,
             dst_host: to_host,
@@ -396,6 +532,9 @@ impl FabricCore {
             remote: None,
             imm: None,
             rnr_left: 0,
+            src_epoch: self.qps[from_qp.index()].epoch,
+            dst_epoch: self.qps[to_qp.index()].epoch,
+            lost: false,
         });
         self.hosts[from_host.index()].nic.enqueue_ctrl(key);
         self.kick_nic(sched, from_host);
@@ -487,6 +626,29 @@ impl FabricCore {
     /// semantics live: placement, RQ consumption, completions, acks.
     fn deliver_msg(&mut self, sched: &mut Scheduler<Ev>, key: u32) {
         let m = *self.msgs.get(key).expect("delivered unknown message");
+        // A QP that was reset (stale epoch) or forced to error no longer
+        // recognizes this connection's in-flight traffic: respond with a
+        // NAK so the sender's QP fails and its owner can recover. Real RC
+        // surfaces this as retry-exceeded once the peer stops responding.
+        if !m.kind.is_transport_control() {
+            let dst = &self.qps[m.dst_qp.index()];
+            if dst.error || dst.epoch != m.dst_epoch {
+                if self.qps[m.qp.index()].opts.qp_type == QpType::Ud {
+                    // UD: silent drop, sender already completed.
+                    self.msgs.remove(key);
+                } else {
+                    self.send_ctrl(
+                        sched,
+                        m.dst_host,
+                        m.src_host,
+                        m.dst_qp,
+                        m.qp,
+                        MsgKind::RemoteErrNak { for_msg: key },
+                    );
+                }
+                return;
+            }
+        }
         match m.kind {
             MsgKind::Send => self.deliver_send(sched, key, m),
             MsgKind::Write => self.deliver_write(sched, key, m),
@@ -502,9 +664,21 @@ impl FabricCore {
             }
             MsgKind::RemoteErrNak { for_msg } => {
                 self.msgs.remove(key);
-                let orig = self.msgs.remove(for_msg);
+                // The NAKed message may be gone already (its QP reset or
+                // failed while the NAK was in flight).
+                let Some(orig) = self.msgs.get(for_msg).copied() else {
+                    return;
+                };
+                self.msgs.remove(for_msg);
                 let qp = orig.qp;
+                if orig.src_epoch != self.qps[qp.index()].epoch {
+                    return; // posted before a reset: silently forgotten
+                }
                 self.qps[qp.index()].counters.remote_errors += 1;
+                if self.qps[qp.index()].error {
+                    self.flush_one(sched, qp, &orig);
+                    return;
+                }
                 self.fail_qp(
                     sched,
                     qp,
@@ -574,7 +748,13 @@ impl FabricCore {
                 dst_qp.counters.bytes_received += m.len;
                 let recv_cq = dst_qp.recv_cq;
                 if m.len > 0 {
-                    self.copy_cross(m.src_host, m.local, m.dst_host, recv.local.mr, recv.local.offset);
+                    self.copy_cross(
+                        m.src_host,
+                        m.local,
+                        m.dst_host,
+                        recv.local.mr,
+                        recv.local.offset,
+                    );
                 }
                 self.push_cqe(
                     sched,
@@ -703,8 +883,10 @@ impl FabricCore {
         }
         // The target NIC streams the response back through its own data
         // path — entirely in hardware, no target CPU.
+        let uid = self.alloc_msg_uid();
         let resp = self.msgs.insert(MsgState {
             kind: MsgKind::ReadResp { req: key },
+            uid,
             qp: m.dst_qp,
             src_host: m.dst_host,
             dst_host: m.src_host,
@@ -717,6 +899,9 @@ impl FabricCore {
             remote: None,
             imm: None,
             rnr_left: 0,
+            src_epoch: self.qps[m.dst_qp.index()].epoch,
+            dst_epoch: self.qps[m.qp.index()].epoch,
+            lost: false,
         });
         let dst_qp = &mut self.qps[m.dst_qp.index()];
         dst_qp.launch_q.push_back(resp);
@@ -729,10 +914,24 @@ impl FabricCore {
 
     fn deliver_read_resp(&mut self, sched: &mut Scheduler<Ev>, key: u32, m: MsgState, req: u32) {
         self.msgs.remove(key);
-        let orig = self.msgs.remove(req);
+        // Tolerant: the request may be gone or epoch-orphaned (initiator
+        // QP reset while the response was streaming back).
+        let Some(orig) = self.msgs.get(req).copied() else {
+            return;
+        };
+        self.msgs.remove(req);
+        if orig.src_epoch != self.qps[orig.qp.index()].epoch {
+            return;
+        }
         // Place the fetched data into the initiator's local buffer.
         if m.len > 0 {
-            self.copy_cross(m.src_host, m.local, m.dst_host, orig.local.mr, orig.local.offset);
+            self.copy_cross(
+                m.src_host,
+                m.local,
+                m.dst_host,
+                orig.local.mr,
+                orig.local.offset,
+            );
         }
         let qp = &mut self.qps[orig.qp.index()];
         qp.outstanding_reads -= 1;
@@ -765,8 +964,38 @@ impl FabricCore {
         }
     }
 
+    /// Flush one already-removed message's WR on an errored QP.
+    fn flush_one(&mut self, sched: &mut Scheduler<Ev>, qp_id: QpId, m: &MsgState) {
+        let qp = &mut self.qps[qp_id.index()];
+        qp.sq_outstanding = qp.sq_outstanding.saturating_sub(1);
+        let host = qp.host;
+        let send_cq = qp.send_cq;
+        self.push_cqe(
+            sched,
+            host,
+            send_cq,
+            Cqe {
+                wr_id: m.wr_id,
+                qp: qp_id,
+                kind: wr_kind(&m.kind),
+                status: WcStatus::WrFlushed,
+                bytes: 0,
+                imm: None,
+            },
+        );
+    }
+
     fn complete_acked(&mut self, sched: &mut Scheduler<Ev>, for_msg: u32) {
-        let m = self.msgs.remove(for_msg);
+        // Tolerant: the acked message may already be gone, or belong to a
+        // previous incarnation of its QP (reset while the ack was in
+        // flight) — in either case there is nothing left to complete.
+        let Some(m) = self.msgs.get(for_msg).copied() else {
+            return;
+        };
+        self.msgs.remove(for_msg);
+        if m.src_epoch != self.qps[m.qp.index()].epoch {
+            return;
+        }
         let qp = &mut self.qps[m.qp.index()];
         qp.sq_outstanding -= 1;
         let host = qp.host;
@@ -791,8 +1020,16 @@ impl FabricCore {
     fn handle_rnr_nak(&mut self, sched: &mut Scheduler<Ev>, for_msg: u32) {
         let (qp_id, retry_budget);
         {
-            let m = self.msgs.get(for_msg).expect("RNR NAK for unknown message");
+            // Tolerant: the message may be gone or epoch-orphaned (QP
+            // reset while the NAK was in flight).
+            let Some(m) = self.msgs.get(for_msg) else {
+                return;
+            };
             qp_id = m.qp;
+            if m.src_epoch != self.qps[qp_id.index()].epoch {
+                self.msgs.remove(for_msg);
+                return;
+            }
             retry_budget = self.qps[qp_id.index()].opts.rnr_retry;
         }
         // If the QP already failed (e.g. a sibling WR exhausted its RNR
@@ -846,6 +1083,129 @@ impl FabricCore {
             .nic
             .enqueue_qp(&mut self.qps[qp_id.index()]);
         sched.at(resume, Ev::NicKick(host));
+    }
+
+    /// The loss timer for `msg` fired: the initiating transport gives up.
+    /// A lost ACK/NAK strands the message it was acknowledging; a lost
+    /// READ response strands the original request.
+    fn handle_msg_lost(&mut self, sched: &mut Scheduler<Ev>, key: u32, uid: u64) {
+        let Some(m) = self.msgs.get(key) else {
+            return;
+        };
+        if m.uid != uid {
+            return; // slab key recycled; this timer is stale
+        }
+        let m = *m;
+        match m.kind {
+            MsgKind::Ack { for_msg }
+            | MsgKind::RnrNak { for_msg }
+            | MsgKind::RemoteErrNak { for_msg } => {
+                self.msgs.remove(key);
+                self.fail_lost_msg(sched, for_msg);
+            }
+            MsgKind::ReadResp { req } => {
+                self.msgs.remove(key);
+                self.fail_lost_msg(sched, req);
+            }
+            _ => self.fail_lost_msg(sched, key),
+        }
+    }
+
+    /// Give up on an initiated message whose delivery or acknowledgement
+    /// was lost: remove it and fail its QP with retry-exhausted
+    /// semantics — unless a reset already orphaned it, or the QP is UD
+    /// (which never promised delivery in the first place).
+    fn fail_lost_msg(&mut self, sched: &mut Scheduler<Ev>, key: u32) {
+        let Some(m) = self.msgs.get(key).copied() else {
+            return;
+        };
+        self.msgs.remove(key);
+        let qp = &self.qps[m.qp.index()];
+        if m.src_epoch != qp.epoch || qp.opts.qp_type == QpType::Ud {
+            return;
+        }
+        if qp.error {
+            self.flush_one(sched, m.qp, &m);
+            return;
+        }
+        self.qps[m.qp.index()].counters.transport_retries_exceeded += 1;
+        self.fail_qp(
+            sched,
+            m.qp,
+            m.wr_id,
+            wr_kind(&m.kind),
+            WcStatus::RetryExceeded,
+        );
+    }
+
+    /// Apply one scheduled fault action.
+    fn apply_fault(&mut self, sched: &mut Scheduler<Ev>, action: FaultAction) {
+        match action {
+            FaultAction::LinkDown { link } => {
+                let l = &mut self.links[link as usize];
+                if l.up {
+                    l.up = false;
+                    self.fault_counters.link_transitions += 1;
+                }
+            }
+            FaultAction::LinkUp { link } => {
+                let l = &mut self.links[link as usize];
+                if !l.up {
+                    l.up = true;
+                    self.fault_counters.link_transitions += 1;
+                }
+            }
+            FaultAction::DropStart { link, p } => {
+                self.links[link as usize].drop_p = p.clamp(0.0, 1.0);
+            }
+            FaultAction::DropStop { link } => {
+                self.links[link as usize].drop_p = 0.0;
+            }
+            FaultAction::QpKill { qp } => {
+                let id = QpId(qp);
+                if !self.qps[id.index()].error {
+                    self.fault_counters.qp_kills += 1;
+                    // Sentinel wr_id: the error CQE announces the async
+                    // event, it does not correspond to any posted WR.
+                    // `fail_qp` releases one SQ slot for the WR it
+                    // reports, so balance the books for the synthetic one
+                    // (in-flight messages keep their slots until their
+                    // acks or loss timers resolve them).
+                    self.qps[id.index()].sq_outstanding += 1;
+                    self.fail_qp(sched, id, u64::MAX, CqeKind::Send, WcStatus::RetryExceeded);
+                }
+            }
+            FaultAction::NicStall { host, dur } => {
+                let until = sched.now() + dur;
+                let nic = &mut self.hosts[host.index()].nic;
+                nic.stalled_until = nic.stalled_until.max(until);
+            }
+            FaultAction::CqeDropStart { host } => self.cqe_drop[host.index()] = true,
+            FaultAction::CqeDropStop { host } => self.cqe_drop[host.index()] = false,
+        }
+    }
+
+    /// Reset a QP out of the error state, verbs-style (ERR → RESET →
+    /// INIT → RTS), keeping its peer connection. All queued work is
+    /// dropped, posted receives are cleared, and the epoch is bumped so
+    /// anything still in flight (or its acknowledgements and loss
+    /// timers) is silently ignored when it finally lands.
+    pub fn reset_qp(&mut self, qp_id: QpId) {
+        let dropped: Vec<u32> = {
+            let qp = &mut self.qps[qp_id.index()];
+            qp.epoch = qp.epoch.wrapping_add(1);
+            qp.error = false;
+            qp.head_sent = 0;
+            qp.sq_outstanding = 0;
+            qp.outstanding_reads = 0;
+            qp.stalled_until = SimTime::ZERO;
+            qp.turn_bytes = 0;
+            qp.rq.clear();
+            qp.launch_q.drain(..).collect()
+        };
+        for key in dropped {
+            self.msgs.remove(key);
+        }
     }
 }
 
@@ -976,13 +1336,19 @@ impl World for FabricWorld {
                 self.core.kick_nic(sched, host);
             }
             Ev::Deliver { dst, frag } => {
-                let m = self
-                    .core
-                    .msgs
-                    .get_mut(frag.msg)
-                    .expect("fragment for freed message");
-                m.delivered += frag.bytes;
                 let _ = dst;
+                // Tolerant lookup: the message may have been freed while
+                // this fragment was in flight (QP reset or failure), and
+                // its slab key may even have been recycled for a newer
+                // message — the uid disambiguates. Lost messages keep
+                // serializing but never deliver.
+                let Some(m) = self.core.msgs.get_mut(frag.msg) else {
+                    return;
+                };
+                if m.uid != frag.uid || m.lost {
+                    return;
+                }
+                m.delivered += frag.bytes;
                 if frag.last {
                     self.core.deliver_msg(sched, frag.msg);
                 }
@@ -1002,6 +1368,8 @@ impl World for FabricWorld {
             } => {
                 self.dispatch(host, thread, sched, |app, api| app.on_wakeup(token, api));
             }
+            Ev::Fault(action) => self.core.apply_fault(sched, action),
+            Ev::MsgLost { msg, uid } => self.core.handle_msg_lost(sched, msg, uid),
         }
     }
 }
@@ -1090,6 +1458,22 @@ impl<'a> Api<'a> {
         self.core.connect(local, peer)
     }
 
+    /// Reset a local QP out of the error state (ERR → RESET → RTS; see
+    /// [`FabricCore::reset_qp`]). Charges one verbs-post worth of CPU,
+    /// roughly what the `ibv_modify_qp` round costs.
+    pub fn reset_qp(&mut self, qp_id: QpId) {
+        debug_assert_eq!(
+            self.core.qps[qp_id.index()].host,
+            self.host,
+            "resetting another host's QP"
+        );
+        let cost = self.core.hosts[self.host.index()].costs.verbs_post;
+        self.core.hosts[self.host.index()]
+            .cpu
+            .run_on(self.thread, self.sched.now(), cost);
+        self.core.reset_qp(qp_id);
+    }
+
     /// Post a send-queue work request. Charges the doorbell cost to the
     /// current thread.
     pub fn post_send(&mut self, qp_id: QpId, wr: WorkRequest) -> Result<(), PostError> {
@@ -1166,8 +1550,10 @@ impl<'a> Api<'a> {
         }
 
         let rnr_left = self.core.qps[qp_id.index()].opts.rnr_retry;
+        let uid = self.core.alloc_msg_uid();
         let key = self.core.msgs.insert(MsgState {
             kind,
+            uid,
             qp: qp_id,
             src_host: self.host,
             dst_host,
@@ -1180,13 +1566,17 @@ impl<'a> Api<'a> {
             remote,
             imm,
             rnr_left,
+            src_epoch: self.core.qps[qp_id.index()].epoch,
+            dst_epoch: self.core.qps[dst_qp.index()].epoch,
+            lost: false,
         });
         let qp = &mut self.core.qps[qp_id.index()];
         qp.sq_outstanding += 1;
         qp.launch_q.push_back(key);
-        let cost = self
-            .core
-            .jittered(self.host, self.core.hosts[self.host.index()].costs.verbs_post);
+        let cost = self.core.jittered(
+            self.host,
+            self.core.hosts[self.host.index()].costs.verbs_post,
+        );
         let host_state = &mut self.core.hosts[self.host.index()];
         host_state.counters.posts += 1;
         host_state.cpu.run_on(self.thread, now, cost);

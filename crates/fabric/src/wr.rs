@@ -29,10 +29,7 @@ pub enum WrOp {
         imm: Option<u32>,
     },
     /// One-sided fetch from the peer's region into a local region.
-    Read {
-        local: MrSlice,
-        remote: RemoteSlice,
-    },
+    Read { local: MrSlice, remote: RemoteSlice },
 }
 
 impl WrOp {
@@ -51,14 +48,7 @@ impl WrOp {
 
     /// Does this op consume an RQ entry at the target?
     pub fn consumes_rq(&self) -> bool {
-        matches!(
-            self,
-            WrOp::Send { .. }
-                | WrOp::Write {
-                    imm: Some(_),
-                    ..
-                }
-        )
+        matches!(self, WrOp::Send { .. } | WrOp::Write { imm: Some(_), .. })
     }
 }
 
@@ -111,6 +101,10 @@ pub enum WcStatus {
     RemoteAccessError,
     /// Receiver-not-ready retries exhausted (SEND into an empty RQ).
     RnrRetryExceeded,
+    /// Transport retries exhausted: the remote stopped acknowledging
+    /// (link outage, peer reset, dropped packets past the retry budget).
+    /// Fatal for the QP, like `IBV_WC_RETRY_EXC_ERR`.
+    RetryExceeded,
     /// The QP moved to the error state and this WR was flushed.
     WrFlushed,
 }

@@ -258,7 +258,12 @@ fn devices_serialize_like_disks() {
     }
     let mut sim = build_sim(
         core,
-        vec![Some(Box::new(App { completions: vec![] })), Some(Box::new(Quiet))],
+        vec![
+            Some(Box::new(App {
+                completions: vec![],
+            })),
+            Some(Box::new(Quiet)),
+        ],
     );
     sim.run(horizon());
     let app: &App = sim.world().app(a);

@@ -224,7 +224,13 @@ fn post_misuse_errors() {
             let e = api
                 .post_send(
                     self.unconnected,
-                    WorkRequest::signaled(0, WrOp::Send { local: slice, imm: None }),
+                    WorkRequest::signaled(
+                        0,
+                        WrOp::Send {
+                            local: slice,
+                            imm: None,
+                        },
+                    ),
                 )
                 .unwrap_err();
             assert_eq!(e, PostError::BadQpState);

@@ -2,8 +2,8 @@
 //! machinery (NIC arbitration, wire timing, acks, RNR, read limits).
 
 use rftp_fabric::{
-    build_sim, two_host_fabric, Api, Application, Backing, Cqe, CqeKind, FabricCore, HostId,
-    MrId, MrSlice, QpId, QpOptions, RecvWr, RemoteSlice, WcStatus, WorkRequest, WrOp,
+    build_sim, two_host_fabric, Api, Application, Backing, Cqe, CqeKind, FabricCore, HostId, MrId,
+    MrSlice, QpId, QpOptions, RecvWr, RemoteSlice, WcStatus, WorkRequest, WrOp,
 };
 use rftp_netsim::testbed;
 use rftp_netsim::time::{SimDur, SimTime};
@@ -166,10 +166,7 @@ fn rdma_write_is_invisible_to_target_cpu() {
     assert!(s.completions[0].1.ok());
     assert_eq!(w.core.hosts[b.index()].mr(mr_b).checksum(0, 8192), sum);
     // Zero CPU consumed at the target: the whole point of one-sided ops.
-    assert_eq!(
-        w.core.hosts[b.index()].cpu.busy_in_window(),
-        SimDur::ZERO
-    );
+    assert_eq!(w.core.hosts[b.index()].cpu.busy_in_window(), SimDur::ZERO);
 }
 
 #[test]
@@ -215,7 +212,9 @@ fn rdma_read_fetches_remote_data() {
     let (mut core, a, b, qa, _qb) = rc_pair(QpOptions::default());
     let (mr_a, _) = core.hosts[a.index()].register_mr(Backing::zeroed(16384));
     let (mr_b, _) = core.hosts[b.index()].register_mr(Backing::zeroed(16384));
-    core.hosts[b.index()].mr_mut(mr_b).fill_pattern(0, 16384, 11);
+    core.hosts[b.index()]
+        .mr_mut(mr_b)
+        .fill_pattern(0, 16384, 11);
     let sum = core.hosts[b.index()].mr(mr_b).checksum(0, 16384);
     let rkey = core.hosts[b.index()].mr(mr_b).rkey();
 

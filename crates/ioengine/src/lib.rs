@@ -325,7 +325,10 @@ pub fn run_job(tb: &Testbed, cfg: &JobConfig) -> JobReport {
         repost_delay: cfg.target_repost_delay,
     };
 
-    let mut sim = build_sim(core, vec![Some(Box::new(initiator)), Some(Box::new(target))]);
+    let mut sim = build_sim(
+        core,
+        vec![Some(Box::new(initiator)), Some(Box::new(target))],
+    );
     let horizon = SimTime::ZERO + SimDur::from_secs(3600);
     sim.run_until(horizon, |w| w.app::<Initiator>(src).done);
 

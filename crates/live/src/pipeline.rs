@@ -60,6 +60,16 @@ pub struct LiveConfig {
     /// source sending a `BlockComplete` control message after its
     /// completion — one less hop in the credit loop.
     pub notify_imm: bool,
+    /// Fault injection: probability that a dispatched payload is dropped
+    /// on the wire instead of reaching a receiver (0.0 = perfect
+    /// fabric). Dropped blocks are recovered by the retransmit watchdog.
+    pub fault_drop_p: f64,
+    /// Seed for the drop RNG — same seed, same drop pattern.
+    pub fault_seed: u64,
+    /// A dispatched block still unacked after this long is retransmitted
+    /// (the watchdog only runs when `fault_drop_p > 0`). Must comfortably
+    /// exceed the pipeline's ack latency or healthy blocks are re-sent.
+    pub retx_timeout: std::time::Duration,
 }
 
 impl LiveConfig {
@@ -74,6 +84,9 @@ impl LiveConfig {
             grant_per_completion: 2,
             initial_credits: 2,
             notify_imm: false,
+            fault_drop_p: 0.0,
+            fault_seed: 0xFA_017,
+            retx_timeout: std::time::Duration::from_millis(100),
         }
     }
 
@@ -100,6 +113,13 @@ pub struct LiveReport {
     /// Control messages exchanged (both directions).
     pub ctrl_msgs: u64,
     pub credit_requests: u64,
+    /// Payloads the fault injector dropped on the wire.
+    pub dropped_payloads: u64,
+    /// Blocks the watchdog re-sent after an ack timeout.
+    pub retransmits: u64,
+    /// Arrivals the sink discarded as already-placed duplicates (a
+    /// retransmit raced a slow ack).
+    pub duplicate_payloads: u64,
 }
 
 /// One in-flight data block on a channel. Carries a [`WireSlab`] slot
@@ -118,10 +138,31 @@ struct InFlightInfo {
     seq: u32,
     slot: u32,
     len: u32,
+    /// When the block last went onto the wire (dispatch or retransmit);
+    /// the watchdog re-sends once `retx_timeout` passes without an ack.
+    sent_at: Instant,
+    /// Wire attempts so far — a runaway count means the recovery loop is
+    /// broken, not that the fabric is unlucky.
+    attempts: u32,
 }
 
 fn pattern_seed(seq: u32) -> u64 {
     engine_pattern_seed(SESSION, seq)
+}
+
+/// splitmix64 — the drop RNG. Self-contained so the fault injector adds
+/// no dependency to the crate; determinism per seed is all it needs.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One uniform draw in [0, 1); drops fire when it lands below `p`.
+fn drop_roll(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// A recycling pool of pre-sized wire buffers — the stand-in for a set of
@@ -220,6 +261,14 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
     let checksum_failures = AtomicU64::new(0);
     let ctrl_msgs = AtomicU64::new(0);
     let credit_requests = AtomicU64::new(0);
+    let dropped_payloads = AtomicU64::new(0);
+    let retransmits = AtomicU64::new(0);
+    let duplicate_payloads = AtomicU64::new(0);
+    // First-placement ledger, indexed by sequence: receivers claim a
+    // sequence here before placing, so a retransmit that raced a slow ack
+    // is discarded instead of overwriting a slot the sink has since freed
+    // and re-granted to a newer block.
+    let placed: Vec<Mutex<bool>> = (0..total_blocks).map(|_| Mutex::new(false)).collect();
     let next_seq = AtomicU64::new(0);
     let dispatched = AtomicU64::new(0);
     let acked = AtomicU64::new(0);
@@ -229,8 +278,9 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
     // ---- channels ----
     let (ctrl_s2k_tx, ctrl_s2k_rx) = bounded::<CtrlFrame>(1024);
     let (ctrl_k2s_tx, ctrl_k2s_rx) = bounded::<CtrlFrame>(1024);
-    let data: Vec<(Sender<DataMsg>, Receiver<DataMsg>)> =
-        (0..cfg.channels).map(|_| bounded(cfg.channel_depth)).collect();
+    let data: Vec<(Sender<DataMsg>, Receiver<DataMsg>)> = (0..cfg.channels)
+        .map(|_| bounded(cfg.channel_depth))
+        .collect();
     let (ack_tx, ack_rx) = bounded::<u32>(1024);
     // Data-path arrival notifications (notify_imm mode): receiver →
     // sink-ctrl, carrying (seq, slot, len) like an immediate would.
@@ -330,6 +380,8 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
                     seq: seq as u32,
                     slot: u32::MAX,
                     len,
+                    sent_at: Instant::now(),
+                    attempts: 0,
                 });
                 src_pool.lock().loaded(block).expect("FSM: loaded");
                 loaded_tx.send(block).expect("dispatcher gone");
@@ -344,10 +396,11 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
             let (stock, stock_cv) = (&stock, &stock_cv);
             let (src_pool, src_bufs, inflight) = (&src_pool, &src_bufs, &inflight);
             let wire_slab = &wire_slab;
-            let (ctrl_msgs, credit_requests, _cfg) = (&ctrl_msgs, &credit_requests, &cfg);
-            let dispatched = &dispatched;
+            let (ctrl_msgs, credit_requests, cfg) = (&ctrl_msgs, &credit_requests, &cfg);
+            let (dispatched, dropped_payloads) = (&dispatched, &dropped_payloads);
             s.spawn(move || {
                 let mut rr = 0usize;
+                let mut fault_rng = cfg.fault_seed;
                 // Blocks must be DISPATCHED in sequence order. Loaders
                 // finish out of order, and if later sequences were allowed
                 // to consume credits while an earlier one waits, the sink's
@@ -368,65 +421,74 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
                         ready.push_back(b);
                     }
                     while let Some(block) = ready.pop_front() {
-                    let credit: Credit = {
-                        let mut st = stock.lock();
-                        loop {
-                            if let Some(c) = st.take() {
-                                break c;
+                        let credit: Credit = {
+                            let mut st = stock.lock();
+                            loop {
+                                if let Some(c) = st.take() {
+                                    break c;
+                                }
+                                if st.should_request() {
+                                    credit_requests.fetch_add(1, Ordering::Relaxed);
+                                    ctrl_msgs.fetch_add(1, Ordering::Relaxed);
+                                    ctrl_tx
+                                        .send(encode(&CtrlMsg::MrRequest { session: SESSION }))
+                                        .expect("sink ctrl gone");
+                                }
+                                // Timed wait: in the threaded pipeline a grant
+                                // can race the sink's own bookkeeping (unlike
+                                // the serialized simulator), so a starved
+                                // request is retried rather than trusted to
+                                // be answered exactly once.
+                                if stock_cv
+                                    .wait_for(&mut st, std::time::Duration::from_millis(20))
+                                    .timed_out()
+                                {
+                                    st.request_outstanding = false;
+                                }
                             }
-                            if st.should_request() {
-                                credit_requests.fetch_add(1, Ordering::Relaxed);
-                                ctrl_msgs.fetch_add(1, Ordering::Relaxed);
-                                ctrl_tx
-                                    .send(encode(&CtrlMsg::MrRequest { session: SESSION }))
-                                    .expect("sink ctrl gone");
-                            }
-                            // Timed wait: in the threaded pipeline a grant
-                            // can race the sink's own bookkeeping (unlike
-                            // the serialized simulator), so a starved
-                            // request is retried rather than trusted to
-                            // be answered exactly once.
-                            if stock_cv
-                                .wait_for(&mut st, std::time::Duration::from_millis(20))
-                                .timed_out()
-                            {
-                                st.request_outstanding = false;
-                            }
+                        };
+                        let info = {
+                            let mut inf = inflight[block as usize].lock();
+                            let i = inf.as_mut().expect("loaded block untracked");
+                            i.slot = credit.slot;
+                            i.sent_at = Instant::now();
+                            i.attempts = 1;
+                            *i
+                        };
+                        let wire_len = info.len as usize + PAYLOAD_HEADER_LEN;
+                        assert!(credit.len as usize >= wire_len, "credit too small");
+                        // "DMA read": copy the block out of registered memory
+                        // into a recycled wire slot — no allocation.
+                        let wire = wire_slab.acquire();
+                        {
+                            let buf = src_bufs[block as usize].lock();
+                            wire_slab.slots[wire as usize].lock()[..wire_len]
+                                .copy_from_slice(&buf[..wire_len]);
                         }
-                    };
-                    let info = {
-                        let mut inf = inflight[block as usize].lock();
-                        let i = inf.as_mut().expect("loaded block untracked");
-                        i.slot = credit.slot;
-                        *i
-                    };
-                    let wire_len = info.len as usize + PAYLOAD_HEADER_LEN;
-                    assert!(credit.len as usize >= wire_len, "credit too small");
-                    // "DMA read": copy the block out of registered memory
-                    // into a recycled wire slot — no allocation.
-                    let wire = wire_slab.acquire();
-                    {
-                        let buf = src_bufs[block as usize].lock();
-                        wire_slab.slots[wire as usize].lock()[..wire_len]
-                            .copy_from_slice(&buf[..wire_len]);
-                    }
-                    {
-                        let mut pool = src_pool.lock();
-                        pool.start_sending(block).expect("FSM: start_sending");
-                        pool.posted(block).expect("FSM: posted");
-                    }
-                    let ch = rr % data_tx.len();
-                    rr += 1;
-                    dispatched.fetch_add(1, Ordering::Relaxed);
-                    data_tx[ch]
-                        .send(DataMsg {
-                            src_block: block,
-                            seq: info.seq,
-                            slot: credit.slot,
-                            len: info.len,
-                            wire,
-                        })
-                        .expect("receiver gone");
+                        {
+                            let mut pool = src_pool.lock();
+                            pool.start_sending(block).expect("FSM: start_sending");
+                            pool.posted(block).expect("FSM: posted");
+                        }
+                        let ch = rr % data_tx.len();
+                        rr += 1;
+                        dispatched.fetch_add(1, Ordering::Relaxed);
+                        if cfg.fault_drop_p > 0.0 && drop_roll(&mut fault_rng) < cfg.fault_drop_p {
+                            // The wire ate it: the block stays Posted and
+                            // unacked until the watchdog re-sends it.
+                            dropped_payloads.fetch_add(1, Ordering::Relaxed);
+                            wire_slab.release(wire);
+                        } else {
+                            data_tx[ch]
+                                .send(DataMsg {
+                                    src_block: block,
+                                    seq: info.seq,
+                                    slot: credit.slot,
+                                    len: info.len,
+                                    wire,
+                                })
+                                .expect("receiver gone");
+                        }
                     }
                 }
                 assert!(
@@ -434,6 +496,63 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
                     "loads ended with a sequence gap"
                 );
                 // loaded channel closed: every block dispatched.
+            });
+        }
+
+        // Retransmit watchdog (fault injection only): any dispatched
+        // block whose ack hasn't arrived within `retx_timeout` is put
+        // back on the wire — the live analogue of the simulated engine's
+        // TOK_RETX scan. Re-sends roll the same drop dice as first
+        // sends, so a retransmit can itself be lost and retried.
+        if cfg.fault_drop_p > 0.0 {
+            let data_tx: Vec<Sender<DataMsg>> = data.iter().map(|(t, _)| t.clone()).collect();
+            let (src_bufs, inflight, wire_slab) = (&src_bufs, &inflight, &wire_slab);
+            let (retransmits, dropped_payloads) = (&retransmits, &dropped_payloads);
+            let (done_flag, cfg) = (&done_flag, &cfg);
+            s.spawn(move || {
+                let mut fault_rng = cfg.fault_seed ^ 0x5EED_5EED_5EED_5EED;
+                let mut rr = 0usize;
+                while !done_flag.load(Ordering::Relaxed) {
+                    std::thread::sleep(cfg.retx_timeout / 4);
+                    for block in 0..cfg.pool_blocks {
+                        // Hold the block's in-flight entry across the
+                        // whole re-send so a concurrently arriving ack
+                        // (which takes this same lock to retire the
+                        // block) cannot interleave with it.
+                        let mut inf = inflight[block as usize].lock();
+                        let Some(i) = inf.as_mut() else { continue };
+                        if i.slot == u32::MAX || i.sent_at.elapsed() < cfg.retx_timeout {
+                            continue; // not dispatched yet, or still fresh
+                        }
+                        assert!(i.attempts < 64, "block seq {} will not go through", i.seq);
+                        i.sent_at = Instant::now();
+                        i.attempts += 1;
+                        retransmits.fetch_add(1, Ordering::Relaxed);
+                        let wire_len = i.len as usize + PAYLOAD_HEADER_LEN;
+                        let wire = wire_slab.acquire();
+                        {
+                            let buf = src_bufs[block as usize].lock();
+                            wire_slab.slots[wire as usize].lock()[..wire_len]
+                                .copy_from_slice(&buf[..wire_len]);
+                        }
+                        let ch = rr % data_tx.len();
+                        rr += 1;
+                        if drop_roll(&mut fault_rng) < cfg.fault_drop_p {
+                            dropped_payloads.fetch_add(1, Ordering::Relaxed);
+                            wire_slab.release(wire);
+                        } else {
+                            data_tx[ch]
+                                .send(DataMsg {
+                                    src_block: block,
+                                    seq: i.seq,
+                                    slot: i.slot,
+                                    len: i.len,
+                                    wire,
+                                })
+                                .expect("receiver gone");
+                        }
+                    }
+                }
             });
         }
 
@@ -512,9 +631,20 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
             let ack_tx = ack_tx.clone();
             let imm_tx = imm_tx.clone();
             let (snk_bufs, wire_slab) = (&snk_bufs, &wire_slab);
+            let (placed, duplicate_payloads) = (&placed, &duplicate_payloads);
             let notify_imm = cfg.notify_imm;
             s.spawn(move || {
                 for msg in data_rx.iter() {
+                    // Claim first placement of this sequence. A second
+                    // copy means a retransmit raced a slow ack; its slot
+                    // may already be freed and re-granted to a newer
+                    // block, so placing it would corrupt that block —
+                    // discard it (the paper-side duplicate-block rule).
+                    if std::mem::replace(&mut *placed[msg.seq as usize].lock(), true) {
+                        duplicate_payloads.fetch_add(1, Ordering::Relaxed);
+                        wire_slab.release(msg.wire);
+                        continue;
+                    }
                     let wire_len = msg.len as usize + PAYLOAD_HEADER_LEN;
                     {
                         let wire = wire_slab.slots[msg.wire as usize].lock();
@@ -569,10 +699,7 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
                         })
                     }
                 };
-                let on_arrival = |seq: u32,
-                                  slot: u32,
-                                  len: u32|
-                 -> Option<CtrlMsg> {
+                let on_arrival = |seq: u32, slot: u32, len: u32| -> Option<CtrlMsg> {
                     snk_pool.lock().ready(slot).expect("FSM: ready");
                     for (s2, (slot2, len2)) in reorder.lock().push(seq, (slot, len)) {
                         deliver_tx.send((s2, slot2, len2)).expect("consumer gone");
@@ -735,7 +862,10 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
     });
 
     let elapsed = start.elapsed();
-    assert_eq!(delivered_blocks, total_blocks, "blocks lost in the pipeline");
+    assert_eq!(
+        delivered_blocks, total_blocks,
+        "blocks lost in the pipeline"
+    );
     src_pool.lock().check_invariants();
     snk_pool.lock().check_invariants();
     LiveReport {
@@ -747,6 +877,9 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
         ooo_blocks,
         ctrl_msgs: ctrl_msgs.load(Ordering::Relaxed),
         credit_requests: credit_requests.load(Ordering::Relaxed),
+        dropped_payloads: dropped_payloads.load(Ordering::Relaxed),
+        retransmits: retransmits.load(Ordering::Relaxed),
+        duplicate_payloads: duplicate_payloads.load(Ordering::Relaxed),
     }
 }
 
@@ -859,6 +992,41 @@ mod tests {
             let r = run_live(&cfg);
             assert_eq!(r.checksum_failures, 0, "iteration {i}");
         }
+    }
+
+    #[test]
+    fn dropped_payloads_are_retransmitted_end_to_end() {
+        // One in five payloads vanishes on the wire; the watchdog must
+        // re-send until every block lands, byte-verified and in order.
+        let mut cfg = LiveConfig::new(32 * 1024, 2, (4 << 20) / SCALE);
+        cfg.pool_blocks = 8;
+        cfg.loaders = 2;
+        cfg.fault_drop_p = 0.2;
+        cfg.fault_seed = 7;
+        cfg.retx_timeout = std::time::Duration::from_millis(25);
+        let r = run_live(&cfg);
+        assert_eq!(r.blocks, 128 / SCALE);
+        assert_eq!(r.checksum_failures, 0);
+        assert!(r.dropped_payloads >= 1, "fault injector never fired");
+        assert!(
+            r.retransmits >= r.dropped_payloads,
+            "every drop needs at least one re-send: {} drops, {} retransmits",
+            r.dropped_payloads,
+            r.retransmits
+        );
+    }
+
+    #[test]
+    fn dropped_payloads_recover_in_notify_imm_mode() {
+        let mut cfg = LiveConfig::new(32 * 1024, 2, (2 << 20) / SCALE);
+        cfg.pool_blocks = 6;
+        cfg.notify_imm = true;
+        cfg.fault_drop_p = 0.15;
+        cfg.fault_seed = 11;
+        cfg.retx_timeout = std::time::Duration::from_millis(25);
+        let r = run_live(&cfg);
+        assert_eq!(r.checksum_failures, 0);
+        assert!(r.dropped_payloads >= 1, "fault injector never fired");
     }
 
     #[test]

@@ -232,10 +232,7 @@ mod tests {
     #[test]
     fn per_byte_cost_math() {
         // 250 ps/B * 4 GB = 1 s.
-        assert_eq!(
-            per_byte_cost(250, 4_000_000_000),
-            SimDur::from_secs(1)
-        );
+        assert_eq!(per_byte_cost(250, 4_000_000_000), SimDur::from_secs(1));
         // Small values round down to ns.
         assert_eq!(per_byte_cost(250, 3), SimDur::ZERO);
         assert_eq!(per_byte_cost(250, 4), SimDur(1));

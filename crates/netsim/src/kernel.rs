@@ -186,7 +186,9 @@ impl<E> CalendarQueue<E> {
                 if !self.batch.is_empty() && at == self.batch_at {
                     self.batch.push_back(entry);
                 } else if self.batch.is_empty()
-                    && self.buckets[b].get(self.drain_pos).is_some_and(|e| e.at == at)
+                    && self.buckets[b]
+                        .get(self.drain_pos)
+                        .is_some_and(|e| e.at == at)
                 {
                     self.batch_at = at;
                     self.batch.push_back(entry);
@@ -369,7 +371,11 @@ impl<E> Scheduler<E> {
     /// bug; it is clamped to `now` in release builds and panics in debug.
     #[inline]
     pub fn at(&mut self, at: SimTime, ev: E) {
-        debug_assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < {}",
+            self.now
+        );
         let at = at.max(self.now);
         self.queue.push(at, self.seq, ev);
         self.seq += 1;
@@ -765,13 +771,13 @@ mod tests {
         let times = [
             0,
             1,
-            bucket - 1,          // same first bucket
-            bucket,              // second bucket
-            window - 1,          // last in-window bucket
-            window,              // overflow
-            window + bucket,     // overflow
-            3 * window,          // deep overflow
-            3 * window,          // tie broken by seq
+            bucket - 1,      // same first bucket
+            bucket,          // second bucket
+            window - 1,      // last in-window bucket
+            window,          // overflow
+            window + bucket, // overflow
+            3 * window,      // deep overflow
+            3 * window,      // tie broken by seq
         ];
         for (seq, t) in times.iter().enumerate() {
             q.push(SimTime(*t), seq as u64, seq);

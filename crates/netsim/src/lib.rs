@@ -36,5 +36,7 @@ pub use kernel::{RunOutcome, Scheduler, Sim, World};
 pub use link::{Dir, Link, Transmission};
 pub use stats::{LatencyHistogram, SeriesStats, ThroughputMeter};
 pub use tcp::{CcAlgo, TcpConfig, TcpFlow};
-pub use testbed::{ani_wan, esnet_100g, ib_lan, iwarp_lan, roce_lan, CostModel, HostProfile, Testbed};
+pub use testbed::{
+    ani_wan, esnet_100g, ib_lan, iwarp_lan, roce_lan, CostModel, HostProfile, Testbed,
+};
 pub use time::{gbps, Bandwidth, SimDur, SimTime};

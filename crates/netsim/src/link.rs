@@ -160,11 +160,7 @@ mod tests {
 
     fn link_10g() -> Link {
         // 10 Gbps, 24.5 ms one-way (the ANI WAN in Table I), MTU 9000.
-        Link::new(
-            Bandwidth::from_gbps(10),
-            SimDur::from_micros(24_500),
-            9000,
-        )
+        Link::new(Bandwidth::from_gbps(10), SimDur::from_micros(24_500), 9000)
     }
 
     #[test]

@@ -258,7 +258,10 @@ mod tests {
         assert_eq!(h.quantile(0.0), h.min());
         // p100 lands in the max's bucket: lower bound within 1/16 of the max.
         let p100 = h.quantile(1.0).nanos() as f64;
-        assert!((1_000_000.0 * 15.0 / 16.0..=1_000_000.0).contains(&p100), "p100={p100}");
+        assert!(
+            (1_000_000.0 * 15.0 / 16.0..=1_000_000.0).contains(&p100),
+            "p100={p100}"
+        );
     }
 
     #[test]

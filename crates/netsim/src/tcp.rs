@@ -134,7 +134,9 @@ impl TcpFlow {
 
     /// Effective send window: min(cwnd, rwnd), at least one segment.
     pub fn window(&self) -> u64 {
-        (self.cwnd as u64).min(self.cfg.rwnd).max(self.cfg.mss as u64)
+        (self.cwnd as u64)
+            .min(self.cfg.rwnd)
+            .max(self.cfg.mss as u64)
     }
 
     /// Bytes currently unacknowledged.

@@ -75,12 +75,12 @@ fn run_differential(ops: impl IntoIterator<Item = Op>) -> (u64, u64) {
 /// selects so every class sees real variety.
 fn delta_for(kind: u8, magnitude: u64) -> u64 {
     match kind % 6 {
-        0 => 0,                                    // same instant
-        1 => 1 + magnitude % ((1 << 16) - 1),      // same / next bucket
-        2 => magnitude % (1 << 22),                // well inside the wheel
-        3 => (1 << 25) + magnitude % (1 << 26),    // straddles the window edge
-        4 => (1 << 26) + magnitude % (1 << 40),    // overflow heap
-        _ => magnitude % (1 << 50),                // anything at all
+        0 => 0,                                 // same instant
+        1 => 1 + magnitude % ((1 << 16) - 1),   // same / next bucket
+        2 => magnitude % (1 << 22),             // well inside the wheel
+        3 => (1 << 25) + magnitude % (1 << 26), // straddles the window edge
+        4 => (1 << 26) + magnitude % (1 << 40), // overflow heap
+        _ => magnitude % (1 << 50),             // anything at all
     }
 }
 

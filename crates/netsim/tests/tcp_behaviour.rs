@@ -113,8 +113,14 @@ fn undersized_rwnd_caps_throughput() {
     }
     let gbps = moved as f64 * 8.0 / (rtts as f64 * 0.049) / 1e9;
     let cap = rwnd as f64 * 8.0 / 0.049 / 1e9;
-    assert!(gbps <= cap * 1.01, "{gbps:.2} Gbps exceeds rwnd cap {cap:.2}");
-    assert!(gbps >= cap * 0.9, "{gbps:.2} Gbps far below rwnd cap {cap:.2}");
+    assert!(
+        gbps <= cap * 1.01,
+        "{gbps:.2} Gbps exceeds rwnd cap {cap:.2}"
+    );
+    assert!(
+        gbps >= cap * 0.9,
+        "{gbps:.2} Gbps far below rwnd cap {cap:.2}"
+    );
 }
 
 /// Retransmission accounting: retransmitted bytes are tracked separately

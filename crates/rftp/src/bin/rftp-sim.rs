@@ -68,10 +68,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut val = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--testbed" => a.testbed = val("--testbed")?,
             "--block" => {
@@ -210,10 +207,7 @@ fn main() {
         r.reordered_blocks, r.detail.sink.blocks_delivered, r.detail.sink.max_reorder_depth
     );
     if args.verify {
-        println!(
-            "integrity    {} checksum failures",
-            r.checksum_failures
-        );
+        println!("integrity    {} checksum failures", r.checksum_failures);
         if r.checksum_failures > 0 {
             std::process::exit(1);
         }

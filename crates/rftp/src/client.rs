@@ -141,8 +141,7 @@ impl Client {
         if src_cfg.real_data {
             snk_cfg.real_data = true;
         }
-        let report =
-            harness::build_experiment(tb, src_cfg, snk_cfg).run(SimDur::from_secs(36_000));
+        let report = harness::build_experiment(tb, src_cfg, snk_cfg).run(SimDur::from_secs(36_000));
         RftpReport {
             goodput_gbps: report.goodput_gbps,
             elapsed: report.elapsed,

@@ -19,7 +19,15 @@ fn cli_help_exits_zero() {
 fn cli_runs_a_verified_lan_transfer() {
     let out = rftp_sim()
         .args([
-            "--testbed", "roce", "--block", "1M", "--streams", "4", "--size", "64M", "--verify",
+            "--testbed",
+            "roce",
+            "--block",
+            "1M",
+            "--streams",
+            "4",
+            "--size",
+            "64M",
+            "--verify",
         ])
         .output()
         .expect("spawn rftp-sim");
@@ -54,7 +62,16 @@ fn cli_runs_on_demand_credit_ablation() {
 #[test]
 fn cli_esnet_run_reports_bare_metal_fraction() {
     let out = rftp_sim()
-        .args(["--testbed", "esnet100g", "--size", "4G", "--streams", "8", "--block", "8M"])
+        .args([
+            "--testbed",
+            "esnet100g",
+            "--size",
+            "4G",
+            "--streams",
+            "8",
+            "--block",
+            "8M",
+        ])
         .output()
         .expect("spawn rftp-sim");
     assert!(out.status.success());

@@ -14,7 +14,10 @@ use rftp_netsim::testbed;
 
 fn main() {
     let tb = testbed::roce_lan();
-    println!("testbed: {} ({} Gbps NICs, RTT {} ms)", tb.name, tb.nic_gbps, tb.rtt_ms);
+    println!(
+        "testbed: {} ({} Gbps NICs, RTT {} ms)",
+        tb.name, tb.nic_gbps, tb.rtt_ms
+    );
 
     let report = Client::new()
         .block_size(4 << 20) // 4 MB blocks

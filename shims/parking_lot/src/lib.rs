@@ -30,9 +30,7 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard(Some(
-            self.0.lock().unwrap_or_else(PoisonError::into_inner),
-        ))
+        MutexGuard(Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)))
     }
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
@@ -82,10 +80,7 @@ impl Condvar {
 
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let inner = guard.0.take().expect("guard taken during wait");
-        let inner = self
-            .0
-            .wait(inner)
-            .unwrap_or_else(PoisonError::into_inner);
+        let inner = self.0.wait(inner).unwrap_or_else(PoisonError::into_inner);
         guard.0 = Some(inner);
     }
 

@@ -353,21 +353,30 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> SizeRange {
-            SizeRange { lo: n, hi_inclusive: n }
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
         }
     }
 
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> SizeRange {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
             assert!(r.start() <= r.end(), "empty size range");
-            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
         }
     }
 
@@ -482,12 +491,12 @@ macro_rules! proptest {
 }
 
 pub mod prelude {
+    /// Upstream exposes the crate under the `prop` alias in its prelude.
+    pub use crate as prop;
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
         BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
     };
-    /// Upstream exposes the crate under the `prop` alias in its prelude.
-    pub use crate as prop;
 }
 
 #[cfg(test)]

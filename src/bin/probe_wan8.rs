@@ -1,13 +1,18 @@
 use rftp_core::*;
 use rftp_netsim::{testbed, SimDur, SimTime};
-const KB: u64 = 1<<10; const GB: u64 = 1<<30;
+const KB: u64 = 1 << 10;
+const GB: u64 = 1 << 30;
 fn main() {
     let tb = testbed::ani_wan();
     for streams in [1u16, 8] {
-        let block = 128*KB;
+        let block = 128 * KB;
         let want = (4 * tb.bdp_bytes() / block).clamp(16, 4096) as u32;
-        let cfg = SourceConfig::new(block, streams, 8*GB).with_pool(want);
-        let snk = SinkConfig { pool_blocks: want, ctrl_ring_slots: cfg.ctrl_ring_slots, ..SinkConfig::default() };
+        let cfg = SourceConfig::new(block, streams, 8 * GB).with_pool(want);
+        let snk = SinkConfig {
+            pool_blocks: want,
+            ctrl_ring_slots: cfg.ctrl_ring_slots,
+            ..SinkConfig::default()
+        };
         let mut e = build_experiment(&tb, cfg, snk);
         let (src, dst) = (e.src, e.dst);
         e.sim.run(SimTime::ZERO + SimDur::from_secs(3));
@@ -19,7 +24,14 @@ fn main() {
         println!("  {}", k.debug_snapshot());
         for (i, qp) in w.core.qps.iter().enumerate() {
             if qp.counters.bytes_sent > 0 || qp.sq_outstanding > 0 {
-                println!("  qp{} host{} sq_out={} launch_q={} sent={}MB", i, qp.host.0, qp.sq_outstanding, qp.launch_q.len(), qp.counters.bytes_sent>>20);
+                println!(
+                    "  qp{} host{} sq_out={} launch_q={} sent={}MB",
+                    i,
+                    qp.host.0,
+                    qp.sq_outstanding,
+                    qp.launch_q.len(),
+                    qp.counters.bytes_sent >> 20
+                );
             }
         }
     }

@@ -139,7 +139,10 @@ fn reorder_buffer_from_parallel_producers() {
     });
     let d = delivered.lock();
     assert_eq!(d.len(), N as usize);
-    assert!(d.windows(2).all(|w| w[0] + 1 == w[1]), "in-order delivery violated");
+    assert!(
+        d.windows(2).all(|w| w[0] + 1 == w[1]),
+        "in-order delivery violated"
+    );
     assert!(buf.lock().is_drained());
 }
 

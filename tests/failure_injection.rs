@@ -116,9 +116,7 @@ fn rnr_exhaustion_is_fatal_and_flushes() {
     let s: &Sender = sim.world().app(a);
     assert_eq!(s.statuses.len(), 3, "all three WRs must complete");
     assert_eq!(s.statuses[0], WcStatus::RnrRetryExceeded);
-    assert!(s.statuses[1..]
-        .iter()
-        .all(|st| *st == WcStatus::WrFlushed));
+    assert!(s.statuses[1..].iter().all(|st| *st == WcStatus::WrFlushed));
 }
 
 /// A slow disk at the sink backpressures the source through the credit
@@ -143,7 +141,11 @@ fn slow_disk_backpressure_caps_at_device_rate() {
         "transfer must track the 2 Gbps disk: {:.2}",
         r.goodput_gbps
     );
-    assert!(r.goodput_gbps > 1.8, "but not collapse: {:.2}", r.goodput_gbps);
+    assert!(
+        r.goodput_gbps > 1.8,
+        "but not collapse: {:.2}",
+        r.goodput_gbps
+    );
     // The source spent nearly the whole run credit-starved — that IS the
     // backpressure signal propagating.
     assert!(r.source.credit_starved.as_secs_f64() > 0.5 * r.elapsed.as_secs_f64());

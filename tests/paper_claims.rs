@@ -75,7 +75,10 @@ fn rftp_beats_gridftp_on_both_lans() {
     for tb in [testbed::roce_lan(), testbed::ib_lan()] {
         for streams in [1u16, 8] {
             let r = rftp(&tb, 4 * MB, streams, 4 * GB);
-            let g = run_gridftp(&tb, &GridFtpConfig::tuned(&tb, streams as u32, 4 * MB, 4 * GB));
+            let g = run_gridftp(
+                &tb,
+                &GridFtpConfig::tuned(&tb, streams as u32, 4 * MB, 4 * GB),
+            );
             assert!(
                 r.goodput_gbps > 1.3 * g.bandwidth_gbps,
                 "{} {streams}s: RFTP {:.2} vs GridFTP {:.2}",
@@ -120,7 +123,10 @@ fn fig10_rftp_outperforms_gridftp_on_the_wan() {
     for streams in [1u16, 8] {
         for block in [2 * MB, 16 * MB] {
             let r = rftp(&tb, block, streams, 8 * GB);
-            let g = run_gridftp(&tb, &GridFtpConfig::tuned(&tb, streams as u32, block, 8 * GB));
+            let g = run_gridftp(
+                &tb,
+                &GridFtpConfig::tuned(&tb, streams as u32, block, 8 * GB),
+            );
             cases += 1;
             if r.goodput_gbps > g.bandwidth_gbps {
                 rftp_wins += 1;
@@ -130,7 +136,11 @@ fn fig10_rftp_outperforms_gridftp_on_the_wan() {
             // stream, 2 MB blocks, where RFTP's fixed polling floor is
             // proportionally largest) lands at ~0.61 of GridFTP's client
             // CPU, so gate at 2/3 rather than a knife-edge 0.6.
-            assert!(r.goodput_gbps > 9.0, "RFTP {streams}s/{block}: {:.2}", r.goodput_gbps);
+            assert!(
+                r.goodput_gbps > 9.0,
+                "RFTP {streams}s/{block}: {:.2}",
+                r.goodput_gbps
+            );
             assert!(
                 r.src_cpu_pct < 0.67 * g.client_cpu_pct,
                 "RFTP CPU {:.0}% vs GridFTP {:.0}%",

@@ -21,15 +21,22 @@ fn arb_credit() -> impl Strategy<Value = Credit> {
 
 fn arb_ctrl_msg() -> impl Strategy<Value = CtrlMsg> {
     prop_oneof![
-        (any::<u32>(), any::<u64>(), any::<u16>(), any::<u64>(), any::<bool>()).prop_map(
-            |(session, block_size, channels, total_bytes, notify_imm)| CtrlMsg::SessionRequest {
-                session,
-                block_size,
-                channels,
-                total_bytes,
-                notify_imm,
-            }
-        ),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            any::<u16>(),
+            any::<u64>(),
+            any::<bool>()
+        )
+            .prop_map(|(session, block_size, channels, total_bytes, notify_imm)| {
+                CtrlMsg::SessionRequest {
+                    session,
+                    block_size,
+                    channels,
+                    total_bytes,
+                    notify_imm,
+                }
+            }),
         (
             any::<u32>(),
             any::<u64>(),
