@@ -1,0 +1,198 @@
+//! Live-pipeline throughput gate: real threads, real bytes, real clock.
+//!
+//! Sweeps channel count × block size through `rftp_live::run_live` and
+//! emits `BENCH_live.json` with GB/s, control messages per block, and
+//! the per-stage nanosecond breakdown, plus a batched-vs-unbatched
+//! head-to-head at 8 channels. Each batched entry carries the pre-PR
+//! baseline measured on this machine before the lock-free/coalescing
+//! rework (same volume, loaders, and pool), so the JSON is the
+//! regression gate: `speedup_vs_pre_pr` ≥ 1.5 at 8 channels and
+//! `ctrl_msgs_per_block` < 1 in batched mode are the acceptance bars.
+//!
+//! `--quick` runs a reduced volume for CI smoke; `--out PATH` overrides
+//! the JSON location.
+
+use rftp_bench::{bs_label, MB};
+use rftp_live::pipeline::LiveReport;
+use rftp_live::{run_live, LiveConfig};
+
+/// Pre-PR measurements (one-message-per-block wire, mutex pools,
+/// two-copy slab path) at 256 MB, 4 loaders, 32-block pools on this
+/// machine. `(gbps, ctrl_msgs_per_block)`, keyed by
+/// `(block_size, channels)`.
+const BASELINE_PRE_PR: &[((u64, usize), (f64, f64))] = &[
+    ((64 * 1024, 1), (0.9926, 3.62)),
+    ((64 * 1024, 8), (0.9830, 3.63)),
+    ((256 * 1024, 1), (0.7194, 4.80)),
+    ((256 * 1024, 8), (0.6859, 4.85)),
+    ((1024 * 1024, 1), (0.6662, 4.90)),
+    ((1024 * 1024, 2), (0.6594, 4.95)),
+    ((1024 * 1024, 4), (0.7257, 5.03)),
+    ((1024 * 1024, 8), (0.8648, 4.86)),
+];
+
+fn baseline(block: u64, channels: usize) -> Option<(f64, f64)> {
+    BASELINE_PRE_PR
+        .iter()
+        .find(|(k, _)| *k == (block, channels))
+        .map(|&(_, v)| v)
+}
+
+fn run(block: u64, channels: usize, total: u64, ctrl_batch: usize) -> LiveReport {
+    let mut cfg = LiveConfig::new(block as usize, channels, total);
+    cfg.pool_blocks = 32;
+    cfg.loaders = 4;
+    cfg.ctrl_batch = ctrl_batch;
+    run_live(&cfg)
+}
+
+struct Entry {
+    block: u64,
+    channels: usize,
+    batched: bool,
+    r: LiveReport,
+}
+
+fn json_entry(e: &Entry, total: u64) -> String {
+    let base = if e.batched {
+        baseline(e.block, e.channels)
+    } else {
+        None
+    };
+    let mut s = format!(
+        concat!(
+            "    {{\"block_size\": {}, \"channels\": {}, \"mode\": \"{}\", ",
+            "\"total_bytes\": {}, \"gbytes_per_sec\": {:.4}, ",
+            "\"ctrl_msgs_per_block\": {:.4}, \"ctrl_msgs\": {}, \"blocks\": {}, ",
+            "\"stage_ns_per_block\": {{\"load\": {:.0}, \"dispatch\": {:.0}, ",
+            "\"place\": {:.0}, \"verify\": {:.0}}}"
+        ),
+        e.block,
+        e.channels,
+        if e.batched { "batched" } else { "unbatched" },
+        total,
+        e.r.gbytes_per_sec,
+        e.r.ctrl_msgs_per_block,
+        e.r.ctrl_msgs,
+        e.r.blocks,
+        e.r.stages.load_ns,
+        e.r.stages.dispatch_ns,
+        e.r.stages.place_ns,
+        e.r.stages.verify_ns,
+    );
+    if let Some((gbps, ctrl)) = base {
+        s.push_str(&format!(
+            concat!(
+                ", \"baseline_pre_pr_gbps\": {:.4}, \"baseline_pre_pr_ctrl_per_block\": {:.2}, ",
+                "\"speedup_vs_pre_pr\": {:.3}"
+            ),
+            gbps,
+            ctrl,
+            e.r.gbytes_per_sec / gbps,
+        ));
+    }
+    s.push('}');
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_live.json".to_string());
+    let total = if quick { 32 * MB } else { 256 * MB };
+
+    let blocks: &[u64] = &[64 * 1024, 256 * 1024, 1024 * 1024];
+    let channel_sweep: &[usize] = if quick { &[1, 8] } else { &[1, 2, 4, 8] };
+
+    println!(
+        "live pipeline sweep: {} MB per run{}\n",
+        total / MB,
+        if quick { " (quick)" } else { "" }
+    );
+    let mut entries: Vec<Entry> = Vec::new();
+    for &block in blocks {
+        for &channels in channel_sweep {
+            let r = run(block, channels, total, rftp_core::wire::MAX_ACKS_PER_BATCH);
+            assert_eq!(r.checksum_failures, 0, "corruption at {block}x{channels}");
+            println!(
+                "  {:>5} x{} ch  batched    {:>6.3} GB/s  {:.2} ctrl/blk  \
+                 load/disp/place/verify {:.0}/{:.0}/{:.0}/{:.0} ns/blk",
+                bs_label(block),
+                channels,
+                r.gbytes_per_sec,
+                r.ctrl_msgs_per_block,
+                r.stages.load_ns,
+                r.stages.dispatch_ns,
+                r.stages.place_ns,
+                r.stages.verify_ns
+            );
+            entries.push(Entry {
+                block,
+                channels,
+                batched: true,
+                r,
+            });
+        }
+        // Head-to-head at the widest sweep point: the same transfer on
+        // the one-message-per-block wire.
+        let r = run(block, 8, total, 1);
+        assert_eq!(r.checksum_failures, 0);
+        println!(
+            "  {:>5} x8 ch  unbatched  {:>6.3} GB/s  {:.2} ctrl/blk",
+            bs_label(block),
+            r.gbytes_per_sec,
+            r.ctrl_msgs_per_block
+        );
+        entries.push(Entry {
+            block,
+            channels: 8,
+            batched: false,
+            r,
+        });
+    }
+
+    // The acceptance gate: batched mode at 8 channels must beat the
+    // pre-PR pipeline by ≥1.5× and keep control under one msg/block.
+    // Quick mode still reports speedups but does not enforce them (a
+    // 32 MB run against a 256 MB baseline is not a fair comparison).
+    let mut gate_ok = true;
+    for e in entries.iter().filter(|e| e.batched && e.channels == 8) {
+        let Some((base_gbps, _)) = baseline(e.block, e.channels) else {
+            continue;
+        };
+        let speedup = e.r.gbytes_per_sec / base_gbps;
+        let coalesced = e.r.ctrl_msgs_per_block < 1.0;
+        let pass = quick || (speedup >= 1.5 && coalesced);
+        if !pass {
+            gate_ok = false;
+        }
+        println!(
+            "  gate {:>5} x8: {:.2}x vs pre-PR, {:.2} ctrl/blk  [{}]",
+            bs_label(e.block),
+            speedup,
+            e.r.ctrl_msgs_per_block,
+            if pass { "ok" } else { "FAIL" }
+        );
+    }
+
+    let body: Vec<String> = entries.iter().map(|e| json_entry(e, total)).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"live_throughput\",\n  \"quick\": {},\n  \
+         \"total_bytes_per_run\": {},\n  \"pool_blocks\": 32,\n  \"loaders\": 4,\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        quick,
+        total,
+        body.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_live.json");
+    println!("\nwrote {out_path}");
+    if !gate_ok {
+        eprintln!("live throughput gate FAILED");
+        std::process::exit(1);
+    }
+}

@@ -73,7 +73,7 @@ impl fmt::Display for FsmError {
 impl std::error::Error for FsmError {}
 
 impl SrcState {
-    fn name(self) -> &'static str {
+    pub(crate) fn name(self) -> &'static str {
         match self {
             SrcState::Free => "Free",
             SrcState::Loading => "Loading",
@@ -127,7 +127,7 @@ impl SrcState {
 }
 
 impl SnkState {
-    fn name(self) -> &'static str {
+    pub(crate) fn name(self) -> &'static str {
         match self {
             SnkState::Free => "Free",
             SnkState::Waiting => "Waiting",

@@ -10,21 +10,53 @@
 //! disjoint token kinds).
 
 use crate::engine::{SinkEngine, SourceEngine};
-use rftp_fabric::{Api, Application, Cqe};
+use rftp_fabric::{Api, Application, Cqe, QpId};
+use std::collections::HashMap;
 
 /// A source and a sink sharing one host.
 pub struct DuplexEngine {
     pub source: SourceEngine,
     pub sink: SinkEngine,
+    /// QP → side cache (`true` = source), learned as data QPs appear, so
+    /// the per-CQE routing is one hash lookup instead of two linear
+    /// ownership scans. Hits are validated so recovery-reborn QPs
+    /// re-route instead of misfiring.
+    route: HashMap<QpId, bool>,
 }
 
 impl DuplexEngine {
     pub fn new(source: SourceEngine, sink: SinkEngine) -> DuplexEngine {
-        DuplexEngine { source, sink }
+        DuplexEngine {
+            source,
+            sink,
+            route: HashMap::new(),
+        }
     }
 
     pub fn is_finished(&self) -> bool {
         self.source.is_finished() && self.sink.all_sessions_complete()
+    }
+
+    fn route_qp(&mut self, qp: QpId) -> Option<bool> {
+        if let Some(&is_source) = self.route.get(&qp) {
+            let owner_still_owns = if is_source {
+                self.source.owns_qp(qp)
+            } else {
+                self.sink.owns_qp(qp)
+            };
+            if owner_still_owns {
+                return Some(is_source);
+            }
+        }
+        let is_source = if self.source.owns_qp(qp) {
+            true
+        } else if self.sink.owns_qp(qp) {
+            false
+        } else {
+            return None;
+        };
+        self.route.insert(qp, is_source);
+        Some(is_source)
     }
 }
 
@@ -37,13 +69,11 @@ impl Application for DuplexEngine {
     fn on_cqe(&mut self, cqe: &Cqe, api: &mut Api) {
         // Route by QP ownership. Data QPs appear dynamically (the source
         // creates its channels at accept; the sink at session request),
-        // so ownership is consulted per completion.
-        if self.source.owns_qp(cqe.qp) {
-            self.source.on_cqe(cqe, api);
-        } else if self.sink.owns_qp(cqe.qp) {
-            self.sink.on_cqe(cqe, api);
-        } else {
-            panic!("duplex: completion for unowned qp {:?}", cqe.qp);
+        // so the route map learns them lazily.
+        match self.route_qp(cqe.qp) {
+            Some(true) => self.source.on_cqe(cqe, api),
+            Some(false) => self.sink.on_cqe(cqe, api),
+            None => panic!("duplex: completion for unowned qp {:?}", cqe.qp),
         }
     }
 

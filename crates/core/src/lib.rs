@@ -62,7 +62,12 @@ pub use duplex::DuplexEngine;
 pub use engine::{SinkEngine, SourceEngine, CTRL_RING_SLOTS};
 pub use harness::{build_experiment, run_transfer, Experiment, TransferReport};
 pub use multi::{Endpoint, MultiEngine};
-pub use pool::{BlockIdx, PoolGeometry, SinkPool, SourcePool};
+pub use pool::{
+    AtomicSinkPool, AtomicSourcePool, BlockIdx, IndexQueue, PoolGeometry, SinkPool, SourcePool,
+};
 pub use reorder::ReorderBuffer;
 pub use stats::{SinkStats, SourceStats};
-pub use wire::{Credit, CtrlMsg, PayloadHeader, WireError, CTRL_SLOT_LEN, PAYLOAD_HEADER_LEN};
+pub use wire::{
+    BlockAck, Credit, CtrlMsg, PayloadHeader, WireError, CTRL_SLOT_LEN, MAX_ACKS_PER_BATCH,
+    MAX_SLOTS_PER_CREDIT_BATCH, PAYLOAD_HEADER_LEN,
+};

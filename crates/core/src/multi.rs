@@ -11,6 +11,7 @@
 
 use crate::engine::{SinkEngine, SourceEngine};
 use rftp_fabric::{Api, Application, Cqe, QpId};
+use std::collections::HashMap;
 
 /// An engine that can be composed behind a router. Endpoints are few
 /// (one or two per simulated host) and long-lived, so the size gap
@@ -55,11 +56,34 @@ impl Endpoint {
 /// token tag (`with_token_tag`) so wakeups route unambiguously.
 pub struct MultiEngine {
     pub endpoints: Vec<Endpoint>,
+    /// QP → endpoint index, learned lazily as queue pairs appear (data
+    /// QPs are created mid-negotiation, so the map cannot be built up
+    /// front). Routing a completion is one hash lookup instead of an
+    /// O(endpoints · qps-per-endpoint) ownership scan per CQE; a hit is
+    /// still validated against the owner so a QP that was torn down and
+    /// reborn elsewhere (fault recovery) re-routes instead of misfiring.
+    route: HashMap<QpId, usize>,
 }
 
 impl MultiEngine {
     pub fn new(endpoints: Vec<Endpoint>) -> MultiEngine {
-        MultiEngine { endpoints }
+        MultiEngine {
+            endpoints,
+            route: HashMap::new(),
+        }
+    }
+
+    /// Resolve which endpoint owns `qp`, consulting the cached route
+    /// first and rescanning (then re-caching) on miss or stale hit.
+    fn route_qp(&mut self, qp: QpId) -> Option<usize> {
+        if let Some(&i) = self.route.get(&qp) {
+            if self.endpoints[i].owns_qp(qp) {
+                return Some(i);
+            }
+        }
+        let i = self.endpoints.iter().position(|e| e.owns_qp(qp))?;
+        self.route.insert(qp, i);
+        Some(i)
     }
 
     /// All sources done and all sinks drained?
@@ -90,16 +114,13 @@ impl Application for MultiEngine {
     }
 
     fn on_cqe(&mut self, cqe: &Cqe, api: &mut Api) {
-        for e in &mut self.endpoints {
-            if e.owns_qp(cqe.qp) {
-                match e {
-                    Endpoint::Source(s) => s.on_cqe(cqe, api),
-                    Endpoint::Sink(k) => k.on_cqe(cqe, api),
-                }
-                return;
-            }
+        let Some(i) = self.route_qp(cqe.qp) else {
+            panic!("multi: completion for unowned qp {:?}", cqe.qp);
+        };
+        match &mut self.endpoints[i] {
+            Endpoint::Source(s) => s.on_cqe(cqe, api),
+            Endpoint::Sink(k) => k.on_cqe(cqe, api),
         }
-        panic!("multi: completion for unowned qp {:?}", cqe.qp);
     }
 
     fn on_wakeup(&mut self, token: u64, api: &mut Api) {

@@ -14,6 +14,7 @@
 use crate::block::{FsmError, SnkState, SrcState};
 use crate::wire::PAYLOAD_HEADER_LEN;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicU8, AtomicUsize, Ordering};
 
 /// Index of a block within a pool.
 pub type BlockIdx = u32;
@@ -209,6 +210,381 @@ impl SinkPool {
 
     pub fn check_invariants(&self) {
         let free_states = self.states.iter().filter(|s| **s == SnkState::Free).count();
+        assert_eq!(free_states, self.free.len(), "free list out of sync");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lock-free pools for the native-thread pipeline.
+//
+// The single-threaded `SourcePool`/`SinkPool` above are what the simulated
+// engines use; wrapping them in a `Mutex` + `Condvar` made every block of
+// the live pipeline serialize on one lock (and one wakeup) per state
+// transition. The shared-pool fast path needs two properties instead:
+//
+// * block handout/return is a multi-producer multi-consumer queue of
+//   *indices* — a bounded Vyukov ring ([`IndexQueue`]), one CAS per
+//   operation, no lock and no condvar;
+// * per-block FSM transitions are a compare-exchange on that block's own
+//   `AtomicU8` — threads working different blocks never touch the same
+//   cache line of state, and an illegal transition still fails loudly
+//   with the same [`FsmError`] the sequential pools report.
+// ---------------------------------------------------------------------------
+
+/// A bounded MPMC queue of block indices (Dmitry Vyukov's array queue).
+/// Push and pop are lock-free: one fetch-add claim plus one store each,
+/// with a per-cell sequence number resolving producer/consumer races.
+///
+/// Capacity is rounded up to a power of two. `push` fails only when the
+/// queue is full — for a pool free-list sized to hold every index, that
+/// is unreachable and callers treat it as a bug.
+#[derive(Debug)]
+pub struct IndexQueue {
+    cells: Vec<QueueCell>,
+    mask: usize,
+    enq: AtomicUsize,
+    deq: AtomicUsize,
+}
+
+#[derive(Debug)]
+struct QueueCell {
+    seq: AtomicUsize,
+    val: AtomicU32,
+}
+
+impl IndexQueue {
+    pub fn new(capacity: usize) -> IndexQueue {
+        let cap = capacity.max(2).next_power_of_two();
+        IndexQueue {
+            cells: (0..cap)
+                .map(|i| QueueCell {
+                    seq: AtomicUsize::new(i),
+                    val: AtomicU32::new(u32::MAX),
+                })
+                .collect(),
+            mask: cap - 1,
+            enq: AtomicUsize::new(0),
+            deq: AtomicUsize::new(0),
+        }
+    }
+
+    /// Construct pre-filled with `0..count` (a pool's initial free list).
+    pub fn full(count: u32) -> IndexQueue {
+        let q = IndexQueue::new(count as usize);
+        for i in 0..count {
+            q.push(i).expect("freshly sized queue cannot be full");
+        }
+        q
+    }
+
+    /// Approximate occupancy (exact when quiescent).
+    pub fn len(&self) -> usize {
+        self.enq
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.deq.load(Ordering::Relaxed))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueue `v`; returns `Err(v)` if the queue is full.
+    pub fn push(&self, v: u32) -> Result<(), u32> {
+        let mut pos = self.enq.load(Ordering::Relaxed);
+        loop {
+            let cell = &self.cells[pos & self.mask];
+            let seq = cell.seq.load(Ordering::Acquire);
+            match seq as isize - pos as isize {
+                0 => {
+                    // The cell is ours to claim for this lap.
+                    match self.enq.compare_exchange_weak(
+                        pos,
+                        pos + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            cell.val.store(v, Ordering::Relaxed);
+                            cell.seq.store(pos + 1, Ordering::Release);
+                            return Ok(());
+                        }
+                        Err(p) => pos = p,
+                    }
+                }
+                d if d < 0 => return Err(v), // a full lap behind: queue full
+                _ => pos = self.enq.load(Ordering::Relaxed), // racing producer advanced it
+            }
+        }
+    }
+
+    /// Dequeue, or `None` when empty.
+    pub fn try_pop(&self) -> Option<u32> {
+        let mut pos = self.deq.load(Ordering::Relaxed);
+        loop {
+            let cell = &self.cells[pos & self.mask];
+            let seq = cell.seq.load(Ordering::Acquire);
+            match seq as isize - (pos + 1) as isize {
+                0 => {
+                    match self.deq.compare_exchange_weak(
+                        pos,
+                        pos + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            let v = cell.val.load(Ordering::Relaxed);
+                            // Re-arm the cell for the producers' next lap.
+                            cell.seq.store(pos + self.mask + 1, Ordering::Release);
+                            return Some(v);
+                        }
+                        Err(p) => pos = p,
+                    }
+                }
+                d if d < 0 => return None, // cell not yet published: empty
+                _ => pos = self.deq.load(Ordering::Relaxed),
+            }
+        }
+    }
+}
+
+const fn src_code(s: SrcState) -> u8 {
+    match s {
+        SrcState::Free => 0,
+        SrcState::Loading => 1,
+        SrcState::Loaded => 2,
+        SrcState::StartSending => 3,
+        SrcState::Waiting => 4,
+    }
+}
+
+fn src_state(code: u8) -> SrcState {
+    match code {
+        0 => SrcState::Free,
+        1 => SrcState::Loading,
+        2 => SrcState::Loaded,
+        3 => SrcState::StartSending,
+        4 => SrcState::Waiting,
+        other => unreachable!("corrupt source state code {other}"),
+    }
+}
+
+const fn snk_code(s: SnkState) -> u8 {
+    match s {
+        SnkState::Free => 0,
+        SnkState::Waiting => 1,
+        SnkState::DataReady => 2,
+    }
+}
+
+fn snk_state(code: u8) -> SnkState {
+    match code {
+        0 => SnkState::Free,
+        1 => SnkState::Waiting,
+        2 => SnkState::DataReady,
+        other => unreachable!("corrupt sink state code {other}"),
+    }
+}
+
+/// The contention-free counterpart of [`SourcePool`]: same geometry, same
+/// Fig. 6a state machine, same `FsmError`s — but shareable across threads
+/// with no lock. `&self` everywhere; handout and return go through the
+/// [`IndexQueue`] free list and each transition is a CAS on the block's
+/// own state byte.
+#[derive(Debug)]
+pub struct AtomicSourcePool {
+    geo: PoolGeometry,
+    states: Vec<AtomicU8>,
+    free: IndexQueue,
+}
+
+impl AtomicSourcePool {
+    pub fn new(geo: PoolGeometry) -> AtomicSourcePool {
+        AtomicSourcePool {
+            geo,
+            states: (0..geo.blocks)
+                .map(|_| AtomicU8::new(src_code(SrcState::Free)))
+                .collect(),
+            free: IndexQueue::full(geo.blocks),
+        }
+    }
+
+    pub fn geometry(&self) -> PoolGeometry {
+        self.geo
+    }
+
+    pub fn state(&self, i: BlockIdx) -> SrcState {
+        src_state(self.states[i as usize].load(Ordering::Acquire))
+    }
+
+    /// Approximate free count (exact when quiescent).
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    fn transition(
+        &self,
+        i: BlockIdx,
+        f: impl Fn(SrcState) -> Result<SrcState, FsmError>,
+    ) -> Result<(), FsmError> {
+        let cell = &self.states[i as usize];
+        let mut cur = cell.load(Ordering::Acquire);
+        loop {
+            let next = src_code(f(src_state(cur))?);
+            match cell.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return Ok(()),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// `get_free_blk`: pop a free block and reserve it for loading.
+    /// Non-blocking — an empty free list returns `None` and the caller
+    /// decides how to wait.
+    pub fn get_free(&self) -> Option<BlockIdx> {
+        let i = self.free.try_pop()?;
+        self.transition(i, SrcState::reserve)
+            .expect("free list held a non-free block");
+        Some(i)
+    }
+
+    pub fn loaded(&self, i: BlockIdx) -> Result<(), FsmError> {
+        self.transition(i, SrcState::loaded)
+    }
+
+    pub fn start_sending(&self, i: BlockIdx) -> Result<(), FsmError> {
+        self.transition(i, SrcState::start_sending)
+    }
+
+    pub fn posted(&self, i: BlockIdx) -> Result<(), FsmError> {
+        self.transition(i, SrcState::posted)
+    }
+
+    /// Completion success: block returns to the free list.
+    pub fn complete(&self, i: BlockIdx) -> Result<(), FsmError> {
+        self.transition(i, SrcState::complete)?;
+        self.free
+            .push(i)
+            .expect("free list sized to the pool cannot overflow");
+        Ok(())
+    }
+
+    /// Completion failure: block goes back to Loaded for re-send.
+    pub fn send_failed(&self, i: BlockIdx) -> Result<(), FsmError> {
+        self.transition(i, SrcState::send_failed)
+    }
+
+    /// Release a reservation without loading: Loading → Free, back on the
+    /// free list. Lock-free loaders need this for the end-of-job race —
+    /// a block must be held *before* the sequence counter is consulted
+    /// (holding-order prevents pool starvation), so the loser of the last
+    /// sequence ends up with a reserved block and nothing to load into it.
+    pub fn abandon(&self, i: BlockIdx) -> Result<(), FsmError> {
+        self.transition(i, |s| match s {
+            SrcState::Loading => Ok(SrcState::Free),
+            other => Err(FsmError {
+                op: "abandon",
+                actual: other.name(),
+            }),
+        })?;
+        self.free
+            .push(i)
+            .expect("free list sized to the pool cannot overflow");
+        Ok(())
+    }
+
+    /// Quiescent-state invariant check (caller must have stopped all
+    /// concurrent users; the counts race otherwise).
+    pub fn check_invariants(&self) {
+        let free_states = (0..self.geo.blocks)
+            .filter(|&i| self.state(i) == SrcState::Free)
+            .count();
+        assert_eq!(free_states, self.free.len(), "free list out of sync");
+    }
+}
+
+/// The contention-free counterpart of [`SinkPool`] (Fig. 6b states).
+#[derive(Debug)]
+pub struct AtomicSinkPool {
+    geo: PoolGeometry,
+    states: Vec<AtomicU8>,
+    free: IndexQueue,
+}
+
+impl AtomicSinkPool {
+    pub fn new(geo: PoolGeometry) -> AtomicSinkPool {
+        AtomicSinkPool {
+            geo,
+            states: (0..geo.blocks)
+                .map(|_| AtomicU8::new(snk_code(SnkState::Free)))
+                .collect(),
+            free: IndexQueue::full(geo.blocks),
+        }
+    }
+
+    pub fn geometry(&self) -> PoolGeometry {
+        self.geo
+    }
+
+    pub fn state(&self, i: BlockIdx) -> SnkState {
+        snk_state(self.states[i as usize].load(Ordering::Acquire))
+    }
+
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    fn transition(
+        &self,
+        i: BlockIdx,
+        f: impl Fn(SnkState) -> Result<SnkState, FsmError>,
+    ) -> Result<(), FsmError> {
+        let cell = &self.states[i as usize];
+        let mut cur = cell.load(Ordering::Acquire);
+        loop {
+            let next = snk_code(f(snk_state(cur))?);
+            match cell.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return Ok(()),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Advertise a free block as a credit.
+    pub fn grant(&self) -> Option<BlockIdx> {
+        let i = self.free.try_pop()?;
+        self.transition(i, SnkState::grant)
+            .expect("free list held a non-free block");
+        Some(i)
+    }
+
+    /// A finish notification arrived for block `i`.
+    pub fn ready(&self, i: BlockIdx) -> Result<(), FsmError> {
+        self.transition(i, SnkState::ready)
+    }
+
+    /// `put_free_blk`: application consumed the payload.
+    pub fn put_free(&self, i: BlockIdx) -> Result<(), FsmError> {
+        self.transition(i, SnkState::put_free)?;
+        self.free
+            .push(i)
+            .expect("free list sized to the pool cannot overflow");
+        Ok(())
+    }
+
+    /// Reclaim a granted-but-unused block at session teardown.
+    pub fn revoke(&self, i: BlockIdx) -> Result<(), FsmError> {
+        self.transition(i, SnkState::revoke)?;
+        self.free
+            .push(i)
+            .expect("free list sized to the pool cannot overflow");
+        Ok(())
+    }
+
+    /// Quiescent-state invariant check.
+    pub fn check_invariants(&self) {
+        let free_states = (0..self.geo.blocks)
+            .filter(|&i| self.state(i) == SnkState::Free)
+            .count();
         assert_eq!(free_states, self.free.len(), "free list out of sync");
     }
 }

@@ -47,6 +47,40 @@ pub const MAX_CREDITS_PER_MSG: usize = 8;
 /// Maximum parallel data channels a `SessionAccept` can carry.
 pub const MAX_CHANNELS: usize = 32;
 
+/// One coalesced block-completion entry inside an [`CtrlMsg::AckBatch`]:
+/// the same (seq, slot, len) triple a `BlockComplete` carries, minus the
+/// per-message header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockAck {
+    pub seq: u32,
+    pub slot: u32,
+    pub len: u32,
+}
+
+const ACK_WIRE_LEN: usize = 4 + 4 + 4;
+
+/// Maximum entries per `AckBatch` (8-byte header + 2-byte count +
+/// 16 × 12 bytes = 202, fits the slot with headroom).
+pub const MAX_ACKS_PER_BATCH: usize = 16;
+
+/// Maximum slot indices per `CreditBatch` (8 + 8 + 4 + 2 + 32 × 4 = 150).
+pub const MAX_SLOTS_PER_CREDIT_BATCH: usize = 32;
+
+impl Credit {
+    /// Expand one [`CtrlMsg::CreditBatch`] entry back into a full credit.
+    /// The batch form exploits that every block in a registered pool has
+    /// the same rkey and capacity and sits at `slot * slot_len` — so the
+    /// wire carries 4 bytes per credit instead of 24.
+    pub fn from_batch(rkey: u64, slot_len: u32, slot: u32) -> Credit {
+        Credit {
+            slot,
+            rkey,
+            offset: slot as u64 * slot_len as u64,
+            len: slot_len,
+        }
+    }
+}
+
 /// Control message body (Fig. 7a "Type" + "Type Associated Data").
 ///
 /// ```
@@ -117,6 +151,25 @@ pub enum CtrlMsg {
         resume_from: u32,
         nonce: u32,
     },
+    /// Phase 2, coalesced: up to [`MAX_ACKS_PER_BATCH`] block-completion
+    /// notifications in one control message. Semantically identical to
+    /// that many `BlockComplete`s in order; the receiver processes each
+    /// entry independently (including its per-completion credit grants),
+    /// so the 2-per-completion ramp is unchanged — only the per-message
+    /// overhead is amortized.
+    AckBatch { session: u32, acks: Vec<BlockAck> },
+    /// Phase 2, coalesced: up to [`MAX_SLOTS_PER_CREDIT_BATCH`] credits
+    /// in one message, in the compact pool form — one shared (rkey,
+    /// slot_len) and a list of slot indices, each expanding to a full
+    /// [`Credit`] via [`Credit::from_batch`]. 4 wire bytes per credit
+    /// instead of 24, and one message where `Credits` needs many.
+    CreditBatch {
+        session: u32,
+        rkey: u64,
+        /// Capacity of every granted block (header + data).
+        slot_len: u32,
+        slots: Vec<u32>,
+    },
 }
 
 /// Rejection reasons for `SessionReject`.
@@ -144,6 +197,8 @@ const T_BLOCK_COMPLETE: u16 = 7;
 const T_DATASET_COMPLETE: u16 = 8;
 const T_SESSION_RESUME: u16 = 9;
 const T_RESUME_ACCEPT: u16 = 10;
+const T_ACK_BATCH: u16 = 11;
+const T_CREDIT_BATCH: u16 = 12;
 
 impl CtrlMsg {
     pub fn session(&self) -> u32 {
@@ -157,7 +212,9 @@ impl CtrlMsg {
             | CtrlMsg::BlockComplete { session, .. }
             | CtrlMsg::DatasetComplete { session, .. }
             | CtrlMsg::SessionResume { session, .. }
-            | CtrlMsg::ResumeAccept { session, .. } => session,
+            | CtrlMsg::ResumeAccept { session, .. }
+            | CtrlMsg::AckBatch { session, .. }
+            | CtrlMsg::CreditBatch { session, .. } => session,
         }
     }
 
@@ -173,6 +230,8 @@ impl CtrlMsg {
             CtrlMsg::DatasetComplete { .. } => T_DATASET_COMPLETE,
             CtrlMsg::SessionResume { .. } => T_SESSION_RESUME,
             CtrlMsg::ResumeAccept { .. } => T_RESUME_ACCEPT,
+            CtrlMsg::AckBatch { .. } => T_ACK_BATCH,
+            CtrlMsg::CreditBatch { .. } => T_CREDIT_BATCH,
         }
     }
 
@@ -246,6 +305,35 @@ impl CtrlMsg {
             } => {
                 w.put_u32(*resume_from);
                 w.put_u32(*nonce);
+            }
+            CtrlMsg::AckBatch { acks, .. } => {
+                assert!(
+                    !acks.is_empty() && acks.len() <= MAX_ACKS_PER_BATCH,
+                    "ack batch size out of range"
+                );
+                w.put_u16(acks.len() as u16);
+                for a in acks {
+                    w.put_u32(a.seq);
+                    w.put_u32(a.slot);
+                    w.put_u32(a.len);
+                }
+            }
+            CtrlMsg::CreditBatch {
+                rkey,
+                slot_len,
+                slots,
+                ..
+            } => {
+                assert!(
+                    !slots.is_empty() && slots.len() <= MAX_SLOTS_PER_CREDIT_BATCH,
+                    "credit batch size out of range"
+                );
+                w.put_u64(*rkey);
+                w.put_u32(*slot_len);
+                w.put_u16(slots.len() as u16);
+                for s in slots {
+                    w.put_u32(*s);
+                }
             }
         }
         start - w.remaining_mut()
@@ -353,6 +441,39 @@ impl CtrlMsg {
                     session,
                     resume_from: buf.get_u32(),
                     nonce: buf.get_u32(),
+                })
+            }
+            T_ACK_BATCH => {
+                need(&buf, 2)?;
+                let n = buf.get_u16() as usize;
+                if n == 0 || n > MAX_ACKS_PER_BATCH {
+                    return Err(WireError::BadCount);
+                }
+                need(&buf, n * ACK_WIRE_LEN)?;
+                let acks = (0..n)
+                    .map(|_| BlockAck {
+                        seq: buf.get_u32(),
+                        slot: buf.get_u32(),
+                        len: buf.get_u32(),
+                    })
+                    .collect();
+                Ok(CtrlMsg::AckBatch { session, acks })
+            }
+            T_CREDIT_BATCH => {
+                need(&buf, 8 + 4 + 2)?;
+                let rkey = buf.get_u64();
+                let slot_len = buf.get_u32();
+                let n = buf.get_u16() as usize;
+                if n == 0 || n > MAX_SLOTS_PER_CREDIT_BATCH {
+                    return Err(WireError::BadCount);
+                }
+                need(&buf, 4 * n)?;
+                let slots = (0..n).map(|_| buf.get_u32()).collect();
+                Ok(CtrlMsg::CreditBatch {
+                    session,
+                    rkey,
+                    slot_len,
+                    slots,
                 })
             }
             other => Err(WireError::UnknownType(other)),
@@ -469,6 +590,93 @@ mod tests {
             resume_from: 75,
             nonce: 3,
         });
+        roundtrip(CtrlMsg::AckBatch {
+            session: 7,
+            acks: vec![
+                BlockAck {
+                    seq: 9,
+                    slot: 2,
+                    len: 65536,
+                },
+                BlockAck {
+                    seq: 10,
+                    slot: 0,
+                    len: 777,
+                },
+            ],
+        });
+        roundtrip(CtrlMsg::CreditBatch {
+            session: 7,
+            rkey: 0x11FE,
+            slot_len: 65560,
+            slots: vec![0, 3, 1, 7],
+        });
+    }
+
+    /// Batches shorter than the maximum — the partial final batch a
+    /// coalescing sender flushes at a drain boundary or end of transfer —
+    /// must round-trip at every size from 1 to the cap.
+    #[test]
+    fn partial_final_batches_roundtrip() {
+        for n in 1..=MAX_ACKS_PER_BATCH {
+            roundtrip(CtrlMsg::AckBatch {
+                session: 3,
+                acks: (0..n as u32)
+                    .map(|i| BlockAck {
+                        seq: 1000 + i,
+                        slot: i % 8,
+                        len: if i == n as u32 - 1 { 123 } else { 65536 },
+                    })
+                    .collect(),
+            });
+        }
+        for n in 1..=MAX_SLOTS_PER_CREDIT_BATCH {
+            roundtrip(CtrlMsg::CreditBatch {
+                session: 3,
+                rkey: u64::MAX,
+                slot_len: 1 << 20,
+                slots: (0..n as u32).rev().collect(),
+            });
+        }
+    }
+
+    #[test]
+    fn credit_batch_expands_to_pool_credits() {
+        let c = Credit::from_batch(0xAB, 65560, 3);
+        assert_eq!(
+            c,
+            Credit {
+                slot: 3,
+                rkey: 0xAB,
+                offset: 3 * 65560,
+                len: 65560,
+            }
+        );
+    }
+
+    #[test]
+    fn batch_sizes_out_of_range_rejected() {
+        // AckBatch with count 0 and count > max.
+        for bad in [0u16, MAX_ACKS_PER_BATCH as u16 + 1] {
+            let mut buf = [0u8; CTRL_SLOT_LEN];
+            let mut w = &mut buf[..];
+            w.put_u16(T_ACK_BATCH);
+            w.put_u16(0);
+            w.put_u32(1);
+            w.put_u16(bad);
+            assert_eq!(CtrlMsg::decode(&buf), Err(WireError::BadCount));
+        }
+        for bad in [0u16, MAX_SLOTS_PER_CREDIT_BATCH as u16 + 1] {
+            let mut buf = [0u8; CTRL_SLOT_LEN];
+            let mut w = &mut buf[..];
+            w.put_u16(T_CREDIT_BATCH);
+            w.put_u16(0);
+            w.put_u32(1);
+            w.put_u64(0);
+            w.put_u32(4096);
+            w.put_u16(bad);
+            assert_eq!(CtrlMsg::decode(&buf), Err(WireError::BadCount));
+        }
     }
 
     #[test]
@@ -493,6 +701,25 @@ mod tests {
             ],
         };
         assert!(credits.encode(&mut buf) <= CTRL_SLOT_LEN);
+        let acks = CtrlMsg::AckBatch {
+            session: 1,
+            acks: vec![
+                BlockAck {
+                    seq: u32::MAX,
+                    slot: u32::MAX,
+                    len: u32::MAX,
+                };
+                MAX_ACKS_PER_BATCH
+            ],
+        };
+        assert!(acks.encode(&mut buf) <= CTRL_SLOT_LEN);
+        let batch = CtrlMsg::CreditBatch {
+            session: 1,
+            rkey: u64::MAX,
+            slot_len: u32::MAX,
+            slots: vec![u32::MAX; MAX_SLOTS_PER_CREDIT_BATCH],
+        };
+        assert!(batch.encode(&mut buf) <= CTRL_SLOT_LEN);
     }
 
     #[test]

@@ -5,37 +5,64 @@
 //! ```text
 //!  SOURCE                                      SINK
 //!  loaders ──▶ dispatcher ══ data[ch] ══▶ receivers ─┐ (placement memcpy)
-//!     ▲            │                                 │ acks
+//!     ▲            │                                 │ ack batches
 //!     └── completion ◀────────────────────────────────┘
-//!            │ BlockComplete (encoded ctrl)
+//!            │ AckBatch (coalesced ctrl)
 //!            ▼
-//!        ctrl s→k  ─────────────▶ sink-ctrl ──▶ consumer (verify, free)
-//!        ctrl k→s  ◀──── Credits ──┴──────────────┘
+//!        sink events ───────────▶ sink-ctrl ──▶ consumer (verify, free)
+//!        ctrl k→s  ◀─ CreditBatch ──┴──────────────┘
 //! ```
 //!
 //! The control channels carry the *real* Fig. 7(a) encodings; payload
 //! buffers carry the *real* Fig. 7(b) header plus pattern data, verified
-//! at the sink. Pools, credit stock/granter, and the reorder buffer are
-//! the exact `rftp-core` types, shared behind `parking_lot` locks.
+//! at the sink. Pools, credit policy, and the reorder buffer are the
+//! exact `rftp-core` types.
 //!
-//! The data path allocates nothing per block: wire payloads travel
-//! through a [`WireSlab`] of pre-sized recycled slots (the analogue of
-//! reusing registered MRs instead of re-registering per transfer — the
-//! paper's buffer-pool argument applied to the pipeline's own wire
-//! stage), and control messages ride fixed [`CtrlFrame`] slots by value.
-//! Pattern fill and checksum verification run word-at-a-time via the
-//! shared [`rftp_core::pattern`] kernels.
+//! The hot path is contention-free and batched, end to end:
+//!
+//! * **No shared locks per block.** Block handout and return go through
+//!   the lock-free [`AtomicSourcePool`]/[`AtomicSinkPool`] (a Vyukov
+//!   index ring plus per-block CAS state bytes); the source's credit
+//!   stock is an [`IndexQueue`] of granted slots; the per-transfer
+//!   duplicate-placement ledger is an atomic bitmap. The only mutexes
+//!   left on the data path guard single-owner block buffers and are
+//!   never contended.
+//! * **One copy per block.** The receiver places payload straight from
+//!   the source's registered block into the slot the credit named — the
+//!   analogue of RDMA WRITE's single DMA from source MR to sink MR.
+//!   (The block stays pinned, `Waiting`, until its ack retires it, so
+//!   the buffer is stable for the whole flight, retransmits included.)
+//! * **Batched crossings.** Every stage drains its input channel in
+//!   batches (`recv_batch`: one wakeup, one lock round-trip per drain,
+//!   not per block), and control traffic is coalesced: completions ride
+//!   [`CtrlMsg::AckBatch`] and grants ride [`CtrlMsg::CreditBatch`], up
+//!   to `ctrl_batch` entries per frame, flushed before every blocking
+//!   wait so coalescing adds no latency. Each batched entry is processed
+//!   exactly as its standalone message would be — the sink still grants
+//!   per completion, so the proactive-credit exponential ramp-up is
+//!   unchanged. `ctrl_batch = 1` reproduces the one-message-per-block
+//!   wire behaviour for comparison.
+//! * **No shared stats on the data path.** Worker threads count into
+//!   locals (including per-stage nanosecond clocks) and the report
+//!   merges them at join.
 
 use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 use rftp_core::engine::{expected_checksum, pattern_seed as engine_pattern_seed};
 use rftp_core::pattern::{checksum, fill_pattern};
-use rftp_core::wire::{Credit, CtrlMsg, PayloadHeader, CTRL_SLOT_LEN, PAYLOAD_HEADER_LEN};
-use rftp_core::{CreditStock, Granter, PoolGeometry, ReorderBuffer, SinkPool, SourcePool};
-use std::sync::atomic::{AtomicU64, Ordering};
+use rftp_core::wire::{
+    BlockAck, Credit, CtrlMsg, PayloadHeader, CTRL_SLOT_LEN, MAX_ACKS_PER_BATCH,
+    MAX_CREDITS_PER_MSG, MAX_SLOTS_PER_CREDIT_BATCH, PAYLOAD_HEADER_LEN,
+};
+use rftp_core::{AtomicSinkPool, AtomicSourcePool, IndexQueue, PoolGeometry, ReorderBuffer};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
 const SESSION: u32 = 1;
+
+/// The symbolic rkey of the sink pool's region (channels address slots
+/// directly in this model).
+const SINK_RKEY: u64 = 0x11FE;
 
 /// Configuration of one live transfer.
 #[derive(Debug, Clone)]
@@ -50,14 +77,25 @@ pub struct LiveConfig {
     pub loaders: usize,
     /// Total payload bytes to move.
     pub total_bytes: u64,
-    /// Per-channel queue depth (the "send queue").
+    /// Per-channel queue depth (the "send queue"); also the receivers'
+    /// batch-drain limit.
     pub channel_depth: usize,
     /// Credits granted per completion notification (paper: 2).
     pub grant_per_completion: u32,
     pub initial_credits: u32,
+    /// Max control entries coalesced per frame: completions per
+    /// `AckBatch`, grants per `CreditBatch`. 1 = the unbatched wire
+    /// (one `BlockComplete`/`Credits` per event), for comparison runs.
+    /// Clamped to the wire maxima.
+    pub ctrl_batch: usize,
+    /// Max-latency bound on coalescing: a partial control batch waits at
+    /// most this long for more entries before it is flushed. Irrelevant
+    /// at full throughput (batches fill first); bounds added latency
+    /// when the pipeline trickles.
+    pub flush_window: std::time::Duration,
     /// Notify the sink in the data path (the WRITE_WITH_IMM analogue):
     /// the receiving channel reports the arrival directly instead of the
-    /// source sending a `BlockComplete` control message after its
+    /// source sending a completion control message after its own
     /// completion — one less hop in the credit loop.
     pub notify_imm: bool,
     /// Fault injection: probability that a dispatched payload is dropped
@@ -83,6 +121,16 @@ impl LiveConfig {
             channel_depth: 8,
             grant_per_completion: 2,
             initial_credits: 2,
+            ctrl_batch: MAX_ACKS_PER_BATCH,
+            // Scale the dwell to the block service time (~block_size at
+            // 2 GB/s): small blocks arrive microseconds apart and want a
+            // short window; megabyte blocks are hundreds of microseconds
+            // apart, and a window shorter than the gap never coalesces.
+            // Capped at 1 ms — past that the dwell stops buying frames
+            // and starts starving the credit loop (multi-MB blocks).
+            flush_window: std::time::Duration::from_nanos(
+                (block_size as u64 / 2).clamp(50_000, 1_000_000),
+            ),
             notify_imm: false,
             fault_drop_p: 0.0,
             fault_seed: 0xFA_017,
@@ -97,6 +145,31 @@ impl LiveConfig {
     fn slot_bytes(&self) -> usize {
         self.block_size + PAYLOAD_HEADER_LEN
     }
+
+    /// Completion entries per `AckBatch` frame.
+    fn ack_batch(&self) -> usize {
+        self.ctrl_batch.clamp(1, MAX_ACKS_PER_BATCH)
+    }
+
+    /// Slots per `CreditBatch` frame.
+    fn credit_batch(&self) -> usize {
+        self.ctrl_batch.clamp(1, MAX_SLOTS_PER_CREDIT_BATCH)
+    }
+}
+
+/// Wall-clock nanoseconds per block spent in each pipeline stage, summed
+/// across the threads that run the stage (loaders and receivers are
+/// pools, so their clocks add).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageBreakdown {
+    /// Header encode + pattern fill at the loaders.
+    pub load_ns: f64,
+    /// Credit pairing, FSM transitions, and channel send at the dispatcher.
+    pub dispatch_ns: f64,
+    /// Placement memcpy at the receivers.
+    pub place_ns: f64,
+    /// Header + checksum verification at the consumer.
+    pub verify_ns: f64,
 }
 
 /// Results of a live transfer.
@@ -110,8 +183,13 @@ pub struct LiveReport {
     pub checksum_failures: u64,
     /// Blocks that reached the sink ahead of sequence.
     pub ooo_blocks: u64,
-    /// Control messages exchanged (both directions).
+    /// Control messages sent (both directions, counted once at the
+    /// sender). Coalesced batches count as one message — that is the
+    /// point of coalescing.
     pub ctrl_msgs: u64,
+    /// Control messages per payload block — the coalescing figure of
+    /// merit (< 1 means the control plane is off the per-block path).
+    pub ctrl_msgs_per_block: f64,
     pub credit_requests: u64,
     /// Payloads the fault injector dropped on the wire.
     pub dropped_payloads: u64,
@@ -120,17 +198,20 @@ pub struct LiveReport {
     /// Arrivals the sink discarded as already-placed duplicates (a
     /// retransmit raced a slow ack).
     pub duplicate_payloads: u64,
+    /// Per-stage cost of a block, merged from per-thread clocks at join.
+    pub stages: StageBreakdown,
 }
 
-/// One in-flight data block on a channel. Carries a [`WireSlab`] slot
-/// index, not bytes: the payload stays in pre-registered memory.
+/// One in-flight data block on a channel. Carries the source block
+/// index, not bytes: the receiver places directly from the source's
+/// registered block into the credited sink slot — one copy per block,
+/// the RDMA WRITE analogue (the block is pinned until its ack).
 #[derive(Debug)]
 struct DataMsg {
     src_block: u32,
     seq: u32,
     slot: u32,
     len: u32,
-    wire: u32,
 }
 
 #[derive(Clone, Copy)]
@@ -165,45 +246,73 @@ fn drop_roll(state: &mut u64) -> f64 {
     (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
 }
 
-/// A recycling pool of pre-sized wire buffers — the stand-in for a set of
-/// registered MRs reused across the whole transfer. The dispatcher
-/// acquires a slot (blocking while all are in flight, the send-queue
-/// backpressure analogue), fills it, and ships its index; the receiver
-/// releases it after placement. No per-block heap allocation ever occurs.
-struct WireSlab {
-    slots: Vec<Mutex<Box<[u8]>>>,
-    free: Mutex<Vec<u32>>,
-    freed: Condvar,
-}
-
-impl WireSlab {
-    fn new(count: u32, bytes: usize) -> WireSlab {
-        WireSlab {
-            slots: (0..count)
-                .map(|_| Mutex::new(vec![0u8; bytes].into_boxed_slice()))
-                .collect(),
-            free: Mutex::new((0..count).rev().collect()),
-            freed: Condvar::new(),
-        }
-    }
-
-    fn acquire(&self) -> u32 {
-        let mut free = self.free.lock();
-        loop {
-            if let Some(i) = free.pop() {
-                return i;
-            }
-            self.freed.wait(&mut free);
-        }
-    }
-
-    fn release(&self, i: u32) {
-        self.free.lock().push(i);
-        self.freed.notify_one();
+/// Backoff for lock-free waits. Escalates fast to `yield_now`: on a
+/// saturated (or single-core) machine the event being waited on is
+/// produced by another thread that needs this core, so burning cycles in
+/// a spin loop delays the very thing being awaited. A short sleep caps
+/// the cost of long waits without adding meaningful wakeup latency.
+fn backoff(spins: &mut u32) {
+    *spins = spins.saturating_add(1);
+    if *spins < 4 {
+        std::hint::spin_loop();
+    } else if *spins < 64 {
+        std::thread::yield_now();
+    } else {
+        std::thread::sleep(std::time::Duration::from_micros(50));
     }
 }
 
-/// A control message in its on-wire form: one fixed ring slot passed by
+/// Lock-free source-side credit inventory: granted sink slots in a
+/// Vyukov ring (every credit of a pool transfer shares rkey and length,
+/// so the slot index is the whole credit), plus the MrRequest debounce
+/// flag. The threaded replacement for `Mutex<CreditStock>` + condvar.
+struct CreditSlots {
+    slots: IndexQueue,
+    /// True while an MrRequest is outstanding (at most one at a time).
+    request_outstanding: AtomicBool,
+}
+
+impl CreditSlots {
+    fn new(capacity: u32) -> CreditSlots {
+        CreditSlots {
+            slots: IndexQueue::new(capacity as usize),
+            request_outstanding: AtomicBool::new(false),
+        }
+    }
+
+    fn deposit(&self, slot: u32) {
+        self.slots
+            .push(slot)
+            .expect("more credits outstanding than sink pool blocks");
+        self.request_outstanding.store(false, Ordering::Release);
+    }
+}
+
+/// First-placement ledger, one bit per sequence: receivers claim a
+/// sequence before placing, so a retransmit that raced a slow ack is
+/// discarded instead of overwriting a slot the sink has since freed and
+/// re-granted. One bit per block of the whole transfer (the table this
+/// replaced spent a mutex per block — 1 byte + state and a pointer-chase
+/// per check).
+struct AtomicBitmap {
+    words: Vec<AtomicU64>,
+}
+
+impl AtomicBitmap {
+    fn new(bits: u64) -> AtomicBitmap {
+        AtomicBitmap {
+            words: (0..bits.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Atomically claim bit `i`; true if this caller newly set it.
+    fn claim(&self, i: u64) -> bool {
+        let mask = 1u64 << (i % 64);
+        self.words[(i / 64) as usize].fetch_or(mask, Ordering::AcqRel) & mask == 0
+    }
+}
+
+/// A control message in its on-wire form: one fixed slot passed by
 /// value, no heap round trip per message.
 #[derive(Debug, Clone, Copy)]
 struct CtrlFrame {
@@ -217,10 +326,22 @@ impl CtrlFrame {
     }
 }
 
-fn encode(msg: &CtrlMsg) -> CtrlFrame {
+fn encode(msg: &CtrlMsg) -> Box<CtrlFrame> {
     let mut buf = [0u8; CTRL_SLOT_LEN];
     let n = msg.encode(&mut buf);
-    CtrlFrame { len: n as u16, buf }
+    Box::new(CtrlFrame { len: n as u16, buf })
+}
+
+/// Everything the sink's control handler reacts to, on one channel: the
+/// control QP's frames and (in `notify_imm` mode) the receivers' in-band
+/// arrival notifications. One blocking `recv` replaces a polling select.
+#[derive(Debug)]
+enum SinkEvent {
+    // Boxed: control frames are rare (sub-one per block when batched)
+    // while `Imm` is the hot variant in `notify_imm` mode, and an
+    // unboxed 258-byte frame would inflate every queued event to match.
+    Ctrl(Box<CtrlFrame>),
+    Imm { seq: u32, slot: u32, len: u32 },
 }
 
 /// Run one transfer; blocks until completion and returns the report.
@@ -231,19 +352,17 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
     let geo = PoolGeometry::new(cfg.block_size as u64, cfg.pool_blocks);
 
     // ---- shared source state ----
-    let src_pool = Mutex::new(SourcePool::new(geo));
-    let src_pool_cv = Condvar::new();
+    let src_pool = AtomicSourcePool::new(geo);
     let src_bufs: Vec<Mutex<Box<[u8]>>> = (0..cfg.pool_blocks)
         .map(|_| Mutex::new(vec![0u8; cfg.slot_bytes()].into_boxed_slice()))
         .collect();
-    let stock = Mutex::new(CreditStock::new());
-    let stock_cv = Condvar::new();
+    let stock = CreditSlots::new(cfg.pool_blocks);
     let inflight: Vec<Mutex<Option<InFlightInfo>>> =
         (0..cfg.pool_blocks).map(|_| Mutex::new(None)).collect();
 
     // ---- shared sink state ----
-    let snk_pool = Mutex::new(SinkPool::new(geo));
-    let granter = Mutex::new(Granter::new(
+    let snk_pool = AtomicSinkPool::new(geo);
+    let granter = Mutex::new(rftp_core::Granter::new(
         rftp_core::CreditMode::Proactive,
         cfg.initial_credits,
         cfg.grant_per_completion,
@@ -252,155 +371,161 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
     let snk_bufs: Vec<Mutex<Box<[u8]>>> = (0..cfg.pool_blocks)
         .map(|_| Mutex::new(vec![0u8; cfg.slot_bytes()].into_boxed_slice()))
         .collect();
-    let reorder = Mutex::new(ReorderBuffer::<(u32, u32)>::new());
+    let placed = AtomicBitmap::new(total_blocks);
 
-    // ---- the wire itself: recycled, pre-registered payload slots ----
-    let wire_slab = WireSlab::new(cfg.pool_blocks, cfg.slot_bytes());
-
-    // ---- counters ----
-    let checksum_failures = AtomicU64::new(0);
-    let ctrl_msgs = AtomicU64::new(0);
-    let credit_requests = AtomicU64::new(0);
-    let dropped_payloads = AtomicU64::new(0);
-    let retransmits = AtomicU64::new(0);
-    let duplicate_payloads = AtomicU64::new(0);
-    // First-placement ledger, indexed by sequence: receivers claim a
-    // sequence here before placing, so a retransmit that raced a slow ack
-    // is discarded instead of overwriting a slot the sink has since freed
-    // and re-granted to a newer block.
-    let placed: Vec<Mutex<bool>> = (0..total_blocks).map(|_| Mutex::new(false)).collect();
     let next_seq = AtomicU64::new(0);
-    let dispatched = AtomicU64::new(0);
-    let acked = AtomicU64::new(0);
-    let delivered_ctr = AtomicU64::new(0);
-    let done_flag = std::sync::atomic::AtomicBool::new(false);
+    let done_flag = AtomicBool::new(false);
 
     // ---- channels ----
-    let (ctrl_s2k_tx, ctrl_s2k_rx) = bounded::<CtrlFrame>(1024);
-    let (ctrl_k2s_tx, ctrl_k2s_rx) = bounded::<CtrlFrame>(1024);
+    let (sink_evt_tx, sink_evt_rx) = bounded::<SinkEvent>(1024);
+    let (ctrl_k2s_tx, ctrl_k2s_rx) = bounded::<Box<CtrlFrame>>(1024);
     let data: Vec<(Sender<DataMsg>, Receiver<DataMsg>)> = (0..cfg.channels)
         .map(|_| bounded(cfg.channel_depth))
         .collect();
-    let (ack_tx, ack_rx) = bounded::<u32>(1024);
-    // Data-path arrival notifications (notify_imm mode): receiver →
-    // sink-ctrl, carrying (seq, slot, len) like an immediate would.
-    let (imm_tx, imm_rx) = bounded::<(u32, u32, u32)>(1024);
+    // Receivers ack in per-drain batches of source block indices.
+    let (ack_tx, ack_rx) = bounded::<Vec<u32>>(1024);
     let (loaded_tx, loaded_rx) = bounded::<u32>(cfg.pool_blocks as usize);
     let (deliver_tx, deliver_rx) = bounded::<(u32, u32, u32)>(cfg.pool_blocks as usize);
 
     let start = Instant::now();
     // Phase 1: negotiation over the control channel, for real.
-    ctrl_s2k_tx
-        .send(encode(&CtrlMsg::SessionRequest {
+    sink_evt_tx
+        .send(SinkEvent::Ctrl(encode(&CtrlMsg::SessionRequest {
             session: SESSION,
             block_size: cfg.block_size as u64,
             channels: cfg.channels as u16,
             total_bytes: cfg.total_bytes,
             notify_imm: cfg.notify_imm,
-        }))
+        })))
         .unwrap();
-    ctrl_msgs.fetch_add(1, Ordering::Relaxed);
+    let mut ctrl_sent_main = 1u64;
 
-    let (ooo_blocks, delivered_blocks) = std::thread::scope(|s| {
+    struct Tally {
+        ctrl_sent: u64,
+        credit_requests: u64,
+        dropped: u64,
+        retransmits: u64,
+        duplicates: u64,
+        checksum_failures: u64,
+        delivered: u64,
+        ooo: u64,
+        stage_ns: [u64; 4], // load, dispatch, place, verify
+    }
+    let mut tally = Tally {
+        ctrl_sent: 0,
+        credit_requests: 0,
+        dropped: 0,
+        retransmits: 0,
+        duplicates: 0,
+        checksum_failures: 0,
+        delivered: 0,
+        ooo: 0,
+        stage_ns: [0; 4],
+    };
+
+    std::thread::scope(|s| {
         // Watchdog (debug aid): with RFTP_LIVE_DEBUG set, dump pipeline
         // state every few seconds so stalls are diagnosable.
         if std::env::var_os("RFTP_LIVE_DEBUG").is_some() {
-            let (src_pool, snk_pool, stock, reorder, granter) =
-                (&src_pool, &snk_pool, &stock, &reorder, &granter);
-            let (next_seq, dispatched, acked, delivered_ctr, done_flag) =
-                (&next_seq, &dispatched, &acked, &delivered_ctr, &done_flag);
+            let (src_pool, snk_pool, stock) = (&src_pool, &snk_pool, &stock);
+            let (next_seq, done_flag) = (&next_seq, &done_flag);
             s.spawn(move || {
                 for _ in 0..120 {
                     std::thread::sleep(std::time::Duration::from_secs(2));
                     if done_flag.load(Ordering::Relaxed) {
                         return;
                     }
-                    let st = stock.lock();
-                    let ro = reorder.lock();
                     eprintln!(
-                        "[watchdog] seq={} dispatched={} acked={} delivered={} | src_free={} snk_free={} stock={} req_out={} pending={} | reorder: expected={} held={}",
+                        "[watchdog] seq={} | src_free={} snk_free={} stock={} req_out={}",
                         next_seq.load(Ordering::Relaxed),
-                        dispatched.load(Ordering::Relaxed),
-                        acked.load(Ordering::Relaxed),
-                        delivered_ctr.load(Ordering::Relaxed),
-                        src_pool.lock().free_count(),
-                        snk_pool.lock().free_count(),
-                        st.available(),
-                        st.request_outstanding,
-                        granter.lock().pending_request,
-                        ro.expected(),
-                        ro.held(),
+                        src_pool.free_count(),
+                        snk_pool.free_count(),
+                        stock.slots.len(),
+                        stock.request_outstanding.load(Ordering::Relaxed),
                     );
                 }
             });
         }
+
         // ---------------- SOURCE ----------------
         // Loader threads: claim sequence numbers, fill blocks with
         // header + pattern, hand them to the dispatcher.
-        for _ in 0..cfg.loaders {
-            let loaded_tx = loaded_tx.clone();
-            let (src_pool, src_pool_cv) = (&src_pool, &src_pool_cv);
-            let (src_bufs, inflight, next_seq, cfg) = (&src_bufs, &inflight, &next_seq, &cfg);
-            s.spawn(move || loop {
-                // Claim (block, sequence) atomically under the pool lock:
-                // claiming a sequence before holding a block would let
-                // sibling loaders absorb the whole pool for later
-                // sequences and starve the one the in-order pipeline
-                // needs next (the second face of the head-of-line hazard
-                // described at the dispatcher).
-                let (block, seq) = {
-                    let mut pool = src_pool.lock();
+        let loader_handles: Vec<_> = (0..cfg.loaders)
+            .map(|_| {
+                let loaded_tx = loaded_tx.clone();
+                let src_pool = &src_pool;
+                let (src_bufs, inflight, next_seq, cfg) = (&src_bufs, &inflight, &next_seq, &cfg);
+                s.spawn(move || {
+                    let mut load_ns = 0u64;
                     loop {
-                        if next_seq.load(Ordering::Relaxed) >= total_blocks {
-                            return;
+                        // Hold a block BEFORE claiming a sequence:
+                        // claiming first would let sibling loaders absorb
+                        // the whole pool for later sequences and starve
+                        // the one the in-order pipeline needs next (the
+                        // second face of the head-of-line hazard described
+                        // at the dispatcher).
+                        let mut spins = 0;
+                        let block = loop {
+                            if next_seq.load(Ordering::Relaxed) >= total_blocks {
+                                return load_ns;
+                            }
+                            if let Some(b) = src_pool.get_free() {
+                                break b;
+                            }
+                            backoff(&mut spins);
+                        };
+                        let seq = next_seq.fetch_add(1, Ordering::Relaxed);
+                        if seq >= total_blocks {
+                            // Lost the race for the final sequence.
+                            src_pool.abandon(block).expect("FSM: abandon");
+                            return load_ns;
                         }
-                        if let Some(b) = pool.get_free() {
-                            break (b, next_seq.fetch_add(1, Ordering::Relaxed));
+                        let offset = seq * cfg.block_size as u64;
+                        let len = (cfg.total_bytes - offset).min(cfg.block_size as u64) as u32;
+                        let t0 = Instant::now();
+                        {
+                            let mut buf = src_bufs[block as usize].lock();
+                            PayloadHeader {
+                                session: SESSION,
+                                seq: seq as u32,
+                                offset,
+                                len,
+                            }
+                            .encode(&mut buf[..PAYLOAD_HEADER_LEN]);
+                            fill_pattern(
+                                &mut buf[PAYLOAD_HEADER_LEN..PAYLOAD_HEADER_LEN + len as usize],
+                                pattern_seed(seq as u32),
+                            );
                         }
-                        src_pool_cv.wait(&mut pool);
+                        load_ns += t0.elapsed().as_nanos() as u64;
+                        *inflight[block as usize].lock() = Some(InFlightInfo {
+                            seq: seq as u32,
+                            slot: u32::MAX,
+                            len,
+                            sent_at: Instant::now(),
+                            attempts: 0,
+                        });
+                        src_pool.loaded(block).expect("FSM: loaded");
+                        loaded_tx.send(block).expect("dispatcher gone");
                     }
-                };
-                let offset = seq * cfg.block_size as u64;
-                let len = (cfg.total_bytes - offset).min(cfg.block_size as u64) as u32;
-                {
-                    let mut buf = src_bufs[block as usize].lock();
-                    PayloadHeader {
-                        session: SESSION,
-                        seq: seq as u32,
-                        offset,
-                        len,
-                    }
-                    .encode(&mut buf[..PAYLOAD_HEADER_LEN]);
-                    fill_pattern(
-                        &mut buf[PAYLOAD_HEADER_LEN..PAYLOAD_HEADER_LEN + len as usize],
-                        pattern_seed(seq as u32),
-                    );
-                }
-                *inflight[block as usize].lock() = Some(InFlightInfo {
-                    seq: seq as u32,
-                    slot: u32::MAX,
-                    len,
-                    sent_at: Instant::now(),
-                    attempts: 0,
-                });
-                src_pool.lock().loaded(block).expect("FSM: loaded");
-                loaded_tx.send(block).expect("dispatcher gone");
-            });
-        }
+                })
+            })
+            .collect();
         drop(loaded_tx);
 
         // Dispatcher: pair each loaded block with a credit, ship it.
-        {
+        let dispatcher = {
             let data_tx: Vec<Sender<DataMsg>> = data.iter().map(|(t, _)| t.clone()).collect();
-            let ctrl_tx = ctrl_s2k_tx.clone();
-            let (stock, stock_cv) = (&stock, &stock_cv);
-            let (src_pool, src_bufs, inflight) = (&src_pool, &src_bufs, &inflight);
-            let wire_slab = &wire_slab;
-            let (ctrl_msgs, credit_requests, cfg) = (&ctrl_msgs, &credit_requests, &cfg);
-            let (dispatched, dropped_payloads) = (&dispatched, &dropped_payloads);
+            let evt_tx = sink_evt_tx.clone();
+            let (stock, src_pool, inflight) = (&stock, &src_pool, &inflight);
+            let cfg = &cfg;
             s.spawn(move || {
                 let mut rr = 0usize;
                 let mut fault_rng = cfg.fault_seed;
+                let mut dispatch_ns = 0u64;
+                let mut ctrl_sent = 0u64;
+                let mut credit_requests = 0u64;
+                let mut dropped = 0u64;
                 // Blocks must be DISPATCHED in sequence order. Loaders
                 // finish out of order, and if later sequences were allowed
                 // to consume credits while an earlier one waits, the sink's
@@ -411,107 +536,106 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
                 // owns a credit.
                 let mut dispatch_order = ReorderBuffer::<u32>::new();
                 let mut ready: std::collections::VecDeque<u32> = Default::default();
-                for block in loaded_rx.iter() {
-                    let seq = inflight[block as usize]
-                        .lock()
-                        .as_ref()
-                        .expect("loaded block untracked")
-                        .seq;
-                    for (_, b) in dispatch_order.push(seq, block) {
-                        ready.push_back(b);
+                let mut drain: Vec<u32> = Vec::with_capacity(cfg.pool_blocks as usize);
+                while let Ok(_n) = loaded_rx.recv_batch(&mut drain, cfg.pool_blocks as usize) {
+                    for block in drain.drain(..) {
+                        let seq = inflight[block as usize]
+                            .lock()
+                            .as_ref()
+                            .expect("loaded block untracked")
+                            .seq;
+                        for (_, b) in dispatch_order.push(seq, block) {
+                            ready.push_back(b);
+                        }
                     }
                     while let Some(block) = ready.pop_front() {
-                        let credit: Credit = {
-                            let mut st = stock.lock();
+                        let slot = {
+                            let mut spins = 0;
+                            let mut starved_since: Option<Instant> = None;
                             loop {
-                                if let Some(c) = st.take() {
-                                    break c;
+                                if let Some(s2) = stock.slots.try_pop() {
+                                    break s2;
                                 }
-                                if st.should_request() {
-                                    credit_requests.fetch_add(1, Ordering::Relaxed);
-                                    ctrl_msgs.fetch_add(1, Ordering::Relaxed);
-                                    ctrl_tx
-                                        .send(encode(&CtrlMsg::MrRequest { session: SESSION }))
+                                if !stock.request_outstanding.swap(true, Ordering::AcqRel) {
+                                    credit_requests += 1;
+                                    ctrl_sent += 1;
+                                    evt_tx
+                                        .send(SinkEvent::Ctrl(encode(&CtrlMsg::MrRequest {
+                                            session: SESSION,
+                                        })))
                                         .expect("sink ctrl gone");
+                                    starved_since = Some(Instant::now());
                                 }
-                                // Timed wait: in the threaded pipeline a grant
-                                // can race the sink's own bookkeeping (unlike
-                                // the serialized simulator), so a starved
-                                // request is retried rather than trusted to
-                                // be answered exactly once.
-                                if stock_cv
-                                    .wait_for(&mut st, std::time::Duration::from_millis(20))
-                                    .timed_out()
-                                {
-                                    st.request_outstanding = false;
+                                // A grant can race the sink's own
+                                // bookkeeping (unlike the serialized
+                                // simulator), so a starved request is
+                                // eventually retried rather than trusted
+                                // to be answered exactly once.
+                                if starved_since.is_some_and(|t| {
+                                    t.elapsed() > std::time::Duration::from_millis(20)
+                                }) {
+                                    stock.request_outstanding.store(false, Ordering::Release);
+                                    starved_since = None;
                                 }
+                                backoff(&mut spins);
                             }
                         };
+                        let t0 = Instant::now();
                         let info = {
                             let mut inf = inflight[block as usize].lock();
                             let i = inf.as_mut().expect("loaded block untracked");
-                            i.slot = credit.slot;
+                            i.slot = slot;
                             i.sent_at = Instant::now();
                             i.attempts = 1;
                             *i
                         };
-                        let wire_len = info.len as usize + PAYLOAD_HEADER_LEN;
-                        assert!(credit.len as usize >= wire_len, "credit too small");
-                        // "DMA read": copy the block out of registered memory
-                        // into a recycled wire slot — no allocation.
-                        let wire = wire_slab.acquire();
-                        {
-                            let buf = src_bufs[block as usize].lock();
-                            wire_slab.slots[wire as usize].lock()[..wire_len]
-                                .copy_from_slice(&buf[..wire_len]);
-                        }
-                        {
-                            let mut pool = src_pool.lock();
-                            pool.start_sending(block).expect("FSM: start_sending");
-                            pool.posted(block).expect("FSM: posted");
-                        }
+                        assert!(
+                            cfg.slot_bytes() >= info.len as usize + PAYLOAD_HEADER_LEN,
+                            "credit too small"
+                        );
+                        src_pool.start_sending(block).expect("FSM: start_sending");
+                        src_pool.posted(block).expect("FSM: posted");
                         let ch = rr % data_tx.len();
                         rr += 1;
-                        dispatched.fetch_add(1, Ordering::Relaxed);
                         if cfg.fault_drop_p > 0.0 && drop_roll(&mut fault_rng) < cfg.fault_drop_p {
                             // The wire ate it: the block stays Posted and
                             // unacked until the watchdog re-sends it.
-                            dropped_payloads.fetch_add(1, Ordering::Relaxed);
-                            wire_slab.release(wire);
+                            dropped += 1;
                         } else {
                             data_tx[ch]
                                 .send(DataMsg {
                                     src_block: block,
                                     seq: info.seq,
-                                    slot: credit.slot,
+                                    slot,
                                     len: info.len,
-                                    wire,
                                 })
                                 .expect("receiver gone");
                         }
+                        dispatch_ns += t0.elapsed().as_nanos() as u64;
                     }
                 }
                 assert!(
                     dispatch_order.is_drained(),
                     "loads ended with a sequence gap"
                 );
-                // loaded channel closed: every block dispatched.
-            });
-        }
+                (dispatch_ns, ctrl_sent, credit_requests, dropped)
+            })
+        };
 
         // Retransmit watchdog (fault injection only): any dispatched
         // block whose ack hasn't arrived within `retx_timeout` is put
         // back on the wire — the live analogue of the simulated engine's
         // TOK_RETX scan. Re-sends roll the same drop dice as first
         // sends, so a retransmit can itself be lost and retried.
-        if cfg.fault_drop_p > 0.0 {
+        let retx_watchdog = (cfg.fault_drop_p > 0.0).then(|| {
             let data_tx: Vec<Sender<DataMsg>> = data.iter().map(|(t, _)| t.clone()).collect();
-            let (src_bufs, inflight, wire_slab) = (&src_bufs, &inflight, &wire_slab);
-            let (retransmits, dropped_payloads) = (&retransmits, &dropped_payloads);
+            let inflight = &inflight;
             let (done_flag, cfg) = (&done_flag, &cfg);
             s.spawn(move || {
                 let mut fault_rng = cfg.fault_seed ^ 0x5EED_5EED_5EED_5EED;
                 let mut rr = 0usize;
+                let mut retransmits = 0u64;
+                let mut dropped = 0u64;
                 while !done_flag.load(Ordering::Relaxed) {
                     std::thread::sleep(cfg.retx_timeout / 4);
                     for block in 0..cfg.pool_blocks {
@@ -527,19 +651,11 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
                         assert!(i.attempts < 64, "block seq {} will not go through", i.seq);
                         i.sent_at = Instant::now();
                         i.attempts += 1;
-                        retransmits.fetch_add(1, Ordering::Relaxed);
-                        let wire_len = i.len as usize + PAYLOAD_HEADER_LEN;
-                        let wire = wire_slab.acquire();
-                        {
-                            let buf = src_bufs[block as usize].lock();
-                            wire_slab.slots[wire as usize].lock()[..wire_len]
-                                .copy_from_slice(&buf[..wire_len]);
-                        }
+                        retransmits += 1;
                         let ch = rr % data_tx.len();
                         rr += 1;
                         if drop_roll(&mut fault_rng) < cfg.fault_drop_p {
-                            dropped_payloads.fetch_add(1, Ordering::Relaxed);
-                            wire_slab.release(wire);
+                            dropped += 1;
                         } else {
                             data_tx[ch]
                                 .send(DataMsg {
@@ -547,339 +663,510 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
                                     seq: i.seq,
                                     slot: i.slot,
                                     len: i.len,
-                                    wire,
                                 })
                                 .expect("receiver gone");
                         }
                     }
                 }
-            });
-        }
+                (retransmits, dropped)
+            })
+        });
 
-        // Completion handler: acks retire blocks and emit BlockComplete
-        // notifications; the final block triggers teardown.
-        {
-            let ctrl_tx = ctrl_s2k_tx.clone();
-            let (src_pool, src_pool_cv, inflight) = (&src_pool, &src_pool_cv, &inflight);
-            let ctrl_msgs = &ctrl_msgs;
-            let acked = &acked;
+        // Completion handler: ack batches retire blocks; completions are
+        // coalesced into AckBatch control frames (up to `ctrl_batch` per
+        // frame), flushed at every drain boundary — never held across a
+        // blocking wait, so batching costs no latency. The final block
+        // triggers teardown.
+        let completion = {
+            let evt_tx = sink_evt_tx.clone();
+            let (src_pool, inflight) = (&src_pool, &inflight);
             let cfg = &cfg;
             s.spawn(move || {
+                let mut ctrl_sent = 0u64;
                 let mut completed = 0u64;
+                let ack_cap = cfg.ack_batch();
+                let mut pending: Vec<BlockAck> = Vec::with_capacity(ack_cap);
+                let mut drain: Vec<Vec<u32>> = Vec::with_capacity(64);
+                let flush = |pending: &mut Vec<BlockAck>, ctrl_sent: &mut u64| {
+                    if pending.is_empty() {
+                        return;
+                    }
+                    let msg = if pending.len() == 1 && cfg.ctrl_batch <= 1 {
+                        let a = pending[0];
+                        CtrlMsg::BlockComplete {
+                            session: SESSION,
+                            seq: a.seq,
+                            slot: a.slot,
+                            len: a.len,
+                        }
+                    } else {
+                        CtrlMsg::AckBatch {
+                            session: SESSION,
+                            acks: std::mem::take(pending),
+                        }
+                    };
+                    pending.clear();
+                    *ctrl_sent += 1;
+                    evt_tx
+                        .send(SinkEvent::Ctrl(encode(&msg)))
+                        .expect("sink ctrl gone");
+                };
                 while completed < total_blocks {
-                    let block = ack_rx.recv().expect("ack channel closed early");
-                    acked.fetch_add(1, Ordering::Relaxed);
-                    let info = inflight[block as usize]
-                        .lock()
-                        .take()
-                        .expect("ack for idle block");
-                    {
-                        let mut pool = src_pool.lock();
-                        pool.complete(block).expect("FSM: complete");
+                    ack_rx
+                        .recv_batch(&mut drain, 64)
+                        .expect("ack channel closed early");
+                    loop {
+                        for batch in drain.drain(..) {
+                            for block in batch {
+                                let info = inflight[block as usize]
+                                    .lock()
+                                    .take()
+                                    .expect("ack for idle block");
+                                src_pool.complete(block).expect("FSM: complete");
+                                completed += 1;
+                                if !cfg.notify_imm {
+                                    pending.push(BlockAck {
+                                        seq: info.seq,
+                                        slot: info.slot,
+                                        len: info.len,
+                                    });
+                                    if pending.len() >= ack_cap {
+                                        flush(&mut pending, &mut ctrl_sent);
+                                    }
+                                }
+                            }
+                        }
+                        // Max-latency flush: a partial batch dwells at
+                        // most `flush_window` for more acks (the block
+                        // itself was already retired above — only the
+                        // sink-bound notification waits), then goes out
+                        // before the next unbounded wait.
+                        if pending.is_empty() || completed >= total_blocks {
+                            break;
+                        }
+                        if ack_rx
+                            .recv_batch_timeout(&mut drain, 64, cfg.flush_window)
+                            .is_err()
+                        {
+                            break;
+                        }
                     }
-                    src_pool_cv.notify_all();
-                    if !cfg.notify_imm {
-                        ctrl_msgs.fetch_add(1, Ordering::Relaxed);
-                        ctrl_tx
-                            .send(encode(&CtrlMsg::BlockComplete {
-                                session: SESSION,
-                                seq: info.seq,
-                                slot: info.slot,
-                                len: info.len,
-                            }))
-                            .expect("sink ctrl gone");
-                    }
-                    completed += 1;
+                    flush(&mut pending, &mut ctrl_sent);
                 }
-                ctrl_msgs.fetch_add(1, Ordering::Relaxed);
-                ctrl_tx
-                    .send(encode(&CtrlMsg::DatasetComplete {
+                ctrl_sent += 1;
+                evt_tx
+                    .send(SinkEvent::Ctrl(encode(&CtrlMsg::DatasetComplete {
                         session: SESSION,
                         total_blocks: total_blocks as u32,
-                    }))
+                    })))
                     .expect("sink ctrl gone");
-            });
-        }
+                ctrl_sent
+            })
+        };
 
         // Source control handler: accepts and credits.
-        {
-            let (stock, stock_cv) = (&stock, &stock_cv);
-            let ctrl_msgs = &ctrl_msgs;
+        let src_ctrl = {
+            let stock = &stock;
             s.spawn(move || {
                 for raw in ctrl_k2s_rx.iter() {
-                    ctrl_msgs.fetch_add(1, Ordering::Relaxed);
                     match CtrlMsg::decode(raw.as_bytes()).expect("bad ctrl message") {
                         CtrlMsg::SessionAccept { session, .. } => {
                             assert_eq!(session, SESSION);
                         }
                         CtrlMsg::Credits { session, credits } => {
                             assert_eq!(session, SESSION);
-                            stock.lock().deposit(credits);
-                            stock_cv.notify_all();
+                            for c in credits {
+                                stock.deposit(c.slot);
+                            }
+                        }
+                        CtrlMsg::CreditBatch { session, slots, .. } => {
+                            assert_eq!(session, SESSION);
+                            for slot in slots {
+                                stock.deposit(slot);
+                            }
                         }
                         other => panic!("unexpected ctrl at source: {other:?}"),
                     }
                 }
-            });
-        }
+            })
+        };
 
         // ---------------- SINK ----------------
         // Per-channel receivers: place payloads into the slots credits
-        // named, then ack (the transport-level completion).
-        for (_, data_rx) in &data {
-            let data_rx = data_rx.clone();
-            let ack_tx = ack_tx.clone();
-            let imm_tx = imm_tx.clone();
-            let (snk_bufs, wire_slab) = (&snk_bufs, &wire_slab);
-            let (placed, duplicate_payloads) = (&placed, &duplicate_payloads);
-            let notify_imm = cfg.notify_imm;
-            s.spawn(move || {
-                for msg in data_rx.iter() {
-                    // Claim first placement of this sequence. A second
-                    // copy means a retransmit raced a slow ack; its slot
-                    // may already be freed and re-granted to a newer
-                    // block, so placing it would corrupt that block —
-                    // discard it (the paper-side duplicate-block rule).
-                    if std::mem::replace(&mut *placed[msg.seq as usize].lock(), true) {
-                        duplicate_payloads.fetch_add(1, Ordering::Relaxed);
-                        wire_slab.release(msg.wire);
-                        continue;
+        // named, then ack (the transport-level completion). Each wake
+        // drains up to `channel_depth` messages and acks them as one
+        // batch — one crossing per drain, not per block.
+        let receiver_handles: Vec<_> = data
+            .iter()
+            .map(|(_, data_rx)| {
+                let data_rx = data_rx.clone();
+                let ack_tx = ack_tx.clone();
+                let evt_tx = sink_evt_tx.clone();
+                let (src_bufs, snk_bufs, placed) = (&src_bufs, &snk_bufs, &placed);
+                let cfg = &cfg;
+                s.spawn(move || {
+                    let mut place_ns = 0u64;
+                    let mut duplicates = 0u64;
+                    let mut batch: Vec<DataMsg> = Vec::with_capacity(cfg.channel_depth);
+                    let mut acks: Vec<u32> = Vec::with_capacity(cfg.channel_depth);
+                    while data_rx.recv_batch(&mut batch, cfg.channel_depth).is_ok() {
+                        for msg in batch.drain(..) {
+                            // Claim first placement of this sequence. A
+                            // second copy means a retransmit raced a slow
+                            // ack; its slot may already be freed and
+                            // re-granted to a newer block, so placing it
+                            // would corrupt that block — discard it (the
+                            // paper-side duplicate-block rule).
+                            if !placed.claim(msg.seq as u64) {
+                                duplicates += 1;
+                                continue;
+                            }
+                            let wire_len = msg.len as usize + PAYLOAD_HEADER_LEN;
+                            let t0 = Instant::now();
+                            {
+                                // The RDMA WRITE: one copy, registered
+                                // source block → credited sink slot.
+                                let src = src_bufs[msg.src_block as usize].lock();
+                                let mut dst = snk_bufs[msg.slot as usize].lock();
+                                dst[..wire_len].copy_from_slice(&src[..wire_len]);
+                            }
+                            place_ns += t0.elapsed().as_nanos() as u64;
+                            if cfg.notify_imm {
+                                // The immediate: arrival notification
+                                // in-band, one per WRITE by design.
+                                evt_tx
+                                    .send(SinkEvent::Imm {
+                                        seq: msg.seq,
+                                        slot: msg.slot,
+                                        len: msg.len,
+                                    })
+                                    .expect("sink ctrl gone");
+                            }
+                            acks.push(msg.src_block);
+                        }
+                        if !acks.is_empty() {
+                            ack_tx
+                                .send(std::mem::replace(
+                                    &mut acks,
+                                    Vec::with_capacity(cfg.channel_depth),
+                                ))
+                                .expect("completion gone");
+                        }
                     }
-                    let wire_len = msg.len as usize + PAYLOAD_HEADER_LEN;
-                    {
-                        let wire = wire_slab.slots[msg.wire as usize].lock();
-                        let mut slot = snk_bufs[msg.slot as usize].lock();
-                        slot[..wire_len].copy_from_slice(&wire[..wire_len]);
-                    }
-                    wire_slab.release(msg.wire);
-                    if notify_imm {
-                        // The immediate: arrival notification in-band.
-                        imm_tx
-                            .send((msg.seq, msg.slot, msg.len))
-                            .expect("sink ctrl gone");
-                    }
-                    ack_tx.send(msg.src_block).expect("completion gone");
-                }
-            });
-        }
+                    (place_ns, duplicates)
+                })
+            })
+            .collect();
         drop(ack_tx);
-        drop(imm_tx);
 
-        // Sink control handler: negotiation, arrivals, credits.
-        {
+        // Sink control handler: negotiation, arrivals, credits. Arrivals
+        // in one event grant per completion (preserving the proactive
+        // ramp) but the grants leave as one CreditBatch per event — the
+        // credit loop's message count scales with drains, not blocks.
+        let sink_ctrl = {
             let ctrl_tx = ctrl_k2s_tx.clone();
             let deliver_tx = deliver_tx.clone();
-            let (snk_pool, granter, reorder) = (&snk_pool, &granter, &reorder);
-            let ctrl_msgs = &ctrl_msgs;
+            let (snk_pool, granter) = (&snk_pool, &granter);
             let cfg = &cfg;
             s.spawn(move || {
-                let grant = |want: u32| -> Option<CtrlMsg> {
-                    if want == 0 {
-                        return None;
+                let mut reorder = ReorderBuffer::<(u32, u32)>::new();
+                let mut ctrl_sent = 0u64;
+                let credit_cap = cfg.credit_batch();
+                // Slots granted (popped from the pool, counted by the
+                // granter) but not yet on the wire. Grants accumulate
+                // across the events of a drain — and across the flush
+                // window — so the credit loop pays one message per batch,
+                // not per completion. The *policy* is untouched: every
+                // completion still earns its `grant_per_completion` slots
+                // the moment it is processed, so the exponential ramp is
+                // the same credits-per-arrival curve, just carried in
+                // fewer frames.
+                let mut pending: Vec<u32> = Vec::with_capacity(cfg.pool_blocks as usize);
+                let flush = |pending: &mut Vec<u32>, ctrl_sent: &mut u64| {
+                    if pending.is_empty() {
+                        return;
                     }
-                    let mut pool = snk_pool.lock();
-                    let credits: Vec<Credit> = (0..want)
-                        .map_while(|_| {
-                            pool.grant().map(|slot| Credit {
-                                slot,
-                                rkey: 0x11FE, // symbolic: channels address slots directly
-                                offset: slot as u64 * cfg.slot_bytes() as u64,
-                                len: cfg.slot_bytes() as u32,
-                            })
-                        })
-                        .collect();
-                    drop(pool);
-                    if credits.is_empty() {
-                        None
-                    } else {
-                        granter.lock().note_granted(credits.len() as u32);
-                        Some(CtrlMsg::Credits {
-                            session: SESSION,
-                            credits,
-                        })
-                    }
-                };
-                let on_arrival = |seq: u32, slot: u32, len: u32| -> Option<CtrlMsg> {
-                    snk_pool.lock().ready(slot).expect("FSM: ready");
-                    for (s2, (slot2, len2)) in reorder.lock().push(seq, (slot, len)) {
-                        deliver_tx.send((s2, slot2, len2)).expect("consumer gone");
-                    }
-                    let want = granter.lock().on_completion();
-                    grant(want)
-                };
-                // Select over the control channel and (in notify_imm
-                // mode) the in-band arrival stream. A closed channel is
-                // swapped for `never()` so the loop blocks instead of
-                // spinning on its Err.
-                let never_ctrl = crossbeam::channel::never::<CtrlFrame>();
-                let never_imm = crossbeam::channel::never::<(u32, u32, u32)>();
-                let mut ctrl_src = &ctrl_s2k_rx;
-                let mut imm_src = &imm_rx;
-                let mut ctrl_open = true;
-                let mut imm_open = true;
-                while ctrl_open || imm_open {
-                    crossbeam::channel::select! {
-                        recv(ctrl_src) -> raw => {
-                            let Ok(raw) = raw else {
-                                ctrl_open = false;
-                                ctrl_src = &never_ctrl;
-                                continue;
-                            };
-                    ctrl_msgs.fetch_add(1, Ordering::Relaxed);
-                    let reply = match CtrlMsg::decode(raw.as_bytes()).expect("bad ctrl message") {
-                        CtrlMsg::SessionRequest { session, .. } => {
-                            assert_eq!(session, SESSION);
-                            ctrl_msgs.fetch_add(1, Ordering::Relaxed);
+                    if cfg.ctrl_batch <= 1 {
+                        for chunk in pending.chunks(MAX_CREDITS_PER_MSG) {
+                            *ctrl_sent += 1;
                             ctrl_tx
-                                .send(encode(&CtrlMsg::SessionAccept {
+                                .send(encode(&CtrlMsg::Credits {
                                     session: SESSION,
-                                    block_size: cfg.block_size as u64,
-                                    data_qpns: (0..cfg.channels as u32).collect(),
+                                    credits: chunk
+                                        .iter()
+                                        .map(|&s2| Credit {
+                                            slot: s2,
+                                            rkey: SINK_RKEY,
+                                            offset: s2 as u64 * cfg.slot_bytes() as u64,
+                                            len: cfg.slot_bytes() as u32,
+                                        })
+                                        .collect(),
                                 }))
                                 .expect("source ctrl gone");
-                            let want = granter.lock().on_accept();
-                            grant(want)
                         }
-                        CtrlMsg::BlockComplete {
-                            session,
-                            seq,
-                            slot,
-                            len,
-                        } => {
-                            assert_eq!(session, SESSION);
-                            on_arrival(seq, slot, len)
+                    } else {
+                        for chunk in pending.chunks(credit_cap) {
+                            *ctrl_sent += 1;
+                            ctrl_tx
+                                .send(encode(&CtrlMsg::CreditBatch {
+                                    session: SESSION,
+                                    rkey: SINK_RKEY,
+                                    slot_len: cfg.slot_bytes() as u32,
+                                    slots: chunk.to_vec(),
+                                }))
+                                .expect("source ctrl gone");
                         }
-                        CtrlMsg::MrRequest { session } => {
-                            assert_eq!(session, SESSION);
-                            let free = snk_pool.lock().free_count();
-                            let want = granter.lock().on_request(free);
-                            grant(want)
-                        }
-                        CtrlMsg::DatasetComplete { total_blocks: t, .. } => {
-                            assert_eq!(t as u64, total_blocks);
-                            None
-                        }
-                        other => panic!("unexpected ctrl at sink: {other:?}"),
-                    };
-                    if let Some(msg) = reply {
-                        ctrl_msgs.fetch_add(1, Ordering::Relaxed);
-                        ctrl_tx.send(encode(&msg)).expect("source ctrl gone");
                     }
-                        }
-                        recv(imm_src) -> arrival => {
-                            let Ok((seq, slot, len)) = arrival else {
-                                imm_open = false;
-                                imm_src = &never_imm;
-                                continue;
-                            };
-                            if let Some(msg) = on_arrival(seq, slot, len) {
-                                ctrl_msgs.fetch_add(1, Ordering::Relaxed);
-                                ctrl_tx.send(encode(&msg)).expect("source ctrl gone");
+                    pending.clear();
+                };
+                // Pop up to `want` free slots into the pending batch.
+                let accumulate = |want: u32, pending: &mut Vec<u32>| {
+                    let before = pending.len();
+                    pending.extend((0..want).map_while(|_| snk_pool.grant()));
+                    let got = (pending.len() - before) as u32;
+                    if got > 0 {
+                        granter.lock().note_granted(got);
+                    }
+                };
+                let on_arrival = |seq: u32,
+                                  slot: u32,
+                                  len: u32,
+                                  reorder: &mut ReorderBuffer<(u32, u32)>|
+                 -> u32 {
+                    snk_pool.ready(slot).expect("FSM: ready");
+                    for (s2, (slot2, len2)) in reorder.push(seq, (slot, len)) {
+                        deliver_tx.send((s2, slot2, len2)).expect("consumer gone");
+                    }
+                    granter.lock().on_completion()
+                };
+                let mut events: Vec<SinkEvent> = Vec::with_capacity(64);
+                while sink_evt_rx.recv_batch(&mut events, 64).is_ok() {
+                    loop {
+                        for ev in events.drain(..) {
+                            match ev {
+                                SinkEvent::Ctrl(raw) => {
+                                    match CtrlMsg::decode(raw.as_bytes()).expect("bad ctrl message")
+                                    {
+                                        CtrlMsg::SessionRequest { session, .. } => {
+                                            assert_eq!(session, SESSION);
+                                            ctrl_sent += 1;
+                                            ctrl_tx
+                                                .send(encode(&CtrlMsg::SessionAccept {
+                                                    session: SESSION,
+                                                    block_size: cfg.block_size as u64,
+                                                    data_qpns: (0..cfg.channels as u32).collect(),
+                                                }))
+                                                .expect("source ctrl gone");
+                                            let want = granter.lock().on_accept();
+                                            accumulate(want, &mut pending);
+                                        }
+                                        CtrlMsg::BlockComplete {
+                                            session,
+                                            seq,
+                                            slot,
+                                            len,
+                                        } => {
+                                            assert_eq!(session, SESSION);
+                                            let want = on_arrival(seq, slot, len, &mut reorder);
+                                            accumulate(want, &mut pending);
+                                        }
+                                        CtrlMsg::AckBatch { session, acks } => {
+                                            assert_eq!(session, SESSION);
+                                            for a in acks {
+                                                let want =
+                                                    on_arrival(a.seq, a.slot, a.len, &mut reorder);
+                                                accumulate(want, &mut pending);
+                                            }
+                                        }
+                                        CtrlMsg::MrRequest { session } => {
+                                            assert_eq!(session, SESSION);
+                                            let free = snk_pool.free_count();
+                                            let want = granter.lock().on_request(free);
+                                            accumulate(want, &mut pending);
+                                        }
+                                        CtrlMsg::DatasetComplete {
+                                            total_blocks: t, ..
+                                        } => {
+                                            assert_eq!(t as u64, total_blocks);
+                                        }
+                                        other => panic!("unexpected ctrl at sink: {other:?}"),
+                                    }
+                                }
+                                SinkEvent::Imm { seq, slot, len } => {
+                                    let want = on_arrival(seq, slot, len, &mut reorder);
+                                    accumulate(want, &mut pending);
+                                }
+                            }
+                            if pending.len() >= credit_cap {
+                                flush(&mut pending, &mut ctrl_sent);
                             }
                         }
+                        // Dwell for the flush window on a partial grant
+                        // batch (unbatched mode flushes immediately —
+                        // per-event grants ARE its wire behaviour).
+                        if pending.is_empty() || cfg.ctrl_batch <= 1 {
+                            break;
+                        }
+                        if sink_evt_rx
+                            .recv_batch_timeout(&mut events, 64, cfg.flush_window)
+                            .is_err()
+                        {
+                            break;
+                        }
                     }
+                    flush(&mut pending, &mut ctrl_sent);
                 }
-            });
-        }
+                (ctrl_sent, reorder.ooo_arrivals)
+            })
+        };
         drop(deliver_tx);
 
         // Consumer: verify and free, in order.
         let consumer = {
             let ctrl_tx = ctrl_k2s_tx.clone();
             let (snk_pool, granter, snk_bufs) = (&snk_pool, &granter, &snk_bufs);
-            let (checksum_failures, ctrl_msgs, cfg) = (&checksum_failures, &ctrl_msgs, &cfg);
-            let delivered_ctr = &delivered_ctr;
+            let cfg = &cfg;
             s.spawn(move || {
+                let mut verify_ns = 0u64;
+                let mut checksum_failures = 0u64;
+                let mut ctrl_sent = 0u64;
                 let mut delivered = 0u64;
                 let mut expected_seq = 0u32;
-                #[allow(clippy::explicit_counter_loop)] // the counter IS the protocol invariant
-                for (seq, slot, len) in deliver_rx.iter() {
-                    assert_eq!(seq, expected_seq, "consumer saw out-of-order delivery");
-                    expected_seq += 1;
-                    {
-                        let buf = snk_bufs[slot as usize].lock();
-                        let hdr = PayloadHeader::decode(&buf[..PAYLOAD_HEADER_LEN]).unwrap();
-                        let ok = hdr.session == SESSION
-                            && hdr.seq == seq
-                            && hdr.len == len
-                            && checksum(
-                                &buf[PAYLOAD_HEADER_LEN..PAYLOAD_HEADER_LEN + len as usize],
-                            ) == expected_checksum(SESSION, seq, len);
-                        if !ok {
-                            checksum_failures.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                    snk_pool.lock().put_free(slot).expect("FSM: put_free");
-                    let owed = granter.lock().on_block_freed();
-                    if owed > 0 {
-                        // Answer a starved MrRequest immediately.
-                        let credit = {
-                            let mut pool = snk_pool.lock();
-                            pool.grant().map(|s2| Credit {
-                                slot: s2,
-                                rkey: 0x11FE,
-                                offset: s2 as u64 * cfg.slot_bytes() as u64,
-                                len: cfg.slot_bytes() as u32,
-                            })
-                        };
-                        match credit {
-                            Some(c) => {
-                                granter.lock().note_granted(1);
-                                ctrl_msgs.fetch_add(1, Ordering::Relaxed);
-                                let _ = ctrl_tx.send(encode(&CtrlMsg::Credits {
-                                    session: SESSION,
-                                    credits: vec![c],
-                                }));
-                            }
-                            None => {
-                                // The freed block was granted by the ctrl
-                                // thread in between: the request is still
-                                // owed, keep it pending for the next free.
-                                granter.lock().pending_request = true;
+                let mut drain: Vec<(u32, u32, u32)> = Vec::with_capacity(cfg.pool_blocks as usize);
+                'outer: while deliver_rx
+                    .recv_batch(&mut drain, cfg.pool_blocks as usize)
+                    .is_ok()
+                {
+                    for (seq, slot, len) in drain.drain(..) {
+                        assert_eq!(seq, expected_seq, "consumer saw out-of-order delivery");
+                        expected_seq += 1;
+                        let t0 = Instant::now();
+                        {
+                            let buf = snk_bufs[slot as usize].lock();
+                            let hdr = PayloadHeader::decode(&buf[..PAYLOAD_HEADER_LEN]).unwrap();
+                            let ok = hdr.session == SESSION
+                                && hdr.seq == seq
+                                && hdr.len == len
+                                && checksum(
+                                    &buf[PAYLOAD_HEADER_LEN..PAYLOAD_HEADER_LEN + len as usize],
+                                ) == expected_checksum(SESSION, seq, len);
+                            if !ok {
+                                checksum_failures += 1;
                             }
                         }
-                    }
-                    delivered += 1;
-                    delivered_ctr.fetch_add(1, Ordering::Relaxed);
-                    if delivered == total_blocks {
-                        break;
+                        verify_ns += t0.elapsed().as_nanos() as u64;
+                        snk_pool.put_free(slot).expect("FSM: put_free");
+                        let owed = granter.lock().on_block_freed();
+                        if owed > 0 {
+                            // Answer a starved MrRequest immediately.
+                            match snk_pool.grant() {
+                                Some(s2) => {
+                                    granter.lock().note_granted(1);
+                                    ctrl_sent += 1;
+                                    let msg = if cfg.ctrl_batch <= 1 {
+                                        CtrlMsg::Credits {
+                                            session: SESSION,
+                                            credits: vec![Credit {
+                                                slot: s2,
+                                                rkey: SINK_RKEY,
+                                                offset: s2 as u64 * cfg.slot_bytes() as u64,
+                                                len: cfg.slot_bytes() as u32,
+                                            }],
+                                        }
+                                    } else {
+                                        CtrlMsg::CreditBatch {
+                                            session: SESSION,
+                                            rkey: SINK_RKEY,
+                                            slot_len: cfg.slot_bytes() as u32,
+                                            slots: vec![s2],
+                                        }
+                                    };
+                                    let _ = ctrl_tx.send(encode(&msg));
+                                }
+                                None => {
+                                    // The freed block was granted by the
+                                    // ctrl thread in between: the request
+                                    // is still owed, keep it pending for
+                                    // the next free.
+                                    granter.lock().pending_request = true;
+                                }
+                            }
+                        }
+                        delivered += 1;
+                        if delivered == total_blocks {
+                            break 'outer;
+                        }
                     }
                 }
-                delivered
+                (delivered, checksum_failures, verify_ns, ctrl_sent)
             })
         };
 
         // Close the scope-level clones so channel hangup propagates once
         // the worker threads drop theirs.
-        drop(ctrl_s2k_tx);
+        drop(sink_evt_tx);
         drop(ctrl_k2s_tx);
         drop(data);
 
-        let delivered = consumer.join().expect("consumer panicked");
+        let (delivered, checksum_failures, verify_ns, consumer_ctrl) =
+            consumer.join().expect("consumer panicked");
         done_flag.store(true, Ordering::Relaxed);
-        let ooo = reorder.lock().ooo_arrivals;
-        (ooo, delivered)
+        tally.delivered = delivered;
+        tally.checksum_failures = checksum_failures;
+        tally.stage_ns[3] = verify_ns;
+        tally.ctrl_sent = ctrl_sent_main + consumer_ctrl;
+        ctrl_sent_main = 0;
+
+        for h in loader_handles {
+            tally.stage_ns[0] += h.join().expect("loader panicked");
+        }
+        let (dispatch_ns, disp_ctrl, credit_requests, disp_dropped) =
+            dispatcher.join().expect("dispatcher panicked");
+        tally.stage_ns[1] = dispatch_ns;
+        tally.ctrl_sent += disp_ctrl;
+        tally.credit_requests = credit_requests;
+        tally.dropped = disp_dropped;
+        if let Some(h) = retx_watchdog {
+            let (retransmits, dropped) = h.join().expect("retx watchdog panicked");
+            tally.retransmits = retransmits;
+            tally.dropped += dropped;
+        }
+        tally.ctrl_sent += completion.join().expect("completion panicked");
+        for h in receiver_handles {
+            let (place_ns, duplicates) = h.join().expect("receiver panicked");
+            tally.stage_ns[2] += place_ns;
+            tally.duplicates += duplicates;
+        }
+        let (sink_ctrl_sent, ooo) = sink_ctrl.join().expect("sink ctrl panicked");
+        tally.ctrl_sent += sink_ctrl_sent;
+        tally.ooo = ooo;
+        src_ctrl.join().expect("source ctrl panicked");
     });
 
     let elapsed = start.elapsed();
-    assert_eq!(
-        delivered_blocks, total_blocks,
-        "blocks lost in the pipeline"
-    );
-    src_pool.lock().check_invariants();
-    snk_pool.lock().check_invariants();
+    assert_eq!(tally.delivered, total_blocks, "blocks lost in the pipeline");
+    src_pool.check_invariants();
+    snk_pool.check_invariants();
+    let per_block = |ns: u64| ns as f64 / total_blocks as f64;
     LiveReport {
         bytes: cfg.total_bytes,
         blocks: total_blocks,
         elapsed,
         gbytes_per_sec: cfg.total_bytes as f64 / 1e9 / elapsed.as_secs_f64().max(1e-9),
-        checksum_failures: checksum_failures.load(Ordering::Relaxed),
-        ooo_blocks,
-        ctrl_msgs: ctrl_msgs.load(Ordering::Relaxed),
-        credit_requests: credit_requests.load(Ordering::Relaxed),
-        dropped_payloads: dropped_payloads.load(Ordering::Relaxed),
-        retransmits: retransmits.load(Ordering::Relaxed),
-        duplicate_payloads: duplicate_payloads.load(Ordering::Relaxed),
+        checksum_failures: tally.checksum_failures,
+        ooo_blocks: tally.ooo,
+        ctrl_msgs: tally.ctrl_sent,
+        ctrl_msgs_per_block: tally.ctrl_sent as f64 / total_blocks as f64,
+        credit_requests: tally.credit_requests,
+        dropped_payloads: tally.dropped,
+        retransmits: tally.retransmits,
+        duplicate_payloads: tally.duplicates,
+        stages: StageBreakdown {
+            load_ns: per_block(tally.stage_ns[0]),
+            dispatch_ns: per_block(tally.stage_ns[1]),
+            place_ns: per_block(tally.stage_ns[2]),
+            verify_ns: per_block(tally.stage_ns[3]),
+        },
     }
 }
 
@@ -898,9 +1185,68 @@ mod tests {
         let r = run_live(&cfg);
         assert_eq!(r.blocks, 128 / SCALE);
         assert_eq!(r.checksum_failures, 0);
+        assert!(r.ctrl_msgs > 0, "control traffic must flow");
+    }
+
+    #[test]
+    fn batched_mode_coalesces_below_one_ctrl_per_block() {
+        // Needs a transfer long enough that the steady state dominates
+        // the credit ramp-up (during which messages are small and
+        // frequent by design).
+        let mut cfg = LiveConfig::new(8 * 1024, 8, (16 << 20) / SCALE);
+        cfg.pool_blocks = 32;
+        cfg.loaders = 2;
+        // Debug builds run ~10× slower, so stretch the dwell to keep the
+        // inter-ack gap inside the window (the default is tuned for
+        // release-speed service times).
+        cfg.flush_window = std::time::Duration::from_micros(500);
+        let r = run_live(&cfg);
+        assert_eq!(r.checksum_failures, 0);
         assert!(
-            r.ctrl_msgs > 2 * r.blocks,
-            "notifications + credits must flow"
+            r.ctrl_msgs_per_block < 1.0,
+            "batched mode must coalesce control traffic below one message \
+             per block, got {:.2} ({} msgs / {} blocks)",
+            r.ctrl_msgs_per_block,
+            r.ctrl_msgs,
+            r.blocks
+        );
+    }
+
+    #[test]
+    fn unbatched_mode_sends_per_block_control() {
+        let mut cfg = LiveConfig::new(64 * 1024, 2, (8 << 20) / SCALE);
+        cfg.ctrl_batch = 1;
+        let r = run_live(&cfg);
+        assert_eq!(r.checksum_failures, 0);
+        // One BlockComplete per block plus credit grants.
+        assert!(
+            r.ctrl_msgs as f64 >= 1.5 * r.blocks as f64,
+            "unbatched wire must pay per-block control: {} msgs for {} blocks",
+            r.ctrl_msgs,
+            r.blocks
+        );
+    }
+
+    #[test]
+    fn batched_and_unbatched_deliver_identical_bytes() {
+        // Coalescing is a wire-format change only: both modes must
+        // byte-verify every block and deliver the same count.
+        let mk = |batch: usize| {
+            let mut cfg = LiveConfig::new(32 * 1024, 3, (6 << 20) / SCALE);
+            cfg.pool_blocks = 8;
+            cfg.ctrl_batch = batch;
+            run_live(&cfg)
+        };
+        let batched = mk(MAX_ACKS_PER_BATCH);
+        let unbatched = mk(1);
+        assert_eq!(batched.checksum_failures, 0);
+        assert_eq!(unbatched.checksum_failures, 0);
+        assert_eq!(batched.blocks, unbatched.blocks);
+        assert!(
+            batched.ctrl_msgs < unbatched.ctrl_msgs,
+            "coalescing must cut message count: {} vs {}",
+            batched.ctrl_msgs,
+            unbatched.ctrl_msgs
         );
     }
 
@@ -943,11 +1289,10 @@ mod tests {
 
     #[test]
     fn throughput_is_real() {
-        // The full pipeline: loaders pattern-fill, two copies per block
-        // (both through recycled slots), checksum verification. Release
-        // builds should beat 0.2 GB/s on any machine; debug builds run a
-        // reduced volume with a token floor (the word loops are
-        // unoptimized there).
+        // The full pipeline: loaders pattern-fill, one placement copy per
+        // block, checksum verification. Release builds should beat
+        // 0.2 GB/s on any machine; debug builds run a reduced volume with
+        // a token floor (the word loops are unoptimized there).
         let mut cfg = LiveConfig::new(1 << 20, 4, (256 << 20) / SCALE);
         cfg.pool_blocks = 32;
         cfg.loaders = 4;
@@ -959,6 +1304,10 @@ mod tests {
             "pipeline too slow: {:.3} GB/s",
             r.gbytes_per_sec
         );
+        // The per-stage clocks must account for real work.
+        assert!(r.stages.load_ns > 0.0);
+        assert!(r.stages.place_ns > 0.0);
+        assert!(r.stages.verify_ns > 0.0);
     }
 
     #[test]
@@ -997,7 +1346,8 @@ mod tests {
     #[test]
     fn dropped_payloads_are_retransmitted_end_to_end() {
         // One in five payloads vanishes on the wire; the watchdog must
-        // re-send until every block lands, byte-verified and in order.
+        // re-send until every block lands, byte-verified and in order —
+        // with control coalescing enabled (the default).
         let mut cfg = LiveConfig::new(32 * 1024, 2, (4 << 20) / SCALE);
         cfg.pool_blocks = 8;
         cfg.loaders = 2;
@@ -1014,6 +1364,19 @@ mod tests {
             r.dropped_payloads,
             r.retransmits
         );
+    }
+
+    #[test]
+    fn dropped_payloads_recover_in_unbatched_mode() {
+        let mut cfg = LiveConfig::new(32 * 1024, 2, (2 << 20) / SCALE);
+        cfg.pool_blocks = 6;
+        cfg.ctrl_batch = 1;
+        cfg.fault_drop_p = 0.15;
+        cfg.fault_seed = 3;
+        cfg.retx_timeout = std::time::Duration::from_millis(25);
+        let r = run_live(&cfg);
+        assert_eq!(r.checksum_failures, 0);
+        assert!(r.dropped_payloads >= 1, "fault injector never fired");
     }
 
     #[test]
@@ -1039,5 +1402,17 @@ mod tests {
             let r = run_live(&cfg);
             assert_eq!(r.checksum_failures, 0, "iteration {i}");
         }
+    }
+
+    #[test]
+    fn atomic_bitmap_claims_each_bit_once() {
+        let bm = AtomicBitmap::new(130);
+        assert!(bm.claim(0));
+        assert!(!bm.claim(0));
+        assert!(bm.claim(64));
+        assert!(bm.claim(129));
+        assert!(!bm.claim(64));
+        assert!(!bm.claim(129));
+        assert!(bm.claim(63));
     }
 }

@@ -23,6 +23,7 @@ proptest! {
         grant in 1u32..=4,
         initial in 1u32..=8,
         notify_imm in any::<bool>(),
+        ctrl_batch in 1usize..=16,
         blocks in 1u64..=48,
     ) {
         let block_size = (block_kb * 1024) as usize;
@@ -37,6 +38,7 @@ proptest! {
         cfg.grant_per_completion = grant;
         cfg.initial_credits = initial;
         cfg.notify_imm = notify_imm;
+        cfg.ctrl_batch = ctrl_batch;
         let r = run_live(&cfg);
         prop_assert_eq!(r.checksum_failures, 0);
         prop_assert_eq!(r.blocks, cfg.total_bytes.div_ceil(block_size as u64));

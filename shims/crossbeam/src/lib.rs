@@ -112,6 +112,74 @@ pub mod channel {
             }
         }
 
+        /// Blocking batch receive: wait until at least one value is
+        /// available (or the channel disconnects and drains), then move
+        /// up to `max` queued values into `out` under a single lock
+        /// acquisition. Returns how many were appended. The batch form is
+        /// what keeps a multi-stage pipeline's per-item cost flat: one
+        /// wakeup and one lock round-trip amortize over the whole drain.
+        pub fn recv_batch(&self, out: &mut Vec<T>, max: usize) -> Result<usize, RecvError> {
+            let max = max.max(1);
+            let mut inner = self.0.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if !inner.queue.is_empty() {
+                    let n = max.min(inner.queue.len());
+                    out.extend(inner.queue.drain(..n));
+                    drop(inner);
+                    // Senders may have been blocked on a full queue; a
+                    // batch drain can free many slots at once.
+                    self.0.not_full.notify_all();
+                    return Ok(n);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self
+                    .0
+                    .not_empty
+                    .wait(inner)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// [`recv_batch`](Receiver::recv_batch) with a deadline: wait at
+        /// most `timeout` for the first value. `Err(Empty)` on timeout,
+        /// `Err(Disconnected)` when drained with no senders left. The
+        /// timed form is what a coalescing stage needs — "drain whatever
+        /// arrives within the flush window, then move on".
+        pub fn recv_batch_timeout(
+            &self,
+            out: &mut Vec<T>,
+            max: usize,
+            timeout: std::time::Duration,
+        ) -> Result<usize, TryRecvError> {
+            let max = max.max(1);
+            let deadline = std::time::Instant::now() + timeout;
+            let mut inner = self.0.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if !inner.queue.is_empty() {
+                    let n = max.min(inner.queue.len());
+                    out.extend(inner.queue.drain(..n));
+                    drop(inner);
+                    self.0.not_full.notify_all();
+                    return Ok(n);
+                }
+                if inner.senders == 0 {
+                    return Err(TryRecvError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(TryRecvError::Empty);
+                }
+                let (guard, _) = self
+                    .0
+                    .not_empty
+                    .wait_timeout(inner, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                inner = guard;
+            }
+        }
+
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut inner = self.0.inner.lock().unwrap_or_else(PoisonError::into_inner);
             if let Some(v) = inner.queue.pop_front() {
@@ -306,6 +374,59 @@ mod tests {
         let got: Vec<u32> = rx.iter().collect();
         t.join().unwrap();
         assert_eq!(got, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_batch_drains_up_to_max_then_blocks() {
+        let (tx, rx) = bounded(8);
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(rx.recv_batch(&mut out, 3), Ok(3));
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(rx.recv_batch(&mut out, 16), Ok(2));
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        drop(tx);
+        assert_eq!(rx.recv_batch(&mut out, 16), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_batch_wakes_blocked_senders() {
+        let (tx, rx) = bounded(2);
+        tx.send(0).unwrap();
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || {
+            tx.send(2).unwrap(); // blocks until the drain frees a slot
+            tx.send(3).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let mut out = Vec::new();
+        rx.recv_batch(&mut out, 2).unwrap();
+        t.join().unwrap();
+        rx.recv_batch(&mut out, 2).unwrap();
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn recv_batch_timeout_times_out_then_drains() {
+        let (tx, rx) = bounded(8);
+        let mut out: Vec<u32> = Vec::new();
+        assert_eq!(
+            rx.recv_batch_timeout(&mut out, 8, Duration::from_millis(5)),
+            Err(TryRecvError::Empty)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(
+            rx.recv_batch_timeout(&mut out, 8, Duration::from_millis(5)),
+            Ok(1)
+        );
+        assert_eq!(out, vec![9]);
+        drop(tx);
+        assert_eq!(
+            rx.recv_batch_timeout(&mut out, 8, Duration::from_millis(5)),
+            Err(TryRecvError::Disconnected)
+        );
     }
 
     #[test]
