@@ -29,6 +29,55 @@ pub enum ConsumeMode {
     Disk { rate: Bandwidth, direct_io: bool },
 }
 
+/// A storage profile shared by the simulated harness and the live
+/// pipeline — one description of a device drives both worlds.
+///
+/// The simulator consumes the `rate`/`direct_io` pair (via
+/// [`StoreConfig::consume_mode`]) as a rate-limited FIFO device plus the
+/// per-byte CPU cost of the chosen I/O mode. The live pipeline consumes
+/// `direct_io` (open files with `O_DIRECT` when the filesystem allows)
+/// and `readahead` (how many blocks the loader threads may hold in
+/// flight ahead of the network — the disk/network overlap depth).
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    pub name: &'static str,
+    /// Sustained sequential streaming rate (simulated device model).
+    pub rate: Bandwidth,
+    /// Use direct I/O (bypass the page cache). RFTP enables this; the
+    /// paper notes GridFTP had not integrated direct I/O.
+    pub direct_io: bool,
+    /// Read-ahead depth for the live pipeline: the maximum number of
+    /// source blocks in flight (loading/loaded/sending/unacked) at once.
+    /// `0` serializes the transfer one block at a time (no disk/network
+    /// overlap); `u32::MAX` lets the loaders fill the whole pool.
+    pub readahead: u32,
+}
+
+impl StoreConfig {
+    pub fn new(name: &'static str, rate: Bandwidth, direct_io: bool) -> StoreConfig {
+        StoreConfig {
+            name,
+            rate,
+            direct_io,
+            readahead: u32::MAX,
+        }
+    }
+
+    /// Flip to buffered POSIX writes (what GridFTP would do).
+    pub fn buffered(mut self) -> StoreConfig {
+        self.direct_io = false;
+        self
+    }
+
+    /// The simulated-sink view of this device.
+    pub fn consume_mode(&self) -> ConsumeMode {
+        ConsumeMode::Disk {
+            rate: self.rate,
+            direct_io: self.direct_io,
+        }
+    }
+}
+
 /// Loss-recovery policy (retransmit watchdog + session resume).
 ///
 /// The watchdog re-sends blocks whose completion never arrived (lost

@@ -56,7 +56,7 @@ pub mod wire;
 pub use rftp_fabric::pattern;
 
 pub use block::{FsmError, SnkState, SrcState};
-pub use config::{ConsumeMode, NotifyMode, RecoveryConfig, SinkConfig, SourceConfig};
+pub use config::{ConsumeMode, NotifyMode, RecoveryConfig, SinkConfig, SourceConfig, StoreConfig};
 pub use credit::{CreditMode, CreditStock, Granter};
 pub use duplex::DuplexEngine;
 pub use engine::{SinkEngine, SourceEngine, CTRL_RING_SLOTS};

@@ -421,6 +421,15 @@ impl AtomicSourcePool {
         self.free.len()
     }
 
+    /// Blocks currently held by the pipeline (not `Free`) — the free-depth
+    /// watermark read-ahead pacing keys off: loaders stop prefetching once
+    /// `in_flight()` reaches the configured read-ahead depth, so the pool's
+    /// free depth is the throttle. Approximate under concurrency (exact
+    /// when quiescent), which is all pacing needs.
+    pub fn in_flight(&self) -> usize {
+        (self.geo.blocks as usize).saturating_sub(self.free.len())
+    }
+
     fn transition(
         &self,
         i: BlockIdx,
@@ -683,6 +692,23 @@ mod tests {
         let order: Vec<_> = (0..8).map(|_| p.grant().unwrap()).collect();
         assert_eq!(order[6], a);
         assert_eq!(order[7], b);
+    }
+
+    #[test]
+    fn atomic_source_pool_in_flight_watermark() {
+        let p = AtomicSourcePool::new(geo());
+        assert_eq!(p.in_flight(), 0);
+        let a = p.get_free().unwrap();
+        let b = p.get_free().unwrap();
+        assert_eq!(p.in_flight(), 2);
+        p.loaded(a).unwrap();
+        p.start_sending(a).unwrap();
+        p.posted(a).unwrap();
+        p.complete(a).unwrap();
+        assert_eq!(p.in_flight(), 1);
+        p.abandon(b).unwrap();
+        assert_eq!(p.in_flight(), 0);
+        p.check_invariants();
     }
 
     #[test]

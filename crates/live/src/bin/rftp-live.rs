@@ -7,10 +7,12 @@
 //! ```text
 //! rftp-live --size 1G --block 256K --channels 8 --loaders 4
 //! rftp-live --batch 1 --fault drop=0.05       # unbatched wire + loss
+//! rftp-live --src-file A --dst-file B --direct   # disk to disk
 //! rftp-live --help
 //! ```
 
-use rftp_live::{run_live, LiveConfig};
+use rftp_live::{try_run_live, LiveConfig};
+use std::path::PathBuf;
 
 struct Args {
     size: u64,
@@ -22,6 +24,10 @@ struct Args {
     depth: usize,
     notify_imm: bool,
     fault_drop_p: f64,
+    src_file: Option<PathBuf>,
+    dst_file: Option<PathBuf>,
+    direct: bool,
+    readahead: u32,
 }
 
 fn parse_size(s: &str) -> Option<u64> {
@@ -39,7 +45,8 @@ const HELP: &str = "rftp-live: the RFTP pipeline on real OS threads
 USAGE: rftp-live [OPTIONS]
 
 OPTIONS:
-  --size <SIZE>      total payload, e.g. 1G (default 256M)
+  --size <SIZE>      total payload, e.g. 1G (default 256M; in file mode
+                     defaults to the source file's length)
   --block <SIZE>     block size, e.g. 256K (default 256K)
   --channels <N>     parallel data channels (default 4)
   --loaders <N>      source loader threads (default 2)
@@ -50,11 +57,40 @@ OPTIONS:
   --notify-imm       in-band arrival notification (WRITE_WITH_IMM)
   --fault drop=<P>   drop each payload with probability P (exercises
                      the retransmit path)
+  --src-file <PATH>  read payload from this file instead of pattern fill
+  --dst-file <PATH>  write-behind placed blocks into this file instead
+                     of checksum-verifying
+  --direct           open files O_DIRECT where the filesystem allows
+                     (falls back to buffered + fadvise elsewhere)
+  --readahead <N>    read-ahead depth: source blocks in flight beyond
+                     the one in service; 0 = no disk/network overlap
+                     (default: fill the pool)
   --help             this text";
+
+/// One step of the flag loop: consume the flag's value argument and
+/// parse it, with uniform missing-value / bad-value errors. The
+/// `FromStr` route covers counts and probabilities; sizes and paths go
+/// through `map`-style wrappers below.
+fn flag_value(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    it.next().ok_or_else(|| format!("missing value for {flag}"))
+}
+
+fn flag_parse<T: std::str::FromStr>(
+    it: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> Result<T, String> {
+    flag_value(it, flag)?
+        .parse()
+        .map_err(|_| format!("bad {flag}"))
+}
+
+fn flag_size(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<u64, String> {
+    parse_size(&flag_value(it, flag)?).ok_or_else(|| format!("bad {flag}"))
+}
 
 fn parse_args() -> Result<Args, String> {
     let mut a = Args {
-        size: 256 << 20,
+        size: 0, // resolved after the loop: explicit > src-file len > 256M
         block: 256 << 10,
         channels: 4,
         loaders: 2,
@@ -63,23 +99,24 @@ fn parse_args() -> Result<Args, String> {
         depth: 8,
         notify_imm: false,
         fault_drop_p: 0.0,
+        src_file: None,
+        dst_file: None,
+        direct: false,
+        readahead: u32::MAX,
     };
-    let mut it = std::env::args().skip(1);
+    let it = &mut std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
-            "--size" => a.size = parse_size(&val("--size")?).ok_or("bad --size")?,
-            "--block" => a.block = parse_size(&val("--block")?).ok_or("bad --block")?,
-            "--channels" => {
-                a.channels = val("--channels")?.parse().map_err(|_| "bad --channels")?
-            }
-            "--loaders" => a.loaders = val("--loaders")?.parse().map_err(|_| "bad --loaders")?,
-            "--batch" => a.batch = val("--batch")?.parse().map_err(|_| "bad --batch")?,
-            "--pool" => a.pool = val("--pool")?.parse().map_err(|_| "bad --pool")?,
-            "--depth" => a.depth = val("--depth")?.parse().map_err(|_| "bad --depth")?,
+            "--size" => a.size = flag_size(it, "--size")?,
+            "--block" => a.block = flag_size(it, "--block")?,
+            "--channels" => a.channels = flag_parse(it, "--channels")?,
+            "--loaders" => a.loaders = flag_parse(it, "--loaders")?,
+            "--batch" => a.batch = flag_parse(it, "--batch")?,
+            "--pool" => a.pool = flag_parse(it, "--pool")?,
+            "--depth" => a.depth = flag_parse(it, "--depth")?,
             "--notify-imm" => a.notify_imm = true,
             "--fault" => {
-                let v = val("--fault")?;
+                let v = flag_value(it, "--fault")?;
                 let p = v
                     .strip_prefix("drop=")
                     .and_then(|p| p.parse::<f64>().ok())
@@ -89,11 +126,26 @@ fn parse_args() -> Result<Args, String> {
                 }
                 a.fault_drop_p = p;
             }
+            "--src-file" => a.src_file = Some(PathBuf::from(flag_value(it, "--src-file")?)),
+            "--dst-file" => a.dst_file = Some(PathBuf::from(flag_value(it, "--dst-file")?)),
+            "--direct" => a.direct = true,
+            "--readahead" => a.readahead = flag_parse(it, "--readahead")?,
             "--help" | "-h" => {
                 println!("{HELP}");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other} (see --help)")),
+        }
+    }
+    if a.size == 0 {
+        a.size = match &a.src_file {
+            Some(p) => std::fs::metadata(p)
+                .map_err(|e| format!("--src-file {}: {e}", p.display()))?
+                .len(),
+            None => 256 << 20,
+        };
+        if a.size == 0 {
+            return Err("source file is empty".into());
         }
     }
     if a.channels == 0 || a.loaders == 0 || a.batch == 0 || a.pool == 0 || a.depth == 0 {
@@ -117,6 +169,10 @@ fn main() {
     cfg.channel_depth = a.depth;
     cfg.notify_imm = a.notify_imm;
     cfg.fault_drop_p = a.fault_drop_p;
+    cfg.src_file = a.src_file.clone();
+    cfg.dst_file = a.dst_file.clone();
+    cfg.direct_io = a.direct;
+    cfg.readahead = a.readahead;
 
     println!(
         "rftp-live: {} MB in {} KB blocks, {} channels, {} loaders, batch {}{}{}",
@@ -132,7 +188,30 @@ fn main() {
             String::new()
         }
     );
-    let r = run_live(&cfg);
+    if a.src_file.is_some() || a.dst_file.is_some() {
+        println!(
+            "  storage: {} -> {}, {}, readahead {}",
+            a.src_file
+                .as_deref()
+                .map_or("<pattern>".into(), |p| p.display().to_string()),
+            a.dst_file
+                .as_deref()
+                .map_or("<verify>".into(), |p| p.display().to_string()),
+            if a.direct { "O_DIRECT" } else { "buffered" },
+            if a.readahead == u32::MAX {
+                "pool".into()
+            } else {
+                a.readahead.to_string()
+            }
+        );
+    }
+    let r = match try_run_live(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rftp-live: storage error: {e}");
+            std::process::exit(1);
+        }
+    };
     println!(
         "\n  {:.3} GB/s   {} blocks in {:.3} s",
         r.gbytes_per_sec,
@@ -144,13 +223,28 @@ fn main() {
         r.ctrl_msgs, r.ctrl_msgs_per_block, r.credit_requests
     );
     println!(
-        "  stages (ns/block): load {:.0}  dispatch {:.0}  place {:.0}  verify {:.0}",
-        r.stages.load_ns, r.stages.dispatch_ns, r.stages.place_ns, r.stages.verify_ns
+        "  stages (ns/block): load {:.0}  dispatch {:.0}  place {:.0}  verify {:.0}  flush {:.0}  sync {:.0}",
+        r.stages.load_ns,
+        r.stages.dispatch_ns,
+        r.stages.place_ns,
+        r.stages.verify_ns,
+        r.stages.flush_ns,
+        r.stages.sync_ns
     );
     println!(
         "  integrity: {} checksum failures, {} out-of-order arrivals, {} duplicates",
         r.checksum_failures, r.ooo_blocks, r.duplicate_payloads
     );
+    if a.src_file.is_some() || a.dst_file.is_some() {
+        println!(
+            "  direct I/O: {}",
+            if r.direct_io_active {
+                "active"
+            } else {
+                "buffered fallback"
+            }
+        );
+    }
     if a.fault_drop_p > 0.0 {
         println!(
             "  faults: {} payloads dropped, {} retransmitted",

@@ -17,7 +17,16 @@
 //! A transfer moves pattern data end to end with header validation and
 //! checksum verification at the sink, and reports real wall-clock
 //! throughput (this is actual memory bandwidth, typically several GB/s).
+//!
+//! With a source and/or destination file configured, the same pipeline
+//! runs **disk to disk**: the `store` module supplies an aligned,
+//! `O_DIRECT`-capable block reader and a write-behind sink that `pwrite`s
+//! each block at its final offset the moment it is placed — loaders
+//! become the read-ahead scheduler and sparse placement is the
+//! reassembly.
 
 pub mod pipeline;
+pub mod store;
 
-pub use pipeline::{run_live, LiveConfig, LiveReport};
+pub use pipeline::{run_live, try_run_live, LiveConfig, LiveReport, StageBreakdown};
+pub use store::{FileSink, FileSource, RatePacer, SlotBuf, STORE_ALIGN};

@@ -46,6 +46,7 @@
 //!   locals (including per-stage nanosecond clocks) and the report
 //!   merges them at join.
 
+use crate::store::{FileSink, FileSource, RatePacer, SlotBuf};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use rftp_core::engine::{expected_checksum, pattern_seed as engine_pattern_seed};
@@ -55,6 +56,7 @@ use rftp_core::wire::{
     MAX_CREDITS_PER_MSG, MAX_SLOTS_PER_CREDIT_BATCH, PAYLOAD_HEADER_LEN,
 };
 use rftp_core::{AtomicSinkPool, AtomicSourcePool, IndexQueue, PoolGeometry, ReorderBuffer};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -108,6 +110,27 @@ pub struct LiveConfig {
     /// (the watchdog only runs when `fault_drop_p > 0`). Must comfortably
     /// exceed the pipeline's ack latency or healthy blocks are re-sent.
     pub retx_timeout: std::time::Duration,
+    /// Source backend: read blocks from this file instead of filling
+    /// pattern data. The file must hold at least `total_bytes`.
+    pub src_file: Option<PathBuf>,
+    /// Sink backend: `pwrite` placed blocks into this file (created and
+    /// pre-sized) instead of checksum-verifying pattern data.
+    pub dst_file: Option<PathBuf>,
+    /// Open storage with `O_DIRECT` where the filesystem allows it
+    /// (silently degrades to buffered I/O + `posix_fadvise` elsewhere).
+    pub direct_io: bool,
+    /// Model the source device's service rate, bytes/second: block reads
+    /// are paced on a shared device timeline so a tmpfs- or page-cache-
+    /// backed file behaves like the device a [`rftp_core::StoreConfig`]
+    /// profile describes. `None` (default) reads at backing-store speed.
+    pub src_rate: Option<f64>,
+    /// Read-ahead depth: maximum source blocks in flight (loading →
+    /// unacked) at once, i.e. how far the loaders may run ahead of the
+    /// network. `0` serializes one block at a time (no disk/network
+    /// overlap); `u32::MAX` (the default) lets the loaders fill the
+    /// whole pool. Pacing keys off the source pool's free-depth
+    /// watermark, so it costs nothing when the pool itself is the bound.
+    pub readahead: u32,
 }
 
 impl LiveConfig {
@@ -135,7 +158,21 @@ impl LiveConfig {
             fault_drop_p: 0.0,
             fault_seed: 0xFA_017,
             retx_timeout: std::time::Duration::from_millis(100),
+            src_file: None,
+            dst_file: None,
+            direct_io: false,
+            src_rate: None,
+            readahead: u32::MAX,
         }
+    }
+
+    /// Adopt a storage profile (the same [`rftp_core::StoreConfig`]s the
+    /// simulated disk harness consumes): I/O mode, modeled device rate,
+    /// and read-ahead depth.
+    pub fn apply_store(&mut self, store: &rftp_core::StoreConfig) {
+        self.direct_io = store.direct_io;
+        self.src_rate = Some(store.rate.bits_per_sec() as f64 / 8.0);
+        self.readahead = store.readahead;
     }
 
     fn total_blocks(&self) -> u64 {
@@ -162,7 +199,7 @@ impl LiveConfig {
 /// pools, so their clocks add).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StageBreakdown {
-    /// Header encode + pattern fill at the loaders.
+    /// Header encode + pattern fill (or source-file read) at the loaders.
     pub load_ns: f64,
     /// Credit pairing, FSM transitions, and channel send at the dispatcher.
     pub dispatch_ns: f64,
@@ -170,6 +207,12 @@ pub struct StageBreakdown {
     pub place_ns: f64,
     /// Header + checksum verification at the consumer.
     pub verify_ns: f64,
+    /// Write-behind `pwrite` to the sink file at the receivers (zero in
+    /// pattern mode).
+    pub flush_ns: f64,
+    /// The dataset-completion `fdatasync`, amortized per block (zero in
+    /// pattern mode).
+    pub sync_ns: f64,
 }
 
 /// Results of a live transfer.
@@ -200,6 +243,26 @@ pub struct LiveReport {
     pub duplicate_payloads: u64,
     /// Per-stage cost of a block, merged from per-thread clocks at join.
     pub stages: StageBreakdown,
+    /// Whether storage I/O actually went through `O_DIRECT` (false in
+    /// pattern mode, or when the filesystem rejected the flag and the
+    /// buffered fallback served the transfer).
+    pub direct_io_active: bool,
+}
+
+/// Where the loaders get payload bytes.
+enum SrcBackend {
+    /// Synthetic seeded pattern (the memory-to-memory experiments).
+    Pattern,
+    /// Aligned block reads from a real file.
+    File(FileSource),
+}
+
+/// Where placed payload goes.
+enum SnkBackend {
+    /// Checksum-verify the pattern and discard.
+    Verify,
+    /// Write-behind `pwrite` into a real file at `seq * block_size`.
+    File(FileSink),
 }
 
 /// One in-flight data block on a channel. Carries the source block
@@ -345,16 +408,64 @@ enum SinkEvent {
 }
 
 /// Run one transfer; blocks until completion and returns the report.
-/// Panics on protocol violations (they are bugs, not runtime conditions).
+/// Panics on protocol violations (they are bugs, not runtime conditions)
+/// *and* on storage errors — use [`try_run_live`] to surface the latter.
 pub fn run_live(cfg: &LiveConfig) -> LiveReport {
+    try_run_live(cfg).expect("storage backend failed")
+}
+
+/// [`run_live`], but storage errors (missing source file, unwritable
+/// destination, short source) come back as `Err` instead of a panic.
+pub fn try_run_live(cfg: &LiveConfig) -> std::io::Result<LiveReport> {
     assert!(cfg.channels >= 1 && cfg.loaders >= 1 && cfg.total_bytes > 0);
     let total_blocks = cfg.total_blocks();
     let geo = PoolGeometry::new(cfg.block_size as u64, cfg.pool_blocks);
 
+    // ---- storage backends ----
+    let src_backend = match &cfg.src_file {
+        Some(path) => {
+            let f = FileSource::open(path, cfg.direct_io)?;
+            if f.len() < cfg.total_bytes {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!(
+                        "source file {} holds {} bytes, transfer wants {}",
+                        path.display(),
+                        f.len(),
+                        cfg.total_bytes
+                    ),
+                ));
+            }
+            SrcBackend::File(f)
+        }
+        None => SrcBackend::Pattern,
+    };
+    let snk_backend = match &cfg.dst_file {
+        Some(path) => SnkBackend::File(FileSink::create(path, cfg.total_bytes, cfg.direct_io)?),
+        None => SnkBackend::Verify,
+    };
+    let direct_io_active = match (&src_backend, &snk_backend) {
+        (SrcBackend::File(s), SnkBackend::File(d)) => s.direct_active() || d.direct_active(),
+        (SrcBackend::File(s), _) => s.direct_active(),
+        (_, SnkBackend::File(d)) => d.direct_active(),
+        _ => false,
+    };
+    // Read-ahead limit: how many blocks the source side may hold
+    // concurrently. +1 because "no read-ahead" still needs the block in
+    // service; capped at the pool, where the existing free-list wait
+    // already throttles.
+    let ra_limit = (cfg.readahead.saturating_add(1)).min(cfg.pool_blocks) as usize;
+    // Modeled-device pacing only applies where there is a device to
+    // model: a pattern source has no read stage.
+    let pacer = match &src_backend {
+        SrcBackend::File(_) => cfg.src_rate.map(RatePacer::new),
+        SrcBackend::Pattern => None,
+    };
+
     // ---- shared source state ----
     let src_pool = AtomicSourcePool::new(geo);
-    let src_bufs: Vec<Mutex<Box<[u8]>>> = (0..cfg.pool_blocks)
-        .map(|_| Mutex::new(vec![0u8; cfg.slot_bytes()].into_boxed_slice()))
+    let src_bufs: Vec<Mutex<SlotBuf>> = (0..cfg.pool_blocks)
+        .map(|_| Mutex::new(SlotBuf::new(cfg.block_size)))
         .collect();
     let stock = CreditSlots::new(cfg.pool_blocks);
     let inflight: Vec<Mutex<Option<InFlightInfo>>> =
@@ -368,8 +479,8 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
         cfg.grant_per_completion,
         4,
     ));
-    let snk_bufs: Vec<Mutex<Box<[u8]>>> = (0..cfg.pool_blocks)
-        .map(|_| Mutex::new(vec![0u8; cfg.slot_bytes()].into_boxed_slice()))
+    let snk_bufs: Vec<Mutex<SlotBuf>> = (0..cfg.pool_blocks)
+        .map(|_| Mutex::new(SlotBuf::new(cfg.block_size)))
         .collect();
     let placed = AtomicBitmap::new(total_blocks);
 
@@ -409,7 +520,7 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
         checksum_failures: u64,
         delivered: u64,
         ooo: u64,
-        stage_ns: [u64; 4], // load, dispatch, place, verify
+        stage_ns: [u64; 5], // load, dispatch, place, verify, flush
     }
     let mut tally = Tally {
         ctrl_sent: 0,
@@ -420,7 +531,7 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
         checksum_failures: 0,
         delivered: 0,
         ooo: 0,
-        stage_ns: [0; 4],
+        stage_ns: [0; 5],
     };
 
     std::thread::scope(|s| {
@@ -454,6 +565,7 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
             .map(|_| {
                 let loaded_tx = loaded_tx.clone();
                 let src_pool = &src_pool;
+                let (src_backend, pacer) = (&src_backend, &pacer);
                 let (src_bufs, inflight, next_seq, cfg) = (&src_bufs, &inflight, &next_seq, &cfg);
                 s.spawn(move || {
                     let mut load_ns = 0u64;
@@ -464,13 +576,23 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
                         // the one the in-order pipeline needs next (the
                         // second face of the head-of-line hazard described
                         // at the dispatcher).
+                        //
+                        // Read-ahead pacing rides the same wait: a loader
+                        // only prefetches while the source pool's
+                        // free-depth watermark says fewer than `ra_limit`
+                        // blocks are in flight. At the default (full-pool)
+                        // depth the check is equivalent to the free-list
+                        // wait below; at `readahead = 0` it serializes
+                        // the transfer for overlap-ablation runs.
                         let mut spins = 0;
                         let block = loop {
                             if next_seq.load(Ordering::Relaxed) >= total_blocks {
                                 return load_ns;
                             }
-                            if let Some(b) = src_pool.get_free() {
-                                break b;
+                            if src_pool.in_flight() < ra_limit {
+                                if let Some(b) = src_pool.get_free() {
+                                    break b;
+                                }
                             }
                             backoff(&mut spins);
                         };
@@ -492,10 +614,27 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
                                 len,
                             }
                             .encode(&mut buf[..PAYLOAD_HEADER_LEN]);
-                            fill_pattern(
-                                &mut buf[PAYLOAD_HEADER_LEN..PAYLOAD_HEADER_LEN + len as usize],
-                                pattern_seed(seq as u32),
-                            );
+                            match src_backend {
+                                SrcBackend::Pattern => fill_pattern(
+                                    &mut buf[PAYLOAD_HEADER_LEN..PAYLOAD_HEADER_LEN + len as usize],
+                                    pattern_seed(seq as u32),
+                                ),
+                                // The payload region of a SlotBuf starts
+                                // on the 4 KiB boundary, so this read is
+                                // O_DIRECT-eligible straight into the
+                                // registered block.
+                                SrcBackend::File(f) => {
+                                    f.read_block(
+                                        &mut buf[PAYLOAD_HEADER_LEN..],
+                                        len as usize,
+                                        offset,
+                                    )
+                                    .expect("source file read");
+                                    if let Some(p) = pacer {
+                                        p.pace(len as usize);
+                                    }
+                                }
+                            }
                         }
                         load_ns += t0.elapsed().as_nanos() as u64;
                         *inflight[block as usize].lock() = Some(InFlightInfo {
@@ -803,9 +942,11 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
                 let ack_tx = ack_tx.clone();
                 let evt_tx = sink_evt_tx.clone();
                 let (src_bufs, snk_bufs, placed) = (&src_bufs, &snk_bufs, &placed);
+                let snk_backend = &snk_backend;
                 let cfg = &cfg;
                 s.spawn(move || {
                     let mut place_ns = 0u64;
+                    let mut flush_ns = 0u64;
                     let mut duplicates = 0u64;
                     let mut batch: Vec<DataMsg> = Vec::with_capacity(cfg.channel_depth);
                     let mut acks: Vec<u32> = Vec::with_capacity(cfg.channel_depth);
@@ -824,13 +965,47 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
                             let wire_len = msg.len as usize + PAYLOAD_HEADER_LEN;
                             let t0 = Instant::now();
                             {
-                                // The RDMA WRITE: one copy, registered
-                                // source block → credited sink slot.
                                 let src = src_bufs[msg.src_block as usize].lock();
                                 let mut dst = snk_bufs[msg.slot as usize].lock();
-                                dst[..wire_len].copy_from_slice(&src[..wire_len]);
+                                match snk_backend {
+                                    SnkBackend::Verify => {
+                                        // The RDMA WRITE: one copy,
+                                        // registered source block →
+                                        // credited sink slot.
+                                        dst[..wire_len].copy_from_slice(&src[..wire_len]);
+                                        place_ns += t0.elapsed().as_nanos() as u64;
+                                    }
+                                    SnkBackend::File(sink) => {
+                                        // Write-behind placement: in file
+                                        // mode the file page IS the sink
+                                        // memory, so the WRITE goes
+                                        // straight from the registered
+                                        // source block to the block's
+                                        // final offset — one copy per
+                                        // block, same as pattern mode,
+                                        // and sparse placement is the
+                                        // reassembly. The credited slot
+                                        // receives only the header, for
+                                        // the consumer's in-order
+                                        // validation. The source block
+                                        // stays pinned (Waiting) until
+                                        // the ack this placement
+                                        // triggers, so the buffer is
+                                        // stable for the whole pwrite.
+                                        dst[..PAYLOAD_HEADER_LEN]
+                                            .copy_from_slice(&src[..PAYLOAD_HEADER_LEN]);
+                                        place_ns += t0.elapsed().as_nanos() as u64;
+                                        let t1 = Instant::now();
+                                        sink.write_block(
+                                            &src[PAYLOAD_HEADER_LEN
+                                                ..PAYLOAD_HEADER_LEN + msg.len as usize],
+                                            msg.seq as u64 * cfg.block_size as u64,
+                                        )
+                                        .expect("sink file write");
+                                        flush_ns += t1.elapsed().as_nanos() as u64;
+                                    }
+                                }
                             }
-                            place_ns += t0.elapsed().as_nanos() as u64;
                             if cfg.notify_imm {
                                 // The immediate: arrival notification
                                 // in-band, one per WRITE by design.
@@ -853,7 +1028,7 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
                                 .expect("completion gone");
                         }
                     }
-                    (place_ns, duplicates)
+                    (place_ns, flush_ns, duplicates)
                 })
             })
             .collect();
@@ -1025,6 +1200,15 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
         let consumer = {
             let ctrl_tx = ctrl_k2s_tx.clone();
             let (snk_pool, granter, snk_bufs) = (&snk_pool, &granter, &snk_bufs);
+            // Payload checksum verification needs pattern data in the
+            // sink slot: a file source carries arbitrary bytes, and a
+            // file sink places payload in the file, not the slot. In
+            // either file mode the consumer checks the header invariants
+            // (session, sequence, length) and leaves byte integrity to
+            // the file itself (the e2e tests compare source and
+            // destination).
+            let file_mode = matches!(snk_backend, SnkBackend::File(_))
+                || matches!(src_backend, SrcBackend::File(_));
             let cfg = &cfg;
             s.spawn(move || {
                 let mut verify_ns = 0u64;
@@ -1047,9 +1231,10 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
                             let ok = hdr.session == SESSION
                                 && hdr.seq == seq
                                 && hdr.len == len
-                                && checksum(
-                                    &buf[PAYLOAD_HEADER_LEN..PAYLOAD_HEADER_LEN + len as usize],
-                                ) == expected_checksum(SESSION, seq, len);
+                                && (file_mode
+                                    || checksum(
+                                        &buf[PAYLOAD_HEADER_LEN..PAYLOAD_HEADER_LEN + len as usize],
+                                    ) == expected_checksum(SESSION, seq, len));
                             if !ok {
                                 checksum_failures += 1;
                             }
@@ -1133,8 +1318,9 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
         }
         tally.ctrl_sent += completion.join().expect("completion panicked");
         for h in receiver_handles {
-            let (place_ns, duplicates) = h.join().expect("receiver panicked");
+            let (place_ns, flush_ns, duplicates) = h.join().expect("receiver panicked");
             tally.stage_ns[2] += place_ns;
+            tally.stage_ns[4] += flush_ns;
             tally.duplicates += duplicates;
         }
         let (sink_ctrl_sent, ooo) = sink_ctrl.join().expect("sink ctrl panicked");
@@ -1143,12 +1329,21 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
         src_ctrl.join().expect("source ctrl panicked");
     });
 
+    // Dataset-completion durability: one batched fdatasync for the whole
+    // transfer, inside the timing window — disk-to-disk throughput is
+    // honest only if it includes getting the bytes to the platter.
+    let mut sync_ns = 0u64;
+    if let SnkBackend::File(sink) = &snk_backend {
+        let t0 = Instant::now();
+        sink.sync()?;
+        sync_ns = t0.elapsed().as_nanos() as u64;
+    }
     let elapsed = start.elapsed();
     assert_eq!(tally.delivered, total_blocks, "blocks lost in the pipeline");
     src_pool.check_invariants();
     snk_pool.check_invariants();
     let per_block = |ns: u64| ns as f64 / total_blocks as f64;
-    LiveReport {
+    Ok(LiveReport {
         bytes: cfg.total_bytes,
         blocks: total_blocks,
         elapsed,
@@ -1166,8 +1361,11 @@ pub fn run_live(cfg: &LiveConfig) -> LiveReport {
             dispatch_ns: per_block(tally.stage_ns[1]),
             place_ns: per_block(tally.stage_ns[2]),
             verify_ns: per_block(tally.stage_ns[3]),
+            flush_ns: per_block(tally.stage_ns[4]),
+            sync_ns: per_block(sync_ns),
         },
-    }
+        direct_io_active,
+    })
 }
 
 #[cfg(test)]

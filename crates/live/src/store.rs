@@ -1,0 +1,415 @@
+//! Real-file storage backends for the live pipeline.
+//!
+//! This is the pipeline's first contact with the kernel I/O path: an
+//! aligned block reader feeding the loader threads (the paper's
+//! `Loading` state overlapping disk with the network) and a write-behind
+//! sink that `pwrite`s blocks at `seq * block_size` the moment their
+//! placement bit is claimed. Sparse positioned writes *are* the
+//! reassembly — no reorder buffer ever holds payload, the file's address
+//! space does — with one batched `fdatasync` at dataset completion.
+//!
+//! Direct I/O (`O_DIRECT`) is supported where the filesystem allows it,
+//! with a transparent buffered fallback (tmpfs, for one, rejects
+//! `O_DIRECT`): every open tries the direct flag first when asked, and a
+//! buffered handle always exists for the cases direct I/O cannot express
+//! (unaligned tail blocks, unaligned offsets). Buffered sources are
+//! advised `POSIX_FADV_SEQUENTIAL` so kernel read-ahead works with the
+//! pipeline's own block read-ahead rather than against it.
+//!
+//! `O_DIRECT` demands 4 KiB-aligned buffers, offsets, and lengths, so
+//! block buffers come from [`SlotBuf`]: one aligned allocation per slot,
+//! laid out so the *payload* (not the wire header) sits on the alignment
+//! boundary. The wire view — header immediately followed by payload —
+//! is unchanged; the header simply ends where the aligned payload
+//! begins.
+
+use rftp_core::wire::PAYLOAD_HEADER_LEN;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::os::unix::fs::{FileExt, OpenOptionsExt};
+use std::path::Path;
+
+/// Alignment for direct I/O: buffer addresses, file offsets, and request
+/// lengths are all multiples of this (the ubiquitous 4 KiB logical block).
+pub const STORE_ALIGN: usize = 4096;
+
+// `O_DIRECT` is not in std; its value is architecture-specific.
+#[cfg(any(target_arch = "aarch64", target_arch = "arm"))]
+const O_DIRECT: i32 = 0o200000;
+#[cfg(not(any(target_arch = "aarch64", target_arch = "arm")))]
+const O_DIRECT: i32 = 0o40000;
+
+/// Advise the kernel we stream this file front to back (best effort —
+/// the transfer is correct either way).
+fn fadvise_sequential(file: &File) {
+    #[cfg(target_os = "linux")]
+    {
+        use std::os::unix::io::AsRawFd;
+        extern "C" {
+            fn posix_fadvise(fd: i32, offset: i64, len: i64, advice: i32) -> i32;
+        }
+        const POSIX_FADV_SEQUENTIAL: i32 = 2;
+        // Failure is advisory too.
+        unsafe { posix_fadvise(file.as_raw_fd(), 0, 0, POSIX_FADV_SEQUENTIAL) };
+    }
+    #[cfg(not(target_os = "linux"))]
+    let _ = file;
+}
+
+/// Try to open `path` with `O_DIRECT` in the given mode; `None` when the
+/// filesystem refuses (the caller falls back to its buffered handle).
+fn open_direct(path: &Path, write: bool) -> Option<File> {
+    OpenOptions::new()
+        .read(!write)
+        .write(write)
+        .custom_flags(O_DIRECT)
+        .open(path)
+        .ok()
+}
+
+fn direct_ok(buf_ptr: *const u8, len: usize, offset: u64) -> bool {
+    (buf_ptr as usize).is_multiple_of(STORE_ALIGN)
+        && len.is_multiple_of(STORE_ALIGN)
+        && offset.is_multiple_of(STORE_ALIGN as u64)
+}
+
+/// One pool slot's buffer: a single aligned allocation holding the wire
+/// image (payload header + payload), laid out so the payload begins on a
+/// [`STORE_ALIGN`] boundary. Dereferences to the wire byte slice —
+/// `buf[0..PAYLOAD_HEADER_LEN]` is the header, `buf[PAYLOAD_HEADER_LEN..]`
+/// the (alignment-padded) payload region — so pipeline code indexes it
+/// exactly like the plain boxed slices it replaces, while the storage
+/// layer gets `O_DIRECT`-legal payload addresses for free.
+pub struct SlotBuf {
+    ptr: std::ptr::NonNull<u8>,
+    layout: std::alloc::Layout,
+    len: usize,
+}
+
+// One owner at a time (the pipeline wraps each SlotBuf in a Mutex); the
+// raw pointer is only a consequence of manual aligned allocation.
+unsafe impl Send for SlotBuf {}
+unsafe impl Sync for SlotBuf {}
+
+impl SlotBuf {
+    /// Allocate a zeroed slot for `block_size` payload bytes. The usable
+    /// payload region is `block_size` rounded up to [`STORE_ALIGN`], so
+    /// an aligned-length direct read of a short tail block has room.
+    pub fn new(block_size: usize) -> SlotBuf {
+        assert!(block_size > 0);
+        let padded = block_size.next_multiple_of(STORE_ALIGN);
+        let layout = std::alloc::Layout::from_size_align(STORE_ALIGN + padded, STORE_ALIGN)
+            .expect("slot layout");
+        let raw = unsafe { std::alloc::alloc_zeroed(layout) };
+        let ptr = std::ptr::NonNull::new(raw).unwrap_or_else(|| {
+            std::alloc::handle_alloc_error(layout);
+        });
+        SlotBuf {
+            ptr,
+            layout,
+            len: PAYLOAD_HEADER_LEN + padded,
+        }
+    }
+}
+
+impl Drop for SlotBuf {
+    fn drop(&mut self) {
+        unsafe { std::alloc::dealloc(self.ptr.as_ptr(), self.layout) };
+    }
+}
+
+impl std::ops::Deref for SlotBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        // The wire image starts PAYLOAD_HEADER_LEN bytes before the
+        // aligned payload boundary at STORE_ALIGN.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.ptr.as_ptr().add(STORE_ALIGN - PAYLOAD_HEADER_LEN),
+                self.len,
+            )
+        }
+    }
+}
+
+impl std::ops::DerefMut for SlotBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.ptr.as_ptr().add(STORE_ALIGN - PAYLOAD_HEADER_LEN),
+                self.len,
+            )
+        }
+    }
+}
+
+impl std::fmt::Debug for SlotBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SlotBuf({} bytes aligned {})", self.len, STORE_ALIGN)
+    }
+}
+
+/// Global token-bucket pacer emulating a storage device's service rate:
+/// each request reserves the next slot on a single modeled device
+/// timeline (lock-free CAS) and sleeps until the device would have
+/// delivered its bytes. This is how a [`rftp_core::StoreConfig`] rate
+/// preset applies to the live pipeline when the backing store (tmpfs,
+/// page cache) is faster than the device being modeled — and it gives
+/// the read-ahead benchmarks a deterministic service time where a
+/// host-cached virtual disk gives none.
+#[derive(Debug)]
+pub struct RatePacer {
+    bytes_per_sec: f64,
+    start: std::time::Instant,
+    /// Nanoseconds since `start` at which the modeled device frees up.
+    next_ns: std::sync::atomic::AtomicU64,
+}
+
+impl RatePacer {
+    pub fn new(bytes_per_sec: f64) -> RatePacer {
+        assert!(bytes_per_sec > 0.0);
+        RatePacer {
+            bytes_per_sec,
+            start: std::time::Instant::now(),
+            next_ns: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Account `len` delivered bytes; blocks until the modeled device
+    /// would have finished delivering them. Concurrent callers serialize
+    /// on the device timeline, not on each other — the reservation is a
+    /// single CAS, and the wait is a plain sleep that releases the core
+    /// to the rest of the pipeline (that release *is* the overlap
+    /// read-ahead buys).
+    pub fn pace(&self, len: usize) {
+        use std::sync::atomic::Ordering;
+        let cost = (len as f64 * 1e9 / self.bytes_per_sec) as u64;
+        let mut prev = self.next_ns.load(Ordering::Acquire);
+        let slot_end = loop {
+            let now = self.start.elapsed().as_nanos() as u64;
+            let end = prev.max(now) + cost;
+            match self
+                .next_ns
+                .compare_exchange_weak(prev, end, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => break end,
+                Err(p) => prev = p,
+            }
+        };
+        let now = self.start.elapsed().as_nanos() as u64;
+        if slot_end > now {
+            std::thread::sleep(std::time::Duration::from_nanos(slot_end - now));
+        }
+    }
+}
+
+/// The aligned block reader: source file of a file-to-file transfer.
+/// Loader threads call [`FileSource::read_block`] concurrently
+/// (positioned reads share the handle without a seek cursor).
+#[derive(Debug)]
+pub struct FileSource {
+    buffered: File,
+    direct: Option<File>,
+    len: u64,
+}
+
+impl FileSource {
+    /// Open `path`; with `want_direct`, additionally try an `O_DIRECT`
+    /// handle, falling back silently where the filesystem refuses.
+    pub fn open(path: &Path, want_direct: bool) -> io::Result<FileSource> {
+        let buffered = File::open(path)?;
+        let len = buffered.metadata()?.len();
+        let direct = if want_direct {
+            open_direct(path, false)
+        } else {
+            None
+        };
+        if direct.is_none() {
+            fadvise_sequential(&buffered);
+        }
+        Ok(FileSource {
+            buffered,
+            direct,
+            len,
+        })
+    }
+
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether reads actually go through `O_DIRECT`.
+    pub fn direct_active(&self) -> bool {
+        self.direct.is_some()
+    }
+
+    /// Read exactly `len` bytes at `offset` into `buf[..len]`. `buf` may
+    /// be longer than `len` (a [`SlotBuf`] payload region): the direct
+    /// path issues one aligned-length request into it and lets the tail
+    /// of a short final block come back short.
+    pub fn read_block(&self, buf: &mut [u8], len: usize, offset: u64) -> io::Result<()> {
+        assert!(buf.len() >= len);
+        if let Some(direct) = &self.direct {
+            let want = len.next_multiple_of(STORE_ALIGN);
+            if want <= buf.len() && direct_ok(buf.as_ptr(), want, offset) {
+                let n = direct.read_at(&mut buf[..want], offset)?;
+                if n >= len {
+                    return Ok(());
+                }
+                // Short direct read (EOF mid-request or an impatient
+                // kernel): finish through the buffered handle, which has
+                // no alignment constraints on the remainder.
+                return self
+                    .buffered
+                    .read_exact_at(&mut buf[n..len], offset + n as u64);
+            }
+        }
+        self.buffered.read_exact_at(&mut buf[..len], offset)
+    }
+}
+
+/// The write-behind sink: destination file of a transfer. Pre-sized at
+/// creation so out-of-order positioned writes land in a file of the
+/// final length — sparse placement is the reassembly. Receiver threads
+/// call [`FileSink::write_block`] concurrently; nothing is durable until
+/// [`FileSink::sync`] (the batched `fdatasync` at dataset completion).
+#[derive(Debug)]
+pub struct FileSink {
+    buffered: File,
+    direct: Option<File>,
+}
+
+impl FileSink {
+    /// Create (or truncate) `path` and pre-size it to `total_bytes`.
+    pub fn create(path: &Path, total_bytes: u64, want_direct: bool) -> io::Result<FileSink> {
+        let buffered = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        buffered.set_len(total_bytes)?;
+        let direct = if want_direct {
+            open_direct(path, true)
+        } else {
+            None
+        };
+        Ok(FileSink { buffered, direct })
+    }
+
+    /// Whether full-block writes actually go through `O_DIRECT`.
+    pub fn direct_active(&self) -> bool {
+        self.direct.is_some()
+    }
+
+    /// Write `payload` at `offset`. Full aligned blocks take the direct
+    /// handle when available; unaligned tails (or unaligned block sizes)
+    /// take the buffered handle — `O_DIRECT` cannot express them.
+    pub fn write_block(&self, payload: &[u8], offset: u64) -> io::Result<()> {
+        if let Some(direct) = &self.direct {
+            if direct_ok(payload.as_ptr(), payload.len(), offset) {
+                return direct.write_all_at(payload, offset);
+            }
+        }
+        self.buffered.write_all_at(payload, offset)
+    }
+
+    /// The dataset-completion `fdatasync`: one syscall for the whole
+    /// transfer instead of one per block (write-behind's other half).
+    pub fn sync(&self) -> io::Result<()> {
+        self.buffered.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rftp_core::wire::PAYLOAD_HEADER_LEN as HDR;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir();
+        dir.join(format!("rftp_store_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn slot_buf_payload_is_aligned() {
+        for bs in [512usize, 4096, 65536, 65536 + 1000] {
+            let buf = SlotBuf::new(bs);
+            assert_eq!(buf.len(), HDR + bs.next_multiple_of(STORE_ALIGN));
+            let payload_ptr = buf[HDR..].as_ptr() as usize;
+            assert_eq!(payload_ptr % STORE_ALIGN, 0, "payload must be aligned");
+            assert!(buf.iter().all(|&b| b == 0), "fresh slots are zeroed");
+        }
+    }
+
+    #[test]
+    fn slot_buf_is_writable_through_deref() {
+        let mut buf = SlotBuf::new(8192);
+        buf[0] = 0xAB;
+        buf[HDR] = 0xCD;
+        let last = buf.len() - 1;
+        buf[last] = 0xEF;
+        assert_eq!((buf[0], buf[HDR], buf[last]), (0xAB, 0xCD, 0xEF));
+    }
+
+    #[test]
+    fn file_round_trip_with_unaligned_tail() {
+        let path = tmp("roundtrip");
+        let total = 3 * 4096 + 777u64; // unaligned tail
+        let data: Vec<u8> = (0..total).map(|i| (i * 7 % 251) as u8).collect();
+
+        let sink = FileSink::create(&path, total, true).expect("create");
+        // Write out of order: tail first.
+        sink.write_block(&data[3 * 4096..], 3 * 4096).unwrap();
+        sink.write_block(&data[..4096], 0).unwrap();
+        sink.write_block(&data[4096..3 * 4096], 4096).unwrap();
+        sink.sync().unwrap();
+        drop(sink);
+
+        let src = FileSource::open(&path, true).expect("open");
+        assert_eq!(src.len(), total);
+        let mut buf = SlotBuf::new(4096);
+        let mut got = Vec::new();
+        for (seq, chunk) in data.chunks(4096).enumerate() {
+            src.read_block(&mut buf[HDR..], chunk.len(), seq as u64 * 4096)
+                .unwrap();
+            got.extend_from_slice(&buf[HDR..HDR + chunk.len()]);
+        }
+        assert_eq!(got, data, "bytes must survive the round trip");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pacer_enforces_the_modeled_rate() {
+        // 64 MB/s device, 8 x 64 KiB requests = 512 KiB -> >= 8 ms.
+        let pacer = RatePacer::new(64.0 * 1024.0 * 1024.0);
+        let t0 = std::time::Instant::now();
+        for _ in 0..8 {
+            pacer.pace(64 * 1024);
+        }
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed >= std::time::Duration::from_millis(7),
+            "pacer let 512 KiB through a 64 MB/s device in {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn direct_falls_back_where_unsupported() {
+        // tmpfs (and many CI filesystems) reject O_DIRECT; the handles
+        // must degrade to buffered I/O and still move correct bytes.
+        let path = tmp("fallback");
+        let sink = FileSink::create(&path, 4096, true).expect("create");
+        let mut buf = SlotBuf::new(4096);
+        buf[HDR..HDR + 4096].copy_from_slice(&[0x5A; 4096]);
+        sink.write_block(&buf[HDR..HDR + 4096], 0).unwrap();
+        sink.sync().unwrap();
+        drop(sink);
+        let back = std::fs::read(&path).unwrap();
+        assert_eq!(back, vec![0x5A; 4096]);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,55 +1,33 @@
-//! Storage-device presets for memory-to-disk transfers.
+//! Storage-device presets for the disk experiments.
 //!
 //! The paper's disk experiments (Fig. 11) write "a group of 400 GB files
 //! spread across multiple RAID disks to achieve the best performance of
-//! the disk system", with RFTP's direct-I/O feature enabled. The device
-//! model is a rate-limited FIFO (the fabric's `Device`); these presets
-//! pick rates representative of the hardware classes involved.
+//! the disk system", with RFTP's direct-I/O feature enabled. Each preset
+//! is an [`StoreConfig`] — the one storage description shared by the
+//! simulated harness (rate-limited FIFO device + per-byte CPU for the
+//! I/O mode) and the live pipeline (`O_DIRECT` file I/O + read-ahead
+//! depth), so `fig11` and `rftp-live --src-file/--dst-file` measure the
+//! same device profile through the same interface.
 
+use rftp_core::StoreConfig;
 use rftp_netsim::time::Bandwidth;
-
-/// A storage device: sustained streaming rate plus the I/O mode.
-#[derive(Debug, Clone, Copy)]
-pub struct DiskSpec {
-    /// Sustained sequential write rate.
-    pub rate: Bandwidth,
-    /// Use direct I/O (bypass the page cache). RFTP enables this; the
-    /// paper notes GridFTP had not integrated direct I/O.
-    pub direct_io: bool,
-    pub name: &'static str,
-}
-
-impl DiskSpec {
-    /// Flip to buffered POSIX writes (what GridFTP would do).
-    pub fn buffered(mut self) -> DiskSpec {
-        self.direct_io = false;
-        self
-    }
-}
 
 /// The testbeds' striped RAID array (with Fusion-io class backing): fast
 /// enough to keep a 10 Gbps WAN busy with headroom, as Fig. 11 requires.
-pub fn raid_array() -> DiskSpec {
-    DiskSpec {
-        rate: Bandwidth::from_gbps(16),
-        direct_io: true,
-        name: "raid-array",
-    }
+pub fn raid_array() -> StoreConfig {
+    StoreConfig::new("raid-array", Bandwidth::from_gbps(16), true)
 }
 
 /// A single consumer SSD — deliberately *slower* than the fast networks,
 /// for experiments about disk-bound transfers.
-pub fn laptop_ssd() -> DiskSpec {
-    DiskSpec {
-        rate: Bandwidth::from_gbps(4),
-        direct_io: true,
-        name: "laptop-ssd",
-    }
+pub fn laptop_ssd() -> StoreConfig {
+    StoreConfig::new("laptop-ssd", Bandwidth::from_gbps(4), true)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rftp_core::ConsumeMode;
 
     #[test]
     fn presets() {
@@ -57,5 +35,20 @@ mod tests {
         assert!(raid_array().direct_io);
         assert!(!raid_array().buffered().direct_io);
         assert!(laptop_ssd().rate < raid_array().rate);
+    }
+
+    #[test]
+    fn consume_mode_carries_the_io_mode() {
+        match raid_array().consume_mode() {
+            ConsumeMode::Disk { rate, direct_io } => {
+                assert!(direct_io);
+                assert_eq!(rate, raid_array().rate);
+            }
+            other => panic!("disk preset must map to a disk sink: {other:?}"),
+        }
+        match laptop_ssd().buffered().consume_mode() {
+            ConsumeMode::Disk { direct_io, .. } => assert!(!direct_io),
+            other => panic!("disk preset must map to a disk sink: {other:?}"),
+        }
     }
 }

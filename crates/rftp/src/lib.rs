@@ -29,7 +29,7 @@ pub mod disk;
 pub mod server;
 
 pub use client::{Client, DataSource, RftpReport};
-pub use disk::{laptop_ssd, raid_array, DiskSpec};
+pub use disk::{laptop_ssd, raid_array};
 pub use server::{DataSink, Server};
 
 // Re-export the pieces callers commonly need alongside.

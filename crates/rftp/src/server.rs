@@ -1,7 +1,6 @@
 //! The RFTP server (data sink) configuration.
 
-use crate::disk::DiskSpec;
-use rftp_core::{ConsumeMode, CreditMode, SinkConfig};
+use rftp_core::{ConsumeMode, CreditMode, SinkConfig, StoreConfig};
 
 /// Where received payload goes.
 #[derive(Debug, Clone, Copy)]
@@ -9,7 +8,7 @@ pub enum DataSink {
     /// Discard (`/dev/null`) — the memory-to-memory experiments.
     Null,
     /// Write to a storage device — the memory-to-disk experiments.
-    Disk(DiskSpec),
+    Disk(StoreConfig),
 }
 
 /// Builder for the sink endpoint. Defaults follow the paper's protocol:
@@ -75,10 +74,7 @@ impl Server {
         let mut cfg = self.cfg;
         cfg.consume = match self.sink {
             DataSink::Null => ConsumeMode::Null,
-            DataSink::Disk(spec) => ConsumeMode::Disk {
-                rate: spec.rate,
-                direct_io: spec.direct_io,
-            },
+            DataSink::Disk(spec) => spec.consume_mode(),
         };
         cfg
     }
