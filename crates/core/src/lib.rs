@@ -68,6 +68,7 @@ pub use pool::{
 pub use reorder::ReorderBuffer;
 pub use stats::{SinkStats, SourceStats};
 pub use wire::{
-    BlockAck, Credit, CtrlMsg, PayloadHeader, WireError, CTRL_SLOT_LEN, MAX_ACKS_PER_BATCH,
+    encode_stream_frame, BlockAck, Credit, CtrlMsg, DataFrameHeader, FrameDecoder, PayloadHeader,
+    WireError, CTRL_SLOT_LEN, DATA_FRAME_HEADER_LEN, FRAME_PREFIX_LEN, MAX_ACKS_PER_BATCH,
     MAX_SLOTS_PER_CREDIT_BATCH, PAYLOAD_HEADER_LEN,
 };

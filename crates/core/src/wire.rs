@@ -185,7 +185,24 @@ pub enum WireError {
     Truncated,
     UnknownType(u16),
     BadCount,
+    /// A stream frame's length prefix is outside the legal body range
+    /// (shorter than a control header or longer than a control slot) —
+    /// the byte stream is desynchronized or corrupt.
+    BadFrameLen(u16),
 }
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated message"),
+            WireError::UnknownType(t) => write!(f, "unknown message type {t}"),
+            WireError::BadCount => write!(f, "batch count out of range"),
+            WireError::BadFrameLen(n) => write!(f, "bad stream frame length {n}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
 
 const T_SESSION_REQUEST: u16 = 1;
 const T_SESSION_ACCEPT: u16 = 2;
@@ -521,6 +538,142 @@ impl PayloadHeader {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Stream framing (byte-stream transports)
+// ---------------------------------------------------------------------------
+//
+// The simulated fabric and the in-process pipeline move control messages
+// as discrete SEND/RECV slots, so message boundaries are free. A byte
+// stream (TCP) has none: control frames are therefore length-prefixed —
+// a 2-byte big-endian body length followed by the encoded `CtrlMsg` —
+// and bulk data frames carry a fixed 16-byte `DataFrameHeader` naming
+// the credited slot the payload bytes land in, so the receiver can read
+// the wire image straight into sink memory (the RDMA WRITE analogue:
+// placement needs no intermediate buffer).
+
+/// Bytes of the control-frame length prefix.
+pub const FRAME_PREFIX_LEN: usize = 2;
+
+/// Largest legal control-frame body (a frame is at most one slot).
+pub const MAX_FRAME_BODY: usize = CTRL_SLOT_LEN;
+
+/// Smallest legal control-frame body (the fixed type/flags/session header).
+pub const MIN_FRAME_BODY: usize = 8;
+
+/// Encode `msg` as one length-prefixed stream frame into `buf`; returns
+/// total bytes written (prefix + body). `buf` must hold at least
+/// [`FRAME_PREFIX_LEN`] + [`CTRL_SLOT_LEN`] bytes.
+pub fn encode_stream_frame(msg: &CtrlMsg, buf: &mut [u8]) -> usize {
+    let body = msg.encode(&mut buf[FRAME_PREFIX_LEN..]);
+    debug_assert!((MIN_FRAME_BODY..=MAX_FRAME_BODY).contains(&body));
+    buf[..FRAME_PREFIX_LEN].copy_from_slice(&(body as u16).to_be_bytes());
+    FRAME_PREFIX_LEN + body
+}
+
+/// Incremental decoder for length-prefixed control frames arriving in
+/// arbitrary chunks — a TCP read can return any split of the stream, so
+/// the decoder buffers partial frames across [`FrameDecoder::push`]
+/// calls and yields each message exactly once, regardless of how the
+/// bytes were chunked (1-byte reads up to many-frames-per-read).
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`, compacted away on the next `push`.
+    pos: usize,
+}
+
+impl FrameDecoder {
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Append freshly read stream bytes.
+    pub fn push(&mut self, chunk: &[u8]) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Unconsumed bytes held (0 means the stream is at a frame boundary
+    /// — the state a clean end-of-stream must arrive in).
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Decode the next complete frame, if the buffered bytes hold one.
+    /// `Ok(None)` means "need more bytes"; an error means the stream is
+    /// desynchronized and the connection must be torn down (stream
+    /// framing has no resync point).
+    pub fn next_frame(&mut self) -> Result<Option<CtrlMsg>, WireError> {
+        let avail = self.pending_bytes();
+        if avail < FRAME_PREFIX_LEN {
+            return Ok(None);
+        }
+        let body = u16::from_be_bytes([self.buf[self.pos], self.buf[self.pos + 1]]) as usize;
+        if !(MIN_FRAME_BODY..=MAX_FRAME_BODY).contains(&body) {
+            return Err(WireError::BadFrameLen(body as u16));
+        }
+        if avail < FRAME_PREFIX_LEN + body {
+            return Ok(None);
+        }
+        let start = self.pos + FRAME_PREFIX_LEN;
+        let msg = CtrlMsg::decode(&self.buf[start..start + body])?;
+        self.pos = start + body;
+        Ok(Some(msg))
+    }
+}
+
+/// Length of the bulk data-frame header on a byte-stream transport.
+pub const DATA_FRAME_HEADER_LEN: usize = 16;
+
+/// Header of one bulk data frame on a stream transport: the "RDMA WRITE
+/// descriptor". It names the credited sink slot (so the receiver places
+/// the following wire image — payload header + payload — directly into
+/// that slot's registered buffer), repeats (session, seq) for dedup
+/// before placement, and carries the user payload length so the frame
+/// boundary is known up front.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataFrameHeader {
+    pub session: u32,
+    pub seq: u32,
+    /// Sink-pool slot the credit named — where the wire image lands.
+    pub slot: u32,
+    /// User payload length (the wire image is this plus the 24-byte
+    /// payload header).
+    pub len: u32,
+}
+
+impl DataFrameHeader {
+    /// Bytes of wire image (payload header + payload) that follow this
+    /// frame header on the stream.
+    pub fn wire_len(&self) -> usize {
+        PAYLOAD_HEADER_LEN + self.len as usize
+    }
+
+    pub fn encode(&self, buf: &mut [u8]) {
+        assert!(buf.len() >= DATA_FRAME_HEADER_LEN);
+        let mut w = &mut buf[..];
+        w.put_u32(self.session);
+        w.put_u32(self.seq);
+        w.put_u32(self.slot);
+        w.put_u32(self.len);
+    }
+
+    pub fn decode(mut buf: &[u8]) -> Result<DataFrameHeader, WireError> {
+        if buf.remaining() < DATA_FRAME_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        Ok(DataFrameHeader {
+            session: buf.get_u32(),
+            seq: buf.get_u32(),
+            slot: buf.get_u32(),
+            len: buf.get_u32(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -778,5 +931,103 @@ mod tests {
     fn payload_header_is_24_bytes() {
         // Fig. 7b: 32 + 32 + 64 + 32 + 32 bits.
         assert_eq!(PAYLOAD_HEADER_LEN, 24);
+    }
+
+    #[test]
+    fn stream_frames_roundtrip_through_the_decoder() {
+        let msgs = vec![
+            CtrlMsg::SessionRequest {
+                session: 1,
+                block_size: 256 << 10,
+                channels: 8,
+                total_bytes: 1 << 30,
+                notify_imm: false,
+            },
+            CtrlMsg::MrRequest { session: 1 },
+            CtrlMsg::CreditBatch {
+                session: 1,
+                rkey: 0x11FE,
+                slot_len: 65560,
+                slots: vec![0, 5, 2],
+            },
+            CtrlMsg::AckBatch {
+                session: 1,
+                acks: vec![BlockAck {
+                    seq: 7,
+                    slot: 5,
+                    len: 777,
+                }],
+            },
+            CtrlMsg::DatasetComplete {
+                session: 1,
+                total_blocks: 8,
+            },
+        ];
+        let mut stream = Vec::new();
+        for m in &msgs {
+            let mut buf = [0u8; FRAME_PREFIX_LEN + CTRL_SLOT_LEN];
+            let n = encode_stream_frame(m, &mut buf);
+            stream.extend_from_slice(&buf[..n]);
+        }
+        // Whole stream in one push.
+        let mut dec = FrameDecoder::new();
+        dec.push(&stream);
+        let mut got = Vec::new();
+        while let Some(m) = dec.next_frame().expect("decode") {
+            got.push(m);
+        }
+        assert_eq!(got, msgs);
+        assert_eq!(dec.pending_bytes(), 0);
+        // One byte at a time.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in &stream {
+            dec.push(std::slice::from_ref(b));
+            while let Some(m) = dec.next_frame().expect("decode") {
+                got.push(m);
+            }
+        }
+        assert_eq!(got, msgs);
+        assert_eq!(dec.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn frame_decoder_rejects_bad_length_prefixes() {
+        for bad in [0u16, 7, CTRL_SLOT_LEN as u16 + 1, u16::MAX] {
+            let mut dec = FrameDecoder::new();
+            dec.push(&bad.to_be_bytes());
+            assert_eq!(dec.next_frame(), Err(WireError::BadFrameLen(bad)));
+        }
+    }
+
+    #[test]
+    fn frame_decoder_reports_mid_frame_state() {
+        let mut buf = [0u8; FRAME_PREFIX_LEN + CTRL_SLOT_LEN];
+        let n = encode_stream_frame(&CtrlMsg::MrRequest { session: 9 }, &mut buf);
+        let mut dec = FrameDecoder::new();
+        dec.push(&buf[..n - 1]);
+        assert_eq!(dec.next_frame(), Ok(None));
+        assert!(dec.pending_bytes() > 0, "a torn frame must be visible");
+        dec.push(&buf[n - 1..n]);
+        assert_eq!(
+            dec.next_frame(),
+            Ok(Some(CtrlMsg::MrRequest { session: 9 }))
+        );
+        assert_eq!(dec.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn data_frame_header_roundtrip() {
+        let h = DataFrameHeader {
+            session: 1,
+            seq: 123456,
+            slot: 31,
+            len: 256 << 10,
+        };
+        let mut buf = [0u8; DATA_FRAME_HEADER_LEN];
+        h.encode(&mut buf);
+        assert_eq!(DataFrameHeader::decode(&buf).unwrap(), h);
+        assert_eq!(h.wire_len(), PAYLOAD_HEADER_LEN + (256 << 10));
+        assert!(DataFrameHeader::decode(&buf[..15]).is_err());
     }
 }

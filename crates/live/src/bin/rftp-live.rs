@@ -2,19 +2,35 @@
 //!
 //! Runs one live transfer (real threads, real bytes, wall-clock timing)
 //! and prints throughput, control-plane counts, and the per-stage cost
-//! breakdown:
+//! breakdown. One process by default; `--listen`/`--connect` split the
+//! pipeline into two processes joined by TCP:
 //!
 //! ```text
 //! rftp-live --size 1G --block 256K --channels 8 --loaders 4
 //! rftp-live --batch 1 --fault drop=0.05       # unbatched wire + loss
 //! rftp-live --src-file A --dst-file B --direct   # disk to disk
+//!
+//! host B$ rftp-live --listen 0.0.0.0:9040 --dst-file B
+//! host A$ rftp-live --connect hostB:9040 --src-file A --channels 8
 //! rftp-live --help
 //! ```
 
-use rftp_live::{try_run_live, LiveConfig};
+use rftp_core::wire::CtrlMsg;
+use rftp_live::{net, run_split_sink, run_split_source, try_run_live, LiveConfig, LiveReport};
 use std::path::PathBuf;
 
+/// Which end of the transfer this process runs.
+enum Mode {
+    /// Both halves in this process (the original pipeline).
+    Local,
+    /// Sink half: bind, accept one source, receive.
+    Listen(String),
+    /// Source half: connect to a listening sink, send.
+    Connect(String),
+}
+
 struct Args {
+    mode: Mode,
     size: u64,
     block: u64,
     channels: usize,
@@ -28,6 +44,9 @@ struct Args {
     dst_file: Option<PathBuf>,
     direct: bool,
     readahead: u32,
+    /// Socket buffer bytes per data stream; `None` = size from
+    /// block × depth, `Some(0)` = leave the OS defaults.
+    sockbuf: Option<u64>,
 }
 
 fn parse_size(s: &str) -> Option<u64> {
@@ -65,6 +84,16 @@ OPTIONS:
   --readahead <N>    read-ahead depth: source blocks in flight beyond
                      the one in service; 0 = no disk/network overlap
                      (default: fill the pool)
+
+TWO-PROCESS MODE (the pipeline split over TCP):
+  --listen <ADDR>    run the sink half: accept one source at ADDR
+                     (e.g. 0.0.0.0:9040) and receive. Transfer geometry
+                     (--size/--block/--channels/--loaders/--fault) is
+                     the source's; only sink-side flags apply here.
+  --connect <ADDR>   run the source half: connect to a listening sink
+                     and send
+  --sockbuf <SIZE>   per-data-stream socket buffer (SO_SNDBUF/SO_RCVBUF);
+                     0 = OS defaults (default: sized from block x depth)
   --help             this text";
 
 /// One step of the flag loop: consume the flag's value argument and
@@ -90,6 +119,7 @@ fn flag_size(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<u64, S
 
 fn parse_args() -> Result<Args, String> {
     let mut a = Args {
+        mode: Mode::Local,
         size: 0, // resolved after the loop: explicit > src-file len > 256M
         block: 256 << 10,
         channels: 4,
@@ -103,13 +133,17 @@ fn parse_args() -> Result<Args, String> {
         dst_file: None,
         direct: false,
         readahead: u32::MAX,
+        sockbuf: None,
     };
+    let mut geometry_flag_seen = false;
     let it = &mut std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
-            "--size" => a.size = flag_size(it, "--size")?,
-            "--block" => a.block = flag_size(it, "--block")?,
-            "--channels" => a.channels = flag_parse(it, "--channels")?,
+            "--size" => (a.size, geometry_flag_seen) = (flag_size(it, "--size")?, true),
+            "--block" => (a.block, geometry_flag_seen) = (flag_size(it, "--block")?, true),
+            "--channels" => {
+                (a.channels, geometry_flag_seen) = (flag_parse(it, "--channels")?, true)
+            }
             "--loaders" => a.loaders = flag_parse(it, "--loaders")?,
             "--batch" => a.batch = flag_parse(it, "--batch")?,
             "--pool" => a.pool = flag_parse(it, "--pool")?,
@@ -130,12 +164,35 @@ fn parse_args() -> Result<Args, String> {
             "--dst-file" => a.dst_file = Some(PathBuf::from(flag_value(it, "--dst-file")?)),
             "--direct" => a.direct = true,
             "--readahead" => a.readahead = flag_parse(it, "--readahead")?,
+            "--listen" => a.mode = Mode::Listen(flag_value(it, "--listen")?),
+            "--connect" => a.mode = Mode::Connect(flag_value(it, "--connect")?),
+            "--sockbuf" => a.sockbuf = Some(flag_size(it, "--sockbuf")?),
             "--help" | "-h" => {
                 println!("{HELP}");
                 std::process::exit(0);
             }
-            other => return Err(format!("unknown flag {other} (see --help)")),
+            other => return Err(format!("unknown flag {other}")),
         }
+    }
+    match &a.mode {
+        Mode::Listen(_) => {
+            // The sink's transfer geometry arrives in the SessionRequest;
+            // local geometry flags could only disagree with it.
+            if geometry_flag_seen {
+                return Err("--size/--block/--channels are the source's to set; \
+                     the sink learns them from the session handshake"
+                    .into());
+            }
+            if a.src_file.is_some() || a.fault_drop_p > 0.0 {
+                return Err("--src-file and --fault belong to the source (--connect) side".into());
+            }
+        }
+        Mode::Connect(_) => {
+            if a.dst_file.is_some() {
+                return Err("--dst-file belongs to the sink (--listen) side".into());
+            }
+        }
+        Mode::Local => {}
     }
     if a.size == 0 {
         a.size = match &a.src_file {
@@ -154,14 +211,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(a)
 }
 
-fn main() {
-    let a = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("rftp-live: {e}");
-            std::process::exit(2);
-        }
-    };
+fn build_cfg(a: &Args) -> LiveConfig {
     let mut cfg = LiveConfig::new(a.block as usize, a.channels, a.size);
     cfg.loaders = a.loaders;
     cfg.ctrl_batch = a.batch;
@@ -173,45 +223,17 @@ fn main() {
     cfg.dst_file = a.dst_file.clone();
     cfg.direct_io = a.direct;
     cfg.readahead = a.readahead;
+    cfg
+}
 
-    println!(
-        "rftp-live: {} MB in {} KB blocks, {} channels, {} loaders, batch {}{}{}",
-        a.size >> 20,
-        a.block >> 10,
-        a.channels,
-        a.loaders,
-        a.batch,
-        if a.notify_imm { ", notify-imm" } else { "" },
-        if a.fault_drop_p > 0.0 {
-            format!(", drop p={}", a.fault_drop_p)
-        } else {
-            String::new()
-        }
-    );
-    if a.src_file.is_some() || a.dst_file.is_some() {
-        println!(
-            "  storage: {} -> {}, {}, readahead {}",
-            a.src_file
-                .as_deref()
-                .map_or("<pattern>".into(), |p| p.display().to_string()),
-            a.dst_file
-                .as_deref()
-                .map_or("<verify>".into(), |p| p.display().to_string()),
-            if a.direct { "O_DIRECT" } else { "buffered" },
-            if a.readahead == u32::MAX {
-                "pool".into()
-            } else {
-                a.readahead.to_string()
-            }
-        );
+fn sockbuf_bytes(a: &Args, block: usize) -> usize {
+    match a.sockbuf {
+        Some(b) => b as usize,
+        None => net::default_sockbuf(block, a.depth),
     }
-    let r = match try_run_live(&cfg) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("rftp-live: storage error: {e}");
-            std::process::exit(1);
-        }
-    };
+}
+
+fn print_report(a: &Args, r: &LiveReport) {
     println!(
         "\n  {:.3} GB/s   {} blocks in {:.3} s",
         r.gbytes_per_sec,
@@ -251,6 +273,108 @@ fn main() {
             r.dropped_payloads, r.retransmits
         );
     }
+}
+
+fn run(a: &Args) -> std::io::Result<LiveReport> {
+    match &a.mode {
+        Mode::Local => try_run_live(&build_cfg(a)),
+        Mode::Connect(addr) => {
+            let cfg = build_cfg(a);
+            println!(
+                "rftp-live: source -> {addr}: {} MB in {} KB blocks, {} channels, {} loaders",
+                a.size >> 20,
+                a.block >> 10,
+                a.channels,
+                a.loaders
+            );
+            let t =
+                net::connect_source(addr.as_str(), a.channels, sockbuf_bytes(a, cfg.block_size))?;
+            run_split_source(&cfg, t)
+        }
+        Mode::Listen(addr) => {
+            let listener = net::NetListener::bind(addr.as_str())?;
+            println!("rftp-live: sink listening on {}", listener.local_addr()?);
+            // The accept consumes the SessionRequest (the sink's config
+            // must agree with it). Block size is unknown until then, so
+            // only an explicit --sockbuf resizes the sink's buffers; the
+            // source side carries the block-sized default.
+            let (t, first) = listener.accept_session(a.sockbuf.map_or(0, |b| b as usize))?;
+            let CtrlMsg::SessionRequest {
+                block_size,
+                channels,
+                total_bytes,
+                ..
+            } = first
+            else {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("peer opened with {first:?}, not a SessionRequest"),
+                ));
+            };
+            let mut a2 = build_cfg(a);
+            a2.block_size = block_size as usize;
+            a2.channels = channels as usize;
+            a2.total_bytes = total_bytes;
+            println!(
+                "rftp-live: sink: {} MB in {} KB blocks, {} channels",
+                total_bytes >> 20,
+                block_size >> 10,
+                channels
+            );
+            run_split_sink(&a2, t, Some(first))
+        }
+    }
+}
+
+fn main() {
+    let a = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("rftp-live: {e}\n\n{HELP}");
+            std::process::exit(2);
+        }
+    };
+    if matches!(a.mode, Mode::Local) {
+        println!(
+            "rftp-live: {} MB in {} KB blocks, {} channels, {} loaders, batch {}{}{}",
+            a.size >> 20,
+            a.block >> 10,
+            a.channels,
+            a.loaders,
+            a.batch,
+            if a.notify_imm { ", notify-imm" } else { "" },
+            if a.fault_drop_p > 0.0 {
+                format!(", drop p={}", a.fault_drop_p)
+            } else {
+                String::new()
+            }
+        );
+        if a.src_file.is_some() || a.dst_file.is_some() {
+            println!(
+                "  storage: {} -> {}, {}, readahead {}",
+                a.src_file
+                    .as_deref()
+                    .map_or("<pattern>".into(), |p| p.display().to_string()),
+                a.dst_file
+                    .as_deref()
+                    .map_or("<verify>".into(), |p| p.display().to_string()),
+                if a.direct { "O_DIRECT" } else { "buffered" },
+                if a.readahead == u32::MAX {
+                    "pool".into()
+                } else {
+                    a.readahead.to_string()
+                }
+            );
+        }
+    }
+    let r = match run(&a) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rftp-live: transfer failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print_report(&a, &r);
     if r.checksum_failures > 0 {
         eprintln!("rftp-live: VERIFICATION FAILED");
         std::process::exit(1);

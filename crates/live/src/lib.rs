@@ -24,9 +24,24 @@
 //! each block at its final offset the moment it is placed — loaders
 //! become the read-ahead scheduler and sparse placement is the
 //! reassembly.
+//!
+//! The `transport` / `net` / `split` modules take the final step off the
+//! simulator: the pipeline splits into a standalone source half and sink
+//! half joined only by a [`transport`] — in-process channels for tests,
+//! or real TCP sockets ([`net`]) so `rftp-live --listen` and
+//! `rftp-live --connect` move a file between two OS processes. An RDMA
+//! WRITE becomes one vectored write of frame header + payload straight
+//! from the pinned block; the receiver reads the wire image directly
+//! into the credited slot.
 
+pub mod net;
 pub mod pipeline;
+pub mod split;
 pub mod store;
+pub mod transport;
 
+pub use net::{connect_source, NetListener};
 pub use pipeline::{run_live, try_run_live, LiveConfig, LiveReport, StageBreakdown};
+pub use split::{run_split_pair, run_split_sink, run_split_source};
 pub use store::{FileSink, FileSource, RatePacer, SlotBuf, STORE_ALIGN};
+pub use transport::{channel_transport, SinkTransport, SourceTransport};

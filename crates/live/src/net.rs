@@ -1,0 +1,499 @@
+//! TCP backend for the split pipeline: one stream per link.
+//!
+//! The source [`connect_source`]s a control stream plus one data stream
+//! per channel; the sink's [`NetListener`] accepts them and hands back a
+//! connected [`SinkTransport`]. Each stream opens with an 8-byte hello
+//! naming its role, so the N+1 connections can land in any order:
+//!
+//! ```text
+//! offset  0..4   magic  "RFTP" (0x5246_5450, big-endian)
+//!         4      kind   0 = control, 1 = data
+//!         5      pad    0
+//!         6..8   index  control: channel count; data: channel index (BE)
+//! ```
+//!
+//! After the hello the stream carries exactly one thing for its whole
+//! life: length-prefixed control frames (both directions) on the control
+//! stream, or `[DataFrameHeader | wire image]` records (source → sink
+//! only) on a data stream.
+//!
+//! The mapping of "RDMA WRITE from a pinned buffer" onto a socket is one
+//! vectored write: the 16-byte frame header and the block's wire image go
+//! out in a single `writev` straight from the slot buffer — no
+//! staging copy at the sender. The receiver reads the header, then reads
+//! the wire image directly into the slot the header names — the socket
+//! read *is* the placement.
+//!
+//! Control streams run `TCP_NODELAY` (credit and ack latency is the
+//! credit loop's round-trip). Data streams get their socket buffers sized
+//! to the channel's share of the flight window (`SO_SNDBUF`/`SO_RCVBUF`),
+//! because the default buffer is far below `block_size × depth` for the
+//! block sizes the paper studies.
+
+use crate::transport::{CtrlRx, CtrlTx, DataRx, DataTx, SinkTransport, SourceTransport};
+use parking_lot::Mutex;
+use rftp_core::wire::{
+    encode_stream_frame, CtrlMsg, DataFrameHeader, FrameDecoder, CTRL_SLOT_LEN,
+    DATA_FRAME_HEADER_LEN, FRAME_PREFIX_LEN,
+};
+use std::io::{self, IoSlice, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+const HELLO_MAGIC: u32 = 0x5246_5450; // "RFTP"
+const HELLO_LEN: usize = 8;
+const KIND_CTRL: u8 = 0;
+const KIND_DATA: u8 = 1;
+
+fn proto_err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn write_hello(s: &mut TcpStream, kind: u8, index: u16) -> io::Result<()> {
+    let mut hello = [0u8; HELLO_LEN];
+    hello[..4].copy_from_slice(&HELLO_MAGIC.to_be_bytes());
+    hello[4] = kind;
+    hello[6..8].copy_from_slice(&index.to_be_bytes());
+    s.write_all(&hello)
+}
+
+fn read_hello(s: &mut TcpStream) -> io::Result<(u8, u16)> {
+    let mut hello = [0u8; HELLO_LEN];
+    s.read_exact(&mut hello)?;
+    if hello[..4] != HELLO_MAGIC.to_be_bytes() {
+        return Err(proto_err("connection is not an rftp stream"));
+    }
+    let kind = hello[4];
+    if kind != KIND_CTRL && kind != KIND_DATA {
+        return Err(proto_err(format!("unknown stream kind {kind}")));
+    }
+    Ok((kind, u16::from_be_bytes([hello[6], hello[7]])))
+}
+
+// ---------------------------------------------------------------------------
+// Socket tuning
+// ---------------------------------------------------------------------------
+
+/// Size both socket buffers to `bytes` (0 leaves the OS defaults). Uses a
+/// raw `setsockopt` — the std API has no knob for this, and the kernel
+/// clamps to `net.core.{w,r}mem_max` on its own, so failures are advice
+/// we can ignore.
+#[cfg(target_os = "linux")]
+fn set_sockbuf(s: &TcpStream, bytes: usize) {
+    use std::os::fd::AsRawFd;
+    const SOL_SOCKET: i32 = 1;
+    const SO_SNDBUF: i32 = 7;
+    const SO_RCVBUF: i32 = 8;
+    extern "C" {
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const core::ffi::c_void,
+            optlen: u32,
+        ) -> i32;
+    }
+    if bytes == 0 {
+        return;
+    }
+    let val = bytes.min(i32::MAX as usize) as i32;
+    let p = &val as *const i32 as *const core::ffi::c_void;
+    let n = std::mem::size_of::<i32>() as u32;
+    unsafe {
+        setsockopt(s.as_raw_fd(), SOL_SOCKET, SO_SNDBUF, p, n);
+        setsockopt(s.as_raw_fd(), SOL_SOCKET, SO_RCVBUF, p, n);
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn set_sockbuf(_s: &TcpStream, _bytes: usize) {}
+
+fn retry_interrupted<T>(mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    loop {
+        match op() {
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            other => return other,
+        }
+    }
+}
+
+/// `read_exact`, except a clean end-of-stream *before the first byte*
+/// returns `Ok(false)` instead of an error — the frame boundary is the
+/// only place a peer may hang up.
+fn read_exact_or_eof(s: &mut TcpStream, buf: &mut [u8]) -> io::Result<bool> {
+    let mut off = 0;
+    while off < buf.len() {
+        let n = retry_interrupted(|| s.read(&mut buf[off..]))?;
+        if n == 0 {
+            return if off == 0 {
+                Ok(false)
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream closed mid-frame",
+                ))
+            };
+        }
+        off += n;
+    }
+    Ok(true)
+}
+
+// ---------------------------------------------------------------------------
+// Link endpoints
+// ---------------------------------------------------------------------------
+
+struct NetCtrlTx(Mutex<TcpStream>);
+
+impl CtrlTx for NetCtrlTx {
+    fn send(&self, msg: &CtrlMsg) -> io::Result<()> {
+        let mut buf = [0u8; FRAME_PREFIX_LEN + CTRL_SLOT_LEN];
+        let n = encode_stream_frame(msg, &mut buf);
+        // The lock scopes the whole frame: concurrent senders (dispatcher
+        // MrRequests vs the control thread) never interleave bytes.
+        retry_interrupted(|| self.0.lock().write_all(&buf[..n]))
+    }
+}
+
+struct NetCtrlRx {
+    stream: TcpStream,
+    dec: FrameDecoder,
+    buf: Vec<u8>,
+}
+
+impl NetCtrlRx {
+    fn new(stream: TcpStream) -> NetCtrlRx {
+        NetCtrlRx {
+            stream,
+            dec: FrameDecoder::new(),
+            buf: vec![0u8; 4096],
+        }
+    }
+}
+
+impl CtrlRx for NetCtrlRx {
+    fn recv(&mut self) -> io::Result<Option<CtrlMsg>> {
+        loop {
+            if let Some(msg) = self
+                .dec
+                .next_frame()
+                .map_err(|e| proto_err(format!("bad control frame: {e:?}")))?
+            {
+                return Ok(Some(msg));
+            }
+            let n = retry_interrupted(|| self.stream.read(&mut self.buf))?;
+            if n == 0 {
+                return if self.dec.pending_bytes() == 0 {
+                    Ok(None)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "control stream closed mid-frame",
+                    ))
+                };
+            }
+            self.dec.push(&self.buf[..n]);
+        }
+    }
+}
+
+struct NetDataTx(Mutex<TcpStream>);
+
+impl DataTx for NetDataTx {
+    fn send(&self, hdr: DataFrameHeader, wire: &[u8]) -> io::Result<()> {
+        debug_assert_eq!(wire.len(), hdr.wire_len());
+        let mut hbuf = [0u8; DATA_FRAME_HEADER_LEN];
+        hdr.encode(&mut hbuf);
+        let mut stream = self.0.lock();
+        // One writev from the slot buffer; loop only for short writes.
+        let (mut h, mut w): (&[u8], &[u8]) = (&hbuf, wire);
+        while !h.is_empty() || !w.is_empty() {
+            let n =
+                retry_interrupted(|| stream.write_vectored(&[IoSlice::new(h), IoSlice::new(w)]))?;
+            if n == 0 {
+                return Err(io::ErrorKind::WriteZero.into());
+            }
+            if n >= h.len() {
+                w = &w[n - h.len()..];
+                h = &[];
+            } else {
+                h = &h[n..];
+            }
+        }
+        Ok(())
+    }
+}
+
+struct NetDataRx {
+    stream: TcpStream,
+    scratch: Vec<u8>,
+}
+
+impl DataRx for NetDataRx {
+    fn recv_header(&mut self) -> io::Result<Option<DataFrameHeader>> {
+        let mut hbuf = [0u8; DATA_FRAME_HEADER_LEN];
+        if !read_exact_or_eof(&mut self.stream, &mut hbuf)? {
+            return Ok(None);
+        }
+        DataFrameHeader::decode(&hbuf)
+            .map(Some)
+            .map_err(|e| proto_err(format!("bad data frame header: {e:?}")))
+    }
+
+    fn recv_wire(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        retry_interrupted(|| self.stream.read_exact(buf))
+    }
+
+    fn discard_wire(&mut self, wire_len: usize) -> io::Result<()> {
+        if self.scratch.is_empty() {
+            self.scratch.resize(64 * 1024, 0);
+        }
+        let mut left = wire_len;
+        while left > 0 {
+            let take = left.min(self.scratch.len());
+            retry_interrupted(|| self.stream.read_exact(&mut self.scratch[..take]))?;
+            left -= take;
+        }
+        Ok(())
+    }
+}
+
+/// Shutdown hooks over a set of socket handles. `try_clone`d handles
+/// alias the underlying socket, so shutting the clone down shuts the
+/// live stream down — that is exactly what lets these hooks unblock
+/// readers and writers owned by other threads.
+fn shutdown_all(socks: &[TcpStream], how: Shutdown) {
+    for s in socks {
+        let _ = s.shutdown(how); // already-gone peers are fine
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session setup
+// ---------------------------------------------------------------------------
+
+/// Connect the source half to a sink listening at `addr`: control stream
+/// plus `channels` data streams, hellos sent, `TCP_NODELAY` on control,
+/// socket buffers on data sized to `sockbuf` bytes (0 = OS defaults).
+pub fn connect_source(
+    addr: impl ToSocketAddrs + Copy,
+    channels: usize,
+    sockbuf: usize,
+) -> io::Result<SourceTransport> {
+    assert!(channels >= 1 && channels <= u16::MAX as usize);
+    let mut ctrl = TcpStream::connect(addr)?;
+    ctrl.set_nodelay(true)?;
+    write_hello(&mut ctrl, KIND_CTRL, channels as u16)?;
+
+    let mut data: Vec<Box<dyn DataTx>> = Vec::with_capacity(channels);
+    let mut handles = vec![ctrl.try_clone()?];
+    for ch in 0..channels {
+        let mut s = TcpStream::connect(addr)?;
+        s.set_nodelay(true)?;
+        set_sockbuf(&s, sockbuf);
+        write_hello(&mut s, KIND_DATA, ch as u16)?;
+        handles.push(s.try_clone()?);
+        data.push(Box::new(NetDataTx(Mutex::new(s))));
+    }
+    let handles = Arc::new(handles);
+    let ctrl_rd = ctrl.try_clone()?;
+    let shutdown_handles = handles.clone();
+    Ok(SourceTransport {
+        ctrl_tx: Arc::new(NetCtrlTx(Mutex::new(ctrl))),
+        ctrl_rx: Box::new(NetCtrlRx::new(ctrl_rd)),
+        data: Arc::new(data),
+        shutdown_write: Box::new(move || shutdown_all(&shutdown_handles, Shutdown::Write)),
+        abort: Arc::new(move || shutdown_all(&handles, Shutdown::Both)),
+    })
+}
+
+/// The sink half's accept socket.
+pub struct NetListener(TcpListener);
+
+impl NetListener {
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<NetListener> {
+        Ok(NetListener(TcpListener::bind(addr)?))
+    }
+
+    /// The bound address — hand this to the peer (port 0 binds pick one).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.0.local_addr()
+    }
+
+    /// Accept one source's full connection set (control + its announced
+    /// channel count of data streams, in any arrival order), then read
+    /// the opening `SessionRequest` so the caller can size its half
+    /// before any payload is in flight. Returns the connected transport
+    /// and that first control frame — pass it to
+    /// [`crate::run_split_sink`] as `first_ctrl`.
+    pub fn accept_session(&self, sockbuf: usize) -> io::Result<(SinkTransport, CtrlMsg)> {
+        let mut ctrl: Option<TcpStream> = None;
+        let mut channels: usize = 0;
+        let mut data_streams: Vec<Option<TcpStream>> = Vec::new();
+        let mut early: Vec<(u16, TcpStream)> = Vec::new();
+        let mut accepted_data = 0usize;
+        while ctrl.is_none() || accepted_data < channels {
+            let (mut s, _) = self.0.accept()?;
+            let (kind, index) = read_hello(&mut s)?;
+            match kind {
+                KIND_CTRL => {
+                    if ctrl.is_some() {
+                        return Err(proto_err("second control stream for one session"));
+                    }
+                    if index == 0 {
+                        return Err(proto_err("source announced zero data channels"));
+                    }
+                    s.set_nodelay(true)?;
+                    channels = index as usize;
+                    data_streams = (0..channels).map(|_| None).collect();
+                    for (ix, es) in early.drain(..) {
+                        place_data(&mut data_streams, ix, es, sockbuf)?;
+                        accepted_data += 1;
+                    }
+                    ctrl = Some(s);
+                }
+                _ => {
+                    if ctrl.is_none() {
+                        early.push((index, s));
+                    } else {
+                        place_data(&mut data_streams, index, s, sockbuf)?;
+                        accepted_data += 1;
+                    }
+                }
+            }
+        }
+        let ctrl = ctrl.expect("loop exits with a control stream");
+        let data_streams: Vec<TcpStream> = data_streams
+            .into_iter()
+            .map(|s| s.expect("loop exits with every data stream"))
+            .collect();
+
+        let mut handles = vec![ctrl.try_clone()?];
+        for s in &data_streams {
+            handles.push(s.try_clone()?);
+        }
+        let ctrl_wr = ctrl.try_clone()?;
+        let mut ctrl_rx = NetCtrlRx::new(ctrl);
+        let first = ctrl_rx
+            .recv()?
+            .ok_or_else(|| proto_err("peer hung up before sending a SessionRequest"))?;
+        let data: Vec<Box<dyn DataRx>> = data_streams
+            .into_iter()
+            .map(|stream| {
+                Box::new(NetDataRx {
+                    stream,
+                    scratch: Vec::new(),
+                }) as Box<dyn DataRx>
+            })
+            .collect();
+        Ok((
+            SinkTransport {
+                ctrl_tx: Arc::new(NetCtrlTx(Mutex::new(ctrl_wr))),
+                ctrl_rx: Box::new(ctrl_rx),
+                data,
+                abort: Arc::new(move || shutdown_all(&handles, Shutdown::Both)),
+            },
+            first,
+        ))
+    }
+}
+
+fn place_data(
+    slots: &mut [Option<TcpStream>],
+    index: u16,
+    s: TcpStream,
+    sockbuf: usize,
+) -> io::Result<()> {
+    let ix = index as usize;
+    if ix >= slots.len() {
+        return Err(proto_err(format!(
+            "data stream index {ix} out of range for {} channels",
+            slots.len()
+        )));
+    }
+    if slots[ix].is_some() {
+        return Err(proto_err(format!("duplicate data stream index {ix}")));
+    }
+    set_sockbuf(&s, sockbuf);
+    slots[ix] = Some(s);
+    Ok(())
+}
+
+/// The default socket-buffer size for a transfer: each data stream
+/// buffers its channel's share of one pool of blocks in each direction,
+/// so the flight window fits in the kernel without tuning.
+pub fn default_sockbuf(block_size: usize, channel_depth: usize) -> usize {
+    (block_size + 64).saturating_mul(channel_depth.max(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_roundtrip_over_loopback() {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            write_hello(&mut s, KIND_DATA, 5).unwrap();
+            s
+        });
+        let (mut a, _) = l.accept().unwrap();
+        assert_eq!(read_hello(&mut a).unwrap(), (KIND_DATA, 5));
+        drop(t.join().unwrap());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"GET / HT").unwrap();
+            s
+        });
+        let (mut a, _) = l.accept().unwrap();
+        assert!(read_hello(&mut a).is_err());
+        drop(t.join().unwrap());
+    }
+
+    #[test]
+    fn transport_pair_connects_and_frames_flow() {
+        let listener = NetListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let src = std::thread::spawn(move || {
+            let t = connect_source(addr, 2, 0).unwrap();
+            t.ctrl_tx
+                .send(&CtrlMsg::SessionRequest {
+                    session: 1,
+                    block_size: 4096,
+                    channels: 2,
+                    total_bytes: 8192,
+                    notify_imm: true,
+                })
+                .unwrap();
+            let hdr = DataFrameHeader {
+                session: 1,
+                seq: 7,
+                slot: 3,
+                len: 32,
+            };
+            let wire: Vec<u8> = (0..hdr.wire_len() as u8).map(|b| b ^ 0x5A).collect();
+            t.data[1].send(hdr, &wire).unwrap();
+            (t, hdr, wire)
+        });
+        let (mut sink, first) = listener.accept_session(0).unwrap();
+        assert!(matches!(first, CtrlMsg::SessionRequest { channels: 2, .. }));
+        let (src_t, hdr, wire) = src.join().unwrap();
+        let got = sink.data[1].recv_header().unwrap().unwrap();
+        assert_eq!(got, hdr);
+        let mut buf = vec![0u8; got.wire_len()];
+        sink.data[1].recv_wire(&mut buf).unwrap();
+        assert_eq!(buf, wire);
+        (src_t.shutdown_write)();
+        assert!(sink.data[0].recv_header().unwrap().is_none());
+        assert!(sink.data[1].recv_header().unwrap().is_none());
+        assert!(sink.ctrl_rx.recv().unwrap().is_none());
+    }
+}

@@ -60,11 +60,11 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
-const SESSION: u32 = 1;
+pub(crate) const SESSION: u32 = 1;
 
 /// The symbolic rkey of the sink pool's region (channels address slots
 /// directly in this model).
-const SINK_RKEY: u64 = 0x11FE;
+pub(crate) const SINK_RKEY: u64 = 0x11FE;
 
 /// Configuration of one live transfer.
 #[derive(Debug, Clone)]
@@ -175,21 +175,21 @@ impl LiveConfig {
         self.readahead = store.readahead;
     }
 
-    fn total_blocks(&self) -> u64 {
+    pub(crate) fn total_blocks(&self) -> u64 {
         self.total_bytes.div_ceil(self.block_size as u64)
     }
 
-    fn slot_bytes(&self) -> usize {
+    pub(crate) fn slot_bytes(&self) -> usize {
         self.block_size + PAYLOAD_HEADER_LEN
     }
 
     /// Completion entries per `AckBatch` frame.
-    fn ack_batch(&self) -> usize {
+    pub(crate) fn ack_batch(&self) -> usize {
         self.ctrl_batch.clamp(1, MAX_ACKS_PER_BATCH)
     }
 
     /// Slots per `CreditBatch` frame.
-    fn credit_batch(&self) -> usize {
+    pub(crate) fn credit_batch(&self) -> usize {
         self.ctrl_batch.clamp(1, MAX_SLOTS_PER_CREDIT_BATCH)
     }
 }
@@ -250,19 +250,65 @@ pub struct LiveReport {
 }
 
 /// Where the loaders get payload bytes.
-enum SrcBackend {
+pub(crate) enum SrcBackend {
     /// Synthetic seeded pattern (the memory-to-memory experiments).
     Pattern,
     /// Aligned block reads from a real file.
     File(FileSource),
 }
 
+impl SrcBackend {
+    /// Open the backend `cfg` names, validating the source covers the
+    /// transfer.
+    pub(crate) fn open(cfg: &LiveConfig) -> std::io::Result<SrcBackend> {
+        match &cfg.src_file {
+            Some(path) => {
+                let f = FileSource::open(path, cfg.direct_io)?;
+                if f.len() < cfg.total_bytes {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        format!(
+                            "source file {} holds {} bytes, transfer wants {}",
+                            path.display(),
+                            f.len(),
+                            cfg.total_bytes
+                        ),
+                    ));
+                }
+                Ok(SrcBackend::File(f))
+            }
+            None => Ok(SrcBackend::Pattern),
+        }
+    }
+
+    pub(crate) fn direct_active(&self) -> bool {
+        matches!(self, SrcBackend::File(f) if f.direct_active())
+    }
+}
+
 /// Where placed payload goes.
-enum SnkBackend {
+pub(crate) enum SnkBackend {
     /// Checksum-verify the pattern and discard.
     Verify,
     /// Write-behind `pwrite` into a real file at `seq * block_size`.
     File(FileSink),
+}
+
+impl SnkBackend {
+    pub(crate) fn open(cfg: &LiveConfig) -> std::io::Result<SnkBackend> {
+        match &cfg.dst_file {
+            Some(path) => Ok(SnkBackend::File(FileSink::create(
+                path,
+                cfg.total_bytes,
+                cfg.direct_io,
+            )?)),
+            None => Ok(SnkBackend::Verify),
+        }
+    }
+
+    pub(crate) fn direct_active(&self) -> bool {
+        matches!(self, SnkBackend::File(f) if f.direct_active())
+    }
 }
 
 /// One in-flight data block on a channel. Carries the source block
@@ -278,25 +324,25 @@ struct DataMsg {
 }
 
 #[derive(Clone, Copy)]
-struct InFlightInfo {
-    seq: u32,
-    slot: u32,
-    len: u32,
+pub(crate) struct InFlightInfo {
+    pub(crate) seq: u32,
+    pub(crate) slot: u32,
+    pub(crate) len: u32,
     /// When the block last went onto the wire (dispatch or retransmit);
     /// the watchdog re-sends once `retx_timeout` passes without an ack.
-    sent_at: Instant,
+    pub(crate) sent_at: Instant,
     /// Wire attempts so far — a runaway count means the recovery loop is
     /// broken, not that the fabric is unlucky.
-    attempts: u32,
+    pub(crate) attempts: u32,
 }
 
-fn pattern_seed(seq: u32) -> u64 {
+pub(crate) fn pattern_seed(seq: u32) -> u64 {
     engine_pattern_seed(SESSION, seq)
 }
 
 /// splitmix64 — the drop RNG. Self-contained so the fault injector adds
 /// no dependency to the crate; determinism per seed is all it needs.
-fn splitmix64(state: &mut u64) -> u64 {
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -305,7 +351,7 @@ fn splitmix64(state: &mut u64) -> u64 {
 }
 
 /// One uniform draw in [0, 1); drops fire when it lands below `p`.
-fn drop_roll(state: &mut u64) -> f64 {
+pub(crate) fn drop_roll(state: &mut u64) -> f64 {
     (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
 }
 
@@ -314,7 +360,7 @@ fn drop_roll(state: &mut u64) -> f64 {
 /// produced by another thread that needs this core, so burning cycles in
 /// a spin loop delays the very thing being awaited. A short sleep caps
 /// the cost of long waits without adding meaningful wakeup latency.
-fn backoff(spins: &mut u32) {
+pub(crate) fn backoff(spins: &mut u32) {
     *spins = spins.saturating_add(1);
     if *spins < 4 {
         std::hint::spin_loop();
@@ -329,21 +375,21 @@ fn backoff(spins: &mut u32) {
 /// Vyukov ring (every credit of a pool transfer shares rkey and length,
 /// so the slot index is the whole credit), plus the MrRequest debounce
 /// flag. The threaded replacement for `Mutex<CreditStock>` + condvar.
-struct CreditSlots {
-    slots: IndexQueue,
+pub(crate) struct CreditSlots {
+    pub(crate) slots: IndexQueue,
     /// True while an MrRequest is outstanding (at most one at a time).
-    request_outstanding: AtomicBool,
+    pub(crate) request_outstanding: AtomicBool,
 }
 
 impl CreditSlots {
-    fn new(capacity: u32) -> CreditSlots {
+    pub(crate) fn new(capacity: u32) -> CreditSlots {
         CreditSlots {
             slots: IndexQueue::new(capacity as usize),
             request_outstanding: AtomicBool::new(false),
         }
     }
 
-    fn deposit(&self, slot: u32) {
+    pub(crate) fn deposit(&self, slot: u32) {
         self.slots
             .push(slot)
             .expect("more credits outstanding than sink pool blocks");
@@ -357,19 +403,19 @@ impl CreditSlots {
 /// re-granted. One bit per block of the whole transfer (the table this
 /// replaced spent a mutex per block — 1 byte + state and a pointer-chase
 /// per check).
-struct AtomicBitmap {
+pub(crate) struct AtomicBitmap {
     words: Vec<AtomicU64>,
 }
 
 impl AtomicBitmap {
-    fn new(bits: u64) -> AtomicBitmap {
+    pub(crate) fn new(bits: u64) -> AtomicBitmap {
         AtomicBitmap {
             words: (0..bits.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
     /// Atomically claim bit `i`; true if this caller newly set it.
-    fn claim(&self, i: u64) -> bool {
+    pub(crate) fn claim(&self, i: u64) -> bool {
         let mask = 1u64 << (i % 64);
         self.words[(i / 64) as usize].fetch_or(mask, Ordering::AcqRel) & mask == 0
     }
@@ -422,34 +468,9 @@ pub fn try_run_live(cfg: &LiveConfig) -> std::io::Result<LiveReport> {
     let geo = PoolGeometry::new(cfg.block_size as u64, cfg.pool_blocks);
 
     // ---- storage backends ----
-    let src_backend = match &cfg.src_file {
-        Some(path) => {
-            let f = FileSource::open(path, cfg.direct_io)?;
-            if f.len() < cfg.total_bytes {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    format!(
-                        "source file {} holds {} bytes, transfer wants {}",
-                        path.display(),
-                        f.len(),
-                        cfg.total_bytes
-                    ),
-                ));
-            }
-            SrcBackend::File(f)
-        }
-        None => SrcBackend::Pattern,
-    };
-    let snk_backend = match &cfg.dst_file {
-        Some(path) => SnkBackend::File(FileSink::create(path, cfg.total_bytes, cfg.direct_io)?),
-        None => SnkBackend::Verify,
-    };
-    let direct_io_active = match (&src_backend, &snk_backend) {
-        (SrcBackend::File(s), SnkBackend::File(d)) => s.direct_active() || d.direct_active(),
-        (SrcBackend::File(s), _) => s.direct_active(),
-        (_, SnkBackend::File(d)) => d.direct_active(),
-        _ => false,
-    };
+    let src_backend = SrcBackend::open(cfg)?;
+    let snk_backend = SnkBackend::open(cfg)?;
+    let direct_io_active = src_backend.direct_active() || snk_backend.direct_active();
     // Read-ahead limit: how many blocks the source side may hold
     // concurrently. +1 because "no read-ahead" still needs the block in
     // service; capped at the pool, where the existing free-list wait

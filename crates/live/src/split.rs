@@ -1,0 +1,1173 @@
+//! The pipeline split in two: a standalone source half and sink half
+//! joined only by a [`crate::transport`].
+//!
+//! [`run_live`](crate::run_live) proves the protocol on shared memory —
+//! both halves in one address space, placement a memcpy between pools.
+//! This module is the same machinery with the address space cut down the
+//! middle: [`run_split_source`] runs loaders → dispatcher → retransmit
+//! watchdog against a [`SourceTransport`], [`run_split_sink`] runs
+//! per-channel receivers → control handler against a [`SinkTransport`],
+//! and nothing crosses except control frames and data frames. Over the
+//! TCP backend ([`crate::net`]) the two halves are two OS processes.
+//!
+//! What changes against the shared-memory pipeline, and why:
+//!
+//! * **Arrivals are in-band.** An RDMA WRITE is invisible to the sink
+//!   CPU, so the shared-memory sink needs the source's completion
+//!   notification (or `notify_imm`) to learn a block landed. A stream
+//!   transport delivers the bytes *through* the sink's receiver — every
+//!   arrival is its own notification, exactly the WRITE-with-immediate
+//!   analogue, so the split sink always runs imm-style.
+//! * **Acks flow sink → source.** The shared-memory source sees its own
+//!   "NIC completion" locally; a TCP send completing says nothing about
+//!   remote placement. The sink acks placed blocks (coalesced
+//!   [`CtrlMsg::AckBatch`], same cap and flush window as the main
+//!   pipeline) and the source retires blocks on those acks.
+//! * **Placement is the socket read.** The receiver reads each frame's
+//!   wire image straight into the slot its credit named — the transport
+//!   hands over the header first, then fills the credited buffer, so
+//!   there is no intermediate copy on either side of the wire.
+//!
+//! Everything else — pools, credit granter, reorder buffer, first-
+//! placement dedup bitmap, in-order dispatch, fault injection and the
+//! retransmit watchdog — is the exact machinery of the main pipeline.
+
+use crate::pipeline::{
+    backoff, drop_roll, pattern_seed, AtomicBitmap, CreditSlots, InFlightInfo, LiveConfig,
+    LiveReport, SnkBackend, SrcBackend, StageBreakdown, SESSION, SINK_RKEY,
+};
+use crate::store::{RatePacer, SlotBuf};
+use crate::transport::{channel_transport, CtrlTx, SinkTransport, SourceTransport};
+use crossbeam::channel::bounded;
+use parking_lot::Mutex;
+use rftp_core::engine::expected_checksum;
+use rftp_core::pattern::{checksum, fill_pattern};
+use rftp_core::wire::{BlockAck, CtrlMsg, DataFrameHeader, PayloadHeader, PAYLOAD_HEADER_LEN};
+use rftp_core::{AtomicSinkPool, AtomicSourcePool, Granter, PoolGeometry, ReorderBuffer};
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Capacity of the source's credit ring. The peer's pool bounds how many
+/// credits can be outstanding, and the source no longer knows its size —
+/// so the ring is simply sized past any configurable sink pool.
+const REMOTE_SLOT_RING: u32 = 4096;
+
+fn perr(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::BrokenPipe, msg.into())
+}
+
+/// First-error-wins failure latch shared by every thread of a half.
+/// Recording an error tears the transport down ([`SourceTransport::abort`]
+/// / [`SinkTransport::abort`]), so peers and siblings blocked on a link
+/// error out instead of hanging; lock-free waits poll [`Fail::is_set`].
+struct Fail {
+    flag: AtomicBool,
+    err: Mutex<Option<io::Error>>,
+    abort: Arc<dyn Fn() + Send + Sync>,
+}
+
+impl Fail {
+    fn new(abort: Arc<dyn Fn() + Send + Sync>) -> Fail {
+        Fail {
+            flag: AtomicBool::new(false),
+            err: Mutex::new(None),
+            abort,
+        }
+    }
+
+    fn set(&self, e: io::Error) {
+        {
+            let mut slot = self.err.lock();
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+        }
+        self.flag.store(true, Ordering::Release);
+        (self.abort)();
+    }
+
+    fn is_set(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    fn into_err(self) -> io::Error {
+        self.err
+            .into_inner()
+            .unwrap_or_else(|| perr("transfer failed"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Source half
+// ---------------------------------------------------------------------------
+
+/// Run the source half of a transfer over `t`: negotiate, load blocks
+/// (pattern or `src_file`), dispatch them in sequence order as data
+/// frames, retire them on the sink's acks, send `DatasetComplete`, and
+/// half-close. Returns this half's view of the transfer.
+pub fn run_split_source(cfg: &LiveConfig, t: SourceTransport) -> io::Result<LiveReport> {
+    assert!(cfg.channels >= 1 && cfg.loaders >= 1 && cfg.total_bytes > 0);
+    let total_blocks = cfg.total_blocks();
+    let geo = PoolGeometry::new(cfg.block_size as u64, cfg.pool_blocks);
+    let src_backend = SrcBackend::open(cfg)?;
+    let direct_io_active = src_backend.direct_active();
+    let ra_limit = (cfg.readahead.saturating_add(1)).min(cfg.pool_blocks) as usize;
+    let pacer = match &src_backend {
+        SrcBackend::File(_) => cfg.src_rate.map(RatePacer::new),
+        SrcBackend::Pattern => None,
+    };
+
+    let src_pool = AtomicSourcePool::new(geo);
+    let src_bufs: Vec<Mutex<SlotBuf>> = (0..cfg.pool_blocks)
+        .map(|_| Mutex::new(SlotBuf::new(cfg.block_size)))
+        .collect();
+    let stock = CreditSlots::new(REMOTE_SLOT_RING);
+    let inflight: Vec<Mutex<Option<InFlightInfo>>> =
+        (0..cfg.pool_blocks).map(|_| Mutex::new(None)).collect();
+    // Which pool block carries each in-flight sequence — the ack names a
+    // sequence, and over a real wire the sink cannot name our block.
+    let seq2block: Mutex<HashMap<u32, u32>> = Mutex::new(HashMap::new());
+
+    let SourceTransport {
+        ctrl_tx,
+        mut ctrl_rx,
+        data,
+        shutdown_write,
+        abort,
+    } = t;
+    let fail = Fail::new(abort);
+    let next_seq = AtomicU64::new(0);
+    let done_flag = AtomicBool::new(false);
+    let (loaded_tx, loaded_rx) = bounded::<u32>(cfg.pool_blocks as usize);
+
+    let start = Instant::now();
+    ctrl_tx.send(&CtrlMsg::SessionRequest {
+        session: SESSION,
+        block_size: cfg.block_size as u64,
+        channels: cfg.channels as u16,
+        total_bytes: cfg.total_bytes,
+        notify_imm: true, // stream arrivals are inherently in-band
+    })?;
+    let mut ctrl_msgs = 1u64;
+
+    struct Tally {
+        ctrl: u64,
+        credit_requests: u64,
+        dropped: u64,
+        retransmits: u64,
+        load_ns: u64,
+        dispatch_ns: u64,
+    }
+    let mut tally = Tally {
+        ctrl: 0,
+        credit_requests: 0,
+        dropped: 0,
+        retransmits: 0,
+        load_ns: 0,
+        dispatch_ns: 0,
+    };
+
+    std::thread::scope(|s| {
+        // Loaders: identical to the main pipeline, plus the failure poll
+        // in the free-wait so a dead transport releases them.
+        let loader_handles: Vec<_> = (0..cfg.loaders)
+            .map(|_| {
+                let loaded_tx = loaded_tx.clone();
+                let (src_pool, src_backend, pacer) = (&src_pool, &src_backend, &pacer);
+                let (src_bufs, inflight, seq2block) = (&src_bufs, &inflight, &seq2block);
+                let (next_seq, fail, cfg) = (&next_seq, &fail, &cfg);
+                s.spawn(move || {
+                    let mut load_ns = 0u64;
+                    loop {
+                        let mut spins = 0;
+                        let block = loop {
+                            if next_seq.load(Ordering::Relaxed) >= total_blocks || fail.is_set() {
+                                return load_ns;
+                            }
+                            if src_pool.in_flight() < ra_limit {
+                                if let Some(b) = src_pool.get_free() {
+                                    break b;
+                                }
+                            }
+                            backoff(&mut spins);
+                        };
+                        let seq = next_seq.fetch_add(1, Ordering::Relaxed);
+                        if seq >= total_blocks {
+                            src_pool.abandon(block).expect("FSM: abandon");
+                            return load_ns;
+                        }
+                        let offset = seq * cfg.block_size as u64;
+                        let len = (cfg.total_bytes - offset).min(cfg.block_size as u64) as u32;
+                        let t0 = Instant::now();
+                        {
+                            let mut buf = src_bufs[block as usize].lock();
+                            PayloadHeader {
+                                session: SESSION,
+                                seq: seq as u32,
+                                offset,
+                                len,
+                            }
+                            .encode(&mut buf[..PAYLOAD_HEADER_LEN]);
+                            match src_backend {
+                                SrcBackend::Pattern => fill_pattern(
+                                    &mut buf[PAYLOAD_HEADER_LEN..PAYLOAD_HEADER_LEN + len as usize],
+                                    pattern_seed(seq as u32),
+                                ),
+                                SrcBackend::File(f) => {
+                                    if let Err(e) = f.read_block(
+                                        &mut buf[PAYLOAD_HEADER_LEN..],
+                                        len as usize,
+                                        offset,
+                                    ) {
+                                        fail.set(e);
+                                        return load_ns;
+                                    }
+                                    if let Some(p) = pacer {
+                                        p.pace(len as usize);
+                                    }
+                                }
+                            }
+                        }
+                        load_ns += t0.elapsed().as_nanos() as u64;
+                        *inflight[block as usize].lock() = Some(InFlightInfo {
+                            seq: seq as u32,
+                            slot: u32::MAX,
+                            len,
+                            sent_at: Instant::now(),
+                            attempts: 0,
+                        });
+                        seq2block.lock().insert(seq as u32, block);
+                        src_pool.loaded(block).expect("FSM: loaded");
+                        if loaded_tx.send(block).is_err() {
+                            return load_ns; // dispatcher bailed; fail is set
+                        }
+                    }
+                })
+            })
+            .collect();
+        drop(loaded_tx);
+
+        // Dispatcher: in-order, credit-paired, one vectored send per
+        // block straight from the pinned block buffer.
+        let dispatcher = {
+            let (data, ctrl_tx) = (data.clone(), ctrl_tx.clone());
+            let (stock, src_pool, inflight, src_bufs) = (&stock, &src_pool, &inflight, &src_bufs);
+            let (fail, cfg) = (&fail, &cfg);
+            s.spawn(move || {
+                let mut rr = 0usize;
+                let mut fault_rng = cfg.fault_seed;
+                let mut dispatch_ns = 0u64;
+                let mut ctrl_sent = 0u64;
+                let mut credit_requests = 0u64;
+                let mut dropped = 0u64;
+                // Dispatch must stay in sequence order (the head-of-line
+                // invariant the main pipeline documents); loaders finish
+                // out of order.
+                let mut dispatch_order = ReorderBuffer::<u32>::new();
+                let mut ready: std::collections::VecDeque<u32> = Default::default();
+                let mut drain: Vec<u32> = Vec::with_capacity(cfg.pool_blocks as usize);
+                while let Ok(_n) = loaded_rx.recv_batch(&mut drain, cfg.pool_blocks as usize) {
+                    for block in drain.drain(..) {
+                        let seq = inflight[block as usize]
+                            .lock()
+                            .as_ref()
+                            .expect("loaded block untracked")
+                            .seq;
+                        for (_, b) in dispatch_order.push(seq, block) {
+                            ready.push_back(b);
+                        }
+                    }
+                    while let Some(block) = ready.pop_front() {
+                        let slot = {
+                            let mut spins = 0;
+                            let mut starved_since: Option<Instant> = None;
+                            loop {
+                                if fail.is_set() {
+                                    return (dispatch_ns, ctrl_sent, credit_requests, dropped);
+                                }
+                                if let Some(s2) = stock.slots.try_pop() {
+                                    break s2;
+                                }
+                                if !stock.request_outstanding.swap(true, Ordering::AcqRel) {
+                                    credit_requests += 1;
+                                    ctrl_sent += 1;
+                                    if let Err(e) =
+                                        ctrl_tx.send(&CtrlMsg::MrRequest { session: SESSION })
+                                    {
+                                        fail.set(e);
+                                        return (dispatch_ns, ctrl_sent, credit_requests, dropped);
+                                    }
+                                    starved_since = Some(Instant::now());
+                                }
+                                if starved_since.is_some_and(|t| {
+                                    t.elapsed() > std::time::Duration::from_millis(20)
+                                }) {
+                                    stock.request_outstanding.store(false, Ordering::Release);
+                                    starved_since = None;
+                                }
+                                backoff(&mut spins);
+                            }
+                        };
+                        let t0 = Instant::now();
+                        let info = {
+                            let mut inf = inflight[block as usize].lock();
+                            let i = inf.as_mut().expect("loaded block untracked");
+                            i.slot = slot;
+                            i.sent_at = Instant::now();
+                            i.attempts = 1;
+                            *i
+                        };
+                        src_pool.start_sending(block).expect("FSM: start_sending");
+                        src_pool.posted(block).expect("FSM: posted");
+                        let ch = rr % data.len();
+                        rr += 1;
+                        if cfg.fault_drop_p > 0.0 && drop_roll(&mut fault_rng) < cfg.fault_drop_p {
+                            // The wire ate it; the watchdog re-sends.
+                            dropped += 1;
+                        } else {
+                            let hdr = DataFrameHeader {
+                                session: SESSION,
+                                seq: info.seq,
+                                slot,
+                                len: info.len,
+                            };
+                            let buf = src_bufs[block as usize].lock();
+                            if let Err(e) = data[ch].send(hdr, &buf[..hdr.wire_len()]) {
+                                fail.set(e);
+                                return (dispatch_ns, ctrl_sent, credit_requests, dropped);
+                            }
+                        }
+                        dispatch_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                }
+                if !fail.is_set() {
+                    assert!(
+                        dispatch_order.is_drained(),
+                        "loads ended with a sequence gap"
+                    );
+                }
+                (dispatch_ns, ctrl_sent, credit_requests, dropped)
+            })
+        };
+
+        // Retransmit watchdog, as in the main pipeline: unacked past
+        // `retx_timeout` goes back on the wire.
+        let retx_watchdog = (cfg.fault_drop_p > 0.0).then(|| {
+            let data = data.clone();
+            let (inflight, src_bufs) = (&inflight, &src_bufs);
+            let (done_flag, fail, cfg) = (&done_flag, &fail, &cfg);
+            s.spawn(move || {
+                let mut fault_rng = cfg.fault_seed ^ 0x5EED_5EED_5EED_5EED;
+                let mut rr = 0usize;
+                let mut retransmits = 0u64;
+                let mut dropped = 0u64;
+                while !done_flag.load(Ordering::Relaxed) && !fail.is_set() {
+                    std::thread::sleep(cfg.retx_timeout / 4);
+                    for block in 0..cfg.pool_blocks {
+                        // Hold the entry across the re-send so a racing
+                        // ack cannot retire the block mid-send.
+                        let mut inf = inflight[block as usize].lock();
+                        let Some(i) = inf.as_mut() else { continue };
+                        if i.slot == u32::MAX || i.sent_at.elapsed() < cfg.retx_timeout {
+                            continue;
+                        }
+                        assert!(i.attempts < 64, "block seq {} will not go through", i.seq);
+                        i.sent_at = Instant::now();
+                        i.attempts += 1;
+                        retransmits += 1;
+                        let ch = rr % data.len();
+                        rr += 1;
+                        if drop_roll(&mut fault_rng) < cfg.fault_drop_p {
+                            dropped += 1;
+                        } else {
+                            let hdr = DataFrameHeader {
+                                session: SESSION,
+                                seq: i.seq,
+                                slot: i.slot,
+                                len: i.len,
+                            };
+                            let buf = src_bufs[block as usize].lock();
+                            if let Err(e) = data[ch].send(hdr, &buf[..hdr.wire_len()]) {
+                                fail.set(e);
+                                return (retransmits, dropped);
+                            }
+                        }
+                    }
+                }
+                (retransmits, dropped)
+            })
+        });
+
+        // Control thread: deposits credits, retires blocks on the sink's
+        // acks, and runs the teardown — `DatasetComplete`, write
+        // shutdown, then a drain to end-of-stream so the link closes
+        // only after the sink has read everything.
+        let ctrl = {
+            let ctrl_tx = ctrl_tx.clone();
+            let (stock, src_pool, inflight, seq2block) = (&stock, &src_pool, &inflight, &seq2block);
+            let (done_flag, fail) = (&done_flag, &fail);
+            s.spawn(move || {
+                let mut ctrl_count = 0u64;
+                let mut completed = 0u64;
+                let retire = |seq: u32| -> io::Result<()> {
+                    let block = seq2block
+                        .lock()
+                        .remove(&seq)
+                        .ok_or_else(|| perr(format!("ack for unknown seq {seq}")))?;
+                    let info = inflight[block as usize]
+                        .lock()
+                        .take()
+                        .ok_or_else(|| perr(format!("ack for idle block {block}")))?;
+                    debug_assert_eq!(info.seq, seq);
+                    src_pool.complete(block).expect("FSM: complete");
+                    Ok(())
+                };
+                while completed < total_blocks {
+                    match ctrl_rx.recv() {
+                        Ok(Some(msg)) => {
+                            ctrl_count += 1;
+                            let handled = match msg {
+                                CtrlMsg::SessionAccept { session, .. } if session == SESSION => {
+                                    Ok(())
+                                }
+                                CtrlMsg::Credits { session, credits } if session == SESSION => {
+                                    for c in credits {
+                                        stock.deposit(c.slot);
+                                    }
+                                    Ok(())
+                                }
+                                CtrlMsg::CreditBatch { session, slots, .. }
+                                    if session == SESSION =>
+                                {
+                                    for slot in slots {
+                                        stock.deposit(slot);
+                                    }
+                                    Ok(())
+                                }
+                                CtrlMsg::BlockComplete { session, seq, .. }
+                                    if session == SESSION =>
+                                {
+                                    completed += 1;
+                                    retire(seq)
+                                }
+                                CtrlMsg::AckBatch { session, acks } if session == SESSION => {
+                                    completed += acks.len() as u64;
+                                    acks.iter().try_for_each(|a| retire(a.seq))
+                                }
+                                other => Err(perr(format!("unexpected ctrl at source: {other:?}"))),
+                            };
+                            if let Err(e) = handled {
+                                fail.set(e);
+                                return ctrl_count;
+                            }
+                        }
+                        Ok(None) => {
+                            fail.set(perr("peer closed the control stream mid-transfer"));
+                            return ctrl_count;
+                        }
+                        Err(e) => {
+                            if !fail.is_set() {
+                                fail.set(e);
+                            }
+                            return ctrl_count;
+                        }
+                    }
+                }
+                done_flag.store(true, Ordering::Relaxed);
+                match ctrl_tx.send(&CtrlMsg::DatasetComplete {
+                    session: SESSION,
+                    total_blocks: total_blocks as u32,
+                }) {
+                    Ok(()) => ctrl_count += 1,
+                    Err(e) => {
+                        fail.set(e);
+                        return ctrl_count;
+                    }
+                }
+                shutdown_write();
+                // Drain trailing frames (credits granted after our last
+                // block freed) until the sink closes its side.
+                while let Ok(Some(_)) = ctrl_rx.recv() {
+                    ctrl_count += 1;
+                }
+                ctrl_count
+            })
+        };
+
+        for h in loader_handles {
+            tally.load_ns += h.join().expect("loader panicked");
+        }
+        let (dispatch_ns, disp_ctrl, credit_requests, dropped) =
+            dispatcher.join().expect("dispatcher panicked");
+        tally.dispatch_ns = dispatch_ns;
+        tally.ctrl += disp_ctrl;
+        tally.credit_requests = credit_requests;
+        tally.dropped = dropped;
+        if let Some(h) = retx_watchdog {
+            let (retransmits, dropped) = h.join().expect("retx watchdog panicked");
+            tally.retransmits = retransmits;
+            tally.dropped += dropped;
+        }
+        tally.ctrl += ctrl.join().expect("source ctrl panicked");
+    });
+
+    if fail.is_set() {
+        return Err(fail.into_err());
+    }
+    ctrl_msgs += tally.ctrl;
+    let elapsed = start.elapsed();
+    src_pool.check_invariants();
+    let per_block = |ns: u64| ns as f64 / total_blocks as f64;
+    Ok(LiveReport {
+        bytes: cfg.total_bytes,
+        blocks: total_blocks,
+        elapsed,
+        gbytes_per_sec: cfg.total_bytes as f64 / 1e9 / elapsed.as_secs_f64().max(1e-9),
+        checksum_failures: 0,
+        ooo_blocks: 0,
+        ctrl_msgs,
+        ctrl_msgs_per_block: ctrl_msgs as f64 / total_blocks as f64,
+        credit_requests: tally.credit_requests,
+        dropped_payloads: tally.dropped,
+        retransmits: tally.retransmits,
+        duplicate_payloads: 0,
+        stages: StageBreakdown {
+            load_ns: per_block(tally.load_ns),
+            dispatch_ns: per_block(tally.dispatch_ns),
+            ..Default::default()
+        },
+        direct_io_active,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Sink half
+// ---------------------------------------------------------------------------
+
+/// Everything the sink's control handler reacts to, on one channel.
+enum SinkEvt {
+    /// A data frame placed into its credited slot.
+    Arrival { seq: u32, slot: u32, len: u32 },
+    /// A control frame from the peer.
+    Ctrl(CtrlMsg),
+    /// One data link reached clean end-of-stream.
+    DataEof,
+    /// The control link reached clean end-of-stream.
+    CtrlEof,
+}
+
+/// The sink's protocol brain: negotiation, credit grants, in-order
+/// verify-and-free, and the coalesced sink→source control traffic
+/// (`AckBatch` for placements, `CreditBatch` for grants — same caps and
+/// flush window as the main pipeline).
+struct SinkHandler<'a> {
+    cfg: &'a LiveConfig,
+    ctrl_tx: &'a dyn CtrlTx,
+    snk_pool: &'a AtomicSinkPool,
+    granter: &'a Mutex<Granter>,
+    snk_bufs: &'a [Mutex<SlotBuf>],
+    verify_payload: bool,
+    total_blocks: u64,
+    reorder: ReorderBuffer<(u32, u32)>,
+    expected_seq: u32,
+    dc_seen: bool,
+    eof_data: usize,
+    pending_acks: Vec<BlockAck>,
+    pending_credits: Vec<u32>,
+    ctrl_msgs: u64,
+    delivered: u64,
+    checksum_failures: u64,
+    verify_ns: u64,
+}
+
+impl SinkHandler<'_> {
+    fn done(&self) -> bool {
+        self.dc_seen && self.delivered == self.total_blocks
+    }
+
+    fn idle(&self) -> bool {
+        self.pending_acks.is_empty() && self.pending_credits.is_empty()
+    }
+
+    /// Pop up to `want` free slots into the pending grant batch.
+    fn accumulate(&mut self, want: u32) {
+        let before = self.pending_credits.len();
+        self.pending_credits
+            .extend((0..want).map_while(|_| self.snk_pool.grant()));
+        let got = (self.pending_credits.len() - before) as u32;
+        if got > 0 {
+            self.granter.lock().note_granted(got);
+        }
+    }
+
+    fn flush_credits(&mut self) -> io::Result<()> {
+        if self.pending_credits.is_empty() {
+            return Ok(());
+        }
+        for chunk in self.pending_credits.chunks(self.cfg.credit_batch()) {
+            self.ctrl_msgs += 1;
+            self.ctrl_tx.send(&CtrlMsg::CreditBatch {
+                session: SESSION,
+                rkey: SINK_RKEY,
+                slot_len: self.cfg.slot_bytes() as u32,
+                slots: chunk.to_vec(),
+            })?;
+        }
+        self.pending_credits.clear();
+        Ok(())
+    }
+
+    fn flush_acks(&mut self) -> io::Result<()> {
+        if self.pending_acks.is_empty() {
+            return Ok(());
+        }
+        let msg = if self.pending_acks.len() == 1 && self.cfg.ctrl_batch <= 1 {
+            let a = self.pending_acks[0];
+            CtrlMsg::BlockComplete {
+                session: SESSION,
+                seq: a.seq,
+                slot: a.slot,
+                len: a.len,
+            }
+        } else {
+            CtrlMsg::AckBatch {
+                session: SESSION,
+                acks: std::mem::take(&mut self.pending_acks),
+            }
+        };
+        self.pending_acks.clear();
+        self.ctrl_msgs += 1;
+        self.ctrl_tx.send(&msg)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.flush_acks()?;
+        self.flush_credits()
+    }
+
+    /// Verify and free one in-order delivery.
+    fn deliver(&mut self, seq: u32, slot: u32, len: u32) -> io::Result<()> {
+        assert_eq!(seq, self.expected_seq, "out-of-order delivery");
+        self.expected_seq += 1;
+        let t0 = Instant::now();
+        {
+            let buf = self.snk_bufs[slot as usize].lock();
+            let hdr = PayloadHeader::decode(&buf[..PAYLOAD_HEADER_LEN])
+                .map_err(|e| perr(format!("bad payload header: {e:?}")))?;
+            let ok = hdr.session == SESSION
+                && hdr.seq == seq
+                && hdr.len == len
+                && (!self.verify_payload
+                    || checksum(&buf[PAYLOAD_HEADER_LEN..PAYLOAD_HEADER_LEN + len as usize])
+                        == expected_checksum(SESSION, seq, len));
+            if !ok {
+                self.checksum_failures += 1;
+            }
+        }
+        self.verify_ns += t0.elapsed().as_nanos() as u64;
+        self.snk_pool
+            .put_free(slot)
+            .map_err(|e| perr(format!("FSM put_free: {e:?}")))?;
+        let owed = self.granter.lock().on_block_freed();
+        if owed > 0 {
+            // Answer a starved MrRequest immediately.
+            self.accumulate(owed);
+            self.flush_credits()?;
+        }
+        self.delivered += 1;
+        Ok(())
+    }
+
+    fn handle(&mut self, ev: SinkEvt) -> io::Result<()> {
+        match ev {
+            SinkEvt::Arrival { seq, slot, len } => {
+                self.snk_pool
+                    .ready(slot)
+                    .map_err(|e| perr(format!("arrival in non-granted slot {slot}: {e:?}")))?;
+                for (s2, (slot2, len2)) in self.reorder.push(seq, (slot, len)) {
+                    self.deliver(s2, slot2, len2)?;
+                }
+                let want = self.granter.lock().on_completion();
+                self.accumulate(want);
+                self.pending_acks.push(BlockAck { seq, slot, len });
+                if self.pending_acks.len() >= self.cfg.ack_batch() {
+                    self.flush_acks()?;
+                }
+                if self.pending_credits.len() >= self.cfg.credit_batch() {
+                    self.flush_credits()?;
+                }
+                Ok(())
+            }
+            SinkEvt::Ctrl(msg) => {
+                self.ctrl_msgs += 1;
+                match msg {
+                    CtrlMsg::SessionRequest {
+                        session,
+                        block_size,
+                        channels,
+                        total_bytes,
+                        ..
+                    } => {
+                        if session != SESSION
+                            || block_size != self.cfg.block_size as u64
+                            || channels != self.cfg.channels as u16
+                            || total_bytes != self.cfg.total_bytes
+                        {
+                            return Err(perr(format!(
+                                "SessionRequest disagrees with sink config: \
+                                 {block_size}B × {channels}ch, {total_bytes} bytes vs \
+                                 {}B × {}ch, {} bytes",
+                                self.cfg.block_size, self.cfg.channels, self.cfg.total_bytes
+                            )));
+                        }
+                        self.ctrl_msgs += 1;
+                        self.ctrl_tx.send(&CtrlMsg::SessionAccept {
+                            session: SESSION,
+                            block_size: self.cfg.block_size as u64,
+                            data_qpns: (0..self.cfg.channels as u32).collect(),
+                        })?;
+                        let want = self.granter.lock().on_accept();
+                        self.accumulate(want);
+                        self.flush_credits()
+                    }
+                    CtrlMsg::MrRequest { session } if session == SESSION => {
+                        let free = self.snk_pool.free_count();
+                        let want = self.granter.lock().on_request(free);
+                        self.accumulate(want);
+                        self.flush_credits()
+                    }
+                    CtrlMsg::DatasetComplete {
+                        session,
+                        total_blocks,
+                    } if session == SESSION => {
+                        if total_blocks as u64 != self.total_blocks {
+                            return Err(perr(format!(
+                                "DatasetComplete for {total_blocks} blocks, expected {}",
+                                self.total_blocks
+                            )));
+                        }
+                        self.dc_seen = true;
+                        Ok(())
+                    }
+                    other => Err(perr(format!("unexpected ctrl at sink: {other:?}"))),
+                }
+            }
+            SinkEvt::DataEof => {
+                self.eof_data += 1;
+                if self.eof_data == self.cfg.channels && self.delivered < self.total_blocks {
+                    return Err(perr(format!(
+                        "peer closed the data streams after {} of {} blocks",
+                        self.delivered, self.total_blocks
+                    )));
+                }
+                Ok(())
+            }
+            SinkEvt::CtrlEof => {
+                if self.dc_seen {
+                    Ok(())
+                } else {
+                    Err(perr("peer closed the control stream mid-transfer"))
+                }
+            }
+        }
+    }
+}
+
+/// Run the sink half of a transfer over `t`: grant credits, place
+/// arriving frames into their credited slots (directly from the link —
+/// the transport read *is* the placement), verify and free in order, ack
+/// placed blocks back to the source, and finish on `DatasetComplete`.
+///
+/// `cfg` must agree with the source on `block_size`, `channels`, and
+/// `total_bytes` (the handler checks the `SessionRequest` against it);
+/// pool size, destination file, and I/O mode are this side's own.
+/// `first_ctrl` is a frame already read off the control link during
+/// session setup (the TCP listener consumes the `SessionRequest` to
+/// build `cfg`), replayed to the handler before live traffic.
+///
+/// Without a `dst_file` the sink checksum-verifies against the pattern
+/// generator — pair a file *source* with a file *sink*, or every block
+/// counts as a checksum failure.
+pub fn run_split_sink(
+    cfg: &LiveConfig,
+    t: SinkTransport,
+    first_ctrl: Option<CtrlMsg>,
+) -> io::Result<LiveReport> {
+    assert!(cfg.channels >= 1 && cfg.total_bytes > 0);
+    let total_blocks = cfg.total_blocks();
+    let geo = PoolGeometry::new(cfg.block_size as u64, cfg.pool_blocks);
+    let snk_backend = SnkBackend::open(cfg)?;
+    let direct_io_active = snk_backend.direct_active();
+
+    let snk_pool = AtomicSinkPool::new(geo);
+    let snk_bufs: Vec<Mutex<SlotBuf>> = (0..cfg.pool_blocks)
+        .map(|_| Mutex::new(SlotBuf::new(cfg.block_size)))
+        .collect();
+    let granter = Mutex::new(Granter::new(
+        rftp_core::CreditMode::Proactive,
+        cfg.initial_credits,
+        cfg.grant_per_completion,
+        4,
+    ));
+    let placed = AtomicBitmap::new(total_blocks);
+
+    let SinkTransport {
+        ctrl_tx,
+        mut ctrl_rx,
+        data,
+        abort,
+    } = t;
+    assert_eq!(data.len(), cfg.channels, "one data link per channel");
+    let fail = Fail::new(abort);
+    let (evt_tx, evt_rx) = bounded::<SinkEvt>(1024);
+
+    let start = Instant::now();
+    let mut tally = (0u64, 0u64, 0u64); // place_ns, flush_ns, duplicates
+    let mut handler_out: Option<SinkHandler> = None;
+
+    std::thread::scope(|s| {
+        // Control pump: frames off the control link into the event
+        // channel. Exits at end-of-stream (normal once DatasetComplete
+        // has passed) or on a link error.
+        let pump = {
+            let evt_tx = evt_tx.clone();
+            let fail = &fail;
+            s.spawn(move || loop {
+                match ctrl_rx.recv() {
+                    Ok(Some(msg)) => {
+                        if evt_tx.send(SinkEvt::Ctrl(msg)).is_err() {
+                            return; // handler bailed; fail is set
+                        }
+                    }
+                    Ok(None) => {
+                        let _ = evt_tx.send(SinkEvt::CtrlEof);
+                        return;
+                    }
+                    Err(e) => {
+                        if !fail.is_set() {
+                            fail.set(e);
+                        }
+                        return;
+                    }
+                }
+            })
+        };
+
+        // Per-channel receivers: the "NIC". Each frame's wire image is
+        // read straight into the slot its header names — the credited,
+        // pre-registered buffer — or discarded unread if the sequence
+        // was already placed (a retransmit raced a slow ack; its slot
+        // may have been re-granted, so placing it would corrupt a newer
+        // block).
+        let receiver_handles: Vec<_> = data
+            .into_iter()
+            .map(|mut rx| {
+                let evt_tx = evt_tx.clone();
+                let (snk_bufs, placed, snk_backend) = (&snk_bufs, &placed, &snk_backend);
+                let (fail, cfg) = (&fail, &cfg);
+                s.spawn(move || {
+                    let mut place_ns = 0u64;
+                    let mut flush_ns = 0u64;
+                    let mut duplicates = 0u64;
+                    loop {
+                        let hdr = match rx.recv_header() {
+                            Ok(Some(hdr)) => hdr,
+                            Ok(None) => {
+                                let _ = evt_tx.send(SinkEvt::DataEof);
+                                return (place_ns, flush_ns, duplicates);
+                            }
+                            Err(e) => {
+                                if !fail.is_set() {
+                                    fail.set(e);
+                                }
+                                return (place_ns, flush_ns, duplicates);
+                            }
+                        };
+                        if hdr.session != SESSION
+                            || hdr.slot >= cfg.pool_blocks
+                            || hdr.len as usize > cfg.block_size
+                            || hdr.seq as u64 >= total_blocks
+                        {
+                            fail.set(perr(format!("bad data frame {hdr:?}")));
+                            return (place_ns, flush_ns, duplicates);
+                        }
+                        if !placed.claim(hdr.seq as u64) {
+                            duplicates += 1;
+                            if let Err(e) = rx.discard_wire(hdr.wire_len()) {
+                                fail.set(e);
+                                return (place_ns, flush_ns, duplicates);
+                            }
+                            continue;
+                        }
+                        let t0 = Instant::now();
+                        {
+                            let mut dst = snk_bufs[hdr.slot as usize].lock();
+                            if let Err(e) = rx.recv_wire(&mut dst[..hdr.wire_len()]) {
+                                fail.set(e);
+                                return (place_ns, flush_ns, duplicates);
+                            }
+                            place_ns += t0.elapsed().as_nanos() as u64;
+                            if let SnkBackend::File(sink) = snk_backend {
+                                // Write-behind: the block lands at its
+                                // final offset the moment it is placed;
+                                // sparse placement is the reassembly.
+                                let t1 = Instant::now();
+                                if let Err(e) = sink.write_block(
+                                    &dst[PAYLOAD_HEADER_LEN..PAYLOAD_HEADER_LEN + hdr.len as usize],
+                                    hdr.seq as u64 * cfg.block_size as u64,
+                                ) {
+                                    fail.set(e);
+                                    return (place_ns, flush_ns, duplicates);
+                                }
+                                flush_ns += t1.elapsed().as_nanos() as u64;
+                            }
+                        }
+                        if evt_tx
+                            .send(SinkEvt::Arrival {
+                                seq: hdr.seq,
+                                slot: hdr.slot,
+                                len: hdr.len,
+                            })
+                            .is_err()
+                        {
+                            return (place_ns, flush_ns, duplicates); // handler bailed
+                        }
+                    }
+                })
+            })
+            .collect();
+        drop(evt_tx);
+
+        // The handler runs on the scope's own thread.
+        let mut h = SinkHandler {
+            cfg,
+            ctrl_tx: ctrl_tx.as_ref(),
+            snk_pool: &snk_pool,
+            granter: &granter,
+            snk_bufs: &snk_bufs,
+            verify_payload: cfg.dst_file.is_none(),
+            total_blocks,
+            reorder: ReorderBuffer::new(),
+            expected_seq: 0,
+            dc_seen: false,
+            eof_data: 0,
+            pending_acks: Vec::with_capacity(cfg.ack_batch()),
+            pending_credits: Vec::with_capacity(cfg.pool_blocks as usize),
+            ctrl_msgs: 0,
+            delivered: 0,
+            checksum_failures: 0,
+            verify_ns: 0,
+        };
+        let run = (|| -> io::Result<()> {
+            if let Some(msg) = first_ctrl {
+                h.handle(SinkEvt::Ctrl(msg))?;
+            }
+            let mut events: Vec<SinkEvt> = Vec::with_capacity(64);
+            while !h.done() {
+                if evt_rx.recv_batch(&mut events, 64).is_err() {
+                    return Err(perr("event pipeline stopped before transfer completed"));
+                }
+                loop {
+                    for ev in events.drain(..) {
+                        h.handle(ev)?;
+                    }
+                    // Dwell for the flush window on partial batches —
+                    // acks and grants leave before the next unbounded
+                    // wait, so coalescing costs no latency.
+                    if h.done() || h.idle() {
+                        break;
+                    }
+                    if evt_rx
+                        .recv_batch_timeout(&mut events, 64, cfg.flush_window)
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                h.flush()?;
+            }
+            Ok(())
+        })();
+        if let Err(e) = run {
+            if !fail.is_set() {
+                fail.set(e);
+            }
+        }
+        // Release any receiver blocked handing over an event, then join.
+        drop(evt_rx);
+        handler_out = Some(h);
+        for rh in receiver_handles {
+            let (place_ns, flush_ns, duplicates) = rh.join().expect("receiver panicked");
+            tally.0 += place_ns;
+            tally.1 += flush_ns;
+            tally.2 += duplicates;
+        }
+        pump.join().expect("ctrl pump panicked");
+    });
+
+    if fail.is_set() {
+        return Err(fail.into_err());
+    }
+    let h = handler_out.expect("handler state");
+
+    // Dataset-completion durability, inside the timing window.
+    let mut sync_ns = 0u64;
+    if let SnkBackend::File(sink) = &snk_backend {
+        let t0 = Instant::now();
+        sink.sync()?;
+        sync_ns = t0.elapsed().as_nanos() as u64;
+    }
+    let elapsed = start.elapsed();
+    assert_eq!(h.delivered, total_blocks, "blocks lost in the pipeline");
+    snk_pool.check_invariants();
+    let per_block = |ns: u64| ns as f64 / total_blocks as f64;
+    Ok(LiveReport {
+        bytes: cfg.total_bytes,
+        blocks: total_blocks,
+        elapsed,
+        gbytes_per_sec: cfg.total_bytes as f64 / 1e9 / elapsed.as_secs_f64().max(1e-9),
+        checksum_failures: h.checksum_failures,
+        ooo_blocks: h.reorder.ooo_arrivals,
+        ctrl_msgs: h.ctrl_msgs,
+        ctrl_msgs_per_block: h.ctrl_msgs as f64 / total_blocks as f64,
+        credit_requests: 0,
+        dropped_payloads: 0,
+        retransmits: 0,
+        duplicate_payloads: tally.2,
+        stages: StageBreakdown {
+            place_ns: per_block(tally.0),
+            verify_ns: per_block(h.verify_ns),
+            flush_ns: per_block(tally.1),
+            sync_ns: per_block(sync_ns),
+            ..Default::default()
+        },
+        direct_io_active,
+    })
+}
+
+/// Run both halves in this process over the in-proc channel transport —
+/// the split pipeline's loopback. Source takes the `src_file`/fault side
+/// of `cfg`, sink the `dst_file` side. Returns `(source, sink)` reports.
+pub fn run_split_pair(cfg: &LiveConfig) -> io::Result<(LiveReport, LiveReport)> {
+    let (st, kt) = channel_transport(cfg.channels, cfg.channel_depth);
+    let mut src_cfg = cfg.clone();
+    src_cfg.dst_file = None;
+    let mut snk_cfg = cfg.clone();
+    snk_cfg.src_file = None;
+    snk_cfg.src_rate = None;
+    snk_cfg.fault_drop_p = 0.0;
+    std::thread::scope(|s| {
+        let sink = s.spawn(|| run_split_sink(&snk_cfg, kt, None));
+        let source = run_split_source(&src_cfg, st);
+        let sink = sink.join().expect("sink half panicked");
+        Ok((source?, sink?))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCALE: u64 = if cfg!(debug_assertions) { 8 } else { 1 };
+
+    #[test]
+    fn split_pair_moves_pattern_data_exactly() {
+        let mut cfg = LiveConfig::new(64 * 1024, 2, (8 << 20) / SCALE);
+        cfg.pool_blocks = 16;
+        let (src, snk) = run_split_pair(&cfg).expect("split transfer");
+        assert_eq!(src.blocks, 128 / SCALE);
+        assert_eq!(snk.blocks, 128 / SCALE);
+        assert_eq!(snk.checksum_failures, 0);
+        assert!(src.ctrl_msgs > 0 && snk.ctrl_msgs > 0);
+    }
+
+    #[test]
+    fn split_pair_coalesces_control_traffic() {
+        let mut cfg = LiveConfig::new(8 * 1024, 4, (8 << 20) / SCALE);
+        cfg.pool_blocks = 32;
+        cfg.flush_window = std::time::Duration::from_micros(500);
+        let (src, snk) = run_split_pair(&cfg).expect("split transfer");
+        assert_eq!(snk.checksum_failures, 0);
+        assert!(
+            src.ctrl_msgs_per_block < 1.0,
+            "source saw {:.2} ctrl frames per block",
+            src.ctrl_msgs_per_block
+        );
+        assert!(
+            snk.ctrl_msgs_per_block < 1.0,
+            "sink saw {:.2} ctrl frames per block",
+            snk.ctrl_msgs_per_block
+        );
+    }
+
+    #[test]
+    fn split_pair_short_tail_and_single_block() {
+        let cfg = LiveConfig::new(64 * 1024, 1, (64 << 10) * 3 + 777);
+        let (src, snk) = run_split_pair(&cfg).expect("split transfer");
+        assert_eq!(src.blocks, 4);
+        assert_eq!(snk.checksum_failures, 0);
+
+        let cfg = LiveConfig::new(4096, 1, 4096);
+        let (_, snk) = run_split_pair(&cfg).expect("split transfer");
+        assert_eq!(snk.blocks, 1);
+        assert_eq!(snk.checksum_failures, 0);
+    }
+
+    #[test]
+    fn split_pair_recovers_dropped_payloads() {
+        let mut cfg = LiveConfig::new(32 * 1024, 2, (4 << 20) / SCALE);
+        cfg.pool_blocks = 8;
+        cfg.fault_drop_p = 0.2;
+        cfg.fault_seed = 7;
+        cfg.retx_timeout = std::time::Duration::from_millis(25);
+        let (src, snk) = run_split_pair(&cfg).expect("split transfer");
+        assert_eq!(snk.checksum_failures, 0);
+        assert!(src.dropped_payloads >= 1, "fault injector never fired");
+        assert!(
+            src.retransmits >= src.dropped_payloads,
+            "every drop needs at least one re-send: {} drops, {} retransmits",
+            src.dropped_payloads,
+            src.retransmits
+        );
+    }
+
+    #[test]
+    fn split_pair_repeated_runs_are_clean() {
+        for i in 0..6 {
+            let mut cfg = LiveConfig::new(32 * 1024, 3, (4 << 20) / SCALE);
+            cfg.pool_blocks = 8;
+            cfg.loaders = 3;
+            let (_, snk) = run_split_pair(&cfg).expect("split transfer");
+            assert_eq!(snk.checksum_failures, 0, "iteration {i}");
+        }
+    }
+
+    #[test]
+    fn sink_errors_when_source_vanishes_mid_transfer() {
+        // Source half dies (simulated by aborting its transport after
+        // the session opens); the sink must surface an error, not hang.
+        let mut cfg = LiveConfig::new(64 * 1024, 2, 8 << 20);
+        cfg.pool_blocks = 8;
+        let (st, kt) = channel_transport(cfg.channels, cfg.channel_depth);
+        let cfg2 = cfg.clone();
+        let sink = std::thread::spawn(move || run_split_sink(&cfg2, kt, None));
+        // Open the session by hand, then cut every link.
+        st.ctrl_tx
+            .send(&CtrlMsg::SessionRequest {
+                session: SESSION,
+                block_size: cfg.block_size as u64,
+                channels: cfg.channels as u16,
+                total_bytes: cfg.total_bytes,
+                notify_imm: true,
+            })
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        (st.abort)();
+        drop(st);
+        let err = sink.join().unwrap().expect_err("sink must fail");
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe, "{err}");
+    }
+}

@@ -1,0 +1,275 @@
+//! End-to-end transfers over real TCP sockets on loopback — the split
+//! pipeline with the [`rftp_live::net`] backend, in-process (two thread
+//! groups, two transports, one kernel socket pair per link) and as two
+//! actual OS processes driving the `rftp-live` binary.
+
+use rftp_live::net::{connect_source, NetListener};
+use rftp_live::{run_split_sink, run_split_source, LiveConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Debug builds move bytes ~an order of magnitude slower; shrink the
+/// payloads so the suite stays snappy under `cargo test`.
+const SCALE: u64 = if cfg!(debug_assertions) { 4 } else { 1 };
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("rftp_net_{}_{tag}", std::process::id()))
+}
+
+/// A deterministic, non-trivial test file (not the pipeline's own
+/// pattern generator — the transfer must not be able to "verify" it by
+/// regenerating it).
+fn write_test_file(path: &PathBuf, bytes: u64) {
+    let mut f = std::fs::File::create(path).unwrap();
+    let mut chunk = vec![0u8; 64 * 1024];
+    let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut left = bytes;
+    while left > 0 {
+        for w in chunk.chunks_exact_mut(8) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            w.copy_from_slice(&x.to_le_bytes());
+        }
+        let n = left.min(chunk.len() as u64) as usize;
+        f.write_all(&chunk[..n]).unwrap();
+        left -= n as u64;
+    }
+}
+
+/// Run one transfer over TCP loopback inside this process: the source
+/// half on a helper thread, the sink half here.
+fn run_tcp_pair(
+    src_cfg: LiveConfig,
+    snk_cfg: LiveConfig,
+) -> (
+    std::io::Result<rftp_live::LiveReport>,
+    std::io::Result<rftp_live::LiveReport>,
+) {
+    let listener = NetListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let channels = src_cfg.channels;
+    let sockbuf = rftp_live::net::default_sockbuf(src_cfg.block_size, src_cfg.channel_depth);
+    let src = std::thread::spawn(move || {
+        let t = connect_source(addr, channels, sockbuf)?;
+        run_split_source(&src_cfg, t)
+    });
+    let snk = (|| {
+        let (t, first) = listener.accept_session(sockbuf)?;
+        run_split_sink(&snk_cfg, t, Some(first))
+    })();
+    (src.join().unwrap(), snk)
+}
+
+#[test]
+fn tcp_pattern_transfer_verifies_and_coalesces() {
+    let cfg = LiveConfig::new(64 * 1024, 4, (32 << 20) / SCALE);
+    let (src, snk) = run_tcp_pair(cfg.clone(), cfg.clone());
+    let (src, snk) = (src.unwrap(), snk.unwrap());
+    assert_eq!(snk.blocks, cfg.total_bytes.div_ceil(64 * 1024));
+    assert_eq!(snk.checksum_failures, 0);
+    assert!(
+        src.ctrl_msgs_per_block < 1.0 && snk.ctrl_msgs_per_block < 1.0,
+        "control plane not coalesced: src {:.2}/blk, snk {:.2}/blk",
+        src.ctrl_msgs_per_block,
+        snk.ctrl_msgs_per_block
+    );
+}
+
+#[test]
+fn tcp_file_to_file_is_byte_identical() {
+    let src_path = tmp_path("f2f_src");
+    let dst_path = tmp_path("f2f_dst");
+    // An odd tail: the last block is partial.
+    let bytes = (16 << 20) / SCALE + 12_345;
+    write_test_file(&src_path, bytes);
+
+    let mut src_cfg = LiveConfig::new(128 * 1024, 3, bytes);
+    src_cfg.src_file = Some(src_path.clone());
+    let mut snk_cfg = LiveConfig::new(128 * 1024, 3, bytes);
+    snk_cfg.dst_file = Some(dst_path.clone());
+    let (src, snk) = run_tcp_pair(src_cfg, snk_cfg);
+    src.unwrap();
+    let snk = snk.unwrap();
+    assert_eq!(snk.checksum_failures, 0);
+
+    let (a, b) = (
+        std::fs::read(&src_path).unwrap(),
+        std::fs::read(&dst_path).unwrap(),
+    );
+    assert_eq!(a.len(), b.len(), "size mismatch");
+    assert!(a == b, "destination bytes differ from source");
+    let _ = std::fs::remove_file(&src_path);
+    let _ = std::fs::remove_file(&dst_path);
+}
+
+#[test]
+fn tcp_drop_faults_recover_exactly_once() {
+    let mut src_cfg = LiveConfig::new(32 * 1024, 2, (4 << 20) / SCALE);
+    src_cfg.pool_blocks = 8;
+    src_cfg.fault_drop_p = 0.15;
+    src_cfg.fault_seed = 42;
+    src_cfg.retx_timeout = Duration::from_millis(30);
+    let mut snk_cfg = LiveConfig::new(32 * 1024, 2, src_cfg.total_bytes);
+    snk_cfg.pool_blocks = 8;
+    let (src, snk) = run_tcp_pair(src_cfg, snk_cfg);
+    let (src, snk) = (src.unwrap(), snk.unwrap());
+    assert_eq!(
+        snk.checksum_failures, 0,
+        "every block placed correctly once"
+    );
+    assert!(src.dropped_payloads >= 1, "fault injector never fired");
+    assert!(src.retransmits >= 1, "drops must be recovered by re-send");
+    // Any duplicate a raced retransmit produced was discarded, not placed
+    // (checksums above prove placement integrity); here we just confirm
+    // the accounting is coherent.
+    assert_eq!(snk.blocks, src.blocks);
+}
+
+// ---------------------------------------------------------------------------
+// The real thing: two OS processes driving the rftp-live binary.
+// ---------------------------------------------------------------------------
+
+fn rftp_live_cmd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rftp-live"))
+}
+
+/// Spawn `rftp-live --listen 127.0.0.1:0 ...` and read the bound address
+/// off its first stdout line.
+fn spawn_sink(extra: &[&str]) -> (Child, String) {
+    let mut child = rftp_live_cmd()
+        .arg("--listen")
+        .arg("127.0.0.1:0")
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn rftp-live --listen");
+    let mut line = String::new();
+    BufReader::new(child.stdout.as_mut().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    let addr = line
+        .rsplit(' ')
+        .next()
+        .expect("listen line names an address")
+        .trim()
+        .to_string();
+    assert!(addr.starts_with("127.0.0.1:"), "unexpected line: {line:?}");
+    (child, addr)
+}
+
+fn wait_timeout(child: &mut Child, limit: Duration) -> Option<std::process::ExitStatus> {
+    let t0 = Instant::now();
+    while t0.elapsed() < limit {
+        if let Some(st) = child.try_wait().unwrap() {
+            return Some(st);
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    None
+}
+
+#[test]
+fn two_processes_move_a_file_byte_identically() {
+    let src_path = tmp_path("proc_src");
+    let dst_path = tmp_path("proc_dst");
+    write_test_file(&src_path, (24 << 20) / SCALE + 4097);
+
+    let (mut sink, addr) = spawn_sink(&["--dst-file", dst_path.to_str().unwrap()]);
+    let mut source = rftp_live_cmd()
+        .args(["--connect", &addr, "--channels", "4", "--block", "128K"])
+        .args(["--src-file", src_path.to_str().unwrap()])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn rftp-live --connect");
+
+    let src_status =
+        wait_timeout(&mut source, Duration::from_secs(120)).expect("source process hung");
+    let snk_status = wait_timeout(&mut sink, Duration::from_secs(30))
+        .expect("sink process hung after source finished");
+    assert!(src_status.success(), "source exited {src_status:?}");
+    assert!(snk_status.success(), "sink exited {snk_status:?}");
+
+    let (a, b) = (
+        std::fs::read(&src_path).unwrap(),
+        std::fs::read(&dst_path).unwrap(),
+    );
+    assert!(a == b, "destination differs from source across processes");
+    let _ = std::fs::remove_file(&src_path);
+    let _ = std::fs::remove_file(&dst_path);
+}
+
+/// Killing the sink process mid-transfer must fail the source promptly —
+/// a broken-pipe style error, not a hang.
+#[test]
+fn source_fails_cleanly_when_sink_is_killed() {
+    let (mut sink, addr) = spawn_sink(&[]);
+    // Big pattern-mode payload so the transfer is still in flight when
+    // the sink dies.
+    let mut source = rftp_live_cmd()
+        .args(["--connect", &addr, "--size", "2G", "--channels", "2"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    sink.kill().unwrap();
+    sink.wait().unwrap();
+
+    let status = wait_timeout(&mut source, Duration::from_secs(10))
+        .expect("source hung after its peer died");
+    assert!(!status.success(), "source must report the dead peer");
+    let mut err = String::new();
+    source
+        .stderr
+        .take()
+        .unwrap()
+        .read_to_string(&mut err)
+        .unwrap();
+    assert!(
+        err.contains("transfer failed"),
+        "source stderr should explain: {err:?}"
+    );
+}
+
+/// Killing the source process mid-transfer must fail the sink promptly.
+#[test]
+fn sink_fails_cleanly_when_source_is_killed() {
+    let (mut sink, addr) = spawn_sink(&[]);
+    let mut source = rftp_live_cmd()
+        .args(["--connect", &addr, "--size", "2G", "--channels", "2"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    source.kill().unwrap();
+    source.wait().unwrap();
+
+    let status =
+        wait_timeout(&mut sink, Duration::from_secs(10)).expect("sink hung after its peer died");
+    assert!(!status.success(), "sink must report the dead peer");
+}
+
+#[test]
+fn unknown_flags_are_rejected_with_usage() {
+    let out = rftp_live_cmd().arg("--frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag --frobnicate"), "{err}");
+    assert!(err.contains("USAGE"), "usage text missing: {err}");
+
+    // A flag missing its value is the same class of error.
+    let out = rftp_live_cmd().args(["--connect"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // And cross-role flags are refused up front, before any socket opens.
+    let out = rftp_live_cmd()
+        .args(["--listen", "127.0.0.1:0", "--size", "1M"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
