@@ -45,13 +45,11 @@ fn tape(name: &str) -> Vec<u64> {
             "bursty_same_instant" => {
                 // A train of 64 events on one instant, then a short hop.
                 out.push(1 + splitmix(&mut state) % (1 << 18));
-                for _ in 0..63 {
-                    out.push(0);
-                }
+                out.extend(std::iter::repeat_n(0, 63));
             }
             "far_future_heavy" => {
                 let r = splitmix(&mut state);
-                out.push(if r % 2 == 0 {
+                out.push(if r.is_multiple_of(2) {
                     r % (1 << 22)
                 } else {
                     (1 << 26) + r % (1 << 38)

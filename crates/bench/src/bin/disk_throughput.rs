@@ -353,7 +353,7 @@ fn main() {
     );
     std::fs::write(&out_path, json).expect("write BENCH_disk.json");
     println!("\nwrote {out_path}");
-    if !quick && !(g1 && g2) {
+    if !(quick || (g1 && g2)) {
         eprintln!("disk throughput gate FAILED");
         std::process::exit(1);
     }

@@ -20,6 +20,7 @@ use rftp_live::{run_live, LiveConfig};
 /// two-copy slab path) at 256 MB, 4 loaders, 32-block pools on this
 /// machine. `(gbps, ctrl_msgs_per_block)`, keyed by
 /// `(block_size, channels)`.
+#[allow(clippy::type_complexity)]
 const BASELINE_PRE_PR: &[((u64, usize), (f64, f64))] = &[
     ((64 * 1024, 1), (0.9926, 3.62)),
     ((64 * 1024, 8), (0.9830, 3.63)),

@@ -1,90 +1,179 @@
-//! Socket-transport throughput gate: the split pipeline over real TCP
-//! on loopback — two transports, one kernel socket per link, vectored
-//! zero-copy framing — swept across channel count × block size.
+//! Socket-transport throughput gate: the split pipeline over real
+//! sockets on loopback, swept across channel count × block size for
+//! **both** socket backends — TCP (thread per channel, vectored
+//! zero-copy framing) and io_uring (one ring per side, registered
+//! buffers, batched completions) — head to head.
 //!
-//! Emits `BENCH_net.json` with GB/s and control frames per block for
-//! every sweep point, plus a tuned-vs-default socket-buffer head-to-head
-//! at the gate point. The acceptance gate runs at 8 channels × 256 KB,
-//! best of 3: throughput must clear an absolute floor (loopback TCP is
-//! machine-dependent, so the floor is set well under a healthy run but
-//! far above a regression that re-introduces a copy or a per-block
-//! control round-trip), and the control plane must stay coalesced at
-//! ≤ 1 frame per block.
+//! Emits `BENCH_net.json` with GB/s, control frames per block, mean and
+//! p50/p99 per-stage latencies, and the data-path thread count for every
+//! sweep point, plus a tuned-vs-default socket-buffer contrast at the
+//! gate point. Every best-of series is preceded by one untimed warmup
+//! transfer so page-cache, allocator, and TCP window ramp-up don't decide
+//! which run wins.
 //!
-//! `--quick` runs a reduced sweep for CI smoke (no gate); `--out PATH`
+//! The acceptance gates run at 8 channels × 256 KB, best of 3:
+//! * **tcp**: an absolute floor well under a healthy run but far above a
+//!   regression that re-introduces a copy or a per-block control
+//!   round-trip, and ≤ 1 control frame per block;
+//! * **uring** (when the kernel supports it): a higher absolute floor,
+//!   ≤ 1 control frame per block, a lower mean place-stage latency than
+//!   the TCP run next to it, and a data path of O(1) threads per side
+//!   where TCP spends O(channels).
+//!
+//! `--quick` runs a reduced sweep for CI smoke (no gate); `--gate-only`
+//! skips the sweep and runs just the gate head-to-head; `--out PATH`
 //! overrides the JSON location.
 
 use rftp_bench::{bs_label, MB};
 use rftp_live::net::{connect_source, default_sockbuf, NetListener};
 use rftp_live::pipeline::LiveReport;
-use rftp_live::{run_split_sink, run_split_source, LiveConfig};
+use rftp_live::{
+    accept_source_uring, connect_source_uring, run_split_sink, run_split_source, run_uring_sink,
+    uring_supported, LiveConfig,
+};
 
-/// Gate floor, GB/s, at 8 channels × 256 KB (best of 3, release build).
-/// Loopback moved ~1.75 GB/s on the reference machine; a transport that
-/// stages an extra copy or serializes the control plane lands well below
-/// the floor.
+/// TCP gate floor, GB/s, at 8 channels × 256 KB (best of 3, release
+/// build). Loopback moved ~1.75 GB/s on the reference machine; a
+/// transport that stages an extra copy or serializes the control plane
+/// lands well below the floor.
 const GATE_FLOOR_GBPS: f64 = 1.0;
 
-/// One transfer over TCP loopback: source half on a helper thread, sink
-/// half here. `sockbuf = 0` leaves the OS socket-buffer defaults.
-fn run_net(block: u64, channels: usize, total: u64, sockbuf: usize) -> (LiveReport, LiveReport) {
+/// io_uring gate floor, GB/s, same point. The ring backend saves the
+/// per-block syscalls and the per-channel receiver threads; it must
+/// clear a higher bar than TCP on the same machine.
+const URING_GATE_FLOOR_GBPS: f64 = 2.2;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Backend {
+    Tcp,
+    Uring,
+}
+
+impl Backend {
+    fn label(self) -> &'static str {
+        match self {
+            Backend::Tcp => "tcp",
+            Backend::Uring => "uring",
+        }
+    }
+}
+
+/// One transfer over loopback: source half on a helper thread, sink half
+/// here. `sockbuf = 0` leaves the OS socket-buffer defaults.
+fn run_net(
+    backend: Backend,
+    block: u64,
+    channels: usize,
+    total: u64,
+    sockbuf: usize,
+) -> (LiveReport, LiveReport) {
     let mut cfg = LiveConfig::new(block as usize, channels, total);
     cfg.pool_blocks = 32;
     cfg.loaders = 4;
     let listener = NetListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().unwrap();
     let src_cfg = cfg.clone();
-    let src = std::thread::spawn(move || {
-        let t = connect_source(addr, channels, sockbuf).expect("connect");
-        run_split_source(&src_cfg, t).expect("source half")
-    });
-    let (t, first) = listener.accept_session(sockbuf).expect("accept");
-    let snk = run_split_sink(&cfg, t, Some(first)).expect("sink half");
-    (src.join().expect("source thread"), snk)
+    match backend {
+        Backend::Tcp => {
+            let src = std::thread::spawn(move || {
+                let t = connect_source(addr, channels, sockbuf).expect("connect");
+                run_split_source(&src_cfg, t).expect("source half")
+            });
+            let (t, first) = listener.accept_session(sockbuf).expect("accept");
+            let snk = run_split_sink(&cfg, t, Some(first)).expect("sink half");
+            (src.join().expect("source thread"), snk)
+        }
+        Backend::Uring => {
+            let src = std::thread::spawn(move || {
+                let t = connect_source_uring(addr, channels, sockbuf).expect("connect");
+                run_split_source(&src_cfg, t).expect("source half")
+            });
+            let (sess, first) = accept_source_uring(&listener, sockbuf).expect("accept");
+            let snk = run_uring_sink(&cfg, sess, Some(first)).expect("sink half");
+            (src.join().expect("source thread"), snk)
+        }
+    }
 }
 
-/// Best wall-clock run of `n` (reports are from the sink — the receive
-/// side clocks the bytes as placed and verified).
-fn best_of(n: usize, block: u64, channels: usize, total: u64, sockbuf: usize) -> LiveReport {
+/// Best wall-clock run of `n`, after one untimed warmup transfer at the
+/// same geometry (reports are from the sink — the receive side clocks
+/// the bytes as placed and verified).
+fn best_of(
+    n: usize,
+    backend: Backend,
+    block: u64,
+    channels: usize,
+    total: u64,
+    sockbuf: usize,
+) -> LiveReport {
+    let _warmup = run_net(backend, block, channels, total.min(32 * MB), sockbuf);
     (0..n)
-        .map(|_| run_net(block, channels, total, sockbuf).1)
+        .map(|_| run_net(backend, block, channels, total, sockbuf).1)
         .max_by(|a, b| a.gbytes_per_sec.total_cmp(&b.gbytes_per_sec))
         .expect("n >= 1")
 }
 
 struct Entry {
+    backend: Backend,
     block: u64,
     channels: usize,
     tuned: bool,
+    gate: bool,
     r: LiveReport,
 }
 
 fn json_entry(e: &Entry, total: u64) -> String {
     format!(
         concat!(
-            "    {{\"block_size\": {}, \"channels\": {}, \"sockbuf\": \"{}\", ",
+            "    {{\"transport\": \"{}\", \"block_size\": {}, \"channels\": {}, ",
+            "\"sockbuf\": \"{}\", \"gate\": {}, ",
             "\"total_bytes\": {}, \"gbytes_per_sec\": {:.4}, ",
             "\"ctrl_msgs_per_block\": {:.4}, \"ctrl_msgs\": {}, \"blocks\": {}, ",
-            "\"ooo_blocks\": {}, \"stage_ns_per_block\": {{\"place\": {:.0}, ",
-            "\"verify\": {:.0}}}}}"
+            "\"ooo_blocks\": {}, \"transport_threads\": {}, ",
+            "\"stage_ns_per_block\": {{\"place\": {:.0}, \"verify\": {:.0}}}, ",
+            "\"place_ns\": {{\"p50\": {:.0}, \"p99\": {:.0}}}, ",
+            "\"verify_ns\": {{\"p50\": {:.0}, \"p99\": {:.0}}}}}"
         ),
+        e.backend.label(),
         e.block,
         e.channels,
         if e.tuned { "tuned" } else { "default" },
+        e.gate,
         total,
         e.r.gbytes_per_sec,
         e.r.ctrl_msgs_per_block,
         e.r.ctrl_msgs,
         e.r.blocks,
         e.r.ooo_blocks,
+        e.r.transport_threads,
         e.r.stages.place_ns,
         e.r.stages.verify_ns,
+        e.r.tails.place.p50(),
+        e.r.tails.place.p99(),
+        e.r.tails.verify.p50(),
+        e.r.tails.verify.p99(),
     )
+}
+
+fn print_run(tag: &str, r: &LiveReport) {
+    println!(
+        "  {tag}  {:>6.3} GB/s  {:.2} ctrl/blk  {} ooo  {} thr  \
+         place {:.0} ns/blk (p50 {:.0} p99 {:.0})  verify {:.0} ns/blk",
+        r.gbytes_per_sec,
+        r.ctrl_msgs_per_block,
+        r.ooo_blocks,
+        r.transport_threads,
+        r.stages.place_ns,
+        r.tails.place.p50(),
+        r.tails.place.p99(),
+        r.stages.verify_ns,
+    );
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let gate_only = args.iter().any(|a| a == "--gate-only");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -99,35 +188,49 @@ fn main() {
     };
     let channel_sweep: &[usize] = if quick { &[1, 8] } else { &[1, 2, 4, 8] };
     let depth = LiveConfig::new(1, 1, 1).channel_depth;
+    let uring = uring_supported();
+    let backends: &[Backend] = if uring {
+        &[Backend::Tcp, Backend::Uring]
+    } else {
+        &[Backend::Tcp]
+    };
 
     println!(
-        "TCP loopback sweep: {} MB per run{}\n",
+        "loopback sweep: {} MB per run{}{}\n",
         total / MB,
-        if quick { " (quick)" } else { "" }
+        if quick { " (quick)" } else { "" },
+        if uring {
+            ", tcp vs uring"
+        } else {
+            ", tcp only (kernel lacks io_uring support)"
+        }
     );
     let mut entries: Vec<Entry> = Vec::new();
-    for &block in blocks {
+    let sweep_blocks: &[u64] = if gate_only { &[] } else { blocks };
+    for &block in sweep_blocks {
         for &channels in channel_sweep {
             let sockbuf = default_sockbuf(block as usize, depth);
-            let r = best_of(1, block, channels, total, sockbuf);
-            assert_eq!(r.checksum_failures, 0, "corruption at {block}x{channels}");
-            println!(
-                "  {:>5} x{} ch  tuned    {:>6.3} GB/s  {:.2} ctrl/blk  {} ooo  \
-                 place/verify {:.0}/{:.0} ns/blk",
-                bs_label(block),
-                channels,
-                r.gbytes_per_sec,
-                r.ctrl_msgs_per_block,
-                r.ooo_blocks,
-                r.stages.place_ns,
-                r.stages.verify_ns
-            );
-            entries.push(Entry {
-                block,
-                channels,
-                tuned: true,
-                r,
-            });
+            for &backend in backends {
+                let r = best_of(1, backend, block, channels, total, sockbuf);
+                assert_eq!(r.checksum_failures, 0, "corruption at {block}x{channels}");
+                print_run(
+                    &format!(
+                        "{:>5} x{} ch  {:<5}",
+                        bs_label(block),
+                        channels,
+                        backend.label()
+                    ),
+                    &r,
+                );
+                entries.push(Entry {
+                    backend,
+                    block,
+                    channels,
+                    tuned: true,
+                    gate: false,
+                    r,
+                });
+            }
         }
     }
 
@@ -136,54 +239,96 @@ fn main() {
     // adequate (the "wire" has no bandwidth-delay product); the contrast
     // is in the JSON so WAN runs have a local reference.
     let gate_block: u64 = 256 * 1024;
-    let r = best_of(1, gate_block, 8, total, 0);
-    assert_eq!(r.checksum_failures, 0);
-    println!(
-        "\n  {:>5} x8 ch  default  {:>6.3} GB/s  {:.2} ctrl/blk  (OS socket buffers)",
-        bs_label(gate_block),
-        r.gbytes_per_sec,
-        r.ctrl_msgs_per_block
-    );
-    entries.push(Entry {
-        block: gate_block,
-        channels: 8,
-        tuned: false,
-        r,
-    });
+    if !gate_only {
+        let r = best_of(1, Backend::Tcp, gate_block, 8, total, 0);
+        assert_eq!(r.checksum_failures, 0);
+        println!();
+        print_run(
+            &format!("{:>5} x8 ch  tcp   (OS sockbuf)", bs_label(gate_block)),
+            &r,
+        );
+        entries.push(Entry {
+            backend: Backend::Tcp,
+            block: gate_block,
+            channels: 8,
+            tuned: false,
+            gate: false,
+            r,
+        });
+    }
 
-    // The gate: best of 3 at 8 × 256 KB with tuned buffers.
+    // The gates: best of 3 at 8 × 256 KB with tuned buffers, tcp first,
+    // then uring head to head against it.
     let mut gate_ok = true;
     if !quick {
         let sockbuf = default_sockbuf(gate_block as usize, depth);
-        let best = best_of(3, gate_block, 8, total, sockbuf);
-        assert_eq!(best.checksum_failures, 0);
-        let pass = best.gbytes_per_sec >= GATE_FLOOR_GBPS && best.ctrl_msgs_per_block <= 1.0;
+        let tcp_best = best_of(3, Backend::Tcp, gate_block, 8, total, sockbuf);
+        assert_eq!(tcp_best.checksum_failures, 0);
+        let tcp_pass =
+            tcp_best.gbytes_per_sec >= GATE_FLOOR_GBPS && tcp_best.ctrl_msgs_per_block <= 1.0;
         println!(
-            "\n  gate {:>5} x8 (best of 3): {:.3} GB/s vs floor {:.1}, {:.2} ctrl/blk  [{}]",
+            "\n  gate {:>5} x8 tcp   (best of 3): {:.3} GB/s vs floor {:.1}, {:.2} ctrl/blk  [{}]",
             bs_label(gate_block),
-            best.gbytes_per_sec,
+            tcp_best.gbytes_per_sec,
             GATE_FLOOR_GBPS,
-            best.ctrl_msgs_per_block,
-            if pass { "ok" } else { "FAIL" }
+            tcp_best.ctrl_msgs_per_block,
+            if tcp_pass { "ok" } else { "FAIL" }
         );
-        gate_ok = pass;
+        gate_ok = tcp_pass;
+
+        if uring {
+            let ur_best = best_of(3, Backend::Uring, gate_block, 8, total, sockbuf);
+            assert_eq!(ur_best.checksum_failures, 0);
+            let faster_place = ur_best.stages.place_ns < tcp_best.stages.place_ns;
+            let ur_pass = ur_best.gbytes_per_sec >= URING_GATE_FLOOR_GBPS
+                && ur_best.ctrl_msgs_per_block <= 1.0
+                && faster_place;
+            println!(
+                "  gate {:>5} x8 uring (best of 3): {:.3} GB/s vs floor {:.1}, {:.2} ctrl/blk, \
+                 place {:.0} vs tcp {:.0} ns/blk, {} vs {} data-path threads  [{}]",
+                bs_label(gate_block),
+                ur_best.gbytes_per_sec,
+                URING_GATE_FLOOR_GBPS,
+                ur_best.ctrl_msgs_per_block,
+                ur_best.stages.place_ns,
+                tcp_best.stages.place_ns,
+                ur_best.transport_threads,
+                tcp_best.transport_threads,
+                if ur_pass { "ok" } else { "FAIL" }
+            );
+            gate_ok = gate_ok && ur_pass;
+            entries.push(Entry {
+                backend: Backend::Uring,
+                block: gate_block,
+                channels: 8,
+                tuned: true,
+                gate: true,
+                r: ur_best,
+            });
+        }
         entries.push(Entry {
+            backend: Backend::Tcp,
             block: gate_block,
             channels: 8,
             tuned: true,
-            r: best,
+            gate: true,
+            r: tcp_best,
         });
     }
 
     let body: Vec<String> = entries.iter().map(|e| json_entry(e, total)).collect();
     let json = format!(
         "{{\n  \"bench\": \"net_throughput\",\n  \"quick\": {},\n  \
-         \"transport\": \"tcp-loopback\",\n  \"total_bytes_per_run\": {},\n  \
+         \"wire\": \"loopback\",\n  \"uring_supported\": {},\n  \
+         \"total_bytes_per_run\": {},\n  \
          \"pool_blocks\": 32,\n  \"loaders\": 4,\n  \"gate_floor_gbps\": {},\n  \
+         \"uring_gate_floor_gbps\": {},\n  \
          \"results\": [\n{}\n  ]\n}}\n",
         quick,
+        uring,
         total,
         GATE_FLOOR_GBPS,
+        URING_GATE_FLOOR_GBPS,
         body.join(",\n")
     );
     std::fs::write(&out_path, json).expect("write BENCH_net.json");

@@ -317,6 +317,30 @@ impl IndexQueue {
         }
     }
 
+    /// Enqueue `v` under a caller-held capacity invariant, riding out
+    /// the ring's transient-full window.
+    ///
+    /// `push` can report full even when occupancy is below capacity: a
+    /// consumer re-arms its cell's sequence only *after* winning the
+    /// dequeue CAS (see `try_pop`), so a producer lapping onto that cell
+    /// reads a stale sequence until the consumer's store lands. When the
+    /// caller guarantees occupancy can never actually reach capacity-plus
+    /// (a pool free list only ever holds pool-many blocks), full always
+    /// means "a dequeuer is mid-re-arm" — wait it out. The yield matters
+    /// on single-core hosts, where the preempted dequeuer needs the CPU
+    /// back to finish its store.
+    pub fn push_must(&self, v: u32) {
+        let mut spins = 0u32;
+        while self.push(v).is_err() {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
     /// Dequeue, or `None` when empty.
     pub fn try_pop(&self) -> Option<u32> {
         let mut pos = self.deq.load(Ordering::Relaxed);
@@ -471,9 +495,9 @@ impl AtomicSourcePool {
     /// Completion success: block returns to the free list.
     pub fn complete(&self, i: BlockIdx) -> Result<(), FsmError> {
         self.transition(i, SrcState::complete)?;
-        self.free
-            .push(i)
-            .expect("free list sized to the pool cannot overflow");
+        // push_must: a concurrent dequeuer mid-re-arm can make the ring
+        // look transiently full; occupancy itself can never overflow.
+        self.free.push_must(i);
         Ok(())
     }
 
@@ -495,9 +519,9 @@ impl AtomicSourcePool {
                 actual: other.name(),
             }),
         })?;
-        self.free
-            .push(i)
-            .expect("free list sized to the pool cannot overflow");
+        // push_must: a concurrent dequeuer mid-re-arm can make the ring
+        // look transiently full; occupancy itself can never overflow.
+        self.free.push_must(i);
         Ok(())
     }
 
@@ -574,18 +598,18 @@ impl AtomicSinkPool {
     /// `put_free_blk`: application consumed the payload.
     pub fn put_free(&self, i: BlockIdx) -> Result<(), FsmError> {
         self.transition(i, SnkState::put_free)?;
-        self.free
-            .push(i)
-            .expect("free list sized to the pool cannot overflow");
+        // push_must: a concurrent dequeuer mid-re-arm can make the ring
+        // look transiently full; occupancy itself can never overflow.
+        self.free.push_must(i);
         Ok(())
     }
 
     /// Reclaim a granted-but-unused block at session teardown.
     pub fn revoke(&self, i: BlockIdx) -> Result<(), FsmError> {
         self.transition(i, SnkState::revoke)?;
-        self.free
-            .push(i)
-            .expect("free list sized to the pool cannot overflow");
+        // push_must: a concurrent dequeuer mid-re-arm can make the ring
+        // look transiently full; occupancy itself can never overflow.
+        self.free.push_must(i);
         Ok(())
     }
 

@@ -53,11 +53,14 @@ fn index_queue_conserves_values_under_contention() {
                             !held[v as usize].swap(true, Ordering::AcqRel),
                             "value {v} handed to two holders"
                         );
-                        if next_rand(&mut rng) % 4 == 0 {
+                        if next_rand(&mut rng).is_multiple_of(4) {
                             std::thread::yield_now();
                         }
                         held[v as usize].store(false, Ordering::Release);
-                        q.push(v).expect("push back into non-full ring failed");
+                        // push_must: with all CAP values circulating, a
+                        // dequeuer preempted mid-re-arm makes the ring look
+                        // transiently full to a lapping producer.
+                        q.push_must(v);
                         popped_total.fetch_add(1, Ordering::Relaxed);
                         ops += 1;
                     } else {
@@ -111,12 +114,19 @@ fn atomic_source_pool_full_cycle_under_contention() {
                         !held[b as usize].swap(true, Ordering::AcqRel),
                         "block {b} handed to two threads"
                     );
+                    // The flag must drop *before* the call that pushes the
+                    // block back on the free list (`complete`/`abandon`):
+                    // the push is the ownership handoff, and another thread
+                    // may legitimately re-acquire the block the instant it
+                    // lands — holding the flag across the push would trip
+                    // the double-hand assert on a correct interleaving.
                     match next_rand(&mut rng) % 8 {
                         // Mostly the full happy path...
                         0..=5 => {
                             pool.loaded(b).unwrap();
                             pool.start_sending(b).unwrap();
                             pool.posted(b).unwrap();
+                            held[b as usize].store(false, Ordering::Release);
                             pool.complete(b).unwrap();
                         }
                         // ...sometimes a failed send...
@@ -127,14 +137,15 @@ fn atomic_source_pool_full_cycle_under_contention() {
                             pool.send_failed(b).unwrap();
                             pool.start_sending(b).unwrap();
                             pool.posted(b).unwrap();
+                            held[b as usize].store(false, Ordering::Release);
                             pool.complete(b).unwrap();
                         }
                         // ...sometimes an abandoned reservation.
                         _ => {
+                            held[b as usize].store(false, Ordering::Release);
                             pool.abandon(b).unwrap();
                         }
                     }
-                    held[b as usize].store(false, Ordering::Release);
                     cycles.fetch_add(1, Ordering::Relaxed);
                     done += 1;
                 }
@@ -175,14 +186,18 @@ fn atomic_sink_pool_grant_ready_free_under_contention() {
                         !held[b as usize].swap(true, Ordering::AcqRel),
                         "slot {b} granted to two threads"
                     );
-                    if next_rand(&mut rng) % 8 == 0 {
+                    // Drop the flag before `revoke`/`put_free` push the slot
+                    // back: the push is the handoff, and a peer may re-grant
+                    // the slot immediately (see the source-pool test).
+                    if next_rand(&mut rng).is_multiple_of(8) {
                         // Credit revoked before any payload landed.
+                        held[b as usize].store(false, Ordering::Release);
                         pool.revoke(b).unwrap();
                     } else {
                         pool.ready(b).unwrap();
+                        held[b as usize].store(false, Ordering::Release);
                         pool.put_free(b).unwrap();
                     }
-                    held[b as usize].store(false, Ordering::Release);
                     done += 1;
                 }
             });

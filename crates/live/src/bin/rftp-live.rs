@@ -29,7 +29,16 @@ enum Mode {
     Connect(String),
 }
 
+/// Socket backend for the two-process mode. The wire format is
+/// identical (PROTOCOL.md §7), so the two ends may mix backends.
+#[derive(Clone, Copy, PartialEq)]
+enum Transport {
+    Tcp,
+    Uring,
+}
+
 struct Args {
+    transport: Transport,
     mode: Mode,
     size: u64,
     block: u64,
@@ -94,6 +103,12 @@ TWO-PROCESS MODE (the pipeline split over TCP):
                      and send
   --sockbuf <SIZE>   per-data-stream socket buffer (SO_SNDBUF/SO_RCVBUF);
                      0 = OS defaults (default: sized from block x depth)
+  --transport <T>    socket backend for --listen/--connect: tcp (thread
+                     per channel, default) or uring (one io_uring,
+                     registered buffers, batched completions). The wire
+                     format is identical, so the two ends may mix.
+  --probe-uring      report whether this kernel can run the uring
+                     backend and exit (0 = supported, 3 = not)
   --help             this text";
 
 /// One step of the flag loop: consume the flag's value argument and
@@ -119,6 +134,7 @@ fn flag_size(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<u64, S
 
 fn parse_args() -> Result<Args, String> {
     let mut a = Args {
+        transport: Transport::Tcp,
         mode: Mode::Local,
         size: 0, // resolved after the loop: explicit > src-file len > 256M
         block: 256 << 10,
@@ -167,6 +183,21 @@ fn parse_args() -> Result<Args, String> {
             "--listen" => a.mode = Mode::Listen(flag_value(it, "--listen")?),
             "--connect" => a.mode = Mode::Connect(flag_value(it, "--connect")?),
             "--sockbuf" => a.sockbuf = Some(flag_size(it, "--sockbuf")?),
+            "--transport" => {
+                a.transport = match flag_value(it, "--transport")?.as_str() {
+                    "tcp" => Transport::Tcp,
+                    "uring" => Transport::Uring,
+                    other => return Err(format!("bad --transport {other} (tcp or uring)")),
+                }
+            }
+            "--probe-uring" => {
+                if rftp_live::uring_supported() {
+                    println!("rftp-live: io_uring transport supported");
+                    std::process::exit(0);
+                }
+                println!("rftp-live: io_uring transport NOT supported on this kernel");
+                std::process::exit(3);
+            }
             "--help" | "-h" => {
                 println!("{HELP}");
                 std::process::exit(0);
@@ -192,7 +223,13 @@ fn parse_args() -> Result<Args, String> {
                 return Err("--dst-file belongs to the sink (--listen) side".into());
             }
         }
-        Mode::Local => {}
+        Mode::Local => {
+            if a.transport == Transport::Uring {
+                return Err(
+                    "--transport applies to the two-process mode (--listen/--connect)".into(),
+                );
+            }
+        }
     }
     if a.size == 0 {
         a.size = match &a.src_file {
@@ -281,14 +318,24 @@ fn run(a: &Args) -> std::io::Result<LiveReport> {
         Mode::Connect(addr) => {
             let cfg = build_cfg(a);
             println!(
-                "rftp-live: source -> {addr}: {} MB in {} KB blocks, {} channels, {} loaders",
+                "rftp-live: source -> {addr}: {} MB in {} KB blocks, {} channels, {} loaders{}",
                 a.size >> 20,
                 a.block >> 10,
                 a.channels,
-                a.loaders
+                a.loaders,
+                if a.transport == Transport::Uring {
+                    " (io_uring)"
+                } else {
+                    ""
+                }
             );
-            let t =
-                net::connect_source(addr.as_str(), a.channels, sockbuf_bytes(a, cfg.block_size))?;
+            let sockbuf = sockbuf_bytes(a, cfg.block_size);
+            let t = match a.transport {
+                Transport::Tcp => net::connect_source(addr.as_str(), a.channels, sockbuf)?,
+                Transport::Uring => {
+                    rftp_live::connect_source_uring(addr.as_str(), a.channels, sockbuf)?
+                }
+            };
             run_split_source(&cfg, t)
         }
         Mode::Listen(addr) => {
@@ -298,32 +345,54 @@ fn run(a: &Args) -> std::io::Result<LiveReport> {
             // must agree with it). Block size is unknown until then, so
             // only an explicit --sockbuf resizes the sink's buffers; the
             // source side carries the block-sized default.
-            let (t, first) = listener.accept_session(a.sockbuf.map_or(0, |b| b as usize))?;
-            let CtrlMsg::SessionRequest {
-                block_size,
-                channels,
-                total_bytes,
-                ..
-            } = first
-            else {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("peer opened with {first:?}, not a SessionRequest"),
-                ));
-            };
-            let mut a2 = build_cfg(a);
-            a2.block_size = block_size as usize;
-            a2.channels = channels as usize;
-            a2.total_bytes = total_bytes;
-            println!(
-                "rftp-live: sink: {} MB in {} KB blocks, {} channels",
-                total_bytes >> 20,
-                block_size >> 10,
-                channels
-            );
-            run_split_sink(&a2, t, Some(first))
+            let sockbuf = a.sockbuf.map_or(0, |b| b as usize);
+            match a.transport {
+                Transport::Tcp => {
+                    let (t, first) = listener.accept_session(sockbuf)?;
+                    let a2 = sink_cfg(a, &first)?;
+                    run_split_sink(&a2, t, Some(first))
+                }
+                Transport::Uring => {
+                    let (sess, first) = rftp_live::accept_source_uring(&listener, sockbuf)?;
+                    let a2 = sink_cfg(a, &first)?;
+                    rftp_live::run_uring_sink(&a2, sess, Some(first))
+                }
+            }
         }
     }
+}
+
+/// Build the sink-half config from the source's `SessionRequest` —
+/// the transfer geometry is the source's to set.
+fn sink_cfg(a: &Args, first: &CtrlMsg) -> std::io::Result<LiveConfig> {
+    let CtrlMsg::SessionRequest {
+        block_size,
+        channels,
+        total_bytes,
+        ..
+    } = *first
+    else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("peer opened with {first:?}, not a SessionRequest"),
+        ));
+    };
+    let mut a2 = build_cfg(a);
+    a2.block_size = block_size as usize;
+    a2.channels = channels as usize;
+    a2.total_bytes = total_bytes;
+    println!(
+        "rftp-live: sink: {} MB in {} KB blocks, {} channels{}",
+        total_bytes >> 20,
+        block_size >> 10,
+        channels,
+        if a.transport == Transport::Uring {
+            " (io_uring)"
+        } else {
+            ""
+        }
+    );
+    Ok(a2)
 }
 
 fn main() {

@@ -1,0 +1,180 @@
+//! The control-plane coalescing loop, extracted once.
+//!
+//! Every control handler in the suite — the main pipeline's completion
+//! handler and sink-control thread, the split sink's protocol brain, and
+//! the io_uring sink driver — runs the same drain shape: block for a
+//! batch of events, process it, then *dwell* up to the flush window for
+//! more events while a partial ack/credit batch is pending, and flush
+//! before the next unbounded wait so coalescing never costs latency.
+//! This module is that shape, written once; the handlers implement
+//! [`CoalescedSink`] and differ only in what an event is and what a
+//! flush sends.
+
+use std::time::Duration;
+
+/// Why [`drain_coalesced`] returned.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum DrainEnd {
+    /// The sink reported itself done after processing an event.
+    Done,
+    /// The event source closed (the recv callback returned `false` on an
+    /// unbounded wait). Pending output was flushed first.
+    Closed,
+}
+
+/// A control handler driven by [`drain_coalesced`]: processes events,
+/// accumulates coalesced output (acks, credit grants), and flushes it at
+/// drain boundaries.
+pub(crate) trait CoalescedSink<T> {
+    type Err;
+    /// Process one event (may flush internally when a batch fills).
+    fn handle(&mut self, ev: T) -> Result<(), Self::Err>;
+    /// Whether a partial output batch is pending *and* the handler wants
+    /// to dwell for more events before flushing it. Returning `false`
+    /// flushes immediately (unbatched wire modes do exactly that).
+    fn dwell(&self) -> bool;
+    /// Whether the handler has seen the end of its work. Checked before
+    /// every unbounded wait and after every event.
+    fn done(&self) -> bool;
+    /// Send the pending output batch (no-op when empty).
+    fn flush(&mut self) -> Result<(), Self::Err>;
+}
+
+/// Drive `sink` from an event source until it is [`CoalescedSink::done`]
+/// or the source closes.
+///
+/// `recv(None, buf)` must block for at least one event; `recv(Some(w),
+/// buf)` waits at most `w`. Both return `false` when the source is
+/// closed (unbounded) or the wait timed out / closed (bounded) — a
+/// bounded `false` just ends the dwell and flushes. The channel backends
+/// adapt `recv_batch`/`recv_batch_timeout`; the io_uring sink adapts a
+/// CQE drain with a timeout SQE.
+pub(crate) fn drain_coalesced<T, S: CoalescedSink<T>>(
+    sink: &mut S,
+    recv: &mut dyn FnMut(Option<Duration>, &mut Vec<T>) -> bool,
+    window: Duration,
+) -> Result<DrainEnd, S::Err> {
+    let mut events: Vec<T> = Vec::with_capacity(64);
+    loop {
+        if sink.done() {
+            return Ok(DrainEnd::Done);
+        }
+        if !recv(None, &mut events) {
+            sink.flush()?;
+            return Ok(DrainEnd::Closed);
+        }
+        loop {
+            for ev in events.drain(..) {
+                sink.handle(ev)?;
+            }
+            // Dwell for the flush window on a partial batch — the output
+            // leaves before the next unbounded wait, so coalescing costs
+            // no latency.
+            if sink.done() || !sink.dwell() {
+                break;
+            }
+            if !recv(Some(window), &mut events) {
+                break;
+            }
+        }
+        sink.flush()?;
+    }
+}
+
+/// Adapt a crossbeam receiver to [`drain_coalesced`]'s recv callback:
+/// unbounded waits are `recv_batch`, dwell waits are
+/// `recv_batch_timeout`, and `cap` bounds each drain.
+pub(crate) fn channel_events<'a, T>(
+    rx: &'a crossbeam::channel::Receiver<T>,
+    cap: usize,
+) -> impl FnMut(Option<Duration>, &mut Vec<T>) -> bool + 'a {
+    move |window, buf| match window {
+        None => rx.recv_batch(buf, cap).is_ok(),
+        Some(w) => rx.recv_batch_timeout(buf, cap, w).is_ok(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+
+    /// A toy sink that batches integers and "flushes" them into sums.
+    struct Summer {
+        pending: Vec<u64>,
+        flushed: Vec<u64>,
+        seen: u64,
+        target: u64,
+        batch: usize,
+    }
+
+    impl CoalescedSink<u64> for Summer {
+        type Err = std::convert::Infallible;
+        fn handle(&mut self, ev: u64) -> Result<(), Self::Err> {
+            self.seen += 1;
+            self.pending.push(ev);
+            if self.pending.len() >= self.batch {
+                self.flush()?;
+            }
+            Ok(())
+        }
+        fn dwell(&self) -> bool {
+            !self.pending.is_empty()
+        }
+        fn done(&self) -> bool {
+            self.seen >= self.target
+        }
+        fn flush(&mut self) -> Result<(), Self::Err> {
+            if !self.pending.is_empty() {
+                self.flushed.push(self.pending.drain(..).sum());
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn drains_to_done_and_flushes_partials() {
+        let (tx, rx) = bounded::<u64>(64);
+        for v in 0..10u64 {
+            tx.send(v).unwrap();
+        }
+        let mut s = Summer {
+            pending: Vec::new(),
+            flushed: Vec::new(),
+            seen: 0,
+            target: 10,
+            batch: 4,
+        };
+        let end = drain_coalesced(
+            &mut s,
+            &mut channel_events(&rx, 64),
+            Duration::from_micros(100),
+        )
+        .unwrap();
+        assert_eq!(end, DrainEnd::Done);
+        assert_eq!(s.flushed.iter().sum::<u64>(), 45);
+        assert!(s.pending.is_empty(), "partial batch must flush");
+    }
+
+    #[test]
+    fn close_flushes_and_reports_closed() {
+        let (tx, rx) = bounded::<u64>(8);
+        tx.send(7).unwrap();
+        drop(tx);
+        let mut s = Summer {
+            pending: Vec::new(),
+            flushed: Vec::new(),
+            seen: 0,
+            target: 100,
+            batch: 4,
+        };
+        let end = drain_coalesced(
+            &mut s,
+            &mut channel_events(&rx, 8),
+            Duration::from_micros(100),
+        )
+        .unwrap();
+        assert_eq!(end, DrainEnd::Closed);
+        assert_eq!(s.flushed, vec![7]);
+    }
+}

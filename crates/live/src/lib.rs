@@ -34,14 +34,21 @@
 //! from the pinned block; the receiver reads the wire image directly
 //! into the credited slot.
 
+pub(crate) mod coalesce;
+pub mod hist;
 pub mod net;
 pub mod pipeline;
 pub mod split;
 pub mod store;
 pub mod transport;
+pub mod uring;
 
+pub use hist::{NsHist, StageTails};
 pub use net::{connect_source, NetListener};
 pub use pipeline::{run_live, try_run_live, LiveConfig, LiveReport, StageBreakdown};
 pub use split::{run_split_pair, run_split_sink, run_split_source};
 pub use store::{FileSink, FileSource, RatePacer, SlotBuf, STORE_ALIGN};
 pub use transport::{channel_transport, SinkTransport, SourceTransport};
+pub use uring::{
+    accept_source_uring, connect_source_uring, run_uring_sink, uring_supported, UringSinkSession,
+};

@@ -143,7 +143,7 @@ fn read_exact_or_eof(s: &mut TcpStream, buf: &mut [u8]) -> io::Result<bool> {
 // Link endpoints
 // ---------------------------------------------------------------------------
 
-struct NetCtrlTx(Mutex<TcpStream>);
+pub(crate) struct NetCtrlTx(pub(crate) Mutex<TcpStream>);
 
 impl CtrlTx for NetCtrlTx {
     fn send(&self, msg: &CtrlMsg) -> io::Result<()> {
@@ -155,14 +155,14 @@ impl CtrlTx for NetCtrlTx {
     }
 }
 
-struct NetCtrlRx {
+pub(crate) struct NetCtrlRx {
     stream: TcpStream,
     dec: FrameDecoder,
     buf: Vec<u8>,
 }
 
 impl NetCtrlRx {
-    fn new(stream: TcpStream) -> NetCtrlRx {
+    pub(crate) fn new(stream: TcpStream) -> NetCtrlRx {
         NetCtrlRx {
             stream,
             dec: FrameDecoder::new(),
@@ -262,7 +262,7 @@ impl DataRx for NetDataRx {
 /// alias the underlying socket, so shutting the clone down shuts the
 /// live stream down — that is exactly what lets these hooks unblock
 /// readers and writers owned by other threads.
-fn shutdown_all(socks: &[TcpStream], how: Shutdown) {
+pub(crate) fn shutdown_all(socks: &[TcpStream], how: Shutdown) {
     for s in socks {
         let _ = s.shutdown(how); // already-gone peers are fine
     }
@@ -272,6 +272,40 @@ fn shutdown_all(socks: &[TcpStream], how: Shutdown) {
 // Session setup
 // ---------------------------------------------------------------------------
 
+/// The raw connected socket set for one session, before a backend wraps
+/// it: the control stream plus the per-channel data streams, hellos
+/// already exchanged, `TCP_NODELAY` on control, buffers sized on data.
+/// The TCP backend wraps these in blocking reader/writer threads; the
+/// io_uring backend hands the same sockets to a ring — the wire is
+/// byte-identical either way.
+pub(crate) struct SessionStreams {
+    pub(crate) ctrl: TcpStream,
+    pub(crate) data: Vec<TcpStream>,
+}
+
+/// Dial a sink listening at `addr` and run the hello exchange: control
+/// stream plus `channels` data streams, socket buffers on data sized to
+/// `sockbuf` bytes (0 = OS defaults).
+pub(crate) fn connect_streams(
+    addr: impl ToSocketAddrs + Copy,
+    channels: usize,
+    sockbuf: usize,
+) -> io::Result<SessionStreams> {
+    assert!(channels >= 1 && channels <= u16::MAX as usize);
+    let mut ctrl = TcpStream::connect(addr)?;
+    ctrl.set_nodelay(true)?;
+    write_hello(&mut ctrl, KIND_CTRL, channels as u16)?;
+    let mut data = Vec::with_capacity(channels);
+    for ch in 0..channels {
+        let mut s = TcpStream::connect(addr)?;
+        s.set_nodelay(true)?;
+        set_sockbuf(&s, sockbuf);
+        write_hello(&mut s, KIND_DATA, ch as u16)?;
+        data.push(s);
+    }
+    Ok(SessionStreams { ctrl, data })
+}
+
 /// Connect the source half to a sink listening at `addr`: control stream
 /// plus `channels` data streams, hellos sent, `TCP_NODELAY` on control,
 /// socket buffers on data sized to `sockbuf` bytes (0 = OS defaults).
@@ -280,18 +314,13 @@ pub fn connect_source(
     channels: usize,
     sockbuf: usize,
 ) -> io::Result<SourceTransport> {
-    assert!(channels >= 1 && channels <= u16::MAX as usize);
-    let mut ctrl = TcpStream::connect(addr)?;
-    ctrl.set_nodelay(true)?;
-    write_hello(&mut ctrl, KIND_CTRL, channels as u16)?;
-
-    let mut data: Vec<Box<dyn DataTx>> = Vec::with_capacity(channels);
+    let SessionStreams {
+        ctrl,
+        data: streams,
+    } = connect_streams(addr, channels, sockbuf)?;
+    let mut data: Vec<Box<dyn DataTx>> = Vec::with_capacity(streams.len());
     let mut handles = vec![ctrl.try_clone()?];
-    for ch in 0..channels {
-        let mut s = TcpStream::connect(addr)?;
-        s.set_nodelay(true)?;
-        set_sockbuf(&s, sockbuf);
-        write_hello(&mut s, KIND_DATA, ch as u16)?;
+    for s in streams {
         handles.push(s.try_clone()?);
         data.push(Box::new(NetDataTx(Mutex::new(s))));
     }
@@ -302,6 +331,8 @@ pub fn connect_source(
         ctrl_tx: Arc::new(NetCtrlTx(Mutex::new(ctrl))),
         ctrl_rx: Box::new(NetCtrlRx::new(ctrl_rd)),
         data: Arc::new(data),
+        register: Box::new(|_| Ok(())),
+        transport_threads: 0,
         shutdown_write: Box::new(move || shutdown_all(&shutdown_handles, Shutdown::Write)),
         abort: Arc::new(move || shutdown_all(&handles, Shutdown::Both)),
     })
@@ -321,12 +352,9 @@ impl NetListener {
     }
 
     /// Accept one source's full connection set (control + its announced
-    /// channel count of data streams, in any arrival order), then read
-    /// the opening `SessionRequest` so the caller can size its half
-    /// before any payload is in flight. Returns the connected transport
-    /// and that first control frame — pass it to
-    /// [`crate::run_split_sink`] as `first_ctrl`.
-    pub fn accept_session(&self, sockbuf: usize) -> io::Result<(SinkTransport, CtrlMsg)> {
+    /// channel count of data streams, in any arrival order) as raw
+    /// streams, hellos consumed.
+    pub(crate) fn accept_streams(&self, sockbuf: usize) -> io::Result<SessionStreams> {
         let mut ctrl: Option<TcpStream> = None;
         let mut channels: usize = 0;
         let mut data_streams: Vec<Option<TcpStream>> = Vec::new();
@@ -362,12 +390,25 @@ impl NetListener {
                 }
             }
         }
-        let ctrl = ctrl.expect("loop exits with a control stream");
-        let data_streams: Vec<TcpStream> = data_streams
-            .into_iter()
-            .map(|s| s.expect("loop exits with every data stream"))
-            .collect();
+        Ok(SessionStreams {
+            ctrl: ctrl.expect("loop exits with a control stream"),
+            data: data_streams
+                .into_iter()
+                .map(|s| s.expect("loop exits with every data stream"))
+                .collect(),
+        })
+    }
 
+    /// Accept one source's full connection set, then read the opening
+    /// `SessionRequest` so the caller can size its half before any
+    /// payload is in flight. Returns the connected transport and that
+    /// first control frame — pass it to [`crate::run_split_sink`] as
+    /// `first_ctrl`.
+    pub fn accept_session(&self, sockbuf: usize) -> io::Result<(SinkTransport, CtrlMsg)> {
+        let SessionStreams {
+            ctrl,
+            data: data_streams,
+        } = self.accept_streams(sockbuf)?;
         let mut handles = vec![ctrl.try_clone()?];
         for s in &data_streams {
             handles.push(s.try_clone()?);

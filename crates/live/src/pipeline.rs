@@ -46,6 +46,7 @@
 //!   locals (including per-stage nanosecond clocks) and the report
 //!   merges them at join.
 
+use crate::coalesce::{channel_events, drain_coalesced, CoalescedSink, DrainEnd};
 use crate::store::{FileSink, FileSource, RatePacer, SlotBuf};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -243,6 +244,13 @@ pub struct LiveReport {
     pub duplicate_payloads: u64,
     /// Per-stage cost of a block, merged from per-thread clocks at join.
     pub stages: StageBreakdown,
+    /// Per-stage tail histograms (p50/p99), merged from per-thread
+    /// histograms at join. Only the split pipeline fills these.
+    pub tails: crate::hist::StageTails,
+    /// Threads this side ran for the data path itself — per-channel
+    /// senders/receivers on stream backends, ring driver(s) on io_uring.
+    /// The O(channels) → O(1) collapse is this number.
+    pub transport_threads: usize,
     /// Whether storage I/O actually went through `O_DIRECT` (false in
     /// pattern mode, or when the filesystem rejected the flag and the
     /// buffered fallback served the transfer).
@@ -390,9 +398,11 @@ impl CreditSlots {
     }
 
     pub(crate) fn deposit(&self, slot: u32) {
-        self.slots
-            .push(slot)
-            .expect("more credits outstanding than sink pool blocks");
+        // The protocol bounds outstanding credits to the sink pool size,
+        // so the ring can never actually overflow — but a dispatcher
+        // preempted mid-pop can make it look transiently full to a
+        // lapping deposit. push_must rides that window out.
+        self.slots.push_must(slot);
         self.request_outstanding.store(false, Ordering::Release);
     }
 }
@@ -451,6 +461,240 @@ enum SinkEvent {
     // unboxed 258-byte frame would inflate every queued event to match.
     Ctrl(Box<CtrlFrame>),
     Imm { seq: u32, slot: u32, len: u32 },
+}
+
+/// The source completion handler's state, as a [`CoalescedSink`]: ack
+/// batches retire blocks immediately; the sink-bound completion
+/// notifications coalesce into `AckBatch` frames (up to `ctrl_batch` per
+/// frame), flushed at every drain boundary.
+struct AckCoalescer<'a> {
+    cfg: &'a LiveConfig,
+    src_pool: &'a AtomicSourcePool,
+    inflight: &'a [Mutex<Option<InFlightInfo>>],
+    evt_tx: &'a Sender<SinkEvent>,
+    total_blocks: u64,
+    completed: u64,
+    ctrl_sent: u64,
+    pending: Vec<BlockAck>,
+}
+
+impl CoalescedSink<Vec<u32>> for AckCoalescer<'_> {
+    type Err = std::convert::Infallible;
+
+    fn handle(&mut self, batch: Vec<u32>) -> Result<(), Self::Err> {
+        for block in batch {
+            let info = self.inflight[block as usize]
+                .lock()
+                .take()
+                .expect("ack for idle block");
+            self.src_pool.complete(block).expect("FSM: complete");
+            self.completed += 1;
+            if !self.cfg.notify_imm {
+                self.pending.push(BlockAck {
+                    seq: info.seq,
+                    slot: info.slot,
+                    len: info.len,
+                });
+                if self.pending.len() >= self.cfg.ack_batch() {
+                    self.flush()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // Max-latency dwell: a partial batch waits at most the flush window
+    // for more acks (the blocks themselves were already retired — only
+    // the sink-bound notification waits).
+    fn dwell(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    fn done(&self) -> bool {
+        self.completed >= self.total_blocks
+    }
+
+    fn flush(&mut self) -> Result<(), Self::Err> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let msg = if self.pending.len() == 1 && self.cfg.ctrl_batch <= 1 {
+            let a = self.pending[0];
+            CtrlMsg::BlockComplete {
+                session: SESSION,
+                seq: a.seq,
+                slot: a.slot,
+                len: a.len,
+            }
+        } else {
+            CtrlMsg::AckBatch {
+                session: SESSION,
+                acks: std::mem::take(&mut self.pending),
+            }
+        };
+        self.pending.clear();
+        self.ctrl_sent += 1;
+        self.evt_tx
+            .send(SinkEvent::Ctrl(encode(&msg)))
+            .expect("sink ctrl gone");
+        Ok(())
+    }
+}
+
+/// The sink control handler's state, as a [`CoalescedSink`]: arrivals in
+/// one drain grant per completion (preserving the proactive ramp) but
+/// the grants leave as coalesced `CreditBatch` frames — the credit
+/// loop's message count scales with drains, not blocks. The *policy* is
+/// untouched: every completion still earns its `grant_per_completion`
+/// slots the moment it is processed, so the exponential ramp is the same
+/// credits-per-arrival curve, just carried in fewer frames.
+struct GrantCoalescer<'a> {
+    cfg: &'a LiveConfig,
+    snk_pool: &'a AtomicSinkPool,
+    granter: &'a Mutex<rftp_core::Granter>,
+    ctrl_tx: &'a Sender<Box<CtrlFrame>>,
+    deliver_tx: &'a Sender<(u32, u32, u32)>,
+    total_blocks: u64,
+    reorder: ReorderBuffer<(u32, u32)>,
+    // Slots granted (popped from the pool, counted by the granter) but
+    // not yet on the wire. Grants accumulate across the events of a
+    // drain — and across the flush window — so the credit loop pays one
+    // message per batch, not per completion.
+    pending: Vec<u32>,
+    ctrl_sent: u64,
+}
+
+impl GrantCoalescer<'_> {
+    /// Pop up to `want` free slots into the pending grant batch.
+    fn accumulate(&mut self, want: u32) {
+        let before = self.pending.len();
+        self.pending
+            .extend((0..want).map_while(|_| self.snk_pool.grant()));
+        let got = (self.pending.len() - before) as u32;
+        if got > 0 {
+            self.granter.lock().note_granted(got);
+        }
+    }
+
+    fn on_arrival(&mut self, seq: u32, slot: u32, len: u32) {
+        self.snk_pool.ready(slot).expect("FSM: ready");
+        for (s2, (slot2, len2)) in self.reorder.push(seq, (slot, len)) {
+            self.deliver_tx
+                .send((s2, slot2, len2))
+                .expect("consumer gone");
+        }
+        let want = self.granter.lock().on_completion();
+        self.accumulate(want);
+    }
+}
+
+impl CoalescedSink<SinkEvent> for GrantCoalescer<'_> {
+    type Err = std::convert::Infallible;
+
+    fn handle(&mut self, ev: SinkEvent) -> Result<(), Self::Err> {
+        match ev {
+            SinkEvent::Ctrl(raw) => {
+                match CtrlMsg::decode(raw.as_bytes()).expect("bad ctrl message") {
+                    CtrlMsg::SessionRequest { session, .. } => {
+                        assert_eq!(session, SESSION);
+                        self.ctrl_sent += 1;
+                        self.ctrl_tx
+                            .send(encode(&CtrlMsg::SessionAccept {
+                                session: SESSION,
+                                block_size: self.cfg.block_size as u64,
+                                data_qpns: (0..self.cfg.channels as u32).collect(),
+                            }))
+                            .expect("source ctrl gone");
+                        let want = self.granter.lock().on_accept();
+                        self.accumulate(want);
+                    }
+                    CtrlMsg::BlockComplete {
+                        session,
+                        seq,
+                        slot,
+                        len,
+                    } => {
+                        assert_eq!(session, SESSION);
+                        self.on_arrival(seq, slot, len);
+                    }
+                    CtrlMsg::AckBatch { session, acks } => {
+                        assert_eq!(session, SESSION);
+                        for a in acks {
+                            self.on_arrival(a.seq, a.slot, a.len);
+                        }
+                    }
+                    CtrlMsg::MrRequest { session } => {
+                        assert_eq!(session, SESSION);
+                        let free = self.snk_pool.free_count();
+                        let want = self.granter.lock().on_request(free);
+                        self.accumulate(want);
+                    }
+                    CtrlMsg::DatasetComplete {
+                        total_blocks: t, ..
+                    } => {
+                        assert_eq!(t as u64, self.total_blocks);
+                    }
+                    other => panic!("unexpected ctrl at sink: {other:?}"),
+                }
+            }
+            SinkEvent::Imm { seq, slot, len } => self.on_arrival(seq, slot, len),
+        }
+        if self.pending.len() >= self.cfg.credit_batch() {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    // Dwell for the flush window on a partial grant batch (unbatched
+    // mode flushes immediately — per-event grants ARE its wire
+    // behaviour).
+    fn dwell(&self) -> bool {
+        !self.pending.is_empty() && self.cfg.ctrl_batch > 1
+    }
+
+    // Runs until the event channel closes at teardown.
+    fn done(&self) -> bool {
+        false
+    }
+
+    fn flush(&mut self) -> Result<(), Self::Err> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        if self.cfg.ctrl_batch <= 1 {
+            for chunk in self.pending.chunks(MAX_CREDITS_PER_MSG) {
+                self.ctrl_sent += 1;
+                self.ctrl_tx
+                    .send(encode(&CtrlMsg::Credits {
+                        session: SESSION,
+                        credits: chunk
+                            .iter()
+                            .map(|&s2| Credit {
+                                slot: s2,
+                                rkey: SINK_RKEY,
+                                offset: s2 as u64 * self.cfg.slot_bytes() as u64,
+                                len: self.cfg.slot_bytes() as u32,
+                            })
+                            .collect(),
+                    }))
+                    .expect("source ctrl gone");
+            }
+        } else {
+            for chunk in self.pending.chunks(self.cfg.credit_batch()) {
+                self.ctrl_sent += 1;
+                self.ctrl_tx
+                    .send(encode(&CtrlMsg::CreditBatch {
+                        session: SESSION,
+                        rkey: SINK_RKEY,
+                        slot_len: self.cfg.slot_bytes() as u32,
+                        slots: chunk.to_vec(),
+                    }))
+                    .expect("source ctrl gone");
+            }
+        }
+        self.pending.clear();
+        Ok(())
+    }
 }
 
 /// Run one transfer; blocks until completion and returns the report.
@@ -842,77 +1086,21 @@ pub fn try_run_live(cfg: &LiveConfig) -> std::io::Result<LiveReport> {
             let (src_pool, inflight) = (&src_pool, &inflight);
             let cfg = &cfg;
             s.spawn(move || {
-                let mut ctrl_sent = 0u64;
-                let mut completed = 0u64;
-                let ack_cap = cfg.ack_batch();
-                let mut pending: Vec<BlockAck> = Vec::with_capacity(ack_cap);
-                let mut drain: Vec<Vec<u32>> = Vec::with_capacity(64);
-                let flush = |pending: &mut Vec<BlockAck>, ctrl_sent: &mut u64| {
-                    if pending.is_empty() {
-                        return;
-                    }
-                    let msg = if pending.len() == 1 && cfg.ctrl_batch <= 1 {
-                        let a = pending[0];
-                        CtrlMsg::BlockComplete {
-                            session: SESSION,
-                            seq: a.seq,
-                            slot: a.slot,
-                            len: a.len,
-                        }
-                    } else {
-                        CtrlMsg::AckBatch {
-                            session: SESSION,
-                            acks: std::mem::take(pending),
-                        }
-                    };
-                    pending.clear();
-                    *ctrl_sent += 1;
-                    evt_tx
-                        .send(SinkEvent::Ctrl(encode(&msg)))
-                        .expect("sink ctrl gone");
+                let mut h = AckCoalescer {
+                    cfg,
+                    src_pool,
+                    inflight,
+                    evt_tx: &evt_tx,
+                    total_blocks,
+                    completed: 0,
+                    ctrl_sent: 0,
+                    pending: Vec::with_capacity(cfg.ack_batch()),
                 };
-                while completed < total_blocks {
-                    ack_rx
-                        .recv_batch(&mut drain, 64)
-                        .expect("ack channel closed early");
-                    loop {
-                        for batch in drain.drain(..) {
-                            for block in batch {
-                                let info = inflight[block as usize]
-                                    .lock()
-                                    .take()
-                                    .expect("ack for idle block");
-                                src_pool.complete(block).expect("FSM: complete");
-                                completed += 1;
-                                if !cfg.notify_imm {
-                                    pending.push(BlockAck {
-                                        seq: info.seq,
-                                        slot: info.slot,
-                                        len: info.len,
-                                    });
-                                    if pending.len() >= ack_cap {
-                                        flush(&mut pending, &mut ctrl_sent);
-                                    }
-                                }
-                            }
-                        }
-                        // Max-latency flush: a partial batch dwells at
-                        // most `flush_window` for more acks (the block
-                        // itself was already retired above — only the
-                        // sink-bound notification waits), then goes out
-                        // before the next unbounded wait.
-                        if pending.is_empty() || completed >= total_blocks {
-                            break;
-                        }
-                        if ack_rx
-                            .recv_batch_timeout(&mut drain, 64, cfg.flush_window)
-                            .is_err()
-                        {
-                            break;
-                        }
-                    }
-                    flush(&mut pending, &mut ctrl_sent);
-                }
+                let end =
+                    drain_coalesced(&mut h, &mut channel_events(&ack_rx, 64), cfg.flush_window)
+                        .unwrap();
+                assert_eq!(end, DrainEnd::Done, "ack channel closed early");
+                let mut ctrl_sent = h.ctrl_sent;
                 ctrl_sent += 1;
                 evt_tx
                     .send(SinkEvent::Ctrl(encode(&CtrlMsg::DatasetComplete {
@@ -1065,154 +1253,25 @@ pub fn try_run_live(cfg: &LiveConfig) -> std::io::Result<LiveReport> {
             let (snk_pool, granter) = (&snk_pool, &granter);
             let cfg = &cfg;
             s.spawn(move || {
-                let mut reorder = ReorderBuffer::<(u32, u32)>::new();
-                let mut ctrl_sent = 0u64;
-                let credit_cap = cfg.credit_batch();
-                // Slots granted (popped from the pool, counted by the
-                // granter) but not yet on the wire. Grants accumulate
-                // across the events of a drain — and across the flush
-                // window — so the credit loop pays one message per batch,
-                // not per completion. The *policy* is untouched: every
-                // completion still earns its `grant_per_completion` slots
-                // the moment it is processed, so the exponential ramp is
-                // the same credits-per-arrival curve, just carried in
-                // fewer frames.
-                let mut pending: Vec<u32> = Vec::with_capacity(cfg.pool_blocks as usize);
-                let flush = |pending: &mut Vec<u32>, ctrl_sent: &mut u64| {
-                    if pending.is_empty() {
-                        return;
-                    }
-                    if cfg.ctrl_batch <= 1 {
-                        for chunk in pending.chunks(MAX_CREDITS_PER_MSG) {
-                            *ctrl_sent += 1;
-                            ctrl_tx
-                                .send(encode(&CtrlMsg::Credits {
-                                    session: SESSION,
-                                    credits: chunk
-                                        .iter()
-                                        .map(|&s2| Credit {
-                                            slot: s2,
-                                            rkey: SINK_RKEY,
-                                            offset: s2 as u64 * cfg.slot_bytes() as u64,
-                                            len: cfg.slot_bytes() as u32,
-                                        })
-                                        .collect(),
-                                }))
-                                .expect("source ctrl gone");
-                        }
-                    } else {
-                        for chunk in pending.chunks(credit_cap) {
-                            *ctrl_sent += 1;
-                            ctrl_tx
-                                .send(encode(&CtrlMsg::CreditBatch {
-                                    session: SESSION,
-                                    rkey: SINK_RKEY,
-                                    slot_len: cfg.slot_bytes() as u32,
-                                    slots: chunk.to_vec(),
-                                }))
-                                .expect("source ctrl gone");
-                        }
-                    }
-                    pending.clear();
+                let mut h = GrantCoalescer {
+                    cfg,
+                    snk_pool,
+                    granter,
+                    ctrl_tx: &ctrl_tx,
+                    deliver_tx: &deliver_tx,
+                    total_blocks,
+                    reorder: ReorderBuffer::new(),
+                    pending: Vec::with_capacity(cfg.pool_blocks as usize),
+                    ctrl_sent: 0,
                 };
-                // Pop up to `want` free slots into the pending batch.
-                let accumulate = |want: u32, pending: &mut Vec<u32>| {
-                    let before = pending.len();
-                    pending.extend((0..want).map_while(|_| snk_pool.grant()));
-                    let got = (pending.len() - before) as u32;
-                    if got > 0 {
-                        granter.lock().note_granted(got);
-                    }
-                };
-                let on_arrival = |seq: u32,
-                                  slot: u32,
-                                  len: u32,
-                                  reorder: &mut ReorderBuffer<(u32, u32)>|
-                 -> u32 {
-                    snk_pool.ready(slot).expect("FSM: ready");
-                    for (s2, (slot2, len2)) in reorder.push(seq, (slot, len)) {
-                        deliver_tx.send((s2, slot2, len2)).expect("consumer gone");
-                    }
-                    granter.lock().on_completion()
-                };
-                let mut events: Vec<SinkEvent> = Vec::with_capacity(64);
-                while sink_evt_rx.recv_batch(&mut events, 64).is_ok() {
-                    loop {
-                        for ev in events.drain(..) {
-                            match ev {
-                                SinkEvent::Ctrl(raw) => {
-                                    match CtrlMsg::decode(raw.as_bytes()).expect("bad ctrl message")
-                                    {
-                                        CtrlMsg::SessionRequest { session, .. } => {
-                                            assert_eq!(session, SESSION);
-                                            ctrl_sent += 1;
-                                            ctrl_tx
-                                                .send(encode(&CtrlMsg::SessionAccept {
-                                                    session: SESSION,
-                                                    block_size: cfg.block_size as u64,
-                                                    data_qpns: (0..cfg.channels as u32).collect(),
-                                                }))
-                                                .expect("source ctrl gone");
-                                            let want = granter.lock().on_accept();
-                                            accumulate(want, &mut pending);
-                                        }
-                                        CtrlMsg::BlockComplete {
-                                            session,
-                                            seq,
-                                            slot,
-                                            len,
-                                        } => {
-                                            assert_eq!(session, SESSION);
-                                            let want = on_arrival(seq, slot, len, &mut reorder);
-                                            accumulate(want, &mut pending);
-                                        }
-                                        CtrlMsg::AckBatch { session, acks } => {
-                                            assert_eq!(session, SESSION);
-                                            for a in acks {
-                                                let want =
-                                                    on_arrival(a.seq, a.slot, a.len, &mut reorder);
-                                                accumulate(want, &mut pending);
-                                            }
-                                        }
-                                        CtrlMsg::MrRequest { session } => {
-                                            assert_eq!(session, SESSION);
-                                            let free = snk_pool.free_count();
-                                            let want = granter.lock().on_request(free);
-                                            accumulate(want, &mut pending);
-                                        }
-                                        CtrlMsg::DatasetComplete {
-                                            total_blocks: t, ..
-                                        } => {
-                                            assert_eq!(t as u64, total_blocks);
-                                        }
-                                        other => panic!("unexpected ctrl at sink: {other:?}"),
-                                    }
-                                }
-                                SinkEvent::Imm { seq, slot, len } => {
-                                    let want = on_arrival(seq, slot, len, &mut reorder);
-                                    accumulate(want, &mut pending);
-                                }
-                            }
-                            if pending.len() >= credit_cap {
-                                flush(&mut pending, &mut ctrl_sent);
-                            }
-                        }
-                        // Dwell for the flush window on a partial grant
-                        // batch (unbatched mode flushes immediately —
-                        // per-event grants ARE its wire behaviour).
-                        if pending.is_empty() || cfg.ctrl_batch <= 1 {
-                            break;
-                        }
-                        if sink_evt_rx
-                            .recv_batch_timeout(&mut events, 64, cfg.flush_window)
-                            .is_err()
-                        {
-                            break;
-                        }
-                    }
-                    flush(&mut pending, &mut ctrl_sent);
-                }
-                (ctrl_sent, reorder.ooo_arrivals)
+                let end = drain_coalesced(
+                    &mut h,
+                    &mut channel_events(&sink_evt_rx, 64),
+                    cfg.flush_window,
+                )
+                .unwrap();
+                assert_eq!(end, DrainEnd::Closed, "sink ctrl never reports done");
+                (h.ctrl_sent, h.reorder.ooo_arrivals)
             })
         };
         drop(deliver_tx);
@@ -1385,6 +1444,8 @@ pub fn try_run_live(cfg: &LiveConfig) -> std::io::Result<LiveReport> {
             flush_ns: per_block(tally.stage_ns[4]),
             sync_ns: per_block(sync_ns),
         },
+        tails: Default::default(),
+        transport_threads: cfg.channels,
         direct_io_active,
     })
 }

@@ -32,6 +32,8 @@
 //! placement dedup bitmap, in-order dispatch, fault injection and the
 //! retransmit watchdog — is the exact machinery of the main pipeline.
 
+use crate::coalesce::{channel_events, drain_coalesced, CoalescedSink, DrainEnd};
+use crate::hist::{NsHist, StageTails};
 use crate::pipeline::{
     backoff, drop_roll, pattern_seed, AtomicBitmap, CreditSlots, InFlightInfo, LiveConfig,
     LiveReport, SnkBackend, SrcBackend, StageBreakdown, SESSION, SINK_RKEY,
@@ -55,7 +57,7 @@ use std::time::Instant;
 /// so the ring is simply sized past any configurable sink pool.
 const REMOTE_SLOT_RING: u32 = 4096;
 
-fn perr(msg: impl Into<String>) -> io::Error {
+pub(crate) fn perr(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::BrokenPipe, msg.into())
 }
 
@@ -63,14 +65,14 @@ fn perr(msg: impl Into<String>) -> io::Error {
 /// Recording an error tears the transport down ([`SourceTransport::abort`]
 /// / [`SinkTransport::abort`]), so peers and siblings blocked on a link
 /// error out instead of hanging; lock-free waits poll [`Fail::is_set`].
-struct Fail {
+pub(crate) struct Fail {
     flag: AtomicBool,
     err: Mutex<Option<io::Error>>,
     abort: Arc<dyn Fn() + Send + Sync>,
 }
 
 impl Fail {
-    fn new(abort: Arc<dyn Fn() + Send + Sync>) -> Fail {
+    pub(crate) fn new(abort: Arc<dyn Fn() + Send + Sync>) -> Fail {
         Fail {
             flag: AtomicBool::new(false),
             err: Mutex::new(None),
@@ -78,7 +80,7 @@ impl Fail {
         }
     }
 
-    fn set(&self, e: io::Error) {
+    pub(crate) fn set(&self, e: io::Error) {
         {
             let mut slot = self.err.lock();
             if slot.is_none() {
@@ -89,11 +91,11 @@ impl Fail {
         (self.abort)();
     }
 
-    fn is_set(&self) -> bool {
+    pub(crate) fn is_set(&self) -> bool {
         self.flag.load(Ordering::Acquire)
     }
 
-    fn into_err(self) -> io::Error {
+    pub(crate) fn into_err(self) -> io::Error {
         self.err
             .into_inner()
             .unwrap_or_else(|| perr("transfer failed"))
@@ -121,9 +123,13 @@ pub fn run_split_source(cfg: &LiveConfig, t: SourceTransport) -> io::Result<Live
     };
 
     let src_pool = AtomicSourcePool::new(geo);
-    let src_bufs: Vec<Mutex<SlotBuf>> = (0..cfg.pool_blocks)
-        .map(|_| Mutex::new(SlotBuf::new(cfg.block_size)))
-        .collect();
+    // Arc'd so a completion-based transport can hold the pool across its
+    // in-flight sends (the registered-buffer lifetime).
+    let src_bufs: Arc<Vec<Mutex<SlotBuf>>> = Arc::new(
+        (0..cfg.pool_blocks)
+            .map(|_| Mutex::new(SlotBuf::new(cfg.block_size)))
+            .collect(),
+    );
     let stock = CreditSlots::new(REMOTE_SLOT_RING);
     let inflight: Vec<Mutex<Option<InFlightInfo>>> =
         (0..cfg.pool_blocks).map(|_| Mutex::new(None)).collect();
@@ -135,9 +141,14 @@ pub fn run_split_source(cfg: &LiveConfig, t: SourceTransport) -> io::Result<Live
         ctrl_tx,
         mut ctrl_rx,
         data,
+        register,
+        transport_threads,
         shutdown_write,
         abort,
     } = t;
+    // Pin the pool into the transport (fixed-buffer registration on
+    // io_uring, no-op elsewhere) before anything is sent.
+    register(&src_bufs)?;
     let fail = Fail::new(abort);
     let next_seq = AtomicU64::new(0);
     let done_flag = AtomicBool::new(false);
@@ -153,6 +164,7 @@ pub fn run_split_source(cfg: &LiveConfig, t: SourceTransport) -> io::Result<Live
     })?;
     let mut ctrl_msgs = 1u64;
 
+    #[derive(Default)]
     struct Tally {
         ctrl: u64,
         credit_requests: u64,
@@ -160,15 +172,10 @@ pub fn run_split_source(cfg: &LiveConfig, t: SourceTransport) -> io::Result<Live
         retransmits: u64,
         load_ns: u64,
         dispatch_ns: u64,
+        load_hist: NsHist,
+        dispatch_hist: NsHist,
     }
-    let mut tally = Tally {
-        ctrl: 0,
-        credit_requests: 0,
-        dropped: 0,
-        retransmits: 0,
-        load_ns: 0,
-        dispatch_ns: 0,
-    };
+    let mut tally = Tally::default();
 
     std::thread::scope(|s| {
         // Loaders: identical to the main pipeline, plus the failure poll
@@ -181,11 +188,12 @@ pub fn run_split_source(cfg: &LiveConfig, t: SourceTransport) -> io::Result<Live
                 let (next_seq, fail, cfg) = (&next_seq, &fail, &cfg);
                 s.spawn(move || {
                     let mut load_ns = 0u64;
+                    let mut load_hist = NsHist::new();
                     loop {
                         let mut spins = 0;
                         let block = loop {
                             if next_seq.load(Ordering::Relaxed) >= total_blocks || fail.is_set() {
-                                return load_ns;
+                                return (load_ns, load_hist);
                             }
                             if src_pool.in_flight() < ra_limit {
                                 if let Some(b) = src_pool.get_free() {
@@ -197,7 +205,7 @@ pub fn run_split_source(cfg: &LiveConfig, t: SourceTransport) -> io::Result<Live
                         let seq = next_seq.fetch_add(1, Ordering::Relaxed);
                         if seq >= total_blocks {
                             src_pool.abandon(block).expect("FSM: abandon");
-                            return load_ns;
+                            return (load_ns, load_hist);
                         }
                         let offset = seq * cfg.block_size as u64;
                         let len = (cfg.total_bytes - offset).min(cfg.block_size as u64) as u32;
@@ -223,7 +231,7 @@ pub fn run_split_source(cfg: &LiveConfig, t: SourceTransport) -> io::Result<Live
                                         offset,
                                     ) {
                                         fail.set(e);
-                                        return load_ns;
+                                        return (load_ns, load_hist);
                                     }
                                     if let Some(p) = pacer {
                                         p.pace(len as usize);
@@ -231,7 +239,9 @@ pub fn run_split_source(cfg: &LiveConfig, t: SourceTransport) -> io::Result<Live
                                 }
                             }
                         }
-                        load_ns += t0.elapsed().as_nanos() as u64;
+                        let ns = t0.elapsed().as_nanos() as u64;
+                        load_ns += ns;
+                        load_hist.record(ns);
                         *inflight[block as usize].lock() = Some(InFlightInfo {
                             seq: seq as u32,
                             slot: u32::MAX,
@@ -242,7 +252,7 @@ pub fn run_split_source(cfg: &LiveConfig, t: SourceTransport) -> io::Result<Live
                         seq2block.lock().insert(seq as u32, block);
                         src_pool.loaded(block).expect("FSM: loaded");
                         if loaded_tx.send(block).is_err() {
-                            return load_ns; // dispatcher bailed; fail is set
+                            return (load_ns, load_hist); // dispatcher bailed; fail is set
                         }
                     }
                 })
@@ -260,6 +270,7 @@ pub fn run_split_source(cfg: &LiveConfig, t: SourceTransport) -> io::Result<Live
                 let mut rr = 0usize;
                 let mut fault_rng = cfg.fault_seed;
                 let mut dispatch_ns = 0u64;
+                let mut dispatch_hist = NsHist::new();
                 let mut ctrl_sent = 0u64;
                 let mut credit_requests = 0u64;
                 let mut dropped = 0u64;
@@ -284,12 +295,37 @@ pub fn run_split_source(cfg: &LiveConfig, t: SourceTransport) -> io::Result<Live
                         let slot = {
                             let mut spins = 0;
                             let mut starved_since: Option<Instant> = None;
+                            let mut kicked = false;
                             loop {
                                 if fail.is_set() {
-                                    return (dispatch_ns, ctrl_sent, credit_requests, dropped);
+                                    return (
+                                        dispatch_ns,
+                                        ctrl_sent,
+                                        credit_requests,
+                                        dropped,
+                                        dispatch_hist,
+                                    );
                                 }
                                 if let Some(s2) = stock.slots.try_pop() {
                                     break s2;
+                                }
+                                // Out of credits: before waiting on the
+                                // sink's grants, make sure every queued
+                                // send is actually on the wire — the
+                                // grants we are waiting for are earned by
+                                // arrivals.
+                                if !kicked {
+                                    kicked = true;
+                                    if let Err(e) = data.iter().try_for_each(|d| d.kick()) {
+                                        fail.set(e);
+                                        return (
+                                            dispatch_ns,
+                                            ctrl_sent,
+                                            credit_requests,
+                                            dropped,
+                                            dispatch_hist,
+                                        );
+                                    }
                                 }
                                 if !stock.request_outstanding.swap(true, Ordering::AcqRel) {
                                     credit_requests += 1;
@@ -298,7 +334,13 @@ pub fn run_split_source(cfg: &LiveConfig, t: SourceTransport) -> io::Result<Live
                                         ctrl_tx.send(&CtrlMsg::MrRequest { session: SESSION })
                                     {
                                         fail.set(e);
-                                        return (dispatch_ns, ctrl_sent, credit_requests, dropped);
+                                        return (
+                                            dispatch_ns,
+                                            ctrl_sent,
+                                            credit_requests,
+                                            dropped,
+                                            dispatch_hist,
+                                        );
                                     }
                                     starved_since = Some(Instant::now());
                                 }
@@ -334,14 +376,36 @@ pub fn run_split_source(cfg: &LiveConfig, t: SourceTransport) -> io::Result<Live
                                 slot,
                                 len: info.len,
                             };
-                            let buf = src_bufs[block as usize].lock();
-                            if let Err(e) = data[ch].send(hdr, &buf[..hdr.wire_len()]) {
+                            if let Err(e) = data[ch].send_block(hdr, src_bufs.as_slice(), block) {
                                 fail.set(e);
-                                return (dispatch_ns, ctrl_sent, credit_requests, dropped);
+                                return (
+                                    dispatch_ns,
+                                    ctrl_sent,
+                                    credit_requests,
+                                    dropped,
+                                    dispatch_hist,
+                                );
                             }
                         }
-                        dispatch_ns += t0.elapsed().as_nanos() as u64;
+                        let ns = t0.elapsed().as_nanos() as u64;
+                        dispatch_ns += ns;
+                        dispatch_hist.record(ns);
                     }
+                    // One doorbell per drain: submit the whole batch of
+                    // queued sends with a single kernel crossing before
+                    // blocking for the next load.
+                    let t0 = Instant::now();
+                    if let Err(e) = data.iter().try_for_each(|d| d.kick()) {
+                        fail.set(e);
+                        return (
+                            dispatch_ns,
+                            ctrl_sent,
+                            credit_requests,
+                            dropped,
+                            dispatch_hist,
+                        );
+                    }
+                    dispatch_ns += t0.elapsed().as_nanos() as u64;
                 }
                 if !fail.is_set() {
                     assert!(
@@ -349,7 +413,13 @@ pub fn run_split_source(cfg: &LiveConfig, t: SourceTransport) -> io::Result<Live
                         "loads ended with a sequence gap"
                     );
                 }
-                (dispatch_ns, ctrl_sent, credit_requests, dropped)
+                (
+                    dispatch_ns,
+                    ctrl_sent,
+                    credit_requests,
+                    dropped,
+                    dispatch_hist,
+                )
             })
         };
 
@@ -389,8 +459,12 @@ pub fn run_split_source(cfg: &LiveConfig, t: SourceTransport) -> io::Result<Live
                                 slot: i.slot,
                                 len: i.len,
                             };
-                            let buf = src_bufs[block as usize].lock();
-                            if let Err(e) = data[ch].send(hdr, &buf[..hdr.wire_len()]) {
+                            // Queue + kick immediately: retransmits are
+                            // rare and latency-bound, not batched.
+                            if let Err(e) = data[ch]
+                                .send_block(hdr, src_bufs.as_slice(), block)
+                                .and_then(|()| data[ch].kick())
+                            {
                                 fail.set(e);
                                 return (retransmits, dropped);
                             }
@@ -498,11 +572,14 @@ pub fn run_split_source(cfg: &LiveConfig, t: SourceTransport) -> io::Result<Live
         };
 
         for h in loader_handles {
-            tally.load_ns += h.join().expect("loader panicked");
+            let (load_ns, load_hist) = h.join().expect("loader panicked");
+            tally.load_ns += load_ns;
+            tally.load_hist.merge(&load_hist);
         }
-        let (dispatch_ns, disp_ctrl, credit_requests, dropped) =
+        let (dispatch_ns, disp_ctrl, credit_requests, dropped, dispatch_hist) =
             dispatcher.join().expect("dispatcher panicked");
         tally.dispatch_ns = dispatch_ns;
+        tally.dispatch_hist = dispatch_hist;
         tally.ctrl += disp_ctrl;
         tally.credit_requests = credit_requests;
         tally.dropped = dropped;
@@ -539,6 +616,12 @@ pub fn run_split_source(cfg: &LiveConfig, t: SourceTransport) -> io::Result<Live
             dispatch_ns: per_block(tally.dispatch_ns),
             ..Default::default()
         },
+        tails: StageTails {
+            load: tally.load_hist,
+            dispatch: tally.dispatch_hist,
+            ..Default::default()
+        },
+        transport_threads,
         direct_io_active,
     })
 }
@@ -548,7 +631,7 @@ pub fn run_split_source(cfg: &LiveConfig, t: SourceTransport) -> io::Result<Live
 // ---------------------------------------------------------------------------
 
 /// Everything the sink's control handler reacts to, on one channel.
-enum SinkEvt {
+pub(crate) enum SinkEvt {
     /// A data frame placed into its credited slot.
     Arrival { seq: u32, slot: u32, len: u32 },
     /// A control frame from the peer.
@@ -562,8 +645,9 @@ enum SinkEvt {
 /// The sink's protocol brain: negotiation, credit grants, in-order
 /// verify-and-free, and the coalesced sink→source control traffic
 /// (`AckBatch` for placements, `CreditBatch` for grants — same caps and
-/// flush window as the main pipeline).
-struct SinkHandler<'a> {
+/// flush window as the main pipeline). Shared by the thread-per-channel
+/// sink below and the io_uring sink driver ([`crate::uring`]).
+pub(crate) struct SinkHandler<'a> {
     cfg: &'a LiveConfig,
     ctrl_tx: &'a dyn CtrlTx,
     snk_pool: &'a AtomicSinkPool,
@@ -571,23 +655,51 @@ struct SinkHandler<'a> {
     snk_bufs: &'a [Mutex<SlotBuf>],
     verify_payload: bool,
     total_blocks: u64,
-    reorder: ReorderBuffer<(u32, u32)>,
+    pub(crate) reorder: ReorderBuffer<(u32, u32)>,
     expected_seq: u32,
     dc_seen: bool,
     eof_data: usize,
     pending_acks: Vec<BlockAck>,
     pending_credits: Vec<u32>,
-    ctrl_msgs: u64,
-    delivered: u64,
-    checksum_failures: u64,
-    verify_ns: u64,
+    pub(crate) ctrl_msgs: u64,
+    pub(crate) delivered: u64,
+    pub(crate) checksum_failures: u64,
+    pub(crate) verify_ns: u64,
+    pub(crate) verify_hist: NsHist,
+}
+
+impl<'a> SinkHandler<'a> {
+    pub(crate) fn new(
+        cfg: &'a LiveConfig,
+        ctrl_tx: &'a dyn CtrlTx,
+        snk_pool: &'a AtomicSinkPool,
+        granter: &'a Mutex<Granter>,
+        snk_bufs: &'a [Mutex<SlotBuf>],
+    ) -> SinkHandler<'a> {
+        SinkHandler {
+            cfg,
+            ctrl_tx,
+            snk_pool,
+            granter,
+            snk_bufs,
+            verify_payload: cfg.dst_file.is_none(),
+            total_blocks: cfg.total_blocks(),
+            reorder: ReorderBuffer::new(),
+            expected_seq: 0,
+            dc_seen: false,
+            eof_data: 0,
+            pending_acks: Vec::with_capacity(cfg.ack_batch()),
+            pending_credits: Vec::with_capacity(cfg.pool_blocks as usize),
+            ctrl_msgs: 0,
+            delivered: 0,
+            checksum_failures: 0,
+            verify_ns: 0,
+            verify_hist: NsHist::new(),
+        }
+    }
 }
 
 impl SinkHandler<'_> {
-    fn done(&self) -> bool {
-        self.dc_seen && self.delivered == self.total_blocks
-    }
-
     fn idle(&self) -> bool {
         self.pending_acks.is_empty() && self.pending_credits.is_empty()
     }
@@ -643,11 +755,6 @@ impl SinkHandler<'_> {
         self.ctrl_tx.send(&msg)
     }
 
-    fn flush(&mut self) -> io::Result<()> {
-        self.flush_acks()?;
-        self.flush_credits()
-    }
-
     /// Verify and free one in-order delivery.
     fn deliver(&mut self, seq: u32, slot: u32, len: u32) -> io::Result<()> {
         assert_eq!(seq, self.expected_seq, "out-of-order delivery");
@@ -667,7 +774,9 @@ impl SinkHandler<'_> {
                 self.checksum_failures += 1;
             }
         }
-        self.verify_ns += t0.elapsed().as_nanos() as u64;
+        let ns = t0.elapsed().as_nanos() as u64;
+        self.verify_ns += ns;
+        self.verify_hist.record(ns);
         self.snk_pool
             .put_free(slot)
             .map_err(|e| perr(format!("FSM put_free: {e:?}")))?;
@@ -679,6 +788,26 @@ impl SinkHandler<'_> {
         }
         self.delivered += 1;
         Ok(())
+    }
+}
+
+/// The shared [`drain_coalesced`] loop drives the handler — the same
+/// dwell/flush shape as the main pipeline's control handlers, with
+/// arrivals, peer control frames, and link EOFs as the event stream.
+impl CoalescedSink<SinkEvt> for SinkHandler<'_> {
+    type Err = io::Error;
+
+    fn done(&self) -> bool {
+        self.dc_seen && self.delivered == self.total_blocks
+    }
+
+    fn dwell(&self) -> bool {
+        !self.idle()
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.flush_acks()?;
+        self.flush_credits()
     }
 
     fn handle(&mut self, ev: SinkEvt) -> io::Result<()> {
@@ -826,6 +955,7 @@ pub fn run_split_sink(
 
     let start = Instant::now();
     let mut tally = (0u64, 0u64, 0u64); // place_ns, flush_ns, duplicates
+    let mut place_tails = NsHist::new();
     let mut handler_out: Option<SinkHandler> = None;
 
     std::thread::scope(|s| {
@@ -872,18 +1002,19 @@ pub fn run_split_sink(
                     let mut place_ns = 0u64;
                     let mut flush_ns = 0u64;
                     let mut duplicates = 0u64;
+                    let mut place_hist = NsHist::new();
                     loop {
                         let hdr = match rx.recv_header() {
                             Ok(Some(hdr)) => hdr,
                             Ok(None) => {
                                 let _ = evt_tx.send(SinkEvt::DataEof);
-                                return (place_ns, flush_ns, duplicates);
+                                return (place_ns, flush_ns, duplicates, place_hist);
                             }
                             Err(e) => {
                                 if !fail.is_set() {
                                     fail.set(e);
                                 }
-                                return (place_ns, flush_ns, duplicates);
+                                return (place_ns, flush_ns, duplicates, place_hist);
                             }
                         };
                         if hdr.session != SESSION
@@ -892,13 +1023,13 @@ pub fn run_split_sink(
                             || hdr.seq as u64 >= total_blocks
                         {
                             fail.set(perr(format!("bad data frame {hdr:?}")));
-                            return (place_ns, flush_ns, duplicates);
+                            return (place_ns, flush_ns, duplicates, place_hist);
                         }
                         if !placed.claim(hdr.seq as u64) {
                             duplicates += 1;
                             if let Err(e) = rx.discard_wire(hdr.wire_len()) {
                                 fail.set(e);
-                                return (place_ns, flush_ns, duplicates);
+                                return (place_ns, flush_ns, duplicates, place_hist);
                             }
                             continue;
                         }
@@ -907,9 +1038,11 @@ pub fn run_split_sink(
                             let mut dst = snk_bufs[hdr.slot as usize].lock();
                             if let Err(e) = rx.recv_wire(&mut dst[..hdr.wire_len()]) {
                                 fail.set(e);
-                                return (place_ns, flush_ns, duplicates);
+                                return (place_ns, flush_ns, duplicates, place_hist);
                             }
-                            place_ns += t0.elapsed().as_nanos() as u64;
+                            let ns = t0.elapsed().as_nanos() as u64;
+                            place_ns += ns;
+                            place_hist.record(ns);
                             if let SnkBackend::File(sink) = snk_backend {
                                 // Write-behind: the block lands at its
                                 // final offset the moment it is placed;
@@ -920,7 +1053,7 @@ pub fn run_split_sink(
                                     hdr.seq as u64 * cfg.block_size as u64,
                                 ) {
                                     fail.set(e);
-                                    return (place_ns, flush_ns, duplicates);
+                                    return (place_ns, flush_ns, duplicates, place_hist);
                                 }
                                 flush_ns += t1.elapsed().as_nanos() as u64;
                             }
@@ -933,7 +1066,8 @@ pub fn run_split_sink(
                             })
                             .is_err()
                         {
-                            return (place_ns, flush_ns, duplicates); // handler bailed
+                            return (place_ns, flush_ns, duplicates, place_hist);
+                            // handler bailed
                         }
                     }
                 })
@@ -942,54 +1076,15 @@ pub fn run_split_sink(
         drop(evt_tx);
 
         // The handler runs on the scope's own thread.
-        let mut h = SinkHandler {
-            cfg,
-            ctrl_tx: ctrl_tx.as_ref(),
-            snk_pool: &snk_pool,
-            granter: &granter,
-            snk_bufs: &snk_bufs,
-            verify_payload: cfg.dst_file.is_none(),
-            total_blocks,
-            reorder: ReorderBuffer::new(),
-            expected_seq: 0,
-            dc_seen: false,
-            eof_data: 0,
-            pending_acks: Vec::with_capacity(cfg.ack_batch()),
-            pending_credits: Vec::with_capacity(cfg.pool_blocks as usize),
-            ctrl_msgs: 0,
-            delivered: 0,
-            checksum_failures: 0,
-            verify_ns: 0,
-        };
+        let mut h = SinkHandler::new(cfg, ctrl_tx.as_ref(), &snk_pool, &granter, &snk_bufs);
         let run = (|| -> io::Result<()> {
             if let Some(msg) = first_ctrl {
                 h.handle(SinkEvt::Ctrl(msg))?;
             }
-            let mut events: Vec<SinkEvt> = Vec::with_capacity(64);
-            while !h.done() {
-                if evt_rx.recv_batch(&mut events, 64).is_err() {
-                    return Err(perr("event pipeline stopped before transfer completed"));
-                }
-                loop {
-                    for ev in events.drain(..) {
-                        h.handle(ev)?;
-                    }
-                    // Dwell for the flush window on partial batches —
-                    // acks and grants leave before the next unbounded
-                    // wait, so coalescing costs no latency.
-                    if h.done() || h.idle() {
-                        break;
-                    }
-                    if evt_rx
-                        .recv_batch_timeout(&mut events, 64, cfg.flush_window)
-                        .is_err()
-                    {
-                        break;
-                    }
-                }
-                h.flush()?;
+            match drain_coalesced(&mut h, &mut channel_events(&evt_rx, 64), cfg.flush_window)? {
+                DrainEnd::Done => Ok(()),
+                DrainEnd::Closed => Err(perr("event pipeline stopped before transfer completed")),
             }
-            Ok(())
         })();
         if let Err(e) = run {
             if !fail.is_set() {
@@ -1000,10 +1095,12 @@ pub fn run_split_sink(
         drop(evt_rx);
         handler_out = Some(h);
         for rh in receiver_handles {
-            let (place_ns, flush_ns, duplicates) = rh.join().expect("receiver panicked");
+            let (place_ns, flush_ns, duplicates, place_hist) =
+                rh.join().expect("receiver panicked");
             tally.0 += place_ns;
             tally.1 += flush_ns;
             tally.2 += duplicates;
+            place_tails.merge(&place_hist);
         }
         pump.join().expect("ctrl pump panicked");
     });
@@ -1044,6 +1141,14 @@ pub fn run_split_sink(
             sync_ns: per_block(sync_ns),
             ..Default::default()
         },
+        tails: StageTails {
+            place: place_tails,
+            verify: h.verify_hist,
+            ..Default::default()
+        },
+        // Per-channel receivers plus the control pump — the O(channels)
+        // thread zoo the ring backend collapses.
+        transport_threads: cfg.channels + 1,
         direct_io_active,
     })
 }

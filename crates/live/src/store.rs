@@ -110,6 +110,31 @@ impl SlotBuf {
             len: PAYLOAD_HEADER_LEN + padded,
         }
     }
+
+    /// Base pointer and total byte length of the allocation, for
+    /// registering the whole slot (dead space included) as a fixed
+    /// buffer with a kernel ring. The registration must cover the
+    /// frame region returned by [`SlotBuf::framed_mut`].
+    pub(crate) fn registration_parts(&self) -> (*mut u8, usize) {
+        (self.ptr.as_ptr(), self.layout.size())
+    }
+
+    /// Mutable view starting `frame_len` bytes *before* the wire slice,
+    /// spanning the frame prefix plus the full wire image. Lets a
+    /// transport prepend a `frame_len`-byte link header in the slot's
+    /// dead space so header + payload go out as one contiguous write
+    /// from the registered buffer.
+    pub(crate) fn framed_mut(&mut self, frame_len: usize) -> &mut [u8] {
+        assert!(frame_len <= STORE_ALIGN - PAYLOAD_HEADER_LEN);
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.ptr
+                    .as_ptr()
+                    .add(STORE_ALIGN - PAYLOAD_HEADER_LEN - frame_len),
+                frame_len + self.len,
+            )
+        }
+    }
 }
 
 impl Drop for SlotBuf {

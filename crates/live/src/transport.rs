@@ -20,12 +20,20 @@
 //! threads share the control link. Receive sides are `&mut self` —
 //! exactly one thread drains each link.
 
+use crate::store::SlotBuf;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use rftp_core::wire::{encode_stream_frame, CtrlMsg, DataFrameHeader, FrameDecoder};
 use rftp_core::{CTRL_SLOT_LEN, FRAME_PREFIX_LEN};
 use std::io;
 use std::sync::Arc;
+
+/// The pinned block pool as a transport sees it: slot index → locked
+/// slot buffer, shared between the pipeline and any in-flight sends.
+pub type BufPool = Arc<Vec<Mutex<SlotBuf>>>;
+
+/// The pool-registration hook of a [`SourceTransport`].
+pub type RegisterFn = Box<dyn Fn(&BufPool) -> io::Result<()> + Send>;
 
 /// Sending side of the control link. Implementations serialize whole
 /// frames internally — a frame from one thread never interleaves with
@@ -47,6 +55,32 @@ pub trait CtrlRx: Send {
 /// before returning), because the block is reused once its ack retires it.
 pub trait DataTx: Send + Sync {
     fn send(&self, hdr: DataFrameHeader, wire: &[u8]) -> io::Result<()>;
+
+    /// Ship one block straight from its pinned pool slot. The default
+    /// locks the slot and sends its wire image synchronously; a
+    /// completion-based backend (io_uring) overrides this to *queue* a
+    /// zero-copy send referencing the registered buffer instead — legal
+    /// because the block stays pinned until its ack retires it, so the
+    /// kernel always reads stable memory, and a retransmit rewrites
+    /// byte-identical contents.
+    fn send_block(
+        &self,
+        hdr: DataFrameHeader,
+        bufs: &[Mutex<SlotBuf>],
+        block: u32,
+    ) -> io::Result<()> {
+        let buf = bufs[block as usize].lock();
+        self.send(hdr, &buf[..hdr.wire_len()])
+    }
+
+    /// Submit everything [`DataTx::send_block`] queued since the last
+    /// kick — called once per dispatcher drain, so a completion-based
+    /// backend pays one kernel crossing per *batch* of blocks (the
+    /// doorbell). Synchronous backends already sent; for them this is a
+    /// no-op.
+    fn kick(&self) -> io::Result<()> {
+        Ok(())
+    }
 }
 
 /// Receiving side of one data link. Split in two so placement is
@@ -71,6 +105,19 @@ pub struct SourceTransport {
     pub ctrl_tx: Arc<dyn CtrlTx>,
     pub ctrl_rx: Box<dyn CtrlRx>,
     pub data: Arc<Vec<Box<dyn DataTx>>>,
+    /// Hand the pinned source block pool to the transport before the
+    /// transfer starts. A completion-based backend registers the slots
+    /// as fixed buffers (the MR-registration analogue — the kernel pins
+    /// and maps them once instead of per operation) so
+    /// [`DataTx::send_block`] can reference them by index; stream
+    /// backends ignore it.
+    pub register: RegisterFn,
+    /// Threads this transport runs for the data path beyond the
+    /// pipeline's own (0 for synchronous backends — the dispatcher's
+    /// send *is* the wire write; 1 for a completion-based backend's
+    /// ring reaper). Reported so the O(channels) → O(1) claim is
+    /// checkable from a bench run.
+    pub transport_threads: usize,
     /// Half-close the source→sink direction of every link (control and
     /// data): the sink's readers see clean end-of-stream, while the
     /// sink→source direction stays open for trailing credits. Called
@@ -244,6 +291,8 @@ pub fn channel_transport(channels: usize, depth: usize) -> (SourceTransport, Sin
             dec: FrameDecoder::new(),
         }),
         data: Arc::new(data_tx),
+        register: Box::new(|_| Ok(())),
+        transport_threads: 0,
         shutdown_write: Box::new(close_s2k.clone()),
         abort: Arc::new(close_s2k),
     };

@@ -1,0 +1,1915 @@
+//! io_uring backend for the split pipeline: one ring per side.
+//!
+//! The TCP backend ([`crate::net`]) spends a thread per link — N
+//! receivers plus a control pump at the sink, and a blocking `writev`
+//! per block at the source. This module keeps the exact same wire
+//! format (the hello exchange and the `[DataFrameHeader | wire image]`
+//! stream records of PROTOCOL.md §7 — a uring source interoperates with
+//! a TCP sink and vice versa) but drives all N+1 sockets of a session
+//! through **one io_uring**:
+//!
+//! * the pinned slot pool is registered with the kernel once as *fixed
+//!   buffers* (`IORING_REGISTER_BUFFERS`) — the userspace analogue of
+//!   RDMA memory registration — so every data send/receive is
+//!   `WRITE_FIXED`/`READ_FIXED` naming a buffer index instead of
+//!   re-pinning pages per call;
+//! * the source queues one `WRITE_FIXED` per block (frame header
+//!   written into the slot's dead space, so header + wire image is a
+//!   single contiguous SQE) and submits the whole dispatcher drain with
+//!   one `io_uring_enter` — the doorbell ([`DataTx::kick`]); one reaper
+//!   thread retires completions for every channel;
+//! * the sink runs a **single driver thread** for all data links:
+//!   header-first re-armed reads (16 bytes of `DataFrameHeader`, routed
+//!   *before* the payload read is committed into the credited slot, or
+//!   into a scratch buffer for duplicates), control frames read off the
+//!   same ring, and the ack/credit dwell implemented with
+//!   `IORING_ENTER_EXT_ARG` timed waits feeding the shared
+//!   [`drain_coalesced`] loop;
+//! * `IORING_SETUP_SQPOLL` and `IORING_OP_SEND_ZC` are probed at ring
+//!   setup and used only when supported *and* opted into
+//!   (`RFTP_URING_SQPOLL=1` / `RFTP_URING_ZC=1`), degrading cleanly to
+//!   plain submission and `WRITE_FIXED` otherwise.
+//!
+//! Everything is raw syscalls (`io_uring_setup`/`enter`/`register` are
+//! 425/426/427 on every Linux architecture) over `extern "C"` shims —
+//! the workspace links no FFI crate, matching the raw `setsockopt` in
+//! [`crate::net`]. [`uring_supported`] probes the running kernel; on
+//! non-Linux targets or old kernels every entry point reports
+//! `Unsupported` and callers fall back to the TCP backend.
+
+#[cfg(target_os = "linux")]
+pub use linux::{
+    accept_source_uring, connect_source_uring, run_uring_sink, uring_supported, UringSinkSession,
+};
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use crate::coalesce::{drain_coalesced, CoalescedSink, DrainEnd};
+    use crate::hist::{NsHist, StageTails};
+    use crate::net::{
+        connect_streams, shutdown_all, NetCtrlRx, NetCtrlTx, NetListener, SessionStreams,
+    };
+    use crate::pipeline::{
+        AtomicBitmap, LiveConfig, LiveReport, SnkBackend, StageBreakdown, SESSION,
+    };
+    use crate::split::{perr, Fail, SinkEvt, SinkHandler};
+    use crate::store::SlotBuf;
+    use crate::transport::{BufPool, DataTx, SourceTransport};
+    use parking_lot::Mutex;
+    use rftp_core::wire::{
+        CtrlMsg, DataFrameHeader, DATA_FRAME_HEADER_LEN, FRAME_PREFIX_LEN, MAX_FRAME_BODY,
+        MIN_FRAME_BODY, PAYLOAD_HEADER_LEN,
+    };
+    use rftp_core::{AtomicSinkPool, Granter, PoolGeometry};
+    use std::collections::VecDeque;
+    use std::io::{self, Read};
+    use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd};
+    use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    // -----------------------------------------------------------------
+    // Raw io_uring ABI (uapi/linux/io_uring.h)
+    // -----------------------------------------------------------------
+
+    const SYS_IO_URING_SETUP: i64 = 425;
+    const SYS_IO_URING_ENTER: i64 = 426;
+    const SYS_IO_URING_REGISTER: i64 = 427;
+
+    const IORING_OFF_SQ_RING: i64 = 0;
+    const IORING_OFF_CQ_RING: i64 = 0x800_0000;
+    const IORING_OFF_SQES: i64 = 0x1000_0000;
+
+    const IORING_SETUP_SQPOLL: u32 = 1 << 1;
+    /// Don't interrupt the ring owner signal-style to run completion
+    /// task-work; batch it onto the next kernel transition (5.19+).
+    const IORING_SETUP_COOP_TASKRUN: u32 = 1 << 8;
+    const IORING_SETUP_SINGLE_ISSUER: u32 = 1 << 12;
+    /// Run completion task-work only inside `GETEVENTS` enters — the
+    /// strictest batching; requires `SINGLE_ISSUER` (6.1+).
+    const IORING_SETUP_DEFER_TASKRUN: u32 = 1 << 13;
+
+    const IORING_ENTER_GETEVENTS: u32 = 1 << 0;
+    const IORING_ENTER_SQ_WAKEUP: u32 = 1 << 1;
+    const IORING_ENTER_EXT_ARG: u32 = 1 << 3;
+
+    const IORING_FEAT_SINGLE_MMAP: u32 = 1 << 0;
+    const IORING_FEAT_EXT_ARG: u32 = 1 << 8;
+
+    const IORING_REGISTER_BUFFERS: u32 = 0;
+    const IORING_REGISTER_PROBE: u32 = 8;
+
+    const IORING_SQ_NEED_WAKEUP: u32 = 1 << 0;
+
+    const IORING_CQE_F_MORE: u32 = 1 << 1;
+    const IORING_CQE_F_NOTIF: u32 = 1 << 3;
+
+    const IORING_OP_NOP: u8 = 0;
+    const IORING_OP_READ_FIXED: u8 = 4;
+    const IORING_OP_WRITE_FIXED: u8 = 5;
+    const IORING_OP_READ: u8 = 22;
+    const IORING_OP_WRITE: u8 = 23;
+    const IORING_OP_SEND_ZC: u8 = 47;
+
+    /// `SEND_ZC` flag in `Sqe::ioprio`: the buffer is a registered one,
+    /// named by `buf_index`.
+    const IORING_RECVSEND_FIXED_BUF: u16 = 1 << 2;
+
+    const ETIME: i32 = 62;
+    /// The kernel can drop a poll-armed socket op with `-ECANCELED`
+    /// without transferring any bytes (poll races on busy streams).
+    /// Such ops are resubmitted verbatim, not treated as link failure.
+    const ECANCELED: i32 = 125;
+
+    #[repr(C)]
+    #[derive(Clone, Copy, Default)]
+    struct SqringOffsets {
+        head: u32,
+        tail: u32,
+        ring_mask: u32,
+        ring_entries: u32,
+        flags: u32,
+        dropped: u32,
+        array: u32,
+        resv1: u32,
+        user_addr: u64,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy, Default)]
+    struct CqringOffsets {
+        head: u32,
+        tail: u32,
+        ring_mask: u32,
+        ring_entries: u32,
+        overflow: u32,
+        cqes: u32,
+        flags: u32,
+        resv1: u32,
+        user_addr: u64,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy, Default)]
+    struct IoUringParams {
+        sq_entries: u32,
+        cq_entries: u32,
+        flags: u32,
+        sq_thread_cpu: u32,
+        sq_thread_idle: u32,
+        features: u32,
+        wq_fd: u32,
+        resv: [u32; 3],
+        sq_off: SqringOffsets,
+        cq_off: CqringOffsets,
+    }
+
+    /// One 64-byte submission queue entry (the non-`SQE128` layout).
+    #[repr(C)]
+    #[derive(Clone, Copy, Default)]
+    struct Sqe {
+        opcode: u8,
+        flags: u8,
+        ioprio: u16,
+        fd: i32,
+        off: u64,
+        addr: u64,
+        len: u32,
+        op_flags: u32,
+        user_data: u64,
+        buf_index: u16,
+        personality: u16,
+        splice_fd_in: i32,
+        addr3: u64,
+        _pad2: u64,
+    }
+
+    /// One 16-byte completion queue entry.
+    #[repr(C)]
+    #[derive(Clone, Copy, Default)]
+    struct Cqe {
+        user_data: u64,
+        res: i32,
+        flags: u32,
+    }
+
+    #[repr(C)]
+    struct IoVec {
+        base: *mut core::ffi::c_void,
+        len: usize,
+    }
+
+    /// `IORING_ENTER_EXT_ARG` payload: a timed `GETEVENTS` wait.
+    #[repr(C)]
+    struct GeteventsArg {
+        sigmask: u64,
+        sigmask_sz: u32,
+        pad: u32,
+        ts: u64,
+    }
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    mod sys {
+        use core::ffi::{c_long, c_void};
+        extern "C" {
+            pub fn syscall(num: c_long, ...) -> c_long;
+            pub fn mmap(
+                addr: *mut c_void,
+                len: usize,
+                prot: i32,
+                flags: i32,
+                fd: i32,
+                off: i64,
+            ) -> *mut c_void;
+            pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Ring core
+    // -----------------------------------------------------------------
+
+    struct MmapRegion {
+        ptr: *mut u8,
+        len: usize,
+    }
+
+    impl MmapRegion {
+        fn map(fd: i32, len: usize, off: i64) -> io::Result<MmapRegion> {
+            const PROT_RW: i32 = 0x3;
+            const MAP_SHARED_POPULATE: i32 = 0x1 | 0x8000;
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_RW,
+                    MAP_SHARED_POPULATE,
+                    fd,
+                    off,
+                )
+            };
+            if ptr as i64 == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(MmapRegion {
+                ptr: ptr as *mut u8,
+                len,
+            })
+        }
+
+        /// # Safety
+        /// `off` must lie inside the mapping (callers use kernel-supplied
+        /// ring offsets, which do).
+        unsafe fn at(&self, off: u32) -> *mut u8 {
+            debug_assert!((off as usize) < self.len);
+            self.ptr.add(off as usize)
+        }
+    }
+
+    impl Drop for MmapRegion {
+        fn drop(&mut self) {
+            unsafe {
+                sys::munmap(self.ptr as *mut core::ffi::c_void, self.len);
+            }
+        }
+    }
+
+    /// One io_uring instance: fd, mapped rings, and raw pointers into
+    /// them. SQ production must be externally serialized (the source
+    /// holds its submit lock; the sink driver is single-threaded); CQ
+    /// consumption is single-consumer (reaper thread / sink driver).
+    /// Kernel-shared indices are accessed as atomics.
+    ///
+    /// The mappings are unmapped on drop — owners must quiesce first
+    /// (no in-flight operations), or the kernel could complete an op
+    /// into memory the allocator has already reused.
+    struct Ring {
+        fd: OwnedFd,
+        features: u32,
+        setup_flags: u32,
+        sq_entries: u32,
+        sq_mask: u32,
+        cq_mask: u32,
+        sq_khead: *const AtomicU32,
+        sq_ktail: *const AtomicU32,
+        sq_kflags: *const AtomicU32,
+        sq_array: *mut u32,
+        cq_khead: *const AtomicU32,
+        cq_ktail: *const AtomicU32,
+        cq_cqes: *const Cqe,
+        sqes: *mut Sqe,
+        /// `io_uring_enter` calls made (diagnostics; see
+        /// `RFTP_URING_STATS`).
+        enters: AtomicU64,
+        /// CQEs reaped (diagnostics).
+        reaped: AtomicU64,
+        // Held for Drop; the raw pointers above point into these.
+        _sq_map: MmapRegion,
+        _cq_map: Option<MmapRegion>,
+        _sqes_map: MmapRegion,
+    }
+
+    // SAFETY: see the struct docs — SQ writes are serialized by the
+    // owners, CQ reads are single-consumer, and the shared head/tail
+    // words are only touched through atomics.
+    unsafe impl Send for Ring {}
+    unsafe impl Sync for Ring {}
+
+    impl Ring {
+        fn new(entries: u32, setup_flags: u32) -> io::Result<Ring> {
+            let mut p = IoUringParams {
+                flags: setup_flags,
+                ..Default::default()
+            };
+            if setup_flags & IORING_SETUP_SQPOLL != 0 {
+                p.sq_thread_idle = 50; // ms before the poller thread sleeps
+            }
+            let r = unsafe {
+                sys::syscall(
+                    SYS_IO_URING_SETUP as core::ffi::c_long,
+                    entries as usize,
+                    &mut p as *mut IoUringParams,
+                )
+            };
+            if r < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let fd = unsafe { OwnedFd::from_raw_fd(r as i32) };
+            let raw = fd.as_raw_fd();
+
+            let sq_len = p.sq_off.array as usize + p.sq_entries as usize * 4;
+            let cq_len =
+                p.cq_off.cqes as usize + p.cq_entries as usize * std::mem::size_of::<Cqe>();
+            let single = p.features & IORING_FEAT_SINGLE_MMAP != 0;
+            let sq_map = MmapRegion::map(
+                raw,
+                if single { sq_len.max(cq_len) } else { sq_len },
+                IORING_OFF_SQ_RING,
+            )?;
+            let cq_map = if single {
+                None
+            } else {
+                Some(MmapRegion::map(raw, cq_len, IORING_OFF_CQ_RING)?)
+            };
+            let sqes_map = MmapRegion::map(
+                raw,
+                p.sq_entries as usize * std::mem::size_of::<Sqe>(),
+                IORING_OFF_SQES,
+            )?;
+
+            let cq_base = cq_map.as_ref().unwrap_or(&sq_map);
+            unsafe {
+                Ok(Ring {
+                    features: p.features,
+                    setup_flags: p.flags,
+                    sq_entries: p.sq_entries,
+                    sq_mask: *(sq_map.at(p.sq_off.ring_mask) as *const u32),
+                    cq_mask: *(cq_base.at(p.cq_off.ring_mask) as *const u32),
+                    sq_khead: sq_map.at(p.sq_off.head) as *const AtomicU32,
+                    sq_ktail: sq_map.at(p.sq_off.tail) as *const AtomicU32,
+                    sq_kflags: sq_map.at(p.sq_off.flags) as *const AtomicU32,
+                    sq_array: sq_map.at(p.sq_off.array) as *mut u32,
+                    cq_khead: cq_base.at(p.cq_off.head) as *const AtomicU32,
+                    cq_ktail: cq_base.at(p.cq_off.tail) as *const AtomicU32,
+                    cq_cqes: cq_base.at(p.cq_off.cqes) as *const Cqe,
+                    sqes: sqes_map.ptr as *mut Sqe,
+                    fd,
+                    enters: AtomicU64::new(0),
+                    reaped: AtomicU64::new(0),
+                    _sq_map: sq_map,
+                    _cq_map: cq_map,
+                    _sqes_map: sqes_map,
+                })
+            }
+        }
+
+        fn enter(
+            &self,
+            to_submit: u32,
+            min_complete: u32,
+            flags: u32,
+            arg: *const core::ffi::c_void,
+            argsz: usize,
+        ) -> io::Result<u32> {
+            self.enters.fetch_add(1, Ordering::Relaxed);
+            loop {
+                let r = unsafe {
+                    sys::syscall(
+                        SYS_IO_URING_ENTER as core::ffi::c_long,
+                        self.fd.as_raw_fd() as usize,
+                        to_submit as usize,
+                        min_complete as usize,
+                        flags as usize,
+                        arg,
+                        argsz,
+                    )
+                };
+                if r >= 0 {
+                    return Ok(r as u32);
+                }
+                let e = io::Error::last_os_error();
+                if e.kind() != io::ErrorKind::Interrupted {
+                    return Err(e);
+                }
+            }
+        }
+
+        fn register(&self, opcode: u32, arg: *const core::ffi::c_void, nr: u32) -> io::Result<()> {
+            let r = unsafe {
+                sys::syscall(
+                    SYS_IO_URING_REGISTER as core::ffi::c_long,
+                    self.fd.as_raw_fd() as usize,
+                    opcode as usize,
+                    arg,
+                    nr as usize,
+                )
+            };
+            if r < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Queue one SQE without telling the kernel (callers batch a
+        /// [`Ring::submit`] per drain — the doorbell). Returns `false`
+        /// when the SQ is full: submit, then retry.
+        fn sq_push(&self, sqe: &Sqe) -> bool {
+            unsafe {
+                let head = (*self.sq_khead).load(Ordering::Acquire);
+                let tail = (*self.sq_ktail).load(Ordering::Relaxed);
+                if tail.wrapping_sub(head) >= self.sq_entries {
+                    return false;
+                }
+                let idx = tail & self.sq_mask;
+                *self.sqes.add(idx as usize) = *sqe;
+                *self.sq_array.add(idx as usize) = idx;
+                (*self.sq_ktail).store(tail.wrapping_add(1), Ordering::Release);
+                true
+            }
+        }
+
+        /// Hand `queued` SQEs to the kernel. With `SQPOLL` the poller
+        /// thread picks them up on its own and this only rings the
+        /// wakeup doorbell when it has gone to sleep.
+        fn submit(&self, queued: u32) -> io::Result<()> {
+            if self.setup_flags & IORING_SETUP_SQPOLL != 0 {
+                let flags = unsafe { (*self.sq_kflags).load(Ordering::Acquire) };
+                if flags & IORING_SQ_NEED_WAKEUP != 0 {
+                    self.enter(0, 0, IORING_ENTER_SQ_WAKEUP, std::ptr::null(), 0)?;
+                }
+                return Ok(());
+            }
+            let mut left = queued;
+            while left > 0 {
+                left -= self.enter(left, 0, 0, std::ptr::null(), 0)?;
+            }
+            Ok(())
+        }
+
+        fn cq_ready(&self) -> u32 {
+            unsafe {
+                (*self.cq_ktail)
+                    .load(Ordering::Acquire)
+                    .wrapping_sub((*self.cq_khead).load(Ordering::Relaxed))
+            }
+        }
+
+        /// Block until at least one CQE is available. `Ok(false)` means
+        /// the `timeout` (an `EXT_ARG` timed wait) expired first.
+        fn wait(&self, timeout: Option<Duration>) -> io::Result<bool> {
+            if self.cq_ready() > 0 {
+                return Ok(true);
+            }
+            match timeout {
+                None => {
+                    self.enter(0, 1, IORING_ENTER_GETEVENTS, std::ptr::null(), 0)?;
+                    Ok(true)
+                }
+                Some(w) => {
+                    let ts = Timespec {
+                        tv_sec: w.as_secs() as i64,
+                        tv_nsec: w.subsec_nanos() as i64,
+                    };
+                    let arg = GeteventsArg {
+                        sigmask: 0,
+                        sigmask_sz: 0,
+                        pad: 0,
+                        ts: &ts as *const Timespec as u64,
+                    };
+                    let r = self.enter(
+                        0,
+                        1,
+                        IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG,
+                        &arg as *const GeteventsArg as *const core::ffi::c_void,
+                        std::mem::size_of::<GeteventsArg>(),
+                    );
+                    match r {
+                        Ok(_) => Ok(true),
+                        Err(e) if e.raw_os_error() == Some(ETIME) => Ok(false),
+                        Err(e) => Err(e),
+                    }
+                }
+            }
+        }
+
+        /// Hand `queued` SQEs to the kernel *and* block for at least one
+        /// CQE with a single `io_uring_enter` — the hot-path doorbell
+        /// and wakeup fused into one syscall. Timed (dwell) waits keep
+        /// the two-syscall shape: a `-ETIME` return would leave the
+        /// submitted count ambiguous.
+        fn submit_and_wait(&self, queued: u32) -> io::Result<()> {
+            if self.setup_flags & IORING_SETUP_SQPOLL != 0 {
+                self.submit(queued)?;
+                self.wait(None)?;
+                return Ok(());
+            }
+            let mut left = queued;
+            loop {
+                let flags = if self.cq_ready() > 0 {
+                    0 // nothing to wait for; just flush the SQ
+                } else {
+                    IORING_ENTER_GETEVENTS
+                };
+                if left == 0 && flags == 0 {
+                    return Ok(());
+                }
+                left -= self.enter(left, 1, flags, std::ptr::null(), 0)?;
+                if left == 0 {
+                    return Ok(());
+                }
+            }
+        }
+
+        /// Drain every available CQE into `out`; returns how many.
+        fn reap(&self, out: &mut Vec<Cqe>) -> usize {
+            unsafe {
+                let tail = (*self.cq_ktail).load(Ordering::Acquire);
+                let mut head = (*self.cq_khead).load(Ordering::Relaxed);
+                let n = tail.wrapping_sub(head);
+                out.reserve(n as usize);
+                for _ in 0..n {
+                    out.push(*self.cq_cqes.add((head & self.cq_mask) as usize));
+                    head = head.wrapping_add(1);
+                }
+                (*self.cq_khead).store(head, Ordering::Release);
+                self.reaped.fetch_add(n as u64, Ordering::Relaxed);
+                n as usize
+            }
+        }
+
+        /// Register every slot of a pinned pool as a fixed buffer,
+        /// indexed by pool block — the MR-registration analogue.
+        fn register_pool(&self, bufs: &[Mutex<SlotBuf>]) -> io::Result<()> {
+            if bufs.len() >= OWNED_BUF as usize || bufs.len() > 1024 {
+                return Err(perr(format!(
+                    "pool of {} blocks exceeds the fixed-buffer limit",
+                    bufs.len()
+                )));
+            }
+            let iovecs: Vec<IoVec> = bufs
+                .iter()
+                .map(|b| {
+                    let (base, len) = b.lock().registration_parts();
+                    IoVec {
+                        base: base as *mut core::ffi::c_void,
+                        len,
+                    }
+                })
+                .collect();
+            self.register(
+                IORING_REGISTER_BUFFERS,
+                iovecs.as_ptr() as *const core::ffi::c_void,
+                iovecs.len() as u32,
+            )
+        }
+
+        /// Which opcodes the kernel supports (`IORING_REGISTER_PROBE`).
+        fn probe_op_supported(&self, ops: &[u8]) -> io::Result<Vec<bool>> {
+            const NOPS: usize = 64;
+            // struct io_uring_probe: 16-byte header + 8 bytes per op.
+            let mut raw = [0u8; 16 + NOPS * 8];
+            self.register(
+                IORING_REGISTER_PROBE,
+                raw.as_mut_ptr() as *const core::ffi::c_void,
+                NOPS as u32,
+            )?;
+            let last_op = raw[0] as usize;
+            Ok(ops
+                .iter()
+                .map(|&op| {
+                    let op = op as usize;
+                    const IO_URING_OP_SUPPORTED: u8 = 1;
+                    op <= last_op && op < NOPS && raw[16 + op * 8 + 2] & IO_URING_OP_SUPPORTED != 0
+                })
+                .collect())
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Capability probe
+    // -----------------------------------------------------------------
+
+    /// What the running kernel offers beyond the baseline.
+    #[derive(Clone, Copy, Debug)]
+    struct UringCaps {
+        send_zc: bool,
+        sqpoll: bool,
+    }
+
+    /// SQ depth for transfer rings: far above the in-flight ceiling of
+    /// either side (one write per channel at the source, one read per
+    /// link at the sink), so the only submit path is the batched kick.
+    const RING_ENTRIES: u32 = 256;
+
+    fn ring_caps() -> io::Result<UringCaps> {
+        let ring = Ring::new(8, 0)?; // ENOSYS / EPERM land here
+        if ring.features & IORING_FEAT_EXT_ARG == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "kernel io_uring lacks IORING_FEAT_EXT_ARG (needs 5.11+)",
+            ));
+        }
+        let need = [
+            IORING_OP_NOP,
+            IORING_OP_READ_FIXED,
+            IORING_OP_WRITE_FIXED,
+            IORING_OP_READ,
+            IORING_OP_WRITE,
+            IORING_OP_SEND_ZC,
+        ];
+        let got = ring.probe_op_supported(&need)?;
+        if got[..5].iter().any(|ok| !ok) {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "kernel io_uring lacks fixed-buffer read/write opcodes",
+            ));
+        }
+        // Fixed-buffer registration must actually work (memlock limits
+        // can forbid it even when the opcodes exist).
+        let probe_buf = [Mutex::new(SlotBuf::new(4096))];
+        ring.register_pool(&probe_buf)?;
+        let sqpoll = Ring::new(8, IORING_SETUP_SQPOLL).is_ok();
+        Ok(UringCaps {
+            send_zc: got[5],
+            sqpoll,
+        })
+    }
+
+    /// Whether this kernel can run the io_uring backend: ring setup,
+    /// `EXT_ARG` timed waits, fixed-buffer registration, and the
+    /// fixed-buffer read/write opcodes all probe healthy.
+    pub fn uring_supported() -> bool {
+        ring_caps().is_ok()
+    }
+
+    fn env_flag(name: &str) -> bool {
+        std::env::var_os(name).is_some_and(|v| v != "0")
+    }
+
+    fn env_u32(name: &str, default: u32) -> u32 {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Build a transfer ring, degrading `SQPOLL` (opt-in via
+    /// `RFTP_URING_SQPOLL=1`) back to plain submission if setup fails.
+    ///
+    /// `single_issuer` promises every `io_uring_enter` comes from the
+    /// thread that created the ring; that unlocks `DEFER_TASKRUN`, which
+    /// keeps completion task-work out of signal context so it stops
+    /// interrupting the driver mid-verify. The source ring submits from
+    /// two threads (dispatcher + reaper), so it only gets `COOP_TASKRUN`.
+    /// Each flag combination degrades to the next on older kernels.
+    fn transfer_ring(caps: &UringCaps, single_issuer: bool) -> io::Result<Ring> {
+        if caps.sqpoll && env_flag("RFTP_URING_SQPOLL") {
+            if let Ok(r) = Ring::new(RING_ENTRIES, IORING_SETUP_SQPOLL) {
+                return Ok(r);
+            }
+        }
+        if single_issuer {
+            let flags = IORING_SETUP_SINGLE_ISSUER | IORING_SETUP_DEFER_TASKRUN;
+            if let Ok(r) = Ring::new(RING_ENTRIES, flags) {
+                return Ok(r);
+            }
+        }
+        if let Ok(r) = Ring::new(RING_ENTRIES, IORING_SETUP_COOP_TASKRUN) {
+            return Ok(r);
+        }
+        Ring::new(RING_ENTRIES, 0)
+    }
+
+    // -----------------------------------------------------------------
+    // Source half
+    // -----------------------------------------------------------------
+
+    /// `buf_index` sentinel for [`WriteOp`]s that carry their own copy
+    /// (the plain [`DataTx::send`] path) instead of a registered slot.
+    const OWNED_BUF: u16 = u16::MAX;
+    /// `user_data` of the wakeup NOP the teardown path submits.
+    const UD_NOP: u64 = u64::MAX;
+
+    /// One queued data-frame write: current wire position plus what is
+    /// left, so short-write continuations just advance and resubmit.
+    struct WriteOp {
+        addr: u64,
+        remaining: u32,
+        buf_index: u16,
+        /// Keep-alive for plain `send` copies (no registered buffer);
+        /// `addr` points into it. Registered-slot ops carry `None` —
+        /// the pool pin (block stays busy until its ack) is the
+        /// lifetime guarantee.
+        _own: Option<Box<[u8]>>,
+    }
+
+    /// Per-channel send state: at most one write in flight per socket
+    /// (two concurrent writes to one stream would interleave bytes and
+    /// corrupt the framing); the rest queue here in order.
+    struct Chan {
+        fd: i32,
+        cur: Option<WriteOp>,
+        queue: VecDeque<WriteOp>,
+    }
+
+    struct SubState {
+        chans: Vec<Chan>,
+        /// SQEs pushed since the last doorbell.
+        queued: u32,
+        /// Reap scratch — completions are drained under this lock (by
+        /// the doorbell or the reaper, whoever gets there first).
+        cq_scratch: Vec<Cqe>,
+    }
+
+    /// Everything the N channel handles, the reaper, and the teardown
+    /// guard share.
+    struct SrcRing {
+        ring: Ring,
+        sub: Mutex<SubState>,
+        /// CQEs submitted but not yet reaped (NOPs and `SEND_ZC`
+        /// notifications included) — the reaper exits only at zero, so
+        /// no kernel op can outlive the ring mappings.
+        inflight: AtomicI64,
+        shutdown: AtomicBool,
+        dead: AtomicBool,
+        err: Mutex<Option<String>>,
+        /// The data sockets the ring writes to (owners of the fds in
+        /// [`Chan`]); the failure path shuts them down to flush
+        /// in-flight ops out as errors.
+        socks: Vec<TcpStream>,
+        use_zc: bool,
+    }
+
+    impl SrcRing {
+        fn stored_err(&self) -> io::Error {
+            let msg = self
+                .err
+                .lock()
+                .clone()
+                .unwrap_or_else(|| "io_uring transport failed".into());
+            io::Error::new(io::ErrorKind::BrokenPipe, msg)
+        }
+
+        /// First-error-wins: record, mark dead, and shut the data links
+        /// so every in-flight op completes (as an error) promptly.
+        fn fail(&self, msg: String) {
+            {
+                let mut slot = self.err.lock();
+                if slot.is_none() {
+                    if env_flag("RFTP_URING_STATS") {
+                        eprintln!("uring source first error: {msg}");
+                    }
+                    *slot = Some(msg);
+                }
+            }
+            self.dead.store(true, Ordering::Release);
+            shutdown_all(&self.socks, Shutdown::Both);
+        }
+
+        fn push_sqe_locked(&self, st: &mut SubState, sqe: &Sqe) -> io::Result<()> {
+            while !self.ring.sq_push(sqe) {
+                // SQ full: flush what is queued to make room.
+                self.ring.submit(st.queued)?;
+                st.queued = 0;
+            }
+            st.queued += 1;
+            self.inflight.fetch_add(1, Ordering::AcqRel);
+            Ok(())
+        }
+
+        /// Queue the SQE for `chans[ch].cur` (which must be set).
+        fn push_write_locked(&self, st: &mut SubState, ch: usize) -> io::Result<()> {
+            let chan = &st.chans[ch];
+            let op = chan.cur.as_ref().expect("push_write without a current op");
+            let mut sqe = Sqe {
+                fd: chan.fd,
+                addr: op.addr,
+                len: op.remaining,
+                user_data: ch as u64,
+                ..Default::default()
+            };
+            if op.buf_index == OWNED_BUF {
+                sqe.opcode = IORING_OP_WRITE;
+            } else if self.use_zc {
+                sqe.opcode = IORING_OP_SEND_ZC;
+                sqe.ioprio = IORING_RECVSEND_FIXED_BUF;
+                sqe.buf_index = op.buf_index;
+            } else {
+                sqe.opcode = IORING_OP_WRITE_FIXED;
+                sqe.buf_index = op.buf_index;
+            }
+            self.push_sqe_locked(st, &sqe)
+        }
+
+        /// Queue one frame on channel `ch`, keeping the one-in-flight-
+        /// per-socket invariant.
+        fn queue_op(&self, ch: usize, op: WriteOp) -> io::Result<()> {
+            if self.dead.load(Ordering::Acquire) {
+                return Err(self.stored_err());
+            }
+            let mut st = self.sub.lock();
+            if st.chans[ch].cur.is_some() {
+                st.chans[ch].queue.push_back(op);
+                Ok(())
+            } else {
+                st.chans[ch].cur = Some(op);
+                self.push_write_locked(&mut st, ch)
+            }
+        }
+
+        /// Reap and retire every available completion: finished writes
+        /// pop the next queued frame, short writes continue where they
+        /// left off, errors trip the first-error-wins latch. Callers
+        /// hold the submission lock — it doubles as the CQ consumer
+        /// lock, so the doorbell and the reaper can both drain.
+        fn drain_cqes_locked(&self, st: &mut SubState) {
+            let mut cqes = std::mem::take(&mut st.cq_scratch);
+            cqes.clear();
+            self.ring.reap(&mut cqes);
+            for c in &cqes {
+                self.inflight.fetch_sub(1, Ordering::AcqRel);
+                if c.flags & IORING_CQE_F_MORE != 0 {
+                    // A zero-copy send's result CQE; its NOTIF sibling
+                    // is still owed.
+                    self.inflight.fetch_add(1, Ordering::AcqRel);
+                }
+                if c.user_data == UD_NOP || c.flags & IORING_CQE_F_NOTIF != 0 {
+                    continue;
+                }
+                let ch = c.user_data as usize;
+                let resubmit = {
+                    let chan = &mut st.chans[ch];
+                    if c.res == -ECANCELED
+                        && chan.cur.is_some()
+                        && !self.dead.load(Ordering::Acquire)
+                    {
+                        // Dropped without side effects — retry in place.
+                        true
+                    } else if c.res < 0 {
+                        if !self.dead.load(Ordering::Acquire) {
+                            let e = io::Error::from_raw_os_error(-c.res);
+                            self.fail(format!("data channel {ch} write: {e}"));
+                        }
+                        // Stragglers on a dead transport just drain.
+                        chan.cur = None;
+                        chan.queue.clear();
+                        false
+                    } else {
+                        match chan.cur.as_mut() {
+                            None => false, // cleared by the error path
+                            Some(op) => {
+                                let sent = c.res as u32;
+                                if sent < op.remaining {
+                                    op.addr += sent as u64;
+                                    op.remaining -= sent;
+                                    true
+                                } else {
+                                    chan.cur = chan.queue.pop_front();
+                                    chan.cur.is_some()
+                                }
+                            }
+                        }
+                    }
+                };
+                if resubmit {
+                    if let Err(e) = self.push_write_locked(st, ch) {
+                        self.fail(format!("io_uring submit: {e}"));
+                    }
+                }
+            }
+            st.cq_scratch = cqes;
+        }
+
+        /// The doorbell: retire whatever has already completed (so
+        /// short-write continuations resubmit on the dispatcher's
+        /// schedule, not the reaper's), then submit everything queued
+        /// since the last kick with one kernel crossing.
+        fn kick(&self) -> io::Result<()> {
+            if self.dead.load(Ordering::Acquire) {
+                return Err(self.stored_err());
+            }
+            let mut st = self.sub.lock();
+            self.drain_cqes_locked(&mut st);
+            if st.queued > 0 {
+                self.ring.submit(st.queued)?;
+                st.queued = 0;
+            }
+            Ok(())
+        }
+
+        /// Wait until every queued data-frame write has fully left the
+        /// ring. The write-side shutdown must run behind this: unlike
+        /// the TCP backend's synchronous sends, a queued frame (e.g. a
+        /// spurious retransmit whose original was acked in the
+        /// meantime) can still be in flight when `DatasetComplete` goes
+        /// out, and `SHUT_WR` would truncate it mid-frame — the sink
+        /// sees a torn stream instead of a clean end-of-stream. Timed
+        /// waits, because the reaper may consume the very CQE being
+        /// waited on.
+        fn drain_writes(&self) {
+            loop {
+                if self.dead.load(Ordering::Acquire) {
+                    return; // the error path owns the links now
+                }
+                {
+                    let mut st = self.sub.lock();
+                    self.drain_cqes_locked(&mut st);
+                    if st.queued > 0 {
+                        if let Err(e) = self.ring.submit(st.queued) {
+                            self.fail(format!("io_uring submit: {e}"));
+                            return;
+                        }
+                        st.queued = 0;
+                    }
+                    if st
+                        .chans
+                        .iter()
+                        .all(|c| c.cur.is_none() && c.queue.is_empty())
+                    {
+                        return;
+                    }
+                }
+                if self.ring.wait(Some(Duration::from_millis(1))).is_err() {
+                    return;
+                }
+            }
+        }
+
+        /// The reaper: the source's single transport thread, the
+        /// backstop for completions that land while the dispatcher is
+        /// blocked elsewhere. Exits once the teardown guard raises
+        /// `shutdown` and every expected CQE has drained.
+        fn reap_loop(self: &Arc<SrcRing>) {
+            loop {
+                if self.shutdown.load(Ordering::Acquire)
+                    && self.inflight.load(Ordering::Acquire) == 0
+                {
+                    return;
+                }
+                if let Err(e) = self.ring.wait(None) {
+                    self.fail(format!("io_uring wait: {e}"));
+                    return;
+                }
+                let mut st = self.sub.lock();
+                self.drain_cqes_locked(&mut st);
+                // Continuations go out before the next block on the
+                // wait — one crossing per batch.
+                if st.queued > 0 {
+                    if let Err(e) = self.ring.submit(st.queued) {
+                        self.fail(format!("io_uring submit: {e}"));
+                    }
+                    st.queued = 0;
+                }
+            }
+        }
+    }
+
+    /// One channel's send handle over the shared ring.
+    struct UringDataTx {
+        ch: usize,
+        shared: Arc<SrcRing>,
+    }
+
+    impl DataTx for UringDataTx {
+        fn send(&self, hdr: DataFrameHeader, wire: &[u8]) -> io::Result<()> {
+            // No registered slot backs this payload, so carry an owned
+            // copy (exactly what the channel backend does) and kick
+            // immediately — this path is control-scale, not bulk.
+            let mut own = vec![0u8; DATA_FRAME_HEADER_LEN + wire.len()].into_boxed_slice();
+            hdr.encode(&mut own[..DATA_FRAME_HEADER_LEN]);
+            own[DATA_FRAME_HEADER_LEN..].copy_from_slice(wire);
+            let op = WriteOp {
+                addr: own.as_ptr() as u64,
+                remaining: own.len() as u32,
+                buf_index: OWNED_BUF,
+                _own: Some(own),
+            };
+            self.shared.queue_op(self.ch, op)?;
+            self.shared.kick()
+        }
+
+        fn send_block(
+            &self,
+            hdr: DataFrameHeader,
+            bufs: &[Mutex<SlotBuf>],
+            block: u32,
+        ) -> io::Result<()> {
+            // Write the frame header into the slot's dead space so
+            // header + wire image is one contiguous fixed-buffer write
+            // — no linked SQEs, no staging copy. The block stays pinned
+            // until its ack, so the kernel always reads stable bytes (a
+            // retransmit rewrites identical ones).
+            let (addr, total) = {
+                let mut buf = bufs[block as usize].lock();
+                let frame = buf.framed_mut(DATA_FRAME_HEADER_LEN);
+                hdr.encode(&mut frame[..DATA_FRAME_HEADER_LEN]);
+                (
+                    frame.as_ptr() as u64,
+                    (DATA_FRAME_HEADER_LEN + hdr.wire_len()) as u32,
+                )
+            };
+            self.shared.queue_op(
+                self.ch,
+                WriteOp {
+                    addr,
+                    remaining: total,
+                    buf_index: block as u16,
+                    _own: None,
+                },
+            )
+        }
+
+        fn kick(&self) -> io::Result<()> {
+            self.shared.kick()
+        }
+    }
+
+    /// Joins the reaper on drop (stashed in the transport's `abort`
+    /// closure, so it lives exactly as long as the transport): raises
+    /// `shutdown`, wakes the reaper with a NOP, and waits for it to
+    /// drain every in-flight CQE before the ring can be unmapped.
+    struct ReaperGuard {
+        shared: Arc<SrcRing>,
+        handle: Option<std::thread::JoinHandle<()>>,
+    }
+
+    impl Drop for ReaperGuard {
+        fn drop(&mut self) {
+            self.shared.shutdown.store(true, Ordering::Release);
+            {
+                let mut st = self.shared.sub.lock();
+                let nop = Sqe {
+                    opcode: IORING_OP_NOP,
+                    user_data: UD_NOP,
+                    ..Default::default()
+                };
+                if self.shared.push_sqe_locked(&mut st, &nop).is_ok() {
+                    let queued = st.queued;
+                    st.queued = 0;
+                    let _ = self.shared.ring.submit(queued);
+                }
+            }
+            if let Some(h) = self.handle.take() {
+                let _ = h.join();
+            }
+            if env_flag("RFTP_URING_STATS") {
+                eprintln!(
+                    "uring source: {} enters, {} cqes",
+                    self.shared.ring.enters.load(Ordering::Relaxed),
+                    self.shared.ring.reaped.load(Ordering::Relaxed),
+                );
+            }
+        }
+    }
+
+    /// Connect the source half to a sink listening at `addr`, like
+    /// [`crate::net::connect_source`], but with every data link driven
+    /// through one io_uring: same hello exchange, same wire bytes, one
+    /// reaper thread instead of per-send blocking writes.
+    pub fn connect_source_uring(
+        addr: impl ToSocketAddrs + Copy,
+        channels: usize,
+        sockbuf: usize,
+    ) -> io::Result<SourceTransport> {
+        let caps = ring_caps()?;
+        let SessionStreams { ctrl, data } = connect_streams(addr, channels, sockbuf)?;
+        let ring = transfer_ring(&caps, false)?;
+        assert!(channels as u32 + 2 <= RING_ENTRIES);
+
+        let mut handles = vec![ctrl.try_clone()?];
+        for s in &data {
+            handles.push(s.try_clone()?);
+        }
+        let handles = Arc::new(handles);
+        let chans = data
+            .iter()
+            .map(|s| Chan {
+                fd: s.as_raw_fd(),
+                cur: None,
+                queue: VecDeque::new(),
+            })
+            .collect();
+        let shared = Arc::new(SrcRing {
+            ring,
+            sub: Mutex::new(SubState {
+                chans,
+                queued: 0,
+                cq_scratch: Vec::with_capacity(64),
+            }),
+            inflight: AtomicI64::new(0),
+            shutdown: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
+            err: Mutex::new(None),
+            socks: data,
+            use_zc: caps.send_zc && env_flag("RFTP_URING_ZC"),
+        });
+        let reaper = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("rftp-uring-src".into())
+                .spawn(move || shared.reap_loop())?
+        };
+        let guard = ReaperGuard {
+            shared: shared.clone(),
+            handle: Some(reaper),
+        };
+
+        let ctrl_rd = ctrl.try_clone()?;
+        let data_tx: Vec<Box<dyn DataTx>> = (0..channels)
+            .map(|ch| {
+                Box::new(UringDataTx {
+                    ch,
+                    shared: shared.clone(),
+                }) as Box<dyn DataTx>
+            })
+            .collect();
+        let reg_shared = shared.clone();
+        let shutdown_shared = shared.clone();
+        let shutdown_handles = handles.clone();
+        Ok(SourceTransport {
+            ctrl_tx: Arc::new(NetCtrlTx(Mutex::new(ctrl))),
+            ctrl_rx: Box::new(NetCtrlRx::new(ctrl_rd)),
+            data: Arc::new(data_tx),
+            register: Box::new(move |bufs: &BufPool| reg_shared.ring.register_pool(bufs)),
+            transport_threads: 1,
+            shutdown_write: Box::new(move || {
+                shutdown_shared.drain_writes();
+                shutdown_all(&shutdown_handles, Shutdown::Write)
+            }),
+            abort: Arc::new(move || {
+                // `guard` rides in this closure so the reaper is joined
+                // exactly when the transport is dropped.
+                let _keep = &guard;
+                shared.fail("transport aborted".into());
+                shutdown_all(&handles, Shutdown::Both);
+            }),
+        })
+    }
+
+    // -----------------------------------------------------------------
+    // Sink half
+    // -----------------------------------------------------------------
+
+    /// Where one data link's framing state machine stands. Reads are
+    /// header-first: the 16-byte [`DataFrameHeader`] is read and routed
+    /// *before* the payload read is committed, into either the credited
+    /// slot (`READ_FIXED`) or a scratch buffer (duplicate arrival).
+    enum LinkPhase {
+        Header {
+            got: usize,
+        },
+        Place {
+            hdr: DataFrameHeader,
+            base: u64,
+            got: usize,
+            t0: Instant,
+        },
+        Discard {
+            wire_len: usize,
+            got: usize,
+        },
+        Eof,
+    }
+
+    struct DataLink {
+        fd: i32,
+        phase: LinkPhase,
+        /// Boxed so its address is stable while a kernel read targets it.
+        hdr_buf: Box<[u8; DATA_FRAME_HEADER_LEN]>,
+        scratch: Vec<u8>,
+    }
+
+    struct CtrlLink {
+        fd: i32,
+        buf: Box<[u8; 4096]>,
+        dec: rftp_core::wire::FrameDecoder,
+        eof: bool,
+    }
+
+    /// The sink's single data-path thread: owns the ring, every link's
+    /// state machine, and the placement/duplicate bookkeeping. Its
+    /// [`SinkDriver::pump`] is the event source [`drain_coalesced`]
+    /// drives the shared [`SinkHandler`] with — CQE batches in, a batch
+    /// of [`SinkEvt`]s out, dwell waits as `EXT_ARG` ring timeouts.
+    struct SinkDriver<'a> {
+        ring: &'a Ring,
+        links: Vec<DataLink>,
+        ctrl: CtrlLink,
+        snk_bufs: &'a [Mutex<SlotBuf>],
+        placed: &'a AtomicBitmap,
+        backend: &'a SnkBackend,
+        cfg: &'a LiveConfig,
+        total_blocks: u64,
+        inflight: u32,
+        queued: u32,
+        place_ns: u64,
+        flush_ns: u64,
+        duplicates: u64,
+        place_hist: NsHist,
+        /// Driver-side failure, surfaced after [`drain_coalesced`]
+        /// reports `Closed` (its recv callback can only say "no more
+        /// events").
+        err: Option<io::Error>,
+        cqes: Vec<Cqe>,
+        /// Payload reads armed right now, bounded by `place_cap`.
+        place_armed: u32,
+        /// Links routed into `Place` whose read is deferred until a
+        /// slot under the cap frees up. Safe to defer: a link in
+        /// `Place` has already read its header, and the source wrote
+        /// header + payload as one contiguous write, so the payload is
+        /// on the wire (or in the socket buffer) no matter when the
+        /// read is armed.
+        place_pending: VecDeque<usize>,
+        /// Cap on concurrently-armed payload reads. The kernel runs
+        /// every ready socket→slot copy inside one `GETEVENTS` enter
+        /// (`DEFER_TASKRUN`), so with all links armed a burst of
+        /// sibling copies evicts a block from cache before the handler
+        /// verifies it. A small cap keeps each copy adjacent to its
+        /// verify — the single-thread analogue of the TCP sink's
+        /// read-then-verify-while-hot receiver loop.
+        place_cap: u32,
+        /// The place-clock floor: the last instant this thread returned
+        /// from a ring wait or finished retiring a completion. A
+        /// block's place time clocks from `max(armed, floor)`, so it
+        /// measures the driver's *observable wait* for that block's
+        /// bytes — not the verify/ack work between pumps, and not
+        /// sibling blocks retired earlier in the same batch. That makes
+        /// it comparable to the TCP sink, where each per-channel
+        /// receiver thread bills only its own blocking read.
+        place_floor: Instant,
+    }
+
+    impl<'a> SinkDriver<'a> {
+        fn push_read(
+            &mut self,
+            fd: i32,
+            addr: u64,
+            len: u32,
+            fixed: Option<u16>,
+            user_data: u64,
+        ) -> io::Result<()> {
+            let mut sqe = Sqe {
+                fd,
+                addr,
+                len,
+                user_data,
+                ..Default::default()
+            };
+            match fixed {
+                Some(ix) => {
+                    sqe.opcode = IORING_OP_READ_FIXED;
+                    sqe.buf_index = ix;
+                }
+                None => sqe.opcode = IORING_OP_READ,
+            }
+            while !self.ring.sq_push(&sqe) {
+                self.ring.submit(self.queued)?;
+                self.queued = 0;
+            }
+            self.queued += 1;
+            self.inflight += 1;
+            Ok(())
+        }
+
+        /// (Re-)arm the read the link's current phase calls for.
+        fn arm(&mut self, i: usize) -> io::Result<()> {
+            let fd = self.links[i].fd;
+            let ud = i as u64;
+            match &self.links[i].phase {
+                LinkPhase::Header { got } => {
+                    let got = *got;
+                    let addr = self.links[i].hdr_buf.as_ptr() as u64 + got as u64;
+                    self.push_read(fd, addr, (DATA_FRAME_HEADER_LEN - got) as u32, None, ud)
+                }
+                LinkPhase::Place { hdr, base, got, .. } => {
+                    let (slot, wire_len) = (hdr.slot as u16, hdr.wire_len());
+                    let (addr, len) = (*base + *got as u64, (wire_len - *got) as u32);
+                    self.push_read(fd, addr, len, Some(slot), ud)
+                }
+                LinkPhase::Discard { wire_len, got } => {
+                    let want = (*wire_len - *got).min(64 * 1024);
+                    if self.links[i].scratch.len() < want {
+                        self.links[i].scratch.resize(want, 0);
+                    }
+                    let addr = self.links[i].scratch.as_ptr() as u64;
+                    self.push_read(fd, addr, want as u32, None, ud)
+                }
+                LinkPhase::Eof => Ok(()),
+            }
+        }
+
+        /// Arm a `Place` read if the cap has room, else park the link.
+        /// Resets the place clock at true arm time so a parked link
+        /// doesn't bill its queue wait as placement.
+        fn arm_place(&mut self, i: usize) -> io::Result<()> {
+            if self.place_armed < self.place_cap {
+                self.place_armed += 1;
+                if let LinkPhase::Place { t0, .. } = &mut self.links[i].phase {
+                    *t0 = Instant::now();
+                }
+                self.arm(i)
+            } else {
+                self.place_pending.push_back(i);
+                Ok(())
+            }
+        }
+
+        fn arm_ctrl(&mut self) -> io::Result<()> {
+            let (fd, addr, len) = (
+                self.ctrl.fd,
+                self.ctrl.buf.as_ptr() as u64,
+                self.ctrl.buf.len() as u32,
+            );
+            self.push_read(fd, addr, len, None, self.links.len() as u64)
+        }
+
+        /// Arm every link's opening read and ring the first doorbell.
+        fn arm_initial(&mut self) -> io::Result<()> {
+            for i in 0..self.links.len() {
+                self.arm(i)?;
+            }
+            self.arm_ctrl()?;
+            self.submit_queued()
+        }
+
+        fn submit_queued(&mut self) -> io::Result<()> {
+            if self.queued > 0 {
+                self.ring.submit(self.queued)?;
+                self.queued = 0;
+            }
+            Ok(())
+        }
+
+        fn on_ctrl_cqe(&mut self, c: &Cqe, out: &mut Vec<SinkEvt>) -> io::Result<()> {
+            if c.res == -ECANCELED {
+                return self.arm_ctrl();
+            }
+            if c.res < 0 {
+                return Err(io::Error::from_raw_os_error(-c.res));
+            }
+            if c.res == 0 {
+                if self.ctrl.dec.pending_bytes() != 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "control stream closed mid-frame",
+                    ));
+                }
+                self.ctrl.eof = true;
+                out.push(SinkEvt::CtrlEof);
+                return Ok(());
+            }
+            self.ctrl.dec.push(&self.ctrl.buf[..c.res as usize]);
+            loop {
+                match self.ctrl.dec.next_frame() {
+                    Ok(Some(msg)) => out.push(SinkEvt::Ctrl(msg)),
+                    Ok(None) => break,
+                    Err(e) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("bad control frame: {e:?}"),
+                        ))
+                    }
+                }
+            }
+            self.arm_ctrl()
+        }
+
+        fn on_cqe(&mut self, c: &Cqe, out: &mut Vec<SinkEvt>) -> io::Result<()> {
+            self.inflight -= 1;
+            let i = c.user_data as usize;
+            if i == self.links.len() {
+                return self.on_ctrl_cqe(c, out);
+            }
+            if c.res == -ECANCELED && !matches!(self.links[i].phase, LinkPhase::Eof) {
+                // Re-arm the same phase: a `Place` link keeps the cap
+                // slot it already holds, so this is `arm`, not
+                // `arm_place`.
+                return self.arm(i);
+            }
+            if c.res < 0 {
+                return Err(io::Error::from_raw_os_error(-c.res));
+            }
+            let n = c.res as usize;
+            match &mut self.links[i].phase {
+                LinkPhase::Header { got } => {
+                    if n == 0 {
+                        if *got == 0 {
+                            self.links[i].phase = LinkPhase::Eof;
+                            out.push(SinkEvt::DataEof);
+                            return Ok(());
+                        }
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "stream closed mid-frame",
+                        ));
+                    }
+                    *got += n;
+                    if *got < DATA_FRAME_HEADER_LEN {
+                        return self.arm(i);
+                    }
+                    let hdr = DataFrameHeader::decode(&self.links[i].hdr_buf[..])
+                        .map_err(|e| perr(format!("bad data frame header: {e:?}")))?;
+                    if hdr.session != SESSION
+                        || hdr.slot >= self.cfg.pool_blocks
+                        || hdr.len as usize > self.cfg.block_size
+                        || hdr.seq as u64 >= self.total_blocks
+                    {
+                        return Err(perr(format!("bad data frame {hdr:?}")));
+                    }
+                    if !self.placed.claim(hdr.seq as u64) {
+                        // Retransmit raced a slow ack; its slot may have
+                        // been re-granted, so the bytes must be consumed
+                        // without placing them.
+                        self.duplicates += 1;
+                        self.links[i].phase = LinkPhase::Discard {
+                            wire_len: hdr.wire_len(),
+                            got: 0,
+                        };
+                        return self.arm(i);
+                    }
+                    // Route on the header, then commit the payload read
+                    // straight into the credited slot's registered
+                    // buffer — the CQE is the placement.
+                    let base = self.snk_bufs[hdr.slot as usize].lock().as_ptr() as u64;
+                    self.links[i].phase = LinkPhase::Place {
+                        hdr,
+                        base,
+                        got: 0,
+                        t0: Instant::now(),
+                    };
+                    self.arm_place(i)
+                }
+                LinkPhase::Place { hdr, got, t0, .. } => {
+                    if n == 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "stream closed mid-frame",
+                        ));
+                    }
+                    *got += n;
+                    if *got < hdr.wire_len() {
+                        return self.arm(i);
+                    }
+                    let (hdr, t0) = (*hdr, *t0);
+                    // Clock from max(armed, floor) — see `place_floor`.
+                    let ns = t0.max(self.place_floor).elapsed().as_nanos() as u64;
+                    self.place_ns += ns;
+                    self.place_hist.record(ns);
+                    if let SnkBackend::File(sink) = self.backend {
+                        // Write-behind, exactly like the TCP receivers:
+                        // the block lands at its final offset the moment
+                        // it is placed.
+                        let t1 = Instant::now();
+                        let dst = self.snk_bufs[hdr.slot as usize].lock();
+                        sink.write_block(
+                            &dst[PAYLOAD_HEADER_LEN..PAYLOAD_HEADER_LEN + hdr.len as usize],
+                            hdr.seq as u64 * self.cfg.block_size as u64,
+                        )?;
+                        self.flush_ns += t1.elapsed().as_nanos() as u64;
+                    }
+                    out.push(SinkEvt::Arrival {
+                        seq: hdr.seq,
+                        slot: hdr.slot,
+                        len: hdr.len,
+                    });
+                    self.links[i].phase = LinkPhase::Header { got: 0 };
+                    self.place_armed -= 1;
+                    if let Some(j) = self.place_pending.pop_front() {
+                        self.arm_place(j)?;
+                    }
+                    self.arm(i)
+                }
+                LinkPhase::Discard { wire_len, got } => {
+                    if n == 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "stream closed mid-frame",
+                        ));
+                    }
+                    *got += n;
+                    if *got < *wire_len {
+                        return self.arm(i);
+                    }
+                    self.links[i].phase = LinkPhase::Header { got: 0 };
+                    self.arm(i)
+                }
+                LinkPhase::Eof => Ok(()),
+            }
+        }
+
+        /// The recv callback for [`drain_coalesced`]: deliver at least
+        /// one [`SinkEvt`] (`window: None` blocks; `Some(w)` is a dwell
+        /// wait), or `false` when the wait timed out, every link is
+        /// done, or the driver failed ([`SinkDriver::err`]).
+        fn pump(&mut self, window: Option<Duration>, out: &mut Vec<SinkEvt>) -> bool {
+            if self.err.is_some() {
+                return false;
+            }
+            self.place_floor = Instant::now();
+            loop {
+                self.cqes.clear();
+                self.ring.reap(&mut self.cqes);
+                if self.cqes.is_empty() {
+                    if self.inflight == 0 {
+                        return false; // every link EOF — nothing can arrive
+                    }
+                    let flushed = match window {
+                        // Hot path: hand re-armed reads to the kernel
+                        // and wait for the next completion in ONE
+                        // syscall.
+                        None => {
+                            let queued = std::mem::take(&mut self.queued);
+                            self.ring.submit_and_wait(queued).map(|()| true)
+                        }
+                        // Dwell wait: flush first, then the timed wait
+                        // (`-ETIME` and a fused submit don't mix).
+                        Some(_) => self.submit_queued().and_then(|()| self.ring.wait(window)),
+                    };
+                    match flushed {
+                        Ok(true) => {
+                            self.place_floor = Instant::now();
+                            continue;
+                        }
+                        Ok(false) => return false, // dwell window expired
+                        Err(e) => {
+                            self.err = Some(e);
+                            return false;
+                        }
+                    }
+                }
+                let cqes = std::mem::take(&mut self.cqes);
+                for c in &cqes {
+                    let r = self.on_cqe(c, out);
+                    self.place_floor = Instant::now();
+                    if let Err(e) = r {
+                        self.err = Some(e);
+                        return false;
+                    }
+                }
+                self.cqes = cqes;
+                if !out.is_empty() {
+                    // Flush the re-arms before handing the events over,
+                    // so the kernel fills slots while the handler
+                    // verifies and acks.
+                    if let Err(e) = self.submit_queued() {
+                        self.err = Some(e);
+                        return false;
+                    }
+                    return true;
+                }
+                // Partial reads advanced without yielding an event;
+                // keep draining (the empty-reap path flushes `queued`).
+            }
+        }
+
+        /// Drain until no kernel op targets the slot buffers or ring —
+        /// must run (after the sockets are shut down) before either is
+        /// freed.
+        fn quiesce(&mut self) {
+            while self.inflight > 0 {
+                if self.ring.wait(None).is_err() {
+                    return; // ring is gone; nothing more to drain
+                }
+                self.cqes.clear();
+                self.inflight -= self.ring.reap(&mut self.cqes).min(self.inflight as usize) as u32;
+            }
+        }
+    }
+
+    /// One accepted source connection set, ready for [`run_uring_sink`]
+    /// — the uring counterpart of [`NetListener::accept_session`].
+    pub struct UringSinkSession {
+        streams: SessionStreams,
+        caps: UringCaps,
+    }
+
+    /// Byte-exact read of one length-prefixed control frame — never
+    /// reads past the frame, because the ring takes the stream over
+    /// right after.
+    fn read_one_frame(s: &mut TcpStream) -> io::Result<CtrlMsg> {
+        let mut prefix = [0u8; FRAME_PREFIX_LEN];
+        s.read_exact(&mut prefix)?;
+        let body_len = u16::from_be_bytes(prefix) as usize;
+        if !(MIN_FRAME_BODY..=MAX_FRAME_BODY).contains(&body_len) {
+            return Err(perr(format!("bad control frame length {body_len}")));
+        }
+        let mut body = vec![0u8; body_len];
+        s.read_exact(&mut body)?;
+        CtrlMsg::decode(&body).map_err(|e| perr(format!("bad control frame: {e:?}")))
+    }
+
+    /// Accept one source's connection set for the io_uring sink and
+    /// read the opening `SessionRequest` so the caller can size its
+    /// half, mirroring [`NetListener::accept_session`]. Fails with
+    /// `Unsupported` before accepting anything if the kernel cannot run
+    /// the backend.
+    pub fn accept_source_uring(
+        listener: &NetListener,
+        sockbuf: usize,
+    ) -> io::Result<(UringSinkSession, CtrlMsg)> {
+        let caps = ring_caps()?;
+        let mut streams = listener.accept_streams(sockbuf)?;
+        let first = read_one_frame(&mut streams.ctrl)?;
+        Ok((UringSinkSession { streams, caps }, first))
+    }
+
+    /// Run the sink half over one io_uring: the protocol brain is the
+    /// same [`SinkHandler`] + [`drain_coalesced`] pair as the TCP sink,
+    /// but placement, control reads, and the ack/credit dwell all ride
+    /// the ring on **one** thread — no per-channel receivers, no
+    /// control pump.
+    pub fn run_uring_sink(
+        cfg: &LiveConfig,
+        session: UringSinkSession,
+        first_ctrl: Option<CtrlMsg>,
+    ) -> io::Result<LiveReport> {
+        assert!(cfg.channels >= 1 && cfg.total_bytes > 0);
+        let UringSinkSession { streams, caps } = session;
+        let SessionStreams { ctrl, data } = streams;
+        assert_eq!(data.len(), cfg.channels, "one data link per channel");
+        assert!(cfg.channels as u32 + 2 <= RING_ENTRIES);
+        let total_blocks = cfg.total_blocks();
+        let geo = PoolGeometry::new(cfg.block_size as u64, cfg.pool_blocks);
+        let snk_backend = SnkBackend::open(cfg)?;
+        let direct_io_active = snk_backend.direct_active();
+
+        let snk_pool = AtomicSinkPool::new(geo);
+        let snk_bufs: Vec<Mutex<SlotBuf>> = (0..cfg.pool_blocks)
+            .map(|_| Mutex::new(SlotBuf::new(cfg.block_size)))
+            .collect();
+        let granter = Mutex::new(Granter::new(
+            rftp_core::CreditMode::Proactive,
+            cfg.initial_credits,
+            cfg.grant_per_completion,
+            4,
+        ));
+        let placed = AtomicBitmap::new(total_blocks);
+
+        let ring = transfer_ring(&caps, true)?;
+        ring.register_pool(&snk_bufs)?;
+
+        let mut handles = vec![ctrl.try_clone()?];
+        for s in &data {
+            handles.push(s.try_clone()?);
+        }
+        let handles = Arc::new(handles);
+        let fail_handles = handles.clone();
+        let fail = Fail::new(Arc::new(move || {
+            shutdown_all(&fail_handles, Shutdown::Both)
+        }));
+        let ctrl_wr = ctrl.try_clone()?;
+        let ctrl_tx = NetCtrlTx(Mutex::new(ctrl_wr));
+
+        let start = Instant::now();
+        let mut h = SinkHandler::new(cfg, &ctrl_tx, &snk_pool, &granter, &snk_bufs);
+        let mut drv = SinkDriver {
+            ring: &ring,
+            links: data
+                .iter()
+                .map(|s| DataLink {
+                    fd: s.as_raw_fd(),
+                    phase: LinkPhase::Header { got: 0 },
+                    hdr_buf: Box::new([0u8; DATA_FRAME_HEADER_LEN]),
+                    scratch: Vec::new(),
+                })
+                .collect(),
+            ctrl: CtrlLink {
+                fd: ctrl.as_raw_fd(),
+                buf: Box::new([0u8; 4096]),
+                dec: rftp_core::wire::FrameDecoder::new(),
+                eof: false,
+            },
+            snk_bufs: &snk_bufs,
+            placed: &placed,
+            backend: &snk_backend,
+            cfg,
+            total_blocks,
+            inflight: 0,
+            queued: 0,
+            place_ns: 0,
+            flush_ns: 0,
+            duplicates: 0,
+            place_hist: NsHist::new(),
+            err: None,
+            cqes: Vec::with_capacity(64),
+            place_armed: 0,
+            place_pending: VecDeque::new(),
+            place_cap: env_u32("RFTP_URING_PLACE_CAP", 1).max(1),
+            place_floor: start,
+        };
+
+        let run = (|| -> io::Result<()> {
+            if let Some(msg) = first_ctrl {
+                h.handle(SinkEvt::Ctrl(msg))?;
+            }
+            drv.arm_initial()?;
+            match drain_coalesced(&mut h, &mut |w, out| drv.pump(w, out), cfg.flush_window)? {
+                DrainEnd::Done => Ok(()),
+                DrainEnd::Closed => Err(drv
+                    .err
+                    .take()
+                    .unwrap_or_else(|| perr("event pipeline stopped before transfer completed"))),
+            }
+        })();
+        if let Err(e) = run {
+            fail.set(e);
+        }
+        // Quiesce before the slot buffers or ring can be freed: shut
+        // every link (the transfer is over either way — the final acks
+        // are already flushed and ride out ahead of the FIN), then
+        // drain the in-flight reads the shutdown completes.
+        shutdown_all(&handles, Shutdown::Both);
+        drv.quiesce();
+        let (place_ns, flush_ns, duplicates, place_hist) =
+            (drv.place_ns, drv.flush_ns, drv.duplicates, drv.place_hist);
+        if env_flag("RFTP_URING_STATS") {
+            eprintln!(
+                "uring sink: {} enters, {} cqes, {} blocks",
+                ring.enters.load(Ordering::Relaxed),
+                ring.reaped.load(Ordering::Relaxed),
+                total_blocks,
+            );
+        }
+        drop(ring);
+
+        if fail.is_set() {
+            return Err(fail.into_err());
+        }
+        let mut sync_ns = 0u64;
+        if let SnkBackend::File(sink) = &snk_backend {
+            let t0 = Instant::now();
+            sink.sync()?;
+            sync_ns = t0.elapsed().as_nanos() as u64;
+        }
+        let elapsed = start.elapsed();
+        assert_eq!(h.delivered, total_blocks, "blocks lost in the pipeline");
+        snk_pool.check_invariants();
+        let per_block = |ns: u64| ns as f64 / total_blocks as f64;
+        Ok(LiveReport {
+            bytes: cfg.total_bytes,
+            blocks: total_blocks,
+            elapsed,
+            gbytes_per_sec: cfg.total_bytes as f64 / 1e9 / elapsed.as_secs_f64().max(1e-9),
+            checksum_failures: h.checksum_failures,
+            ooo_blocks: h.reorder.ooo_arrivals,
+            ctrl_msgs: h.ctrl_msgs,
+            ctrl_msgs_per_block: h.ctrl_msgs as f64 / total_blocks as f64,
+            credit_requests: 0,
+            dropped_payloads: 0,
+            retransmits: 0,
+            duplicate_payloads: duplicates,
+            stages: StageBreakdown {
+                place_ns: per_block(place_ns),
+                verify_ns: per_block(h.verify_ns),
+                flush_ns: per_block(flush_ns),
+                sync_ns: per_block(sync_ns),
+                ..Default::default()
+            },
+            tails: StageTails {
+                place: place_hist,
+                verify: h.verify_hist.clone(),
+                ..Default::default()
+            },
+            // The whole data path — all N links, placement, control,
+            // and the dwell — is this one driver thread.
+            transport_threads: 1,
+            direct_io_active,
+        })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        /// The raw ABI structs must match uapi/linux/io_uring.h exactly
+        /// — a silent size drift corrupts the rings.
+        #[test]
+        fn abi_struct_sizes_match_kernel() {
+            assert_eq!(std::mem::size_of::<IoUringParams>(), 120);
+            assert_eq!(std::mem::size_of::<Sqe>(), 64);
+            assert_eq!(std::mem::size_of::<Cqe>(), 16);
+            assert_eq!(std::mem::size_of::<SqringOffsets>(), 40);
+            assert_eq!(std::mem::size_of::<CqringOffsets>(), 40);
+        }
+
+        /// The capability probe must never panic, whatever the kernel.
+        #[test]
+        fn probe_is_total() {
+            let _ = uring_supported();
+        }
+
+        /// Full uring↔uring loopback transfer: pattern data, checksum
+        /// verified at the sink, one driver thread per side.
+        #[test]
+        fn uring_pattern_transfer_loopback() {
+            if !uring_supported() {
+                eprintln!("skipping: io_uring not supported by this kernel");
+                return;
+            }
+            let cfg = LiveConfig::new(64 * 1024, 4, 8 << 20);
+            let listener = NetListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let sockbuf = crate::net::default_sockbuf(cfg.block_size, cfg.channel_depth);
+            let src_cfg = cfg.clone();
+            let src = std::thread::spawn(move || {
+                let t = connect_source_uring(addr, src_cfg.channels, sockbuf)?;
+                crate::split::run_split_source(&src_cfg, t)
+            });
+            let (sess, first) = accept_source_uring(&listener, sockbuf).unwrap();
+            let snk = run_uring_sink(&cfg, sess, Some(first)).unwrap();
+            let src = src.join().unwrap().unwrap();
+            assert_eq!(snk.blocks, cfg.total_blocks());
+            assert_eq!(snk.checksum_failures, 0);
+            assert_eq!(
+                snk.transport_threads, 1,
+                "sink data path must be one thread"
+            );
+            assert_eq!(src.transport_threads, 1, "source adds one reaper thread");
+            assert!(
+                snk.ctrl_msgs_per_block <= 1.0,
+                "control plane not coalesced: {:.2}/blk",
+                snk.ctrl_msgs_per_block
+            );
+        }
+    }
+}
+
+/// Portable stubs: the backend is Linux-only; every other platform
+/// reports "unsupported" and the callers fall back to TCP.
+#[cfg(not(target_os = "linux"))]
+mod stub {
+    use crate::net::NetListener;
+    use crate::pipeline::{LiveConfig, LiveReport};
+    use crate::transport::SourceTransport;
+    use rftp_core::wire::CtrlMsg;
+    use std::io;
+    use std::net::ToSocketAddrs;
+
+    /// Placeholder session handle; never constructible off-Linux.
+    pub struct UringSinkSession(());
+
+    pub fn uring_supported() -> bool {
+        false
+    }
+
+    fn unsupported<T>() -> io::Result<T> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "io_uring transport requires Linux",
+        ))
+    }
+
+    pub fn connect_source_uring(
+        _addr: impl ToSocketAddrs,
+        _channels: usize,
+        _sockbuf: usize,
+    ) -> io::Result<SourceTransport> {
+        unsupported()
+    }
+
+    pub fn accept_source_uring(
+        _listener: &NetListener,
+        _sockbuf: usize,
+    ) -> io::Result<(UringSinkSession, CtrlMsg)> {
+        unsupported()
+    }
+
+    pub fn run_uring_sink(
+        _cfg: &LiveConfig,
+        _session: UringSinkSession,
+        _first_ctrl: Option<CtrlMsg>,
+    ) -> io::Result<LiveReport> {
+        unsupported()
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+pub use stub::{
+    accept_source_uring, connect_source_uring, run_uring_sink, uring_supported, UringSinkSession,
+};

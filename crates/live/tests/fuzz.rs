@@ -10,7 +10,6 @@ proptest! {
         cases: 24,
         // Each case spins up ~10 threads; no shrinking marathon on hangs.
         timeout: 60_000,
-        ..ProptestConfig::default()
     })]
 
     #[test]

@@ -129,6 +129,164 @@ fn tcp_drop_faults_recover_exactly_once() {
 }
 
 // ---------------------------------------------------------------------------
+// The io_uring backend: the same wire format (PROTOCOL.md §7 is
+// byte-identical across socket backends), so every TCP scenario must
+// hold verbatim — including with the two backends mixed across sides.
+// ---------------------------------------------------------------------------
+
+fn uring_or_skip() -> bool {
+    if rftp_live::uring_supported() {
+        return true;
+    }
+    eprintln!("skipping: io_uring transport unsupported on this kernel");
+    false
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Backend {
+    Tcp,
+    Uring,
+}
+
+/// Run one loopback transfer with each side on its chosen backend. The
+/// wire never changes, so any (source, sink) pairing must interoperate.
+fn run_mixed_pair(
+    src_be: Backend,
+    snk_be: Backend,
+    src_cfg: LiveConfig,
+    snk_cfg: LiveConfig,
+) -> (
+    std::io::Result<rftp_live::LiveReport>,
+    std::io::Result<rftp_live::LiveReport>,
+) {
+    let listener = NetListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let channels = src_cfg.channels;
+    let sockbuf = rftp_live::net::default_sockbuf(src_cfg.block_size, src_cfg.channel_depth);
+    let src = std::thread::spawn(move || {
+        let t = match src_be {
+            Backend::Tcp => connect_source(addr, channels, sockbuf)?,
+            Backend::Uring => rftp_live::connect_source_uring(addr, channels, sockbuf)?,
+        };
+        run_split_source(&src_cfg, t)
+    });
+    let snk = (|| match snk_be {
+        Backend::Tcp => {
+            let (t, first) = listener.accept_session(sockbuf)?;
+            run_split_sink(&snk_cfg, t, Some(first))
+        }
+        Backend::Uring => {
+            let (sess, first) = rftp_live::accept_source_uring(&listener, sockbuf)?;
+            rftp_live::run_uring_sink(&snk_cfg, sess, Some(first))
+        }
+    })();
+    (src.join().unwrap(), snk)
+}
+
+#[test]
+fn uring_pattern_transfer_verifies_and_coalesces() {
+    if !uring_or_skip() {
+        return;
+    }
+    let cfg = LiveConfig::new(64 * 1024, 4, (32 << 20) / SCALE);
+    let (src, snk) = run_mixed_pair(Backend::Uring, Backend::Uring, cfg.clone(), cfg.clone());
+    let (src, snk) = (src.unwrap(), snk.unwrap());
+    assert_eq!(snk.blocks, cfg.total_bytes.div_ceil(64 * 1024));
+    assert_eq!(snk.checksum_failures, 0);
+    assert!(
+        src.ctrl_msgs_per_block < 1.0 && snk.ctrl_msgs_per_block < 1.0,
+        "control plane not coalesced: src {:.2}/blk, snk {:.2}/blk",
+        src.ctrl_msgs_per_block,
+        snk.ctrl_msgs_per_block
+    );
+    // The tentpole's thread claim, checked where it is observable: the
+    // uring sink's data path is ONE driver thread regardless of channels.
+    assert_eq!(snk.transport_threads, 1);
+}
+
+#[test]
+fn uring_file_to_file_is_byte_identical() {
+    if !uring_or_skip() {
+        return;
+    }
+    let src_path = tmp_path("ur_f2f_src");
+    let dst_path = tmp_path("ur_f2f_dst");
+    let bytes = (16 << 20) / SCALE + 12_345;
+    write_test_file(&src_path, bytes);
+
+    let mut src_cfg = LiveConfig::new(128 * 1024, 3, bytes);
+    src_cfg.src_file = Some(src_path.clone());
+    let mut snk_cfg = LiveConfig::new(128 * 1024, 3, bytes);
+    snk_cfg.dst_file = Some(dst_path.clone());
+    let (src, snk) = run_mixed_pair(Backend::Uring, Backend::Uring, src_cfg, snk_cfg);
+    src.unwrap();
+    assert_eq!(snk.unwrap().checksum_failures, 0);
+
+    let (a, b) = (
+        std::fs::read(&src_path).unwrap(),
+        std::fs::read(&dst_path).unwrap(),
+    );
+    assert_eq!(a.len(), b.len(), "size mismatch");
+    assert!(a == b, "destination bytes differ from source over io_uring");
+    let _ = std::fs::remove_file(&src_path);
+    let _ = std::fs::remove_file(&dst_path);
+}
+
+#[test]
+fn uring_drop_faults_recover_exactly_once() {
+    if !uring_or_skip() {
+        return;
+    }
+    let mut src_cfg = LiveConfig::new(32 * 1024, 2, (4 << 20) / SCALE);
+    src_cfg.pool_blocks = 8;
+    src_cfg.fault_drop_p = 0.15;
+    src_cfg.fault_seed = 42;
+    src_cfg.retx_timeout = Duration::from_millis(30);
+    let mut snk_cfg = LiveConfig::new(32 * 1024, 2, src_cfg.total_bytes);
+    snk_cfg.pool_blocks = 8;
+    let (src, snk) = run_mixed_pair(Backend::Uring, Backend::Uring, src_cfg, snk_cfg);
+    let (src, snk) = (src.unwrap(), snk.unwrap());
+    assert_eq!(
+        snk.checksum_failures, 0,
+        "every block placed correctly once"
+    );
+    assert!(src.dropped_payloads >= 1, "fault injector never fired");
+    assert!(src.retransmits >= 1, "drops must be recovered by re-send");
+    assert_eq!(snk.blocks, src.blocks);
+}
+
+#[test]
+fn mixed_backends_move_files_byte_identically() {
+    if !uring_or_skip() {
+        return;
+    }
+    for (src_be, snk_be, tag) in [
+        (Backend::Uring, Backend::Tcp, "ur_src"),
+        (Backend::Tcp, Backend::Uring, "ur_snk"),
+    ] {
+        let src_path = tmp_path(&format!("mix_{tag}_src"));
+        let dst_path = tmp_path(&format!("mix_{tag}_dst"));
+        let bytes = (8 << 20) / SCALE + 4_097;
+        write_test_file(&src_path, bytes);
+
+        let mut src_cfg = LiveConfig::new(128 * 1024, 3, bytes);
+        src_cfg.src_file = Some(src_path.clone());
+        let mut snk_cfg = LiveConfig::new(128 * 1024, 3, bytes);
+        snk_cfg.dst_file = Some(dst_path.clone());
+        let (src, snk) = run_mixed_pair(src_be, snk_be, src_cfg, snk_cfg);
+        src.unwrap();
+        assert_eq!(snk.unwrap().checksum_failures, 0);
+        let (a, b) = (
+            std::fs::read(&src_path).unwrap(),
+            std::fs::read(&dst_path).unwrap(),
+        );
+        assert!(a == b, "mixed pairing {tag}: destination differs");
+        let _ = std::fs::remove_file(&src_path);
+        let _ = std::fs::remove_file(&dst_path);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The real thing: two OS processes driving the rftp-live binary.
 // ---------------------------------------------------------------------------
 
@@ -252,6 +410,104 @@ fn sink_fails_cleanly_when_source_is_killed() {
 
     let status =
         wait_timeout(&mut sink, Duration::from_secs(10)).expect("sink hung after its peer died");
+    assert!(!status.success(), "sink must report the dead peer");
+}
+
+#[test]
+fn two_processes_move_a_file_over_uring() {
+    if !uring_or_skip() {
+        return;
+    }
+    let src_path = tmp_path("ur_proc_src");
+    let dst_path = tmp_path("ur_proc_dst");
+    write_test_file(&src_path, (24 << 20) / SCALE + 4097);
+
+    let (mut sink, addr) = spawn_sink(&[
+        "--transport",
+        "uring",
+        "--dst-file",
+        dst_path.to_str().unwrap(),
+    ]);
+    let mut source = rftp_live_cmd()
+        .args(["--connect", &addr, "--channels", "4", "--block", "128K"])
+        .args(["--transport", "uring"])
+        .args(["--src-file", src_path.to_str().unwrap()])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn rftp-live --connect --transport uring");
+
+    let src_status =
+        wait_timeout(&mut source, Duration::from_secs(120)).expect("source process hung");
+    let snk_status = wait_timeout(&mut sink, Duration::from_secs(30))
+        .expect("sink process hung after source finished");
+    assert!(src_status.success(), "source exited {src_status:?}");
+    assert!(snk_status.success(), "sink exited {snk_status:?}");
+
+    let (a, b) = (
+        std::fs::read(&src_path).unwrap(),
+        std::fs::read(&dst_path).unwrap(),
+    );
+    assert!(a == b, "destination differs from source across processes");
+    let _ = std::fs::remove_file(&src_path);
+    let _ = std::fs::remove_file(&dst_path);
+}
+
+/// Peer death over the uring backend, both directions: the ring's
+/// in-flight ops must complete with errors that trip the failure latch,
+/// not wedge the driver.
+#[test]
+fn uring_source_fails_cleanly_when_sink_is_killed() {
+    if !uring_or_skip() {
+        return;
+    }
+    let (mut sink, addr) = spawn_sink(&["--transport", "uring"]);
+    let mut source = rftp_live_cmd()
+        .args(["--connect", &addr, "--size", "2G", "--channels", "2"])
+        .args(["--transport", "uring"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    sink.kill().unwrap();
+    sink.wait().unwrap();
+
+    let status = wait_timeout(&mut source, Duration::from_secs(10))
+        .expect("uring source hung after its peer died");
+    assert!(!status.success(), "source must report the dead peer");
+    let mut err = String::new();
+    source
+        .stderr
+        .take()
+        .unwrap()
+        .read_to_string(&mut err)
+        .unwrap();
+    assert!(
+        err.contains("transfer failed"),
+        "source stderr should explain: {err:?}"
+    );
+}
+
+#[test]
+fn uring_sink_fails_cleanly_when_source_is_killed() {
+    if !uring_or_skip() {
+        return;
+    }
+    let (mut sink, addr) = spawn_sink(&["--transport", "uring"]);
+    let mut source = rftp_live_cmd()
+        .args(["--connect", &addr, "--size", "2G", "--channels", "2"])
+        .args(["--transport", "uring"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    source.kill().unwrap();
+    source.wait().unwrap();
+
+    let status = wait_timeout(&mut sink, Duration::from_secs(10))
+        .expect("uring sink hung after its peer died");
     assert!(!status.success(), "sink must report the dead peer");
 }
 

@@ -547,7 +547,7 @@ mod tests {
     proptest! {
         #[test]
         fn macro_works(x in 1u32..100, flag in any::<bool>()) {
-            prop_assert!(x >= 1 && x < 100);
+            prop_assert!((1..100).contains(&x));
             let _ = flag;
         }
     }
