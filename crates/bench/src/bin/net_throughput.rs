@@ -23,14 +23,23 @@
 //! `--quick` runs a reduced sweep for CI smoke (no gate); `--gate-only`
 //! skips the sweep and runs just the gate head-to-head; `--out PATH`
 //! overrides the JSON location.
+//!
+//! `--daemon` switches to the multi-session daemon benchmark instead:
+//! aggregate throughput and the per-session fairness ratio (min/max
+//! session GB/s) at 1, 2, and 4 concurrent sessions through one
+//! `rftpd`-style daemon, plus the interactive-under-bulk fairness gate
+//! (interactive completion must stay under 2× its solo time while a
+//! bulk session saturates the daemon; skipped under `--quick`). Writes
+//! `BENCH_net_daemon.json` unless `--out` overrides.
 
 use rftp_bench::{bs_label, MB};
 use rftp_live::net::{connect_source, default_sockbuf, NetListener};
 use rftp_live::pipeline::LiveReport;
 use rftp_live::{
     accept_source_uring, connect_source_uring, run_split_sink, run_split_source, run_uring_sink,
-    uring_supported, LiveConfig,
+    uring_supported, Daemon, DaemonConfig, LiveConfig,
 };
+use std::time::{Duration, Instant};
 
 /// TCP gate floor, GB/s, at 8 channels × 256 KB (best of 3, release
 /// build). Loopback moved ~1.75 GB/s on the reference machine; a
@@ -170,16 +179,259 @@ fn print_run(tag: &str, r: &LiveReport) {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Daemon mode: many sessions through one shared arena.
+// ---------------------------------------------------------------------------
+
+/// The interactive-under-bulk gate bound: while a bulk session
+/// saturates the daemon, an interactive session must complete in at
+/// most this multiple of its solo time. The weighted-fair arbiter is
+/// what holds this — without it, bulk's outstanding credits would eat
+/// the whole budget.
+const FAIRNESS_GATE_RATIO: f64 = 2.0;
+
+fn daemon_cfg() -> DaemonConfig {
+    DaemonConfig {
+        slot_cap: 256 * 1024,
+        arena_slots: 32,
+        session_slots: 8,
+        max_sessions: 8,
+        credit_budget: 32,
+        interactive_cutoff: 32 * MB,
+        interactive_weight: 8,
+        ..DaemonConfig::default()
+    }
+}
+
+/// Start a daemon, run `f` against its address, then drain it.
+fn with_daemon<T>(f: impl FnOnce(std::net::SocketAddr) -> T) -> T {
+    let d = Daemon::bind("127.0.0.1:0", daemon_cfg()).expect("bind daemon");
+    let addr = d.local_addr().unwrap();
+    let handle = d.handle();
+    let jh = std::thread::spawn(move || d.run());
+    let out = f(addr);
+    handle.shutdown();
+    jh.join().expect("daemon thread").expect("daemon report");
+    out
+}
+
+/// One source session against a running daemon; the client-side report
+/// carries its throughput.
+fn daemon_client(
+    addr: std::net::SocketAddr,
+    block: u64,
+    channels: usize,
+    total: u64,
+) -> LiveReport {
+    let mut cfg = LiveConfig::new(block as usize, channels, total);
+    cfg.pool_blocks = 8;
+    let sockbuf = default_sockbuf(cfg.block_size, cfg.channel_depth);
+    let t = connect_source(addr, channels, sockbuf).expect("connect to daemon");
+    run_split_source(&cfg, t).expect("daemon session")
+}
+
+struct ScalePoint {
+    sessions: usize,
+    aggregate_gbps: f64,
+    fairness: f64,
+    per_session_gbps: Vec<f64>,
+}
+
+/// `n` equal sessions concurrently; aggregate GB/s over the whole wall
+/// clock and the min/max per-session throughput ratio (1.0 = perfectly
+/// fair).
+fn daemon_scale_point(n: usize, per_session_bytes: u64) -> ScalePoint {
+    with_daemon(|addr| {
+        let t0 = Instant::now();
+        let joins: Vec<_> = (0..n)
+            .map(|_| {
+                std::thread::spawn(move || daemon_client(addr, 256 * 1024, 2, per_session_bytes))
+            })
+            .collect();
+        let reports: Vec<LiveReport> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        let wall = t0.elapsed().as_secs_f64();
+        let per: Vec<f64> = reports.iter().map(|r| r.gbytes_per_sec).collect();
+        let (lo, hi) = per
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &g| (lo.min(g), hi.max(g)));
+        ScalePoint {
+            sessions: n,
+            aggregate_gbps: (n as u64 * per_session_bytes) as f64 / 1e9 / wall,
+            fairness: if hi > 0.0 { lo / hi } else { 0.0 },
+            per_session_gbps: per,
+        }
+    })
+}
+
+struct FairnessGate {
+    solo: Duration,
+    contended: Duration,
+    bulk_overlapped: bool,
+    pass: bool,
+}
+
+/// Interactive-under-bulk: time a small session solo, then again while
+/// a bulk session is mid-flight. The arbiter must keep the contended
+/// run under [`FAIRNESS_GATE_RATIO`] × solo. Both sides take the best
+/// of three trials — the interactive session finishes in tens of
+/// milliseconds, so a single sample is at the mercy of the host
+/// scheduler; the minimum is what the credit arbiter actually
+/// guarantees.
+fn daemon_fairness_gate(bulk_bytes: u64, interactive_bytes: u64) -> FairnessGate {
+    const TRIALS: usize = 3;
+    with_daemon(|addr| {
+        // Warm, then time the interactive session with the daemon idle.
+        daemon_client(addr, 64 * 1024, 2, interactive_bytes);
+        let solo = (0..TRIALS)
+            .map(|_| {
+                let t0 = Instant::now();
+                daemon_client(addr, 64 * 1024, 2, interactive_bytes);
+                t0.elapsed()
+            })
+            .min()
+            .unwrap();
+
+        let bulk = std::thread::spawn(move || daemon_client(addr, 256 * 1024, 2, bulk_bytes));
+        std::thread::sleep(Duration::from_millis(100));
+        let mut contended = Duration::MAX;
+        let mut bulk_overlapped = false;
+        for _ in 0..TRIALS {
+            // Only trials that start while bulk is still mid-flight
+            // measure contention; once bulk drains, stop sampling.
+            if bulk.is_finished() {
+                break;
+            }
+            let t1 = Instant::now();
+            daemon_client(addr, 64 * 1024, 2, interactive_bytes);
+            contended = contended.min(t1.elapsed());
+            bulk_overlapped = true;
+        }
+        bulk.join().unwrap();
+
+        let pass =
+            bulk_overlapped && contended.as_secs_f64() <= solo.as_secs_f64() * FAIRNESS_GATE_RATIO;
+        FairnessGate {
+            solo,
+            contended,
+            bulk_overlapped,
+            pass,
+        }
+    })
+}
+
+fn run_daemon_bench(quick: bool, out_path: &str) {
+    let per_session = if quick { 16 * MB } else { 128 * MB };
+    println!(
+        "daemon scaling: {} MB per session through one shared arena{}\n",
+        per_session / MB,
+        if quick { " (quick)" } else { "" },
+    );
+    let mut points = Vec::new();
+    for n in [1usize, 2, 4] {
+        let p = daemon_scale_point(n, per_session);
+        println!(
+            "  {} session(s): {:>6.3} GB/s aggregate, fairness {:.3} (per-session: {})",
+            p.sessions,
+            p.aggregate_gbps,
+            p.fairness,
+            p.per_session_gbps
+                .iter()
+                .map(|g| format!("{g:.3}"))
+                .collect::<Vec<_>>()
+                .join(" "),
+        );
+        points.push(p);
+    }
+
+    let gate = if quick {
+        None
+    } else {
+        let g = daemon_fairness_gate(512 * MB, 16 * MB);
+        println!(
+            "\n  fairness gate: interactive {:.1} ms solo, {:.1} ms under bulk \
+             (bound {FAIRNESS_GATE_RATIO}x, bulk overlapped: {})  [{}]",
+            g.solo.as_secs_f64() * 1e3,
+            g.contended.as_secs_f64() * 1e3,
+            g.bulk_overlapped,
+            if g.pass { "ok" } else { "FAIL" }
+        );
+        Some(g)
+    };
+
+    let scaling: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"sessions\": {}, \"aggregate_gbytes_per_sec\": {:.4}, \
+                 \"fairness_min_over_max\": {:.4}, \"per_session_gbytes_per_sec\": [{}]}}",
+                p.sessions,
+                p.aggregate_gbps,
+                p.fairness,
+                p.per_session_gbps
+                    .iter()
+                    .map(|g| format!("{g:.4}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            )
+        })
+        .collect();
+    let gate_json = match &gate {
+        None => "null".to_string(),
+        Some(g) => format!(
+            "{{\"interactive_solo_ms\": {:.3}, \"interactive_under_bulk_ms\": {:.3}, \
+             \"bound_ratio\": {FAIRNESS_GATE_RATIO}, \"bulk_overlapped\": {}, \"pass\": {}}}",
+            g.solo.as_secs_f64() * 1e3,
+            g.contended.as_secs_f64() * 1e3,
+            g.bulk_overlapped,
+            g.pass
+        ),
+    };
+    let cfg = daemon_cfg();
+    let json = format!(
+        "{{\n  \"bench\": \"net_throughput\",\n  \"mode\": \"daemon\",\n  \
+         \"quick\": {},\n  \"wire\": \"loopback\",\n  \
+         \"per_session_bytes\": {},\n  \"arena_slots\": {},\n  \
+         \"session_slots\": {},\n  \"credit_budget\": {},\n  \
+         \"scaling\": [\n{}\n  ],\n  \"fairness_gate\": {}\n}}\n",
+        quick,
+        per_session,
+        cfg.arena_slots,
+        cfg.session_slots,
+        cfg.credit_budget,
+        scaling.join(",\n"),
+        gate_json,
+    );
+    std::fs::write(out_path, json).expect("write daemon bench JSON");
+    println!("\nwrote {out_path}");
+    if let Some(g) = gate {
+        if !g.pass {
+            eprintln!("daemon fairness gate FAILED");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let gate_only = args.iter().any(|a| a == "--gate-only");
+    let daemon_mode = args.iter().any(|a| a == "--daemon");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_net.json".to_string());
+        .unwrap_or_else(|| {
+            if daemon_mode {
+                "BENCH_net_daemon.json".to_string()
+            } else {
+                "BENCH_net.json".to_string()
+            }
+        });
+    if daemon_mode {
+        run_daemon_bench(quick, &out_path);
+        return;
+    }
     let total = if quick { 32 * MB } else { 256 * MB };
     let blocks: &[u64] = if quick {
         &[64 * 1024, 256 * 1024]

@@ -1,0 +1,334 @@
+//! Shared-resource primitives for the multi-session daemon: a lock-free
+//! slot arena and a weighted-fair credit arbiter.
+//!
+//! A long-lived server cannot give every session its own registered
+//! pool — pinned, registered memory is the scarce resource the paper's
+//! buffer-pool design exists to amortize. The daemon therefore registers
+//! ONE pool of slots at startup and partitions it dynamically:
+//! [`SlotArena`] hands each admitted session an all-or-nothing lease of
+//! slot indices and takes them back at teardown, with the same Vyukov
+//! MPMC index ring ([`IndexQueue`]) the per-session pools already use —
+//! no lock, no allocation on the lease/release path beyond the returned
+//! index vector.
+//!
+//! [`WeightedFair`] is the companion admission: once sessions share the
+//! link and the CPU, credit grants are the throttle (credits bound
+//! blocks in flight, Fig. 5's active feedback), so the daemon clamps
+//! each session's *outstanding* credits to a weighted share of a global
+//! budget. Max-min with borrowing: unused share is work-conserving (a
+//! solo bulk session gets the whole budget), but a session can never
+//! borrow another session's unused guarantee, and a session at zero
+//! outstanding is always granted at least one credit — a 1 GB bulk
+//! transfer cannot starve a 4 KB interactive session.
+
+use crate::pool::IndexQueue;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A shared pool of slot indices partitioned dynamically across
+/// sessions. Indices are *global* slot numbers in the daemon's one
+/// registered buffer pool; each session maps them to its session-local
+/// slot space (wire slot `i` = `lease[i]`).
+pub struct SlotArena {
+    free: IndexQueue,
+    total: u32,
+}
+
+impl SlotArena {
+    /// An arena owning slots `0..total`.
+    pub fn new(total: u32) -> SlotArena {
+        SlotArena {
+            free: IndexQueue::full(total),
+            total,
+        }
+    }
+
+    pub fn total_slots(&self) -> u32 {
+        self.total
+    }
+
+    /// Free slots at this instant (racy by nature; exact only when no
+    /// lease/release is concurrent — e.g. at daemon drain).
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Lease exactly `n` slots, all or nothing. On contention two
+    /// concurrent leases can both fail where one could have succeeded —
+    /// the caller treats that as transient saturation (admission replies
+    /// busy/retry, it never hangs).
+    pub fn lease(&self, n: usize) -> Option<Vec<u32>> {
+        let mut got = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.free.try_pop() {
+                Some(s) => got.push(s),
+                None => {
+                    // Roll back: somebody else wins this race.
+                    for s in got {
+                        self.free.push_must(s);
+                    }
+                    return None;
+                }
+            }
+        }
+        Some(got)
+    }
+
+    /// Return a lease. Each index must come from a prior [`lease`] of
+    /// this arena and be returned exactly once.
+    ///
+    /// [`lease`]: SlotArena::lease
+    pub fn release(&self, slots: &[u32]) {
+        for &s in slots {
+            debug_assert!(s < self.total, "foreign slot {s} released");
+            self.free.push_must(s);
+        }
+    }
+}
+
+struct FairSession {
+    weight: u32,
+    outstanding: u32,
+}
+
+struct FairInner {
+    sessions: HashMap<u64, FairSession>,
+    total_weight: u64,
+    total_outstanding: u32,
+}
+
+/// Weighted max-min arbiter for outstanding credits across sessions.
+///
+/// Every registered session owns a guaranteed share of the global
+/// budget proportional to its weight (always at least 1). [`allow`]
+/// grants first from the caller's unused guarantee, then from the
+/// surplus the budget holds beyond *everyone's* unused guarantees — so
+/// borrowing is work-conserving but can never consume a quiet session's
+/// reserve. A session at zero outstanding is granted at least one
+/// credit even when the budget is exhausted (progress backstop; the
+/// budget is a target, not a hard wall).
+///
+/// All methods take `&self`; internal state is one mutex, amortized by
+/// the callers' existing grant batching.
+///
+/// [`allow`]: WeightedFair::allow
+pub struct WeightedFair {
+    budget: u32,
+    inner: Mutex<FairInner>,
+}
+
+impl WeightedFair {
+    pub fn new(budget: u32) -> WeightedFair {
+        assert!(budget > 0, "zero credit budget");
+        WeightedFair {
+            budget,
+            inner: Mutex::new(FairInner {
+                sessions: HashMap::new(),
+                total_weight: 0,
+                total_outstanding: 0,
+            }),
+        }
+    }
+
+    pub fn budget(&self) -> u32 {
+        self.budget
+    }
+
+    /// Add a session with the given weight (> 0). Re-registering an id
+    /// replaces its weight and keeps its outstanding count.
+    pub fn register(&self, id: u64, weight: u32) {
+        assert!(weight > 0, "zero weight");
+        let mut g = self.inner.lock().unwrap();
+        let prior = match g.sessions.entry(id) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                std::mem::replace(&mut e.get_mut().weight, weight)
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(FairSession {
+                    weight,
+                    outstanding: 0,
+                });
+                0
+            }
+        };
+        g.total_weight += weight as u64 - prior as u64;
+    }
+
+    /// Remove a session, returning whatever it still had outstanding to
+    /// the budget.
+    pub fn deregister(&self, id: u64) {
+        let mut g = self.inner.lock().unwrap();
+        if let Some(s) = g.sessions.remove(&id) {
+            g.total_weight -= s.weight as u64;
+            g.total_outstanding -= s.outstanding;
+        }
+    }
+
+    fn fair_share(&self, weight: u32, total_weight: u64) -> u32 {
+        ((self.budget as u64 * weight as u64 / total_weight.max(1)) as u32).max(1)
+    }
+
+    /// Clamp a grant of `want` credits for session `id` and record the
+    /// allowed amount as outstanding. Unregistered ids are not clamped
+    /// (standalone one-shot sinks run without an arbiter).
+    pub fn allow(&self, id: u64, want: u32) -> u32 {
+        if want == 0 {
+            return 0;
+        }
+        let mut g = self.inner.lock().unwrap();
+        let Some(me) = g.sessions.get(&id) else {
+            return want;
+        };
+        let (my_weight, my_out) = (me.weight, me.outstanding);
+        let total_weight = g.total_weight;
+        // Budget held in reserve for guarantees nobody is using yet
+        // (including the caller's own).
+        let reserved_unused: u64 = g
+            .sessions
+            .values()
+            .map(|s| {
+                self.fair_share(s.weight, total_weight)
+                    .saturating_sub(s.outstanding) as u64
+            })
+            .sum();
+        let surplus = (self.budget as u64)
+            .saturating_sub(g.total_outstanding as u64)
+            .saturating_sub(reserved_unused) as u32;
+        let my_fair = self.fair_share(my_weight, total_weight);
+        let from_guarantee = my_fair.saturating_sub(my_out).min(want);
+        let from_surplus = (want - from_guarantee).min(surplus);
+        let mut allowed = from_guarantee + from_surplus;
+        if allowed == 0 && my_out == 0 {
+            allowed = 1; // starvation backstop
+        }
+        let me = g.sessions.get_mut(&id).unwrap();
+        me.outstanding += allowed;
+        g.total_outstanding += allowed;
+        allowed
+    }
+
+    /// A credit came back (its block was consumed and freed).
+    pub fn release(&self, id: u64, n: u32) {
+        let mut g = self.inner.lock().unwrap();
+        if let Some(s) = g.sessions.get_mut(&id) {
+            let n = n.min(s.outstanding);
+            s.outstanding -= n;
+            g.total_outstanding -= n;
+        }
+    }
+
+    /// Current outstanding credits for a session (tests, stats).
+    pub fn outstanding(&self, id: u64) -> u32 {
+        self.inner
+            .lock()
+            .unwrap()
+            .sessions
+            .get(&id)
+            .map_or(0, |s| s.outstanding)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lease_is_all_or_nothing() {
+        let a = SlotArena::new(8);
+        let l1 = a.lease(5).expect("5 of 8");
+        assert_eq!(l1.len(), 5);
+        assert!(a.lease(4).is_none(), "only 3 left");
+        assert_eq!(a.free_slots(), 3, "failed lease rolled back");
+        let l2 = a.lease(3).expect("exactly the rest");
+        let mut all: Vec<u32> = l1.iter().chain(l2.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<u32>>());
+        a.release(&l1);
+        a.release(&l2);
+        assert_eq!(a.free_slots(), 8);
+    }
+
+    #[test]
+    fn arena_concurrent_lease_release_loses_nothing() {
+        let a = Arc::new(SlotArena::new(64));
+        let mut hs = Vec::new();
+        for t in 0..4u32 {
+            let a = Arc::clone(&a);
+            hs.push(std::thread::spawn(move || {
+                for i in 0..200 {
+                    let n = 1 + ((t as usize + i) % 24);
+                    if let Some(l) = a.lease(n) {
+                        assert_eq!(l.len(), n);
+                        std::thread::yield_now();
+                        a.release(&l);
+                    }
+                }
+            }));
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(a.free_slots(), 64, "every leased slot came home");
+    }
+
+    #[test]
+    fn fair_share_solo_is_work_conserving() {
+        let f = WeightedFair::new(32);
+        f.register(1, 1);
+        assert_eq!(f.allow(1, 40), 32, "alone, the whole budget");
+        assert_eq!(f.allow(1, 4), 0, "budget spent");
+        f.release(1, 10);
+        assert_eq!(f.allow(1, 40), 10);
+    }
+
+    #[test]
+    fn bulk_cannot_eat_interactive_guarantee() {
+        let f = WeightedFair::new(32);
+        f.register(1, 1); // bulk
+        f.register(2, 7); // interactive
+                          // Interactive's guarantee: 32*7/8 = 28. Bulk asks for the world.
+        let bulk = f.allow(1, 1000);
+        assert_eq!(bulk, 4, "bulk clamped to its share: 32*1/8");
+        assert_eq!(f.allow(2, 28), 28, "guarantee intact");
+        // Budget exhausted and bulk at zero after release: backstop = 1.
+        f.release(1, 4);
+        assert_eq!(f.allow(1, 100), 4, "bulk's own guarantee refills");
+        f.release(1, 4);
+        assert_eq!(f.outstanding(1), 0);
+        // Interactive still holds 28, bulk gets its 4 back — now drain
+        // interactive and bulk may borrow the surplus.
+        f.release(2, 28);
+        f.deregister(2);
+        assert_eq!(f.allow(1, 100), 32, "peer gone, budget is bulk's");
+    }
+
+    #[test]
+    fn starvation_backstop_always_grants_one() {
+        let f = WeightedFair::new(4);
+        f.register(1, 1);
+        f.register(2, 1);
+        assert_eq!(f.allow(1, 100), 2, "half the tiny budget");
+        assert_eq!(f.allow(2, 100), 2);
+        f.register(3, 1); // late joiner, budget fully out
+        let got = f.allow(3, 5);
+        assert_eq!(got, 1, "backstop: at least one credit at zero");
+        assert_eq!(f.allow(3, 5), 0, "backstop fires only at zero");
+    }
+
+    #[test]
+    fn deregister_returns_outstanding() {
+        let f = WeightedFair::new(16);
+        f.register(1, 1);
+        f.register(2, 1);
+        assert_eq!(f.allow(1, 8), 8);
+        f.deregister(1);
+        assert_eq!(f.allow(2, 16), 16, "departed session's credits back");
+    }
+
+    #[test]
+    fn unregistered_is_unclamped() {
+        let f = WeightedFair::new(4);
+        assert_eq!(f.allow(99, 1000), 1000);
+    }
+}

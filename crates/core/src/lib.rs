@@ -39,6 +39,7 @@
 //! 3. **Teardown** — `DatasetComplete` ends the session; follow-on jobs
 //!    reuse queue pairs and registered pools.
 
+pub mod arena;
 pub mod block;
 pub mod config;
 pub mod credit;
@@ -55,6 +56,7 @@ pub mod wire;
 /// `rftp-live` verifies with the exact definition the simulator uses).
 pub use rftp_fabric::pattern;
 
+pub use arena::{SlotArena, WeightedFair};
 pub use block::{FsmError, SnkState, SrcState};
 pub use config::{ConsumeMode, NotifyMode, RecoveryConfig, SinkConfig, SourceConfig, StoreConfig};
 pub use credit::{CreditMode, CreditStock, Granter};

@@ -112,6 +112,11 @@ pub enum CtrlMsg {
     },
     /// Phase 1: the sink rejects (e.g. block size beyond its memory).
     SessionReject { session: u32, reason: u8 },
+    /// Phase 1: the sink's admission control turned the session away —
+    /// not a geometry error (that is `SessionReject`) but transient
+    /// saturation: every arena slot or session-table entry is in use.
+    /// The source should retry no sooner than `retry_after_ms`.
+    SessionBusy { session: u32, retry_after_ms: u32 },
     /// Phase 1: the source confirms its channel endpoints are connected.
     ChannelsReady { session: u32 },
     /// Phase 2: memory-region block information response — one or more
@@ -216,6 +221,7 @@ const T_SESSION_RESUME: u16 = 9;
 const T_RESUME_ACCEPT: u16 = 10;
 const T_ACK_BATCH: u16 = 11;
 const T_CREDIT_BATCH: u16 = 12;
+const T_SESSION_BUSY: u16 = 13;
 
 impl CtrlMsg {
     pub fn session(&self) -> u32 {
@@ -231,7 +237,8 @@ impl CtrlMsg {
             | CtrlMsg::SessionResume { session, .. }
             | CtrlMsg::ResumeAccept { session, .. }
             | CtrlMsg::AckBatch { session, .. }
-            | CtrlMsg::CreditBatch { session, .. } => session,
+            | CtrlMsg::CreditBatch { session, .. }
+            | CtrlMsg::SessionBusy { session, .. } => session,
         }
     }
 
@@ -249,6 +256,7 @@ impl CtrlMsg {
             CtrlMsg::ResumeAccept { .. } => T_RESUME_ACCEPT,
             CtrlMsg::AckBatch { .. } => T_ACK_BATCH,
             CtrlMsg::CreditBatch { .. } => T_CREDIT_BATCH,
+            CtrlMsg::SessionBusy { .. } => T_SESSION_BUSY,
         }
     }
 
@@ -288,6 +296,9 @@ impl CtrlMsg {
             }
             CtrlMsg::SessionReject { reason, .. } => {
                 w.put_u8(*reason);
+            }
+            CtrlMsg::SessionBusy { retry_after_ms, .. } => {
+                w.put_u32(*retry_after_ms);
             }
             CtrlMsg::ChannelsReady { .. } | CtrlMsg::MrRequest { .. } => {}
             CtrlMsg::Credits { credits, .. } => {
@@ -407,6 +418,13 @@ impl CtrlMsg {
                 Ok(CtrlMsg::SessionReject {
                     session,
                     reason: buf.get_u8(),
+                })
+            }
+            T_SESSION_BUSY => {
+                need(&buf, 4)?;
+                Ok(CtrlMsg::SessionBusy {
+                    session,
+                    retry_after_ms: buf.get_u32(),
                 })
             }
             T_CHANNELS_READY => Ok(CtrlMsg::ChannelsReady { session }),
@@ -704,6 +722,10 @@ mod tests {
             session: 7,
             reason: reject_reason::BLOCK_TOO_LARGE,
         });
+        roundtrip(CtrlMsg::SessionBusy {
+            session: 7,
+            retry_after_ms: 250,
+        });
         roundtrip(CtrlMsg::ChannelsReady { session: 7 });
         roundtrip(CtrlMsg::Credits {
             session: 7,
@@ -889,6 +911,17 @@ mod tests {
             assert!(
                 CtrlMsg::decode(&buf[..cut]).is_err(),
                 "cut at {cut} must fail"
+            );
+        }
+        let busy = CtrlMsg::SessionBusy {
+            session: 1,
+            retry_after_ms: 100,
+        };
+        let n = busy.encode(&mut buf);
+        for cut in 0..n {
+            assert!(
+                CtrlMsg::decode(&buf[..cut]).is_err(),
+                "busy cut at {cut} must fail"
             );
         }
     }

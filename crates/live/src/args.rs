@@ -1,0 +1,77 @@
+//! Shared command-line flag parsing for the `rftp-live` and `rftpd`
+//! binaries: one place for size suffixes and the uniform
+//! missing-value / bad-value errors, so the two front ends cannot
+//! drift. No derive-macro dependency — the loop stays in each binary
+//! (the flags differ), only the per-flag steps live here.
+
+use std::path::PathBuf;
+
+/// Parse a byte count with an optional `K`/`M`/`G` suffix (powers of
+/// two): `256K` → 262144. Bare numbers are bytes.
+pub fn parse_size(s: &str) -> Option<u64> {
+    let (num, mult) = match s.chars().last()? {
+        'K' | 'k' => (&s[..s.len() - 1], 1u64 << 10),
+        'M' | 'm' => (&s[..s.len() - 1], 1 << 20),
+        'G' | 'g' => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    num.parse::<u64>().ok().map(|n| n * mult)
+}
+
+/// One step of the flag loop: consume the flag's value argument, with a
+/// uniform missing-value error. The typed wrappers below build on it.
+pub fn flag_value(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    it.next().ok_or_else(|| format!("missing value for {flag}"))
+}
+
+/// Consume and `FromStr`-parse a flag value (counts, probabilities).
+pub fn flag_parse<T: std::str::FromStr>(
+    it: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> Result<T, String> {
+    flag_value(it, flag)?
+        .parse()
+        .map_err(|_| format!("bad {flag}"))
+}
+
+/// Consume and size-parse a flag value (`K`/`M`/`G` suffixes).
+pub fn flag_size(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<u64, String> {
+    parse_size(&flag_value(it, flag)?).ok_or_else(|| format!("bad {flag}"))
+}
+
+/// Consume a flag value as a path.
+pub fn flag_path(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<PathBuf, String> {
+    Ok(PathBuf::from(flag_value(it, flag)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_with_suffixes() {
+        assert_eq!(parse_size("256K"), Some(256 << 10));
+        assert_eq!(parse_size("1g"), Some(1 << 30));
+        assert_eq!(parse_size("4096"), Some(4096));
+        assert_eq!(parse_size(""), None);
+        assert_eq!(parse_size("12Q"), None);
+        assert_eq!(parse_size("K"), None);
+    }
+
+    #[test]
+    fn flag_helpers_report_the_flag_name() {
+        let mut empty = std::iter::empty();
+        assert_eq!(
+            flag_value(&mut empty, "--pool").unwrap_err(),
+            "missing value for --pool"
+        );
+        let mut bad = ["nope".to_string()].into_iter();
+        assert_eq!(
+            flag_parse::<usize>(&mut bad, "--pool").unwrap_err(),
+            "bad --pool"
+        );
+        let mut good = ["64".to_string(), "2M".to_string()].into_iter();
+        assert_eq!(flag_parse::<usize>(&mut good, "--pool").unwrap(), 64);
+        assert_eq!(flag_size(&mut good, "--sockbuf").unwrap(), 2 << 20);
+    }
+}

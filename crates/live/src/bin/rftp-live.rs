@@ -16,6 +16,7 @@
 //! ```
 
 use rftp_core::wire::CtrlMsg;
+use rftp_live::args::{flag_parse, flag_path, flag_size, flag_value};
 use rftp_live::{net, run_split_sink, run_split_source, try_run_live, LiveConfig, LiveReport};
 use std::path::PathBuf;
 
@@ -56,16 +57,6 @@ struct Args {
     /// Socket buffer bytes per data stream; `None` = size from
     /// block × depth, `Some(0)` = leave the OS defaults.
     sockbuf: Option<u64>,
-}
-
-fn parse_size(s: &str) -> Option<u64> {
-    let (num, mult) = match s.chars().last()? {
-        'K' | 'k' => (&s[..s.len() - 1], 1u64 << 10),
-        'M' | 'm' => (&s[..s.len() - 1], 1 << 20),
-        'G' | 'g' => (&s[..s.len() - 1], 1 << 30),
-        _ => (s, 1),
-    };
-    num.parse::<u64>().ok().map(|n| n * mult)
 }
 
 const HELP: &str = "rftp-live: the RFTP pipeline on real OS threads
@@ -111,27 +102,6 @@ TWO-PROCESS MODE (the pipeline split over TCP):
                      backend and exit (0 = supported, 3 = not)
   --help             this text";
 
-/// One step of the flag loop: consume the flag's value argument and
-/// parse it, with uniform missing-value / bad-value errors. The
-/// `FromStr` route covers counts and probabilities; sizes and paths go
-/// through `map`-style wrappers below.
-fn flag_value(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
-    it.next().ok_or_else(|| format!("missing value for {flag}"))
-}
-
-fn flag_parse<T: std::str::FromStr>(
-    it: &mut impl Iterator<Item = String>,
-    flag: &str,
-) -> Result<T, String> {
-    flag_value(it, flag)?
-        .parse()
-        .map_err(|_| format!("bad {flag}"))
-}
-
-fn flag_size(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<u64, String> {
-    parse_size(&flag_value(it, flag)?).ok_or_else(|| format!("bad {flag}"))
-}
-
 fn parse_args() -> Result<Args, String> {
     let mut a = Args {
         transport: Transport::Tcp,
@@ -176,8 +146,8 @@ fn parse_args() -> Result<Args, String> {
                 }
                 a.fault_drop_p = p;
             }
-            "--src-file" => a.src_file = Some(PathBuf::from(flag_value(it, "--src-file")?)),
-            "--dst-file" => a.dst_file = Some(PathBuf::from(flag_value(it, "--dst-file")?)),
+            "--src-file" => a.src_file = Some(flag_path(it, "--src-file")?),
+            "--dst-file" => a.dst_file = Some(flag_path(it, "--dst-file")?),
             "--direct" => a.direct = true,
             "--readahead" => a.readahead = flag_parse(it, "--readahead")?,
             "--listen" => a.mode = Mode::Listen(flag_value(it, "--listen")?),

@@ -1,0 +1,527 @@
+//! `rftpd` — the persistent multi-session transfer daemon.
+//!
+//! The one-shot `--listen` sink serves exactly one source and exits;
+//! real deployments of the paper's middleware run a *daemon*: one
+//! registered buffer pool, many concurrent sessions, follow-on jobs
+//! reusing the warm listener. This module is that daemon:
+//!
+//! * **One accept loop, N sessions.** A nonblocking accept loop feeds
+//!   every incoming socket to a shared [`StreamAssembler`]; the hello
+//!   token groups each source's control + data connections into a
+//!   session, interleaved arbitrarily with other sources' connections.
+//! * **Shared pool arena.** All slot buffers are allocated (and, on the
+//!   io_uring backend, registered) once at startup; each admitted
+//!   session gets an all-or-nothing [`SlotArena`] lease and runs the
+//!   ordinary sink protocol over the borrowed view — wire slot `i` is
+//!   `lease[i]`, so per-session wire bytes are unchanged.
+//! * **Admission control.** A session the daemon cannot serve *right
+//!   now* gets a typed [`CtrlMsg::SessionBusy`] with a retry hint —
+//!   never a hang; a session it can never serve (block too large for
+//!   the arena's slots, too many channels) gets a typed
+//!   [`CtrlMsg::SessionReject`].
+//! * **Weighted-fair credits.** Grants across sessions go through one
+//!   [`WeightedFair`] arbiter, so a bulk transfer cannot starve an
+//!   interactive one (small jobs get a higher weight).
+//! * **Graceful drain.** SIGTERM (or [`DaemonHandle::shutdown`]) stops
+//!   admissions, lets in-flight sessions finish inside a bounded
+//!   deadline, then aborts stragglers; slot accounting is asserted at
+//!   exit — a drained daemon has every arena slot back.
+
+use crate::net::{
+    read_one_ctrl_frame, shutdown_all, sink_transport_from_streams, SessionStreams,
+    StreamAssembler, HELLO_TIMEOUT,
+};
+use crate::pipeline::{LiveConfig, LiveReport};
+use crate::split::run_sink_session;
+use crate::store::SlotBuf;
+use crate::uring::{run_uring_session, UringSinkSession};
+use parking_lot::Mutex;
+use rftp_core::wire::{encode_stream_frame, reject_reason, CTRL_SLOT_LEN, FRAME_PREFIX_LEN};
+use rftp_core::{CtrlMsg, SlotArena, WeightedFair};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Which sink backend each admitted session runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DaemonTransport {
+    Tcp,
+    Uring,
+}
+
+/// Daemon-side knobs. Geometry (block size, channels, total bytes) is
+/// per-session and comes from each source's `SessionRequest`; these are
+/// the *shared* resources the sessions contend for.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    pub transport: DaemonTransport,
+    /// Largest admissible per-session block size; every arena slot is
+    /// allocated at this size and a session's blocks live in the prefix.
+    pub slot_cap: usize,
+    /// Total slots in the shared arena.
+    pub arena_slots: u32,
+    /// Target pool size per session (clamped down for small jobs).
+    pub session_slots: u32,
+    /// Concurrent admitted sessions beyond which admission replies busy.
+    pub max_sessions: usize,
+    /// Global outstanding-credit budget for the weighted-fair arbiter.
+    pub credit_budget: u32,
+    /// Jobs of at most this many bytes count as interactive …
+    pub interactive_cutoff: u64,
+    /// … and get this weight (bulk jobs get weight 1).
+    pub interactive_weight: u32,
+    /// Retry hint carried in `SessionBusy` replies.
+    pub retry_after_ms: u32,
+    /// How long a drain waits for in-flight sessions before aborting
+    /// the stragglers.
+    pub drain_deadline: Duration,
+    /// Data socket buffer sizing (0 = OS default).
+    pub sockbuf: usize,
+    /// When set, session `n`'s payload is written to
+    /// `<dst_dir>/session-<n>.dat`; otherwise payloads are
+    /// pattern-verified and discarded.
+    pub dst_dir: Option<PathBuf>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            transport: DaemonTransport::Tcp,
+            slot_cap: 256 * 1024,
+            arena_slots: 64,
+            session_slots: 16,
+            max_sessions: 8,
+            credit_budget: 64,
+            interactive_cutoff: 4 * 1024 * 1024,
+            interactive_weight: 4,
+            retry_after_ms: 50,
+            drain_deadline: Duration::from_secs(10),
+            sockbuf: 0,
+            dst_dir: None,
+        }
+    }
+}
+
+/// Outcome of one served (admitted) session.
+#[derive(Debug)]
+pub struct SessionSummary {
+    /// Order of admission (also the `session-<n>.dat` index).
+    pub index: u64,
+    pub token: u64,
+    /// `Ok` carries the session's transfer report; `Err` is the I/O
+    /// error that ended it (a crashed source lands here — its neighbors
+    /// don't).
+    pub result: io::Result<LiveReport>,
+}
+
+/// What the daemon did over its lifetime, returned from [`Daemon::run`]
+/// after the drain completes.
+#[derive(Debug, Default)]
+pub struct DaemonReport {
+    /// Sessions admitted (= `sessions.len()`).
+    pub served: u64,
+    /// Admitted sessions that completed their dataset cleanly.
+    pub completed: u64,
+    /// Admitted sessions that ended in an error (crashed peer, …).
+    pub failed: u64,
+    /// Sessions turned away with `SessionBusy`.
+    pub rejected_busy: u64,
+    /// Sessions turned away with `SessionReject` (impossible geometry).
+    pub rejected_geometry: u64,
+    /// Connection sets dropped before admission (bad hello, protocol
+    /// violation, peer died during negotiation).
+    pub dropped_preadmission: u64,
+    pub sessions: Vec<SessionSummary>,
+}
+
+/// Cloneable remote control for a running daemon: tests and signal
+/// handlers use it to start the drain.
+#[derive(Clone)]
+pub struct DaemonHandle {
+    stop: Arc<AtomicBool>,
+}
+
+impl DaemonHandle {
+    /// Begin a graceful drain: stop admitting, finish in-flight
+    /// sessions, return from [`Daemon::run`].
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    pub fn is_shutdown(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+}
+
+/// The SIGTERM hook targets whichever handle was installed last; the
+/// handler itself only does an atomic store (async-signal-safe).
+static SIGNAL_TARGET: OnceLock<Mutex<Option<DaemonHandle>>> = OnceLock::new();
+
+fn signal_target() -> &'static Mutex<Option<DaemonHandle>> {
+    SIGNAL_TARGET.get_or_init(|| Mutex::new(None))
+}
+
+extern "C" fn on_sigterm(_sig: i32) {
+    // Only atomics in here: no allocation, no locks… except the
+    // parking_lot try_lock below, which never blocks. A lost wakeup
+    // (lock held at signal time) is acceptable for a drain signal —
+    // the operator's next SIGTERM lands.
+    if let Some(Some(h)) = signal_target().try_lock().map(|g| g.clone()) {
+        h.stop.store(true, Ordering::Release);
+    }
+}
+
+/// Route SIGTERM to this daemon handle: the default disposition kills
+/// the process mid-transfer; with the hook installed, SIGTERM starts
+/// the graceful drain instead. No-op off Unix.
+pub fn install_sigterm_hook(h: &DaemonHandle) {
+    *signal_target().lock() = Some(h.clone());
+    #[cfg(unix)]
+    {
+        // `signal(2)` from the platform libc (std links it already;
+        // same precedent as the raw `setsockopt` in `net.rs`). glibc's
+        // signal() installs BSD semantics: SA_RESTART, handler stays.
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_sigterm as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+/// Read timeout for the opening `SessionRequest` of an assembled
+/// connection set: a source that completes hellos and then goes silent
+/// is dropped, it cannot wedge admission.
+const NEGOTIATE_TIMEOUT: Duration = HELLO_TIMEOUT;
+
+/// Accept-loop poll interval while the listener is idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+struct Tally {
+    completed: u64,
+    failed: u64,
+    rejected_busy: u64,
+    rejected_geometry: u64,
+    dropped_preadmission: u64,
+    sessions: Vec<SessionSummary>,
+}
+
+/// Shared state of a running daemon, borrowed by every session thread.
+struct DaemonState {
+    cfg: DaemonConfig,
+    /// The one slot slab; a session's lease indexes into it.
+    slots: Vec<Mutex<SlotBuf>>,
+    arena: SlotArena,
+    fair: WeightedFair,
+    stop: Arc<AtomicBool>,
+    active: AtomicUsize,
+    admitted_seq: AtomicU64,
+    /// Abort hooks for in-flight sessions (token → socket shutdown),
+    /// fired on the stragglers when the drain deadline passes.
+    aborts: Mutex<Vec<(u64, Vec<TcpStream>)>>,
+    tally: Mutex<Tally>,
+}
+
+/// A bound, not-yet-running daemon. [`Daemon::run`] consumes it and
+/// blocks until a drain completes.
+pub struct Daemon {
+    listener: TcpListener,
+    state: DaemonState,
+}
+
+impl Daemon {
+    pub fn bind(addr: impl ToSocketAddrs, cfg: DaemonConfig) -> io::Result<Daemon> {
+        assert!(cfg.slot_cap > 0 && cfg.arena_slots > 0 && cfg.session_slots > 0);
+        assert!(cfg.max_sessions > 0);
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let slots: Vec<Mutex<SlotBuf>> = (0..cfg.arena_slots)
+            .map(|_| Mutex::new(SlotBuf::new(cfg.slot_cap)))
+            .collect();
+        let arena = SlotArena::new(cfg.arena_slots);
+        let fair = WeightedFair::new(cfg.credit_budget);
+        Ok(Daemon {
+            listener,
+            state: DaemonState {
+                cfg,
+                slots,
+                arena,
+                fair,
+                stop: Arc::new(AtomicBool::new(false)),
+                active: AtomicUsize::new(0),
+                admitted_seq: AtomicU64::new(0),
+                aborts: Mutex::new(Vec::new()),
+                tally: Mutex::new(Tally {
+                    completed: 0,
+                    failed: 0,
+                    rejected_busy: 0,
+                    rejected_geometry: 0,
+                    dropped_preadmission: 0,
+                    sessions: Vec::new(),
+                }),
+            },
+        })
+    }
+
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    pub fn handle(&self) -> DaemonHandle {
+        DaemonHandle {
+            stop: Arc::clone(&self.state.stop),
+        }
+    }
+
+    /// Serve until [`DaemonHandle::shutdown`] (or hooked SIGTERM), then
+    /// drain and report. Asserts the arena's slot accounting on the way
+    /// out: a clean drain leaks nothing.
+    pub fn run(self) -> io::Result<DaemonReport> {
+        let Daemon { listener, state } = self;
+        let d = &state;
+        let mut asm = StreamAssembler::new(d.cfg.sockbuf);
+        let mut last_sweep = Instant::now();
+
+        std::thread::scope(|scope| -> io::Result<()> {
+            while !d.stop.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((s, _)) => {
+                        // Accepted sockets don't inherit the listener's
+                        // nonblocking flag on every platform — pin it.
+                        s.set_nonblocking(false)?;
+                        if let Some(streams) = asm.offer(s) {
+                            scope.spawn(move || serve_session(d, streams));
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+                if last_sweep.elapsed() >= Duration::from_secs(1) {
+                    asm.sweep_stale(Instant::now());
+                    last_sweep = Instant::now();
+                }
+            }
+
+            // Drain: no more admissions (loop exited); wait for the
+            // in-flight sessions, then cut the stragglers' sockets so
+            // their threads fail out promptly and the scope can join.
+            let deadline = Instant::now() + d.cfg.drain_deadline;
+            while d.active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            if d.active.load(Ordering::Acquire) > 0 {
+                for (_, socks) in d.aborts.lock().iter() {
+                    shutdown_all(socks, Shutdown::Both);
+                }
+            }
+            Ok(())
+        })?;
+
+        assert_eq!(
+            d.arena.free_slots(),
+            d.arena.total_slots() as usize,
+            "drained daemon leaked arena slots"
+        );
+
+        let t = state.tally.into_inner();
+        Ok(DaemonReport {
+            served: t.sessions.len() as u64,
+            completed: t.completed,
+            failed: t.failed,
+            rejected_busy: t.rejected_busy,
+            rejected_geometry: t.rejected_geometry,
+            dropped_preadmission: t.dropped_preadmission,
+            sessions: t.sessions,
+        })
+    }
+}
+
+/// Write one control frame straight to a raw stream (pre-transport:
+/// admission replies go out before any backend wraps the session).
+fn send_raw_ctrl(s: &mut TcpStream, msg: &CtrlMsg) -> io::Result<()> {
+    let mut buf = [0u8; FRAME_PREFIX_LEN + CTRL_SLOT_LEN];
+    let n = encode_stream_frame(msg, &mut buf);
+    s.write_all(&buf[..n])
+}
+
+/// Send a terminal admission reply and close the set down politely:
+/// shut our write side, then drain until the peer closes (bounded) so
+/// an immediate local close can't RST the reply out from under it.
+fn reply_and_close(mut streams: SessionStreams, msg: &CtrlMsg) {
+    if send_raw_ctrl(&mut streams.ctrl, msg).is_ok() {
+        let _ = streams.ctrl.shutdown(Shutdown::Write);
+        shutdown_all(&streams.data, Shutdown::Both);
+        let _ = streams
+            .ctrl
+            .set_read_timeout(Some(Duration::from_millis(500)));
+        let mut sink = [0u8; 256];
+        while matches!(streams.ctrl.read(&mut sink), Ok(n) if n > 0) {}
+    }
+}
+
+/// Admission + service for one assembled connection set. Runs on its
+/// own thread; everything it leases it returns before exiting.
+fn serve_session(d: &DaemonState, mut streams: SessionStreams) {
+    // --- Negotiation: read the opening SessionRequest, bounded. ---
+    let first = (|| -> io::Result<CtrlMsg> {
+        streams.ctrl.set_read_timeout(Some(NEGOTIATE_TIMEOUT))?;
+        let first = read_one_ctrl_frame(&mut streams.ctrl)?;
+        streams.ctrl.set_read_timeout(None)?;
+        Ok(first)
+    })();
+    let first = match first {
+        Ok(m) => m,
+        Err(_) => {
+            // Peer died or stalled mid-negotiation: drop the set; the
+            // listener itself never blocked on it.
+            shutdown_all(&streams.data, Shutdown::Both);
+            let _ = streams.ctrl.shutdown(Shutdown::Both);
+            d.tally.lock().dropped_preadmission += 1;
+            return;
+        }
+    };
+    let CtrlMsg::SessionRequest {
+        session,
+        block_size,
+        channels,
+        total_bytes,
+        ..
+    } = first
+    else {
+        shutdown_all(&streams.data, Shutdown::Both);
+        let _ = streams.ctrl.shutdown(Shutdown::Both);
+        d.tally.lock().dropped_preadmission += 1;
+        return;
+    };
+
+    // --- Admission. Impossible geometry → typed reject; transient
+    // saturation → typed busy with a retry hint. Never a hang. ---
+    let reject = |reason: u8| CtrlMsg::SessionReject { session, reason };
+    let busy = CtrlMsg::SessionBusy {
+        session,
+        retry_after_ms: d.cfg.retry_after_ms,
+    };
+    if block_size as usize > d.cfg.slot_cap {
+        reply_and_close(streams, &reject(reject_reason::BLOCK_TOO_LARGE));
+        d.tally.lock().rejected_geometry += 1;
+        return;
+    }
+    if channels as usize != streams.data.len() || total_bytes == 0 {
+        // The hello census and the request disagree (or the job is
+        // empty) — a protocol violation dressed as geometry.
+        reply_and_close(streams, &reject(reject_reason::TOO_MANY_CHANNELS));
+        d.tally.lock().rejected_geometry += 1;
+        return;
+    }
+    if d.stop.load(Ordering::Acquire) {
+        // Draining: admit nothing new, tell the source to come back.
+        reply_and_close(streams, &busy);
+        d.tally.lock().rejected_busy += 1;
+        return;
+    }
+    // Claim a session-table entry before touching the arena so a burst
+    // can't both oversubscribe the table and strand a lease.
+    if d.active.fetch_add(1, Ordering::AcqRel) >= d.cfg.max_sessions {
+        d.active.fetch_sub(1, Ordering::AcqRel);
+        reply_and_close(streams, &busy);
+        d.tally.lock().rejected_busy += 1;
+        return;
+    }
+    let total_blocks = total_bytes.div_ceil(block_size).max(1);
+    let want_slots = (d.cfg.session_slots as u64).min(total_blocks).max(1) as usize;
+    let Some(lease) = d.arena.lease(want_slots) else {
+        d.active.fetch_sub(1, Ordering::AcqRel);
+        reply_and_close(streams, &busy);
+        d.tally.lock().rejected_busy += 1;
+        return;
+    };
+
+    // --- Admitted: register with the arbiter, run the sink session
+    // over the leased view, and undo everything on the way out. ---
+    let token = streams.token;
+    let index = d.admitted_seq.fetch_add(1, Ordering::AcqRel);
+    let weight = if total_bytes <= d.cfg.interactive_cutoff {
+        d.cfg.interactive_weight
+    } else {
+        1
+    };
+    d.fair.register(token, weight);
+
+    let result = run_admitted(d, streams, &lease, first, index, token);
+
+    d.aborts.lock().retain(|(t, _)| *t != token);
+    d.fair.deregister(token);
+    d.arena.release(&lease);
+    d.active.fetch_sub(1, Ordering::AcqRel);
+
+    let mut t = d.tally.lock();
+    match &result {
+        Ok(_) => t.completed += 1,
+        Err(_) => t.failed += 1,
+    }
+    t.sessions.push(SessionSummary {
+        index,
+        token,
+        result,
+    });
+}
+
+/// The admitted path, separated so `serve_session` can unwind the lease
+/// and registration on *any* exit, success or error.
+fn run_admitted(
+    d: &DaemonState,
+    streams: SessionStreams,
+    lease: &[u32],
+    first: CtrlMsg,
+    index: u64,
+    token: u64,
+) -> io::Result<LiveReport> {
+    let CtrlMsg::SessionRequest {
+        block_size,
+        channels,
+        total_bytes,
+        notify_imm,
+        ..
+    } = first
+    else {
+        unreachable!("admission checked the request shape");
+    };
+
+    let mut cfg = LiveConfig::new(block_size as usize, channels as usize, total_bytes);
+    cfg.pool_blocks = lease.len() as u32;
+    cfg.notify_imm = notify_imm;
+    if let Some(dir) = &d.cfg.dst_dir {
+        cfg.dst_file = Some(dir.join(format!("session-{index}.dat")));
+    }
+
+    // Keep socket clones around so the drain deadline can cut a
+    // straggler loose (its blocked threads fail out with EOF/EPIPE).
+    let mut abort_socks = vec![streams.ctrl.try_clone()?];
+    for s in &streams.data {
+        abort_socks.push(s.try_clone()?);
+    }
+    d.aborts.lock().push((token, abort_socks));
+
+    // The leased view: wire slot `i` is arena slot `lease[i]`. Slots
+    // are `slot_cap`-sized; a session's blocks live in the prefix.
+    let view: Vec<&Mutex<SlotBuf>> = lease.iter().map(|&g| &d.slots[g as usize]).collect();
+    let fair = Some((&d.fair, token));
+    match d.cfg.transport {
+        DaemonTransport::Tcp => {
+            let t = sink_transport_from_streams(streams)?;
+            run_sink_session(&cfg, t, Some(first), &view, fair)
+        }
+        DaemonTransport::Uring => {
+            let session = UringSinkSession::from_streams(streams)?;
+            run_uring_session(&cfg, session, Some(first), &view, fair)
+        }
+    }
+}

@@ -34,7 +34,9 @@
 //! from the pinned block; the receiver reads the wire image directly
 //! into the credited slot.
 
+pub mod args;
 pub(crate) mod coalesce;
+pub mod daemon;
 pub mod hist;
 pub mod net;
 pub mod pipeline;
@@ -43,6 +45,10 @@ pub mod store;
 pub mod transport;
 pub mod uring;
 
+pub use daemon::{
+    install_sigterm_hook, Daemon, DaemonConfig, DaemonHandle, DaemonReport, DaemonTransport,
+    SessionSummary,
+};
 pub use hist::{NsHist, StageTails};
 pub use net::{connect_source, NetListener};
 pub use pipeline::{run_live, try_run_live, LiveConfig, LiveReport, StageBreakdown};

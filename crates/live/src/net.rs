@@ -2,15 +2,31 @@
 //!
 //! The source [`connect_source`]s a control stream plus one data stream
 //! per channel; the sink's [`NetListener`] accepts them and hands back a
-//! connected [`SinkTransport`]. Each stream opens with an 8-byte hello
-//! naming its role, so the N+1 connections can land in any order:
+//! connected [`SinkTransport`]. Each stream opens with a 16-byte hello
+//! naming its role and its session, so the N+1 connections can land in
+//! any order — and, under the daemon, interleaved with other sessions'
+//! connections:
 //!
 //! ```text
-//! offset  0..4   magic  "RFTP" (0x5246_5450, big-endian)
-//!         4      kind   0 = control, 1 = data
-//!         5      pad    0
-//!         6..8   index  control: channel count; data: channel index (BE)
+//! offset  0..4    magic  "RFTP" (0x5246_5450, big-endian)
+//!         4       kind   0 = control, 1 = data
+//!         5       pad    0
+//!         6..8    index  control: channel count; data: channel index (BE)
+//!         8..16   token  client-chosen random session token (BE)
 //! ```
+//!
+//! The token groups one source's connection set: all N+1 streams of a
+//! session carry the same value, so [`StreamAssembler`] can assemble
+//! many sessions' streams concurrently from one accept loop. The hello
+//! is transport preamble, not protocol — the control and data frames
+//! after it are unchanged.
+//!
+//! Assembly is *tolerant*: a hello is read under a deadline, a
+//! connection that stalls, hangs up, or speaks garbage is dropped
+//! without disturbing the accept loop, and a partial connection set
+//! whose source died mid-negotiation is swept after
+//! [`STALE_SESSION_TIMEOUT`] — a dying client can no longer wedge the
+//! listener.
 //!
 //! After the hello the stream carries exactly one thing for its whole
 //! life: length-prefixed control frames (both directions) on the control
@@ -36,28 +52,50 @@ use rftp_core::wire::{
     encode_stream_frame, CtrlMsg, DataFrameHeader, FrameDecoder, CTRL_SLOT_LEN,
     DATA_FRAME_HEADER_LEN, FRAME_PREFIX_LEN,
 };
+use std::collections::HashMap;
 use std::io::{self, IoSlice, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const HELLO_MAGIC: u32 = 0x5246_5450; // "RFTP"
-const HELLO_LEN: usize = 8;
+const HELLO_LEN: usize = 16;
 const KIND_CTRL: u8 = 0;
 const KIND_DATA: u8 = 1;
+
+/// How long the listener waits for a just-accepted connection to
+/// produce its hello before dropping it.
+pub(crate) const HELLO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// How long a partial connection set may sit in the assembler before it
+/// is presumed orphaned (its source died mid-negotiation) and swept.
+pub(crate) const STALE_SESSION_TIMEOUT: Duration = Duration::from_secs(10);
 
 fn proto_err(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-fn write_hello(s: &mut TcpStream, kind: u8, index: u16) -> io::Result<()> {
+/// A fresh random session token for one connection set. Uses the
+/// standard library's per-process random hasher seed — unpredictable
+/// enough to keep concurrent clients from colliding, with no RNG dep.
+pub(crate) fn new_session_token() -> u64 {
+    use std::hash::{BuildHasher, Hash, Hasher};
+    let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+    Instant::now().hash(&mut h);
+    std::process::id().hash(&mut h);
+    h.finish()
+}
+
+fn write_hello(s: &mut TcpStream, kind: u8, index: u16, token: u64) -> io::Result<()> {
     let mut hello = [0u8; HELLO_LEN];
     hello[..4].copy_from_slice(&HELLO_MAGIC.to_be_bytes());
     hello[4] = kind;
     hello[6..8].copy_from_slice(&index.to_be_bytes());
+    hello[8..16].copy_from_slice(&token.to_be_bytes());
     s.write_all(&hello)
 }
 
-fn read_hello(s: &mut TcpStream) -> io::Result<(u8, u16)> {
+fn read_hello(s: &mut TcpStream) -> io::Result<(u8, u16, u64)> {
     let mut hello = [0u8; HELLO_LEN];
     s.read_exact(&mut hello)?;
     if hello[..4] != HELLO_MAGIC.to_be_bytes() {
@@ -67,7 +105,9 @@ fn read_hello(s: &mut TcpStream) -> io::Result<(u8, u16)> {
     if kind != KIND_CTRL && kind != KIND_DATA {
         return Err(proto_err(format!("unknown stream kind {kind}")));
     }
-    Ok((kind, u16::from_be_bytes([hello[6], hello[7]])))
+    let index = u16::from_be_bytes([hello[6], hello[7]]);
+    let token = u64::from_be_bytes(hello[8..16].try_into().unwrap());
+    Ok((kind, index, token))
 }
 
 // ---------------------------------------------------------------------------
@@ -281,29 +321,34 @@ pub(crate) fn shutdown_all(socks: &[TcpStream], how: Shutdown) {
 pub(crate) struct SessionStreams {
     pub(crate) ctrl: TcpStream,
     pub(crate) data: Vec<TcpStream>,
+    /// The hello token this connection set announced (the daemon keys
+    /// its session table on it; one-shot mode ignores it).
+    pub(crate) token: u64,
 }
 
 /// Dial a sink listening at `addr` and run the hello exchange: control
 /// stream plus `channels` data streams, socket buffers on data sized to
-/// `sockbuf` bytes (0 = OS defaults).
+/// `sockbuf` bytes (0 = OS defaults). All streams carry one fresh
+/// session token.
 pub(crate) fn connect_streams(
     addr: impl ToSocketAddrs + Copy,
     channels: usize,
     sockbuf: usize,
 ) -> io::Result<SessionStreams> {
     assert!(channels >= 1 && channels <= u16::MAX as usize);
+    let token = new_session_token();
     let mut ctrl = TcpStream::connect(addr)?;
     ctrl.set_nodelay(true)?;
-    write_hello(&mut ctrl, KIND_CTRL, channels as u16)?;
+    write_hello(&mut ctrl, KIND_CTRL, channels as u16, token)?;
     let mut data = Vec::with_capacity(channels);
     for ch in 0..channels {
         let mut s = TcpStream::connect(addr)?;
         s.set_nodelay(true)?;
         set_sockbuf(&s, sockbuf);
-        write_hello(&mut s, KIND_DATA, ch as u16)?;
+        write_hello(&mut s, KIND_DATA, ch as u16, token)?;
         data.push(s);
     }
-    Ok(SessionStreams { ctrl, data })
+    Ok(SessionStreams { ctrl, data, token })
 }
 
 /// Connect the source half to a sink listening at `addr`: control stream
@@ -317,6 +362,7 @@ pub fn connect_source(
     let SessionStreams {
         ctrl,
         data: streams,
+        token: _,
     } = connect_streams(addr, channels, sockbuf)?;
     let mut data: Vec<Box<dyn DataTx>> = Vec::with_capacity(streams.len());
     let mut handles = vec![ctrl.try_clone()?];
@@ -353,50 +399,18 @@ impl NetListener {
 
     /// Accept one source's full connection set (control + its announced
     /// channel count of data streams, in any arrival order) as raw
-    /// streams, hellos consumed.
+    /// streams, hellos consumed. Connections that stall or die during
+    /// the hello, and partial sets whose source gave up, are dropped —
+    /// the loop keeps accepting until some source completes a set.
     pub(crate) fn accept_streams(&self, sockbuf: usize) -> io::Result<SessionStreams> {
-        let mut ctrl: Option<TcpStream> = None;
-        let mut channels: usize = 0;
-        let mut data_streams: Vec<Option<TcpStream>> = Vec::new();
-        let mut early: Vec<(u16, TcpStream)> = Vec::new();
-        let mut accepted_data = 0usize;
-        while ctrl.is_none() || accepted_data < channels {
-            let (mut s, _) = self.0.accept()?;
-            let (kind, index) = read_hello(&mut s)?;
-            match kind {
-                KIND_CTRL => {
-                    if ctrl.is_some() {
-                        return Err(proto_err("second control stream for one session"));
-                    }
-                    if index == 0 {
-                        return Err(proto_err("source announced zero data channels"));
-                    }
-                    s.set_nodelay(true)?;
-                    channels = index as usize;
-                    data_streams = (0..channels).map(|_| None).collect();
-                    for (ix, es) in early.drain(..) {
-                        place_data(&mut data_streams, ix, es, sockbuf)?;
-                        accepted_data += 1;
-                    }
-                    ctrl = Some(s);
-                }
-                _ => {
-                    if ctrl.is_none() {
-                        early.push((index, s));
-                    } else {
-                        place_data(&mut data_streams, index, s, sockbuf)?;
-                        accepted_data += 1;
-                    }
-                }
+        let mut asm = StreamAssembler::new(sockbuf);
+        loop {
+            let (s, _) = self.0.accept()?;
+            if let Some(done) = asm.offer(s) {
+                return Ok(done);
             }
+            asm.sweep_stale(Instant::now());
         }
-        Ok(SessionStreams {
-            ctrl: ctrl.expect("loop exits with a control stream"),
-            data: data_streams
-                .into_iter()
-                .map(|s| s.expect("loop exits with every data stream"))
-                .collect(),
-        })
     }
 
     /// Accept one source's full connection set, then read the opening
@@ -404,38 +418,184 @@ impl NetListener {
     /// payload is in flight. Returns the connected transport and that
     /// first control frame — pass it to [`crate::run_split_sink`] as
     /// `first_ctrl`.
+    ///
+    /// The request read is bounded: a source that completes its hellos
+    /// and then goes silent produces a timeout error here, it cannot
+    /// park the one-shot sink forever.
     pub fn accept_session(&self, sockbuf: usize) -> io::Result<(SinkTransport, CtrlMsg)> {
-        let SessionStreams {
-            ctrl,
-            data: data_streams,
-        } = self.accept_streams(sockbuf)?;
-        let mut handles = vec![ctrl.try_clone()?];
-        for s in &data_streams {
-            handles.push(s.try_clone()?);
+        let mut streams = self.accept_streams(sockbuf)?;
+        streams.ctrl.set_read_timeout(Some(HELLO_TIMEOUT))?;
+        let first = read_one_ctrl_frame(&mut streams.ctrl)?;
+        streams.ctrl.set_read_timeout(None)?;
+        Ok((sink_transport_from_streams(streams)?, first))
+    }
+}
+
+/// Byte-exact read of one length-prefixed control frame — never reads
+/// past the frame, so whatever takes the stream over next (a
+/// `FrameDecoder`, an io_uring) starts on a frame boundary. The daemon
+/// reads each session's opening `SessionRequest` this way before
+/// deciding admission.
+pub(crate) fn read_one_ctrl_frame(s: &mut TcpStream) -> io::Result<CtrlMsg> {
+    use rftp_core::wire::{MAX_FRAME_BODY, MIN_FRAME_BODY};
+    let mut prefix = [0u8; FRAME_PREFIX_LEN];
+    s.read_exact(&mut prefix)?;
+    let body_len = u16::from_be_bytes(prefix) as usize;
+    if !(MIN_FRAME_BODY..=MAX_FRAME_BODY).contains(&body_len) {
+        return Err(proto_err(format!("bad control frame length {body_len}")));
+    }
+    let mut body = vec![0u8; body_len];
+    s.read_exact(&mut body)?;
+    CtrlMsg::decode(&body).map_err(|e| proto_err(format!("bad control frame: {e:?}")))
+}
+
+/// Wrap an assembled connection set as a TCP [`SinkTransport`] — the
+/// tail of [`NetListener::accept_session`], callable on its own by the
+/// daemon (which assembles streams and reads the `SessionRequest`
+/// itself during admission).
+pub(crate) fn sink_transport_from_streams(streams: SessionStreams) -> io::Result<SinkTransport> {
+    let SessionStreams {
+        ctrl,
+        data: data_streams,
+        token: _,
+    } = streams;
+    let mut handles = vec![ctrl.try_clone()?];
+    for s in &data_streams {
+        handles.push(s.try_clone()?);
+    }
+    let ctrl_wr = ctrl.try_clone()?;
+    let ctrl_rx = NetCtrlRx::new(ctrl);
+    let data: Vec<Box<dyn DataRx>> = data_streams
+        .into_iter()
+        .map(|stream| {
+            Box::new(NetDataRx {
+                stream,
+                scratch: Vec::new(),
+            }) as Box<dyn DataRx>
+        })
+        .collect();
+    Ok(SinkTransport {
+        ctrl_tx: Arc::new(NetCtrlTx(Mutex::new(ctrl_wr))),
+        ctrl_rx: Box::new(ctrl_rx),
+        data,
+        abort: Arc::new(move || shutdown_all(&handles, Shutdown::Both)),
+    })
+}
+
+/// One session's connections collected so far, keyed by hello token.
+struct PendingSet {
+    ctrl: Option<TcpStream>,
+    /// Channel count announced by the control hello (0 until it lands).
+    channels: usize,
+    /// Data streams that arrived before the control hello, by index.
+    early: Vec<(u16, TcpStream)>,
+    data: Vec<Option<TcpStream>>,
+    placed: usize,
+    since: Instant,
+}
+
+impl PendingSet {
+    fn complete(&self) -> bool {
+        self.ctrl.is_some() && self.channels > 0 && self.placed == self.channels
+    }
+}
+
+/// Groups accepted connections into per-session sets by hello token,
+/// tolerating the ways a client can fail mid-negotiation: a connection
+/// that produces no hello within [`HELLO_TIMEOUT`], hangs up, or speaks
+/// a bad hello is dropped; a token whose streams violate the protocol
+/// (duplicate control, out-of-range or duplicate data index) loses its
+/// whole pending set; a partial set older than [`STALE_SESSION_TIMEOUT`]
+/// is swept. The accept loop that feeds [`offer`] is never disturbed.
+///
+/// [`offer`]: StreamAssembler::offer
+pub(crate) struct StreamAssembler {
+    pending: HashMap<u64, PendingSet>,
+    sockbuf: usize,
+}
+
+impl StreamAssembler {
+    pub(crate) fn new(sockbuf: usize) -> StreamAssembler {
+        StreamAssembler {
+            pending: HashMap::new(),
+            sockbuf,
         }
-        let ctrl_wr = ctrl.try_clone()?;
-        let mut ctrl_rx = NetCtrlRx::new(ctrl);
-        let first = ctrl_rx
-            .recv()?
-            .ok_or_else(|| proto_err("peer hung up before sending a SessionRequest"))?;
-        let data: Vec<Box<dyn DataRx>> = data_streams
-            .into_iter()
-            .map(|stream| {
-                Box::new(NetDataRx {
-                    stream,
-                    scratch: Vec::new(),
-                }) as Box<dyn DataRx>
-            })
-            .collect();
-        Ok((
-            SinkTransport {
-                ctrl_tx: Arc::new(NetCtrlTx(Mutex::new(ctrl_wr))),
-                ctrl_rx: Box::new(ctrl_rx),
-                data,
-                abort: Arc::new(move || shutdown_all(&handles, Shutdown::Both)),
-            },
-            first,
-        ))
+    }
+
+    /// Feed one just-accepted connection. Returns a session's complete
+    /// stream set when this connection was the one that completed it.
+    pub(crate) fn offer(&mut self, mut s: TcpStream) -> Option<SessionStreams> {
+        // Bound the hello read so a silent client cannot stall the
+        // accept loop; restore blocking mode for the stream's real life.
+        let _ = s.set_read_timeout(Some(HELLO_TIMEOUT));
+        let hello = read_hello(&mut s);
+        let _ = s.set_read_timeout(None);
+        let (kind, index, token) = match hello {
+            Ok(h) => h,
+            Err(_) => return None, // stalled, died, or not rftp: drop it
+        };
+        let set = self.pending.entry(token).or_insert_with(|| PendingSet {
+            ctrl: None,
+            channels: 0,
+            early: Vec::new(),
+            data: Vec::new(),
+            placed: 0,
+            since: Instant::now(),
+        });
+        let ok = match kind {
+            KIND_CTRL => {
+                if set.ctrl.is_some() || index == 0 || s.set_nodelay(true).is_err() {
+                    false
+                } else {
+                    set.channels = index as usize;
+                    set.data = (0..set.channels).map(|_| None).collect();
+                    set.ctrl = Some(s);
+                    let early = std::mem::take(&mut set.early);
+                    let sockbuf = self.sockbuf;
+                    early.into_iter().all(|(ix, es)| {
+                        let placed = place_data(&mut set.data, ix, es, sockbuf).is_ok();
+                        set.placed += placed as usize;
+                        placed
+                    })
+                }
+            }
+            _ => {
+                if set.ctrl.is_none() {
+                    set.early.push((index, s));
+                    true
+                } else {
+                    let placed = place_data(&mut set.data, index, s, self.sockbuf).is_ok();
+                    set.placed += placed as usize;
+                    placed
+                }
+            }
+        };
+        if !ok {
+            // Protocol violation inside this token: the client is
+            // confused — forget everything it sent.
+            self.pending.remove(&token);
+            return None;
+        }
+        if self.pending.get(&token).is_some_and(PendingSet::complete) {
+            let set = self.pending.remove(&token).unwrap();
+            return Some(SessionStreams {
+                ctrl: set.ctrl.expect("complete set has control"),
+                data: set
+                    .data
+                    .into_iter()
+                    .map(|s| s.expect("complete set has every data stream"))
+                    .collect(),
+                token,
+            });
+        }
+        None
+    }
+
+    /// Drop partial sets older than [`STALE_SESSION_TIMEOUT`] — their
+    /// sources died mid-negotiation and will never finish.
+    pub(crate) fn sweep_stale(&mut self, now: Instant) {
+        self.pending
+            .retain(|_, set| now.duration_since(set.since) < STALE_SESSION_TIMEOUT);
     }
 }
 
@@ -477,11 +637,11 @@ mod tests {
         let addr = l.local_addr().unwrap();
         let t = std::thread::spawn(move || {
             let mut s = TcpStream::connect(addr).unwrap();
-            write_hello(&mut s, KIND_DATA, 5).unwrap();
+            write_hello(&mut s, KIND_DATA, 5, 0xFEED).unwrap();
             s
         });
         let (mut a, _) = l.accept().unwrap();
-        assert_eq!(read_hello(&mut a).unwrap(), (KIND_DATA, 5));
+        assert_eq!(read_hello(&mut a).unwrap(), (KIND_DATA, 5, 0xFEED));
         drop(t.join().unwrap());
     }
 
@@ -491,7 +651,8 @@ mod tests {
         let addr = l.local_addr().unwrap();
         let t = std::thread::spawn(move || {
             let mut s = TcpStream::connect(addr).unwrap();
-            s.write_all(b"GET / HT").unwrap();
+            // A full hello's worth of bytes (16) that is not rftp.
+            s.write_all(b"GET / HTTP/1.1\r\n").unwrap();
             s
         });
         let (mut a, _) = l.accept().unwrap();

@@ -45,7 +45,9 @@ use parking_lot::Mutex;
 use rftp_core::engine::expected_checksum;
 use rftp_core::pattern::{checksum, fill_pattern};
 use rftp_core::wire::{BlockAck, CtrlMsg, DataFrameHeader, PayloadHeader, PAYLOAD_HEADER_LEN};
-use rftp_core::{AtomicSinkPool, AtomicSourcePool, Granter, PoolGeometry, ReorderBuffer};
+use rftp_core::{
+    AtomicSinkPool, AtomicSourcePool, Granter, PoolGeometry, ReorderBuffer, WeightedFair,
+};
 use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -531,6 +533,19 @@ pub fn run_split_source(cfg: &LiveConfig, t: SourceTransport) -> io::Result<Live
                                     completed += acks.len() as u64;
                                     acks.iter().try_for_each(|a| retire(a.seq))
                                 }
+                                // Typed admission outcomes: a busy sink
+                                // names a retry delay (transient), a
+                                // reject names a geometry the sink will
+                                // never take. Distinct error kinds so
+                                // callers can tell them apart.
+                                CtrlMsg::SessionBusy { retry_after_ms, .. } => Err(io::Error::new(
+                                    io::ErrorKind::ConnectionRefused,
+                                    format!("sink is busy; retry after {retry_after_ms} ms"),
+                                )),
+                                CtrlMsg::SessionReject { reason, .. } => Err(io::Error::new(
+                                    io::ErrorKind::InvalidInput,
+                                    format!("sink rejected the session (reason {reason})"),
+                                )),
                                 other => Err(perr(format!("unexpected ctrl at source: {other:?}"))),
                             };
                             if let Err(e) = handled {
@@ -642,17 +657,29 @@ pub(crate) enum SinkEvt {
     CtrlEof,
 }
 
+/// The weighted-fair arbiter hook a daemon session runs under: grants
+/// pass through `fair.allow(id, …)` before leaving, and every freed
+/// block releases one outstanding credit back to the shared budget.
+/// Standalone sinks run without one (no clamp).
+pub(crate) type FairShare<'a> = Option<(&'a WeightedFair, u64)>;
+
 /// The sink's protocol brain: negotiation, credit grants, in-order
 /// verify-and-free, and the coalesced sink→source control traffic
 /// (`AckBatch` for placements, `CreditBatch` for grants — same caps and
 /// flush window as the main pipeline). Shared by the thread-per-channel
 /// sink below and the io_uring sink driver ([`crate::uring`]).
+///
+/// Buffers arrive as a borrowed *view* (`&[&Mutex<SlotBuf>]`): a
+/// standalone sink passes refs to its own pool, a daemon session passes
+/// refs to the arena slots it leased — wire slot `i` is `snk_bufs[i]`
+/// either way, so the protocol never sees the difference.
 pub(crate) struct SinkHandler<'a> {
     cfg: &'a LiveConfig,
     ctrl_tx: &'a dyn CtrlTx,
     snk_pool: &'a AtomicSinkPool,
     granter: &'a Mutex<Granter>,
-    snk_bufs: &'a [Mutex<SlotBuf>],
+    snk_bufs: &'a [&'a Mutex<SlotBuf>],
+    fair: FairShare<'a>,
     verify_payload: bool,
     total_blocks: u64,
     pub(crate) reorder: ReorderBuffer<(u32, u32)>,
@@ -674,7 +701,8 @@ impl<'a> SinkHandler<'a> {
         ctrl_tx: &'a dyn CtrlTx,
         snk_pool: &'a AtomicSinkPool,
         granter: &'a Mutex<Granter>,
-        snk_bufs: &'a [Mutex<SlotBuf>],
+        snk_bufs: &'a [&'a Mutex<SlotBuf>],
+        fair: FairShare<'a>,
     ) -> SinkHandler<'a> {
         SinkHandler {
             cfg,
@@ -682,6 +710,7 @@ impl<'a> SinkHandler<'a> {
             snk_pool,
             granter,
             snk_bufs,
+            fair,
             verify_payload: cfg.dst_file.is_none(),
             total_blocks: cfg.total_blocks(),
             reorder: ReorderBuffer::new(),
@@ -704,14 +733,26 @@ impl SinkHandler<'_> {
         self.pending_acks.is_empty() && self.pending_credits.is_empty()
     }
 
-    /// Pop up to `want` free slots into the pending grant batch.
+    /// Pop up to `want` free slots into the pending grant batch. Under
+    /// a daemon the arbiter clamps `want` to this session's fair share
+    /// first; slots the pool could not actually supply are returned to
+    /// the shared budget immediately.
     fn accumulate(&mut self, want: u32) {
+        let want = match self.fair {
+            Some((fair, id)) => fair.allow(id, want),
+            None => want,
+        };
         let before = self.pending_credits.len();
         self.pending_credits
             .extend((0..want).map_while(|_| self.snk_pool.grant()));
         let got = (self.pending_credits.len() - before) as u32;
         if got > 0 {
             self.granter.lock().note_granted(got);
+        }
+        if let Some((fair, id)) = self.fair {
+            if got < want {
+                fair.release(id, want - got);
+            }
         }
     }
 
@@ -780,6 +821,9 @@ impl SinkHandler<'_> {
         self.snk_pool
             .put_free(slot)
             .map_err(|e| perr(format!("FSM put_free: {e:?}")))?;
+        if let Some((fair, id)) = self.fair {
+            fair.release(id, 1); // the credit this block rode came home
+        }
         let owed = self.granter.lock().on_block_freed();
         if owed > 0 {
             // Answer a starved MrRequest immediately.
@@ -925,16 +969,39 @@ pub fn run_split_sink(
     t: SinkTransport,
     first_ctrl: Option<CtrlMsg>,
 ) -> io::Result<LiveReport> {
+    let snk_bufs: Vec<Mutex<SlotBuf>> = (0..cfg.pool_blocks)
+        .map(|_| Mutex::new(SlotBuf::new(cfg.block_size)))
+        .collect();
+    let view: Vec<&Mutex<SlotBuf>> = snk_bufs.iter().collect();
+    run_sink_session(cfg, t, first_ctrl, &view, None)
+}
+
+/// The reusable per-session sink runner the daemon schedules: exactly
+/// [`run_split_sink`], but the slot buffers are borrowed (a lease from
+/// the daemon's shared arena — or the standalone wrapper's own pool)
+/// and grants can run under a [`WeightedFair`] arbiter. `bufs[i]` backs
+/// wire slot `i`; its capacity may exceed `cfg.block_size` (arena slots
+/// are sized for the largest admissible session — every access is a
+/// `wire_len` prefix).
+pub(crate) fn run_sink_session(
+    cfg: &LiveConfig,
+    t: SinkTransport,
+    first_ctrl: Option<CtrlMsg>,
+    snk_bufs: &[&Mutex<SlotBuf>],
+    fair: FairShare<'_>,
+) -> io::Result<LiveReport> {
     assert!(cfg.channels >= 1 && cfg.total_bytes > 0);
+    assert_eq!(
+        snk_bufs.len(),
+        cfg.pool_blocks as usize,
+        "one buffer per pool block"
+    );
     let total_blocks = cfg.total_blocks();
     let geo = PoolGeometry::new(cfg.block_size as u64, cfg.pool_blocks);
     let snk_backend = SnkBackend::open(cfg)?;
     let direct_io_active = snk_backend.direct_active();
 
     let snk_pool = AtomicSinkPool::new(geo);
-    let snk_bufs: Vec<Mutex<SlotBuf>> = (0..cfg.pool_blocks)
-        .map(|_| Mutex::new(SlotBuf::new(cfg.block_size)))
-        .collect();
     let granter = Mutex::new(Granter::new(
         rftp_core::CreditMode::Proactive,
         cfg.initial_credits,
@@ -1076,7 +1143,7 @@ pub fn run_split_sink(
         drop(evt_tx);
 
         // The handler runs on the scope's own thread.
-        let mut h = SinkHandler::new(cfg, ctrl_tx.as_ref(), &snk_pool, &granter, &snk_bufs);
+        let mut h = SinkHandler::new(cfg, ctrl_tx.as_ref(), &snk_pool, &granter, snk_bufs, fair);
         let run = (|| -> io::Result<()> {
             if let Some(msg) = first_ctrl {
                 h.handle(SinkEvt::Ctrl(msg))?;

@@ -38,6 +38,8 @@
 //! `Unsupported` and callers fall back to the TCP backend.
 
 #[cfg(target_os = "linux")]
+pub(crate) use linux::run_uring_session;
+#[cfg(target_os = "linux")]
 pub use linux::{
     accept_source_uring, connect_source_uring, run_uring_sink, uring_supported, UringSinkSession,
 };
@@ -56,13 +58,10 @@ mod linux {
     use crate::store::SlotBuf;
     use crate::transport::{BufPool, DataTx, SourceTransport};
     use parking_lot::Mutex;
-    use rftp_core::wire::{
-        CtrlMsg, DataFrameHeader, DATA_FRAME_HEADER_LEN, FRAME_PREFIX_LEN, MAX_FRAME_BODY,
-        MIN_FRAME_BODY, PAYLOAD_HEADER_LEN,
-    };
+    use rftp_core::wire::{CtrlMsg, DataFrameHeader, DATA_FRAME_HEADER_LEN, PAYLOAD_HEADER_LEN};
     use rftp_core::{AtomicSinkPool, Granter, PoolGeometry};
     use std::collections::VecDeque;
-    use std::io::{self, Read};
+    use std::io;
     use std::net::{Shutdown, TcpStream, ToSocketAddrs};
     use std::os::fd::{AsRawFd, FromRawFd, OwnedFd};
     use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering};
@@ -564,8 +563,10 @@ mod linux {
         }
 
         /// Register every slot of a pinned pool as a fixed buffer,
-        /// indexed by pool block — the MR-registration analogue.
-        fn register_pool(&self, bufs: &[Mutex<SlotBuf>]) -> io::Result<()> {
+        /// indexed by pool block — the MR-registration analogue. Takes
+        /// a borrowed buffer view so a daemon session can register the
+        /// arena slots it leased rather than a pool it owns.
+        fn register_pool(&self, bufs: &[&Mutex<SlotBuf>]) -> io::Result<()> {
             if bufs.len() >= OWNED_BUF as usize || bufs.len() > 1024 {
                 return Err(perr(format!(
                     "pool of {} blocks exceeds the fixed-buffer limit",
@@ -652,8 +653,8 @@ mod linux {
         }
         // Fixed-buffer registration must actually work (memlock limits
         // can forbid it even when the opcodes exist).
-        let probe_buf = [Mutex::new(SlotBuf::new(4096))];
-        ring.register_pool(&probe_buf)?;
+        let probe_buf = Mutex::new(SlotBuf::new(4096));
+        ring.register_pool(&[&probe_buf])?;
         let sqpoll = Ring::new(8, IORING_SETUP_SQPOLL).is_ok();
         Ok(UringCaps {
             send_zc: got[5],
@@ -1098,7 +1099,11 @@ mod linux {
         sockbuf: usize,
     ) -> io::Result<SourceTransport> {
         let caps = ring_caps()?;
-        let SessionStreams { ctrl, data } = connect_streams(addr, channels, sockbuf)?;
+        let SessionStreams {
+            ctrl,
+            data,
+            token: _,
+        } = connect_streams(addr, channels, sockbuf)?;
         let ring = transfer_ring(&caps, false)?;
         assert!(channels as u32 + 2 <= RING_ENTRIES);
 
@@ -1156,7 +1161,10 @@ mod linux {
             ctrl_tx: Arc::new(NetCtrlTx(Mutex::new(ctrl))),
             ctrl_rx: Box::new(NetCtrlRx::new(ctrl_rd)),
             data: Arc::new(data_tx),
-            register: Box::new(move |bufs: &BufPool| reg_shared.ring.register_pool(bufs)),
+            register: Box::new(move |bufs: &BufPool| {
+                let view: Vec<&Mutex<SlotBuf>> = bufs.iter().collect();
+                reg_shared.ring.register_pool(&view)
+            }),
             transport_threads: 1,
             shutdown_write: Box::new(move || {
                 shutdown_shared.drain_writes();
@@ -1221,7 +1229,7 @@ mod linux {
         ring: &'a Ring,
         links: Vec<DataLink>,
         ctrl: CtrlLink,
-        snk_bufs: &'a [Mutex<SlotBuf>],
+        snk_bufs: &'a [&'a Mutex<SlotBuf>],
         placed: &'a AtomicBitmap,
         backend: &'a SnkBackend,
         cfg: &'a LiveConfig,
@@ -1609,19 +1617,15 @@ mod linux {
         caps: UringCaps,
     }
 
-    /// Byte-exact read of one length-prefixed control frame — never
-    /// reads past the frame, because the ring takes the stream over
-    /// right after.
-    fn read_one_frame(s: &mut TcpStream) -> io::Result<CtrlMsg> {
-        let mut prefix = [0u8; FRAME_PREFIX_LEN];
-        s.read_exact(&mut prefix)?;
-        let body_len = u16::from_be_bytes(prefix) as usize;
-        if !(MIN_FRAME_BODY..=MAX_FRAME_BODY).contains(&body_len) {
-            return Err(perr(format!("bad control frame length {body_len}")));
+    impl UringSinkSession {
+        /// Wrap an already-assembled connection set (the daemon's
+        /// accept loop does its own stream assembly and first-frame
+        /// read). Fails with `Unsupported` when the kernel cannot run
+        /// the ring backend.
+        pub(crate) fn from_streams(streams: SessionStreams) -> io::Result<UringSinkSession> {
+            let caps = ring_caps()?;
+            Ok(UringSinkSession { streams, caps })
         }
-        let mut body = vec![0u8; body_len];
-        s.read_exact(&mut body)?;
-        CtrlMsg::decode(&body).map_err(|e| perr(format!("bad control frame: {e:?}")))
     }
 
     /// Accept one source's connection set for the io_uring sink and
@@ -1635,7 +1639,13 @@ mod linux {
     ) -> io::Result<(UringSinkSession, CtrlMsg)> {
         let caps = ring_caps()?;
         let mut streams = listener.accept_streams(sockbuf)?;
-        let first = read_one_frame(&mut streams.ctrl)?;
+        // Bounded like `accept_session`: a silent post-hello peer is a
+        // timeout error, not a parked sink.
+        streams
+            .ctrl
+            .set_read_timeout(Some(crate::net::HELLO_TIMEOUT))?;
+        let first = crate::net::read_one_ctrl_frame(&mut streams.ctrl)?;
+        streams.ctrl.set_read_timeout(None)?;
         Ok((UringSinkSession { streams, caps }, first))
     }
 
@@ -1649,9 +1659,37 @@ mod linux {
         session: UringSinkSession,
         first_ctrl: Option<CtrlMsg>,
     ) -> io::Result<LiveReport> {
+        let snk_bufs: Vec<Mutex<SlotBuf>> = (0..cfg.pool_blocks)
+            .map(|_| Mutex::new(SlotBuf::new(cfg.block_size)))
+            .collect();
+        let view: Vec<&Mutex<SlotBuf>> = snk_bufs.iter().collect();
+        run_uring_session(cfg, session, first_ctrl, &view, None)
+    }
+
+    /// The per-session uring sink runner the daemon schedules: one ring
+    /// per session over *borrowed* slot buffers (an arena lease, or the
+    /// standalone wrapper's own pool), with grants optionally under a
+    /// weighted-fair arbiter — the ring analogue of
+    /// [`crate::split::run_sink_session`].
+    pub(crate) fn run_uring_session(
+        cfg: &LiveConfig,
+        session: UringSinkSession,
+        first_ctrl: Option<CtrlMsg>,
+        snk_bufs: &[&Mutex<SlotBuf>],
+        fair: crate::split::FairShare<'_>,
+    ) -> io::Result<LiveReport> {
         assert!(cfg.channels >= 1 && cfg.total_bytes > 0);
+        assert_eq!(
+            snk_bufs.len(),
+            cfg.pool_blocks as usize,
+            "one buffer per pool block"
+        );
         let UringSinkSession { streams, caps } = session;
-        let SessionStreams { ctrl, data } = streams;
+        let SessionStreams {
+            ctrl,
+            data,
+            token: _,
+        } = streams;
         assert_eq!(data.len(), cfg.channels, "one data link per channel");
         assert!(cfg.channels as u32 + 2 <= RING_ENTRIES);
         let total_blocks = cfg.total_blocks();
@@ -1660,9 +1698,6 @@ mod linux {
         let direct_io_active = snk_backend.direct_active();
 
         let snk_pool = AtomicSinkPool::new(geo);
-        let snk_bufs: Vec<Mutex<SlotBuf>> = (0..cfg.pool_blocks)
-            .map(|_| Mutex::new(SlotBuf::new(cfg.block_size)))
-            .collect();
         let granter = Mutex::new(Granter::new(
             rftp_core::CreditMode::Proactive,
             cfg.initial_credits,
@@ -1672,7 +1707,7 @@ mod linux {
         let placed = AtomicBitmap::new(total_blocks);
 
         let ring = transfer_ring(&caps, true)?;
-        ring.register_pool(&snk_bufs)?;
+        ring.register_pool(snk_bufs)?;
 
         let mut handles = vec![ctrl.try_clone()?];
         for s in &data {
@@ -1687,7 +1722,7 @@ mod linux {
         let ctrl_tx = NetCtrlTx(Mutex::new(ctrl_wr));
 
         let start = Instant::now();
-        let mut h = SinkHandler::new(cfg, &ctrl_tx, &snk_pool, &granter, &snk_bufs);
+        let mut h = SinkHandler::new(cfg, &ctrl_tx, &snk_pool, &granter, snk_bufs, fair);
         let mut drv = SinkDriver {
             ring: &ring,
             links: data
@@ -1705,7 +1740,7 @@ mod linux {
                 dec: rftp_core::wire::FrameDecoder::new(),
                 eof: false,
             },
-            snk_bufs: &snk_bufs,
+            snk_bufs,
             placed: &placed,
             backend: &snk_backend,
             cfg,
@@ -1874,6 +1909,14 @@ mod stub {
     /// Placeholder session handle; never constructible off-Linux.
     pub struct UringSinkSession(());
 
+    impl UringSinkSession {
+        pub(crate) fn from_streams(
+            _streams: crate::net::SessionStreams,
+        ) -> io::Result<UringSinkSession> {
+            unsupported()
+        }
+    }
+
     pub fn uring_supported() -> bool {
         false
     }
@@ -1907,8 +1950,20 @@ mod stub {
     ) -> io::Result<LiveReport> {
         unsupported()
     }
+
+    pub(crate) fn run_uring_session(
+        _cfg: &LiveConfig,
+        _session: UringSinkSession,
+        _first_ctrl: Option<CtrlMsg>,
+        _snk_bufs: &[&parking_lot::Mutex<crate::store::SlotBuf>],
+        _fair: crate::split::FairShare<'_>,
+    ) -> io::Result<LiveReport> {
+        unsupported()
+    }
 }
 
+#[cfg(not(target_os = "linux"))]
+pub(crate) use stub::run_uring_session;
 #[cfg(not(target_os = "linux"))]
 pub use stub::{
     accept_source_uring, connect_source_uring, run_uring_sink, uring_supported, UringSinkSession,

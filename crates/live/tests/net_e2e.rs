@@ -511,6 +511,82 @@ fn uring_sink_fails_cleanly_when_source_is_killed() {
     assert!(!status.success(), "sink must report the dead peer");
 }
 
+// ---------------------------------------------------------------------------
+// Listener robustness: clients that die (or stall) during negotiation
+// must not wedge the accept path.
+// ---------------------------------------------------------------------------
+
+/// A client that connects and immediately dies — plus one that sends
+/// garbage and stalls — must not wedge the one-shot listener: the next
+/// well-behaved source is still served.
+#[test]
+fn half_dead_clients_cannot_wedge_the_listener() {
+    use std::net::TcpStream;
+
+    let listener = NetListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    // Victim 1: connects and dies instantly (EOF mid-hello).
+    drop(TcpStream::connect(addr).unwrap());
+    // Victim 2: writes garbage and then stalls, holding its socket
+    // open — the per-socket hello timeout must cut it loose.
+    let mut stall = TcpStream::connect(addr).unwrap();
+    stall.write_all(b"NOPE").unwrap();
+
+    // The real source, arriving behind both corpses.
+    let cfg = LiveConfig::new(64 * 1024, 2, (8 << 20) / SCALE);
+    let src_cfg = cfg.clone();
+    let sockbuf = rftp_live::net::default_sockbuf(cfg.block_size, cfg.channel_depth);
+    let src = std::thread::spawn(move || {
+        let t = connect_source(addr, src_cfg.channels, sockbuf)?;
+        run_split_source(&src_cfg, t)
+    });
+
+    let (t, first) = listener
+        .accept_session(sockbuf)
+        .expect("dead clients wedged the listener");
+    let snk = run_split_sink(&cfg, t, Some(first)).unwrap();
+    src.join().unwrap().unwrap();
+    assert_eq!(snk.checksum_failures, 0);
+    drop(stall);
+}
+
+/// A source that completes its hellos and then goes silent forever must
+/// produce a bounded timeout error from `accept_session`, not park the
+/// sink. (`connect_source` performs exactly the hello exchange and
+/// nothing more until the source half runs.)
+#[test]
+fn silent_post_hello_client_times_out_the_one_shot_accept() {
+    let listener = NetListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let _silent = std::thread::spawn(move || {
+        let t = connect_source(addr, 2, 0).unwrap();
+        // Hold the connected transport without ever sending the
+        // SessionRequest.
+        std::thread::sleep(Duration::from_secs(6));
+        drop(t);
+    });
+
+    let t0 = Instant::now();
+    let err = match listener.accept_session(0) {
+        Ok(_) => panic!("a silent peer must not be accepted as a session"),
+        Err(e) => e,
+    };
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "timeout not bounded: {:?}",
+        t0.elapsed()
+    );
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ),
+        "unexpected error: {err}"
+    );
+}
+
 #[test]
 fn unknown_flags_are_rejected_with_usage() {
     let out = rftp_live_cmd().arg("--frobnicate").output().unwrap();
