@@ -287,22 +287,37 @@ impl Daemon {
         let mut asm = StreamAssembler::new(d.cfg.sockbuf);
         let mut last_sweep = Instant::now();
 
+        // ENFILE/EMFILE have no stable `io::ErrorKind`; match the raw
+        // errno (same values on Linux and the BSDs).
+        const ENFILE: i32 = 23;
+        const EMFILE: i32 = 24;
+
         std::thread::scope(|scope| -> io::Result<()> {
             while !d.stop.load(Ordering::Acquire) {
                 match listener.accept() {
-                    Ok((s, _)) => {
-                        // Accepted sockets don't inherit the listener's
-                        // nonblocking flag on every platform — pin it.
-                        s.set_nonblocking(false)?;
-                        if let Some(streams) = asm.offer(s) {
-                            scope.spawn(move || serve_session(d, streams));
-                        }
-                    }
+                    // `offer` hands the hello read to a helper thread and
+                    // returns at once — a silent client cannot stall the
+                    // accept loop (it also pins the socket back to
+                    // blocking mode, which accepted sockets don't inherit
+                    // on every platform).
+                    Ok((s, _)) => asm.offer(s),
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                         std::thread::sleep(ACCEPT_POLL);
                     }
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    // The peer hung up between SYN and accept — routine
+                    // under load, not a listener failure.
+                    Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => {}
+                    // Out of file descriptors during a burst: shed load
+                    // and retry rather than taking down the daemon (and
+                    // its in-flight sessions).
+                    Err(e) if matches!(e.raw_os_error(), Some(ENFILE) | Some(EMFILE)) => {
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
                     Err(e) => return Err(e),
+                }
+                while let Some(streams) = asm.poll() {
+                    scope.spawn(move || serve_session(d, streams));
                 }
                 if last_sweep.elapsed() >= Duration::from_secs(1) {
                     asm.sweep_stale(Instant::now());
@@ -359,11 +374,20 @@ fn reply_and_close(mut streams: SessionStreams, msg: &CtrlMsg) {
     if send_raw_ctrl(&mut streams.ctrl, msg).is_ok() {
         let _ = streams.ctrl.shutdown(Shutdown::Write);
         shutdown_all(&streams.data, Shutdown::Both);
+        // The drain is bounded in *total*, not just per read — a peer
+        // trickling bytes cannot pin this thread (rejected sets are not
+        // in the abort list, so nothing else would cut them loose).
+        let deadline = Instant::now() + Duration::from_millis(500);
         let _ = streams
             .ctrl
-            .set_read_timeout(Some(Duration::from_millis(500)));
+            .set_read_timeout(Some(Duration::from_millis(100)));
         let mut sink = [0u8; 256];
-        while matches!(streams.ctrl.read(&mut sink), Ok(n) if n > 0) {}
+        while Instant::now() < deadline {
+            match streams.ctrl.read(&mut sink) {
+                Ok(n) if n > 0 => {}
+                _ => break, // peer closed, timed out, or errored
+            }
+        }
     }
 }
 
@@ -409,12 +433,15 @@ fn serve_session(d: &DaemonState, mut streams: SessionStreams) {
         session,
         retry_after_ms: d.cfg.retry_after_ms,
     };
-    if block_size as usize > d.cfg.slot_cap {
+    // A zero block size would divide-by-zero in the slot math below —
+    // reject it (typed, like every other impossible geometry) before
+    // any arithmetic can panic.
+    if block_size == 0 || block_size as usize > d.cfg.slot_cap {
         reply_and_close(streams, &reject(reject_reason::BLOCK_TOO_LARGE));
         d.tally.lock().rejected_geometry += 1;
         return;
     }
-    if channels as usize != streams.data.len() || total_bytes == 0 {
+    if channels == 0 || channels as usize != streams.data.len() || total_bytes == 0 {
         // The hello census and the request disagree (or the job is
         // empty) — a protocol violation dressed as geometry.
         reply_and_close(streams, &reject(reject_reason::TOO_MANY_CHANNELS));
@@ -523,5 +550,103 @@ fn run_admitted(
             let session = UringSinkSession::from_streams(streams)?;
             run_uring_session(&cfg, session, Some(first), &view, fair)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::connect_streams;
+
+    fn start(
+        cfg: DaemonConfig,
+    ) -> (
+        std::net::SocketAddr,
+        DaemonHandle,
+        std::thread::JoinHandle<io::Result<DaemonReport>>,
+    ) {
+        let d = Daemon::bind("127.0.0.1:0", cfg).unwrap();
+        let addr = d.local_addr().unwrap();
+        let h = d.handle();
+        let jh = std::thread::spawn(move || d.run());
+        (addr, h, jh)
+    }
+
+    fn request(streams: &mut SessionStreams, block_size: u64) -> CtrlMsg {
+        send_raw_ctrl(
+            &mut streams.ctrl,
+            &CtrlMsg::SessionRequest {
+                session: 1,
+                block_size,
+                channels: 1,
+                total_bytes: 1 << 20,
+                notify_imm: false,
+            },
+        )
+        .unwrap();
+        streams
+            .ctrl
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        read_one_ctrl_frame(&mut streams.ctrl).unwrap()
+    }
+
+    /// A `SessionRequest` with `block_size: 0` used to divide-by-zero in
+    /// the slot math, leak a session-table entry, and take down the
+    /// whole daemon when the panic re-raised at scope join. It must be
+    /// an ordinary typed reject — and admission must survive repeats.
+    #[test]
+    fn zero_block_size_is_a_typed_reject_not_a_panic() {
+        let (addr, handle, jh) = start(DaemonConfig::default());
+        for _ in 0..2 {
+            let mut streams = connect_streams(addr, 1, 0).unwrap();
+            let reply = request(&mut streams, 0);
+            assert!(matches!(reply, CtrlMsg::SessionReject { .. }), "{reply:?}");
+        }
+        handle.shutdown();
+        let report = jh.join().expect("daemon must not panic").unwrap();
+        assert_eq!(report.rejected_geometry, 2, "{report:?}");
+        assert_eq!(report.served, 0);
+    }
+
+    /// A rejected peer that keeps trickling bytes on its control stream
+    /// must not pin the reply thread past the drain's total bound — the
+    /// daemon still shuts down promptly.
+    #[test]
+    fn trickling_peer_cannot_pin_a_rejected_session() {
+        let cfg = DaemonConfig {
+            slot_cap: 4096,
+            ..DaemonConfig::default()
+        };
+        let (addr, handle, jh) = start(cfg);
+        let mut streams = connect_streams(addr, 1, 0).unwrap();
+        let reply = request(&mut streams, 64 * 1024); // block > slot_cap
+        assert!(matches!(reply, CtrlMsg::SessionReject { .. }), "{reply:?}");
+
+        let mut wr = streams.ctrl.try_clone().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let trickler = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    if wr.write_all(&[0]).is_err() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            })
+        };
+
+        handle.shutdown();
+        let t0 = Instant::now();
+        let report = jh.join().unwrap().unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_secs(3),
+            "drain pinned by a trickling peer: {:?}",
+            t0.elapsed()
+        );
+        assert_eq!(report.rejected_geometry, 1, "{report:?}");
+        stop.store(true, Ordering::Release);
+        trickler.join().unwrap();
     }
 }

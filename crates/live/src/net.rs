@@ -21,12 +21,25 @@
 //! is transport preamble, not protocol — the control and data frames
 //! after it are unchanged.
 //!
-//! Assembly is *tolerant*: a hello is read under a deadline, a
-//! connection that stalls, hangs up, or speaks garbage is dropped
-//! without disturbing the accept loop, and a partial connection set
-//! whose source died mid-negotiation is swept after
-//! [`STALE_SESSION_TIMEOUT`] — a dying client can no longer wedge the
-//! listener.
+//! Assembly is *tolerant*: hellos are read on short-lived reader
+//! threads under a deadline — never on the accept thread, so a silent
+//! connection parks one helper, not the listener — a connection that
+//! stalls, hangs up, or speaks garbage is dropped without disturbing
+//! the accept loop, and a partial connection set whose source died
+//! mid-negotiation is swept after [`STALE_SESSION_TIMEOUT`] — a dying
+//! client can no longer wedge the listener.
+//!
+//! **Trust model.** The hello token is client-chosen and
+//! unauthenticated: it exists to *group* one source's connections, not
+//! to authenticate them. The assembler therefore treats a protocol
+//! violation as a defect of the offending connection only — a duplicate
+//! control hello or a bad data index drops that connection alone, so a
+//! third party who learns a token in flight cannot destroy a victim's
+//! pending set. What tokens cannot prevent is injection: a peer that
+//! knows an unfinished session's token and an unfilled channel index
+//! could contribute a stream to that set. Deployments needing stronger
+//! isolation should run the listener on a trusted network (the paper's
+//! setting) or behind an authenticating tunnel.
 //!
 //! After the hello the stream carries exactly one thing for its whole
 //! life: length-prefixed control frames (both directions) on the control
@@ -406,8 +419,18 @@ impl NetListener {
         let mut asm = StreamAssembler::new(sockbuf);
         loop {
             let (s, _) = self.0.accept()?;
-            if let Some(done) = asm.offer(s) {
-                return Ok(done);
+            asm.offer(s);
+            // Drain the hello reads this connection may have unblocked
+            // before parking in accept again; a set completes here the
+            // moment its last hello lands.
+            loop {
+                if let Some(done) = asm.poll() {
+                    return Ok(done);
+                }
+                if !asm.hellos_pending() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
             }
             asm.sweep_stale(Instant::now());
         }
@@ -500,40 +523,124 @@ impl PendingSet {
     }
 }
 
+/// Parsed hello fields: (kind, index, token).
+type Hello = (u8, u16, u64);
+
+/// Completed hello exchanges, handed from the reader threads back to
+/// the assembler's accept-loop side.
+struct HelloQueue {
+    /// Sockets whose hello parsed cleanly, with the parsed fields.
+    ready: Mutex<Vec<(TcpStream, Hello)>>,
+    /// Reader threads still waiting on a hello (or about to push).
+    outstanding: std::sync::atomic::AtomicUsize,
+}
+
+/// Cap on concurrently pending hello reads: a flood of silent
+/// connections sheds the newcomers instead of spawning threads without
+/// bound. Generous next to any legitimate burst (a session opens
+/// channels + 1 connections).
+const MAX_PENDING_HELLOS: usize = 256;
+
 /// Groups accepted connections into per-session sets by hello token,
 /// tolerating the ways a client can fail mid-negotiation: a connection
 /// that produces no hello within [`HELLO_TIMEOUT`], hangs up, or speaks
-/// a bad hello is dropped; a token whose streams violate the protocol
-/// (duplicate control, out-of-range or duplicate data index) loses its
-/// whole pending set; a partial set older than [`STALE_SESSION_TIMEOUT`]
-/// is swept. The accept loop that feeds [`offer`] is never disturbed.
+/// a bad hello is dropped; a connection that violates the protocol
+/// inside its token (duplicate control, out-of-range or duplicate data
+/// index) is dropped *alone* — its set survives, see the trust-model
+/// note in the module docs; a partial set older than
+/// [`STALE_SESSION_TIMEOUT`] is swept.
+///
+/// Hello reads happen on short-lived reader threads: [`offer`] returns
+/// immediately and [`poll`] assembles whatever hellos have landed, so
+/// the accept loop that feeds [`offer`] never blocks on a client.
 ///
 /// [`offer`]: StreamAssembler::offer
+/// [`poll`]: StreamAssembler::poll
 pub(crate) struct StreamAssembler {
     pending: HashMap<u64, PendingSet>,
+    completed: Vec<SessionStreams>,
     sockbuf: usize,
+    hellos: Arc<HelloQueue>,
 }
 
 impl StreamAssembler {
     pub(crate) fn new(sockbuf: usize) -> StreamAssembler {
         StreamAssembler {
             pending: HashMap::new(),
+            completed: Vec::new(),
             sockbuf,
+            hellos: Arc::new(HelloQueue {
+                ready: Mutex::new(Vec::new()),
+                outstanding: std::sync::atomic::AtomicUsize::new(0),
+            }),
         }
     }
 
-    /// Feed one just-accepted connection. Returns a session's complete
-    /// stream set when this connection was the one that completed it.
-    pub(crate) fn offer(&mut self, mut s: TcpStream) -> Option<SessionStreams> {
-        // Bound the hello read so a silent client cannot stall the
-        // accept loop; restore blocking mode for the stream's real life.
-        let _ = s.set_read_timeout(Some(HELLO_TIMEOUT));
-        let hello = read_hello(&mut s);
-        let _ = s.set_read_timeout(None);
-        let (kind, index, token) = match hello {
-            Ok(h) => h,
-            Err(_) => return None, // stalled, died, or not rftp: drop it
+    /// Feed one just-accepted connection: its hello is read on a
+    /// short-lived helper thread (bounded by [`HELLO_TIMEOUT`]) and this
+    /// call returns immediately. Collect assembled sets via [`poll`].
+    ///
+    /// [`poll`]: StreamAssembler::poll
+    pub(crate) fn offer(&mut self, s: TcpStream) {
+        use std::sync::atomic::Ordering;
+        // The reader does a blocking read with a timeout; make sure the
+        // socket didn't inherit a listener's nonblocking flag.
+        if s.set_nonblocking(false).is_err() {
+            return;
+        }
+        if self.hellos.outstanding.load(Ordering::Acquire) >= MAX_PENDING_HELLOS {
+            return; // connection flood: shed the newcomer, keep accepting
+        }
+        self.hellos.outstanding.fetch_add(1, Ordering::AcqRel);
+        let q = Arc::clone(&self.hellos);
+        let spawned = std::thread::Builder::new()
+            .name("rftp-hello".into())
+            .spawn(move || {
+                let mut s = s;
+                let _ = s.set_read_timeout(Some(HELLO_TIMEOUT));
+                let hello = read_hello(&mut s);
+                let _ = s.set_read_timeout(None);
+                if let Ok(h) = hello {
+                    q.ready.lock().push((s, h));
+                }
+                // Decrement *after* the push: a caller that sees zero
+                // outstanding with an empty ready queue knows no hello
+                // is still in flight.
+                q.outstanding.fetch_sub(1, Ordering::AcqRel);
+            })
+            .is_ok();
+        if !spawned {
+            self.hellos.outstanding.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// True while any offered connection's hello is still being read (or
+    /// has landed but not yet been [`poll`]ed).
+    ///
+    /// [`poll`]: StreamAssembler::poll
+    pub(crate) fn hellos_pending(&self) -> bool {
+        use std::sync::atomic::Ordering;
+        self.hellos.outstanding.load(Ordering::Acquire) > 0
+            || !self.hellos.ready.lock().is_empty()
+    }
+
+    /// Assemble every hello that has landed since the last call and pop
+    /// one completed session set, if any. Never blocks.
+    pub(crate) fn poll(&mut self) -> Option<SessionStreams> {
+        let batch: Vec<(TcpStream, Hello)> = {
+            let mut ready = self.hellos.ready.lock();
+            ready.drain(..).collect()
         };
+        for (s, (kind, index, token)) in batch {
+            self.assemble(s, kind, index, token);
+        }
+        self.completed.pop()
+    }
+
+    /// Place one hello-bearing connection into its token's pending set.
+    /// A violation drops this connection only — the set survives, so a
+    /// stranger who learned the token cannot destroy it.
+    fn assemble(&mut self, s: TcpStream, kind: u8, index: u16, token: u64) {
         let set = self.pending.entry(token).or_insert_with(|| PendingSet {
             ctrl: None,
             channels: 0,
@@ -542,43 +649,34 @@ impl StreamAssembler {
             placed: 0,
             since: Instant::now(),
         });
-        let ok = match kind {
+        match kind {
             KIND_CTRL => {
                 if set.ctrl.is_some() || index == 0 || s.set_nodelay(true).is_err() {
-                    false
-                } else {
-                    set.channels = index as usize;
-                    set.data = (0..set.channels).map(|_| None).collect();
-                    set.ctrl = Some(s);
-                    let early = std::mem::take(&mut set.early);
-                    let sockbuf = self.sockbuf;
-                    early.into_iter().all(|(ix, es)| {
-                        let placed = place_data(&mut set.data, ix, es, sockbuf).is_ok();
-                        set.placed += placed as usize;
-                        placed
-                    })
+                    return; // duplicate or malformed control: drop it alone
+                }
+                set.channels = index as usize;
+                set.data = (0..set.channels).map(|_| None).collect();
+                set.ctrl = Some(s);
+                let early = std::mem::take(&mut set.early);
+                let sockbuf = self.sockbuf;
+                for (ix, es) in early {
+                    // A misindexed early stream is dropped alone too.
+                    if place_data(&mut set.data, ix, es, sockbuf).is_ok() {
+                        set.placed += 1;
+                    }
                 }
             }
             _ => {
                 if set.ctrl.is_none() {
                     set.early.push((index, s));
-                    true
-                } else {
-                    let placed = place_data(&mut set.data, index, s, self.sockbuf).is_ok();
-                    set.placed += placed as usize;
-                    placed
+                } else if place_data(&mut set.data, index, s, self.sockbuf).is_ok() {
+                    set.placed += 1;
                 }
             }
-        };
-        if !ok {
-            // Protocol violation inside this token: the client is
-            // confused — forget everything it sent.
-            self.pending.remove(&token);
-            return None;
         }
-        if self.pending.get(&token).is_some_and(PendingSet::complete) {
+        if set.complete() {
             let set = self.pending.remove(&token).unwrap();
-            return Some(SessionStreams {
+            self.completed.push(SessionStreams {
                 ctrl: set.ctrl.expect("complete set has control"),
                 data: set
                     .data
@@ -588,7 +686,6 @@ impl StreamAssembler {
                 token,
             });
         }
-        None
     }
 
     /// Drop partial sets older than [`STALE_SESSION_TIMEOUT`] — their
@@ -658,6 +755,120 @@ mod tests {
         let (mut a, _) = l.accept().unwrap();
         assert!(read_hello(&mut a).is_err());
         drop(t.join().unwrap());
+    }
+
+    /// Poll the assembler until a set completes or `deadline` passes.
+    fn poll_until(asm: &mut StreamAssembler, deadline: Duration) -> Option<SessionStreams> {
+        let t0 = Instant::now();
+        loop {
+            if let Some(s) = asm.poll() {
+                return Some(s);
+            }
+            if t0.elapsed() > deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Assemble until every offered hello has landed and been polled.
+    fn settle(asm: &mut StreamAssembler) -> Option<SessionStreams> {
+        loop {
+            if let Some(s) = asm.poll() {
+                return Some(s);
+            }
+            if !asm.hellos_pending() {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// A connection that never sends its hello must park a helper
+    /// thread, not the accept path: `offer` returns immediately and a
+    /// real session assembles while the silent one still pends.
+    #[test]
+    fn silent_connection_does_not_block_assembly() {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap();
+        let mut asm = StreamAssembler::new(0);
+
+        let _silent = TcpStream::connect(addr).unwrap();
+        let (s, _) = l.accept().unwrap();
+        let t0 = Instant::now();
+        asm.offer(s);
+        assert!(
+            t0.elapsed() < Duration::from_millis(250),
+            "offer blocked on the hello read: {:?}",
+            t0.elapsed()
+        );
+
+        let client = std::thread::spawn(move || {
+            let mut ctrl = TcpStream::connect(addr).unwrap();
+            write_hello(&mut ctrl, KIND_CTRL, 1, 0x1234).unwrap();
+            let mut data = TcpStream::connect(addr).unwrap();
+            write_hello(&mut data, KIND_DATA, 0, 0x1234).unwrap();
+            (ctrl, data)
+        });
+        for _ in 0..2 {
+            let (s, _) = l.accept().unwrap();
+            asm.offer(s);
+        }
+        let set = poll_until(&mut asm, HELLO_TIMEOUT)
+            .expect("session must assemble while the silent connection pends");
+        assert_eq!(set.token, 0x1234);
+        assert_eq!(set.data.len(), 1);
+        assert!(
+            t0.elapsed() < HELLO_TIMEOUT,
+            "assembly waited out the silent connection's timeout"
+        );
+        drop(client.join().unwrap());
+    }
+
+    /// Tokens are unauthenticated, so a third party that learns one must
+    /// not be able to destroy the owner's pending set: the duplicate
+    /// control hello is dropped alone and the victim still assembles.
+    #[test]
+    fn duplicate_control_hello_drops_offender_not_the_victim_set() {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap();
+        let mut asm = StreamAssembler::new(0);
+        const TOKEN: u64 = 0xDEAD_BEEF;
+
+        let victim_ctrl = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            write_hello(&mut s, KIND_CTRL, 1, TOKEN).unwrap();
+            s
+        });
+        let (s, _) = l.accept().unwrap();
+        asm.offer(s);
+        assert!(settle(&mut asm).is_none(), "set is still partial");
+
+        // The attacker replays a control hello under the stolen token.
+        let attacker = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            write_hello(&mut s, KIND_CTRL, 1, TOKEN).unwrap();
+            s
+        });
+        let (s, _) = l.accept().unwrap();
+        asm.offer(s);
+        assert!(settle(&mut asm).is_none(), "duplicate control dropped alone");
+
+        // The victim's data stream still completes its set.
+        let victim_data = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            write_hello(&mut s, KIND_DATA, 0, TOKEN).unwrap();
+            s
+        });
+        let (s, _) = l.accept().unwrap();
+        asm.offer(s);
+        let set = poll_until(&mut asm, HELLO_TIMEOUT)
+            .expect("victim's set must survive the attacker's duplicate");
+        assert_eq!(set.token, TOKEN);
+        assert_eq!(set.data.len(), 1);
+        drop(victim_ctrl.join().unwrap());
+        drop(attacker.join().unwrap());
+        drop(victim_data.join().unwrap());
     }
 
     #[test]
