@@ -11,6 +11,16 @@
 //! no lock, no allocation on the lease/release path beyond the returned
 //! index vector.
 //!
+//! The indices themselves are the registration contract: a leased index
+//! is a *stable global* name for one slot buffer for the arena's whole
+//! lifetime (leases permute which session holds an index, never what it
+//! names). That is what lets the io_uring daemon register the entire
+//! slab as fixed buffers **exactly once** at startup — a lease's index
+//! doubles as the kernel `buf_index`, so admission and teardown never
+//! touch buffer registration and no transfer ever waits on page
+//! pinning. (The daemon asserts this: its shared ring's registration
+//! count stays at 1 across every admission.)
+//!
 //! [`WeightedFair`] is the companion admission: once sessions share the
 //! link and the CPU, credit grants are the throttle (credits bound
 //! blocks in flight, Fig. 5's active feedback), so the daemon clamps
@@ -28,7 +38,10 @@ use std::sync::Mutex;
 /// A shared pool of slot indices partitioned dynamically across
 /// sessions. Indices are *global* slot numbers in the daemon's one
 /// registered buffer pool; each session maps them to its session-local
-/// slot space (wire slot `i` = `lease[i]`).
+/// slot space (wire slot `i` = `lease[i]`). On the io_uring backend the
+/// global index is also the fixed-buffer `buf_index` in the daemon's
+/// one-time registration, so indices must stay within `0..total` and
+/// never be renamed — leasing moves ownership, not identity.
 pub struct SlotArena {
     free: IndexQueue,
     total: u32,
@@ -247,6 +260,28 @@ mod tests {
         a.release(&l1);
         a.release(&l2);
         assert_eq!(a.free_slots(), 8);
+    }
+
+    /// The registration contract: indices are stable global names.
+    /// Over any sequence of lease/release cycles the arena only hands
+    /// out indices in `0..total`, and a full drain recovers exactly the
+    /// set `0..total` — no renumbering, no invention — so a one-time
+    /// fixed-buffer registration (`buf_index` = global index) covers
+    /// every future lease.
+    #[test]
+    fn lease_indices_are_stable_global_names() {
+        let a = SlotArena::new(8);
+        for _ in 0..10 {
+            let l1 = a.lease(3).unwrap();
+            let l2 = a.lease(5).unwrap();
+            assert!(l1.iter().chain(&l2).all(|&s| s < 8));
+            a.release(&l1);
+            a.release(&l2);
+        }
+        let mut all = a.lease(8).unwrap();
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<u32>>());
+        a.release(&all);
     }
 
     #[test]

@@ -99,7 +99,9 @@ TWO-PROCESS MODE (the pipeline split over TCP):
                      registered buffers, batched completions). The wire
                      format is identical, so the two ends may mix.
   --probe-uring      report whether this kernel can run the uring
-                     backend and exit (0 = supported, 3 = not)
+                     backend — and whether multishot receive is live
+                     or the READ_FIXED fallback would carry — then
+                     exit (0 = supported, 3 = not)
   --help             this text";
 
 fn parse_args() -> Result<Args, String> {
@@ -162,7 +164,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--probe-uring" => {
                 if rftp_live::uring_supported() {
-                    println!("rftp-live: io_uring transport supported");
+                    if rftp_live::uring_multishot() {
+                        println!("rftp-live: io_uring transport supported; multishot receive active");
+                    } else {
+                        println!(
+                            "rftp-live: io_uring transport supported; multishot receive \
+                             unavailable (header-first READ_FIXED fallback)"
+                        );
+                    }
                     std::process::exit(0);
                 }
                 println!("rftp-live: io_uring transport NOT supported on this kernel");

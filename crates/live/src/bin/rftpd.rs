@@ -122,11 +122,23 @@ fn print_report(r: &DaemonReport) {
     for s in &r.sessions {
         match &s.result {
             Ok(rep) => println!(
-                "  session {}: {} blocks, {:.3} GB/s, {} checksum failures",
-                s.index, rep.blocks, rep.gbytes_per_sec, rep.checksum_failures
+                "  session {}: {} blocks, {:.3} GB/s, {} checksum failures, \
+                 {} transport thread(s)",
+                s.index, rep.blocks, rep.gbytes_per_sec, rep.checksum_failures,
+                rep.transport_threads
             ),
             Err(e) => println!("  session {}: failed: {e}", s.index),
         }
+    }
+    if let Some(st) = &r.uring {
+        // Every admitted session's data path ran on the daemon's ONE
+        // shared ring; CI greps this line to pin the thread shape.
+        println!(
+            "  shared uring driver: 1 thread, {} enters, {} cqes, multishot {}, \
+             {} rearms, {} pbuf exhaustions, {} buffer registration(s)",
+            st.enters, st.cqes, st.multishot, st.multishot_rearms, st.pbuf_exhausted,
+            st.registrations
+        );
     }
 }
 

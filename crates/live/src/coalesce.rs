@@ -63,13 +63,20 @@ pub(crate) fn drain_coalesced<T, S: CoalescedSink<T>>(
             sink.flush()?;
             return Ok(DrainEnd::Closed);
         }
+        // Dwell for the flush window on a partial batch — the output
+        // leaves before the next unbounded wait, so coalescing costs no
+        // latency. Each wait gets the full window, so the dwell extends
+        // while events keep arriving (adaptive batching under load) and
+        // ends after one quiet window. The dwell-floor contract is on
+        // `recv`: a bounded call returns `false` only once its window
+        // has genuinely elapsed — a ring completion that yields no
+        // handler event must keep waiting out the remainder, not cut
+        // the dwell short (see the spurious-wakeup test). `true` with
+        // no events re-enters the dwell without flushing.
         loop {
             for ev in events.drain(..) {
                 sink.handle(ev)?;
             }
-            // Dwell for the flush window on a partial batch — the output
-            // leaves before the next unbounded wait, so coalescing costs
-            // no latency.
             if sink.done() || !sink.dwell() {
                 break;
             }
@@ -154,6 +161,42 @@ mod tests {
         assert_eq!(end, DrainEnd::Done);
         assert_eq!(s.flushed.iter().sum::<u64>(), 45);
         assert!(s.pending.is_empty(), "partial batch must flush");
+    }
+
+    /// The dwell floor: a ring-style event source can wake with
+    /// completions that yield no handler events (partial reads, control
+    /// re-arms). Such spurious wakeups — `recv` returning `true` with
+    /// an empty batch — must re-enter the dwell, not end it and flush a
+    /// partial ack batch before the window has elapsed.
+    #[test]
+    fn spurious_wakeups_do_not_cut_the_dwell_short() {
+        let mut calls = 0;
+        let mut recv = |_w: Option<Duration>, buf: &mut Vec<u64>| -> bool {
+            let n = calls;
+            calls += 1;
+            match n {
+                0 => {
+                    buf.push(1); // unbounded wait: first event
+                    true
+                }
+                1..=3 => true, // dwell: spurious wakes, no events
+                4 => {
+                    buf.push(2); // dwell: second event joins the batch
+                    true
+                }
+                _ => false, // source closes
+            }
+        };
+        let mut s = Summer {
+            pending: Vec::new(),
+            flushed: Vec::new(),
+            seen: 0,
+            target: 100,
+            batch: 64,
+        };
+        let end = drain_coalesced(&mut s, &mut recv, Duration::from_millis(5)).unwrap();
+        assert_eq!(end, DrainEnd::Closed);
+        assert_eq!(s.flushed, vec![3], "both events coalesce into one flush");
     }
 
     #[test]

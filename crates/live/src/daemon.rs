@@ -34,7 +34,11 @@ use crate::net::{
 use crate::pipeline::{LiveConfig, LiveReport};
 use crate::split::run_sink_session;
 use crate::store::SlotBuf;
-use crate::uring::{run_uring_session, UringSinkSession};
+use crate::transport::UringStats;
+use crate::uring::{
+    run_shared_uring_session, run_uring_session, spawn_shared_uring_driver, UringHub,
+    UringSinkSession,
+};
 use parking_lot::Mutex;
 use rftp_core::wire::{encode_stream_frame, reject_reason, CTRL_SLOT_LEN, FRAME_PREFIX_LEN};
 use rftp_core::{CtrlMsg, SlotArena, WeightedFair};
@@ -134,7 +138,18 @@ pub struct DaemonReport {
     /// Connection sets dropped before admission (bad hello, protocol
     /// violation, peer died during negotiation).
     pub dropped_preadmission: u64,
+    /// Shared uring driver counters, when the daemon ran one (uring
+    /// transport, shared mode): every admitted session's data path went
+    /// through this one ring.
+    pub uring: Option<UringStats>,
     pub sessions: Vec<SessionSummary>,
+}
+
+/// Shared-ring mode is the uring daemon's default; `RFTP_URING_SHARED=0`
+/// forces the ring-per-session baseline (the benchmark's head-to-head
+/// shape).
+fn shared_uring_enabled() -> bool {
+    std::env::var_os("RFTP_URING_SHARED").is_none_or(|v| v != "0")
 }
 
 /// Cloneable remote control for a running daemon: tests and signal
@@ -292,7 +307,20 @@ impl Daemon {
         const ENFILE: i32 = 23;
         const EMFILE: i32 = 24;
 
+        let mut driver_stats: Option<UringStats> = None;
         std::thread::scope(|scope| -> io::Result<()> {
+            // One shared ring for every uring session: the whole arena
+            // is registered as fixed buffers exactly once, here, before
+            // any admission — admission only hands out leases into the
+            // already-registered table. On kernels that can't run the
+            // ring at all the spawn fails and sessions fall back to the
+            // ring-per-session path (which fails the same way, typed).
+            let shared = if d.cfg.transport == DaemonTransport::Uring && shared_uring_enabled() {
+                spawn_shared_uring_driver(scope, &d.slots, d.cfg.slot_cap).ok()
+            } else {
+                None
+            };
+            let hub = shared.as_ref().map(|(h, _)| Arc::clone(h));
             while !d.stop.load(Ordering::Acquire) {
                 match listener.accept() {
                     // `offer` hands the hello read to a helper thread and
@@ -317,7 +345,8 @@ impl Daemon {
                     Err(e) => return Err(e),
                 }
                 while let Some(streams) = asm.poll() {
-                    scope.spawn(move || serve_session(d, streams));
+                    let hub = hub.clone();
+                    scope.spawn(move || serve_session(d, streams, hub.as_deref()));
                 }
                 if last_sweep.elapsed() >= Duration::from_secs(1) {
                     asm.sweep_stale(Instant::now());
@@ -337,6 +366,13 @@ impl Daemon {
                     shutdown_all(socks, Shutdown::Both);
                 }
             }
+            // The driver exits once every session has detached (cut
+            // stragglers detach on their error path), then hands back
+            // its lifetime counters.
+            if let Some((hub, jh)) = shared {
+                hub.stop();
+                driver_stats = jh.join().ok();
+            }
             Ok(())
         })?;
 
@@ -354,6 +390,7 @@ impl Daemon {
             rejected_busy: t.rejected_busy,
             rejected_geometry: t.rejected_geometry,
             dropped_preadmission: t.dropped_preadmission,
+            uring: driver_stats,
             sessions: t.sessions,
         })
     }
@@ -393,7 +430,7 @@ fn reply_and_close(mut streams: SessionStreams, msg: &CtrlMsg) {
 
 /// Admission + service for one assembled connection set. Runs on its
 /// own thread; everything it leases it returns before exiting.
-fn serve_session(d: &DaemonState, mut streams: SessionStreams) {
+fn serve_session(d: &DaemonState, mut streams: SessionStreams, hub: Option<&UringHub>) {
     // --- Negotiation: read the opening SessionRequest, bounded. ---
     let first = (|| -> io::Result<CtrlMsg> {
         streams.ctrl.set_read_timeout(Some(NEGOTIATE_TIMEOUT))?;
@@ -482,7 +519,7 @@ fn serve_session(d: &DaemonState, mut streams: SessionStreams) {
     };
     d.fair.register(token, weight);
 
-    let result = run_admitted(d, streams, &lease, first, index, token);
+    let result = run_admitted(d, streams, &lease, first, index, token, hub);
 
     d.aborts.lock().retain(|(t, _)| *t != token);
     d.fair.deregister(token);
@@ -510,6 +547,7 @@ fn run_admitted(
     first: CtrlMsg,
     index: u64,
     token: u64,
+    hub: Option<&UringHub>,
 ) -> io::Result<LiveReport> {
     let CtrlMsg::SessionRequest {
         block_size,
@@ -546,10 +584,21 @@ fn run_admitted(
             let t = sink_transport_from_streams(streams)?;
             run_sink_session(&cfg, t, Some(first), &view, fair)
         }
-        DaemonTransport::Uring => {
-            let session = UringSinkSession::from_streams(streams)?;
-            run_uring_session(&cfg, session, Some(first), &view, fair)
-        }
+        // Shared mode: the session joins the daemon's one driver ring —
+        // admission touches no buffer registration (the arena was
+        // registered once at startup; see the regression test below).
+        // Without a hub (old kernel, or `RFTP_URING_SHARED=0`), each
+        // session spins up its own ring and registers its leased view:
+        // the ring-per-session baseline.
+        DaemonTransport::Uring => match hub {
+            Some(hub) => {
+                run_shared_uring_session(&cfg, streams, Some(first), &view, lease, hub, fair)
+            }
+            None => {
+                let session = UringSinkSession::from_streams(streams)?;
+                run_uring_session(&cfg, session, Some(first), &view, fair)
+            }
+        },
     }
 }
 
@@ -607,6 +656,64 @@ mod tests {
         let report = jh.join().expect("daemon must not panic").unwrap();
         assert_eq!(report.rejected_geometry, 2, "{report:?}");
         assert_eq!(report.served, 0);
+    }
+
+    /// End-to-end over the shared uring driver: three concurrent uring
+    /// sources against one daemon. Every session's data path must run
+    /// on the daemon's ONE driver thread, and admission must not touch
+    /// buffer registration — the arena is registered exactly once at
+    /// driver startup, so the shared ring's `registrations` counter
+    /// stays at 1 no matter how many sessions were admitted.
+    #[test]
+    fn shared_uring_daemon_one_thread_one_registration() {
+        if !crate::uring::uring_supported() {
+            eprintln!("skipping: io_uring not supported by this kernel");
+            return;
+        }
+        if !shared_uring_enabled() {
+            eprintln!("skipping: RFTP_URING_SHARED=0 pins the baseline");
+            return;
+        }
+        let cfg = DaemonConfig {
+            transport: DaemonTransport::Uring,
+            slot_cap: 64 * 1024,
+            arena_slots: 24,
+            session_slots: 8,
+            ..DaemonConfig::default()
+        };
+        let (addr, handle, jh) = start(cfg);
+        let n = 3;
+        let clients: Vec<_> = (0..n)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let cfg = LiveConfig::new(64 * 1024, 2, 4 << 20);
+                    let t = crate::uring::connect_source_uring(addr, cfg.channels, 0)?;
+                    crate::split::run_split_source(&cfg, t)
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap().unwrap();
+        }
+        handle.shutdown();
+        let report = jh.join().unwrap().unwrap();
+        assert_eq!(report.completed, n as u64, "{report:?}");
+        assert_eq!(report.failed, 0, "{report:?}");
+        for s in &report.sessions {
+            let r = s.result.as_ref().unwrap();
+            assert_eq!(r.checksum_failures, 0);
+            assert_eq!(
+                r.transport_threads, 1,
+                "all data paths share one driver thread"
+            );
+            assert!(r.uring.is_some(), "session report carries ring stats");
+        }
+        let stats = report.uring.expect("daemon reports its driver's stats");
+        assert!(stats.enters > 0 && stats.cqes > 0);
+        assert_eq!(
+            stats.registrations, 1,
+            "admission must never re-register buffers: {stats:?}"
+        );
     }
 
     /// A rejected peer that keeps trickling bytes on its control stream

@@ -54,7 +54,8 @@ pub use net::{connect_source, NetListener};
 pub use pipeline::{run_live, try_run_live, LiveConfig, LiveReport, StageBreakdown};
 pub use split::{run_split_pair, run_split_sink, run_split_source};
 pub use store::{FileSink, FileSource, RatePacer, SlotBuf, STORE_ALIGN};
-pub use transport::{channel_transport, SinkTransport, SourceTransport};
+pub use transport::{channel_transport, SinkTransport, SourceTransport, UringStats};
 pub use uring::{
-    accept_source_uring, connect_source_uring, run_uring_sink, uring_supported, UringSinkSession,
+    accept_source_uring, connect_source_uring, run_uring_sink, uring_multishot, uring_supported,
+    UringSinkSession,
 };

@@ -132,6 +132,11 @@ pub struct LiveConfig {
     /// whole pool. Pacing keys off the source pool's free-depth
     /// watermark, so it costs nothing when the pool itself is the bound.
     pub readahead: u32,
+    /// io_uring sink only: provided-buffer-ring depth for multishot
+    /// receive. `0` (default) sizes it automatically (or from
+    /// `RFTP_URING_PBUF_COUNT`); tests pin it low to force buffer
+    /// exhaustion. Ignored by stream backends.
+    pub uring_pbuf: u32,
 }
 
 impl LiveConfig {
@@ -164,6 +169,7 @@ impl LiveConfig {
             direct_io: false,
             src_rate: None,
             readahead: u32::MAX,
+            uring_pbuf: 0,
         }
     }
 
@@ -255,6 +261,9 @@ pub struct LiveReport {
     /// pattern mode, or when the filesystem rejected the flag and the
     /// buffered fallback served the transfer).
     pub direct_io_active: bool,
+    /// Ring counters when this side ran on the io_uring backend
+    /// (`None` on stream backends).
+    pub uring: Option<crate::transport::UringStats>,
 }
 
 /// Where the loaders get payload bytes.
@@ -1447,6 +1456,7 @@ pub fn try_run_live(cfg: &LiveConfig) -> std::io::Result<LiveReport> {
         tails: Default::default(),
         transport_threads: cfg.channels,
         direct_io_active,
+        uring: None,
     })
 }
 

@@ -638,6 +638,7 @@ pub fn run_split_source(cfg: &LiveConfig, t: SourceTransport) -> io::Result<Live
         },
         transport_threads,
         direct_io_active,
+        uring: None,
     })
 }
 
@@ -1217,6 +1218,7 @@ pub(crate) fn run_sink_session(
         // thread zoo the ring backend collapses.
         transport_threads: cfg.channels + 1,
         direct_io_active,
+        uring: None,
     })
 }
 

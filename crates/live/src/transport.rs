@@ -99,6 +99,34 @@ pub trait DataRx: Send {
     fn discard_wire(&mut self, wire_len: usize) -> io::Result<()>;
 }
 
+/// Ring-level counters a completion-based (io_uring) backend reports
+/// alongside its [`crate::pipeline::LiveReport`] — the syscall shape the
+/// backend exists to improve, recorded instead of eyeballed. Stream
+/// backends report `None`; on the shared daemon driver the counters are
+/// ring totals across every session the driver served.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UringStats {
+    /// `io_uring_enter` calls on the sink/source ring.
+    pub enters: u64,
+    /// CQEs reaped. CQEs-per-block is the per-block kernel cost the
+    /// multishot receive path collapses (~2 → ~1).
+    pub cqes: u64,
+    /// Whether the multishot + provided-buffer-ring receive path was
+    /// active (false = the header-first `READ_FIXED` fallback ran).
+    pub multishot: bool,
+    /// Times a multishot receive terminated (`IORING_CQE_F_MORE`
+    /// cleared, `ECANCELED`, buffer exhaustion) and was re-armed.
+    pub multishot_rearms: u64,
+    /// `ENOBUFS` completions: the provided-buffer ring ran dry and a
+    /// link parked until a buffer was recycled.
+    pub pbuf_exhausted: u64,
+    /// `IORING_REGISTER_BUFFERS` calls on this ring. A daemon's shared
+    /// ring registers the whole arena exactly once at startup; this
+    /// staying at 1 across admissions is a regression guard against
+    /// per-session re-registration.
+    pub registrations: u64,
+}
+
 /// The source half's endpoints. `data` is shared (`Arc`) because the
 /// dispatcher and the retransmit watchdog both send on the data links.
 pub struct SourceTransport {

@@ -1,4 +1,5 @@
-//! io_uring backend for the split pipeline: one ring per side.
+//! io_uring backend for the split pipeline: one ring per side — and
+//! under the daemon, one ring for every session.
 //!
 //! The TCP backend ([`crate::net`]) spends a thread per link — N
 //! receivers plus a control pump at the sink, and a blocking `writev`
@@ -18,13 +19,30 @@
 //!   single contiguous SQE) and submits the whole dispatcher drain with
 //!   one `io_uring_enter` — the doorbell ([`DataTx::kick`]); one reaper
 //!   thread retires completions for every channel;
-//! * the sink runs a **single driver thread** for all data links:
-//!   header-first re-armed reads (16 bytes of `DataFrameHeader`, routed
-//!   *before* the payload read is committed into the credited slot, or
-//!   into a scratch buffer for duplicates), control frames read off the
-//!   same ring, and the ack/credit dwell implemented with
+//! * the sink runs a **single driver thread** for all data links. On
+//!   kernels with `IORING_RECV_MULTISHOT` + provided-buffer rings
+//!   (probed live via a socketpair round-trip, [`multishot_probe`])
+//!   each data socket is armed once and the kernel keeps posting CQEs,
+//!   picking buffers from a registered pbuf ring; the driver
+//!   reassembles frames from the byte runs, copies payload to the
+//!   credited slot, recycles buffers by bumping the ring tail, re-arms
+//!   on `!F_MORE`, and parks/recovers links on `ENOBUFS` (un-starving
+//!   runs at every CQE-batch boundary). Older kernels — or
+//!   `RFTP_URING_MULTISHOT=0` — fall back to header-first re-armed
+//!   reads (16 bytes of `DataFrameHeader`, routed *before* the payload
+//!   read is committed `READ_FIXED` into the credited slot, or into a
+//!   scratch buffer for duplicates). Either way control frames are
+//!   read off the same ring and the ack/credit dwell is
 //!   `IORING_ENTER_EXT_ARG` timed waits feeding the shared
 //!   [`drain_coalesced`] loop;
+//! * the daemon ([`crate::daemon`]) shares ONE ring and ONE driver
+//!   thread ([`MultiDriver`]) across every admitted session: the whole
+//!   slot arena is registered once at startup, leases map to
+//!   fixed-buffer indices (admission never re-registers), CQEs demux
+//!   by `user_data = sid << 32 | link`, and per-session mailboxes
+//!   carry events to session threads — cross-session completion
+//!   batching means one `GETEVENTS` drains arrivals for all sessions
+//!   (`RFTP_URING_SHARED=0` restores ring-per-session);
 //! * `IORING_SETUP_SQPOLL` and `IORING_OP_SEND_ZC` are probed at ring
 //!   setup and used only when supported *and* opted into
 //!   (`RFTP_URING_SQPOLL=1` / `RFTP_URING_ZC=1`), degrading cleanly to
@@ -38,15 +56,18 @@
 //! `Unsupported` and callers fall back to the TCP backend.
 
 #[cfg(target_os = "linux")]
-pub(crate) use linux::run_uring_session;
+pub(crate) use linux::{
+    run_shared_uring_session, run_uring_session, spawn_shared_uring_driver, UringHub,
+};
 #[cfg(target_os = "linux")]
 pub use linux::{
-    accept_source_uring, connect_source_uring, run_uring_sink, uring_supported, UringSinkSession,
+    accept_source_uring, connect_source_uring, run_uring_sink, uring_multishot, uring_supported,
+    UringSinkSession,
 };
 
 #[cfg(target_os = "linux")]
 mod linux {
-    use crate::coalesce::{drain_coalesced, CoalescedSink, DrainEnd};
+    use crate::coalesce::{channel_events, drain_coalesced, CoalescedSink, DrainEnd};
     use crate::hist::{NsHist, StageTails};
     use crate::net::{
         connect_streams, shutdown_all, NetCtrlRx, NetCtrlTx, NetListener, SessionStreams,
@@ -54,17 +75,20 @@ mod linux {
     use crate::pipeline::{
         AtomicBitmap, LiveConfig, LiveReport, SnkBackend, StageBreakdown, SESSION,
     };
-    use crate::split::{perr, Fail, SinkEvt, SinkHandler};
+    use crate::split::{perr, Fail, FairShare, SinkEvt, SinkHandler};
     use crate::store::SlotBuf;
-    use crate::transport::{BufPool, DataTx, SourceTransport};
+    use crate::transport::{BufPool, DataTx, SourceTransport, UringStats};
     use parking_lot::Mutex;
     use rftp_core::wire::{CtrlMsg, DataFrameHeader, DATA_FRAME_HEADER_LEN, PAYLOAD_HEADER_LEN};
     use rftp_core::{AtomicSinkPool, Granter, PoolGeometry};
-    use std::collections::VecDeque;
+    use std::collections::{HashMap, VecDeque};
     use std::io;
     use std::net::{Shutdown, TcpStream, ToSocketAddrs};
     use std::os::fd::{AsRawFd, FromRawFd, OwnedFd};
-    use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering};
+    use std::os::unix::net::UnixStream;
+    use std::sync::atomic::{
+        AtomicBool, AtomicI64, AtomicU16, AtomicU32, AtomicU64, Ordering,
+    };
     use std::sync::Arc;
     use std::time::{Duration, Instant};
 
@@ -98,24 +122,41 @@ mod linux {
 
     const IORING_REGISTER_BUFFERS: u32 = 0;
     const IORING_REGISTER_PROBE: u32 = 8;
+    /// Register a provided-buffer ring for a buffer group (5.19+).
+    const IORING_REGISTER_PBUF_RING: u32 = 22;
 
     const IORING_SQ_NEED_WAKEUP: u32 = 1 << 0;
 
+    /// The armed op stays armed (multishot) / a sibling CQE is owed.
     const IORING_CQE_F_MORE: u32 = 1 << 1;
     const IORING_CQE_F_NOTIF: u32 = 1 << 3;
+    /// The CQE consumed a provided buffer; its id is in the high bits
+    /// of `Cqe::flags`.
+    const IORING_CQE_F_BUFFER: u32 = 1 << 0;
+    const IORING_CQE_BUFFER_SHIFT: u32 = 16;
 
     const IORING_OP_NOP: u8 = 0;
     const IORING_OP_READ_FIXED: u8 = 4;
     const IORING_OP_WRITE_FIXED: u8 = 5;
     const IORING_OP_READ: u8 = 22;
     const IORING_OP_WRITE: u8 = 23;
+    const IORING_OP_RECV: u8 = 27;
     const IORING_OP_SEND_ZC: u8 = 47;
 
     /// `SEND_ZC` flag in `Sqe::ioprio`: the buffer is a registered one,
     /// named by `buf_index`.
     const IORING_RECVSEND_FIXED_BUF: u16 = 1 << 2;
+    /// `RECV` flag in `Sqe::ioprio`: keep the receive armed across
+    /// completions — one SQE, many CQEs (6.0+).
+    const IORING_RECV_MULTISHOT: u16 = 1 << 1;
+    /// `Sqe::flags`: the kernel picks the receive buffer from the
+    /// provided-buffer group named by `Sqe::buf_index`.
+    const IOSQE_BUFFER_SELECT: u8 = 1 << 5;
 
     const ETIME: i32 = 62;
+    /// The provided-buffer group ran dry: the multishot receive
+    /// terminates and must be re-armed once buffers are recycled.
+    const ENOBUFS: i32 = 105;
     /// The kernel can drop a poll-armed socket op with `-ECANCELED`
     /// without transferring any bytes (poll races on busy streams).
     /// Such ops are resubmitted verbatim, not treated as link failure.
@@ -306,6 +347,8 @@ mod linux {
         /// `io_uring_enter` calls made (diagnostics; see
         /// `RFTP_URING_STATS`).
         enters: AtomicU64,
+        /// `IORING_REGISTER_BUFFERS` calls on this ring.
+        registers: AtomicU64,
         /// CQEs reaped (diagnostics).
         reaped: AtomicU64,
         // Held for Drop; the raw pointers above point into these.
@@ -380,6 +423,7 @@ mod linux {
                     sqes: sqes_map.ptr as *mut Sqe,
                     fd,
                     enters: AtomicU64::new(0),
+                    registers: AtomicU64::new(0),
                     reaped: AtomicU64::new(0),
                     _sq_map: sq_map,
                     _cq_map: cq_map,
@@ -587,7 +631,9 @@ mod linux {
                 IORING_REGISTER_BUFFERS,
                 iovecs.as_ptr() as *const core::ffi::c_void,
                 iovecs.len() as u32,
-            )
+            )?;
+            self.registers.fetch_add(1, Ordering::Relaxed);
+            Ok(())
         }
 
         /// Which opcodes the kernel supports (`IORING_REGISTER_PROBE`).
@@ -613,6 +659,137 @@ mod linux {
     }
 
     // -----------------------------------------------------------------
+    // Provided-buffer ring (multishot receive backing)
+    // -----------------------------------------------------------------
+
+    /// One entry of a provided-buffer ring (`struct io_uring_buf`).
+    #[repr(C)]
+    #[derive(Clone, Copy, Default)]
+    struct PbufEntry {
+        addr: u64,
+        len: u32,
+        bid: u16,
+        resv: u16,
+    }
+
+    /// `IORING_REGISTER_PBUF_RING` argument (`struct io_uring_buf_reg`).
+    #[repr(C)]
+    #[derive(Clone, Copy, Default)]
+    struct PbufReg {
+        ring_addr: u64,
+        ring_entries: u32,
+        bgid: u16,
+        flags: u16,
+        resv: [u64; 3],
+    }
+
+    /// The one buffer group every data link shares. Demultiplexing is by
+    /// `user_data` (session/link), not by group — the group only says
+    /// where the bytes landed.
+    const PBUF_BGID: u16 = 0;
+    /// Byte offset of the kernel-read tail inside the pbuf ring: it
+    /// overlays `resv` of entry 0 (the uapi union of `io_uring_buf` and
+    /// `io_uring_buf_ring`).
+    const PBUF_TAIL_OFF: usize = 14;
+
+    /// A provided-buffer ring plus the buffers behind it: the kernel
+    /// picks one per multishot-receive completion and reports its id in
+    /// the CQE; the driver parses the bytes out and recycles the id.
+    ///
+    /// The descriptor ring is written only at the local tail (each
+    /// buffer is in the ring at most once, so the kernel can never own
+    /// the entry being overwritten), and only `addr`/`len`/`bid` are
+    /// touched — entry 0's `resv` bytes *are* the shared tail word, so a
+    /// full-entry write there would clobber it.
+    ///
+    /// Teardown: the owner must quiesce the ring (no in-flight receives)
+    /// before dropping this, exactly like the slot buffers — the
+    /// backing memory is plain userspace allocations.
+    struct PbufRing {
+        ring: *mut u8,
+        layout: std::alloc::Layout,
+        mask: u32,
+        tail: u16,
+        bufs: Vec<Box<[u8]>>,
+    }
+
+    // SAFETY: single-owner (the sink driver thread); the raw pointer is
+    // an owned allocation, shared with the kernel only via io_uring.
+    unsafe impl Send for PbufRing {}
+
+    impl PbufRing {
+        /// Allocate `count` buffers of `buf_len` bytes, register the
+        /// descriptor ring with `ring`, and hand every buffer to the
+        /// kernel. Fails on pre-5.19 kernels (`EINVAL`), which is how
+        /// the multishot probe detects them.
+        fn new(ring: &Ring, count: u32, buf_len: usize) -> io::Result<PbufRing> {
+            let entries = count.max(1).next_power_of_two();
+            let layout = std::alloc::Layout::from_size_align(
+                entries as usize * std::mem::size_of::<PbufEntry>(),
+                4096,
+            )
+            .map_err(|_| perr("pbuf ring layout overflow"))?;
+            let mem = unsafe { std::alloc::alloc_zeroed(layout) };
+            if mem.is_null() {
+                return Err(io::Error::new(
+                    io::ErrorKind::OutOfMemory,
+                    "pbuf ring allocation failed",
+                ));
+            }
+            let reg = PbufReg {
+                ring_addr: mem as u64,
+                ring_entries: entries,
+                bgid: PBUF_BGID,
+                ..Default::default()
+            };
+            if let Err(e) = ring.register(
+                IORING_REGISTER_PBUF_RING,
+                &reg as *const PbufReg as *const core::ffi::c_void,
+                1,
+            ) {
+                unsafe { std::alloc::dealloc(mem, layout) };
+                return Err(e);
+            }
+            let mut p = PbufRing {
+                ring: mem,
+                layout,
+                mask: entries - 1,
+                tail: 0,
+                bufs: Vec::with_capacity(count as usize),
+            };
+            for bid in 0..count {
+                p.bufs.push(vec![0u8; buf_len].into_boxed_slice());
+                p.recycle(bid as u16);
+            }
+            Ok(p)
+        }
+
+        /// Hand buffer `bid` (back) to the kernel.
+        fn recycle(&mut self, bid: u16) {
+            let idx = (self.tail as u32 & self.mask) as usize;
+            unsafe {
+                let e = (self.ring as *mut PbufEntry).add(idx);
+                std::ptr::addr_of_mut!((*e).addr).write(self.bufs[bid as usize].as_ptr() as u64);
+                std::ptr::addr_of_mut!((*e).len).write(self.bufs[bid as usize].len() as u32);
+                std::ptr::addr_of_mut!((*e).bid).write(bid);
+                self.tail = self.tail.wrapping_add(1);
+                (*(self.ring.add(PBUF_TAIL_OFF) as *const AtomicU16))
+                    .store(self.tail, Ordering::Release);
+            }
+        }
+
+        fn buf(&self, bid: u16) -> &[u8] {
+            &self.bufs[bid as usize]
+        }
+    }
+
+    impl Drop for PbufRing {
+        fn drop(&mut self) {
+            unsafe { std::alloc::dealloc(self.ring, self.layout) };
+        }
+    }
+
+    // -----------------------------------------------------------------
     // Capability probe
     // -----------------------------------------------------------------
 
@@ -621,6 +798,10 @@ mod linux {
     struct UringCaps {
         send_zc: bool,
         sqpoll: bool,
+        /// Multishot receive with a provided-buffer ring works end to
+        /// end (functionally probed, not just opcode-probed — pbuf
+        /// rings are 5.19+, multishot recv 6.0+).
+        multishot: bool,
     }
 
     /// SQ depth for transfer rings: far above the in-flight ceiling of
@@ -659,7 +840,81 @@ mod linux {
         Ok(UringCaps {
             send_zc: got[5],
             sqpoll,
+            multishot: multishot_probe(),
         })
+    }
+
+    /// Functional probe for multishot receive over a provided-buffer
+    /// ring: registering a pbuf ring and arming `RECV|MULTISHOT` can
+    /// each *appear* to work on kernels that reject the combination at
+    /// completion time, so real bytes go through a socketpair and the
+    /// CQE must come back buffer-tagged. Any failure is just `false` —
+    /// the fallback ladder (header-first `READ_FIXED`) takes over.
+    fn multishot_probe() -> bool {
+        fn run() -> io::Result<bool> {
+            let ring = Ring::new(8, 0)?;
+            if !ring.probe_op_supported(&[IORING_OP_RECV])?[0] {
+                return Ok(false);
+            }
+            let mut pbuf = PbufRing::new(&ring, 2, 4096)?;
+            let (a, b) = std::os::unix::net::UnixStream::pair()?;
+            let sqe = Sqe {
+                opcode: IORING_OP_RECV,
+                flags: IOSQE_BUFFER_SELECT,
+                ioprio: IORING_RECV_MULTISHOT,
+                fd: a.as_raw_fd(),
+                buf_index: PBUF_BGID,
+                user_data: 1,
+                ..Default::default()
+            };
+            if !ring.sq_push(&sqe) {
+                return Ok(false);
+            }
+            ring.submit(1)?;
+            use std::io::Write;
+            (&b).write_all(b"ping")?;
+            let mut ok = false;
+            let mut shut = false;
+            let mut cqes = Vec::new();
+            // Wait for the data CQE *first* — cutting the pair before the
+            // armed receive fires discards the queued ping on AF_UNIX and
+            // fails the probe on kernels that support multishot fine.
+            // Only then shut the pair down and drain to the terminal CQE
+            // so no op outlives the ring mappings.
+            for _ in 0..16 {
+                let fired = ring.wait(Some(Duration::from_millis(250)))?;
+                cqes.clear();
+                ring.reap(&mut cqes);
+                let mut terminal = false;
+                for c in &cqes {
+                    if c.res == 4 && c.flags & IORING_CQE_F_BUFFER != 0 {
+                        ok = true;
+                        pbuf.recycle((c.flags >> IORING_CQE_BUFFER_SHIFT) as u16);
+                    }
+                    if c.flags & IORING_CQE_F_MORE == 0 {
+                        terminal = true;
+                    }
+                }
+                if terminal {
+                    break;
+                }
+                if (ok || !fired) && !shut {
+                    shut = true;
+                    let _ = a.shutdown(Shutdown::Both);
+                    let _ = b.shutdown(Shutdown::Both);
+                }
+            }
+            Ok(ok)
+        }
+        run().unwrap_or(false)
+    }
+
+    /// Whether the multishot path should actually be used: probed
+    /// healthy *and* not opted out (`RFTP_URING_MULTISHOT=0` forces the
+    /// header-first `READ_FIXED` fallback — CI uses it to prove the
+    /// ladder).
+    fn multishot_enabled(caps: &UringCaps) -> bool {
+        caps.multishot && std::env::var_os("RFTP_URING_MULTISHOT").is_none_or(|v| v != "0")
     }
 
     /// Whether this kernel can run the io_uring backend: ring setup,
@@ -667,6 +922,15 @@ mod linux {
     /// fixed-buffer read/write opcodes all probe healthy.
     pub fn uring_supported() -> bool {
         ring_caps().is_ok()
+    }
+
+    /// Whether the sink would run the multishot-receive +
+    /// provided-buffer-ring path right now: the kernel probes healthy
+    /// for it *and* `RFTP_URING_MULTISHOT` has not opted out. `false`
+    /// while [`uring_supported`] is `true` means the header-first
+    /// `READ_FIXED` fallback carries transfers.
+    pub fn uring_multishot() -> bool {
+        ring_caps().map(|c| multishot_enabled(&c)).unwrap_or(false)
     }
 
     fn env_flag(name: &str) -> bool {
@@ -1184,33 +1448,42 @@ mod linux {
     // Sink half
     // -----------------------------------------------------------------
 
-    /// Where one data link's framing state machine stands. Reads are
-    /// header-first: the 16-byte [`DataFrameHeader`] is read and routed
-    /// *before* the payload read is committed, into either the credited
-    /// slot (`READ_FIXED`) or a scratch buffer (duplicate arrival).
-    enum LinkPhase {
-        Header {
-            got: usize,
-        },
-        Place {
-            hdr: DataFrameHeader,
-            base: u64,
-            got: usize,
-            t0: Instant,
-        },
-        Discard {
-            wire_len: usize,
-            got: usize,
-        },
+    /// Where one data link's framing state machine stands. Two modes:
+    ///
+    /// * `Fx*` — the armed-read fallback (pre-6.0 kernels, or
+    ///   `RFTP_URING_MULTISHOT=0`): header-first, the 16-byte
+    ///   [`DataFrameHeader`] is read and routed *before* the payload
+    ///   read is committed, into either the credited slot's registered
+    ///   buffer (`READ_FIXED` — the CQE is the placement) or a scratch
+    ///   buffer (duplicate arrival).
+    /// * `Ms*` — multishot receive: one armed `RECV|MULTISHOT` per
+    ///   socket, the kernel picks a provided buffer per completion, and
+    ///   the driver parses the wire stream out of the buffers — headers
+    ///   accumulate in the link's stash, payload bytes are copied into
+    ///   the credited slot. Copy-routing costs a memcpy per block; the
+    ///   CQE/syscall batching multishot buys is the trade.
+    #[derive(Clone, Copy)]
+    enum RxState {
+        FxHeader { got: usize },
+        FxPlace { hdr: DataFrameHeader, base: u64, got: usize, t0: Instant },
+        FxDiscard { wire_len: usize, got: usize },
+        MsHeader { got: usize },
+        MsBody { hdr: DataFrameHeader, got: usize, t0: Instant },
+        MsDiscard { remaining: usize },
         Eof,
     }
 
-    struct DataLink {
+    struct Link {
         fd: i32,
-        phase: LinkPhase,
-        /// Boxed so its address is stable while a kernel read targets it.
+        state: RxState,
+        /// Boxed so its address is stable while a kernel read targets
+        /// it (fallback header reads; the multishot parser uses it as
+        /// its partial-header stash).
         hdr_buf: Box<[u8; DATA_FRAME_HEADER_LEN]>,
         scratch: Vec<u8>,
+        /// Multishot only: the receive terminated on `ENOBUFS` and the
+        /// link is parked until a provided buffer is recycled.
+        parked: bool,
     }
 
     struct CtrlLink {
@@ -1220,150 +1493,368 @@ mod linux {
         eof: bool,
     }
 
-    /// The sink's single data-path thread: owns the ring, every link's
-    /// state machine, and the placement/duplicate bookkeeping. Its
-    /// [`SinkDriver::pump`] is the event source [`drain_coalesced`]
-    /// drives the shared [`SinkHandler`] with — CQE batches in, a batch
-    /// of [`SinkEvt`]s out, dwell waits as `EXT_ARG` ring timeouts.
-    struct SinkDriver<'a> {
-        ring: &'a Ring,
-        links: Vec<DataLink>,
-        ctrl: CtrlLink,
-        snk_bufs: &'a [&'a Mutex<SlotBuf>],
-        placed: &'a AtomicBitmap,
-        backend: &'a SnkBackend,
-        cfg: &'a LiveConfig,
-        total_blocks: u64,
-        inflight: u32,
-        queued: u32,
+    /// What one session's driver half hands back to its handler thread
+    /// at detach: the placement stats the driver accumulated on the
+    /// session's behalf, any driver-side error, and a snapshot of the
+    /// shared ring's counters.
+    struct SessionStats {
         place_ns: u64,
         flush_ns: u64,
         duplicates: u64,
         place_hist: NsHist,
-        /// Driver-side failure, surfaced after [`drain_coalesced`]
-        /// reports `Closed` (its recv callback can only say "no more
-        /// events").
         err: Option<io::Error>,
-        cqes: Vec<Cqe>,
-        /// Payload reads armed right now, bounded by `place_cap`.
+        ring: UringStats,
+    }
+
+    /// One admitted session as the shared driver sees it: wire
+    /// geometry, link state machines, the slot mapping, and the
+    /// handler-side plumbing.
+    struct Sess {
+        /// Wire slot index → fixed-buffer index in the driver's
+        /// registered table. Identity for a standalone sink (the pool
+        /// *is* the table); an arena lease for daemon sessions — the
+        /// stable global slot indices are what let one
+        /// `register_buffers` call at daemon startup cover every future
+        /// lease.
+        lease: Vec<u32>,
+        links: Vec<Link>,
+        ctrl: CtrlLink,
+        block_size: usize,
+        pool_blocks: u32,
+        total_blocks: u64,
+        placed: Arc<AtomicBitmap>,
+        backend: Arc<SnkBackend>,
+        /// Driver-owned socket clones (control first), shut down to cut
+        /// the session loose on a driver-side failure or detach.
+        socks: Vec<TcpStream>,
+        /// Events parsed this loop, not yet handed to the handler.
+        emit: Vec<SinkEvt>,
+        /// Daemon mode: the session thread's mailbox. `None` in pump
+        /// mode (the session thread *is* the driver thread) — and after
+        /// a failure, which is how the handler learns the source died.
+        mailbox: Option<crossbeam::channel::Sender<SinkEvt>>,
+        /// Daemon mode: where the detach handshake delivers
+        /// [`SessionStats`].
+        stats_tx: Option<std::sync::mpsc::SyncSender<SessionStats>>,
+        /// Kernel ops currently in flight for this session (an armed
+        /// multishot receive counts once: only its terminal CQE — no
+        /// `F_MORE` — decrements).
+        inflight: u32,
+        err: Option<io::Error>,
+        /// Detach requested: stop re-arming, drain to `inflight == 0`,
+        /// then send stats and drop the entry.
+        detaching: bool,
+        /// Sockets already shut down (error/detach path ran).
+        cut: bool,
+        /// Fallback: payload reads armed right now, bounded by the
+        /// driver's `place_cap`.
         place_armed: u32,
-        /// Links routed into `Place` whose read is deferred until a
-        /// slot under the cap frees up. Safe to defer: a link in
-        /// `Place` has already read its header, and the source wrote
-        /// header + payload as one contiguous write, so the payload is
-        /// on the wire (or in the socket buffer) no matter when the
-        /// read is armed.
+        /// Fallback: links routed into `FxPlace` whose read is deferred
+        /// until a slot under the cap frees up. Safe to defer: the
+        /// header is already read, and the source wrote header +
+        /// payload as one contiguous write, so the payload is on the
+        /// wire (or in the socket buffer) no matter when the read arms.
         place_pending: VecDeque<usize>,
-        /// Cap on concurrently-armed payload reads. The kernel runs
-        /// every ready socket→slot copy inside one `GETEVENTS` enter
-        /// (`DEFER_TASKRUN`), so with all links armed a burst of
-        /// sibling copies evicts a block from cache before the handler
-        /// verifies it. A small cap keeps each copy adjacent to its
-        /// verify — the single-thread analogue of the TCP sink's
-        /// read-then-verify-while-hot receiver loop.
+        place_ns: u64,
+        flush_ns: u64,
+        duplicates: u64,
+        place_hist: NsHist,
+    }
+
+    impl Sess {
+        /// Build a session entry over driver-owned socket clones
+        /// (control + data, in that order).
+        #[allow(clippy::too_many_arguments)]
+        fn new(
+            ms: bool,
+            lease: Vec<u32>,
+            ctrl: TcpStream,
+            data: Vec<TcpStream>,
+            block_size: usize,
+            pool_blocks: u32,
+            total_blocks: u64,
+            placed: Arc<AtomicBitmap>,
+            backend: Arc<SnkBackend>,
+            mailbox: Option<crossbeam::channel::Sender<SinkEvt>>,
+            stats_tx: Option<std::sync::mpsc::SyncSender<SessionStats>>,
+        ) -> Sess {
+            let init = if ms {
+                RxState::MsHeader { got: 0 }
+            } else {
+                RxState::FxHeader { got: 0 }
+            };
+            let links = data
+                .iter()
+                .map(|s| Link {
+                    fd: s.as_raw_fd(),
+                    state: init,
+                    hdr_buf: Box::new([0u8; DATA_FRAME_HEADER_LEN]),
+                    scratch: Vec::new(),
+                    parked: false,
+                })
+                .collect();
+            let ctrl_link = CtrlLink {
+                fd: ctrl.as_raw_fd(),
+                buf: Box::new([0u8; 4096]),
+                dec: rftp_core::wire::FrameDecoder::new(),
+                eof: false,
+            };
+            let mut socks = vec![ctrl];
+            socks.extend(data);
+            Sess {
+                lease,
+                links,
+                ctrl: ctrl_link,
+                block_size,
+                pool_blocks,
+                total_blocks,
+                placed,
+                backend,
+                socks,
+                emit: Vec::new(),
+                mailbox,
+                stats_tx,
+                inflight: 0,
+                err: None,
+                detaching: false,
+                cut: false,
+                place_armed: 0,
+                place_pending: VecDeque::new(),
+                place_ns: 0,
+                flush_ns: 0,
+                duplicates: 0,
+                place_hist: NsHist::new(),
+            }
+        }
+    }
+
+    /// `user_data` link field naming a session's control socket.
+    const CTRL_LINK: u32 = u32::MAX;
+    /// `user_data` of the daemon driver's hub-wakeup read. (`UD_NOP` is
+    /// `u64::MAX`; session ids never reach `u32::MAX`, so neither
+    /// sentinel collides with `ud()`.)
+    const UD_WAKE: u64 = u64::MAX - 1;
+
+    /// Completion demultiplexing key: session id in the high word, link
+    /// index (or [`CTRL_LINK`]) in the low.
+    fn ud(sid: u32, link: u32) -> u64 {
+        ((sid as u64) << 32) | link as u64
+    }
+
+    /// Feed one multishot completion's worth of wire-stream bytes into
+    /// link `i`'s parser. Returns a *session*-level error on a torn or
+    /// invalid frame.
+    fn ms_feed(
+        sess: &mut Sess,
+        slots: &[&Mutex<SlotBuf>],
+        i: usize,
+        mut bytes: &[u8],
+        floor: Instant,
+    ) -> io::Result<()> {
+        while !bytes.is_empty() {
+            match sess.links[i].state {
+                RxState::MsHeader { got } => {
+                    let take = (DATA_FRAME_HEADER_LEN - got).min(bytes.len());
+                    sess.links[i].hdr_buf[got..got + take].copy_from_slice(&bytes[..take]);
+                    bytes = &bytes[take..];
+                    let got = got + take;
+                    if got < DATA_FRAME_HEADER_LEN {
+                        sess.links[i].state = RxState::MsHeader { got };
+                        continue;
+                    }
+                    let hdr = DataFrameHeader::decode(&sess.links[i].hdr_buf[..])
+                        .map_err(|e| perr(format!("bad data frame header: {e:?}")))?;
+                    if hdr.session != SESSION
+                        || hdr.slot >= sess.pool_blocks
+                        || hdr.len as usize > sess.block_size
+                        || hdr.seq as u64 >= sess.total_blocks
+                    {
+                        return Err(perr(format!("bad data frame {hdr:?}")));
+                    }
+                    sess.links[i].state = if !sess.placed.claim(hdr.seq as u64) {
+                        // Retransmit raced a slow ack; its slot may have
+                        // been re-granted, so the bytes are skipped
+                        // without placing them — exactly-once placement.
+                        sess.duplicates += 1;
+                        RxState::MsDiscard {
+                            remaining: hdr.wire_len(),
+                        }
+                    } else {
+                        RxState::MsBody {
+                            hdr,
+                            got: 0,
+                            t0: Instant::now(),
+                        }
+                    };
+                }
+                RxState::MsBody { hdr, got, t0 } => {
+                    let wire_len = hdr.wire_len();
+                    let take = (wire_len - got).min(bytes.len());
+                    let fixed = sess.lease[hdr.slot as usize] as usize;
+                    {
+                        let mut dst = slots[fixed].lock();
+                        dst[got..got + take].copy_from_slice(&bytes[..take]);
+                    }
+                    bytes = &bytes[take..];
+                    let got = got + take;
+                    if got < wire_len {
+                        sess.links[i].state = RxState::MsBody { hdr, got, t0 };
+                        continue;
+                    }
+                    let ns = t0.max(floor).elapsed().as_nanos() as u64;
+                    sess.place_ns += ns;
+                    sess.place_hist.record(ns);
+                    if let SnkBackend::File(sink) = &*sess.backend {
+                        // Write-behind, exactly like the fallback path:
+                        // the block lands at its final offset the moment
+                        // its last byte is copied in.
+                        let t1 = Instant::now();
+                        let dst = slots[fixed].lock();
+                        sink.write_block(
+                            &dst[PAYLOAD_HEADER_LEN..PAYLOAD_HEADER_LEN + hdr.len as usize],
+                            hdr.seq as u64 * sess.block_size as u64,
+                        )?;
+                        sess.flush_ns += t1.elapsed().as_nanos() as u64;
+                    }
+                    sess.emit.push(SinkEvt::Arrival {
+                        seq: hdr.seq,
+                        slot: hdr.slot,
+                        len: hdr.len,
+                    });
+                    sess.links[i].state = RxState::MsHeader { got: 0 };
+                }
+                RxState::MsDiscard { remaining } => {
+                    let take = remaining.min(bytes.len());
+                    bytes = &bytes[take..];
+                    let remaining = remaining - take;
+                    sess.links[i].state = if remaining == 0 {
+                        RxState::MsHeader { got: 0 }
+                    } else {
+                        RxState::MsDiscard { remaining }
+                    };
+                }
+                // EOF (or a stray fallback state): drop trailing bytes.
+                _ => return Ok(()),
+            }
+        }
+        Ok(())
+    }
+
+    /// The hub-wakeup socket the daemon driver arms a `READ` on, so
+    /// registration/detach messages interrupt a blocked `GETEVENTS`.
+    struct WakeLink {
+        stream: UnixStream,
+        buf: Box<[u8; 64]>,
+    }
+
+    /// What `on_cqe`'s split-borrow inner blocks ask the driver to do
+    /// next, once the session borrow is released.
+    enum Next {
+        None,
+        /// Re-arm link `i`'s current state.
+        Arm,
+        /// Arm link `i`'s `FxPlace` read under the cap (or park it).
+        ArmPlace,
+        /// A block finished placing on link `i`: free its cap slot, arm
+        /// a parked placement if any, then re-arm `i`'s header read.
+        Placed,
+        /// Record a session-level failure and cut the session loose.
+        Fail(io::Error),
+    }
+
+    /// The sink's single data-path driver: one ring, one thread, every
+    /// admitted session's links. Two harnesses share it:
+    ///
+    /// * **pump mode** (standalone sink / per-session daemon baseline):
+    ///   one session, and [`MultiDriver::pump`] is the event source
+    ///   [`drain_coalesced`] drives the [`SinkHandler`] with — CQE
+    ///   batches in, a batch of [`SinkEvt`]s out, dwell waits as
+    ///   `EXT_ARG` ring timeouts;
+    /// * **daemon mode**: the driver loop forwards each session's
+    ///   events through its mailbox to the session thread, which runs
+    ///   the same handler + drain over [`channel_events`].
+    struct MultiDriver<'a> {
+        ring: &'a Ring,
+        /// The registered fixed-buffer table; each session's `lease`
+        /// maps wire slots into it.
+        slots: &'a [&'a Mutex<SlotBuf>],
+        /// Multishot receive active (vs the `Fx*` fallback).
+        ms: bool,
+        pbuf: Option<PbufRing>,
+        sessions: HashMap<u32, Sess>,
+        /// `(sid, link)` pairs whose multishot receive died on
+        /// `ENOBUFS`, re-armed as buffers recycle.
+        starved: VecDeque<(u32, usize)>,
+        queued: u32,
+        cqes: Vec<Cqe>,
+        /// Fallback: per-session cap on concurrently-armed payload
+        /// reads — keeps each socket→slot copy adjacent to its verify
+        /// (see the fallback arm path).
         place_cap: u32,
         /// The place-clock floor: the last instant this thread returned
         /// from a ring wait or finished retiring a completion. A
         /// block's place time clocks from `max(armed, floor)`, so it
         /// measures the driver's *observable wait* for that block's
-        /// bytes — not the verify/ack work between pumps, and not
-        /// sibling blocks retired earlier in the same batch. That makes
-        /// it comparable to the TCP sink, where each per-channel
-        /// receiver thread bills only its own blocking read.
+        /// bytes — comparable to the TCP sink's per-thread blocking
+        /// reads.
         place_floor: Instant,
+        multishot_rearms: u64,
+        pbuf_exhausted: u64,
+        /// Ring-level failure: everything on the ring is dead.
+        fatal: Option<io::Error>,
+        wake: Option<WakeLink>,
+        wake_armed: bool,
+        /// Teardown: stop re-arming the wake read.
+        stopping: bool,
     }
 
-    impl<'a> SinkDriver<'a> {
-        fn push_read(
-            &mut self,
-            fd: i32,
-            addr: u64,
-            len: u32,
-            fixed: Option<u16>,
-            user_data: u64,
-        ) -> io::Result<()> {
-            let mut sqe = Sqe {
-                fd,
-                addr,
-                len,
-                user_data,
-                ..Default::default()
-            };
-            match fixed {
-                Some(ix) => {
-                    sqe.opcode = IORING_OP_READ_FIXED;
-                    sqe.buf_index = ix;
-                }
-                None => sqe.opcode = IORING_OP_READ,
+    impl<'a> MultiDriver<'a> {
+        fn new(
+            ring: &'a Ring,
+            slots: &'a [&'a Mutex<SlotBuf>],
+            ms: bool,
+            pbuf: Option<PbufRing>,
+            place_cap: u32,
+        ) -> MultiDriver<'a> {
+            MultiDriver {
+                ring,
+                slots,
+                ms,
+                pbuf,
+                sessions: HashMap::new(),
+                starved: VecDeque::new(),
+                queued: 0,
+                cqes: Vec::with_capacity(64),
+                place_cap,
+                place_floor: Instant::now(),
+                multishot_rearms: 0,
+                pbuf_exhausted: 0,
+                fatal: None,
+                wake: None,
+                wake_armed: false,
+                stopping: false,
             }
-            while !self.ring.sq_push(&sqe) {
+        }
+
+        fn stats_snapshot(&self) -> UringStats {
+            UringStats {
+                enters: self.ring.enters.load(Ordering::Relaxed),
+                cqes: self.ring.reaped.load(Ordering::Relaxed),
+                multishot: self.ms,
+                multishot_rearms: self.multishot_rearms,
+                pbuf_exhausted: self.pbuf_exhausted,
+                registrations: self.ring.registers.load(Ordering::Relaxed),
+            }
+        }
+
+        fn push_sqe(&mut self, sqe: &Sqe) -> io::Result<()> {
+            while !self.ring.sq_push(sqe) {
+                // SQ full: flush what is queued to make room.
                 self.ring.submit(self.queued)?;
                 self.queued = 0;
             }
             self.queued += 1;
-            self.inflight += 1;
             Ok(())
-        }
-
-        /// (Re-)arm the read the link's current phase calls for.
-        fn arm(&mut self, i: usize) -> io::Result<()> {
-            let fd = self.links[i].fd;
-            let ud = i as u64;
-            match &self.links[i].phase {
-                LinkPhase::Header { got } => {
-                    let got = *got;
-                    let addr = self.links[i].hdr_buf.as_ptr() as u64 + got as u64;
-                    self.push_read(fd, addr, (DATA_FRAME_HEADER_LEN - got) as u32, None, ud)
-                }
-                LinkPhase::Place { hdr, base, got, .. } => {
-                    let (slot, wire_len) = (hdr.slot as u16, hdr.wire_len());
-                    let (addr, len) = (*base + *got as u64, (wire_len - *got) as u32);
-                    self.push_read(fd, addr, len, Some(slot), ud)
-                }
-                LinkPhase::Discard { wire_len, got } => {
-                    let want = (*wire_len - *got).min(64 * 1024);
-                    if self.links[i].scratch.len() < want {
-                        self.links[i].scratch.resize(want, 0);
-                    }
-                    let addr = self.links[i].scratch.as_ptr() as u64;
-                    self.push_read(fd, addr, want as u32, None, ud)
-                }
-                LinkPhase::Eof => Ok(()),
-            }
-        }
-
-        /// Arm a `Place` read if the cap has room, else park the link.
-        /// Resets the place clock at true arm time so a parked link
-        /// doesn't bill its queue wait as placement.
-        fn arm_place(&mut self, i: usize) -> io::Result<()> {
-            if self.place_armed < self.place_cap {
-                self.place_armed += 1;
-                if let LinkPhase::Place { t0, .. } = &mut self.links[i].phase {
-                    *t0 = Instant::now();
-                }
-                self.arm(i)
-            } else {
-                self.place_pending.push_back(i);
-                Ok(())
-            }
-        }
-
-        fn arm_ctrl(&mut self) -> io::Result<()> {
-            let (fd, addr, len) = (
-                self.ctrl.fd,
-                self.ctrl.buf.as_ptr() as u64,
-                self.ctrl.buf.len() as u32,
-            );
-            self.push_read(fd, addr, len, None, self.links.len() as u64)
-        }
-
-        /// Arm every link's opening read and ring the first doorbell.
-        fn arm_initial(&mut self) -> io::Result<()> {
-            for i in 0..self.links.len() {
-                self.arm(i)?;
-            }
-            self.arm_ctrl()?;
-            self.submit_queued()
         }
 
         fn submit_queued(&mut self) -> io::Result<()> {
@@ -1374,180 +1865,639 @@ mod linux {
             Ok(())
         }
 
-        fn on_ctrl_cqe(&mut self, c: &Cqe, out: &mut Vec<SinkEvt>) -> io::Result<()> {
-            if c.res == -ECANCELED {
-                return self.arm_ctrl();
-            }
-            if c.res < 0 {
-                return Err(io::Error::from_raw_os_error(-c.res));
-            }
-            if c.res == 0 {
-                if self.ctrl.dec.pending_bytes() != 0 {
-                    return Err(io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        "control stream closed mid-frame",
-                    ));
+        /// Arm the hub-wakeup read (daemon mode).
+        fn arm_wake(&mut self) -> io::Result<()> {
+            let Some(w) = &self.wake else { return Ok(()) };
+            let sqe = Sqe {
+                opcode: IORING_OP_READ,
+                fd: w.stream.as_raw_fd(),
+                addr: w.buf.as_ptr() as u64,
+                len: w.buf.len() as u32,
+                user_data: UD_WAKE,
+                ..Default::default()
+            };
+            self.push_sqe(&sqe)?;
+            self.wake_armed = true;
+            Ok(())
+        }
+
+        /// (Re-)arm whatever receive link `i`'s state calls for.
+        fn arm_link(&mut self, sid: u32, i: usize) -> io::Result<()> {
+            let sess = self.sessions.get_mut(&sid).unwrap();
+            let fd = sess.links[i].fd;
+            let user_data = ud(sid, i as u32);
+            let sqe = match sess.links[i].state {
+                RxState::Eof => return Ok(()),
+                RxState::MsHeader { .. }
+                | RxState::MsBody { .. }
+                | RxState::MsDiscard { .. } => {
+                    sess.links[i].parked = false;
+                    Sqe {
+                        opcode: IORING_OP_RECV,
+                        flags: IOSQE_BUFFER_SELECT,
+                        ioprio: IORING_RECV_MULTISHOT,
+                        fd,
+                        buf_index: PBUF_BGID,
+                        user_data,
+                        ..Default::default()
+                    }
                 }
-                self.ctrl.eof = true;
-                out.push(SinkEvt::CtrlEof);
+                RxState::FxHeader { got } => Sqe {
+                    opcode: IORING_OP_READ,
+                    fd,
+                    addr: sess.links[i].hdr_buf.as_ptr() as u64 + got as u64,
+                    len: (DATA_FRAME_HEADER_LEN - got) as u32,
+                    user_data,
+                    ..Default::default()
+                },
+                RxState::FxPlace { hdr, base, got, .. } => Sqe {
+                    opcode: IORING_OP_READ_FIXED,
+                    fd,
+                    addr: base + got as u64,
+                    len: (hdr.wire_len() - got) as u32,
+                    buf_index: sess.lease[hdr.slot as usize] as u16,
+                    user_data,
+                    ..Default::default()
+                },
+                RxState::FxDiscard { wire_len, got } => {
+                    let want = (wire_len - got).min(64 * 1024);
+                    if sess.links[i].scratch.len() < want {
+                        sess.links[i].scratch.resize(want, 0);
+                    }
+                    Sqe {
+                        opcode: IORING_OP_READ,
+                        fd,
+                        addr: sess.links[i].scratch.as_ptr() as u64,
+                        len: want as u32,
+                        user_data,
+                        ..Default::default()
+                    }
+                }
+            };
+            sess.inflight += 1;
+            self.push_sqe(&sqe)
+        }
+
+        /// Fallback: arm a `FxPlace` read if the session's cap has
+        /// room, else park the link. Resets the place clock at true arm
+        /// time so a parked link doesn't bill its queue wait as
+        /// placement.
+        fn arm_place(&mut self, sid: u32, i: usize) -> io::Result<()> {
+            let sess = self.sessions.get_mut(&sid).unwrap();
+            if sess.place_armed < self.place_cap {
+                sess.place_armed += 1;
+                if let RxState::FxPlace { ref mut t0, .. } = sess.links[i].state {
+                    *t0 = Instant::now();
+                }
+                self.arm_link(sid, i)
+            } else {
+                sess.place_pending.push_back(i);
+                Ok(())
+            }
+        }
+
+        fn arm_ctrl(&mut self, sid: u32) -> io::Result<()> {
+            let sess = self.sessions.get_mut(&sid).unwrap();
+            let sqe = Sqe {
+                opcode: IORING_OP_READ,
+                fd: sess.ctrl.fd,
+                addr: sess.ctrl.buf.as_ptr() as u64,
+                len: sess.ctrl.buf.len() as u32,
+                user_data: ud(sid, CTRL_LINK),
+                ..Default::default()
+            };
+            sess.inflight += 1;
+            self.push_sqe(&sqe)
+        }
+
+        /// Insert a session and arm every opening read. The caller
+        /// submits (pump's first loop / the daemon tick).
+        fn add_session(&mut self, sid: u32, sess: Sess) -> io::Result<()> {
+            let links = sess.links.len();
+            self.sessions.insert(sid, sess);
+            for i in 0..links {
+                self.arm_link(sid, i)?;
+            }
+            self.arm_ctrl(sid)
+        }
+
+        /// First-error-wins session failure: record it, cut the
+        /// session's sockets (in-flight ops complete as errors
+        /// promptly), and drop the mailbox so the handler thread sees
+        /// the source close after draining what was already parsed.
+        fn sess_fail(&mut self, sid: u32, e: io::Error) {
+            let Some(sess) = self.sessions.get_mut(&sid) else { return };
+            if sess.err.is_none() {
+                if env_flag("RFTP_URING_STATS") {
+                    eprintln!("uring sink session {sid} first error: {e}");
+                }
+                sess.err = Some(e);
+            }
+            if !sess.cut {
+                sess.cut = true;
+                shutdown_all(&sess.socks, Shutdown::Both);
+            }
+            sess.mailbox = None;
+        }
+
+        /// Daemon detach: stop re-arming, cut the sockets so armed ops
+        /// drain, and let `finalize_sessions` complete the handshake at
+        /// `inflight == 0`.
+        fn begin_detach(&mut self, sid: u32) {
+            let Some(sess) = self.sessions.get_mut(&sid) else { return };
+            sess.detaching = true;
+            sess.mailbox = None;
+            if !sess.cut {
+                sess.cut = true;
+                shutdown_all(&sess.socks, Shutdown::Both);
+            }
+        }
+
+        /// Complete the detach handshake for every drained session:
+        /// send its stats (and any driver-side error) to the waiting
+        /// session thread and drop the entry. No in-flight op can now
+        /// land in the session's leased slots, so the caller may
+        /// release the lease the moment it receives the stats.
+        fn finalize_sessions(&mut self) {
+            let done: Vec<u32> = self
+                .sessions
+                .iter()
+                .filter(|(_, s)| s.detaching && s.inflight == 0)
+                .map(|(&sid, _)| sid)
+                .collect();
+            for sid in done {
+                let ring = self.stats_snapshot();
+                let sess = self.sessions.remove(&sid).unwrap();
+                if let Some(tx) = sess.stats_tx {
+                    let _ = tx.send(SessionStats {
+                        place_ns: sess.place_ns,
+                        flush_ns: sess.flush_ns,
+                        duplicates: sess.duplicates,
+                        place_hist: sess.place_hist,
+                        err: sess.err,
+                        ring,
+                    });
+                }
+            }
+        }
+
+        /// Forward freshly-parsed events to each daemon session's
+        /// mailbox (batched per driver loop, so a CQE burst arrives at
+        /// the handler as one `recv_batch`).
+        fn deliver_mailboxes(&mut self) {
+            for sess in self.sessions.values_mut() {
+                if sess.emit.is_empty() {
+                    continue;
+                }
+                match &sess.mailbox {
+                    Some(tx) => {
+                        for ev in sess.emit.drain(..) {
+                            let _ = tx.send(ev);
+                        }
+                    }
+                    None => sess.emit.clear(),
+                }
+            }
+        }
+
+        fn on_ctrl_cqe(&mut self, sid: u32, c: &Cqe) -> io::Result<()> {
+            let mut next = Next::None;
+            {
+                let sess = self.sessions.get_mut(&sid).unwrap();
+                let idle = sess.detaching || sess.err.is_some();
+                if c.res == -ECANCELED {
+                    if !idle {
+                        next = Next::Arm;
+                    }
+                } else if c.res < 0 {
+                    if !idle {
+                        next = Next::Fail(io::Error::from_raw_os_error(-c.res));
+                    }
+                } else if c.res == 0 {
+                    if sess.ctrl.dec.pending_bytes() != 0 {
+                        next = Next::Fail(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "control stream closed mid-frame",
+                        ));
+                    } else {
+                        sess.ctrl.eof = true;
+                        sess.emit.push(SinkEvt::CtrlEof);
+                    }
+                } else {
+                    let n = c.res as usize;
+                    let buf: &[u8] = &sess.ctrl.buf[..n];
+                    // Decode in place; the decoder owns a copy.
+                    let buf = buf.to_vec();
+                    sess.ctrl.dec.push(&buf);
+                    loop {
+                        match sess.ctrl.dec.next_frame() {
+                            Ok(Some(msg)) => sess.emit.push(SinkEvt::Ctrl(msg)),
+                            Ok(None) => break,
+                            Err(e) => {
+                                next = Next::Fail(io::Error::new(
+                                    io::ErrorKind::InvalidData,
+                                    format!("bad control frame: {e:?}"),
+                                ));
+                                break;
+                            }
+                        }
+                    }
+                    if matches!(next, Next::None) && !idle {
+                        next = Next::Arm;
+                    }
+                }
+            }
+            match next {
+                Next::Arm => self.arm_ctrl(sid),
+                Next::Fail(e) => {
+                    self.sess_fail(sid, e);
+                    Ok(())
+                }
+                _ => Ok(()),
+            }
+        }
+
+        /// Fallback-mode data completion: the ported header-first
+        /// armed-read state machine.
+        fn on_data_cqe_fx(&mut self, sid: u32, i: usize, c: &Cqe) -> io::Result<()> {
+            let place_floor = self.place_floor;
+            let mut next = Next::None;
+            {
+                let Self {
+                    sessions, slots, ..
+                } = self;
+                let sess = sessions.get_mut(&sid).unwrap();
+                let idle = sess.detaching || sess.err.is_some();
+                let st = sess.links[i].state;
+                if c.res == -ECANCELED && !matches!(st, RxState::Eof) {
+                    // Dropped without side effects — retry in place (a
+                    // `FxPlace` link keeps the cap slot it holds).
+                    if !idle {
+                        next = Next::Arm;
+                    }
+                } else if c.res < 0 {
+                    if !idle {
+                        next = Next::Fail(io::Error::from_raw_os_error(-c.res));
+                    }
+                } else {
+                    let n = c.res as usize;
+                    match st {
+                        RxState::FxHeader { got } => {
+                            if n == 0 {
+                                if got == 0 {
+                                    sess.links[i].state = RxState::Eof;
+                                    sess.emit.push(SinkEvt::DataEof);
+                                } else {
+                                    next = Next::Fail(io::Error::new(
+                                        io::ErrorKind::UnexpectedEof,
+                                        "stream closed mid-frame",
+                                    ));
+                                }
+                            } else {
+                                let got = got + n;
+                                if got < DATA_FRAME_HEADER_LEN {
+                                    sess.links[i].state = RxState::FxHeader { got };
+                                    next = Next::Arm;
+                                } else {
+                                    match DataFrameHeader::decode(&sess.links[i].hdr_buf[..]) {
+                                        Err(e) => {
+                                            next = Next::Fail(perr(format!(
+                                                "bad data frame header: {e:?}"
+                                            )))
+                                        }
+                                        Ok(hdr)
+                                            if hdr.session != SESSION
+                                                || hdr.slot >= sess.pool_blocks
+                                                || hdr.len as usize > sess.block_size
+                                                || hdr.seq as u64 >= sess.total_blocks =>
+                                        {
+                                            next =
+                                                Next::Fail(perr(format!("bad data frame {hdr:?}")))
+                                        }
+                                        Ok(hdr) => {
+                                            if !sess.placed.claim(hdr.seq as u64) {
+                                                // Retransmit raced a slow
+                                                // ack; consume without
+                                                // placing.
+                                                sess.duplicates += 1;
+                                                sess.links[i].state = RxState::FxDiscard {
+                                                    wire_len: hdr.wire_len(),
+                                                    got: 0,
+                                                };
+                                                next = Next::Arm;
+                                            } else {
+                                                // Route on the header, then
+                                                // commit the payload read
+                                                // straight into the credited
+                                                // slot's registered buffer —
+                                                // the CQE is the placement.
+                                                let fixed =
+                                                    sess.lease[hdr.slot as usize] as usize;
+                                                let base =
+                                                    slots[fixed].lock().as_ptr() as u64;
+                                                sess.links[i].state = RxState::FxPlace {
+                                                    hdr,
+                                                    base,
+                                                    got: 0,
+                                                    t0: Instant::now(),
+                                                };
+                                                next = Next::ArmPlace;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        RxState::FxPlace { hdr, got, t0, .. } => {
+                            if n == 0 {
+                                next = Next::Fail(io::Error::new(
+                                    io::ErrorKind::UnexpectedEof,
+                                    "stream closed mid-frame",
+                                ));
+                            } else {
+                                let got = got + n;
+                                if got < hdr.wire_len() {
+                                    if let RxState::FxPlace { got: ref mut g, .. } =
+                                        sess.links[i].state
+                                    {
+                                        *g = got;
+                                    }
+                                    next = Next::Arm;
+                                } else {
+                                    // Clock from max(armed, floor) — see
+                                    // `place_floor`.
+                                    let ns =
+                                        t0.max(place_floor).elapsed().as_nanos() as u64;
+                                    sess.place_ns += ns;
+                                    sess.place_hist.record(ns);
+                                    let mut write_err = None;
+                                    if let SnkBackend::File(sink) = &*sess.backend {
+                                        // Write-behind: the block lands at
+                                        // its final offset the moment it is
+                                        // placed.
+                                        let t1 = Instant::now();
+                                        let fixed =
+                                            sess.lease[hdr.slot as usize] as usize;
+                                        let dst = slots[fixed].lock();
+                                        match sink.write_block(
+                                            &dst[PAYLOAD_HEADER_LEN
+                                                ..PAYLOAD_HEADER_LEN + hdr.len as usize],
+                                            hdr.seq as u64 * sess.block_size as u64,
+                                        ) {
+                                            Ok(()) => {
+                                                sess.flush_ns +=
+                                                    t1.elapsed().as_nanos() as u64
+                                            }
+                                            Err(e) => write_err = Some(e),
+                                        }
+                                    }
+                                    match write_err {
+                                        Some(e) => next = Next::Fail(e),
+                                        None => {
+                                            sess.emit.push(SinkEvt::Arrival {
+                                                seq: hdr.seq,
+                                                slot: hdr.slot,
+                                                len: hdr.len,
+                                            });
+                                            sess.links[i].state =
+                                                RxState::FxHeader { got: 0 };
+                                            next = Next::Placed;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        RxState::FxDiscard { wire_len, got } => {
+                            if n == 0 {
+                                next = Next::Fail(io::Error::new(
+                                    io::ErrorKind::UnexpectedEof,
+                                    "stream closed mid-frame",
+                                ));
+                            } else {
+                                let got = got + n;
+                                if got < wire_len {
+                                    sess.links[i].state =
+                                        RxState::FxDiscard { wire_len, got };
+                                } else {
+                                    sess.links[i].state = RxState::FxHeader { got: 0 };
+                                }
+                                next = Next::Arm;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            match next {
+                Next::None => Ok(()),
+                Next::Arm => self.arm_link(sid, i),
+                Next::ArmPlace => self.arm_place(sid, i),
+                Next::Placed => {
+                    let parked = {
+                        let sess = self.sessions.get_mut(&sid).unwrap();
+                        sess.place_armed -= 1;
+                        sess.place_pending.pop_front()
+                    };
+                    if let Some(j) = parked {
+                        self.arm_place(sid, j)?;
+                    }
+                    self.arm_link(sid, i)
+                }
+                Next::Fail(e) => {
+                    self.sess_fail(sid, e);
+                    Ok(())
+                }
+            }
+        }
+
+        /// Multishot-mode data completion: recycle-and-parse. `more` is
+        /// the CQE's `F_MORE` (the receive is still armed).
+        fn on_data_cqe_ms(&mut self, sid: u32, i: usize, c: &Cqe, more: bool) -> io::Result<()> {
+            let place_floor = self.place_floor;
+            if c.res < 0 {
+                let (idle, eof) = {
+                    let sess = self.sessions.get_mut(&sid).unwrap();
+                    (
+                        sess.detaching || sess.err.is_some(),
+                        matches!(sess.links[i].state, RxState::Eof),
+                    )
+                };
+                match -c.res {
+                    _ if idle || eof => return Ok(()),
+                    ECANCELED => {
+                        self.multishot_rearms += 1;
+                        return self.arm_link(sid, i);
+                    }
+                    ENOBUFS => {
+                        // Buffer ring dry: park until a recycle.
+                        self.pbuf_exhausted += 1;
+                        self.sessions.get_mut(&sid).unwrap().links[i].parked = true;
+                        self.starved.push_back((sid, i));
+                        return Ok(());
+                    }
+                    e => {
+                        self.sess_fail(sid, io::Error::from_raw_os_error(e));
+                        return Ok(());
+                    }
+                }
+            }
+            let bid = (c.flags & IORING_CQE_F_BUFFER != 0)
+                .then_some((c.flags >> IORING_CQE_BUFFER_SHIFT) as u16);
+            let mut fed = Ok(());
+            if c.res == 0 {
+                let sess = self.sessions.get_mut(&sid).unwrap();
+                if !(sess.detaching || sess.err.is_some()) {
+                    match sess.links[i].state {
+                        RxState::MsHeader { got: 0 } => {
+                            sess.links[i].state = RxState::Eof;
+                            sess.emit.push(SinkEvt::DataEof);
+                        }
+                        RxState::Eof => {}
+                        _ => {
+                            fed = Err(io::Error::new(
+                                io::ErrorKind::UnexpectedEof,
+                                "stream closed mid-frame",
+                            ))
+                        }
+                    }
+                }
+            } else {
+                let n = c.res as usize;
+                let Self {
+                    sessions,
+                    slots,
+                    pbuf,
+                    ..
+                } = self;
+                let sess = sessions.get_mut(&sid).unwrap();
+                if sess.detaching || sess.err.is_some() {
+                    // Draining a cut session: count the buffer back in,
+                    // parse nothing.
+                } else {
+                    match bid {
+                        None => {
+                            fed = Err(perr("multishot completion without a buffer"));
+                        }
+                        Some(bid) => {
+                            let bytes = &pbuf.as_ref().expect("ms without pbuf").buf(bid)[..n];
+                            fed = ms_feed(sess, slots, i, bytes, place_floor);
+                        }
+                    }
+                }
+            }
+            // Recycle before re-arming: the returned buffer may be the
+            // one that un-starves a parked link.
+            if let Some(bid) = bid {
+                self.pbuf.as_mut().expect("ms without pbuf").recycle(bid);
+                self.drain_starved()?;
+            }
+            if let Err(e) = fed {
+                self.sess_fail(sid, e);
                 return Ok(());
             }
-            self.ctrl.dec.push(&self.ctrl.buf[..c.res as usize]);
-            loop {
-                match self.ctrl.dec.next_frame() {
-                    Ok(Some(msg)) => out.push(SinkEvt::Ctrl(msg)),
-                    Ok(None) => break,
-                    Err(e) => {
-                        return Err(io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            format!("bad control frame: {e:?}"),
-                        ))
-                    }
-                }
+            let (rearm, parked) = {
+                let sess = self.sessions.get_mut(&sid).unwrap();
+                let dead = sess.detaching
+                    || sess.err.is_some()
+                    || matches!(sess.links[i].state, RxState::Eof);
+                (!more && !dead, sess.links[i].parked)
+            };
+            if rearm && !parked {
+                // Terminal CQE (`F_MORE` cleared) on a live link: the
+                // kernel dropped the multishot arm; re-arm it.
+                self.multishot_rearms += 1;
+                return self.arm_link(sid, i);
             }
-            self.arm_ctrl()
+            Ok(())
         }
 
-        fn on_cqe(&mut self, c: &Cqe, out: &mut Vec<SinkEvt>) -> io::Result<()> {
-            self.inflight -= 1;
-            let i = c.user_data as usize;
-            if i == self.links.len() {
-                return self.on_ctrl_cqe(c, out);
+        /// Route one CQE. `Err` here is ring-fatal (a failed submit);
+        /// session-level failures are recorded via `sess_fail`.
+        fn on_cqe(&mut self, c: &Cqe) -> io::Result<()> {
+            if c.user_data == UD_NOP {
+                return Ok(());
             }
-            if c.res == -ECANCELED && !matches!(self.links[i].phase, LinkPhase::Eof) {
-                // Re-arm the same phase: a `Place` link keeps the cap
-                // slot it already holds, so this is `arm`, not
-                // `arm_place`.
-                return self.arm(i);
+            if c.user_data == UD_WAKE {
+                self.wake_armed = false;
+                if !self.stopping {
+                    return self.arm_wake();
+                }
+                return Ok(());
             }
-            if c.res < 0 {
-                return Err(io::Error::from_raw_os_error(-c.res));
-            }
-            let n = c.res as usize;
-            match &mut self.links[i].phase {
-                LinkPhase::Header { got } => {
-                    if n == 0 {
-                        if *got == 0 {
-                            self.links[i].phase = LinkPhase::Eof;
-                            out.push(SinkEvt::DataEof);
-                            return Ok(());
+            let sid = (c.user_data >> 32) as u32;
+            let link = (c.user_data & u32::MAX as u64) as u32;
+            let more = c.flags & IORING_CQE_F_MORE != 0;
+            {
+                // A CQE for a removed session cannot happen (entries
+                // only drop at `inflight == 0`), but route defensively.
+                let Some(sess) = self.sessions.get_mut(&sid) else {
+                    if let Some(p) = &mut self.pbuf {
+                        if c.flags & IORING_CQE_F_BUFFER != 0 {
+                            p.recycle((c.flags >> IORING_CQE_BUFFER_SHIFT) as u16);
                         }
-                        return Err(io::Error::new(
-                            io::ErrorKind::UnexpectedEof,
-                            "stream closed mid-frame",
-                        ));
                     }
-                    *got += n;
-                    if *got < DATA_FRAME_HEADER_LEN {
-                        return self.arm(i);
-                    }
-                    let hdr = DataFrameHeader::decode(&self.links[i].hdr_buf[..])
-                        .map_err(|e| perr(format!("bad data frame header: {e:?}")))?;
-                    if hdr.session != SESSION
-                        || hdr.slot >= self.cfg.pool_blocks
-                        || hdr.len as usize > self.cfg.block_size
-                        || hdr.seq as u64 >= self.total_blocks
-                    {
-                        return Err(perr(format!("bad data frame {hdr:?}")));
-                    }
-                    if !self.placed.claim(hdr.seq as u64) {
-                        // Retransmit raced a slow ack; its slot may have
-                        // been re-granted, so the bytes must be consumed
-                        // without placing them.
-                        self.duplicates += 1;
-                        self.links[i].phase = LinkPhase::Discard {
-                            wire_len: hdr.wire_len(),
-                            got: 0,
-                        };
-                        return self.arm(i);
-                    }
-                    // Route on the header, then commit the payload read
-                    // straight into the credited slot's registered
-                    // buffer — the CQE is the placement.
-                    let base = self.snk_bufs[hdr.slot as usize].lock().as_ptr() as u64;
-                    self.links[i].phase = LinkPhase::Place {
-                        hdr,
-                        base,
-                        got: 0,
-                        t0: Instant::now(),
-                    };
-                    self.arm_place(i)
+                    return Ok(());
+                };
+                if !more {
+                    sess.inflight = sess.inflight.saturating_sub(1);
                 }
-                LinkPhase::Place { hdr, got, t0, .. } => {
-                    if n == 0 {
-                        return Err(io::Error::new(
-                            io::ErrorKind::UnexpectedEof,
-                            "stream closed mid-frame",
-                        ));
-                    }
-                    *got += n;
-                    if *got < hdr.wire_len() {
-                        return self.arm(i);
-                    }
-                    let (hdr, t0) = (*hdr, *t0);
-                    // Clock from max(armed, floor) — see `place_floor`.
-                    let ns = t0.max(self.place_floor).elapsed().as_nanos() as u64;
-                    self.place_ns += ns;
-                    self.place_hist.record(ns);
-                    if let SnkBackend::File(sink) = self.backend {
-                        // Write-behind, exactly like the TCP receivers:
-                        // the block lands at its final offset the moment
-                        // it is placed.
-                        let t1 = Instant::now();
-                        let dst = self.snk_bufs[hdr.slot as usize].lock();
-                        sink.write_block(
-                            &dst[PAYLOAD_HEADER_LEN..PAYLOAD_HEADER_LEN + hdr.len as usize],
-                            hdr.seq as u64 * self.cfg.block_size as u64,
-                        )?;
-                        self.flush_ns += t1.elapsed().as_nanos() as u64;
-                    }
-                    out.push(SinkEvt::Arrival {
-                        seq: hdr.seq,
-                        slot: hdr.slot,
-                        len: hdr.len,
-                    });
-                    self.links[i].phase = LinkPhase::Header { got: 0 };
-                    self.place_armed -= 1;
-                    if let Some(j) = self.place_pending.pop_front() {
-                        self.arm_place(j)?;
-                    }
-                    self.arm(i)
-                }
-                LinkPhase::Discard { wire_len, got } => {
-                    if n == 0 {
-                        return Err(io::Error::new(
-                            io::ErrorKind::UnexpectedEof,
-                            "stream closed mid-frame",
-                        ));
-                    }
-                    *got += n;
-                    if *got < *wire_len {
-                        return self.arm(i);
-                    }
-                    self.links[i].phase = LinkPhase::Header { got: 0 };
-                    self.arm(i)
-                }
-                LinkPhase::Eof => Ok(()),
+            }
+            if link == CTRL_LINK {
+                self.on_ctrl_cqe(sid, c)
+            } else if self.ms {
+                self.on_data_cqe_ms(sid, link as usize, c, more)
+            } else {
+                self.on_data_cqe_fx(sid, link as usize, c)
             }
         }
 
-        /// The recv callback for [`drain_coalesced`]: deliver at least
-        /// one [`SinkEvt`] (`window: None` blocks; `Some(w)` is a dwell
-        /// wait), or `false` when the wait timed out, every link is
-        /// done, or the driver failed ([`SinkDriver::err`]).
-        fn pump(&mut self, window: Option<Duration>, out: &mut Vec<SinkEvt>) -> bool {
-            if self.err.is_some() {
+        /// The recv callback for [`drain_coalesced`] in pump mode:
+        /// deliver at least one [`SinkEvt`] for session `sid`
+        /// (`window: None` blocks; `Some(w)` is a dwell wait bounded by
+        /// a *cumulative* deadline across its internal waits), or
+        /// `false` when the wait timed out, every link is done, or the
+        /// driver failed.
+        /// Re-arm every live parked link. Runs after each recycle AND at
+        /// every CQE-batch boundary: by batch end each buffer the batch
+        /// delivered has been recycled, so the provided-buffer ring is
+        /// as full as it gets. Without the batch-end pass, an `ENOBUFS`
+        /// processed after the batch's last recycle parks its link with
+        /// nothing left to wake it — the only still-armed link may stay
+        /// silent forever while the remaining frames sit in the parked
+        /// links' sockets (observed as a total transfer stall with a
+        /// 1-buffer ring).
+        fn drain_starved(&mut self) -> io::Result<()> {
+            while let Some((s2, l2)) = self.starved.pop_front() {
+                // A parked link has nothing in flight, so its session
+                // may have failed or finalized while it waited — only
+                // re-arm live ones.
+                let live = self.sessions.get(&s2).is_some_and(|s| {
+                    !s.detaching
+                        && s.err.is_none()
+                        && !matches!(s.links[l2].state, RxState::Eof)
+                });
+                if live {
+                    self.multishot_rearms += 1;
+                    self.arm_link(s2, l2)?;
+                }
+            }
+            Ok(())
+        }
+
+        fn pump(&mut self, sid: u32, window: Option<Duration>, out: &mut Vec<SinkEvt>) -> bool {
+            if self.fatal.is_some() || self.sessions.get(&sid).is_none_or(|s| s.err.is_some()) {
                 return false;
             }
             self.place_floor = Instant::now();
+            let deadline = window.map(|w| Instant::now() + w);
             loop {
                 self.cqes.clear();
                 self.ring.reap(&mut self.cqes);
                 if self.cqes.is_empty() {
-                    if self.inflight == 0 {
+                    if self.sessions.get(&sid).map_or(0, |s| s.inflight) == 0 {
                         return false; // every link EOF — nothing can arrive
                     }
-                    let flushed = match window {
+                    let waited = match deadline {
                         // Hot path: hand re-armed reads to the kernel
                         // and wait for the next completion in ONE
                         // syscall.
@@ -1556,37 +2506,66 @@ mod linux {
                             self.ring.submit_and_wait(queued).map(|()| true)
                         }
                         // Dwell wait: flush first, then the timed wait
-                        // (`-ETIME` and a fused submit don't mix).
-                        Some(_) => self.submit_queued().and_then(|()| self.ring.wait(window)),
+                        // (`-ETIME` and a fused submit don't mix). Each
+                        // retry gets the *remaining* window, so partial
+                        // reads can't stretch the dwell past the
+                        // handler's flush deadline.
+                        Some(d) => {
+                            let now = Instant::now();
+                            if d <= now {
+                                return false; // dwell window exhausted
+                            }
+                            self.submit_queued()
+                                .and_then(|()| self.ring.wait(Some(d - now)))
+                        }
                     };
-                    match flushed {
+                    match waited {
                         Ok(true) => {
                             self.place_floor = Instant::now();
                             continue;
                         }
-                        Ok(false) => return false, // dwell window expired
+                        Ok(false) => {
+                            // -ETIME: drain completions that raced the
+                            // timeout into this dwell's batch rather
+                            // than leaving them for the next pump.
+                            if self.ring.cq_ready() > 0 {
+                                continue;
+                            }
+                            return false;
+                        }
                         Err(e) => {
-                            self.err = Some(e);
+                            self.fatal = Some(e);
                             return false;
                         }
                     }
                 }
                 let cqes = std::mem::take(&mut self.cqes);
                 for c in &cqes {
-                    let r = self.on_cqe(c, out);
+                    let r = self.on_cqe(c);
                     self.place_floor = Instant::now();
                     if let Err(e) = r {
-                        self.err = Some(e);
+                        self.fatal = Some(e);
+                        self.cqes = cqes;
                         return false;
                     }
                 }
                 self.cqes = cqes;
+                if let Err(e) = self.drain_starved() {
+                    self.fatal = Some(e);
+                    return false;
+                }
+                if let Some(sess) = self.sessions.get_mut(&sid) {
+                    if sess.err.is_some() {
+                        return false;
+                    }
+                    out.append(&mut sess.emit);
+                }
                 if !out.is_empty() {
                     // Flush the re-arms before handing the events over,
                     // so the kernel fills slots while the handler
                     // verifies and acks.
                     if let Err(e) = self.submit_queued() {
-                        self.err = Some(e);
+                        self.fatal = Some(e);
                         return false;
                     }
                     return true;
@@ -1596,18 +2575,114 @@ mod linux {
             }
         }
 
-        /// Drain until no kernel op targets the slot buffers or ring —
-        /// must run (after the sockets are shut down) before either is
-        /// freed.
+        /// The error to surface for session `sid` after a `Closed`
+        /// drain (ring-fatal first — it explains every session).
+        fn take_err(&mut self, sid: u32) -> Option<io::Error> {
+            self.fatal
+                .take()
+                .or_else(|| self.sessions.get_mut(&sid).and_then(|s| s.err.take()))
+        }
+
+        /// One daemon-driver iteration: submit + block for completions
+        /// (the armed wake read turns hub messages into CQEs), retire a
+        /// batch, forward events. `Err` is ring-fatal.
+        fn daemon_tick(&mut self) -> io::Result<()> {
+            self.place_floor = Instant::now();
+            self.cqes.clear();
+            self.ring.reap(&mut self.cqes);
+            if self.cqes.is_empty() {
+                let queued = std::mem::take(&mut self.queued);
+                self.ring.submit_and_wait(queued)?;
+                self.place_floor = Instant::now();
+                self.ring.reap(&mut self.cqes);
+            }
+            let cqes = std::mem::take(&mut self.cqes);
+            let mut r = Ok(());
+            for c in &cqes {
+                r = self.on_cqe(c);
+                self.place_floor = Instant::now();
+                if r.is_err() {
+                    break;
+                }
+            }
+            self.cqes = cqes;
+            r?;
+            self.drain_starved()?;
+            self.submit_queued()?;
+            self.deliver_mailboxes();
+            Ok(())
+        }
+
+        /// Ring-fatal failure in daemon mode: every session dies with
+        /// it.
+        fn fail_all(&mut self, e: io::Error) {
+            let sids: Vec<u32> = self.sessions.keys().copied().collect();
+            for sid in sids {
+                self.sess_fail(sid, perr(format!("shared uring driver failed: {e}")));
+                self.begin_detach(sid);
+            }
+            self.fatal = Some(e);
+        }
+
+        /// Drain until no kernel op targets the slot buffers, provided
+        /// buffers, or wake buffer — must run (after the sockets are
+        /// shut down) before any of them can be freed.
         fn quiesce(&mut self) {
-            while self.inflight > 0 {
+            self.stopping = true;
+            if let Some(w) = &self.wake {
+                let _ = w.stream.shutdown(Shutdown::Both);
+            }
+            let _ = self.submit_queued();
+            loop {
+                let inflight: u32 = self.sessions.values().map(|s| s.inflight).sum();
+                if inflight == 0 && !self.wake_armed {
+                    return;
+                }
                 if self.ring.wait(None).is_err() {
                     return; // ring is gone; nothing more to drain
                 }
                 self.cqes.clear();
-                self.inflight -= self.ring.reap(&mut self.cqes).min(self.inflight as usize) as u32;
+                self.ring.reap(&mut self.cqes);
+                let cqes = std::mem::take(&mut self.cqes);
+                for c in &cqes {
+                    if c.user_data == UD_WAKE {
+                        self.wake_armed = false;
+                        continue;
+                    }
+                    if c.user_data == UD_NOP {
+                        continue;
+                    }
+                    if c.flags & IORING_CQE_F_MORE != 0 {
+                        continue; // non-terminal: the op is still armed
+                    }
+                    let sid = (c.user_data >> 32) as u32;
+                    if let Some(sess) = self.sessions.get_mut(&sid) {
+                        sess.inflight = sess.inflight.saturating_sub(1);
+                    }
+                }
+                self.cqes = cqes;
             }
         }
+    }
+    /// Smallest 4K-aligned provided-buffer length that holds one whole
+    /// wire frame (frame header + payload header + block), so a
+    /// saturated link's multishot completion covers a full block and
+    /// CQEs/block stays ~1.
+    fn pbuf_len(block_size: usize) -> usize {
+        (DATA_FRAME_HEADER_LEN + PAYLOAD_HEADER_LEN + block_size + 4095) & !4095
+    }
+
+    /// How many provided buffers to post: the config pin wins (tests
+    /// force exhaustion with 1), else `RFTP_URING_PBUF_COUNT`, else 32.
+    /// Clamped to 256 so a worst-case burst (every buffer completing at
+    /// once, plus re-arms) stays well inside the CQ (2×[`RING_ENTRIES`]).
+    fn pbuf_count(cfg: &LiveConfig) -> u32 {
+        let n = if cfg.uring_pbuf > 0 {
+            cfg.uring_pbuf
+        } else {
+            env_u32("RFTP_URING_PBUF_COUNT", 32)
+        };
+        n.clamp(1, 256)
     }
 
     /// One accepted source connection set, ready for [`run_uring_sink`]
@@ -1694,8 +2769,8 @@ mod linux {
         assert!(cfg.channels as u32 + 2 <= RING_ENTRIES);
         let total_blocks = cfg.total_blocks();
         let geo = PoolGeometry::new(cfg.block_size as u64, cfg.pool_blocks);
-        let snk_backend = SnkBackend::open(cfg)?;
-        let direct_io_active = snk_backend.direct_active();
+        let backend = Arc::new(SnkBackend::open(cfg)?);
+        let direct_io_active = backend.direct_active();
 
         let snk_pool = AtomicSinkPool::new(geo);
         let granter = Mutex::new(Granter::new(
@@ -1704,10 +2779,20 @@ mod linux {
             cfg.grant_per_completion,
             4,
         ));
-        let placed = AtomicBitmap::new(total_blocks);
+        let placed = Arc::new(AtomicBitmap::new(total_blocks));
 
         let ring = transfer_ring(&caps, true)?;
         ring.register_pool(snk_bufs)?;
+        let ms = multishot_enabled(&caps);
+        let pbuf = if ms {
+            Some(PbufRing::new(
+                &ring,
+                pbuf_count(cfg),
+                pbuf_len(cfg.block_size),
+            )?)
+        } else {
+            None
+        };
 
         let mut handles = vec![ctrl.try_clone()?];
         for s in &data {
@@ -1723,81 +2808,75 @@ mod linux {
 
         let start = Instant::now();
         let mut h = SinkHandler::new(cfg, &ctrl_tx, &snk_pool, &granter, snk_bufs, fair);
-        let mut drv = SinkDriver {
-            ring: &ring,
-            links: data
-                .iter()
-                .map(|s| DataLink {
-                    fd: s.as_raw_fd(),
-                    phase: LinkPhase::Header { got: 0 },
-                    hdr_buf: Box::new([0u8; DATA_FRAME_HEADER_LEN]),
-                    scratch: Vec::new(),
-                })
-                .collect(),
-            ctrl: CtrlLink {
-                fd: ctrl.as_raw_fd(),
-                buf: Box::new([0u8; 4096]),
-                dec: rftp_core::wire::FrameDecoder::new(),
-                eof: false,
-            },
+        let mut drv = MultiDriver::new(
+            &ring,
             snk_bufs,
-            placed: &placed,
-            backend: &snk_backend,
-            cfg,
+            ms,
+            pbuf,
+            env_u32("RFTP_URING_PLACE_CAP", 1).max(1),
+        );
+        // Pump mode: one session, identity lease (the pool *is* the
+        // registered table), no mailbox — `pump` feeds the handler
+        // directly on this thread.
+        let sess = Sess::new(
+            ms,
+            (0..cfg.pool_blocks).collect(),
+            ctrl,
+            data,
+            cfg.block_size,
+            cfg.pool_blocks,
             total_blocks,
-            inflight: 0,
-            queued: 0,
-            place_ns: 0,
-            flush_ns: 0,
-            duplicates: 0,
-            place_hist: NsHist::new(),
-            err: None,
-            cqes: Vec::with_capacity(64),
-            place_armed: 0,
-            place_pending: VecDeque::new(),
-            place_cap: env_u32("RFTP_URING_PLACE_CAP", 1).max(1),
-            place_floor: start,
-        };
+            placed,
+            backend.clone(),
+            None,
+            None,
+        );
 
         let run = (|| -> io::Result<()> {
             if let Some(msg) = first_ctrl {
                 h.handle(SinkEvt::Ctrl(msg))?;
             }
-            drv.arm_initial()?;
-            match drain_coalesced(&mut h, &mut |w, out| drv.pump(w, out), cfg.flush_window)? {
+            drv.add_session(0, sess)?;
+            match drain_coalesced(&mut h, &mut |w, out| drv.pump(0, w, out), cfg.flush_window)? {
                 DrainEnd::Done => Ok(()),
                 DrainEnd::Closed => Err(drv
-                    .err
-                    .take()
+                    .take_err(0)
                     .unwrap_or_else(|| perr("event pipeline stopped before transfer completed"))),
             }
         })();
         if let Err(e) = run {
             fail.set(e);
         }
-        // Quiesce before the slot buffers or ring can be freed: shut
-        // every link (the transfer is over either way — the final acks
-        // are already flushed and ride out ahead of the FIN), then
-        // drain the in-flight reads the shutdown completes.
+        // Quiesce before the slot buffers, provided buffers, or ring
+        // can be freed: shut every link (the transfer is over either
+        // way — the final acks are already flushed and ride out ahead
+        // of the FIN), then drain the in-flight reads the shutdown
+        // completes.
         shutdown_all(&handles, Shutdown::Both);
         drv.quiesce();
+        let ring_stats = drv.stats_snapshot();
+        let sess = drv.sessions.remove(&0).unwrap();
         let (place_ns, flush_ns, duplicates, place_hist) =
-            (drv.place_ns, drv.flush_ns, drv.duplicates, drv.place_hist);
+            (sess.place_ns, sess.flush_ns, sess.duplicates, sess.place_hist);
         if env_flag("RFTP_URING_STATS") {
             eprintln!(
-                "uring sink: {} enters, {} cqes, {} blocks",
-                ring.enters.load(Ordering::Relaxed),
-                ring.reaped.load(Ordering::Relaxed),
+                "uring sink: {} enters, {} cqes, {} blocks, multishot={} rearms={} pbuf_exhausted={}",
+                ring_stats.enters,
+                ring_stats.cqes,
                 total_blocks,
+                ring_stats.multishot,
+                ring_stats.multishot_rearms,
+                ring_stats.pbuf_exhausted,
             );
         }
+        drop(drv);
         drop(ring);
 
         if fail.is_set() {
             return Err(fail.into_err());
         }
         let mut sync_ns = 0u64;
-        if let SnkBackend::File(sink) = &snk_backend {
+        if let SnkBackend::File(sink) = &*backend {
             let t0 = Instant::now();
             sink.sync()?;
             sync_ns = t0.elapsed().as_nanos() as u64;
@@ -1835,6 +2914,425 @@ mod linux {
             // and the dwell — is this one driver thread.
             transport_threads: 1,
             direct_io_active,
+            uring: Some(ring_stats),
+        })
+    }
+
+    // -----------------------------------------------------------------
+    // Shared daemon driver: one ring, one thread, every session
+    // -----------------------------------------------------------------
+
+    /// Everything the shared driver needs to adopt one admitted
+    /// session: wire geometry, the arena lease, driver-owned socket
+    /// clones, and the handler-side plumbing.
+    pub(crate) struct SessionReg {
+        sid: u32,
+        lease: Vec<u32>,
+        ctrl: TcpStream,
+        data: Vec<TcpStream>,
+        block_size: usize,
+        pool_blocks: u32,
+        total_blocks: u64,
+        placed: Arc<AtomicBitmap>,
+        backend: Arc<SnkBackend>,
+        mailbox: crossbeam::channel::Sender<SinkEvt>,
+        stats_tx: std::sync::mpsc::SyncSender<SessionStats>,
+    }
+
+    enum HubMsg {
+        Register(Box<SessionReg>),
+        Detach(u32),
+        Stop,
+    }
+
+    /// Session threads' handle to the daemon's one shared driver
+    /// thread. Every message is paired with a byte on the wake socket,
+    /// whose armed `READ` turns it into a CQE — so a driver blocked in
+    /// `GETEVENTS` notices registrations and detaches immediately.
+    pub(crate) struct UringHub {
+        tx: std::sync::mpsc::Sender<HubMsg>,
+        wake: Mutex<UnixStream>,
+        next_sid: AtomicU32,
+        ms: bool,
+    }
+
+    impl UringHub {
+        /// Whether the shared ring runs multishot receive (vs the
+        /// `READ_FIXED` fallback).
+        pub(crate) fn multishot(&self) -> bool {
+            self.ms
+        }
+
+        fn send(&self, msg: HubMsg) -> io::Result<()> {
+            self.tx
+                .send(msg)
+                .map_err(|_| perr("shared uring driver is gone"))?;
+            use io::Write;
+            // A failed wake write means the driver already tore the
+            // socket down on its way out; the message error above (or
+            // the stats channel) reports that.
+            let _ = self.wake.lock().write(&[1u8]);
+            Ok(())
+        }
+
+        /// Ask the driver to exit once every session has detached.
+        pub(crate) fn stop(&self) {
+            let _ = self.send(HubMsg::Stop);
+        }
+    }
+
+    impl<'a> MultiDriver<'a> {
+        /// Adopt a registered session: reject (via its stats channel)
+        /// if its links cannot fit the ring alongside the sessions
+        /// already armed, else insert and arm.
+        fn add_daemon_session(&mut self, reg: SessionReg) -> io::Result<()> {
+            let SessionReg {
+                sid,
+                lease,
+                ctrl,
+                data,
+                block_size,
+                pool_blocks,
+                total_blocks,
+                placed,
+                backend,
+                mailbox,
+                stats_tx,
+            } = reg;
+            // Worst-case concurrently-armed ops: every session's links
+            // + control, the newcomer's, and the wake read. The CQ is
+            // 2x the SQ, so fitting the SQ bounds completions too.
+            let armed: usize = self
+                .sessions
+                .values()
+                .map(|s| s.links.len() + 1)
+                .sum::<usize>()
+                + 1;
+            if armed + data.len() + 1 > RING_ENTRIES as usize {
+                let _ = stats_tx.send(SessionStats {
+                    place_ns: 0,
+                    flush_ns: 0,
+                    duplicates: 0,
+                    place_hist: NsHist::new(),
+                    err: Some(perr("shared uring driver is at link capacity")),
+                    ring: self.stats_snapshot(),
+                });
+                return Ok(());
+            }
+            let sess = Sess::new(
+                self.ms,
+                lease,
+                ctrl,
+                data,
+                block_size,
+                pool_blocks,
+                total_blocks,
+                placed,
+                backend,
+                Some(mailbox),
+                Some(stats_tx),
+            );
+            self.add_session(sid, sess)
+        }
+    }
+
+    /// The daemon's one data-path thread: owns the shared ring (created
+    /// *on this thread* — `SINGLE_ISSUER` pins submission to the
+    /// creator), registers the whole arena as fixed buffers **once**,
+    /// posts the provided-buffer ring, then loops adopting/detaching
+    /// sessions and retiring completions until told to stop.
+    fn driver_main(
+        caps: UringCaps,
+        ms: bool,
+        slots: &[Mutex<SlotBuf>],
+        slot_cap: usize,
+        rx: std::sync::mpsc::Receiver<HubMsg>,
+        wake_r: UnixStream,
+        init_tx: std::sync::mpsc::SyncSender<io::Result<()>>,
+    ) -> UringStats {
+        let view: Vec<&Mutex<SlotBuf>> = slots.iter().collect();
+        let init = (|| -> io::Result<(Ring, Option<PbufRing>)> {
+            let ring = transfer_ring(&caps, true)?;
+            ring.register_pool(&view)?;
+            let pbuf = if ms {
+                let count = env_u32("RFTP_URING_PBUF_COUNT", 32).clamp(1, 256);
+                Some(PbufRing::new(&ring, count, pbuf_len(slot_cap))?)
+            } else {
+                None
+            };
+            Ok((ring, pbuf))
+        })();
+        let (ring, pbuf) = match init {
+            Ok(v) => {
+                let _ = init_tx.send(Ok(()));
+                v
+            }
+            Err(e) => {
+                let _ = init_tx.send(Err(e));
+                return UringStats {
+                    multishot: ms,
+                    ..Default::default()
+                };
+            }
+        };
+        let mut drv = MultiDriver::new(
+            &ring,
+            &view,
+            ms,
+            pbuf,
+            env_u32("RFTP_URING_PLACE_CAP", 1).max(1),
+        );
+        drv.wake = Some(WakeLink {
+            stream: wake_r,
+            buf: Box::new([0u8; 64]),
+        });
+        let run = (|| -> io::Result<()> {
+            drv.arm_wake()?;
+            drv.submit_queued()?;
+            let mut stop = false;
+            loop {
+                loop {
+                    match rx.try_recv() {
+                        Ok(HubMsg::Register(reg)) => drv.add_daemon_session(*reg)?,
+                        Ok(HubMsg::Detach(sid)) => drv.begin_detach(sid),
+                        Ok(HubMsg::Stop) => stop = true,
+                        Err(std::sync::mpsc::TryRecvError::Empty) => break,
+                        Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                            stop = true;
+                            break;
+                        }
+                    }
+                }
+                drv.finalize_sessions();
+                if stop && drv.sessions.is_empty() {
+                    return Ok(());
+                }
+                drv.daemon_tick()?;
+            }
+        })();
+        if let Err(e) = run {
+            drv.fail_all(e);
+        }
+        // Drain every kernel op targeting the arena, the provided
+        // buffers, or the wake buffer before any can be freed, then
+        // complete outstanding detach handshakes.
+        drv.quiesce();
+        drv.finalize_sessions();
+        let stats = drv.stats_snapshot();
+        if env_flag("RFTP_URING_STATS") {
+            eprintln!(
+                "uring daemon driver: {} enters, {} cqes, multishot={} rearms={} pbuf_exhausted={}",
+                stats.enters, stats.cqes, stats.multishot, stats.multishot_rearms,
+                stats.pbuf_exhausted,
+            );
+        }
+        stats
+    }
+
+    /// Spawn the daemon's shared uring driver over the whole arena
+    /// (`slots`, every buffer sized `slot_cap`). Fails with
+    /// `Unsupported` when the kernel cannot run the ring backend, and
+    /// with the driver's own error when ring setup / registration /
+    /// pbuf posting fails — nothing is leaked either way.
+    pub(crate) fn spawn_shared_uring_driver<'scope, 'env>(
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        slots: &'env [Mutex<SlotBuf>],
+        slot_cap: usize,
+    ) -> io::Result<(
+        Arc<UringHub>,
+        std::thread::ScopedJoinHandle<'scope, UringStats>,
+    )> {
+        let caps = ring_caps()?;
+        let ms = multishot_enabled(&caps);
+        let (tx, rx) = std::sync::mpsc::channel::<HubMsg>();
+        let (wake_w, wake_r) = UnixStream::pair()?;
+        let (init_tx, init_rx) = std::sync::mpsc::sync_channel::<io::Result<()>>(1);
+        let handle = scope.spawn(move || driver_main(caps, ms, slots, slot_cap, rx, wake_r, init_tx));
+        match init_rx.recv() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                let _ = handle.join();
+                return Err(e);
+            }
+            Err(_) => {
+                let _ = handle.join();
+                return Err(perr("uring driver thread died during init"));
+            }
+        }
+        Ok((
+            Arc::new(UringHub {
+                tx,
+                wake: Mutex::new(wake_w),
+                next_sid: AtomicU32::new(0),
+                ms,
+            }),
+            handle,
+        ))
+    }
+
+    /// Run one admitted daemon session's *handler half* against the
+    /// shared driver: register the session's sockets with the hub, then
+    /// drive the same [`SinkHandler`] + [`drain_coalesced`] pair as
+    /// every other sink over a mailbox the driver fills. Admission does
+    /// **not** touch buffer registration — the arena was registered
+    /// once at daemon startup, and the lease maps this session's wire
+    /// slots onto those stable fixed-buffer indices.
+    pub(crate) fn run_shared_uring_session(
+        cfg: &LiveConfig,
+        streams: SessionStreams,
+        first_ctrl: Option<CtrlMsg>,
+        snk_bufs: &[&Mutex<SlotBuf>],
+        lease: &[u32],
+        hub: &UringHub,
+        fair: FairShare<'_>,
+    ) -> io::Result<LiveReport> {
+        assert!(cfg.channels >= 1 && cfg.total_bytes > 0);
+        assert_eq!(
+            snk_bufs.len(),
+            cfg.pool_blocks as usize,
+            "one buffer per pool block"
+        );
+        assert_eq!(lease.len(), snk_bufs.len(), "lease covers the pool");
+        let SessionStreams {
+            ctrl,
+            data,
+            token: _,
+        } = streams;
+        assert_eq!(data.len(), cfg.channels, "one data link per channel");
+        let total_blocks = cfg.total_blocks();
+        let geo = PoolGeometry::new(cfg.block_size as u64, cfg.pool_blocks);
+        let backend = Arc::new(SnkBackend::open(cfg)?);
+        let direct_io_active = backend.direct_active();
+        let snk_pool = AtomicSinkPool::new(geo);
+        let granter = Mutex::new(Granter::new(
+            rftp_core::CreditMode::Proactive,
+            cfg.initial_credits,
+            cfg.grant_per_completion,
+            4,
+        ));
+        let placed = Arc::new(AtomicBitmap::new(total_blocks));
+
+        // The driver gets its own socket clones (it cuts them on a
+        // driver-side failure); this thread keeps the originals for the
+        // handler's control writes and its own teardown.
+        let drv_ctrl = ctrl.try_clone()?;
+        let mut drv_data = Vec::with_capacity(data.len());
+        for s in &data {
+            drv_data.push(s.try_clone()?);
+        }
+        let mut handles = vec![ctrl.try_clone()?];
+        for s in &data {
+            handles.push(s.try_clone()?);
+        }
+        let ctrl_tx = NetCtrlTx(Mutex::new(ctrl.try_clone()?));
+
+        let (evt_tx, evt_rx) = crossbeam::channel::bounded::<SinkEvt>(1024);
+        let (stats_tx, stats_rx) = std::sync::mpsc::sync_channel::<SessionStats>(1);
+        let sid = hub.next_sid.fetch_add(1, Ordering::Relaxed);
+
+        let start = Instant::now();
+        let mut h = SinkHandler::new(cfg, &ctrl_tx, &snk_pool, &granter, snk_bufs, fair);
+        let run = (|| -> io::Result<()> {
+            // Register before answering the hello: the opening grants
+            // go out only after the driver can be armed, so no data
+            // races the first receive.
+            hub.send(HubMsg::Register(Box::new(SessionReg {
+                sid,
+                lease: lease.to_vec(),
+                ctrl: drv_ctrl,
+                data: drv_data,
+                block_size: cfg.block_size,
+                pool_blocks: cfg.pool_blocks,
+                total_blocks,
+                placed,
+                backend: backend.clone(),
+                mailbox: evt_tx,
+                stats_tx,
+            })))?;
+            if let Some(msg) = first_ctrl {
+                h.handle(SinkEvt::Ctrl(msg))?;
+            }
+            match drain_coalesced(&mut h, &mut channel_events(&evt_rx, 64), cfg.flush_window)? {
+                DrainEnd::Done => Ok(()),
+                DrainEnd::Closed => Err(perr(
+                    "event pipeline stopped before transfer completed",
+                )),
+            }
+        })();
+
+        // Detach handshake: cut our socket halves (the final acks are
+        // already flushed and ride out ahead of the FIN), then wait for
+        // the driver to drain its in-flight ops and hand back the
+        // session's stats. Only after that may the caller release the
+        // arena lease — no kernel op can target the leased slots.
+        shutdown_all(&handles, Shutdown::Both);
+        let _ = hub.send(HubMsg::Detach(sid));
+        let stats = stats_rx.recv().unwrap_or_else(|_| SessionStats {
+            place_ns: 0,
+            flush_ns: 0,
+            duplicates: 0,
+            place_hist: NsHist::new(),
+            err: Some(perr("uring driver exited before detach")),
+            ring: UringStats {
+                multishot: hub.multishot(),
+                ..Default::default()
+            },
+        });
+        let SessionStats {
+            place_ns,
+            flush_ns,
+            duplicates,
+            place_hist,
+            err: drv_err,
+            ring: ring_stats,
+        } = stats;
+        if let Err(e) = run {
+            // The driver-side error is the root cause when both halves
+            // failed (a closed mailbox surfaces here only as "pipeline
+            // stopped").
+            return Err(drv_err.unwrap_or(e));
+        }
+
+        let mut sync_ns = 0u64;
+        if let SnkBackend::File(sink) = &*backend {
+            let t0 = Instant::now();
+            sink.sync()?;
+            sync_ns = t0.elapsed().as_nanos() as u64;
+        }
+        let elapsed = start.elapsed();
+        assert_eq!(h.delivered, total_blocks, "blocks lost in the pipeline");
+        snk_pool.check_invariants();
+        let per_block = |ns: u64| ns as f64 / total_blocks as f64;
+        Ok(LiveReport {
+            bytes: cfg.total_bytes,
+            blocks: total_blocks,
+            elapsed,
+            gbytes_per_sec: cfg.total_bytes as f64 / 1e9 / elapsed.as_secs_f64().max(1e-9),
+            checksum_failures: h.checksum_failures,
+            ooo_blocks: h.reorder.ooo_arrivals,
+            ctrl_msgs: h.ctrl_msgs,
+            ctrl_msgs_per_block: h.ctrl_msgs as f64 / total_blocks as f64,
+            credit_requests: 0,
+            dropped_payloads: 0,
+            retransmits: 0,
+            duplicate_payloads: duplicates,
+            stages: StageBreakdown {
+                place_ns: per_block(place_ns),
+                verify_ns: per_block(h.verify_ns),
+                flush_ns: per_block(flush_ns),
+                sync_ns: per_block(sync_ns),
+                ..Default::default()
+            },
+            tails: StageTails {
+                place: place_hist,
+                verify: h.verify_hist.clone(),
+                ..Default::default()
+            },
+            // The data path lives on the daemon's ONE shared driver
+            // thread; this session thread only runs the protocol brain.
+            transport_threads: 1,
+            direct_io_active,
+            uring: Some(ring_stats),
         })
     }
 
@@ -1851,6 +3349,53 @@ mod linux {
             assert_eq!(std::mem::size_of::<Cqe>(), 16);
             assert_eq!(std::mem::size_of::<SqringOffsets>(), 40);
             assert_eq!(std::mem::size_of::<CqringOffsets>(), 40);
+            // struct io_uring_buf / io_uring_buf_reg
+            assert_eq!(std::mem::size_of::<PbufEntry>(), 16);
+            assert_eq!(std::mem::size_of::<PbufReg>(), 40);
+        }
+
+        /// Provided-buffer-ring exhaustion: with a single provided
+        /// buffer over four concurrent links, multishot receives must
+        /// park on `ENOBUFS` and recover on recycle — no lost and no
+        /// double-placed block, byte-identical output — even while the
+        /// fault injector forces drops and retransmits.
+        #[test]
+        fn pbuf_exhaustion_parks_and_recovers() {
+            if !uring_supported() {
+                eprintln!("skipping: io_uring not supported by this kernel");
+                return;
+            }
+            if !ring_caps().map(|c| multishot_enabled(&c)).unwrap_or(false) {
+                eprintln!("skipping: multishot receive unavailable");
+                return;
+            }
+            let mut cfg = LiveConfig::new(64 * 1024, 4, 8 << 20);
+            cfg.uring_pbuf = 1; // force exhaustion under concurrency
+            let listener = NetListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let sockbuf = crate::net::default_sockbuf(cfg.block_size, cfg.channel_depth);
+            let mut src_cfg = cfg.clone();
+            src_cfg.fault_drop_p = 0.2;
+            let src = std::thread::spawn(move || {
+                let t = connect_source_uring(addr, src_cfg.channels, sockbuf)?;
+                crate::split::run_split_source(&src_cfg, t)
+            });
+            let (sess, first) = accept_source_uring(&listener, sockbuf).unwrap();
+            let snk = run_uring_sink(&cfg, sess, Some(first)).unwrap();
+            let src = src.join().unwrap().unwrap();
+            assert_eq!(snk.blocks, cfg.total_blocks());
+            assert_eq!(snk.checksum_failures, 0, "output must be byte-identical");
+            assert!(src.retransmits > 0, "fault injector must have fired");
+            let stats = snk.uring.expect("uring report carries ring stats");
+            assert!(stats.multishot);
+            assert!(
+                stats.pbuf_exhausted > 0,
+                "a 1-buffer ring over 4 links must run dry: {stats:?}"
+            );
+            assert!(
+                stats.multishot_rearms >= stats.pbuf_exhausted,
+                "every parked link re-arms: {stats:?}"
+            );
         }
 
         /// The capability probe must never panic, whatever the kernel.
@@ -1921,6 +3466,10 @@ mod stub {
         false
     }
 
+    pub fn uring_multishot() -> bool {
+        false
+    }
+
     fn unsupported<T>() -> io::Result<T> {
         Err(io::Error::new(
             io::ErrorKind::Unsupported,
@@ -1960,11 +3509,47 @@ mod stub {
     ) -> io::Result<LiveReport> {
         unsupported()
     }
+
+    /// Placeholder hub handle; never constructible off-Linux.
+    pub(crate) struct UringHub(());
+
+    impl UringHub {
+        pub(crate) fn multishot(&self) -> bool {
+            false
+        }
+        pub(crate) fn stop(&self) {}
+    }
+
+    pub(crate) fn spawn_shared_uring_driver<'scope, 'env>(
+        _scope: &'scope std::thread::Scope<'scope, 'env>,
+        _slots: &'env [parking_lot::Mutex<crate::store::SlotBuf>],
+        _slot_cap: usize,
+    ) -> io::Result<(
+        std::sync::Arc<UringHub>,
+        std::thread::ScopedJoinHandle<'scope, crate::transport::UringStats>,
+    )> {
+        unsupported()
+    }
+
+    pub(crate) fn run_shared_uring_session(
+        _cfg: &LiveConfig,
+        _streams: crate::net::SessionStreams,
+        _first_ctrl: Option<CtrlMsg>,
+        _snk_bufs: &[&parking_lot::Mutex<crate::store::SlotBuf>],
+        _lease: &[u32],
+        _hub: &UringHub,
+        _fair: crate::split::FairShare<'_>,
+    ) -> io::Result<LiveReport> {
+        unsupported()
+    }
 }
 
 #[cfg(not(target_os = "linux"))]
-pub(crate) use stub::run_uring_session;
+pub(crate) use stub::{
+    run_shared_uring_session, run_uring_session, spawn_shared_uring_driver, UringHub,
+};
 #[cfg(not(target_os = "linux"))]
 pub use stub::{
-    accept_source_uring, connect_source_uring, run_uring_sink, uring_supported, UringSinkSession,
+    accept_source_uring, connect_source_uring, run_uring_sink, uring_multishot, uring_supported,
+    UringSinkSession,
 };
