@@ -44,12 +44,15 @@
 //! aggregate at least the per-session baseline's.
 
 use rftp_bench::{bs_label, MB};
-use rftp_live::net::{connect_source, default_sockbuf, NetListener};
+use rftp_live::net::{connect_source, default_sockbuf, probe_sockbuf, NetListener};
 use rftp_live::pipeline::LiveReport;
 use rftp_live::{
-    accept_source_uring, connect_source_uring, run_split_sink, run_split_source, run_uring_sink,
-    uring_supported, Daemon, DaemonConfig, DaemonReport, DaemonTransport, LiveConfig, UringStats,
+    accept_source_uring, connect_source_shm, connect_source_uring, run_shm_sink, run_split_sink,
+    run_split_source, run_uring_sink, shm_supported, uring_supported, Daemon, DaemonConfig,
+    DaemonReport, DaemonTransport, LiveConfig, ShmListener, UringStats,
 };
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// TCP gate floor, GB/s, at 8 channels × 256 KB (best of 3, release
@@ -63,10 +66,17 @@ const GATE_FLOOR_GBPS: f64 = 1.0;
 /// clear a higher bar than TCP on the same machine.
 const URING_GATE_FLOOR_GBPS: f64 = 2.2;
 
+/// The shm gate's place-latency bound: placement on the zero-copy shm
+/// path is a publication-word check, not a copy, so its mean place
+/// stage must land at or under this fraction of the uring multishot
+/// run's (whose placement is one memcpy out of the provided buffer).
+const SHM_PLACE_RATIO: f64 = 0.1;
+
 #[derive(Clone, Copy, PartialEq)]
 enum Backend {
     Tcp,
     Uring,
+    Shm,
 }
 
 impl Backend {
@@ -74,8 +84,19 @@ impl Backend {
         match self {
             Backend::Tcp => "tcp",
             Backend::Uring => "uring",
+            Backend::Shm => "shm",
         }
     }
+}
+
+/// Fresh unix socket path for one shm run (loopback's ADDR analogue).
+fn shm_sock_path() -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "rftp-bench-{}-{}.sock",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
 }
 
 /// One transfer over loopback: source half on a helper thread, sink half
@@ -90,9 +111,22 @@ fn run_net(
     let mut cfg = LiveConfig::new(block as usize, channels, total);
     cfg.pool_blocks = 32;
     cfg.loaders = 4;
+    let src_cfg = cfg.clone();
+    if backend == Backend::Shm {
+        // The shm rung has no TCP listener: a unix control socket
+        // carries the memfd window fd; payload never crosses a socket.
+        let path = shm_sock_path();
+        let listener = ShmListener::bind(&path).expect("bind shm socket");
+        let src = std::thread::spawn(move || {
+            let t = connect_source_shm(&path, channels).expect("connect shm");
+            run_split_source(&src_cfg, t).expect("source half")
+        });
+        let (sess, first) = listener.accept_session().expect("accept shm");
+        let snk = run_shm_sink(&cfg, sess, Some(first)).expect("sink half");
+        return (src.join().expect("source thread"), snk);
+    }
     let listener = NetListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().unwrap();
-    let src_cfg = cfg.clone();
     match backend {
         Backend::Tcp => {
             let src = std::thread::spawn(move || {
@@ -112,6 +146,7 @@ fn run_net(
             let snk = run_uring_sink(&cfg, sess, Some(first)).expect("sink half");
             (src.join().expect("source thread"), snk)
         }
+        Backend::Shm => unreachable!("handled above"),
     }
 }
 
@@ -243,18 +278,34 @@ fn daemon_cfg(transport: DaemonTransport) -> DaemonConfig {
     }
 }
 
-/// Start a daemon, run `f` against its address, then drain it. The
+/// Where a running daemon can be reached: its TCP address always, plus
+/// the unix socket path of its shm endpoint when one is configured.
+#[derive(Clone)]
+struct Target {
+    addr: std::net::SocketAddr,
+    shm: Option<PathBuf>,
+}
+
+/// Start a daemon, run `f` against its address(es), then drain it. The
 /// daemon's own report rides along — it carries the shared-ring
-/// counters and the per-session sink reports the JSON needs.
-fn with_daemon<T>(
-    transport: DaemonTransport,
-    f: impl FnOnce(std::net::SocketAddr) -> T,
-) -> (T, DaemonReport) {
-    let d = Daemon::bind("127.0.0.1:0", daemon_cfg(transport)).expect("bind daemon");
+/// counters and the per-session sink reports the JSON needs. A
+/// [`Backend::Shm`] ladder runs the TCP daemon with an shm endpoint:
+/// sessions arrive over the unix socket and place into the shared slab.
+fn with_daemon<T>(backend: Backend, f: impl FnOnce(Target) -> T) -> (T, DaemonReport) {
+    let transport = match backend {
+        Backend::Uring => DaemonTransport::Uring,
+        Backend::Tcp | Backend::Shm => DaemonTransport::Tcp,
+    };
+    let shm = (backend == Backend::Shm).then(shm_sock_path);
+    let cfg = DaemonConfig {
+        shm_path: shm.clone(),
+        ..daemon_cfg(transport)
+    };
+    let d = Daemon::bind("127.0.0.1:0", cfg).expect("bind daemon");
     let addr = d.local_addr().unwrap();
     let handle = d.handle();
     let jh = std::thread::spawn(move || d.run());
-    let out = f(addr);
+    let out = f(Target { addr, shm });
     handle.shutdown();
     let report = jh.join().expect("daemon thread").expect("daemon report");
     (out, report)
@@ -264,7 +315,7 @@ fn with_daemon<T>(
 /// carries its throughput.
 fn daemon_client(
     backend: Backend,
-    addr: std::net::SocketAddr,
+    target: &Target,
     block: u64,
     channels: usize,
     total: u64,
@@ -273,9 +324,13 @@ fn daemon_client(
     cfg.pool_blocks = 8;
     let sockbuf = default_sockbuf(cfg.block_size, cfg.channel_depth);
     let t = match backend {
-        Backend::Tcp => connect_source(addr, channels, sockbuf).expect("connect to daemon"),
+        Backend::Tcp => connect_source(target.addr, channels, sockbuf).expect("connect to daemon"),
         Backend::Uring => {
-            connect_source_uring(addr, channels, sockbuf).expect("connect to daemon")
+            connect_source_uring(target.addr, channels, sockbuf).expect("connect to daemon")
+        }
+        Backend::Shm => {
+            let path = target.shm.as_ref().expect("shm ladder sets the path");
+            connect_source_shm(path, channels).expect("connect to daemon shm endpoint")
         }
     };
     run_split_source(&cfg, t).expect("daemon session")
@@ -303,16 +358,13 @@ struct ScalePoint {
 /// clock and the min/max per-session throughput ratio (1.0 = perfectly
 /// fair).
 fn daemon_scale_point(backend: Backend, n: usize, per_session_bytes: u64) -> ScalePoint {
-    let transport = match backend {
-        Backend::Tcp => DaemonTransport::Tcp,
-        Backend::Uring => DaemonTransport::Uring,
-    };
-    let (reports, daemon) = with_daemon(transport, |addr| {
+    let (reports, daemon) = with_daemon(backend, |target| {
         let t0 = Instant::now();
         let joins: Vec<_> = (0..n)
             .map(|_| {
+                let target = target.clone();
                 std::thread::spawn(move || {
-                    daemon_client(backend, addr, 256 * 1024, 2, per_session_bytes)
+                    daemon_client(backend, &target, 256 * 1024, 2, per_session_bytes)
                 })
             })
             .collect();
@@ -357,7 +409,7 @@ fn daemon_scale_point(backend: Backend, n: usize, per_session_bytes: u64) -> Sca
             };
             (Some(sum), per_ring.len() as u64)
         }
-        (None, Backend::Tcp) => (None, 0),
+        (None, Backend::Tcp | Backend::Shm) => (None, 0),
     };
     ScalePoint {
         sessions: n,
@@ -416,24 +468,22 @@ fn daemon_fairness_gate_once(
     interactive_bytes: u64,
 ) -> FairnessGate {
     const TRIALS: usize = 3;
-    let transport = match backend {
-        Backend::Tcp => DaemonTransport::Tcp,
-        Backend::Uring => DaemonTransport::Uring,
-    };
-    with_daemon(transport, |addr| {
+    with_daemon(backend, |target| {
         // Warm, then time the interactive session with the daemon idle.
-        daemon_client(backend, addr, 64 * 1024, 2, interactive_bytes);
+        daemon_client(backend, &target, 64 * 1024, 2, interactive_bytes);
         let solo = (0..TRIALS)
             .map(|_| {
                 let t0 = Instant::now();
-                daemon_client(backend, addr, 64 * 1024, 2, interactive_bytes);
+                daemon_client(backend, &target, 64 * 1024, 2, interactive_bytes);
                 t0.elapsed()
             })
             .min()
             .unwrap();
 
-        let bulk =
-            std::thread::spawn(move || daemon_client(backend, addr, 256 * 1024, 2, bulk_bytes));
+        let bulk = {
+            let target = target.clone();
+            std::thread::spawn(move || daemon_client(backend, &target, 256 * 1024, 2, bulk_bytes))
+        };
         std::thread::sleep(Duration::from_millis(100));
         let mut contended = Duration::MAX;
         let mut bulk_overlapped = false;
@@ -444,7 +494,7 @@ fn daemon_fairness_gate_once(
                 break;
             }
             let t1 = Instant::now();
-            daemon_client(backend, addr, 64 * 1024, 2, interactive_bytes);
+            daemon_client(backend, &target, 64 * 1024, 2, interactive_bytes);
             contended = contended.min(t1.elapsed());
             bulk_overlapped = true;
         }
@@ -541,7 +591,11 @@ fn run_daemon_bench(backend: Backend, quick: bool, out_path: &str) {
     // the ONE shared ring (default) against the ring-per-session
     // baseline (`RFTP_URING_SHARED=0`) — plus TCP for reference.
     let (mut points, mut baseline, tcp_ref) = match backend {
-        Backend::Tcp => (scale_ladder(Backend::Tcp, "tcp          ", per_session), None, None),
+        Backend::Tcp => (
+            scale_ladder(Backend::Tcp, "tcp          ", per_session),
+            None,
+            None,
+        ),
         Backend::Uring => {
             let shared = scale_ladder(Backend::Uring, "uring shared ", per_session);
             std::env::set_var("RFTP_URING_SHARED", "0");
@@ -549,6 +603,13 @@ fn run_daemon_bench(backend: Backend, quick: bool, out_path: &str) {
             std::env::remove_var("RFTP_URING_SHARED");
             let tcp = scale_ladder(Backend::Tcp, "tcp          ", per_session);
             (shared, Some(base), Some(tcp))
+        }
+        // Zero-copy sessions through the daemon's memfd slab, with the
+        // same daemon serving TCP as the reference ladder.
+        Backend::Shm => {
+            let shm = scale_ladder(Backend::Shm, "shm          ", per_session);
+            let tcp = scale_ladder(Backend::Tcp, "tcp          ", per_session);
+            (shm, None, Some(tcp))
         }
     };
 
@@ -612,9 +673,8 @@ fn run_daemon_bench(backend: Backend, quick: bool, out_path: &str) {
         );
     }
 
-    let ladder_json = |pts: &[ScalePoint]| {
-        pts.iter().map(scale_json).collect::<Vec<_>>().join(",\n")
-    };
+    let ladder_json =
+        |pts: &[ScalePoint]| pts.iter().map(scale_json).collect::<Vec<_>>().join(",\n");
     let gate_json = match &gate {
         None => "null".to_string(),
         Some(g) => format!(
@@ -635,10 +695,7 @@ fn run_daemon_bench(backend: Backend, quick: bool, out_path: &str) {
         ));
     }
     if let Some(t) = &tcp_ref {
-        extra.push_str(&format!(
-            ",\n  \"scaling_tcp\": [\n{}\n  ]",
-            ladder_json(t)
-        ));
+        extra.push_str(&format!(",\n  \"scaling_tcp\": [\n{}\n  ]", ladder_json(t)));
     }
     let json = format!(
         "{{\n  \"bench\": \"net_throughput\",\n  \"mode\": \"daemon\",\n  \
@@ -695,10 +752,17 @@ fn main() {
         {
             None | Some("tcp") => Backend::Tcp,
             Some("uring") => {
-                assert!(uring_supported(), "--transport uring: kernel lacks io_uring");
+                assert!(
+                    uring_supported(),
+                    "--transport uring: kernel lacks io_uring"
+                );
                 Backend::Uring
             }
-            Some(other) => panic!("bad --transport {other} (tcp or uring)"),
+            Some("shm") => {
+                assert!(shm_supported(), "--transport shm: host lacks shm transport");
+                Backend::Shm
+            }
+            Some(other) => panic!("bad --transport {other} (tcp, uring, or shm)"),
         };
         run_daemon_bench(backend, quick, &out_path);
         return;
@@ -712,21 +776,25 @@ fn main() {
     let channel_sweep: &[usize] = if quick { &[1, 8] } else { &[1, 2, 4, 8] };
     let depth = LiveConfig::new(1, 1, 1).channel_depth;
     let uring = uring_supported();
-    let backends: &[Backend] = if uring {
-        &[Backend::Tcp, Backend::Uring]
-    } else {
-        &[Backend::Tcp]
-    };
+    let shm = shm_supported();
+    let mut ladder = vec![Backend::Tcp];
+    if uring {
+        ladder.push(Backend::Uring);
+    }
+    if shm {
+        ladder.push(Backend::Shm);
+    }
+    let backends: &[Backend] = &ladder;
 
     println!(
-        "loopback sweep: {} MB per run{}{}\n",
+        "loopback sweep: {} MB per run{}, ladder: {}\n",
         total / MB,
         if quick { " (quick)" } else { "" },
-        if uring {
-            ", tcp vs uring"
-        } else {
-            ", tcp only (kernel lacks io_uring support)"
-        }
+        backends
+            .iter()
+            .map(|b| b.label())
+            .collect::<Vec<_>>()
+            .join(" vs "),
     );
     let mut entries: Vec<Entry> = Vec::new();
     let sweep_blocks: &[u64] = if gate_only { &[] } else { blocks };
@@ -799,6 +867,8 @@ fn main() {
         );
         gate_ok = tcp_pass;
 
+        let mut ur_place: Option<f64> = None;
+        let mut ur_multishot = false;
         if uring {
             let ur_best = best_of(3, Backend::Uring, gate_block, 8, total, sockbuf);
             assert_eq!(ur_best.checksum_failures, 0);
@@ -834,6 +904,8 @@ fn main() {
                 if ur_pass { "ok" } else { "FAIL" }
             );
             gate_ok = gate_ok && ur_pass;
+            ur_place = Some(ur_best.stages.place_ns);
+            ur_multishot = stats.is_some_and(|s| s.multishot);
             entries.push(Entry {
                 backend: Backend::Uring,
                 block: gate_block,
@@ -841,6 +913,43 @@ fn main() {
                 tuned: true,
                 gate: true,
                 r: ur_best,
+            });
+        }
+
+        // The shm gate: zero receiver copies must beat the copying TCP
+        // path outright on aggregate throughput, keep the 1-control-
+        // frame-per-block discipline, and — when the multishot uring
+        // run is here to compare against — place in at most a tenth of
+        // its per-block place stage (a word check vs a block memcpy).
+        if shm {
+            let shm_best = best_of(3, Backend::Shm, gate_block, 8, total, 0);
+            assert_eq!(shm_best.checksum_failures, 0);
+            let vs_tcp = shm_best.gbytes_per_sec >= tcp_best.gbytes_per_sec;
+            let place_ok = match (ur_multishot, ur_place) {
+                (true, Some(up)) => shm_best.stages.place_ns <= up * SHM_PLACE_RATIO,
+                _ => true, // no multishot reference on this kernel
+            };
+            let shm_pass = vs_tcp && shm_best.ctrl_msgs_per_block <= 1.0 && place_ok;
+            println!(
+                "  gate {:>5} x8 shm   (best of 3): {:.3} GB/s vs tcp {:.3}, \
+                 {:.2} ctrl/blk, place {:.0} ns/blk vs uring {} \
+                 (bound {SHM_PLACE_RATIO}x)  [{}]",
+                bs_label(gate_block),
+                shm_best.gbytes_per_sec,
+                tcp_best.gbytes_per_sec,
+                shm_best.ctrl_msgs_per_block,
+                shm_best.stages.place_ns,
+                ur_place.map_or("n/a".to_string(), |p| format!("{p:.0}")),
+                if shm_pass { "ok" } else { "FAIL" }
+            );
+            gate_ok = gate_ok && shm_pass;
+            entries.push(Entry {
+                backend: Backend::Shm,
+                block: gate_block,
+                channels: 8,
+                tuned: true,
+                gate: true,
+                r: shm_best,
             });
         }
         entries.push(Entry {
@@ -853,19 +962,41 @@ fn main() {
         });
     }
 
+    // Requested-vs-effective socket buffers at the gate point: the
+    // kernel reports back what `setsockopt` actually took (doubled for
+    // bookkeeping on Linux, clamped by `net.core.{w,r}mem_max`), so a
+    // WAN reader can see whether this host honored the tuning.
+    let gate_sockbuf = default_sockbuf(gate_block as usize, depth);
+    let sockbuf_json = match probe_sockbuf(gate_sockbuf) {
+        Ok(Some(e)) => format!(
+            "{{\"requested\": {}, \"effective_sndbuf\": {}, \
+             \"effective_rcvbuf\": {}, \"clamped\": {}}}",
+            e.requested,
+            e.sndbuf,
+            e.rcvbuf,
+            e.clamped()
+        ),
+        _ => "null".to_string(),
+    };
+
     let body: Vec<String> = entries.iter().map(|e| json_entry(e, total)).collect();
     let json = format!(
         "{{\n  \"bench\": \"net_throughput\",\n  \"quick\": {},\n  \
          \"wire\": \"loopback\",\n  \"uring_supported\": {},\n  \
+         \"shm_supported\": {},\n  \
          \"total_bytes_per_run\": {},\n  \
          \"pool_blocks\": 32,\n  \"loaders\": 4,\n  \"gate_floor_gbps\": {},\n  \
-         \"uring_gate_floor_gbps\": {},\n  \
+         \"uring_gate_floor_gbps\": {},\n  \"shm_place_ratio_bound\": {},\n  \
+         \"sockbuf_effective\": {},\n  \
          \"results\": [\n{}\n  ]\n}}\n",
         quick,
         uring,
+        shm,
         total,
         GATE_FLOOR_GBPS,
         URING_GATE_FLOOR_GBPS,
+        SHM_PLACE_RATIO,
+        sockbuf_json,
         body.join(",\n")
     );
     std::fs::write(&out_path, json).expect("write BENCH_net.json");

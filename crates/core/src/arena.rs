@@ -307,6 +307,58 @@ mod tests {
         assert_eq!(a.free_slots(), 64, "every leased slot came home");
     }
 
+    /// Spin-stress on the all-or-nothing rollback path: half the
+    /// threads ask for more than can ever be free at once (their leases
+    /// fail and must roll back *fully*), the other half cycle small
+    /// leases. A shared claim table catches the two rollback bugs this
+    /// protects against — a slot handed to two sessions at once, and a
+    /// rolled-back slot pushed twice (which would later double-lease).
+    #[test]
+    fn lease_rollback_spin_stress_never_duplicates_a_slot() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        const TOTAL: u32 = 32;
+        let a = Arc::new(SlotArena::new(TOTAL));
+        let claimed: Arc<Vec<AtomicBool>> =
+            Arc::new((0..TOTAL).map(|_| AtomicBool::new(false)).collect());
+        let mut hs = Vec::new();
+        for t in 0..8u32 {
+            let a = Arc::clone(&a);
+            let claimed = Arc::clone(&claimed);
+            hs.push(std::thread::spawn(move || {
+                for i in 0..500 {
+                    // Even threads contend for 24 of 32 — with four of
+                    // them, most attempts fail mid-scan and roll back.
+                    let n = if t % 2 == 0 { 24 } else { 1 + (i % 4) };
+                    if let Some(l) = a.lease(n) {
+                        assert_eq!(l.len(), n);
+                        for &s in &l {
+                            assert!(s < TOTAL, "foreign slot {s}");
+                            assert!(
+                                !claimed[s as usize].swap(true, Ordering::AcqRel),
+                                "slot {s} leased to two sessions at once"
+                            );
+                        }
+                        std::thread::yield_now();
+                        for &s in &l {
+                            claimed[s as usize].store(false, Ordering::Release);
+                        }
+                        a.release(&l);
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(a.free_slots(), TOTAL as usize, "rollbacks leaked slots");
+        let mut all = a.lease(TOTAL as usize).unwrap();
+        all.sort_unstable();
+        assert_eq!(all, (0..TOTAL).collect::<Vec<u32>>(), "identity drift");
+        a.release(&all);
+    }
+
     #[test]
     fn fair_share_solo_is_work_conserving() {
         let f = WeightedFair::new(32);
@@ -349,6 +401,93 @@ mod tests {
         let got = f.allow(3, 5);
         assert_eq!(got, 1, "backstop: at least one credit at zero");
         assert_eq!(f.allow(3, 5), 0, "backstop fires only at zero");
+    }
+
+    /// Spin-stress on surplus borrowing racing concurrent release: four
+    /// sessions (two interactive-weighted, two bulk) hammer `allow`
+    /// while their own releases land from a second thread each, so
+    /// grants constantly draw from a surplus that is being recomputed
+    /// under them. Invariants held throughout: a session never holds
+    /// more than the whole budget; when the arbiter itself reports the
+    /// outstanding count it must match the session's own ledger; and a
+    /// full drain returns the budget intact — borrowing under churn
+    /// neither mints credits nor loses them.
+    #[test]
+    fn fair_surplus_borrowing_spin_stress_conserves_the_budget() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        const BUDGET: u32 = 32;
+        let f = Arc::new(WeightedFair::new(BUDGET));
+        let ids: [(u64, u32); 4] = [(1, 4), (2, 4), (3, 1), (4, 1)];
+        for (id, w) in ids {
+            f.register(id, w);
+        }
+        let mut hs = Vec::new();
+        for (id, _) in ids {
+            let f = Arc::clone(&f);
+            // The session's own ledger: the granter adds after the
+            // arbiter records a grant, the releaser subtracts before
+            // telling the arbiter — so the ledger always reads at or
+            // below the arbiter's outstanding and the budget bound on
+            // it is sound even mid-race.
+            let ledger = Arc::new(AtomicU32::new(0));
+            let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let granter = {
+                let f = Arc::clone(&f);
+                let ledger = Arc::clone(&ledger);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    for i in 0..2000u32 {
+                        let want = 1 + (i % 7);
+                        let got = f.allow(id, want);
+                        assert!(got <= want, "granted more than asked");
+                        let held = ledger.fetch_add(got, Ordering::AcqRel) + got;
+                        assert!(
+                            held <= BUDGET,
+                            "session {id} holds {held} of a {BUDGET} budget"
+                        );
+                        if i % 3 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                    done.store(true, Ordering::Release);
+                })
+            };
+            let releaser = {
+                let f = Arc::clone(&f);
+                let ledger = Arc::clone(&ledger);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    // Spinning here is the point — releases land in the
+                    // middle of other sessions' surplus math.
+                    loop {
+                        let held = ledger.load(Ordering::Acquire);
+                        if held == 0 {
+                            if done.load(Ordering::Acquire) && ledger.load(Ordering::Acquire) == 0 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                            continue;
+                        }
+                        let n = (held / 2).max(1);
+                        ledger.fetch_sub(n, Ordering::AcqRel);
+                        f.release(id, n);
+                    }
+                })
+            };
+            hs.push(granter);
+            hs.push(releaser);
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+        for (id, _) in ids {
+            assert_eq!(f.outstanding(id), 0, "session {id} leaked outstanding");
+            f.deregister(id);
+        }
+        // The budget survived the churn: a fresh solo session can draw
+        // exactly all of it.
+        f.register(9, 1);
+        assert_eq!(f.allow(9, 10 * BUDGET), BUDGET, "budget not conserved");
     }
 
     #[test]

@@ -36,6 +36,17 @@ enum Mode {
 enum Transport {
     Tcp,
     Uring,
+    Shm,
+}
+
+impl Transport {
+    fn label(self) -> &'static str {
+        match self {
+            Transport::Tcp => "",
+            Transport::Uring => " (io_uring)",
+            Transport::Shm => " (shm)",
+        }
+    }
 }
 
 struct Args {
@@ -94,14 +105,19 @@ TWO-PROCESS MODE (the pipeline split over TCP):
                      and send
   --sockbuf <SIZE>   per-data-stream socket buffer (SO_SNDBUF/SO_RCVBUF);
                      0 = OS defaults (default: sized from block x depth)
-  --transport <T>    socket backend for --listen/--connect: tcp (thread
-                     per channel, default) or uring (one io_uring,
-                     registered buffers, batched completions). The wire
-                     format is identical, so the two ends may mix.
+  --transport <T>    backend for --listen/--connect: tcp (thread per
+                     channel, default), uring (one io_uring, registered
+                     buffers, batched completions), or shm (same-host
+                     shared-memory window: ADDR is a unix socket path,
+                     payload is a one-sided write with zero receiver
+                     copies). tcp and uring speak the same wire and may
+                     mix ends; shm requires shm on both.
   --probe-uring      report whether this kernel can run the uring
                      backend — and whether multishot receive is live
-                     or the READ_FIXED fallback would carry — then
-                     exit (0 = supported, 3 = not)
+                     or the READ_FIXED fallback would carry — plus
+                     whether the shm transport (memfd + SCM_RIGHTS fd
+                     passing) is available, then exit (0 = uring
+                     supported, 3 = not)
   --help             this text";
 
 fn parse_args() -> Result<Args, String> {
@@ -159,23 +175,32 @@ fn parse_args() -> Result<Args, String> {
                 a.transport = match flag_value(it, "--transport")?.as_str() {
                     "tcp" => Transport::Tcp,
                     "uring" => Transport::Uring,
-                    other => return Err(format!("bad --transport {other} (tcp or uring)")),
+                    "shm" => Transport::Shm,
+                    other => return Err(format!("bad --transport {other} (tcp, uring, or shm)")),
                 }
             }
             "--probe-uring" => {
-                if rftp_live::uring_supported() {
+                let uring_ok = rftp_live::uring_supported();
+                if uring_ok {
                     if rftp_live::uring_multishot() {
-                        println!("rftp-live: io_uring transport supported; multishot receive active");
+                        println!(
+                            "rftp-live: io_uring transport supported; multishot receive active"
+                        );
                     } else {
                         println!(
                             "rftp-live: io_uring transport supported; multishot receive \
                              unavailable (header-first READ_FIXED fallback)"
                         );
                     }
-                    std::process::exit(0);
+                } else {
+                    println!("rftp-live: io_uring transport NOT supported on this kernel");
                 }
-                println!("rftp-live: io_uring transport NOT supported on this kernel");
-                std::process::exit(3);
+                if rftp_live::shm_supported() {
+                    println!("rftp-live: shm transport supported (memfd + SCM_RIGHTS fd passing)");
+                } else {
+                    println!("rftp-live: shm transport NOT supported on this host");
+                }
+                std::process::exit(if uring_ok { 0 } else { 3 });
             }
             "--help" | "-h" => {
                 println!("{HELP}");
@@ -203,7 +228,7 @@ fn parse_args() -> Result<Args, String> {
             }
         }
         Mode::Local => {
-            if a.transport == Transport::Uring {
+            if a.transport != Transport::Tcp {
                 return Err(
                     "--transport applies to the two-process mode (--listen/--connect)".into(),
                 );
@@ -302,22 +327,27 @@ fn run(a: &Args) -> std::io::Result<LiveReport> {
                 a.block >> 10,
                 a.channels,
                 a.loaders,
-                if a.transport == Transport::Uring {
-                    " (io_uring)"
-                } else {
-                    ""
-                }
+                a.transport.label()
             );
             let sockbuf = sockbuf_bytes(a, cfg.block_size);
+            report_sockbuf(a, sockbuf);
             let t = match a.transport {
                 Transport::Tcp => net::connect_source(addr.as_str(), a.channels, sockbuf)?,
                 Transport::Uring => {
                     rftp_live::connect_source_uring(addr.as_str(), a.channels, sockbuf)?
                 }
+                Transport::Shm => rftp_live::connect_source_shm(addr.as_str(), a.channels)?,
             };
             run_split_source(&cfg, t)
         }
         Mode::Listen(addr) => {
+            if a.transport == Transport::Shm {
+                let listener = rftp_live::ShmListener::bind(addr.as_str())?;
+                println!("rftp-live: sink listening on shm socket {addr}");
+                let (sess, first) = listener.accept_session()?;
+                let a2 = sink_cfg(a, &first)?;
+                return rftp_live::run_shm_sink(&a2, sess, Some(first));
+            }
             let listener = net::NetListener::bind(addr.as_str())?;
             println!("rftp-live: sink listening on {}", listener.local_addr()?);
             // The accept consumes the SessionRequest (the sink's config
@@ -325,6 +355,7 @@ fn run(a: &Args) -> std::io::Result<LiveReport> {
             // only an explicit --sockbuf resizes the sink's buffers; the
             // source side carries the block-sized default.
             let sockbuf = a.sockbuf.map_or(0, |b| b as usize);
+            report_sockbuf(a, sockbuf);
             match a.transport {
                 Transport::Tcp => {
                     let (t, first) = listener.accept_session(sockbuf)?;
@@ -336,8 +367,33 @@ fn run(a: &Args) -> std::io::Result<LiveReport> {
                     let a2 = sink_cfg(a, &first)?;
                     rftp_live::run_uring_sink(&a2, sess, Some(first))
                 }
+                Transport::Shm => unreachable!("handled above"),
             }
         }
+    }
+}
+
+/// Requested-vs-effective socket buffer report: the kernel clamps
+/// `SO_SNDBUF`/`SO_RCVBUF` to `net.core.{w,r}mem_max` without a word,
+/// so a tuning flag that silently got a fraction of its request makes
+/// every run after it a lie. Probed on a throwaway loopback socket
+/// subject to the same clamps as the data streams.
+fn report_sockbuf(a: &Args, sockbuf: usize) {
+    if a.transport == Transport::Shm || sockbuf == 0 {
+        return; // no socket buffers on the data path, or OS defaults
+    }
+    if let Ok(Some(eff)) = net::probe_sockbuf(sockbuf) {
+        println!(
+            "rftp-live: sockbuf requested {} -> effective sndbuf {} rcvbuf {}{}",
+            eff.requested,
+            eff.sndbuf,
+            eff.rcvbuf,
+            if eff.clamped() {
+                " [CLAMPED by net.core.wmem_max/rmem_max]"
+            } else {
+                ""
+            }
+        );
     }
 }
 
@@ -365,11 +421,7 @@ fn sink_cfg(a: &Args, first: &CtrlMsg) -> std::io::Result<LiveConfig> {
         total_bytes >> 20,
         block_size >> 10,
         channels,
-        if a.transport == Transport::Uring {
-            " (io_uring)"
-        } else {
-            ""
-        }
+        a.transport.label()
     );
     Ok(a2)
 }

@@ -32,6 +32,10 @@ use crate::net::{
     StreamAssembler, HELLO_TIMEOUT,
 };
 use crate::pipeline::{LiveConfig, LiveReport};
+#[cfg(target_os = "linux")]
+use crate::shm::ShmSessionStreams;
+#[cfg(target_os = "linux")]
+use crate::shm::{send_with_fd, sink_transport_for_window, ShmAssembler, ShmSlab};
 use crate::split::run_sink_session;
 use crate::store::SlotBuf;
 use crate::transport::UringStats;
@@ -44,6 +48,8 @@ use rftp_core::wire::{encode_stream_frame, reject_reason, CTRL_SLOT_LEN, FRAME_P
 use rftp_core::{CtrlMsg, SlotArena, WeightedFair};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(target_os = "linux")]
+use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -88,6 +94,15 @@ pub struct DaemonConfig {
     /// `<dst_dir>/session-<n>.dat`; otherwise payloads are
     /// pattern-verified and discarded.
     pub dst_dir: Option<PathBuf>,
+    /// When set (Linux only), the daemon also accepts *shared-memory*
+    /// sessions at this unix socket path: the whole arena becomes one
+    /// memfd slab, an admitted shm session's lease is described to its
+    /// source as offsets into that slab (fd shipped over `SCM_RIGHTS`),
+    /// and placement is the source's own write — zero receiver copies.
+    /// TCP and uring sessions keep working over the same slab memory
+    /// through external slot buffers, so the two kinds of session
+    /// contend for the one arena exactly as before.
+    pub shm_path: Option<PathBuf>,
 }
 
 impl Default for DaemonConfig {
@@ -105,6 +120,7 @@ impl Default for DaemonConfig {
             drain_deadline: Duration::from_secs(10),
             sockbuf: 0,
             dst_dir: None,
+            shm_path: None,
         }
     }
 }
@@ -142,6 +158,9 @@ pub struct DaemonReport {
     /// transport, shared mode): every admitted session's data path went
     /// through this one ring.
     pub uring: Option<UringStats>,
+    /// Admitted sessions that ran the shared-memory transport (subset
+    /// of `served`; only possible with [`DaemonConfig::shm_path`] set).
+    pub shm_sessions: u64,
     pub sessions: Vec<SessionSummary>,
 }
 
@@ -223,7 +242,31 @@ struct Tally {
     rejected_busy: u64,
     rejected_geometry: u64,
     dropped_preadmission: u64,
+    shm_sessions: u64,
     sessions: Vec<SessionSummary>,
+}
+
+/// Sockets an in-flight session can be cut loose by when the drain
+/// deadline passes: a TCP session's control + data streams, or an shm
+/// session's control + notify pair.
+enum AbortSet {
+    Tcp(Vec<TcpStream>),
+    #[cfg(target_os = "linux")]
+    Unix(Vec<UnixStream>),
+}
+
+impl AbortSet {
+    fn cut(&self) {
+        match self {
+            AbortSet::Tcp(socks) => shutdown_all(socks, Shutdown::Both),
+            #[cfg(target_os = "linux")]
+            AbortSet::Unix(socks) => {
+                for s in socks {
+                    let _ = s.shutdown(Shutdown::Both);
+                }
+            }
+        }
+    }
 }
 
 /// Shared state of a running daemon, borrowed by every session thread.
@@ -238,14 +281,37 @@ struct DaemonState {
     admitted_seq: AtomicU64,
     /// Abort hooks for in-flight sessions (token → socket shutdown),
     /// fired on the stragglers when the drain deadline passes.
-    aborts: Mutex<Vec<(u64, Vec<TcpStream>)>>,
+    aborts: Mutex<Vec<(u64, AbortSet)>>,
     tally: Mutex<Tally>,
+    /// The memfd slab behind `slots` when the daemon serves shm
+    /// sessions; its mapping must outlive every external `SlotBuf`
+    /// above, which holding it here guarantees.
+    #[cfg(target_os = "linux")]
+    slab: Option<ShmSlab>,
+}
+
+/// The daemon's shm accept socket; the path is unlinked on drop (and
+/// any stale previous path at bind) so a crashed daemon's leftover
+/// socket file does not shadow the next run.
+#[cfg(target_os = "linux")]
+struct ShmEndpoint {
+    listener: UnixListener,
+    path: PathBuf,
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for ShmEndpoint {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
 }
 
 /// A bound, not-yet-running daemon. [`Daemon::run`] consumes it and
 /// blocks until a drain completes.
 pub struct Daemon {
     listener: TcpListener,
+    #[cfg(target_os = "linux")]
+    shm: Option<ShmEndpoint>,
     state: DaemonState,
 }
 
@@ -255,6 +321,49 @@ impl Daemon {
         assert!(cfg.max_sessions > 0);
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
+        #[cfg(not(target_os = "linux"))]
+        if cfg.shm_path.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "shm endpoint requires Linux (memfd + SCM_RIGHTS)",
+            ));
+        }
+        // With an shm endpoint configured, the whole arena is one memfd
+        // slab and every slot is an external view into it: TCP and
+        // uring sessions run over the same memory (the uring driver
+        // registers these views like any other slots), and an shm
+        // session's lease can be described to its peer as offsets into
+        // the one shared window fd.
+        #[cfg(target_os = "linux")]
+        let slab = match &cfg.shm_path {
+            Some(_) => Some(ShmSlab::new(cfg.arena_slots as usize, cfg.slot_cap)?),
+            None => None,
+        };
+        #[cfg(target_os = "linux")]
+        let shm = match &cfg.shm_path {
+            Some(p) => {
+                if p.exists() {
+                    std::fs::remove_file(p)?;
+                }
+                let ul = UnixListener::bind(p)?;
+                ul.set_nonblocking(true)?;
+                Some(ShmEndpoint {
+                    listener: ul,
+                    path: p.clone(),
+                })
+            }
+            None => None,
+        };
+        #[cfg(target_os = "linux")]
+        let slots: Vec<Mutex<SlotBuf>> = match &slab {
+            Some(slab) => (0..cfg.arena_slots as usize)
+                .map(|i| Mutex::new(unsafe { SlotBuf::external(slab.slot_base(i), cfg.slot_cap) }))
+                .collect(),
+            None => (0..cfg.arena_slots)
+                .map(|_| Mutex::new(SlotBuf::new(cfg.slot_cap)))
+                .collect(),
+        };
+        #[cfg(not(target_os = "linux"))]
         let slots: Vec<Mutex<SlotBuf>> = (0..cfg.arena_slots)
             .map(|_| Mutex::new(SlotBuf::new(cfg.slot_cap)))
             .collect();
@@ -262,6 +371,8 @@ impl Daemon {
         let fair = WeightedFair::new(cfg.credit_budget);
         Ok(Daemon {
             listener,
+            #[cfg(target_os = "linux")]
+            shm,
             state: DaemonState {
                 cfg,
                 slots,
@@ -277,8 +388,11 @@ impl Daemon {
                     rejected_busy: 0,
                     rejected_geometry: 0,
                     dropped_preadmission: 0,
+                    shm_sessions: 0,
                     sessions: Vec::new(),
                 }),
+                #[cfg(target_os = "linux")]
+                slab,
             },
         })
     }
@@ -296,10 +410,16 @@ impl Daemon {
     /// Serve until [`DaemonHandle::shutdown`] (or hooked SIGTERM), then
     /// drain and report. Asserts the arena's slot accounting on the way
     /// out: a clean drain leaks nothing.
-    pub fn run(self) -> io::Result<DaemonReport> {
-        let Daemon { listener, state } = self;
+    pub fn run(mut self) -> io::Result<DaemonReport> {
+        #[cfg(target_os = "linux")]
+        let shm = self.shm.take();
+        let Daemon {
+            listener, state, ..
+        } = self;
         let d = &state;
         let mut asm = StreamAssembler::new(d.cfg.sockbuf);
+        #[cfg(target_os = "linux")]
+        let mut shm_asm = ShmAssembler::new();
         let mut last_sweep = Instant::now();
 
         // ENFILE/EMFILE have no stable `io::ErrorKind`; match the raw
@@ -344,12 +464,38 @@ impl Daemon {
                     }
                     Err(e) => return Err(e),
                 }
+                // The shm endpoint shares the loop: drain its accept
+                // queue (nonblocking), assemble (control, notify) pairs
+                // by hello token, and spawn admitted pairs exactly like
+                // TCP sets. The 2 ms idle poll above bounds shm accept
+                // latency too.
+                #[cfg(target_os = "linux")]
+                if let Some(ep) = &shm {
+                    loop {
+                        match ep.listener.accept() {
+                            Ok((s, _)) => shm_asm.offer(s),
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                            Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => {}
+                            Err(e) if matches!(e.raw_os_error(), Some(ENFILE) | Some(EMFILE)) => {
+                                std::thread::sleep(Duration::from_millis(50));
+                                break;
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    while let Some(sess) = shm_asm.poll() {
+                        scope.spawn(move || serve_shm_session(d, sess));
+                    }
+                }
                 while let Some(streams) = asm.poll() {
                     let hub = hub.clone();
                     scope.spawn(move || serve_session(d, streams, hub.as_deref()));
                 }
                 if last_sweep.elapsed() >= Duration::from_secs(1) {
                     asm.sweep_stale(Instant::now());
+                    #[cfg(target_os = "linux")]
+                    shm_asm.sweep_stale(Instant::now());
                     last_sweep = Instant::now();
                 }
             }
@@ -362,8 +508,8 @@ impl Daemon {
                 std::thread::sleep(Duration::from_millis(5));
             }
             if d.active.load(Ordering::Acquire) > 0 {
-                for (_, socks) in d.aborts.lock().iter() {
-                    shutdown_all(socks, Shutdown::Both);
+                for (_, set) in d.aborts.lock().iter() {
+                    set.cut();
                 }
             }
             // The driver exits once every session has detached (cut
@@ -391,6 +537,7 @@ impl Daemon {
             rejected_geometry: t.rejected_geometry,
             dropped_preadmission: t.dropped_preadmission,
             uring: driver_stats,
+            shm_sessions: t.shm_sessions,
             sessions: t.sessions,
         })
     }
@@ -398,7 +545,7 @@ impl Daemon {
 
 /// Write one control frame straight to a raw stream (pre-transport:
 /// admission replies go out before any backend wraps the session).
-fn send_raw_ctrl(s: &mut TcpStream, msg: &CtrlMsg) -> io::Result<()> {
+fn send_raw_ctrl(s: &mut impl Write, msg: &CtrlMsg) -> io::Result<()> {
     let mut buf = [0u8; FRAME_PREFIX_LEN + CTRL_SLOT_LEN];
     let n = encode_stream_frame(msg, &mut buf);
     s.write_all(&buf[..n])
@@ -573,7 +720,7 @@ fn run_admitted(
     for s in &streams.data {
         abort_socks.push(s.try_clone()?);
     }
-    d.aborts.lock().push((token, abort_socks));
+    d.aborts.lock().push((token, AbortSet::Tcp(abort_socks)));
 
     // The leased view: wire slot `i` is arena slot `lease[i]`. Slots
     // are `slot_cap`-sized; a session's blocks live in the prefix.
@@ -600,6 +747,173 @@ fn run_admitted(
             }
         },
     }
+}
+
+/// Unix-socket twin of [`reply_and_close`] for shm sessions turned
+/// away at admission: send the typed reply, shut our write side, and
+/// drain (bounded in total) so an immediate close can't lose it.
+#[cfg(target_os = "linux")]
+fn reply_and_close_shm(mut sess: ShmSessionStreams, msg: &CtrlMsg) {
+    if send_raw_ctrl(&mut sess.ctrl, msg).is_ok() {
+        let _ = sess.ctrl.shutdown(Shutdown::Write);
+        let _ = sess.notify.shutdown(Shutdown::Both);
+        let deadline = Instant::now() + Duration::from_millis(500);
+        let _ = sess.ctrl.set_read_timeout(Some(Duration::from_millis(100)));
+        let mut sink = [0u8; 256];
+        while Instant::now() < deadline {
+            match sess.ctrl.read(&mut sink) {
+                Ok(n) if n > 0 => {}
+                _ => break, // peer closed, timed out, or errored
+            }
+        }
+    }
+}
+
+/// Admission + service for one assembled shm (control, notify) pair —
+/// the same ladder as [`serve_session`], with one extra geometry check:
+/// the channel count the control hello announced must match the
+/// `SessionRequest`, because the sink fans that many notify readers
+/// over the one stream.
+#[cfg(target_os = "linux")]
+fn serve_shm_session(d: &DaemonState, mut sess: ShmSessionStreams) {
+    let first = (|| -> io::Result<CtrlMsg> {
+        sess.ctrl.set_read_timeout(Some(NEGOTIATE_TIMEOUT))?;
+        let first = read_one_ctrl_frame(&mut sess.ctrl)?;
+        sess.ctrl.set_read_timeout(None)?;
+        Ok(first)
+    })();
+    let drop_preadmission = |sess: ShmSessionStreams| {
+        let _ = sess.ctrl.shutdown(Shutdown::Both);
+        let _ = sess.notify.shutdown(Shutdown::Both);
+        d.tally.lock().dropped_preadmission += 1;
+    };
+    let first = match first {
+        Ok(m) => m,
+        Err(_) => return drop_preadmission(sess),
+    };
+    let CtrlMsg::SessionRequest {
+        session,
+        block_size,
+        channels,
+        total_bytes,
+        ..
+    } = first
+    else {
+        return drop_preadmission(sess);
+    };
+
+    let reject = |reason: u8| CtrlMsg::SessionReject { session, reason };
+    let busy = CtrlMsg::SessionBusy {
+        session,
+        retry_after_ms: d.cfg.retry_after_ms,
+    };
+    if block_size == 0 || block_size as usize > d.cfg.slot_cap {
+        reply_and_close_shm(sess, &reject(reject_reason::BLOCK_TOO_LARGE));
+        d.tally.lock().rejected_geometry += 1;
+        return;
+    }
+    if channels == 0 || channels != sess.channels || total_bytes == 0 {
+        reply_and_close_shm(sess, &reject(reject_reason::TOO_MANY_CHANNELS));
+        d.tally.lock().rejected_geometry += 1;
+        return;
+    }
+    if d.stop.load(Ordering::Acquire) {
+        reply_and_close_shm(sess, &busy);
+        d.tally.lock().rejected_busy += 1;
+        return;
+    }
+    if d.active.fetch_add(1, Ordering::AcqRel) >= d.cfg.max_sessions {
+        d.active.fetch_sub(1, Ordering::AcqRel);
+        reply_and_close_shm(sess, &busy);
+        d.tally.lock().rejected_busy += 1;
+        return;
+    }
+    let total_blocks = total_bytes.div_ceil(block_size).max(1);
+    let want_slots = (d.cfg.session_slots as u64).min(total_blocks).max(1) as usize;
+    let Some(lease) = d.arena.lease(want_slots) else {
+        d.active.fetch_sub(1, Ordering::AcqRel);
+        reply_and_close_shm(sess, &busy);
+        d.tally.lock().rejected_busy += 1;
+        return;
+    };
+
+    let token = sess.token;
+    let index = d.admitted_seq.fetch_add(1, Ordering::AcqRel);
+    let weight = if total_bytes <= d.cfg.interactive_cutoff {
+        d.cfg.interactive_weight
+    } else {
+        1
+    };
+    d.fair.register(token, weight);
+
+    let result = run_admitted_shm(d, sess, &lease, first, index, token);
+
+    d.aborts.lock().retain(|(t, _)| *t != token);
+    d.fair.deregister(token);
+    d.arena.release(&lease);
+    d.active.fetch_sub(1, Ordering::AcqRel);
+
+    let mut t = d.tally.lock();
+    match &result {
+        Ok(_) => t.completed += 1,
+        Err(_) => t.failed += 1,
+    }
+    t.shm_sessions += 1;
+    t.sessions.push(SessionSummary {
+        index,
+        token,
+        result,
+    });
+}
+
+/// The admitted shm path: describe the lease as slab offsets, ship the
+/// descriptor with the slab fd over `SCM_RIGHTS`, and run the ordinary
+/// sink session — placement is the source's own write into the leased
+/// slots, verified by the per-slot publication word.
+#[cfg(target_os = "linux")]
+fn run_admitted_shm(
+    d: &DaemonState,
+    sess: ShmSessionStreams,
+    lease: &[u32],
+    first: CtrlMsg,
+    index: u64,
+    token: u64,
+) -> io::Result<LiveReport> {
+    let CtrlMsg::SessionRequest {
+        block_size,
+        channels,
+        total_bytes,
+        notify_imm,
+        ..
+    } = first
+    else {
+        unreachable!("admission checked the request shape");
+    };
+
+    let mut cfg = LiveConfig::new(block_size as usize, channels as usize, total_bytes);
+    cfg.pool_blocks = lease.len() as u32;
+    cfg.notify_imm = notify_imm;
+    if let Some(dir) = &d.cfg.dst_dir {
+        cfg.dst_file = Some(dir.join(format!("session-{index}.dat")));
+    }
+
+    d.aborts.lock().push((
+        token,
+        AbortSet::Unix(vec![sess.ctrl.try_clone()?, sess.notify.try_clone()?]),
+    ));
+
+    let slab = d
+        .slab
+        .as_ref()
+        .expect("an shm session implies a bound slab");
+    let lease_ix: Vec<usize> = lease.iter().map(|&g| g as usize).collect();
+    let desc = slab.desc_for(&lease_ix, block_size as u32);
+    send_with_fd(&sess.ctrl, &desc.encode(), slab.raw_fd())?;
+    let win = Arc::new(slab.window_for(&lease_ix, block_size as u32));
+
+    let view: Vec<&Mutex<SlotBuf>> = lease.iter().map(|&g| &d.slots[g as usize]).collect();
+    let t = sink_transport_for_window(sess.ctrl, sess.notify, channels as usize, win)?;
+    run_sink_session(&cfg, t, Some(first), &view, Some((&d.fair, token)))
 }
 
 #[cfg(test)]
@@ -714,6 +1028,57 @@ mod tests {
             stats.registrations, 1,
             "admission must never re-register buffers: {stats:?}"
         );
+    }
+
+    /// One daemon, two transports, one arena: an shm session and a TCP
+    /// session run concurrently over the same memfd slab, each against
+    /// its own disjoint lease. Both must verify clean, and the report
+    /// must count exactly one shm session — proof the slab-backed slots
+    /// serve both the zero-copy path and the ordinary copy path.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn shm_and_tcp_sessions_share_one_slab_arena() {
+        if !crate::shm::shm_supported() {
+            eprintln!("skipping: shm transport not supported on this host");
+            return;
+        }
+        let sock = std::env::temp_dir().join(format!("rftpd-test-{}.sock", std::process::id()));
+        let cfg = DaemonConfig {
+            slot_cap: 64 * 1024,
+            arena_slots: 24,
+            session_slots: 8,
+            shm_path: Some(sock.clone()),
+            ..DaemonConfig::default()
+        };
+        let (addr, handle, jh) = start(cfg);
+
+        let shm_client = {
+            let sock = sock.clone();
+            std::thread::spawn(move || {
+                let cfg = LiveConfig::new(64 * 1024, 2, 4 << 20);
+                let t = crate::shm::connect_source_shm(&sock, cfg.channels)?;
+                crate::split::run_split_source(&cfg, t)
+            })
+        };
+        let tcp_client = std::thread::spawn(move || {
+            let cfg = LiveConfig::new(64 * 1024, 2, 4 << 20);
+            let t = crate::net::connect_source(addr, cfg.channels, 0)?;
+            crate::split::run_split_source(&cfg, t)
+        });
+        let shm_src = shm_client.join().unwrap().unwrap();
+        let tcp_src = tcp_client.join().unwrap().unwrap();
+        assert!(shm_src.blocks > 0 && tcp_src.blocks > 0);
+
+        handle.shutdown();
+        let report = jh.join().unwrap().unwrap();
+        assert_eq!(report.completed, 2, "{report:?}");
+        assert_eq!(report.failed, 0, "{report:?}");
+        assert_eq!(report.shm_sessions, 1, "{report:?}");
+        for s in &report.sessions {
+            let r = s.result.as_ref().unwrap();
+            assert_eq!(r.checksum_failures, 0);
+        }
+        assert!(!sock.exists(), "drained daemon must unlink its shm socket");
     }
 
     /// A rejected peer that keeps trickling bytes on its control stream

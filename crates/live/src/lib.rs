@@ -40,6 +40,7 @@ pub mod daemon;
 pub mod hist;
 pub mod net;
 pub mod pipeline;
+pub mod shm;
 pub mod split;
 pub mod store;
 pub mod transport;
@@ -52,6 +53,10 @@ pub use daemon::{
 pub use hist::{NsHist, StageTails};
 pub use net::{connect_source, NetListener};
 pub use pipeline::{run_live, try_run_live, LiveConfig, LiveReport, StageBreakdown};
+pub use shm::{
+    connect_source_shm, connect_source_shm_or_tcp, run_shm_sink, shm_supported, ShmListener,
+    ShmSessionStreams,
+};
 pub use split::{run_split_pair, run_split_sink, run_split_source};
 pub use store::{FileSink, FileSource, RatePacer, SlotBuf, STORE_ALIGN};
 pub use transport::{channel_transport, SinkTransport, SourceTransport, UringStats};

@@ -71,10 +71,10 @@ use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-const HELLO_MAGIC: u32 = 0x5246_5450; // "RFTP"
-const HELLO_LEN: usize = 16;
-const KIND_CTRL: u8 = 0;
-const KIND_DATA: u8 = 1;
+pub(crate) const HELLO_MAGIC: u32 = 0x5246_5450; // "RFTP"
+pub(crate) const HELLO_LEN: usize = 16;
+pub(crate) const KIND_CTRL: u8 = 0;
+pub(crate) const KIND_DATA: u8 = 1;
 
 /// How long the listener waits for a just-accepted connection to
 /// produce its hello before dropping it.
@@ -84,7 +84,7 @@ pub(crate) const HELLO_TIMEOUT: Duration = Duration::from_secs(2);
 /// is presumed orphaned (its source died mid-negotiation) and swept.
 pub(crate) const STALE_SESSION_TIMEOUT: Duration = Duration::from_secs(10);
 
-fn proto_err(msg: impl Into<String>) -> io::Error {
+pub(crate) fn proto_err(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
@@ -99,7 +99,7 @@ pub(crate) fn new_session_token() -> u64 {
     h.finish()
 }
 
-fn write_hello(s: &mut TcpStream, kind: u8, index: u16, token: u64) -> io::Result<()> {
+pub(crate) fn write_hello(s: &mut impl Write, kind: u8, index: u16, token: u64) -> io::Result<()> {
     let mut hello = [0u8; HELLO_LEN];
     hello[..4].copy_from_slice(&HELLO_MAGIC.to_be_bytes());
     hello[4] = kind;
@@ -108,7 +108,7 @@ fn write_hello(s: &mut TcpStream, kind: u8, index: u16, token: u64) -> io::Resul
     s.write_all(&hello)
 }
 
-fn read_hello(s: &mut TcpStream) -> io::Result<(u8, u16, u64)> {
+pub(crate) fn read_hello(s: &mut impl Read) -> io::Result<(u8, u16, u64)> {
     let mut hello = [0u8; HELLO_LEN];
     s.read_exact(&mut hello)?;
     if hello[..4] != HELLO_MAGIC.to_be_bytes() {
@@ -127,13 +127,43 @@ fn read_hello(s: &mut TcpStream) -> io::Result<(u8, u16, u64)> {
 // Socket tuning
 // ---------------------------------------------------------------------------
 
-/// Size both socket buffers to `bytes` (0 leaves the OS defaults). Uses a
-/// raw `setsockopt` — the std API has no knob for this, and the kernel
-/// clamps to `net.core.{w,r}mem_max` on its own, so failures are advice
-/// we can ignore.
+/// Requested-vs-effective socket buffer sizes. The kernel silently
+/// clamps `SO_SNDBUF`/`SO_RCVBUF` to `net.core.{w,r}mem_max`, so the
+/// value a tuning flag *asked for* and the value the socket actually
+/// *got* can differ wildly — this reports both so tuning runs stop
+/// lying. Note the effective values are as the kernel reports them,
+/// i.e. including its 2× bookkeeping doubling on Linux.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SockbufEffective {
+    /// Bytes the caller requested for each direction.
+    pub requested: usize,
+    /// `SO_SNDBUF` read back after setting.
+    pub sndbuf: usize,
+    /// `SO_RCVBUF` read back after setting.
+    pub rcvbuf: usize,
+}
+
+impl SockbufEffective {
+    /// Whether the kernel clamped either direction below the request.
+    /// Linux doubles the set value on read-back, so "honored" means
+    /// effective ≥ 2× requested (conservatively, ≥ requested elsewhere).
+    pub fn clamped(&self) -> bool {
+        let floor = if cfg!(target_os = "linux") {
+            self.requested.saturating_mul(2)
+        } else {
+            self.requested
+        };
+        self.sndbuf < floor || self.rcvbuf < floor
+    }
+}
+
+/// Size both socket buffers to `bytes` (0 leaves the OS defaults) and
+/// read back what the kernel actually granted. Uses raw `setsockopt`/
+/// `getsockopt` — the std API has no knob for this, and the kernel
+/// clamps to `net.core.{w,r}mem_max` on its own, so set failures are
+/// advice we can ignore; the read-back is how we notice the clamp.
 #[cfg(target_os = "linux")]
-fn set_sockbuf(s: &TcpStream, bytes: usize) {
-    use std::os::fd::AsRawFd;
+fn set_sockbuf(s: &impl std::os::fd::AsRawFd, bytes: usize) -> Option<SockbufEffective> {
     const SOL_SOCKET: i32 = 1;
     const SO_SNDBUF: i32 = 7;
     const SO_RCVBUF: i32 = 8;
@@ -145,23 +175,70 @@ fn set_sockbuf(s: &TcpStream, bytes: usize) {
             optval: *const core::ffi::c_void,
             optlen: u32,
         ) -> i32;
+        fn getsockopt(
+            fd: i32,
+            level: i32,
+            optname: i32,
+            optval: *mut core::ffi::c_void,
+            optlen: *mut u32,
+        ) -> i32;
+    }
+    fn read_back(fd: i32, optname: i32) -> usize {
+        let mut val: i32 = 0;
+        let mut len = std::mem::size_of::<i32>() as u32;
+        let rc = unsafe {
+            getsockopt(
+                fd,
+                SOL_SOCKET,
+                optname,
+                &mut val as *mut i32 as *mut core::ffi::c_void,
+                &mut len,
+            )
+        };
+        if rc == 0 {
+            val.max(0) as usize
+        } else {
+            0
+        }
     }
     if bytes == 0 {
-        return;
+        return None;
     }
     let val = bytes.min(i32::MAX as usize) as i32;
     let p = &val as *const i32 as *const core::ffi::c_void;
     let n = std::mem::size_of::<i32>() as u32;
+    let fd = s.as_raw_fd();
     unsafe {
-        setsockopt(s.as_raw_fd(), SOL_SOCKET, SO_SNDBUF, p, n);
-        setsockopt(s.as_raw_fd(), SOL_SOCKET, SO_RCVBUF, p, n);
+        setsockopt(fd, SOL_SOCKET, SO_SNDBUF, p, n);
+        setsockopt(fd, SOL_SOCKET, SO_RCVBUF, p, n);
     }
+    Some(SockbufEffective {
+        requested: bytes,
+        sndbuf: read_back(fd, SO_SNDBUF),
+        rcvbuf: read_back(fd, SO_RCVBUF),
+    })
 }
 
 #[cfg(not(target_os = "linux"))]
-fn set_sockbuf(_s: &TcpStream, _bytes: usize) {}
+fn set_sockbuf(_s: &impl std::os::fd::AsRawFd, _bytes: usize) -> Option<SockbufEffective> {
+    None
+}
 
-fn retry_interrupted<T>(mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+/// Probe what the kernel would actually grant for a `bytes`-sized
+/// socket-buffer request: set and read back on a throwaway loopback
+/// connection subject to the same `net.core.{w,r}mem_max` clamps as
+/// the real data sockets. `Ok(None)` when `bytes == 0` (OS defaults,
+/// nothing to compare) or off Linux.
+pub fn probe_sockbuf(bytes: usize) -> io::Result<Option<SockbufEffective>> {
+    if bytes == 0 {
+        return Ok(None);
+    }
+    let l = TcpListener::bind(("127.0.0.1", 0))?;
+    let s = TcpStream::connect(l.local_addr()?)?;
+    Ok(set_sockbuf(&s, bytes))
+}
+
+pub(crate) fn retry_interrupted<T>(mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
     loop {
         match op() {
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -173,7 +250,7 @@ fn retry_interrupted<T>(mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> 
 /// `read_exact`, except a clean end-of-stream *before the first byte*
 /// returns `Ok(false)` instead of an error — the frame boundary is the
 /// only place a peer may hang up.
-fn read_exact_or_eof(s: &mut TcpStream, buf: &mut [u8]) -> io::Result<bool> {
+pub(crate) fn read_exact_or_eof(s: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
     let mut off = 0;
     while off < buf.len() {
         let n = retry_interrupted(|| s.read(&mut buf[off..]))?;
@@ -196,9 +273,13 @@ fn read_exact_or_eof(s: &mut TcpStream, buf: &mut [u8]) -> io::Result<bool> {
 // Link endpoints
 // ---------------------------------------------------------------------------
 
-pub(crate) struct NetCtrlTx(pub(crate) Mutex<TcpStream>);
+/// Whole-frame control sender over any byte stream (TCP for the
+/// network backends, `UnixStream` for shm). Generic so the shm control
+/// socket reuses the exact frame encoding — control-plane bytes are
+/// identical across transports.
+pub(crate) struct NetCtrlTx<S = TcpStream>(pub(crate) Mutex<S>);
 
-impl CtrlTx for NetCtrlTx {
+impl<S: Write + Send> CtrlTx for NetCtrlTx<S> {
     fn send(&self, msg: &CtrlMsg) -> io::Result<()> {
         let mut buf = [0u8; FRAME_PREFIX_LEN + CTRL_SLOT_LEN];
         let n = encode_stream_frame(msg, &mut buf);
@@ -208,14 +289,14 @@ impl CtrlTx for NetCtrlTx {
     }
 }
 
-pub(crate) struct NetCtrlRx {
-    stream: TcpStream,
+pub(crate) struct NetCtrlRx<S = TcpStream> {
+    stream: S,
     dec: FrameDecoder,
     buf: Vec<u8>,
 }
 
-impl NetCtrlRx {
-    pub(crate) fn new(stream: TcpStream) -> NetCtrlRx {
+impl<S: Read + Send> NetCtrlRx<S> {
+    pub(crate) fn new(stream: S) -> NetCtrlRx<S> {
         NetCtrlRx {
             stream,
             dec: FrameDecoder::new(),
@@ -224,7 +305,7 @@ impl NetCtrlRx {
     }
 }
 
-impl CtrlRx for NetCtrlRx {
+impl<S: Read + Send> CtrlRx for NetCtrlRx<S> {
     fn recv(&mut self) -> io::Result<Option<CtrlMsg>> {
         loop {
             if let Some(msg) = self
@@ -459,7 +540,7 @@ impl NetListener {
 /// `FrameDecoder`, an io_uring) starts on a frame boundary. The daemon
 /// reads each session's opening `SessionRequest` this way before
 /// deciding admission.
-pub(crate) fn read_one_ctrl_frame(s: &mut TcpStream) -> io::Result<CtrlMsg> {
+pub(crate) fn read_one_ctrl_frame(s: &mut impl Read) -> io::Result<CtrlMsg> {
     use rftp_core::wire::{MAX_FRAME_BODY, MIN_FRAME_BODY};
     let mut prefix = [0u8; FRAME_PREFIX_LEN];
     s.read_exact(&mut prefix)?;
@@ -620,8 +701,7 @@ impl StreamAssembler {
     /// [`poll`]: StreamAssembler::poll
     pub(crate) fn hellos_pending(&self) -> bool {
         use std::sync::atomic::Ordering;
-        self.hellos.outstanding.load(Ordering::Acquire) > 0
-            || !self.hellos.ready.lock().is_empty()
+        self.hellos.outstanding.load(Ordering::Acquire) > 0 || !self.hellos.ready.lock().is_empty()
     }
 
     /// Assemble every hello that has landed since the last call and pop
@@ -852,7 +932,10 @@ mod tests {
         });
         let (s, _) = l.accept().unwrap();
         asm.offer(s);
-        assert!(settle(&mut asm).is_none(), "duplicate control dropped alone");
+        assert!(
+            settle(&mut asm).is_none(),
+            "duplicate control dropped alone"
+        );
 
         // The victim's data stream still completes its set.
         let victim_data = std::thread::spawn(move || {

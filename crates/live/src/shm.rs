@@ -1,0 +1,1758 @@
+//! Shared-memory one-sided transport: the sink's credited slot pool
+//! *is* a memfd window both processes map, and a source "send" is a
+//! store into the credited slot's memory — a real one-sided WRITE with
+//! zero receiver-side payload copies. Only three things ever cross a
+//! socket:
+//!
+//! * **control** (`UnixStream`) — the exact length-prefixed control
+//!   frames every other backend speaks (credits, acks, session setup;
+//!   PROTOCOL.md is byte-identical on this plane), plus a one-shot
+//!   *window descriptor* preamble that also ferries the memfd file
+//!   descriptor via `SCM_RIGHTS`;
+//! * **notify** (`UnixStream`) — 16-byte [`DataFrameHeader`] records,
+//!   source → sink: the WRITE-with-notification doorbell. The payload
+//!   itself never touches this stream;
+//! * **the window** — payload bytes, written exactly once, by the
+//!   source, directly into the slot the credit named.
+//!
+//! ## Window descriptor
+//!
+//! Sent by the sink on the control socket before any control frame,
+//! with the memfd attached to the same `sendmsg`:
+//!
+//! ```text
+//! offset  0..2    magic    0xFFFF (impossible frame length: control
+//!                          frame bodies are capped at MAX_FRAME_BODY,
+//!                          so a source reading the control stream can
+//!                          always tell descriptor from frame)
+//!         2..4    version  1
+//!         4..8    slots    credited slot count (BE)
+//!         8..16   stride   bytes per slot in the window (BE)
+//!         16..24  len      total window length in bytes (BE)
+//!         24..28  cap      max payload bytes per block (BE)
+//!         28..    offsets  slots × u64 BE — window byte offset of each
+//!                          wire slot index (the "rkey table": under the
+//!                          daemon these are arena-lease offsets into a
+//!                          shared slab, not 0,stride,2·stride…)
+//! ```
+//!
+//! A daemon that *rejects* a session (busy/geometry) replies with an
+//! ordinary control frame and no descriptor — the source's control
+//! reader sees a legal frame prefix instead of 0xFFFF and falls back to
+//! plain frame decoding, so rejection needs no shared memory at all.
+//!
+//! ## Publication protocol (per slot)
+//!
+//! The first 8 bytes of each slot's stride are dead space on the wire
+//! (the wire image starts at `STORE_ALIGN - PAYLOAD_HEADER_LEN`; see
+//! [`SlotBuf::external`]) and hold one `AtomicU64` generation word:
+//! `(epoch << 2) | state`, state ∈ {GRANTED=0, WRITING=1,
+//! PUBLISHED=2}. Ownership alternates one-sidedly:
+//!
+//! * **sink, at credit time**: bump the epoch and release-store
+//!   `(e, GRANTED)` — the slot now belongs to the source;
+//! * **source, at place time**: acquire-load the word, require
+//!   `GRANTED`, CAS to `(e, WRITING)`, copy the wire image in, then
+//!   release-store `(e, PUBLISHED)` — the fence that replaces the
+//!   receiver copy — and write one notify record;
+//! * **sink, at notify time**: acquire-load and require exactly
+//!   `(e, PUBLISHED)` for the epoch it granted — anything else means a
+//!   stale or torn write and fails the session loudly instead of
+//!   verifying garbage.
+//!
+//! A retransmitted duplicate can therefore never tear a slot under
+//! verification: the source keeps a per-slot `(last seq, epoch)` record
+//! and a resend of an already-placed seq re-notifies without touching
+//! memory, while a *stale* resend (the slot was since re-credited to a
+//! newer block) is dropped entirely — see [`SrcWindow::place`].
+//!
+//! ## Trust model
+//!
+//! Same-host, same trust domain as the hello token (net.rs): the peer
+//! holds a writable mapping of the sink's pool (under the daemon, of
+//! the whole arena slab — the descriptor's offset table is where its
+//! credits point, not a protection boundary). That is precisely the
+//! paper's RDMA setting, where an rkey-holding peer writes your pinned
+//! memory; deployments needing isolation between sessions should run
+//! one daemon per trust domain.
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use crate::net::{
+        self, proto_err, read_exact_or_eof, read_one_ctrl_frame, retry_interrupted, write_hello,
+        HELLO_TIMEOUT, KIND_CTRL, KIND_DATA, STALE_SESSION_TIMEOUT,
+    };
+    use crate::split::run_sink_session;
+    use crate::store::{SlotBuf, STORE_ALIGN};
+    use crate::transport::{CtrlRx, CtrlTx, DataRx, DataTx, SinkTransport, SourceTransport};
+    use crate::{LiveConfig, LiveReport};
+    use parking_lot::Mutex;
+    use rftp_core::wire::{
+        CtrlMsg, DataFrameHeader, FrameDecoder, DATA_FRAME_HEADER_LEN, PAYLOAD_HEADER_LEN,
+    };
+    use std::collections::HashMap;
+    use std::io::{self, Read, Write};
+    use std::net::Shutdown;
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::{Arc, OnceLock};
+    use std::time::{Duration, Instant};
+
+    // -----------------------------------------------------------------
+    // Raw syscall shims (no libc dep; precedent: net.rs, uring.rs)
+    // -----------------------------------------------------------------
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MEMFD_CREATE: i64 = 319;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MEMFD_CREATE: i64 = 279;
+
+    const MFD_CLOEXEC: u32 = 1;
+    const PROT_READ: i32 = 1;
+    const PROT_WRITE: i32 = 2;
+    const MAP_SHARED: i32 = 1;
+    const MSG_NOSIGNAL: i32 = 0x4000;
+    const MSG_CMSG_CLOEXEC: i32 = 0x4000_0000;
+    const SOL_SOCKET: i32 = 1;
+    const SCM_RIGHTS: i32 = 1;
+
+    #[repr(C)]
+    struct IoVec {
+        base: *mut core::ffi::c_void,
+        len: usize,
+    }
+
+    /// 64-bit Linux `struct msghdr` — `repr(C)` field order matches the
+    /// kernel/glibc layout (natural alignment inserts the same padding
+    /// after `namelen` and `flags` as the C definition).
+    #[repr(C)]
+    struct MsgHdr {
+        name: *mut core::ffi::c_void,
+        namelen: u32,
+        iov: *mut IoVec,
+        iovlen: usize,
+        control: *mut core::ffi::c_void,
+        controllen: usize,
+        flags: i32,
+    }
+
+    /// 64-bit Linux `struct cmsghdr`: 16-byte header, data follows.
+    /// For one fd: CMSG_LEN(4) = 20, CMSG_SPACE(4) = 24.
+    const CMSG_HDR: usize = 16;
+    const CMSG_LEN_ONE_FD: usize = CMSG_HDR + 4;
+    const CMSG_SPACE_ONE_FD: usize = 24;
+
+    extern "C" {
+        fn syscall(num: i64, ...) -> i64;
+        fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+        fn ftruncate(fd: i32, len: i64) -> i32;
+        fn sendmsg(fd: i32, msg: *const MsgHdr, flags: i32) -> isize;
+        fn recvmsg(fd: i32, msg: *mut MsgHdr, flags: i32) -> isize;
+        fn close(fd: i32) -> i32;
+        fn lseek(fd: i32, offset: i64, whence: i32) -> i64;
+    }
+
+    const SEEK_END: i32 = 2;
+
+    fn memfd_create(len: usize) -> io::Result<OwnedFd> {
+        let name = b"rftp-shm-window\0";
+        let fd = unsafe { syscall(SYS_MEMFD_CREATE, name.as_ptr(), MFD_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let fd = unsafe { OwnedFd::from_raw_fd(fd as RawFd) };
+        let rc = unsafe { ftruncate(fd.as_raw_fd(), len as i64) };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(fd)
+    }
+
+    /// A `MAP_SHARED` mapping of the window fd. Unmapped on drop; the
+    /// raw pointer is shared across threads (`Send + Sync`) because
+    /// every access goes through the per-slot atomic publication
+    /// protocol in the module docs.
+    pub(crate) struct Mapping {
+        base: *mut u8,
+        len: usize,
+    }
+
+    unsafe impl Send for Mapping {}
+    unsafe impl Sync for Mapping {}
+
+    impl Mapping {
+        /// Map `len` bytes of `fd` shared read+write. A failed map is a
+        /// typed error, never a raw `MAP_FAILED` pointer escaping — this
+        /// is the guard that turns "sink died, fd truncated" into a
+        /// session abort instead of a later SIGBUS at a wild address.
+        pub(crate) fn map_shared(fd: RawFd, len: usize) -> io::Result<Mapping> {
+            if len == 0 {
+                return Err(proto_err("shm window has zero length"));
+            }
+            // mmap happily maps beyond a short file and delivers the
+            // SIGBUS at first touch instead — the one failure mode a
+            // one-sided writer cannot recover from. Check the fd really
+            // backs the claimed length (a sink that died mid-setup, or
+            // a hostile descriptor, leaves it short) and fail typed.
+            let size = unsafe { lseek(fd, 0, SEEK_END) };
+            if size >= 0 && (size as u64) < len as u64 {
+                return Err(proto_err(format!(
+                    "shm window fd holds {size} bytes but the descriptor claims {len} — \
+                     refusing a mapping that would fault on first write"
+                )));
+            }
+            let p = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ | PROT_WRITE,
+                    MAP_SHARED,
+                    fd,
+                    0,
+                )
+            };
+            if p as isize == -1 || p.is_null() {
+                return Err(io::Error::other(format!(
+                    "mmap of shm window failed: {}",
+                    io::Error::last_os_error()
+                )));
+            }
+            Ok(Mapping {
+                base: p as *mut u8,
+                len,
+            })
+        }
+
+        pub(crate) fn base(&self) -> *mut u8 {
+            self.base
+        }
+
+        pub(crate) fn len(&self) -> usize {
+            self.len
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            unsafe { munmap(self.base as *mut core::ffi::c_void, self.len) };
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // SCM_RIGHTS fd passing
+    // -----------------------------------------------------------------
+
+    /// One `sendmsg` carrying `bytes` (or as much as the kernel takes)
+    /// with `fd` attached as an `SCM_RIGHTS` control message. Returns
+    /// the byte count sent; the fd rides with the *first* byte, so a
+    /// short send continues with plain writes.
+    fn sendmsg_with_fd(sock: &UnixStream, bytes: &[u8], fd: RawFd) -> io::Result<usize> {
+        let mut cmsg = [0u8; CMSG_SPACE_ONE_FD];
+        cmsg[..8].copy_from_slice(&(CMSG_LEN_ONE_FD as u64).to_ne_bytes());
+        cmsg[8..12].copy_from_slice(&SOL_SOCKET.to_ne_bytes());
+        cmsg[12..16].copy_from_slice(&SCM_RIGHTS.to_ne_bytes());
+        cmsg[16..20].copy_from_slice(&fd.to_ne_bytes());
+        let mut iov = IoVec {
+            base: bytes.as_ptr() as *mut core::ffi::c_void,
+            len: bytes.len(),
+        };
+        let msg = MsgHdr {
+            name: std::ptr::null_mut(),
+            namelen: 0,
+            iov: &mut iov,
+            iovlen: 1,
+            control: cmsg.as_mut_ptr() as *mut core::ffi::c_void,
+            controllen: CMSG_LEN_ONE_FD,
+            flags: 0,
+        };
+        let n = retry_interrupted(|| {
+            let n = unsafe { sendmsg(sock.as_raw_fd(), &msg, MSG_NOSIGNAL) };
+            if n < 0 {
+                Err(io::Error::last_os_error())
+            } else {
+                Ok(n as usize)
+            }
+        })?;
+        Ok(n)
+    }
+
+    /// Send `bytes` on `sock` with `fd` attached to the leading
+    /// `sendmsg`; any remainder after a short send goes as plain bytes.
+    pub(crate) fn send_with_fd(sock: &UnixStream, bytes: &[u8], fd: RawFd) -> io::Result<()> {
+        let n = sendmsg_with_fd(sock, bytes, fd)?;
+        if n == 0 {
+            return Err(io::ErrorKind::WriteZero.into());
+        }
+        if n < bytes.len() {
+            let mut s = sock;
+            s.write_all(&bytes[n..])?;
+        }
+        Ok(())
+    }
+
+    /// One `recvmsg` into `buf`, capturing the first `SCM_RIGHTS` fd
+    /// from the control data into `out` (if `out` is still empty) and
+    /// closing any extras a hostile peer packed in.
+    fn recvmsg_with_fd(
+        sock: &UnixStream,
+        buf: &mut [u8],
+        out: &mut Option<OwnedFd>,
+    ) -> io::Result<usize> {
+        // Room for a few control messages; a flood beyond this is
+        // truncated by the kernel (MSG_CTRUNC) and the extra fds closed
+        // on its side of the truncation.
+        let mut cmsg = [0u8; 4 * CMSG_SPACE_ONE_FD];
+        let mut iov = IoVec {
+            base: buf.as_mut_ptr() as *mut core::ffi::c_void,
+            len: buf.len(),
+        };
+        let mut msg = MsgHdr {
+            name: std::ptr::null_mut(),
+            namelen: 0,
+            iov: &mut iov,
+            iovlen: 1,
+            control: cmsg.as_mut_ptr() as *mut core::ffi::c_void,
+            controllen: cmsg.len(),
+            flags: 0,
+        };
+        let n = retry_interrupted(|| {
+            let n = unsafe { recvmsg(sock.as_raw_fd(), &mut msg, MSG_CMSG_CLOEXEC) };
+            if n < 0 {
+                Err(io::Error::last_os_error())
+            } else {
+                Ok(n as usize)
+            }
+        })?;
+        // Walk the control messages we actually received.
+        let mut off = 0usize;
+        while off + CMSG_HDR <= msg.controllen {
+            let clen = u64::from_ne_bytes(cmsg[off..off + 8].try_into().unwrap()) as usize;
+            if clen < CMSG_HDR || off + clen > msg.controllen {
+                break;
+            }
+            let level = i32::from_ne_bytes(cmsg[off + 8..off + 12].try_into().unwrap());
+            let ctype = i32::from_ne_bytes(cmsg[off + 12..off + 16].try_into().unwrap());
+            if level == SOL_SOCKET && ctype == SCM_RIGHTS {
+                let mut doff = off + CMSG_HDR;
+                while doff + 4 <= off + clen {
+                    let fd = i32::from_ne_bytes(cmsg[doff..doff + 4].try_into().unwrap());
+                    if fd >= 0 {
+                        if out.is_none() {
+                            *out = Some(unsafe { OwnedFd::from_raw_fd(fd) });
+                        } else {
+                            unsafe { close(fd) };
+                        }
+                    }
+                    doff += 4;
+                }
+            }
+            // Advance by the space-aligned length.
+            off += clen.next_multiple_of(8);
+        }
+        Ok(n)
+    }
+
+    /// `read_exact` over `recvmsg`, capturing any `SCM_RIGHTS` fd that
+    /// arrives with the bytes — descriptor reads can fragment, and the
+    /// fd lands with whichever segment the kernel delivered first.
+    fn read_exact_with_fd(
+        sock: &UnixStream,
+        buf: &mut [u8],
+        out: &mut Option<OwnedFd>,
+    ) -> io::Result<()> {
+        let mut off = 0;
+        while off < buf.len() {
+            let n = recvmsg_with_fd(sock, &mut buf[off..], out)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "control stream closed inside shm window descriptor",
+                ));
+            }
+            off += n;
+        }
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Window descriptor
+    // -----------------------------------------------------------------
+
+    /// Descriptor magic — deliberately an *illegal* control-frame length
+    /// prefix (frame bodies are capped far below 0xFFFF), so the source
+    /// control reader can distinguish "window descriptor" from "ordinary
+    /// frame" (daemon busy/reject) on the first two bytes.
+    const DESC_MAGIC: u16 = 0xFFFF;
+    const DESC_VERSION: u16 = 1;
+    const DESC_HEAD_LEN: usize = 28;
+    /// Ceiling on a descriptor's slot count — a corrupt or hostile
+    /// descriptor cannot make the source allocate without bound.
+    const MAX_DESC_SLOTS: usize = 1 << 20;
+    /// Ceiling on a descriptor's window length (1 TiB).
+    const MAX_WINDOW_LEN: u64 = 1 << 40;
+
+    /// The sink's window geometry as shipped to the source: the rkey
+    /// table of this transport.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub(crate) struct WindowDesc {
+        /// Bytes per slot in the window (header dead space + padded
+        /// payload, see [`SlotBuf::stride`]).
+        pub(crate) stride: u64,
+        /// Total mapped window bytes.
+        pub(crate) window_len: u64,
+        /// Max payload bytes per block this window's slots can hold.
+        pub(crate) block_cap: u32,
+        /// Window byte offset of each wire slot index.
+        pub(crate) offsets: Vec<u64>,
+    }
+
+    impl WindowDesc {
+        pub(crate) fn encode(&self) -> Vec<u8> {
+            let mut b = Vec::with_capacity(DESC_HEAD_LEN + self.offsets.len() * 8);
+            b.extend_from_slice(&DESC_MAGIC.to_be_bytes());
+            b.extend_from_slice(&DESC_VERSION.to_be_bytes());
+            b.extend_from_slice(&(self.offsets.len() as u32).to_be_bytes());
+            b.extend_from_slice(&self.stride.to_be_bytes());
+            b.extend_from_slice(&self.window_len.to_be_bytes());
+            b.extend_from_slice(&self.block_cap.to_be_bytes());
+            for off in &self.offsets {
+                b.extend_from_slice(&off.to_be_bytes());
+            }
+            b
+        }
+
+        /// Validate a received descriptor before trusting any offset:
+        /// every slot must lie whole and aligned inside the claimed
+        /// window, or the source refuses the session — this is the
+        /// bounds check that makes a later "write to unmapped slot"
+        /// structurally impossible instead of a SIGBUS.
+        pub(crate) fn validate(&self) -> io::Result<()> {
+            if self.stride == 0
+                || !self.stride.is_multiple_of(STORE_ALIGN as u64)
+                || self.stride < 2 * STORE_ALIGN as u64
+            {
+                return Err(proto_err(format!(
+                    "shm descriptor: bad stride {}",
+                    self.stride
+                )));
+            }
+            if self.window_len == 0 || self.window_len > MAX_WINDOW_LEN {
+                return Err(proto_err(format!(
+                    "shm descriptor: bad window length {}",
+                    self.window_len
+                )));
+            }
+            if self.offsets.is_empty() || self.offsets.len() > MAX_DESC_SLOTS {
+                return Err(proto_err(format!(
+                    "shm descriptor: bad slot count {}",
+                    self.offsets.len()
+                )));
+            }
+            let payload_room = self.stride - STORE_ALIGN as u64;
+            if self.block_cap == 0 || self.block_cap as u64 > payload_room {
+                return Err(proto_err(format!(
+                    "shm descriptor: block cap {} exceeds slot payload room {payload_room}",
+                    self.block_cap
+                )));
+            }
+            for &off in &self.offsets {
+                if !off.is_multiple_of(STORE_ALIGN as u64)
+                    || off
+                        .checked_add(self.stride)
+                        .is_none_or(|end| end > self.window_len)
+                {
+                    return Err(proto_err(format!(
+                        "shm descriptor: slot offset {off} out of window"
+                    )));
+                }
+            }
+            Ok(())
+        }
+    }
+
+    /// Parse the fixed head (after the 2 magic bytes already consumed).
+    fn decode_desc_head(head: &[u8; DESC_HEAD_LEN - 2]) -> io::Result<(usize, u64, u64, u32)> {
+        let version = u16::from_be_bytes([head[0], head[1]]);
+        if version != DESC_VERSION {
+            return Err(proto_err(format!(
+                "shm descriptor version {version} unsupported"
+            )));
+        }
+        let slots = u32::from_be_bytes(head[2..6].try_into().unwrap()) as usize;
+        if slots == 0 || slots > MAX_DESC_SLOTS {
+            return Err(proto_err(format!("shm descriptor: bad slot count {slots}")));
+        }
+        let stride = u64::from_be_bytes(head[6..14].try_into().unwrap());
+        let window_len = u64::from_be_bytes(head[14..22].try_into().unwrap());
+        let block_cap = u32::from_be_bytes(head[22..26].try_into().unwrap());
+        Ok((slots, stride, window_len, block_cap))
+    }
+
+    // -----------------------------------------------------------------
+    // Per-slot generation word
+    // -----------------------------------------------------------------
+
+    /// Slot states in the low 2 bits of the generation word; the epoch
+    /// lives in the upper 62 and is bumped by the sink at every grant.
+    const SLOT_GRANTED: u64 = 0;
+    const SLOT_WRITING: u64 = 1;
+    const SLOT_PUBLISHED: u64 = 2;
+
+    fn word_of(epoch: u64, state: u64) -> u64 {
+        (epoch << 2) | state
+    }
+
+    /// The generation word lives in the first 8 bytes of the slot's
+    /// stride — dead space the wire image never touches (the image
+    /// starts at `STORE_ALIGN - PAYLOAD_HEADER_LEN`).
+    unsafe fn slot_word<'a>(base: *mut u8, off: u64) -> &'a AtomicU64 {
+        &*(base.add(off as usize) as *const AtomicU64)
+    }
+
+    /// Where a slot's wire image (payload header + payload) begins,
+    /// matching [`SlotBuf::external`]'s deref region.
+    unsafe fn wire_ptr(base: *mut u8, off: u64) -> *mut u8 {
+        base.add(off as usize + STORE_ALIGN - PAYLOAD_HEADER_LEN)
+    }
+
+    // -----------------------------------------------------------------
+    // Source half
+    // -----------------------------------------------------------------
+
+    /// What the source last placed into one sink slot: the block seq and
+    /// the grant epoch it was published under. `seq == -1` means the
+    /// slot was never written by this session.
+    struct SentEntry {
+        seq: i64,
+        epoch: u64,
+    }
+
+    /// Outcome of a one-sided place attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub(crate) enum PlaceOutcome {
+        /// Fresh write: wire image stored, slot published — notify.
+        Placed,
+        /// Duplicate of the block already published in this slot —
+        /// memory untouched, but the notify record is worth resending
+        /// (the ack may be slow, and re-notifying is idempotent at the
+        /// sink, which dedups on seq).
+        Renotify,
+        /// Stale retransmit: the slot has since been re-credited to a
+        /// newer block. Dropped entirely — writing would tear the
+        /// successor, notifying would lie.
+        Stale,
+    }
+
+    /// The source's view of the sink's window: the mapping, the rkey
+    /// table, and the per-slot send history that makes retransmits
+    /// tear-proof.
+    ///
+    /// **Why the seq rule exists.** Credits can overtake acks: the sink
+    /// flushes a freed slot's re-grant immediately while the block's
+    /// ack may dwell in a coalescing batch. A slot can therefore be
+    /// re-credited and re-dispatched to a *new* block while the old
+    /// block's retransmit watchdog still considers it in flight. The
+    /// per-slot `(last seq, epoch)` record disambiguates every case by
+    /// seq comparison — the dispatcher pairs blocks to slots in seq
+    /// order, so per-slot seqs are strictly monotonic:
+    ///
+    /// * `hdr.seq > last`: first placement of a newer block — the word
+    ///   must be `GRANTED` (anything else is a protocol fault, failed
+    ///   loudly rather than hung);
+    /// * `hdr.seq == last`: watchdog resend of the same block —
+    ///   re-notify if the slot still holds it published, else stale;
+    /// * `hdr.seq < last`: stale resend for a slot that moved on — drop.
+    pub(crate) struct SrcWindow {
+        map: Mapping,
+        block_cap: u32,
+        offsets: Vec<u64>,
+        sent: Vec<Mutex<SentEntry>>,
+    }
+
+    impl SrcWindow {
+        fn new(map: Mapping, desc: &WindowDesc) -> SrcWindow {
+            let sent = (0..desc.offsets.len())
+                .map(|_| Mutex::new(SentEntry { seq: -1, epoch: 0 }))
+                .collect();
+            SrcWindow {
+                map,
+                block_cap: desc.block_cap,
+                offsets: desc.offsets.clone(),
+                sent,
+            }
+        }
+
+        /// One-sided place of `wire` into the slot `hdr` names. This is
+        /// the transport's entire data path: bounds checks, the
+        /// generation-word handshake, one `memcpy` into shared memory,
+        /// one release fence. No socket, no receiver copy.
+        pub(crate) fn place(&self, hdr: &DataFrameHeader, wire: &[u8]) -> io::Result<PlaceOutcome> {
+            let slot = hdr.slot as usize;
+            if slot >= self.offsets.len() {
+                return Err(proto_err(format!(
+                    "shm place: slot {slot} outside the {}-slot window",
+                    self.offsets.len()
+                )));
+            }
+            if hdr.len > self.block_cap {
+                return Err(proto_err(format!(
+                    "shm place: payload {} exceeds window block cap {}",
+                    hdr.len, self.block_cap
+                )));
+            }
+            debug_assert_eq!(wire.len(), hdr.wire_len());
+            let off = self.offsets[slot];
+            let word = unsafe { slot_word(self.map.base(), off) };
+            let mut entry = self.sent[slot].lock();
+            let seq = hdr.seq as i64;
+            if seq < entry.seq {
+                return Ok(PlaceOutcome::Stale);
+            }
+            if seq == entry.seq {
+                // Same block resent: if the slot still holds it
+                // published under the same grant, the bytes are already
+                // there (byte-identical by protocol) — never rewrite a
+                // slot the sink may be verifying.
+                let w = word.load(Ordering::Acquire);
+                return if w == word_of(entry.epoch, SLOT_PUBLISHED) {
+                    Ok(PlaceOutcome::Renotify)
+                } else {
+                    Ok(PlaceOutcome::Stale)
+                };
+            }
+            // Fresh block for this slot: the sink must have re-granted.
+            let w = word.load(Ordering::Acquire);
+            if w & 0b11 != SLOT_GRANTED {
+                return Err(proto_err(format!(
+                    "shm place: slot {slot} not granted (word {w:#x}) for seq {} — \
+                     window desynchronized",
+                    hdr.seq
+                )));
+            }
+            let epoch = w >> 2;
+            if word
+                .compare_exchange(
+                    w,
+                    word_of(epoch, SLOT_WRITING),
+                    Ordering::Acquire,
+                    Ordering::Relaxed,
+                )
+                .is_err()
+            {
+                return Err(proto_err(format!(
+                    "shm place: slot {slot} changed hands mid-claim — window desynchronized"
+                )));
+            }
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    wire.as_ptr(),
+                    wire_ptr(self.map.base(), off),
+                    wire.len(),
+                );
+            }
+            // The fence that replaces the receiver copy: everything
+            // stored above happens-before any sink thread that
+            // acquire-loads PUBLISHED.
+            word.store(word_of(epoch, SLOT_PUBLISHED), Ordering::Release);
+            entry.seq = seq;
+            entry.epoch = epoch;
+            Ok(PlaceOutcome::Placed)
+        }
+    }
+
+    /// State shared by every source-side endpoint of one shm session:
+    /// the notify stream all channels write their doorbell records to,
+    /// and the window, installed by the control reader when the
+    /// descriptor lands (always before any credit can arrive — the
+    /// descriptor precedes every control frame on the same stream).
+    pub(crate) struct ShmSourceState {
+        notify: Mutex<UnixStream>,
+        window: OnceLock<SrcWindow>,
+    }
+
+    /// One data channel's send endpoint. All channels share the session
+    /// state: the window is one, the notify stream is one — a "channel"
+    /// on this transport is purely a pipeline-concurrency construct.
+    struct ShmDataTx {
+        shared: Arc<ShmSourceState>,
+    }
+
+    impl DataTx for ShmDataTx {
+        fn send(&self, hdr: DataFrameHeader, wire: &[u8]) -> io::Result<()> {
+            let win = self.shared.window.get().ok_or_else(|| {
+                proto_err("shm window not established (no descriptor before first credit)")
+            })?;
+            match win.place(&hdr, wire)? {
+                PlaceOutcome::Stale => Ok(()),
+                PlaceOutcome::Placed | PlaceOutcome::Renotify => {
+                    let mut rec = [0u8; DATA_FRAME_HEADER_LEN];
+                    hdr.encode(&mut rec);
+                    retry_interrupted(|| self.shared.notify.lock().write_all(&rec))
+                }
+            }
+        }
+    }
+
+    /// Source control reader: consumes the one-shot window descriptor
+    /// (with its `SCM_RIGHTS` fd) off the front of the control stream,
+    /// then decodes ordinary frames exactly like the TCP reader.
+    struct ShmCtrlRx {
+        stream: UnixStream,
+        dec: FrameDecoder,
+        buf: Vec<u8>,
+        shared: Arc<ShmSourceState>,
+        desc_done: bool,
+    }
+
+    impl ShmCtrlRx {
+        /// Read the descriptor preamble. If the first two bytes are a
+        /// legal frame prefix instead of the descriptor magic, the sink
+        /// rejected the session before mapping anything (daemon busy /
+        /// geometry) — feed the bytes to the frame decoder and carry on;
+        /// the pipeline will surface the rejection through its normal
+        /// control path.
+        fn consume_descriptor(&mut self) -> io::Result<()> {
+            let mut fd: Option<OwnedFd> = None;
+            let mut magic = [0u8; 2];
+            read_exact_with_fd(&self.stream, &mut magic, &mut fd)?;
+            if u16::from_be_bytes(magic) != DESC_MAGIC {
+                self.dec.push(&magic);
+                self.desc_done = true;
+                return Ok(());
+            }
+            let mut head = [0u8; DESC_HEAD_LEN - 2];
+            read_exact_with_fd(&self.stream, &mut head, &mut fd)?;
+            let (slots, stride, window_len, block_cap) = decode_desc_head(&head)?;
+            let mut table = vec![0u8; slots * 8];
+            read_exact_with_fd(&self.stream, &mut table, &mut fd)?;
+            let offsets = table
+                .chunks_exact(8)
+                .map(|c| u64::from_be_bytes(c.try_into().unwrap()))
+                .collect();
+            let desc = WindowDesc {
+                stride,
+                window_len,
+                block_cap,
+                offsets,
+            };
+            desc.validate()?;
+            let fd = fd.ok_or_else(|| {
+                proto_err("shm descriptor arrived without an SCM_RIGHTS window fd")
+            })?;
+            let map = Mapping::map_shared(fd.as_raw_fd(), desc.window_len as usize)?;
+            let _ = self.shared.window.set(SrcWindow::new(map, &desc));
+            self.desc_done = true;
+            Ok(())
+        }
+    }
+
+    impl CtrlRx for ShmCtrlRx {
+        fn recv(&mut self) -> io::Result<Option<CtrlMsg>> {
+            if !self.desc_done {
+                self.consume_descriptor()?;
+            }
+            loop {
+                if let Some(msg) = self
+                    .dec
+                    .next_frame()
+                    .map_err(|e| proto_err(format!("bad control frame: {e:?}")))?
+                {
+                    return Ok(Some(msg));
+                }
+                let n = retry_interrupted(|| self.stream.read(&mut self.buf))?;
+                if n == 0 {
+                    return if self.dec.pending_bytes() == 0 {
+                        Ok(None)
+                    } else {
+                        Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "control stream closed mid-frame",
+                        ))
+                    };
+                }
+                self.dec.push(&self.buf[..n]);
+            }
+        }
+    }
+
+    fn shutdown_all_unix(socks: &[UnixStream], how: Shutdown) {
+        for s in socks {
+            let _ = s.shutdown(how);
+        }
+    }
+
+    /// Connect the source half of an shm session to a sink listening on
+    /// the unix socket at `path`. Two connections — control and notify —
+    /// carry hellos in the net.rs format (the notify stream plays the
+    /// data-stream role with index 0); the window arrives back over
+    /// control as the descriptor preamble.
+    pub fn connect_source_shm(
+        path: impl AsRef<Path>,
+        channels: usize,
+    ) -> io::Result<SourceTransport> {
+        assert!(channels >= 1 && channels <= u16::MAX as usize);
+        let path = path.as_ref();
+        let token = net::new_session_token();
+        let mut ctrl = UnixStream::connect(path)?;
+        write_hello(&mut ctrl, KIND_CTRL, channels as u16, token)?;
+        let mut notify = UnixStream::connect(path)?;
+        write_hello(&mut notify, KIND_DATA, 0, token)?;
+        let shared = Arc::new(ShmSourceState {
+            notify: Mutex::new(notify.try_clone()?),
+            window: OnceLock::new(),
+        });
+        let ctrl_rd = ctrl.try_clone()?;
+        let data: Vec<Box<dyn DataTx>> = (0..channels)
+            .map(|_| {
+                Box::new(ShmDataTx {
+                    shared: Arc::clone(&shared),
+                }) as Box<dyn DataTx>
+            })
+            .collect();
+        let handles = Arc::new(vec![ctrl.try_clone()?, notify]);
+        let shutdown_handles = Arc::clone(&handles);
+        Ok(SourceTransport {
+            ctrl_tx: Arc::new(net::NetCtrlTx(Mutex::new(ctrl))),
+            ctrl_rx: Box::new(ShmCtrlRx {
+                stream: ctrl_rd,
+                dec: FrameDecoder::new(),
+                buf: vec![0u8; 4096],
+                shared,
+                desc_done: false,
+            }),
+            data: Arc::new(data),
+            register: Box::new(|_| Ok(())),
+            transport_threads: 0,
+            shutdown_write: Box::new(move || shutdown_all_unix(&shutdown_handles, Shutdown::Write)),
+            abort: Arc::new(move || shutdown_all_unix(&handles, Shutdown::Both)),
+        })
+    }
+
+    /// [`connect_source_shm`], with a typed fallback: when the shm
+    /// endpoint does not exist or refuses (sink on another host mounts
+    /// no unix socket here; a dead sink leaves a stale path), dial the
+    /// TCP listener instead. Returns which transport connected so the
+    /// caller can report it — the fallback is a visible downgrade, not
+    /// a silent one.
+    pub fn connect_source_shm_or_tcp(
+        shm_path: impl AsRef<Path>,
+        tcp_addr: impl std::net::ToSocketAddrs + Copy,
+        channels: usize,
+        sockbuf: usize,
+    ) -> io::Result<(SourceTransport, bool)> {
+        match connect_source_shm(shm_path, channels) {
+            Ok(t) => Ok((t, true)),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::NotFound
+                        | io::ErrorKind::ConnectionRefused
+                        | io::ErrorKind::PermissionDenied
+                ) =>
+            {
+                Ok((net::connect_source(tcp_addr, channels, sockbuf)?, false))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Sink half
+    // -----------------------------------------------------------------
+
+    /// The sink's view of its own window: the slot base, the offset
+    /// table it described to the peer, and the epoch it granted each
+    /// slot at — what a published word must match before the payload is
+    /// trusted. Owns the mapping and memfd in standalone mode; borrows
+    /// the daemon's slab (which outlives every session) otherwise.
+    pub(crate) struct SnkWindow {
+        base: *mut u8,
+        block_cap: u32,
+        offsets: Vec<u64>,
+        /// Epoch granted per wire slot; a notify is only honoured when
+        /// the slot word reads exactly `(expected, PUBLISHED)`.
+        expected: Vec<AtomicU64>,
+        _own: Option<(Mapping, OwnedFd)>,
+    }
+
+    unsafe impl Send for SnkWindow {}
+    unsafe impl Sync for SnkWindow {}
+
+    impl SnkWindow {
+        fn with_base(
+            base: *mut u8,
+            offsets: Vec<u64>,
+            block_cap: u32,
+            own: Option<(Mapping, OwnedFd)>,
+        ) -> SnkWindow {
+            let expected = (0..offsets.len()).map(|_| AtomicU64::new(0)).collect();
+            SnkWindow {
+                base,
+                block_cap,
+                offsets,
+                expected,
+                _own: own,
+            }
+        }
+
+        pub(crate) fn owned(
+            map: Mapping,
+            fd: OwnedFd,
+            offsets: Vec<u64>,
+            block_cap: u32,
+        ) -> SnkWindow {
+            let base = map.base();
+            SnkWindow::with_base(base, offsets, block_cap, Some((map, fd)))
+        }
+
+        /// A session window borrowing the daemon's slab: `offsets` are
+        /// absolute slab offsets of the leased arena slots. Caller
+        /// guarantees the slab outlives the session (the daemon scope
+        /// does).
+        pub(crate) fn borrowed(base: *mut u8, offsets: Vec<u64>, block_cap: u32) -> SnkWindow {
+            SnkWindow::with_base(base, offsets, block_cap, None)
+        }
+
+        /// Hand slot ownership to the source: bump the epoch past
+        /// whatever the word holds (epochs survive across daemon
+        /// sessions in the slab — the bump-from-live-value is what keeps
+        /// a previous tenant's published word from ever matching a new
+        /// grant) and release-store `GRANTED`. Called by the control
+        /// sender *before* the credit frame's bytes leave, so the grant
+        /// is visible strictly before the credit that announces it.
+        fn grant(&self, slot: u32) {
+            let s = slot as usize;
+            if s >= self.offsets.len() {
+                return; // granter never emits out-of-pool slots; defensive
+            }
+            let word = unsafe { slot_word(self.base, self.offsets[s]) };
+            let epoch = (word.load(Ordering::Acquire) >> 2).wrapping_add(1);
+            self.expected[s].store(epoch, Ordering::Release);
+            word.store(word_of(epoch, SLOT_GRANTED), Ordering::Release);
+        }
+
+        /// The acquire side of publication: require the slot word to
+        /// read exactly `(granted epoch, PUBLISHED)`. Anything else —
+        /// an old epoch, a `WRITING` state, a never-granted slot — is a
+        /// stale or torn one-sided write and fails the session rather
+        /// than letting verification read bytes still in flight.
+        fn check_published(&self, hdr: &DataFrameHeader) -> io::Result<()> {
+            let s = hdr.slot as usize;
+            if s >= self.offsets.len() {
+                return Err(proto_err(format!(
+                    "shm notify names slot {s} outside the {}-slot window",
+                    self.offsets.len()
+                )));
+            }
+            if hdr.len > self.block_cap {
+                return Err(proto_err(format!(
+                    "shm notify claims {} payload bytes, window block cap is {}",
+                    hdr.len, self.block_cap
+                )));
+            }
+            let expected = self.expected[s].load(Ordering::Acquire);
+            let word = unsafe { slot_word(self.base, self.offsets[s]) };
+            let w = word.load(Ordering::Acquire);
+            if w != word_of(expected, SLOT_PUBLISHED) {
+                return Err(proto_err(format!(
+                    "shm slot {s} not cleanly published (word {w:#x}, granted epoch \
+                     {expected}) — torn or stale one-sided write"
+                )));
+            }
+            Ok(())
+        }
+
+        pub(crate) fn base_ptr(&self) -> *mut u8 {
+            self.base
+        }
+    }
+
+    /// Sink control sender: the ordinary frame encoder, plus the window
+    /// re-arm — every credit leaving this endpoint grants its slot's
+    /// generation word first, so by the time the source reads the
+    /// credit, the slot is already writable shared memory.
+    struct ShmCtrlTx {
+        inner: net::NetCtrlTx<UnixStream>,
+        win: Arc<SnkWindow>,
+    }
+
+    impl CtrlTx for ShmCtrlTx {
+        fn send(&self, msg: &CtrlMsg) -> io::Result<()> {
+            match msg {
+                CtrlMsg::CreditBatch { slots, .. } => {
+                    for &s in slots {
+                        self.win.grant(s);
+                    }
+                }
+                // The sink pipeline only emits CreditBatch, but grant on
+                // the long form too so the invariant is the message
+                // type's, not the caller's.
+                CtrlMsg::Credits { credits, .. } => {
+                    for c in credits {
+                        self.win.grant(c.slot);
+                    }
+                }
+                _ => {}
+            }
+            self.inner.send(msg)
+        }
+    }
+
+    /// One sink data channel: a reader of the shared notify stream.
+    /// `recv_wire` never reads a socket — the payload is already in the
+    /// slot the caller's buffer aliases; all that remains is the
+    /// publication check. This is the zero-copy place stage.
+    struct ShmDataRx {
+        notify: Arc<Mutex<UnixStream>>,
+        win: Arc<SnkWindow>,
+        pending: Option<DataFrameHeader>,
+    }
+
+    impl DataRx for ShmDataRx {
+        fn recv_header(&mut self) -> io::Result<Option<DataFrameHeader>> {
+            debug_assert!(self.pending.is_none(), "previous frame not consumed");
+            let mut rec = [0u8; DATA_FRAME_HEADER_LEN];
+            let got = {
+                let mut s = self.notify.lock();
+                read_exact_or_eof(&mut *s, &mut rec)?
+            };
+            if !got {
+                return Ok(None);
+            }
+            let hdr = DataFrameHeader::decode(&rec)
+                .map_err(|e| proto_err(format!("bad shm notify record: {e:?}")))?;
+            self.pending = Some(hdr);
+            Ok(Some(hdr))
+        }
+
+        fn recv_wire(&mut self, buf: &mut [u8]) -> io::Result<()> {
+            let hdr = self.pending.take().expect("recv_wire without a header");
+            self.win.check_published(&hdr)?;
+            // The caller's buffer is the slot's external SlotBuf view —
+            // the same physical bytes the source stored. Nothing to
+            // move; the check above was the whole place stage.
+            debug_assert_eq!(
+                buf.as_ptr() as usize,
+                unsafe { wire_ptr(self.win.base, self.win.offsets[hdr.slot as usize]) } as usize,
+                "shm sink buffer must alias the shared slot"
+            );
+            debug_assert_eq!(buf.len(), hdr.wire_len());
+            Ok(())
+        }
+
+        fn discard_wire(&mut self, _wire_len: usize) -> io::Result<()> {
+            // Duplicate notify: the payload never crossed the stream, so
+            // there is nothing to drain — dropping the record is the
+            // whole discard.
+            self.pending.take().expect("discard_wire without a header");
+            Ok(())
+        }
+    }
+
+    /// Wrap one assembled shm connection pair plus a window into a
+    /// [`SinkTransport`]: `channels` notify readers over the one
+    /// stream, control framing unchanged, credits re-arming the window
+    /// on their way out.
+    pub(crate) fn sink_transport_for_window(
+        ctrl: UnixStream,
+        notify: UnixStream,
+        channels: usize,
+        win: Arc<SnkWindow>,
+    ) -> io::Result<SinkTransport> {
+        let ctrl_wr = ctrl.try_clone()?;
+        let handles = Arc::new(vec![ctrl.try_clone()?, notify.try_clone()?]);
+        let notify = Arc::new(Mutex::new(notify));
+        let data: Vec<Box<dyn DataRx>> = (0..channels)
+            .map(|_| {
+                Box::new(ShmDataRx {
+                    notify: Arc::clone(&notify),
+                    win: Arc::clone(&win),
+                    pending: None,
+                }) as Box<dyn DataRx>
+            })
+            .collect();
+        Ok(SinkTransport {
+            ctrl_tx: Arc::new(ShmCtrlTx {
+                inner: net::NetCtrlTx(Mutex::new(ctrl_wr)),
+                win,
+            }),
+            ctrl_rx: Box::new(net::NetCtrlRx::new(ctrl)),
+            data,
+            abort: Arc::new(move || shutdown_all_unix(&handles, Shutdown::Both)),
+        })
+    }
+
+    // -----------------------------------------------------------------
+    // Session assembly (unix-socket mirror of net::StreamAssembler)
+    // -----------------------------------------------------------------
+
+    /// One shm session's connection pair, hellos consumed: the control
+    /// stream (which announced the channel count) and the notify stream.
+    pub struct ShmSessionStreams {
+        pub(crate) ctrl: UnixStream,
+        pub(crate) notify: UnixStream,
+        pub(crate) token: u64,
+        pub(crate) channels: u16,
+    }
+
+    struct ShmPendingSet {
+        ctrl: Option<(UnixStream, u16)>,
+        notify: Option<UnixStream>,
+        since: Instant,
+    }
+
+    type Hello = (u8, u16, u64);
+
+    struct ShmHelloQueue {
+        ready: Mutex<Vec<(UnixStream, Hello)>>,
+        outstanding: AtomicUsize,
+    }
+
+    const MAX_PENDING_HELLOS: usize = 256;
+
+    /// Groups accepted unix connections into (control, notify) pairs by
+    /// hello token, with the same tolerance rules as the TCP
+    /// [`net::StreamAssembler`]: hellos read on short-lived helper
+    /// threads under [`HELLO_TIMEOUT`], protocol violations drop the
+    /// offending connection alone, partial pairs are swept after
+    /// [`STALE_SESSION_TIMEOUT`].
+    pub(crate) struct ShmAssembler {
+        pending: HashMap<u64, ShmPendingSet>,
+        completed: Vec<ShmSessionStreams>,
+        hellos: Arc<ShmHelloQueue>,
+    }
+
+    impl ShmAssembler {
+        pub(crate) fn new() -> ShmAssembler {
+            ShmAssembler {
+                pending: HashMap::new(),
+                completed: Vec::new(),
+                hellos: Arc::new(ShmHelloQueue {
+                    ready: Mutex::new(Vec::new()),
+                    outstanding: AtomicUsize::new(0),
+                }),
+            }
+        }
+
+        pub(crate) fn offer(&mut self, s: UnixStream) {
+            if s.set_nonblocking(false).is_err() {
+                return;
+            }
+            if self.hellos.outstanding.load(Ordering::Acquire) >= MAX_PENDING_HELLOS {
+                return;
+            }
+            self.hellos.outstanding.fetch_add(1, Ordering::AcqRel);
+            let q = Arc::clone(&self.hellos);
+            let spawned = std::thread::Builder::new()
+                .name("rftp-shm-hello".into())
+                .spawn(move || {
+                    let mut s = s;
+                    let _ = s.set_read_timeout(Some(HELLO_TIMEOUT));
+                    let hello = net::read_hello(&mut s);
+                    let _ = s.set_read_timeout(None);
+                    if let Ok(h) = hello {
+                        q.ready.lock().push((s, h));
+                    }
+                    q.outstanding.fetch_sub(1, Ordering::AcqRel);
+                })
+                .is_ok();
+            if !spawned {
+                self.hellos.outstanding.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+
+        pub(crate) fn hellos_pending(&self) -> bool {
+            self.hellos.outstanding.load(Ordering::Acquire) > 0
+                || !self.hellos.ready.lock().is_empty()
+        }
+
+        pub(crate) fn poll(&mut self) -> Option<ShmSessionStreams> {
+            let batch: Vec<(UnixStream, Hello)> = {
+                let mut ready = self.hellos.ready.lock();
+                ready.drain(..).collect()
+            };
+            for (s, (kind, index, token)) in batch {
+                self.assemble(s, kind, index, token);
+            }
+            self.completed.pop()
+        }
+
+        fn assemble(&mut self, s: UnixStream, kind: u8, index: u16, token: u64) {
+            let set = self.pending.entry(token).or_insert_with(|| ShmPendingSet {
+                ctrl: None,
+                notify: None,
+                since: Instant::now(),
+            });
+            match kind {
+                KIND_CTRL => {
+                    if set.ctrl.is_some() || index == 0 {
+                        return; // duplicate control or zero channels: drop this conn
+                    }
+                    set.ctrl = Some((s, index));
+                }
+                KIND_DATA => {
+                    // The notify stream is data index 0; an shm session
+                    // has exactly one.
+                    if set.notify.is_some() || index != 0 {
+                        return;
+                    }
+                    set.notify = Some(s);
+                }
+                _ => return,
+            }
+            if set.ctrl.is_some() && set.notify.is_some() {
+                let set = self.pending.remove(&token).unwrap();
+                let (ctrl, channels) = set.ctrl.unwrap();
+                self.completed.push(ShmSessionStreams {
+                    ctrl,
+                    notify: set.notify.unwrap(),
+                    token,
+                    channels,
+                });
+            }
+        }
+
+        pub(crate) fn sweep_stale(&mut self, now: Instant) {
+            self.pending
+                .retain(|_, set| now.duration_since(set.since) < STALE_SESSION_TIMEOUT);
+        }
+    }
+
+    /// The standalone shm sink's accept socket: a unix listener at a
+    /// filesystem path. The path is unlinked on drop (and any stale
+    /// previous path is unlinked at bind), so a crashed sink's leftover
+    /// socket file does not shadow the next run.
+    pub struct ShmListener {
+        listener: UnixListener,
+        path: PathBuf,
+    }
+
+    impl ShmListener {
+        pub fn bind(path: impl AsRef<Path>) -> io::Result<ShmListener> {
+            let path = path.as_ref().to_path_buf();
+            if path.exists() {
+                std::fs::remove_file(&path)?;
+            }
+            Ok(ShmListener {
+                listener: UnixListener::bind(&path)?,
+                path,
+            })
+        }
+
+        pub fn path(&self) -> &Path {
+            &self.path
+        }
+
+        fn accept_streams(&self) -> io::Result<ShmSessionStreams> {
+            let mut asm = ShmAssembler::new();
+            loop {
+                let (s, _) = self.listener.accept()?;
+                asm.offer(s);
+                loop {
+                    if let Some(done) = asm.poll() {
+                        return Ok(done);
+                    }
+                    if !asm.hellos_pending() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                asm.sweep_stale(Instant::now());
+            }
+        }
+
+        /// Accept one source's (control, notify) pair and read the
+        /// opening `SessionRequest` (bounded — a silent source times
+        /// out rather than parking the sink). Pass both to
+        /// [`run_shm_sink`].
+        pub fn accept_session(&self) -> io::Result<(ShmSessionStreams, CtrlMsg)> {
+            let mut sess = self.accept_streams()?;
+            sess.ctrl.set_read_timeout(Some(HELLO_TIMEOUT))?;
+            let first = read_one_ctrl_frame(&mut sess.ctrl)?;
+            sess.ctrl.set_read_timeout(None)?;
+            Ok((sess, first))
+        }
+    }
+
+    impl Drop for ShmListener {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+
+    /// Run the sink half of an shm session accepted by [`ShmListener`]:
+    /// create the memfd window sized to this session's pool, ship the
+    /// descriptor + fd, lay external slot buffers over the window, and
+    /// run the standard sink pipeline — whose "placement" is now the
+    /// publication check alone.
+    pub fn run_shm_sink(
+        cfg: &LiveConfig,
+        sess: ShmSessionStreams,
+        first_ctrl: Option<CtrlMsg>,
+    ) -> io::Result<LiveReport> {
+        let stride = SlotBuf::stride(cfg.block_size);
+        let slots = cfg.pool_blocks as usize;
+        let window_len = stride
+            .checked_mul(slots)
+            .ok_or_else(|| proto_err("shm window size overflow"))?;
+        let fd = memfd_create(window_len)?;
+        let map = Mapping::map_shared(fd.as_raw_fd(), window_len)?;
+        let offsets: Vec<u64> = (0..slots).map(|i| (i * stride) as u64).collect();
+        let desc = WindowDesc {
+            stride: stride as u64,
+            window_len: window_len as u64,
+            block_cap: cfg.block_size as u32,
+            offsets: offsets.clone(),
+        };
+        send_with_fd(&sess.ctrl, &desc.encode(), fd.as_raw_fd())?;
+        let win = Arc::new(SnkWindow::owned(map, fd, offsets, cfg.block_size as u32));
+        let snk_bufs: Vec<Mutex<SlotBuf>> = (0..slots)
+            .map(|i| {
+                Mutex::new(unsafe {
+                    SlotBuf::external(win.base_ptr().add(i * stride), cfg.block_size)
+                })
+            })
+            .collect();
+        let view: Vec<&Mutex<SlotBuf>> = snk_bufs.iter().collect();
+        let t = sink_transport_for_window(sess.ctrl, sess.notify, cfg.channels, win)?;
+        run_sink_session(cfg, t, first_ctrl, &view, None)
+    }
+
+    // -----------------------------------------------------------------
+    // Daemon slab
+    // -----------------------------------------------------------------
+
+    /// The daemon's whole arena as one memfd slab: every arena slot is a
+    /// stride of this segment, so TCP and uring sessions use the same
+    /// memory through external [`SlotBuf`]s while an shm session's
+    /// lease is described to its peer as offsets into the (one, shared)
+    /// window fd. Slot generation epochs live in the slab and persist
+    /// across sessions — a new tenant's grants always bump past the
+    /// previous tenant's words.
+    pub(crate) struct ShmSlab {
+        fd: OwnedFd,
+        map: Mapping,
+        stride: usize,
+    }
+
+    impl ShmSlab {
+        pub(crate) fn new(slots: usize, block_cap: usize) -> io::Result<ShmSlab> {
+            let stride = SlotBuf::stride(block_cap);
+            let len = stride
+                .checked_mul(slots)
+                .ok_or_else(|| proto_err("shm slab size overflow"))?;
+            let fd = memfd_create(len)?;
+            let map = Mapping::map_shared(fd.as_raw_fd(), len)?;
+            Ok(ShmSlab { fd, map, stride })
+        }
+
+        pub(crate) fn raw_fd(&self) -> RawFd {
+            self.fd.as_raw_fd()
+        }
+
+        /// Base pointer of arena slot `i` — back it with
+        /// [`SlotBuf::external`].
+        pub(crate) unsafe fn slot_base(&self, i: usize) -> *mut u8 {
+            self.map.base().add(i * self.stride)
+        }
+
+        /// Descriptor for one admitted session's lease: wire slot `i`
+        /// maps to leased arena slot `lease[i]`'s offset in the slab.
+        /// The fd shipped with it is the whole slab — the offset table
+        /// is where the session's credits point, not a protection
+        /// boundary (see the module trust-model notes).
+        pub(crate) fn desc_for(&self, lease: &[usize], block_cap: u32) -> WindowDesc {
+            WindowDesc {
+                stride: self.stride as u64,
+                window_len: self.map.len() as u64,
+                block_cap,
+                offsets: lease.iter().map(|&g| (g * self.stride) as u64).collect(),
+            }
+        }
+
+        /// A session window over the slab for the leased slots. Caller
+        /// keeps the slab alive for the session's lifetime.
+        pub(crate) fn window_for(&self, lease: &[usize], block_cap: u32) -> SnkWindow {
+            let offsets = lease.iter().map(|&g| (g * self.stride) as u64).collect();
+            SnkWindow::borrowed(self.map.base(), offsets, block_cap)
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Capability probe
+    // -----------------------------------------------------------------
+
+    /// Whether this host can run the shm transport: memfd creation,
+    /// `SCM_RIGHTS` passing over a unix socketpair, and a shared
+    /// mapping of the received fd that actually aliases the original.
+    /// Mirrors `uring_supported`'s live-probe approach — run the real
+    /// mechanism once rather than sniffing kernel versions.
+    pub fn shm_supported() -> bool {
+        fn run() -> io::Result<bool> {
+            let fd = memfd_create(STORE_ALIGN)?;
+            let m1 = Mapping::map_shared(fd.as_raw_fd(), STORE_ALIGN)?;
+            unsafe { m1.base().write(0xA5) };
+            let (a, b) = UnixStream::pair()?;
+            send_with_fd(&a, &[0x51], fd.as_raw_fd())?;
+            let mut byte = [0u8; 1];
+            let mut passed: Option<OwnedFd> = None;
+            read_exact_with_fd(&b, &mut byte, &mut passed)?;
+            let passed = match passed {
+                Some(f) => f,
+                None => return Ok(false),
+            };
+            let m2 = Mapping::map_shared(passed.as_raw_fd(), STORE_ALIGN)?;
+            unsafe {
+                if m2.base().read() != 0xA5 {
+                    return Ok(false);
+                }
+                m2.base().add(1).write(0x5A);
+                Ok(byte[0] == 0x51 && m1.base().add(1).read() == 0x5A)
+            }
+        }
+        run().unwrap_or(false)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::atomic::AtomicU32;
+
+        fn temp_sock(tag: &str) -> PathBuf {
+            static N: AtomicU32 = AtomicU32::new(0);
+            let n = N.fetch_add(1, Ordering::Relaxed);
+            std::env::temp_dir().join(format!("rftp-shm-{tag}-{}-{n}.sock", std::process::id()))
+        }
+
+        /// The probe must succeed on any Linux this suite runs on —
+        /// memfd + SCM_RIGHTS predate every supported kernel, and the
+        /// CI shm-smoke job assumes it.
+        #[test]
+        fn probe_reports_shm_support() {
+            assert!(shm_supported());
+        }
+
+        #[test]
+        fn descriptor_roundtrips_and_validates() {
+            let stride = SlotBuf::stride(64 * 1024) as u64;
+            let desc = WindowDesc {
+                stride,
+                window_len: stride * 4,
+                block_cap: 64 * 1024,
+                offsets: (0..4).map(|i| i * stride).collect(),
+            };
+            desc.validate().unwrap();
+            let bytes = desc.encode();
+            assert_eq!(&bytes[..2], &DESC_MAGIC.to_be_bytes());
+            let head: [u8; DESC_HEAD_LEN - 2] = bytes[2..DESC_HEAD_LEN].try_into().unwrap();
+            let (slots, s, wl, cap) = decode_desc_head(&head).unwrap();
+            assert_eq!((slots, s, wl, cap), (4, stride, stride * 4, 64 * 1024));
+
+            // Misaligned stride, slot past the window end, cap beyond
+            // the slot's payload room: each refused before any mapping.
+            let mut bad = desc.clone();
+            bad.stride += 1;
+            assert!(bad.validate().is_err());
+            let mut bad = desc.clone();
+            bad.offsets[3] = bad.window_len;
+            assert!(bad.validate().is_err());
+            let mut bad = desc.clone();
+            bad.block_cap = (bad.stride - STORE_ALIGN as u64 + 1) as u32;
+            assert!(bad.validate().is_err());
+        }
+
+        /// The per-slot generation protocol end to end on a real window:
+        /// grant → fresh place → duplicate re-notify without touching
+        /// memory → stale drop → write without grant is a typed error,
+        /// and a bogus slot index is a typed error (never wild memory).
+        #[test]
+        fn place_follows_grant_epochs() {
+            let block = 4 * 1024usize;
+            let stride = SlotBuf::stride(block);
+            let len = stride * 2;
+            let fd = memfd_create(len).unwrap();
+            let map = Mapping::map_shared(fd.as_raw_fd(), len).unwrap();
+            let desc = WindowDesc {
+                stride: stride as u64,
+                window_len: len as u64,
+                block_cap: block as u32,
+                offsets: vec![0, stride as u64],
+            };
+            let snk_map = Mapping::map_shared(fd.as_raw_fd(), len).unwrap();
+            let snk = SnkWindow::owned(snk_map, fd, desc.offsets.clone(), block as u32);
+            let src = SrcWindow::new(map, &desc);
+
+            let hdr = |seq: u32, slot: u32, len: u32| DataFrameHeader {
+                session: 1,
+                seq,
+                slot,
+                len,
+            };
+            let wire = |h: &DataFrameHeader| vec![0xC3u8; h.wire_len()];
+
+            // Slot outside the table: typed error, not a wild write.
+            let bad = hdr(0, 7, 16);
+            assert!(src.place(&bad, &wire(&bad)).is_err());
+
+            // Writing before any grant: slots start epoch-0 GRANTED in a
+            // fresh window, so emulate a used slot by granting and
+            // placing once first.
+            snk.grant(0);
+            let h0 = hdr(0, 0, 16);
+            assert_eq!(src.place(&h0, &wire(&h0)).unwrap(), PlaceOutcome::Placed);
+            snk.check_published(&h0).unwrap();
+
+            // Watchdog duplicate of the same seq: renotify, no rewrite.
+            assert_eq!(src.place(&h0, &wire(&h0)).unwrap(), PlaceOutcome::Renotify);
+            snk.check_published(&h0).unwrap();
+
+            // A newer block without a fresh grant is a protocol fault.
+            let h2 = hdr(2, 0, 16);
+            assert!(src.place(&h2, &wire(&h2)).is_err());
+
+            // Re-grant, place the newer block, then a stale resend of
+            // the *old* block must be dropped — this is exactly the
+            // credits-overtake-acks race that could otherwise tear the
+            // slot the sink is verifying.
+            snk.grant(0);
+            assert_eq!(src.place(&h2, &wire(&h2)).unwrap(), PlaceOutcome::Placed);
+            assert_eq!(src.place(&h0, &wire(&h0)).unwrap(), PlaceOutcome::Stale);
+            snk.check_published(&h2).unwrap();
+
+            // The sink side refuses an epoch mismatch: grant again (the
+            // word moves on) and the old notify must now fail the check.
+            snk.grant(0);
+            assert!(snk.check_published(&h2).is_err());
+        }
+
+        /// A descriptor whose fd is shorter than the window it claims
+        /// must produce a typed error at map time — never a mapping
+        /// that SIGBUSes on first write (the "sink crashed mid-setup"
+        /// ladder rung).
+        #[test]
+        fn short_window_fd_is_a_typed_error_not_a_sigbus() {
+            let (a, b) = UnixStream::pair().unwrap();
+            let stride = SlotBuf::stride(64 * 1024) as u64;
+            let desc = WindowDesc {
+                stride,
+                window_len: stride * 16,
+                block_cap: 64 * 1024,
+                offsets: (0..16).map(|i| i * stride).collect(),
+            };
+            // The fd backs one page, not the claimed 16 strides.
+            let short_fd = memfd_create(4096).unwrap();
+            send_with_fd(&a, &desc.encode(), short_fd.as_raw_fd()).unwrap();
+            let shared = Arc::new(ShmSourceState {
+                notify: Mutex::new(a.try_clone().unwrap()),
+                window: OnceLock::new(),
+            });
+            let mut rx = ShmCtrlRx {
+                stream: b,
+                dec: FrameDecoder::new(),
+                buf: vec![0u8; 4096],
+                shared: Arc::clone(&shared),
+                desc_done: false,
+            };
+            let err = rx.recv().unwrap_err();
+            assert!(
+                err.to_string().contains("refusing a mapping"),
+                "want the typed map guard, got: {err}"
+            );
+            assert!(shared.window.get().is_none());
+        }
+
+        /// A control stream that opens with an ordinary frame instead of
+        /// the descriptor (daemon busy/reject path) must flow through
+        /// frame decoding untouched.
+        #[test]
+        fn rejection_frame_instead_of_descriptor_decodes_normally() {
+            let (a, b) = UnixStream::pair().unwrap();
+            let shared = Arc::new(ShmSourceState {
+                notify: Mutex::new(a.try_clone().unwrap()),
+                window: OnceLock::new(),
+            });
+            let mut rx = ShmCtrlRx {
+                stream: b,
+                dec: FrameDecoder::new(),
+                buf: vec![0u8; 4096],
+                shared,
+                desc_done: false,
+            };
+            let tx = net::NetCtrlTx(Mutex::new(a));
+            let busy = CtrlMsg::SessionBusy {
+                session: 1,
+                retry_after_ms: 50,
+            };
+            tx.send(&busy).unwrap();
+            assert_eq!(rx.recv().unwrap(), Some(busy));
+        }
+
+        /// Full shm↔shm loopback transfer: pattern data, checksum
+        /// verified at the sink, zero transport threads either side —
+        /// and the place stage must be fence-cheap, far under the
+        /// copying backends.
+        #[test]
+        fn shm_pattern_transfer_loopback() {
+            let cfg = LiveConfig::new(64 * 1024, 4, 8 << 20);
+            let path = temp_sock("loop");
+            let listener = ShmListener::bind(&path).unwrap();
+            let src_cfg = cfg.clone();
+            let src_path = path.clone();
+            let src = std::thread::spawn(move || {
+                let t = connect_source_shm(&src_path, src_cfg.channels)?;
+                crate::split::run_split_source(&src_cfg, t)
+            });
+            let (sess, first) = listener.accept_session().unwrap();
+            assert_eq!(sess.channels as usize, cfg.channels);
+            let snk = run_shm_sink(&cfg, sess, Some(first)).unwrap();
+            let src = src.join().unwrap().unwrap();
+            assert_eq!(snk.blocks, cfg.total_blocks());
+            assert_eq!(snk.checksum_failures, 0, "output must be byte-identical");
+            assert_eq!(src.transport_threads, 0, "source sends are stores");
+            assert!(
+                snk.stages.place_ns < 2_000.0,
+                "zero-copy place should be fence-cheap, got {} ns/blk",
+                snk.stages.place_ns
+            );
+        }
+
+        /// Retransmits under fault injection must never tear a slot the
+        /// sink verified: the seq rule turns duplicates into re-notifies
+        /// and stale resends into drops, so the transfer still lands
+        /// byte-identical.
+        #[test]
+        fn fault_injected_retransmits_never_tear_slots() {
+            let cfg = LiveConfig::new(16 * 1024, 4, 4 << 20);
+            let path = temp_sock("fault");
+            let listener = ShmListener::bind(&path).unwrap();
+            let mut src_cfg = cfg.clone();
+            src_cfg.fault_drop_p = 0.2;
+            src_cfg.retx_timeout = Duration::from_millis(25);
+            let src_path = path.clone();
+            let src = std::thread::spawn(move || {
+                let t = connect_source_shm(&src_path, src_cfg.channels)?;
+                crate::split::run_split_source(&src_cfg, t)
+            });
+            let (sess, first) = listener.accept_session().unwrap();
+            let snk = run_shm_sink(&cfg, sess, Some(first)).unwrap();
+            let src = src.join().unwrap().unwrap();
+            assert_eq!(snk.blocks, cfg.total_blocks());
+            assert_eq!(snk.checksum_failures, 0, "no torn slots");
+            assert!(src.retransmits > 0, "fault injector must have fired");
+        }
+
+        /// The different-host rung of the failure ladder: no unix socket
+        /// at the path (that is what "other host" looks like locally),
+        /// so the dial falls back to TCP — typed, visible, and the
+        /// transfer still completes.
+        #[test]
+        fn no_shm_endpoint_falls_back_to_tcp() {
+            let cfg = LiveConfig::new(16 * 1024, 2, 1 << 20);
+            let listener = crate::net::NetListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let bogus = temp_sock("absent");
+            let src_cfg = cfg.clone();
+            let src = std::thread::spawn(move || {
+                let (t, used_shm) = connect_source_shm_or_tcp(&bogus, addr, src_cfg.channels, 0)?;
+                assert!(!used_shm, "fallback must report the downgrade");
+                crate::split::run_split_source(&src_cfg, t)
+            });
+            let (t, first) = listener.accept_session(0).unwrap();
+            let snk = crate::split::run_split_sink(&cfg, t, Some(first)).unwrap();
+            let src = src.join().unwrap().unwrap();
+            assert_eq!(snk.blocks, cfg.total_blocks());
+            assert_eq!(snk.checksum_failures, 0);
+            assert_eq!(src.blocks, cfg.total_blocks());
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+pub use imp::{
+    connect_source_shm, connect_source_shm_or_tcp, run_shm_sink, shm_supported, ShmListener,
+    ShmSessionStreams,
+};
+#[cfg(target_os = "linux")]
+pub(crate) use imp::{send_with_fd, sink_transport_for_window, ShmAssembler, ShmSlab};
+
+// ---------------------------------------------------------------------------
+// Stubs for unsupported platforms
+// ---------------------------------------------------------------------------
+
+#[cfg(not(target_os = "linux"))]
+mod stub {
+    use crate::transport::SourceTransport;
+    use crate::{LiveConfig, LiveReport};
+    use rftp_core::wire::CtrlMsg;
+    use std::io;
+    use std::path::Path;
+
+    fn unsupported() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::Unsupported,
+            "shm transport requires Linux (memfd + SCM_RIGHTS)",
+        )
+    }
+
+    pub fn shm_supported() -> bool {
+        false
+    }
+
+    pub fn connect_source_shm(
+        _path: impl AsRef<Path>,
+        _channels: usize,
+    ) -> io::Result<SourceTransport> {
+        Err(unsupported())
+    }
+
+    /// Off Linux the ladder has one rung: straight to TCP.
+    pub fn connect_source_shm_or_tcp(
+        _shm_path: impl AsRef<Path>,
+        tcp_addr: impl std::net::ToSocketAddrs + Copy,
+        channels: usize,
+        sockbuf: usize,
+    ) -> io::Result<(SourceTransport, bool)> {
+        Ok((
+            crate::net::connect_source(tcp_addr, channels, sockbuf)?,
+            false,
+        ))
+    }
+
+    pub struct ShmSessionStreams;
+
+    pub struct ShmListener;
+
+    impl ShmListener {
+        pub fn bind(_path: impl AsRef<Path>) -> io::Result<ShmListener> {
+            Err(unsupported())
+        }
+
+        pub fn accept_session(&self) -> io::Result<(ShmSessionStreams, CtrlMsg)> {
+            Err(unsupported())
+        }
+    }
+
+    pub fn run_shm_sink(
+        _cfg: &LiveConfig,
+        _sess: ShmSessionStreams,
+        _first_ctrl: Option<CtrlMsg>,
+    ) -> io::Result<LiveReport> {
+        Err(unsupported())
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+pub use stub::{
+    connect_source_shm, connect_source_shm_or_tcp, run_shm_sink, shm_supported, ShmListener,
+    ShmSessionStreams,
+};

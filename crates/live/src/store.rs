@@ -84,6 +84,10 @@ pub struct SlotBuf {
     ptr: std::ptr::NonNull<u8>,
     layout: std::alloc::Layout,
     len: usize,
+    /// Whether this slot owns its allocation. `false` for external
+    /// (mapped) slots: the memory belongs to a shared window whose
+    /// lifetime outlives the slot, and Drop must not free it.
+    owned: bool,
 }
 
 // One owner at a time (the pipeline wraps each SlotBuf in a Mutex); the
@@ -108,6 +112,38 @@ impl SlotBuf {
             ptr,
             layout,
             len: PAYLOAD_HEADER_LEN + padded,
+            owned: true,
+        }
+    }
+
+    /// Total allocation bytes a slot for `block_size` occupies —
+    /// [`STORE_ALIGN`] of dead space (frame prefix + header region)
+    /// followed by the payload padded to the next [`STORE_ALIGN`]
+    /// multiple. The stride of a packed slot window.
+    pub fn stride(block_size: usize) -> usize {
+        STORE_ALIGN + block_size.next_multiple_of(STORE_ALIGN)
+    }
+
+    /// Wrap an externally owned allocation (a slot inside a mapped
+    /// shared-memory window) in the `SlotBuf` interface. `base` must
+    /// point at `stride(block_size)` bytes, [`STORE_ALIGN`]-aligned,
+    /// valid for the life of the returned value; the caller keeps
+    /// ownership (Drop does not free).
+    ///
+    /// # Safety
+    /// The caller guarantees `base` is valid, aligned, exclusive to
+    /// this `SlotBuf` for writes, and outlives it.
+    pub unsafe fn external(base: *mut u8, block_size: usize) -> SlotBuf {
+        assert!(block_size > 0);
+        assert!((base as usize).is_multiple_of(STORE_ALIGN));
+        let padded = block_size.next_multiple_of(STORE_ALIGN);
+        let layout = std::alloc::Layout::from_size_align(STORE_ALIGN + padded, STORE_ALIGN)
+            .expect("slot layout");
+        SlotBuf {
+            ptr: std::ptr::NonNull::new(base).expect("external slot base"),
+            layout,
+            len: PAYLOAD_HEADER_LEN + padded,
+            owned: false,
         }
     }
 
@@ -139,7 +175,9 @@ impl SlotBuf {
 
 impl Drop for SlotBuf {
     fn drop(&mut self) {
-        unsafe { std::alloc::dealloc(self.ptr.as_ptr(), self.layout) };
+        if self.owned {
+            unsafe { std::alloc::dealloc(self.ptr.as_ptr(), self.layout) };
+        }
     }
 }
 

@@ -56,13 +56,13 @@
 //! `Unsupported` and callers fall back to the TCP backend.
 
 #[cfg(target_os = "linux")]
-pub(crate) use linux::{
-    run_shared_uring_session, run_uring_session, spawn_shared_uring_driver, UringHub,
-};
-#[cfg(target_os = "linux")]
 pub use linux::{
     accept_source_uring, connect_source_uring, run_uring_sink, uring_multishot, uring_supported,
     UringSinkSession,
+};
+#[cfg(target_os = "linux")]
+pub(crate) use linux::{
+    run_shared_uring_session, run_uring_session, spawn_shared_uring_driver, UringHub,
 };
 
 #[cfg(target_os = "linux")]
@@ -86,9 +86,7 @@ mod linux {
     use std::net::{Shutdown, TcpStream, ToSocketAddrs};
     use std::os::fd::{AsRawFd, FromRawFd, OwnedFd};
     use std::os::unix::net::UnixStream;
-    use std::sync::atomic::{
-        AtomicBool, AtomicI64, AtomicU16, AtomicU32, AtomicU64, Ordering,
-    };
+    use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU16, AtomicU32, AtomicU64, Ordering};
     use std::sync::Arc;
     use std::time::{Duration, Instant};
 
@@ -1464,12 +1462,30 @@ mod linux {
     ///   CQE/syscall batching multishot buys is the trade.
     #[derive(Clone, Copy)]
     enum RxState {
-        FxHeader { got: usize },
-        FxPlace { hdr: DataFrameHeader, base: u64, got: usize, t0: Instant },
-        FxDiscard { wire_len: usize, got: usize },
-        MsHeader { got: usize },
-        MsBody { hdr: DataFrameHeader, got: usize, t0: Instant },
-        MsDiscard { remaining: usize },
+        FxHeader {
+            got: usize,
+        },
+        FxPlace {
+            hdr: DataFrameHeader,
+            base: u64,
+            got: usize,
+            t0: Instant,
+        },
+        FxDiscard {
+            wire_len: usize,
+            got: usize,
+        },
+        MsHeader {
+            got: usize,
+        },
+        MsBody {
+            hdr: DataFrameHeader,
+            got: usize,
+            t0: Instant,
+        },
+        MsDiscard {
+            remaining: usize,
+        },
         Eof,
     }
 
@@ -1888,9 +1904,7 @@ mod linux {
             let user_data = ud(sid, i as u32);
             let sqe = match sess.links[i].state {
                 RxState::Eof => return Ok(()),
-                RxState::MsHeader { .. }
-                | RxState::MsBody { .. }
-                | RxState::MsDiscard { .. } => {
+                RxState::MsHeader { .. } | RxState::MsBody { .. } | RxState::MsDiscard { .. } => {
                     sess.links[i].parked = false;
                     Sqe {
                         opcode: IORING_OP_RECV,
@@ -1986,7 +2000,9 @@ mod linux {
         /// promptly), and drop the mailbox so the handler thread sees
         /// the source close after draining what was already parsed.
         fn sess_fail(&mut self, sid: u32, e: io::Error) {
-            let Some(sess) = self.sessions.get_mut(&sid) else { return };
+            let Some(sess) = self.sessions.get_mut(&sid) else {
+                return;
+            };
             if sess.err.is_none() {
                 if env_flag("RFTP_URING_STATS") {
                     eprintln!("uring sink session {sid} first error: {e}");
@@ -2004,7 +2020,9 @@ mod linux {
         /// drain, and let `finalize_sessions` complete the handshake at
         /// `inflight == 0`.
         fn begin_detach(&mut self, sid: u32) {
-            let Some(sess) = self.sessions.get_mut(&sid) else { return };
+            let Some(sess) = self.sessions.get_mut(&sid) else {
+                return;
+            };
             sess.detaching = true;
             sess.mailbox = None;
             if !sess.cut {
@@ -2191,10 +2209,8 @@ mod linux {
                                                 // straight into the credited
                                                 // slot's registered buffer —
                                                 // the CQE is the placement.
-                                                let fixed =
-                                                    sess.lease[hdr.slot as usize] as usize;
-                                                let base =
-                                                    slots[fixed].lock().as_ptr() as u64;
+                                                let fixed = sess.lease[hdr.slot as usize] as usize;
+                                                let base = slots[fixed].lock().as_ptr() as u64;
                                                 sess.links[i].state = RxState::FxPlace {
                                                     hdr,
                                                     base,
@@ -2226,8 +2242,7 @@ mod linux {
                                 } else {
                                     // Clock from max(armed, floor) — see
                                     // `place_floor`.
-                                    let ns =
-                                        t0.max(place_floor).elapsed().as_nanos() as u64;
+                                    let ns = t0.max(place_floor).elapsed().as_nanos() as u64;
                                     sess.place_ns += ns;
                                     sess.place_hist.record(ns);
                                     let mut write_err = None;
@@ -2236,8 +2251,7 @@ mod linux {
                                         // its final offset the moment it is
                                         // placed.
                                         let t1 = Instant::now();
-                                        let fixed =
-                                            sess.lease[hdr.slot as usize] as usize;
+                                        let fixed = sess.lease[hdr.slot as usize] as usize;
                                         let dst = slots[fixed].lock();
                                         match sink.write_block(
                                             &dst[PAYLOAD_HEADER_LEN
@@ -2245,8 +2259,7 @@ mod linux {
                                             hdr.seq as u64 * sess.block_size as u64,
                                         ) {
                                             Ok(()) => {
-                                                sess.flush_ns +=
-                                                    t1.elapsed().as_nanos() as u64
+                                                sess.flush_ns += t1.elapsed().as_nanos() as u64
                                             }
                                             Err(e) => write_err = Some(e),
                                         }
@@ -2259,8 +2272,7 @@ mod linux {
                                                 slot: hdr.slot,
                                                 len: hdr.len,
                                             });
-                                            sess.links[i].state =
-                                                RxState::FxHeader { got: 0 };
+                                            sess.links[i].state = RxState::FxHeader { got: 0 };
                                             next = Next::Placed;
                                         }
                                     }
@@ -2276,8 +2288,7 @@ mod linux {
                             } else {
                                 let got = got + n;
                                 if got < wire_len {
-                                    sess.links[i].state =
-                                        RxState::FxDiscard { wire_len, got };
+                                    sess.links[i].state = RxState::FxDiscard { wire_len, got };
                                 } else {
                                     sess.links[i].state = RxState::FxHeader { got: 0 };
                                 }
@@ -2472,9 +2483,7 @@ mod linux {
                 // may have failed or finalized while it waited — only
                 // re-arm live ones.
                 let live = self.sessions.get(&s2).is_some_and(|s| {
-                    !s.detaching
-                        && s.err.is_none()
-                        && !matches!(s.links[l2].state, RxState::Eof)
+                    !s.detaching && s.err.is_none() && !matches!(s.links[l2].state, RxState::Eof)
                 });
                 if live {
                     self.multishot_rearms += 1;
@@ -2856,8 +2865,12 @@ mod linux {
         drv.quiesce();
         let ring_stats = drv.stats_snapshot();
         let sess = drv.sessions.remove(&0).unwrap();
-        let (place_ns, flush_ns, duplicates, place_hist) =
-            (sess.place_ns, sess.flush_ns, sess.duplicates, sess.place_hist);
+        let (place_ns, flush_ns, duplicates, place_hist) = (
+            sess.place_ns,
+            sess.flush_ns,
+            sess.duplicates,
+            sess.place_hist,
+        );
         if env_flag("RFTP_URING_STATS") {
             eprintln!(
                 "uring sink: {} enters, {} cqes, {} blocks, multishot={} rearms={} pbuf_exhausted={}",
@@ -3122,7 +3135,10 @@ mod linux {
         if env_flag("RFTP_URING_STATS") {
             eprintln!(
                 "uring daemon driver: {} enters, {} cqes, multishot={} rearms={} pbuf_exhausted={}",
-                stats.enters, stats.cqes, stats.multishot, stats.multishot_rearms,
+                stats.enters,
+                stats.cqes,
+                stats.multishot,
+                stats.multishot_rearms,
                 stats.pbuf_exhausted,
             );
         }
@@ -3147,7 +3163,8 @@ mod linux {
         let (tx, rx) = std::sync::mpsc::channel::<HubMsg>();
         let (wake_w, wake_r) = UnixStream::pair()?;
         let (init_tx, init_rx) = std::sync::mpsc::sync_channel::<io::Result<()>>(1);
-        let handle = scope.spawn(move || driver_main(caps, ms, slots, slot_cap, rx, wake_r, init_tx));
+        let handle =
+            scope.spawn(move || driver_main(caps, ms, slots, slot_cap, rx, wake_r, init_tx));
         match init_rx.recv() {
             Ok(Ok(())) => {}
             Ok(Err(e)) => {
@@ -3254,9 +3271,7 @@ mod linux {
             }
             match drain_coalesced(&mut h, &mut channel_events(&evt_rx, 64), cfg.flush_window)? {
                 DrainEnd::Done => Ok(()),
-                DrainEnd::Closed => Err(perr(
-                    "event pipeline stopped before transfer completed",
-                )),
+                DrainEnd::Closed => Err(perr("event pipeline stopped before transfer completed")),
             }
         })();
 
@@ -3545,11 +3560,11 @@ mod stub {
 }
 
 #[cfg(not(target_os = "linux"))]
-pub(crate) use stub::{
-    run_shared_uring_session, run_uring_session, spawn_shared_uring_driver, UringHub,
-};
-#[cfg(not(target_os = "linux"))]
 pub use stub::{
     accept_source_uring, connect_source_uring, run_uring_sink, uring_multishot, uring_supported,
     UringSinkSession,
+};
+#[cfg(not(target_os = "linux"))]
+pub(crate) use stub::{
+    run_shared_uring_session, run_uring_session, spawn_shared_uring_driver, UringHub,
 };
