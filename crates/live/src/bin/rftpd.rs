@@ -31,6 +31,9 @@ OPTIONS:
                          small jobs (default 16)
   --max-sessions <N>     concurrent sessions before admission replies
                          busy (default 8)
+  --max-channels <N>     largest per-session channel count admission
+                         accepts; more is a typed reject — each channel
+                         costs a sink reader thread (default 64)
   --credit-budget <N>    global outstanding-credit budget for the
                          weighted-fair arbiter (default: --slots)
   --interactive <SIZE>   jobs up to this size count as interactive and
@@ -43,8 +46,12 @@ OPTIONS:
                          (default 0)
   --shm <PATH>           also accept zero-copy shared-memory sessions at
                          this unix socket path (Linux; same-host sources
-                         connect with --transport shm); the whole arena
-                         becomes one memfd slab shared by every transport
+                         connect with --transport shm). The socket is
+                         created owner-only and every admitted session
+                         gets its own memfd window, so tenants cannot
+                         map each other's memory — but a session's peer
+                         can always scribble its *own* window; checksums
+                         detect, not prevent, that
   --dst-dir <PATH>       write session n's payload to
                          <PATH>/session-<n>.dat instead of
                          checksum-verifying
@@ -77,6 +84,7 @@ fn parse_args() -> Result<Args, String> {
             "--slots" => cfg.arena_slots = flag_parse(it, "--slots")?,
             "--session-slots" => cfg.session_slots = flag_parse(it, "--session-slots")?,
             "--max-sessions" => cfg.max_sessions = flag_parse(it, "--max-sessions")?,
+            "--max-channels" => cfg.max_channels = flag_parse(it, "--max-channels")?,
             "--credit-budget" => credit_budget = Some(flag_parse(it, "--credit-budget")?),
             "--interactive" => cfg.interactive_cutoff = flag_size(it, "--interactive")?,
             "--retry-ms" => cfg.retry_after_ms = flag_parse(it, "--retry-ms")?,
@@ -93,7 +101,11 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    if cfg.slot_cap == 0 || cfg.arena_slots == 0 || cfg.session_slots == 0 || cfg.max_sessions == 0
+    if cfg.slot_cap == 0
+        || cfg.arena_slots == 0
+        || cfg.session_slots == 0
+        || cfg.max_sessions == 0
+        || cfg.max_channels == 0
     {
         return Err("all counts must be >= 1".into());
     }
@@ -192,7 +204,7 @@ fn main() {
     );
     if let Some(p) = &a.cfg.shm_path {
         println!(
-            "rftpd: shm endpoint at {} (arena is one memfd slab)",
+            "rftpd: shm endpoint at {} (owner-only socket, one memfd window per session)",
             p.display()
         );
     }

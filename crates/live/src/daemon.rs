@@ -35,7 +35,7 @@ use crate::pipeline::{LiveConfig, LiveReport};
 #[cfg(target_os = "linux")]
 use crate::shm::ShmSessionStreams;
 #[cfg(target_os = "linux")]
-use crate::shm::{send_with_fd, sink_transport_for_window, ShmAssembler, ShmSlab};
+use crate::shm::{sink_transport_for_window, SessionWindow, ShmAssembler};
 use crate::split::run_sink_session;
 use crate::store::SlotBuf;
 use crate::transport::UringStats;
@@ -77,6 +77,12 @@ pub struct DaemonConfig {
     pub session_slots: u32,
     /// Concurrent admitted sessions beyond which admission replies busy.
     pub max_sessions: usize,
+    /// Largest per-session channel count admission accepts; beyond it
+    /// the request is a typed reject. Every admitted channel costs the
+    /// sink a reader thread, so this caps what two cheap connections
+    /// (the shm hello pair especially — TCP at least pays one socket
+    /// per channel) can make the daemon spawn.
+    pub max_channels: usize,
     /// Global outstanding-credit budget for the weighted-fair arbiter.
     pub credit_budget: u32,
     /// Jobs of at most this many bytes count as interactive …
@@ -95,13 +101,13 @@ pub struct DaemonConfig {
     /// pattern-verified and discarded.
     pub dst_dir: Option<PathBuf>,
     /// When set (Linux only), the daemon also accepts *shared-memory*
-    /// sessions at this unix socket path: the whole arena becomes one
-    /// memfd slab, an admitted shm session's lease is described to its
-    /// source as offsets into that slab (fd shipped over `SCM_RIGHTS`),
-    /// and placement is the source's own write — zero receiver copies.
-    /// TCP and uring sessions keep working over the same slab memory
-    /// through external slot buffers, so the two kinds of session
-    /// contend for the one arena exactly as before.
+    /// sessions at this unix socket path (created owner-only): each
+    /// admitted shm session gets its **own** memfd window sized to its
+    /// lease (fd shipped over `SCM_RIGHTS`), and placement is the
+    /// source's own write — zero receiver copies. The arena lease the
+    /// session holds is the admission/fairness currency, so shm, TCP
+    /// and uring sessions contend for the one arena exactly as before,
+    /// while no tenant ever maps another tenant's memory.
     pub shm_path: Option<PathBuf>,
 }
 
@@ -113,6 +119,7 @@ impl Default for DaemonConfig {
             arena_slots: 64,
             session_slots: 16,
             max_sessions: 8,
+            max_channels: 64,
             credit_budget: 64,
             interactive_cutoff: 4 * 1024 * 1024,
             interactive_weight: 4,
@@ -272,7 +279,7 @@ impl AbortSet {
 /// Shared state of a running daemon, borrowed by every session thread.
 struct DaemonState {
     cfg: DaemonConfig,
-    /// The one slot slab; a session's lease indexes into it.
+    /// The one slot arena; a session's lease indexes into it.
     slots: Vec<Mutex<SlotBuf>>,
     arena: SlotArena,
     fair: WeightedFair,
@@ -283,11 +290,6 @@ struct DaemonState {
     /// fired on the stragglers when the drain deadline passes.
     aborts: Mutex<Vec<(u64, AbortSet)>>,
     tally: Mutex<Tally>,
-    /// The memfd slab behind `slots` when the daemon serves shm
-    /// sessions; its mapping must outlive every external `SlotBuf`
-    /// above, which holding it here guarantees.
-    #[cfg(target_os = "linux")]
-    slab: Option<ShmSlab>,
 }
 
 /// The daemon's shm accept socket; the path is unlinked on drop (and
@@ -318,7 +320,7 @@ pub struct Daemon {
 impl Daemon {
     pub fn bind(addr: impl ToSocketAddrs, cfg: DaemonConfig) -> io::Result<Daemon> {
         assert!(cfg.slot_cap > 0 && cfg.arena_slots > 0 && cfg.session_slots > 0);
-        assert!(cfg.max_sessions > 0);
+        assert!(cfg.max_sessions > 0 && cfg.max_channels > 0);
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         #[cfg(not(target_os = "linux"))]
@@ -328,17 +330,11 @@ impl Daemon {
                 "shm endpoint requires Linux (memfd + SCM_RIGHTS)",
             ));
         }
-        // With an shm endpoint configured, the whole arena is one memfd
-        // slab and every slot is an external view into it: TCP and
-        // uring sessions run over the same memory (the uring driver
-        // registers these views like any other slots), and an shm
-        // session's lease can be described to its peer as offsets into
-        // the one shared window fd.
-        #[cfg(target_os = "linux")]
-        let slab = match &cfg.shm_path {
-            Some(_) => Some(ShmSlab::new(cfg.arena_slots as usize, cfg.slot_cap)?),
-            None => None,
-        };
+        // The shm endpoint is just another way in: each admitted shm
+        // session gets its own memfd window at admission time, so the
+        // arena slots here stay ordinary process-private buffers for
+        // every transport. The socket is owner-only — admission is
+        // limited to the daemon's uid.
         #[cfg(target_os = "linux")]
         let shm = match &cfg.shm_path {
             Some(p) => {
@@ -347,6 +343,10 @@ impl Daemon {
                 }
                 let ul = UnixListener::bind(p)?;
                 ul.set_nonblocking(true)?;
+                {
+                    use std::os::unix::fs::PermissionsExt;
+                    std::fs::set_permissions(p, std::fs::Permissions::from_mode(0o600))?;
+                }
                 Some(ShmEndpoint {
                     listener: ul,
                     path: p.clone(),
@@ -354,16 +354,6 @@ impl Daemon {
             }
             None => None,
         };
-        #[cfg(target_os = "linux")]
-        let slots: Vec<Mutex<SlotBuf>> = match &slab {
-            Some(slab) => (0..cfg.arena_slots as usize)
-                .map(|i| Mutex::new(unsafe { SlotBuf::external(slab.slot_base(i), cfg.slot_cap) }))
-                .collect(),
-            None => (0..cfg.arena_slots)
-                .map(|_| Mutex::new(SlotBuf::new(cfg.slot_cap)))
-                .collect(),
-        };
-        #[cfg(not(target_os = "linux"))]
         let slots: Vec<Mutex<SlotBuf>> = (0..cfg.arena_slots)
             .map(|_| Mutex::new(SlotBuf::new(cfg.slot_cap)))
             .collect();
@@ -391,8 +381,6 @@ impl Daemon {
                     shm_sessions: 0,
                     sessions: Vec::new(),
                 }),
-                #[cfg(target_os = "linux")]
-                slab,
             },
         })
     }
@@ -625,9 +613,15 @@ fn serve_session(d: &DaemonState, mut streams: SessionStreams, hub: Option<&Urin
         d.tally.lock().rejected_geometry += 1;
         return;
     }
-    if channels == 0 || channels as usize != streams.data.len() || total_bytes == 0 {
-        // The hello census and the request disagree (or the job is
-        // empty) — a protocol violation dressed as geometry.
+    if channels == 0
+        || channels as usize > d.cfg.max_channels
+        || channels as usize != streams.data.len()
+        || total_bytes == 0
+    {
+        // The hello census and the request disagree, the job is empty,
+        // or the channel fan-out exceeds what the daemon will spawn
+        // reader threads for — a protocol violation dressed as
+        // geometry, or geometry it refuses to serve. Typed, either way.
         reply_and_close(streams, &reject(reject_reason::TOO_MANY_CHANNELS));
         d.tally.lock().rejected_geometry += 1;
         return;
@@ -812,7 +806,18 @@ fn serve_shm_session(d: &DaemonState, mut sess: ShmSessionStreams) {
         d.tally.lock().rejected_geometry += 1;
         return;
     }
-    if channels == 0 || channels != sess.channels || total_bytes == 0 {
+    // The channel cap matters most here: an shm "channel" is only a
+    // notify-reader thread over the one stream — two cheap unix
+    // connections could otherwise announce 65535 channels and make the
+    // session spawn that many threads (thread-spawn failure panics in
+    // the session scope and would take the whole daemon down). TCP at
+    // least pays one real socket per channel; both paths enforce the
+    // same cap for symmetry.
+    if channels == 0
+        || channels as usize > d.cfg.max_channels
+        || channels != sess.channels
+        || total_bytes == 0
+    {
         reply_and_close_shm(sess, &reject(reject_reason::TOO_MANY_CHANNELS));
         d.tally.lock().rejected_geometry += 1;
         return;
@@ -866,10 +871,15 @@ fn serve_shm_session(d: &DaemonState, mut sess: ShmSessionStreams) {
     });
 }
 
-/// The admitted shm path: describe the lease as slab offsets, ship the
-/// descriptor with the slab fd over `SCM_RIGHTS`, and run the ordinary
-/// sink session — placement is the source's own write into the leased
-/// slots, verified by the per-slot publication word.
+/// The admitted shm path: create a memfd window for **this session
+/// alone**, sized to its lease, ship the descriptor with the window fd
+/// over `SCM_RIGHTS`, and run the ordinary sink session — placement is
+/// the source's own write into the window's slots, verified by the
+/// per-slot publication word. The arena lease is pure accounting here
+/// (it bounds concurrent shm memory to the arena's budget and keeps
+/// admission/fairness transport-blind); the fd a tenant receives maps
+/// its own window and nothing else, so a hostile or buggy session can
+/// scribble only payloads it could already corrupt on the wire.
 #[cfg(target_os = "linux")]
 fn run_admitted_shm(
     d: &DaemonState,
@@ -902,16 +912,11 @@ fn run_admitted_shm(
         AbortSet::Unix(vec![sess.ctrl.try_clone()?, sess.notify.try_clone()?]),
     ));
 
-    let slab = d
-        .slab
-        .as_ref()
-        .expect("an shm session implies a bound slab");
-    let lease_ix: Vec<usize> = lease.iter().map(|&g| g as usize).collect();
-    let desc = slab.desc_for(&lease_ix, block_size as u32);
-    send_with_fd(&sess.ctrl, &desc.encode(), slab.raw_fd())?;
-    let win = Arc::new(slab.window_for(&lease_ix, block_size as u32));
-
-    let view: Vec<&Mutex<SlotBuf>> = lease.iter().map(|&g| &d.slots[g as usize]).collect();
+    let sw = SessionWindow::create(lease.len(), block_size as usize)?;
+    sw.send_descriptor(&sess.ctrl)?;
+    let snk_bufs = sw.slot_bufs();
+    let win = Arc::new(sw.into_sink_window());
+    let view: Vec<&Mutex<SlotBuf>> = snk_bufs.iter().collect();
     let t = sink_transport_for_window(sess.ctrl, sess.notify, channels as usize, win)?;
     run_sink_session(&cfg, t, Some(first), &view, Some((&d.fair, token)))
 }
@@ -972,6 +977,180 @@ mod tests {
         assert_eq!(report.served, 0);
     }
 
+    /// A channel count above the daemon's cap is a typed reject, not
+    /// `channels` reader threads: each admitted channel costs a thread,
+    /// and thread-spawn failure would panic through the session scope
+    /// and take the whole daemon down.
+    #[test]
+    fn oversized_channel_count_is_a_typed_reject() {
+        let cfg = DaemonConfig {
+            max_channels: 2,
+            ..DaemonConfig::default()
+        };
+        let (addr, handle, jh) = start(cfg);
+        let mut streams = connect_streams(addr, 3, 0).unwrap();
+        send_raw_ctrl(
+            &mut streams.ctrl,
+            &CtrlMsg::SessionRequest {
+                session: 1,
+                block_size: 64 * 1024,
+                channels: 3,
+                total_bytes: 1 << 20,
+                notify_imm: false,
+            },
+        )
+        .unwrap();
+        streams
+            .ctrl
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let reply = read_one_ctrl_frame(&mut streams.ctrl).unwrap();
+        assert!(matches!(reply, CtrlMsg::SessionReject { .. }), "{reply:?}");
+        handle.shutdown();
+        let report = jh.join().expect("daemon must not panic").unwrap();
+        assert_eq!(report.rejected_geometry, 1, "{report:?}");
+        assert_eq!(report.served, 0);
+    }
+
+    /// Open one shm (control, notify) pair announcing an absurd channel
+    /// count and read one unix control frame back. Returns the reply.
+    #[cfg(target_os = "linux")]
+    fn shm_request(
+        sock: &std::path::Path,
+        channels: u16,
+        block_size: u64,
+    ) -> io::Result<CtrlMsg> {
+        use crate::net::{new_session_token, write_hello, KIND_CTRL, KIND_DATA};
+        let token = new_session_token();
+        let mut ctrl = UnixStream::connect(sock)?;
+        write_hello(&mut ctrl, KIND_CTRL, channels, token)?;
+        let mut notify = UnixStream::connect(sock)?;
+        write_hello(&mut notify, KIND_DATA, 0, token)?;
+        send_raw_ctrl(
+            &mut ctrl,
+            &CtrlMsg::SessionRequest {
+                session: 1,
+                block_size,
+                channels,
+                total_bytes: 1 << 20,
+                notify_imm: false,
+            },
+        )?;
+        ctrl.set_read_timeout(Some(Duration::from_secs(5)))?;
+        read_one_ctrl_frame(&mut ctrl)
+    }
+
+    /// Two cheap unix connections must not be able to make the daemon
+    /// spawn 65535 notify readers: the shm hello has no per-channel
+    /// connection cost (unlike TCP), so the admission cap is the only
+    /// bound. The reject must be typed, and the daemon must keep
+    /// serving afterwards.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn shm_hello_cannot_spawn_unbounded_channel_readers() {
+        if !crate::shm::shm_supported() {
+            eprintln!("skipping: shm transport not supported on this host");
+            return;
+        }
+        let sock = std::env::temp_dir().join(format!(
+            "rftpd-chancap-{}.sock",
+            std::process::id()
+        ));
+        let cfg = DaemonConfig {
+            slot_cap: 64 * 1024,
+            shm_path: Some(sock.clone()),
+            ..DaemonConfig::default()
+        };
+        let (_, handle, jh) = start(cfg);
+        let reply = shm_request(&sock, u16::MAX, 64 * 1024).unwrap();
+        assert!(matches!(reply, CtrlMsg::SessionReject { .. }), "{reply:?}");
+
+        // The daemon survived and still admits a well-formed session.
+        let client = {
+            let sock = sock.clone();
+            std::thread::spawn(move || {
+                let cfg = LiveConfig::new(64 * 1024, 2, 1 << 20);
+                let t = crate::shm::connect_source_shm(&sock, cfg.channels)?;
+                crate::split::run_split_source(&cfg, t)
+            })
+        };
+        client.join().unwrap().unwrap();
+        handle.shutdown();
+        let report = jh.join().expect("daemon must not panic").unwrap();
+        assert_eq!(report.rejected_geometry, 1, "{report:?}");
+        assert_eq!(report.completed, 1, "{report:?}");
+        assert_eq!(report.shm_sessions, 1, "{report:?}");
+    }
+
+    /// The descriptor an admitted shm session receives must cover its
+    /// own lease and nothing else — a tenant's fd maps a window created
+    /// for that session, never the arena (one tenant reading or
+    /// scribbling another's in-flight payloads through a shared slab fd
+    /// was the isolation hole this pins shut).
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn shm_descriptor_covers_only_the_session_lease() {
+        if !crate::shm::shm_supported() {
+            eprintln!("skipping: shm transport not supported on this host");
+            return;
+        }
+        use crate::net::{new_session_token, write_hello, KIND_CTRL, KIND_DATA};
+        let sock = std::env::temp_dir().join(format!(
+            "rftpd-leasewin-{}.sock",
+            std::process::id()
+        ));
+        let cfg = DaemonConfig {
+            slot_cap: 256 * 1024,
+            arena_slots: 64,
+            session_slots: 8,
+            shm_path: Some(sock.clone()),
+            ..DaemonConfig::default()
+        };
+        let (_, handle, jh) = start(cfg);
+
+        let block = 64 * 1024u64;
+        let token = new_session_token();
+        let mut ctrl = UnixStream::connect(&sock).unwrap();
+        write_hello(&mut ctrl, KIND_CTRL, 2, token).unwrap();
+        let mut notify = UnixStream::connect(&sock).unwrap();
+        write_hello(&mut notify, KIND_DATA, 0, token).unwrap();
+        send_raw_ctrl(
+            &mut ctrl,
+            &CtrlMsg::SessionRequest {
+                session: 1,
+                block_size: block,
+                channels: 2,
+                total_bytes: 4 << 20, // 64 blocks >> 8 session slots
+                notify_imm: false,
+            },
+        )
+        .unwrap();
+        // Read the raw descriptor head off the control stream (a plain
+        // read discards the SCM_RIGHTS fd, which is fine — we only
+        // check the claimed geometry here).
+        ctrl.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut head = [0u8; 28];
+        ctrl.read_exact(&mut head).unwrap();
+        assert_eq!(u16::from_be_bytes([head[0], head[1]]), 0xFFFF, "not a descriptor");
+        let slots = u32::from_be_bytes(head[4..8].try_into().unwrap());
+        let stride = u64::from_be_bytes(head[8..16].try_into().unwrap());
+        let window_len = u64::from_be_bytes(head[16..24].try_into().unwrap());
+        assert_eq!(slots, 8, "window must span exactly the lease");
+        assert_eq!(stride, SlotBuf::stride(block as usize) as u64);
+        assert_eq!(
+            window_len,
+            8 * stride,
+            "window must be the lease's 8 slots, not the 64-slot arena"
+        );
+
+        // Abandon the session (its thread fails out on EOF) and drain.
+        drop(ctrl);
+        drop(notify);
+        handle.shutdown();
+        let report = jh.join().expect("daemon must not panic").unwrap();
+        assert_eq!(report.served, 1, "{report:?}");
+    }
+
     /// End-to-end over the shared uring driver: three concurrent uring
     /// sources against one daemon. Every session's data path must run
     /// on the daemon's ONE driver thread, and admission must not touch
@@ -1030,14 +1209,15 @@ mod tests {
         );
     }
 
-    /// One daemon, two transports, one arena: an shm session and a TCP
-    /// session run concurrently over the same memfd slab, each against
-    /// its own disjoint lease. Both must verify clean, and the report
-    /// must count exactly one shm session — proof the slab-backed slots
-    /// serve both the zero-copy path and the ordinary copy path.
+    /// One daemon, two transports, one arena: an shm session (its own
+    /// per-session memfd window) and a TCP session run concurrently,
+    /// each against its own disjoint arena lease. Both must verify
+    /// clean, and the report must count exactly one shm session —
+    /// proof one admission ladder serves both the zero-copy path and
+    /// the ordinary copy path.
     #[cfg(target_os = "linux")]
     #[test]
-    fn shm_and_tcp_sessions_share_one_slab_arena() {
+    fn shm_and_tcp_sessions_share_one_arena() {
         if !crate::shm::shm_supported() {
             eprintln!("skipping: shm transport not supported on this host");
             return;

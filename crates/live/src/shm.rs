@@ -31,9 +31,9 @@
 //!         16..24  len      total window length in bytes (BE)
 //!         24..28  cap      max payload bytes per block (BE)
 //!         28..    offsets  slots × u64 BE — window byte offset of each
-//!                          wire slot index (the "rkey table": under the
-//!                          daemon these are arena-lease offsets into a
-//!                          shared slab, not 0,stride,2·stride…)
+//!                          wire slot index (the "rkey table"; every
+//!                          sink here emits 0,stride,2·stride…, but any
+//!                          non-overlapping in-window table is legal)
 //! ```
 //!
 //! A daemon that *rejects* a session (busy/geometry) replies with an
@@ -69,12 +69,13 @@
 //! ## Trust model
 //!
 //! Same-host, same trust domain as the hello token (net.rs): the peer
-//! holds a writable mapping of the sink's pool (under the daemon, of
-//! the whole arena slab — the descriptor's offset table is where its
-//! credits point, not a protection boundary). That is precisely the
-//! paper's RDMA setting, where an rkey-holding peer writes your pinned
-//! memory; deployments needing isolation between sessions should run
-//! one daemon per trust domain.
+//! holds a writable mapping of **its own session's window** — one memfd
+//! created for that session alone ([`SessionWindow`]), so under the
+//! daemon a tenant can scribble its own in-flight payloads (per-block
+//! checksums detect that, as with an RDMA rkey holder writing your
+//! pinned memory) but can never see or corrupt another session's. The
+//! unix sockets are created owner-only (0600): admission itself is
+//! limited to the daemon's uid.
 
 #[cfg(target_os = "linux")]
 mod imp {
@@ -94,6 +95,7 @@ mod imp {
     use std::io::{self, Read, Write};
     use std::net::Shutdown;
     use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+    use std::os::unix::fs::PermissionsExt;
     use std::os::unix::net::{UnixListener, UnixStream};
     use std::path::{Path, PathBuf};
     use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -203,9 +205,19 @@ mod imp {
             // SIGBUS at first touch instead — the one failure mode a
             // one-sided writer cannot recover from. Check the fd really
             // backs the claimed length (a sink that died mid-setup, or
-            // a hostile descriptor, leaves it short) and fail typed.
+            // a hostile descriptor, leaves it short) and fail typed. An
+            // fd whose size cannot even be read (a pipe, a socket) is
+            // refused outright — mapping it blind would forfeit exactly
+            // the guard this check exists for.
             let size = unsafe { lseek(fd, 0, SEEK_END) };
-            if size >= 0 && (size as u64) < len as u64 {
+            if size < 0 {
+                return Err(proto_err(format!(
+                    "shm window fd size unreadable ({}) — refusing to map an \
+                     unverifiable length",
+                    io::Error::last_os_error()
+                )));
+            }
+            if (size as u64) < len as u64 {
                 return Err(proto_err(format!(
                     "shm window fd holds {size} bytes but the descriptor claims {len} — \
                      refusing a mapping that would fault on first write"
@@ -235,10 +247,6 @@ mod imp {
 
         pub(crate) fn base(&self) -> *mut u8 {
             self.base
-        }
-
-        pub(crate) fn len(&self) -> usize {
-            self.len
         }
     }
 
@@ -473,6 +481,20 @@ mod imp {
                 {
                     return Err(proto_err(format!(
                         "shm descriptor: slot offset {off} out of window"
+                    )));
+                }
+            }
+            // No two slots may alias: overlapping offsets would let one
+            // credited write tear another, and the desync would surface
+            // later as a confusing publication failure instead of a
+            // typed descriptor error here.
+            let mut sorted = self.offsets.clone();
+            sorted.sort_unstable();
+            for pair in sorted.windows(2) {
+                if pair[1] - pair[0] < self.stride {
+                    return Err(proto_err(format!(
+                        "shm descriptor: slot offsets {} and {} overlap (stride {})",
+                        pair[0], pair[1], self.stride
                     )));
                 }
             }
@@ -873,8 +895,8 @@ mod imp {
     /// The sink's view of its own window: the slot base, the offset
     /// table it described to the peer, and the epoch it granted each
     /// slot at — what a published word must match before the payload is
-    /// trusted. Owns the mapping and memfd in standalone mode; borrows
-    /// the daemon's slab (which outlives every session) otherwise.
+    /// trusted. Owns the mapping and memfd: every window is created for
+    /// exactly one session and dies with it.
     pub(crate) struct SnkWindow {
         base: *mut u8,
         block_cap: u32,
@@ -882,52 +904,33 @@ mod imp {
         /// Epoch granted per wire slot; a notify is only honoured when
         /// the slot word reads exactly `(expected, PUBLISHED)`.
         expected: Vec<AtomicU64>,
-        _own: Option<(Mapping, OwnedFd)>,
+        _own: (Mapping, OwnedFd),
     }
 
     unsafe impl Send for SnkWindow {}
     unsafe impl Sync for SnkWindow {}
 
     impl SnkWindow {
-        fn with_base(
-            base: *mut u8,
-            offsets: Vec<u64>,
-            block_cap: u32,
-            own: Option<(Mapping, OwnedFd)>,
-        ) -> SnkWindow {
-            let expected = (0..offsets.len()).map(|_| AtomicU64::new(0)).collect();
-            SnkWindow {
-                base,
-                block_cap,
-                offsets,
-                expected,
-                _own: own,
-            }
-        }
-
         pub(crate) fn owned(
             map: Mapping,
             fd: OwnedFd,
             offsets: Vec<u64>,
             block_cap: u32,
         ) -> SnkWindow {
-            let base = map.base();
-            SnkWindow::with_base(base, offsets, block_cap, Some((map, fd)))
-        }
-
-        /// A session window borrowing the daemon's slab: `offsets` are
-        /// absolute slab offsets of the leased arena slots. Caller
-        /// guarantees the slab outlives the session (the daemon scope
-        /// does).
-        pub(crate) fn borrowed(base: *mut u8, offsets: Vec<u64>, block_cap: u32) -> SnkWindow {
-            SnkWindow::with_base(base, offsets, block_cap, None)
+            let expected = (0..offsets.len()).map(|_| AtomicU64::new(0)).collect();
+            SnkWindow {
+                base: map.base(),
+                block_cap,
+                offsets,
+                expected,
+                _own: (map, fd),
+            }
         }
 
         /// Hand slot ownership to the source: bump the epoch past
-        /// whatever the word holds (epochs survive across daemon
-        /// sessions in the slab — the bump-from-live-value is what keeps
-        /// a previous tenant's published word from ever matching a new
-        /// grant) and release-store `GRANTED`. Called by the control
+        /// whatever the word holds and release-store `GRANTED` — the
+        /// bump-from-live-value keeps an earlier published word in this
+        /// window from ever matching a new grant. Called by the control
         /// sender *before* the credit frame's bytes leave, so the grant
         /// is visible strictly before the credit that announces it.
         fn grant(&self, slot: u32) {
@@ -970,10 +973,6 @@ mod imp {
                 )));
             }
             Ok(())
-        }
-
-        pub(crate) fn base_ptr(&self) -> *mut u8 {
-            self.base
         }
     }
 
@@ -1243,10 +1242,13 @@ mod imp {
             if path.exists() {
                 std::fs::remove_file(&path)?;
             }
-            Ok(ShmListener {
-                listener: UnixListener::bind(&path)?,
-                path,
-            })
+            let listener = UnixListener::bind(&path)?;
+            // Owner-only: connecting (= requesting admission) is
+            // limited to the sink's own uid. The boundary between
+            // sessions is the per-session window; this bounds who can
+            // open a session at all.
+            std::fs::set_permissions(&path, std::fs::Permissions::from_mode(0o600))?;
+            Ok(ShmListener { listener, path })
         }
 
         pub fn path(&self) -> &Path {
@@ -1290,6 +1292,64 @@ mod imp {
         }
     }
 
+    // -----------------------------------------------------------------
+    // Per-session window
+    // -----------------------------------------------------------------
+
+    /// A freshly-created memfd window for exactly one session: its own
+    /// fd, its own mapping, offsets `0, stride, 2·stride, …`. This is
+    /// the isolation boundary of the transport — a session's peer maps
+    /// *this* window and nothing else, so one tenant can never read or
+    /// scribble another tenant's in-flight payloads (the daemon hands
+    /// each admitted shm session one of these; the lease it holds in
+    /// the shared arena is accounting, not memory).
+    pub(crate) struct SessionWindow {
+        fd: OwnedFd,
+        map: Mapping,
+        desc: WindowDesc,
+    }
+
+    impl SessionWindow {
+        pub(crate) fn create(slots: usize, block_cap: usize) -> io::Result<SessionWindow> {
+            let stride = SlotBuf::stride(block_cap);
+            let window_len = stride
+                .checked_mul(slots)
+                .ok_or_else(|| proto_err("shm window size overflow"))?;
+            let fd = memfd_create(window_len)?;
+            let map = Mapping::map_shared(fd.as_raw_fd(), window_len)?;
+            let desc = WindowDesc {
+                stride: stride as u64,
+                window_len: window_len as u64,
+                block_cap: block_cap as u32,
+                offsets: (0..slots).map(|i| (i * stride) as u64).collect(),
+            };
+            Ok(SessionWindow { fd, map, desc })
+        }
+
+        /// Ship the descriptor preamble with the window fd attached.
+        pub(crate) fn send_descriptor(&self, ctrl: &UnixStream) -> io::Result<()> {
+            send_with_fd(ctrl, &self.desc.encode(), self.fd.as_raw_fd())
+        }
+
+        /// External slot views over the window — the sink pipeline's
+        /// buffers alias the very bytes the source stores.
+        pub(crate) fn slot_bufs(&self) -> Vec<Mutex<SlotBuf>> {
+            let stride = self.desc.stride as usize;
+            let cap = self.desc.block_cap as usize;
+            (0..self.desc.offsets.len())
+                .map(|i| Mutex::new(unsafe { SlotBuf::external(self.map.base().add(i * stride), cap) }))
+                .collect()
+        }
+
+        /// Consume into the sink window (keeps fd + mapping alive for
+        /// the session; call after [`SessionWindow::slot_bufs`] — the
+        /// mapping's base address does not move).
+        pub(crate) fn into_sink_window(self) -> SnkWindow {
+            let block_cap = self.desc.block_cap;
+            SnkWindow::owned(self.map, self.fd, self.desc.offsets, block_cap)
+        }
+    }
+
     /// Run the sink half of an shm session accepted by [`ShmListener`]:
     /// create the memfd window sized to this session's pool, ship the
     /// descriptor + fd, lay external slot buffers over the window, and
@@ -1300,92 +1360,13 @@ mod imp {
         sess: ShmSessionStreams,
         first_ctrl: Option<CtrlMsg>,
     ) -> io::Result<LiveReport> {
-        let stride = SlotBuf::stride(cfg.block_size);
-        let slots = cfg.pool_blocks as usize;
-        let window_len = stride
-            .checked_mul(slots)
-            .ok_or_else(|| proto_err("shm window size overflow"))?;
-        let fd = memfd_create(window_len)?;
-        let map = Mapping::map_shared(fd.as_raw_fd(), window_len)?;
-        let offsets: Vec<u64> = (0..slots).map(|i| (i * stride) as u64).collect();
-        let desc = WindowDesc {
-            stride: stride as u64,
-            window_len: window_len as u64,
-            block_cap: cfg.block_size as u32,
-            offsets: offsets.clone(),
-        };
-        send_with_fd(&sess.ctrl, &desc.encode(), fd.as_raw_fd())?;
-        let win = Arc::new(SnkWindow::owned(map, fd, offsets, cfg.block_size as u32));
-        let snk_bufs: Vec<Mutex<SlotBuf>> = (0..slots)
-            .map(|i| {
-                Mutex::new(unsafe {
-                    SlotBuf::external(win.base_ptr().add(i * stride), cfg.block_size)
-                })
-            })
-            .collect();
+        let sw = SessionWindow::create(cfg.pool_blocks as usize, cfg.block_size)?;
+        sw.send_descriptor(&sess.ctrl)?;
+        let snk_bufs = sw.slot_bufs();
+        let win = Arc::new(sw.into_sink_window());
         let view: Vec<&Mutex<SlotBuf>> = snk_bufs.iter().collect();
         let t = sink_transport_for_window(sess.ctrl, sess.notify, cfg.channels, win)?;
         run_sink_session(cfg, t, first_ctrl, &view, None)
-    }
-
-    // -----------------------------------------------------------------
-    // Daemon slab
-    // -----------------------------------------------------------------
-
-    /// The daemon's whole arena as one memfd slab: every arena slot is a
-    /// stride of this segment, so TCP and uring sessions use the same
-    /// memory through external [`SlotBuf`]s while an shm session's
-    /// lease is described to its peer as offsets into the (one, shared)
-    /// window fd. Slot generation epochs live in the slab and persist
-    /// across sessions — a new tenant's grants always bump past the
-    /// previous tenant's words.
-    pub(crate) struct ShmSlab {
-        fd: OwnedFd,
-        map: Mapping,
-        stride: usize,
-    }
-
-    impl ShmSlab {
-        pub(crate) fn new(slots: usize, block_cap: usize) -> io::Result<ShmSlab> {
-            let stride = SlotBuf::stride(block_cap);
-            let len = stride
-                .checked_mul(slots)
-                .ok_or_else(|| proto_err("shm slab size overflow"))?;
-            let fd = memfd_create(len)?;
-            let map = Mapping::map_shared(fd.as_raw_fd(), len)?;
-            Ok(ShmSlab { fd, map, stride })
-        }
-
-        pub(crate) fn raw_fd(&self) -> RawFd {
-            self.fd.as_raw_fd()
-        }
-
-        /// Base pointer of arena slot `i` — back it with
-        /// [`SlotBuf::external`].
-        pub(crate) unsafe fn slot_base(&self, i: usize) -> *mut u8 {
-            self.map.base().add(i * self.stride)
-        }
-
-        /// Descriptor for one admitted session's lease: wire slot `i`
-        /// maps to leased arena slot `lease[i]`'s offset in the slab.
-        /// The fd shipped with it is the whole slab — the offset table
-        /// is where the session's credits point, not a protection
-        /// boundary (see the module trust-model notes).
-        pub(crate) fn desc_for(&self, lease: &[usize], block_cap: u32) -> WindowDesc {
-            WindowDesc {
-                stride: self.stride as u64,
-                window_len: self.map.len() as u64,
-                block_cap,
-                offsets: lease.iter().map(|&g| (g * self.stride) as u64).collect(),
-            }
-        }
-
-        /// A session window over the slab for the leased slots. Caller
-        /// keeps the slab alive for the session's lifetime.
-        pub(crate) fn window_for(&self, lease: &[usize], block_cap: u32) -> SnkWindow {
-            let offsets = lease.iter().map(|&g| (g * self.stride) as u64).collect();
-            SnkWindow::borrowed(self.map.base(), offsets, block_cap)
-        }
     }
 
     // -----------------------------------------------------------------
@@ -1469,6 +1450,31 @@ mod imp {
             let mut bad = desc.clone();
             bad.block_cap = (bad.stride - STORE_ALIGN as u64 + 1) as u32;
             assert!(bad.validate().is_err());
+
+            // Aliased offsets: two credited slots sharing memory would
+            // let concurrent places tear each other — refused as a
+            // typed descriptor error, both exact duplicates and partial
+            // (sub-stride) overlaps.
+            let mut bad = desc.clone();
+            bad.offsets[2] = bad.offsets[1];
+            let err = bad.validate().unwrap_err();
+            assert!(err.to_string().contains("overlap"), "{err}");
+            let mut bad = desc.clone();
+            bad.offsets[2] = bad.offsets[1] + STORE_ALIGN as u64;
+            assert!(bad.validate().is_err());
+        }
+
+        /// An fd whose size cannot be read (here: a socket) must be a
+        /// typed error — falling through to mmap would silently lose
+        /// the short-fd SIGBUS guard.
+        #[test]
+        fn unseekable_window_fd_is_a_typed_error() {
+            let (a, _b) = UnixStream::pair().unwrap();
+            let err = match Mapping::map_shared(a.as_raw_fd(), 4096) {
+                Ok(_) => panic!("mapping an unseekable fd must fail"),
+                Err(e) => e,
+            };
+            assert!(err.to_string().contains("size unreadable"), "{err}");
         }
 
         /// The per-slot generation protocol end to end on a real window:
@@ -1683,7 +1689,7 @@ pub use imp::{
     ShmSessionStreams,
 };
 #[cfg(target_os = "linux")]
-pub(crate) use imp::{send_with_fd, sink_transport_for_window, ShmAssembler, ShmSlab};
+pub(crate) use imp::{sink_transport_for_window, SessionWindow, ShmAssembler};
 
 // ---------------------------------------------------------------------------
 // Stubs for unsupported platforms
