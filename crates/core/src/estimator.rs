@@ -1,0 +1,300 @@
+//! RTT / loss estimation for the adaptive transfer controller.
+//!
+//! The live pipeline measures the control-loop round trip from its own
+//! ack stream (block sent → `BlockComplete`/`AckBatch` retired) and
+//! smooths it exactly the way TCP does (RFC 6298):
+//!
+//! ```text
+//! first sample:  srtt = s            rttvar = s / 2
+//! afterwards:    rttvar = 3/4 rttvar + 1/4 |srtt - s|
+//!                srtt   = 7/8 srtt   + 1/8 s
+//! rto = srtt + 4 rttvar
+//! ```
+//!
+//! Karn's rule applies: blocks that were retransmitted never contribute
+//! samples (their ack cannot be attributed to a specific attempt).
+//!
+//! From `srtt` the controller derives everything the static flags used
+//! to pin: the coalescing dwell window (~srtt/8), the retransmit
+//! deadline (`rto()`), and — together with an offered-rate figure — a
+//! bandwidth-delay-product target for in-flight depth. Loss rate is a
+//! simple decayed fraction of watchdog-expired blocks, good enough to
+//! surface in reports and back off the depth target under sustained
+//! loss.
+
+use std::time::Duration;
+
+/// Smoothed round-trip state per RFC 6298, plus a decayed loss-rate
+/// estimate fed by the retransmit watchdog.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    /// Smoothed RTT in nanoseconds; 0 until the first sample lands.
+    srtt_ns: u64,
+    /// RTT variance in nanoseconds.
+    rttvar_ns: u64,
+    /// Smallest sample seen — the propagation floor, free of the
+    /// queueing delay the transfer itself induces.
+    min_rtt_ns: u64,
+    samples: u64,
+    /// EWMA of the per-block loss indicator (1 = timed out, 0 = acked).
+    loss_ewma: f64,
+    loss_events: u64,
+}
+
+impl Default for RttEstimator {
+    fn default() -> RttEstimator {
+        RttEstimator::new()
+    }
+}
+
+impl RttEstimator {
+    pub fn new() -> RttEstimator {
+        RttEstimator {
+            srtt_ns: 0,
+            rttvar_ns: 0,
+            min_rtt_ns: u64::MAX,
+            samples: 0,
+            loss_ewma: 0.0,
+            loss_events: 0,
+        }
+    }
+
+    /// Fold in one clean RTT sample (Karn-filtered by the caller: only
+    /// first-attempt acks qualify).
+    pub fn on_sample(&mut self, rtt: Duration) {
+        let s = rtt.as_nanos().min(u64::MAX as u128) as u64;
+        self.min_rtt_ns = self.min_rtt_ns.min(s);
+        if self.samples == 0 {
+            self.srtt_ns = s;
+            self.rttvar_ns = s / 2;
+        } else {
+            let err = self.srtt_ns.abs_diff(s);
+            self.rttvar_ns = (3 * self.rttvar_ns + err) / 4;
+            self.srtt_ns = (7 * self.srtt_ns + s) / 8;
+        }
+        self.samples += 1;
+        self.loss_ewma *= 1.0 - LOSS_GAIN;
+    }
+
+    /// Record a watchdog-expired block (counts toward the loss rate and
+    /// decays back out as clean samples arrive).
+    pub fn on_loss(&mut self) {
+        self.loss_events += 1;
+        self.loss_ewma = self.loss_ewma * (1.0 - LOSS_GAIN) + LOSS_GAIN;
+    }
+
+    pub fn has_sample(&self) -> bool {
+        self.samples > 0
+    }
+
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    pub fn srtt(&self) -> Duration {
+        Duration::from_nanos(self.srtt_ns)
+    }
+
+    pub fn rttvar(&self) -> Duration {
+        Duration::from_nanos(self.rttvar_ns)
+    }
+
+    /// Smallest RTT sample seen (the propagation floor).
+    pub fn min_rtt(&self) -> Option<Duration> {
+        (self.samples > 0).then(|| Duration::from_nanos(self.min_rtt_ns))
+    }
+
+    /// Decayed loss fraction in `[0, 1]`.
+    pub fn loss_rate(&self) -> f64 {
+        self.loss_ewma
+    }
+
+    pub fn loss_events(&self) -> u64 {
+        self.loss_events
+    }
+
+    /// Retransmit deadline: `srtt + max(4·rttvar, srtt/4)`, floored so a
+    /// jitter-free LAN estimate cannot collapse the deadline into the
+    /// noise of a single scheduler wakeup. The proportional guard band
+    /// matters on a *steady* path: constant samples drive `rttvar` to
+    /// zero, but the sink's coalescing dwell (~srtt/8) still delays
+    /// individual acks deterministically — a pure RFC 6298 deadline
+    /// would then fire on every dwell-flushed ack. Returns `None` before
+    /// the first sample — the caller must hold its conservative initial
+    /// timeout until the path has actually been measured.
+    pub fn rto(&self) -> Option<Duration> {
+        if self.samples == 0 {
+            return None;
+        }
+        let band = (4 * self.rttvar_ns).max(self.srtt_ns / 4);
+        let ns = (self.srtt_ns + band).max(MIN_RTO_NS);
+        Some(Duration::from_nanos(ns))
+    }
+
+    /// Coalescing dwell window: ~srtt/8, clamped to sane bounds. At
+    /// loopback RTTs this sits at the floor (the tuned 50 µs-class
+    /// dwell); at 49 ms it opens to ~6 ms so acks and credits ride in
+    /// full batches instead of one wire frame each.
+    pub fn dwell(&self) -> Option<Duration> {
+        if self.samples == 0 {
+            return None;
+        }
+        let ns = (self.srtt_ns / 8).clamp(MIN_DWELL_NS, MAX_DWELL_NS);
+        Some(Duration::from_nanos(ns))
+    }
+
+    /// Blocks needed in flight to fill `rate_bps` at the measured RTT
+    /// (2× BDP so the pipe stays full across grant turnaround), bounded
+    /// below so short pipes keep every channel busy. Uses the *minimum*
+    /// RTT, BBR-style: the smoothed RTT inflates with the queueing delay
+    /// the in-flight window itself creates, so a depth target fed by
+    /// `srtt` chases its own tail upward and never clamps.
+    pub fn bdp_blocks(&self, rate_bps: f64, block_size: usize) -> Option<u64> {
+        if self.samples == 0 || rate_bps <= 0.0 || block_size == 0 {
+            return None;
+        }
+        let bdp_bytes = rate_bps / 8.0 * (self.min_rtt_ns as f64 / 1e9);
+        Some((2.0 * bdp_bytes / block_size as f64).ceil() as u64)
+    }
+
+    /// Snapshot for reports and bench JSON.
+    pub fn snapshot(&self) -> AdaptSnapshot {
+        AdaptSnapshot {
+            srtt_us: self.srtt_ns as f64 / 1e3,
+            rttvar_us: self.rttvar_ns as f64 / 1e3,
+            loss_rate: self.loss_ewma,
+            effective_depth: 0,
+            dwell_ns: self.dwell().map(|d| d.as_nanos() as u64).unwrap_or(0),
+            first_block_us: 0.0,
+        }
+    }
+}
+
+/// EWMA gain for the loss-rate estimate (per event).
+const LOSS_GAIN: f64 = 1.0 / 16.0;
+/// RTO floor. Must exceed the widest coalescing dwell (`MAX_DWELL_NS`)
+/// plus a scheduler quantum: the sink may lawfully sit on an ack for a
+/// full dwell window, and on a short-RTT path the smoothed estimate
+/// converges far below that — a floor at the estimate would turn every
+/// dwell-delayed ack into a spurious retransmit.
+const MIN_RTO_NS: u64 = 10_000_000; // 10 ms
+/// Dwell clamp: never tighter than the cheapest useful wait, never so
+/// wide that teardown latency becomes visible.
+const MIN_DWELL_NS: u64 = 5_000; // 5 µs
+const MAX_DWELL_NS: u64 = 8_000_000; // 8 ms
+
+/// Controller state surfaced in end-of-run reports and bench JSON.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptSnapshot {
+    pub srtt_us: f64,
+    pub rttvar_us: f64,
+    /// Decayed fraction of blocks recovered by the watchdog.
+    pub loss_rate: f64,
+    /// In-flight depth target the controller converged to (blocks).
+    pub effective_depth: u32,
+    /// Coalescing dwell window in force at end of run.
+    pub dwell_ns: u64,
+    /// Latency from session start to the first block's placement —
+    /// the credit-ramp figure (one RTT saved by proactive credits).
+    pub first_block_us: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn first_sample_initializes_per_rfc6298() {
+        let mut e = RttEstimator::new();
+        assert!(e.rto().is_none() && e.dwell().is_none());
+        e.on_sample(ms(49));
+        assert_eq!(e.srtt(), ms(49));
+        assert_eq!(e.rttvar(), Duration::from_micros(24_500));
+        // rto = 49 + 4*24.5 = 147 ms
+        assert_eq!(e.rto().unwrap(), ms(147));
+    }
+
+    #[test]
+    fn steady_samples_converge_and_tighten_variance() {
+        let mut e = RttEstimator::new();
+        for _ in 0..200 {
+            e.on_sample(ms(49));
+        }
+        assert_eq!(e.srtt(), ms(49));
+        assert!(e.rttvar() < ms(1), "constant samples drive rttvar to 0");
+        // rto converges toward srtt + the srtt/4 guard band (variance
+        // dies, but the band keeps dwell-delayed acks inside the
+        // deadline).
+        let rto = e.rto().unwrap();
+        assert!(rto > ms(55) && rto < ms(63), "rto={rto:?}");
+    }
+
+    #[test]
+    fn dwell_scales_with_rtt_and_clamps() {
+        let mut lan = RttEstimator::new();
+        lan.on_sample(Duration::from_micros(25));
+        assert_eq!(lan.dwell().unwrap(), Duration::from_nanos(MIN_DWELL_NS));
+
+        let mut wan = RttEstimator::new();
+        for _ in 0..50 {
+            wan.on_sample(ms(49));
+        }
+        // 49 ms / 8 = 6.125 ms, inside the clamp.
+        assert_eq!(wan.dwell().unwrap(), Duration::from_micros(6_125));
+
+        let mut geo = RttEstimator::new();
+        geo.on_sample(ms(600));
+        assert_eq!(geo.dwell().unwrap(), Duration::from_nanos(MAX_DWELL_NS));
+    }
+
+    #[test]
+    fn bdp_blocks_match_the_wan_math() {
+        let mut e = RttEstimator::new();
+        for _ in 0..50 {
+            e.on_sample(ms(49));
+        }
+        // 10 Gbps * 49 ms = 61.25 MB BDP; 2x over 256 KiB blocks.
+        let blocks = e.bdp_blocks(10e9, 256 * 1024).unwrap();
+        assert_eq!(blocks, (2.0f64 * 61.25e6 / 262_144.0).ceil() as u64);
+        assert!(e.bdp_blocks(0.0, 256 * 1024).is_none());
+    }
+
+    #[test]
+    fn loss_rate_rises_on_timeouts_and_decays_on_acks() {
+        let mut e = RttEstimator::new();
+        e.on_sample(ms(10));
+        assert_eq!(e.loss_rate(), 0.0);
+        for _ in 0..8 {
+            e.on_loss();
+        }
+        let peak = e.loss_rate();
+        assert!(peak > 0.3, "sustained timeouts must register: {peak}");
+        for _ in 0..200 {
+            e.on_sample(ms(10));
+        }
+        assert!(e.loss_rate() < 0.01, "clean acks decay the estimate");
+        assert_eq!(e.loss_events(), 8);
+    }
+
+    #[test]
+    fn retransmitted_blocks_do_not_feed_samples() {
+        // Karn's rule lives at the call site (attempts == 1); here we
+        // just pin that loss events alone never fabricate an RTT.
+        let mut e = RttEstimator::new();
+        e.on_loss();
+        assert!(!e.has_sample() && e.rto().is_none());
+    }
+
+    #[test]
+    fn rto_has_a_floor() {
+        let mut e = RttEstimator::new();
+        for _ in 0..50 {
+            e.on_sample(Duration::from_micros(20));
+        }
+        assert_eq!(e.rto().unwrap(), Duration::from_nanos(MIN_RTO_NS));
+    }
+}

@@ -45,6 +45,7 @@ pub mod config;
 pub mod credit;
 pub mod duplex;
 pub mod engine;
+pub mod estimator;
 pub mod harness;
 pub mod multi;
 pub mod pool;
@@ -62,6 +63,7 @@ pub use config::{ConsumeMode, NotifyMode, RecoveryConfig, SinkConfig, SourceConf
 pub use credit::{CreditMode, CreditStock, Granter};
 pub use duplex::DuplexEngine;
 pub use engine::{SinkEngine, SourceEngine, CTRL_RING_SLOTS};
+pub use estimator::{AdaptSnapshot, RttEstimator};
 pub use harness::{build_experiment, run_transfer, Experiment, TransferReport};
 pub use multi::{Endpoint, MultiEngine};
 pub use pool::{

@@ -29,6 +29,10 @@
 //! assert_eq!(plan.events.len(), 4);
 //! ```
 
+pub mod wan;
+
+pub use wan::{WanDice, WanProfile};
+
 use rftp_fabric::{Ev, FabricWorld, FaultAction, HostId};
 use rftp_netsim::kernel::Sim;
 use rftp_netsim::time::{SimDur, SimTime};

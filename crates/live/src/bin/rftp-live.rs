@@ -17,7 +17,10 @@
 
 use rftp_core::wire::CtrlMsg;
 use rftp_live::args::{flag_parse, flag_path, flag_size, flag_value};
-use rftp_live::{net, run_split_sink, run_split_source, try_run_live, LiveConfig, LiveReport};
+use rftp_live::{
+    net, run_split_pair_wan, run_split_sink, run_split_source, try_run_live, LiveConfig,
+    LiveReport, WanProfile,
+};
 use std::path::PathBuf;
 
 /// Which end of the transfer this process runs.
@@ -68,6 +71,14 @@ struct Args {
     /// Socket buffer bytes per data stream; `None` = size from
     /// block × depth, `Some(0)` = leave the OS defaults.
     sockbuf: Option<u64>,
+    /// WAN impairment applied to this endpoint's inbound traffic.
+    wan: Option<WanProfile>,
+    /// Run the impairment shim without the adaptive controller (static
+    /// arms of a WAN comparison).
+    no_adapt: bool,
+    /// Carry the whole impairment (full RTT + data loss) on the source
+    /// side, for peers whose receive path cannot host the shim.
+    wan_at_source: bool,
 }
 
 const HELP: &str = "rftp-live: the RFTP pipeline on real OS threads
@@ -112,6 +123,21 @@ TWO-PROCESS MODE (the pipeline split over TCP):
                      payload is a one-sided write with zero receiver
                      copies). tcp and uring speak the same wire and may
                      mix ends; shm requires shm on both.
+  --wan <SPEC>       emulate a WAN path and enable the adaptive
+                     credit/depth controller. SPEC is a preset
+                     (roce-lan, ib-lan, ani-wan) or preset,key=value
+                     overrides (rtt=49ms, drop=0.01, rate=10e9,
+                     jitter=1ms, seed=N). Each endpoint impairs its own
+                     inbound traffic, so run the same --wan on both
+                     ends of a two-process pair; in local mode the shim
+                     wraps the in-process transport. Sink-side --wan
+                     needs --transport tcp (uring/shm receive paths
+                     bypass the shim)
+  --no-adapt         with --wan: keep the impairment but pin the static
+                     flag-tuned dwell/depth/timeout (baseline arms)
+  --wan-at-source    with --connect --wan: fold the whole round trip
+                     (and the data-loss leg) into the source's shim,
+                     for sinks that cannot host one (uring/shm)
   --probe-uring      report whether this kernel can run the uring
                      backend — and whether multishot receive is live
                      or the READ_FIXED fallback would carry — plus
@@ -138,6 +164,9 @@ fn parse_args() -> Result<Args, String> {
         direct: false,
         readahead: u32::MAX,
         sockbuf: None,
+        wan: None,
+        no_adapt: false,
+        wan_at_source: false,
     };
     let mut geometry_flag_seen = false;
     let it = &mut std::env::args().skip(1);
@@ -171,6 +200,12 @@ fn parse_args() -> Result<Args, String> {
             "--listen" => a.mode = Mode::Listen(flag_value(it, "--listen")?),
             "--connect" => a.mode = Mode::Connect(flag_value(it, "--connect")?),
             "--sockbuf" => a.sockbuf = Some(flag_size(it, "--sockbuf")?),
+            "--wan" => {
+                let spec = flag_value(it, "--wan")?;
+                a.wan = Some(WanProfile::parse(&spec).map_err(|e| format!("--wan: {e}"))?);
+            }
+            "--no-adapt" => a.no_adapt = true,
+            "--wan-at-source" => a.wan_at_source = true,
             "--transport" => {
                 a.transport = match flag_value(it, "--transport")?.as_str() {
                     "tcp" => Transport::Tcp,
@@ -221,6 +256,11 @@ fn parse_args() -> Result<Args, String> {
             if a.src_file.is_some() || a.fault_drop_p > 0.0 {
                 return Err("--src-file and --fault belong to the source (--connect) side".into());
             }
+            if a.wan.is_some() && a.transport != Transport::Tcp {
+                return Err("--wan on the sink side requires --transport tcp \
+                     (the uring/shm receive paths bypass the impairment shim)"
+                    .into());
+            }
         }
         Mode::Connect(_) => {
             if a.dst_file.is_some() {
@@ -249,6 +289,12 @@ fn parse_args() -> Result<Args, String> {
     if a.channels == 0 || a.loaders == 0 || a.batch == 0 || a.pool == 0 || a.depth == 0 {
         return Err("all counts must be >= 1".into());
     }
+    if (a.no_adapt || a.wan_at_source) && a.wan.is_none() {
+        return Err("--no-adapt/--wan-at-source only modify --wan".into());
+    }
+    if a.wan_at_source && !matches!(a.mode, Mode::Connect(_)) {
+        return Err("--wan-at-source belongs to the source (--connect) side".into());
+    }
     Ok(a)
 }
 
@@ -265,6 +311,21 @@ fn build_cfg(a: &Args) -> LiveConfig {
     cfg.direct_io = a.direct;
     cfg.readahead = a.readahead;
     cfg
+}
+
+/// Fold `--wan` into a config whose transfer geometry is final. With
+/// `--no-adapt` the shim still impairs the path but the static
+/// flag-tuned dwell/depth/pool stay pinned (baseline arms of a WAN
+/// comparison) — except the retransmit deadline, which must at least
+/// clear the emulated RTT or the watchdog melts down before the first
+/// ack can possibly arrive.
+fn apply_wan(a: &Args, cfg: &mut LiveConfig) {
+    let Some(wan) = &a.wan else { return };
+    if a.no_adapt {
+        cfg.retx_timeout = cfg.retx_timeout.max(4 * wan.rtt());
+    } else {
+        cfg.apply_wan(wan);
+    }
 }
 
 fn sockbuf_bytes(a: &Args, block: usize) -> usize {
@@ -308,19 +369,44 @@ fn print_report(a: &Args, r: &LiveReport) {
             }
         );
     }
-    if a.fault_drop_p > 0.0 {
+    if a.fault_drop_p > 0.0 || a.wan.is_some() {
         println!(
             "  faults: {} payloads dropped, {} retransmitted",
             r.dropped_payloads, r.retransmits
+        );
+    }
+    if let Some(ad) = &r.adapt {
+        println!(
+            "  adaptive: srtt {:.1} us (var {:.1})  loss {:.4}  depth {}  dwell {:.1} us  first block {:.1} us",
+            ad.srtt_us,
+            ad.rttvar_us,
+            ad.loss_rate,
+            ad.effective_depth,
+            ad.dwell_ns as f64 / 1e3,
+            ad.first_block_us
         );
     }
 }
 
 fn run(a: &Args) -> std::io::Result<LiveReport> {
     match &a.mode {
-        Mode::Local => try_run_live(&build_cfg(a)),
+        Mode::Local => match &a.wan {
+            None => try_run_live(&build_cfg(a)),
+            Some(wan) => {
+                // The split pair through the in-process shim: the sink
+                // report carries the placement/timing story, the source
+                // report the retransmit counters — merge the two.
+                let mut cfg = build_cfg(a);
+                apply_wan(a, &mut cfg);
+                let (src, mut snk) = run_split_pair_wan(&cfg, wan)?;
+                snk.retransmits = src.retransmits;
+                snk.dropped_payloads = src.dropped_payloads;
+                Ok(snk)
+            }
+        },
         Mode::Connect(addr) => {
-            let cfg = build_cfg(a);
+            let mut cfg = build_cfg(a);
+            apply_wan(a, &mut cfg);
             println!(
                 "rftp-live: source -> {addr}: {} MB in {} KB blocks, {} channels, {} loaders{}",
                 a.size >> 20,
@@ -337,6 +423,17 @@ fn run(a: &Args) -> std::io::Result<LiveReport> {
                     rftp_live::connect_source_uring(addr.as_str(), a.channels, sockbuf)?
                 }
                 Transport::Shm => rftp_live::connect_source_shm(addr.as_str(), a.channels)?,
+            };
+            let t = match &a.wan {
+                // The source's inbound traffic is the ack/credit stream;
+                // delaying it half the RTT gives the pair the full round
+                // trip when the sink delays data the other half. With
+                // --wan-at-source the sink cannot host its half (uring/
+                // shm receive paths), so the source carries the whole
+                // impairment: full RTT on control, loss on data out.
+                Some(wan) if a.wan_at_source => rftp_live::wrap_source_datapath(t, wan),
+                Some(wan) => rftp_live::wrap_source(t, wan),
+                None => t,
             };
             run_split_source(&cfg, t)
         }
@@ -360,6 +457,10 @@ fn run(a: &Args) -> std::io::Result<LiveReport> {
                 Transport::Tcp => {
                     let (t, first) = listener.accept_session(sockbuf)?;
                     let a2 = sink_cfg(a, &first)?;
+                    let t = match &a.wan {
+                        Some(wan) => rftp_live::wrap_sink(t, wan),
+                        None => t,
+                    };
                     run_split_sink(&a2, t, Some(first))
                 }
                 Transport::Uring => {
@@ -416,6 +517,9 @@ fn sink_cfg(a: &Args, first: &CtrlMsg) -> std::io::Result<LiveConfig> {
     a2.block_size = block_size as usize;
     a2.channels = channels as usize;
     a2.total_bytes = total_bytes;
+    // WAN sizing waits until here: the pool/depth targets derive from
+    // the *negotiated* block size, not the local default.
+    apply_wan(a, &mut a2);
     println!(
         "rftp-live: sink: {} MB in {} KB blocks, {} channels{}",
         total_bytes >> 20,

@@ -55,6 +55,12 @@ OPTIONS:
   --dst-dir <PATH>       write session n's payload to
                          <PATH>/session-<n>.dat instead of
                          checksum-verifying
+  --wan <SPEC>           emulate a WAN path on every TCP session's
+                         inbound data and adapt each sink's dwell/credit
+                         depth to the measured RTT. SPEC as in
+                         rftp-live --wan (preset or preset,key=value).
+                         Requires --transport tcp; shm sessions have no
+                         socket to impair and run unshimmed
   --help                 this text
 
 Transfer geometry (size, block, channels) is each source's to set;
@@ -94,6 +100,11 @@ fn parse_args() -> Result<Args, String> {
             "--sockbuf" => cfg.sockbuf = flag_size(it, "--sockbuf")? as usize,
             "--shm" => cfg.shm_path = Some(flag_path(it, "--shm")?),
             "--dst-dir" => cfg.dst_dir = Some(flag_path(it, "--dst-dir")?),
+            "--wan" => {
+                let spec = flag_value(it, "--wan")?;
+                cfg.wan =
+                    Some(rftp_live::WanProfile::parse(&spec).map_err(|e| format!("--wan: {e}"))?);
+            }
             "--help" | "-h" => {
                 println!("{HELP}");
                 std::process::exit(0);
@@ -121,6 +132,11 @@ fn parse_args() -> Result<Args, String> {
     let listen = listen.ok_or("missing --listen <ADDR>")?;
     if cfg.transport == DaemonTransport::Uring && !rftp_live::uring_supported() {
         return Err("--transport uring: io_uring not supported on this kernel".into());
+    }
+    if cfg.wan.is_some() && cfg.transport == DaemonTransport::Uring {
+        return Err("--wan requires --transport tcp \
+             (the uring receive path bypasses the impairment shim)"
+            .into());
     }
     if cfg.shm_path.is_some() && !rftp_live::shm_supported() {
         return Err("--shm: shm transport not supported on this host".into());

@@ -33,6 +33,11 @@ pub(crate) trait CoalescedSink<T> {
     /// to dwell for more events before flushing it. Returning `false`
     /// flushes immediately (unbatched wire modes do exactly that).
     fn dwell(&self) -> bool;
+    /// The dwell window: how long each bounded wait may linger for more
+    /// events while a partial batch is pending. Re-read before every
+    /// wait, so an adaptive handler can rescale it mid-run as its RTT
+    /// estimate converges (~srtt/8 instead of the loopback-tuned floor).
+    fn window(&self) -> Duration;
     /// Whether the handler has seen the end of its work. Checked before
     /// every unbounded wait and after every event.
     fn done(&self) -> bool;
@@ -52,7 +57,6 @@ pub(crate) trait CoalescedSink<T> {
 pub(crate) fn drain_coalesced<T, S: CoalescedSink<T>>(
     sink: &mut S,
     recv: &mut dyn FnMut(Option<Duration>, &mut Vec<T>) -> bool,
-    window: Duration,
 ) -> Result<DrainEnd, S::Err> {
     let mut events: Vec<T> = Vec::with_capacity(64);
     loop {
@@ -80,7 +84,7 @@ pub(crate) fn drain_coalesced<T, S: CoalescedSink<T>>(
             if sink.done() || !sink.dwell() {
                 break;
             }
-            if !recv(Some(window), &mut events) {
+            if !recv(Some(sink.window()), &mut events) {
                 break;
             }
         }
@@ -113,6 +117,7 @@ mod tests {
         seen: u64,
         target: u64,
         batch: usize,
+        window: Duration,
     }
 
     impl CoalescedSink<u64> for Summer {
@@ -127,6 +132,9 @@ mod tests {
         }
         fn dwell(&self) -> bool {
             !self.pending.is_empty()
+        }
+        fn window(&self) -> Duration {
+            self.window
         }
         fn done(&self) -> bool {
             self.seen >= self.target
@@ -151,13 +159,9 @@ mod tests {
             seen: 0,
             target: 10,
             batch: 4,
+            window: Duration::from_micros(100),
         };
-        let end = drain_coalesced(
-            &mut s,
-            &mut channel_events(&rx, 64),
-            Duration::from_micros(100),
-        )
-        .unwrap();
+        let end = drain_coalesced(&mut s, &mut channel_events(&rx, 64)).unwrap();
         assert_eq!(end, DrainEnd::Done);
         assert_eq!(s.flushed.iter().sum::<u64>(), 45);
         assert!(s.pending.is_empty(), "partial batch must flush");
@@ -193,8 +197,9 @@ mod tests {
             seen: 0,
             target: 100,
             batch: 64,
+            window: Duration::from_millis(5),
         };
-        let end = drain_coalesced(&mut s, &mut recv, Duration::from_millis(5)).unwrap();
+        let end = drain_coalesced(&mut s, &mut recv).unwrap();
         assert_eq!(end, DrainEnd::Closed);
         assert_eq!(s.flushed, vec![3], "both events coalesce into one flush");
     }
@@ -210,13 +215,9 @@ mod tests {
             seen: 0,
             target: 100,
             batch: 4,
+            window: Duration::from_micros(100),
         };
-        let end = drain_coalesced(
-            &mut s,
-            &mut channel_events(&rx, 8),
-            Duration::from_micros(100),
-        )
-        .unwrap();
+        let end = drain_coalesced(&mut s, &mut channel_events(&rx, 8)).unwrap();
         assert_eq!(end, DrainEnd::Closed);
         assert_eq!(s.flushed, vec![7]);
     }

@@ -109,6 +109,12 @@ pub struct DaemonConfig {
     /// and uring sessions contend for the one arena exactly as before,
     /// while no tenant ever maps another tenant's memory.
     pub shm_path: Option<PathBuf>,
+    /// WAN impairment shim + adaptive controller for TCP sessions: each
+    /// admitted session's inbound (data) direction runs through the
+    /// emulated path and its sink brain adapts dwell/depth to the
+    /// measured RTT. Uring sessions reject the flag (their receive path
+    /// bypasses the shim); shm sessions ignore it (no socket to impair).
+    pub wan: Option<rftp_faults::WanProfile>,
 }
 
 impl Default for DaemonConfig {
@@ -128,6 +134,7 @@ impl Default for DaemonConfig {
             sockbuf: 0,
             dst_dir: None,
             shm_path: None,
+            wan: None,
         }
     }
 }
@@ -328,6 +335,13 @@ impl Daemon {
             return Err(io::Error::new(
                 io::ErrorKind::Unsupported,
                 "shm endpoint requires Linux (memfd + SCM_RIGHTS)",
+            ));
+        }
+        if cfg.wan.is_some() && matches!(cfg.transport, DaemonTransport::Uring) {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "WAN emulation requires the tcp transport (the uring receive path \
+                 bypasses the impairment shim)",
             ));
         }
         // The shm endpoint is just another way in: each admitted shm
@@ -707,6 +721,13 @@ fn run_admitted(
     if let Some(dir) = &d.cfg.dst_dir {
         cfg.dst_file = Some(dir.join(format!("session-{index}.dat")));
     }
+    if let Some(wan) = &d.cfg.wan {
+        // The pool stays the arena lease (the admission currency can't
+        // grow per-session), but the sink brain adapts its dwell window
+        // and clamps its credit depth to the measured path.
+        cfg.adaptive = true;
+        cfg.wan_rate_bps = wan.rate_bps;
+    }
 
     // Keep socket clones around so the drain deadline can cut a
     // straggler loose (its blocked threads fail out with EOF/EPIPE).
@@ -723,6 +744,10 @@ fn run_admitted(
     match d.cfg.transport {
         DaemonTransport::Tcp => {
             let t = sink_transport_from_streams(streams)?;
+            let t = match &d.cfg.wan {
+                Some(wan) => crate::netem::wrap_sink(t, wan),
+                None => t,
+            };
             run_sink_session(&cfg, t, Some(first), &view, fair)
         }
         // Shared mode: the session joins the daemon's one driver ring —
@@ -1015,11 +1040,7 @@ mod tests {
     /// Open one shm (control, notify) pair announcing an absurd channel
     /// count and read one unix control frame back. Returns the reply.
     #[cfg(target_os = "linux")]
-    fn shm_request(
-        sock: &std::path::Path,
-        channels: u16,
-        block_size: u64,
-    ) -> io::Result<CtrlMsg> {
+    fn shm_request(sock: &std::path::Path, channels: u16, block_size: u64) -> io::Result<CtrlMsg> {
         use crate::net::{new_session_token, write_hello, KIND_CTRL, KIND_DATA};
         let token = new_session_token();
         let mut ctrl = UnixStream::connect(sock)?;
@@ -1052,10 +1073,7 @@ mod tests {
             eprintln!("skipping: shm transport not supported on this host");
             return;
         }
-        let sock = std::env::temp_dir().join(format!(
-            "rftpd-chancap-{}.sock",
-            std::process::id()
-        ));
+        let sock = std::env::temp_dir().join(format!("rftpd-chancap-{}.sock", std::process::id()));
         let cfg = DaemonConfig {
             slot_cap: 64 * 1024,
             shm_path: Some(sock.clone()),
@@ -1095,10 +1113,7 @@ mod tests {
             return;
         }
         use crate::net::{new_session_token, write_hello, KIND_CTRL, KIND_DATA};
-        let sock = std::env::temp_dir().join(format!(
-            "rftpd-leasewin-{}.sock",
-            std::process::id()
-        ));
+        let sock = std::env::temp_dir().join(format!("rftpd-leasewin-{}.sock", std::process::id()));
         let cfg = DaemonConfig {
             slot_cap: 256 * 1024,
             arena_slots: 64,
@@ -1131,7 +1146,11 @@ mod tests {
         ctrl.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
         let mut head = [0u8; 28];
         ctrl.read_exact(&mut head).unwrap();
-        assert_eq!(u16::from_be_bytes([head[0], head[1]]), 0xFFFF, "not a descriptor");
+        assert_eq!(
+            u16::from_be_bytes([head[0], head[1]]),
+            0xFFFF,
+            "not a descriptor"
+        );
         let slots = u32::from_be_bytes(head[4..8].try_into().unwrap());
         let stride = u64::from_be_bytes(head[8..16].try_into().unwrap());
         let window_len = u64::from_be_bytes(head[16..24].try_into().unwrap());

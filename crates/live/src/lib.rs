@@ -39,6 +39,7 @@ pub(crate) mod coalesce;
 pub mod daemon;
 pub mod hist;
 pub mod net;
+pub mod netem;
 pub mod pipeline;
 pub mod shm;
 pub mod split;
@@ -52,12 +53,13 @@ pub use daemon::{
 };
 pub use hist::{NsHist, StageTails};
 pub use net::{connect_source, NetListener};
+pub use netem::{wrap_pair, wrap_sink, wrap_source, wrap_source_datapath, WanProfile};
 pub use pipeline::{run_live, try_run_live, LiveConfig, LiveReport, StageBreakdown};
 pub use shm::{
     connect_source_shm, connect_source_shm_or_tcp, run_shm_sink, shm_supported, ShmListener,
     ShmSessionStreams,
 };
-pub use split::{run_split_pair, run_split_sink, run_split_source};
+pub use split::{run_split_pair, run_split_pair_wan, run_split_sink, run_split_source};
 pub use store::{FileSink, FileSource, RatePacer, SlotBuf, STORE_ALIGN};
 pub use transport::{channel_transport, SinkTransport, SourceTransport, UringStats};
 pub use uring::{

@@ -1,0 +1,582 @@
+//! Deterministic WAN impairment over any live transport.
+//!
+//! The live pipeline's transports all terminate in the same four traits
+//! ([`CtrlTx`]/[`CtrlRx`]/[`DataTx`]/[`DataRx`]), so a path's wide-area
+//! character — propagation delay, jitter, a rate cap, loss, reorder —
+//! can be injected *between* the pipeline and any backend (in-process
+//! channels, TCP, the daemon's per-session streams) by wrapping those
+//! endpoints. The wrapper is driven by a seeded
+//! [`WanProfile`](rftp_faults::WanProfile): the same profile + seed
+//! replays the identical impairment sequence, and an identity profile
+//! returns the transport untouched.
+//!
+//! Placement follows the real path's asymmetry: **each endpoint impairs
+//! its own inbound direction.** The sink's shim owns the data path
+//! (loss, reorder, serialization against the rate cap, propagation
+//! delay) plus the inbound control frames; the source's shim delays the
+//! returning ack/credit stream. Wrapping both halves of a connection
+//! therefore yields the full round trip — `one_way` outbound on data,
+//! `one_way` back on control — which is exactly what the protocol's
+//! credit loop experiences on a real WAN.
+//!
+//! Mechanically each wrapped receive endpoint is a *feeder thread* that
+//! drains the inner endpoint eagerly, stamps every frame with a
+//! deliver-at instant (arrival + serialization + propagation + jitter),
+//! and queues it; the pipeline-facing endpoint pops and sleeps until
+//! the stamp. Draining eagerly matters: the in-flight bandwidth-delay
+//! product (61 MB on the ANI WAN) lives in this queue rather than in
+//! kernel socket buffers, so `rmem_max` clamps cannot silently throttle
+//! the emulated pipe. The queue is naturally bounded by the source's
+//! pool — only credited blocks are ever in flight.
+//!
+//! Control frames are delayed but never dropped or reordered: the
+//! protocol runs its control channel over a reliable transport (the
+//! paper's SEND/RECV channel), and only data frames have a recovery
+//! path (the retransmit watchdog + claim-bitmap dedup).
+
+use crate::transport::{CtrlRx, DataRx, DataTx, SinkTransport, SourceTransport};
+use crossbeam::channel::{bounded, Receiver};
+use parking_lot::Mutex;
+use rftp_core::wire::{CtrlMsg, DataFrameHeader};
+pub use rftp_faults::{WanDice, WanProfile};
+use std::io;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Sleep with sub-scheduler-quantum precision: coarse-sleep to within
+/// [`SPIN_WINDOW`] of the deadline, then spin. LAN presets have one-way
+/// delays (6.5–13 µs) far below what `nanosleep` wakes up for reliably;
+/// burning the tail keeps the emulated RTT honest at both scales.
+pub(crate) fn sleep_until(deadline: Instant) {
+    const SPIN_WINDOW: Duration = Duration::from_micros(60);
+    let now = Instant::now();
+    if deadline <= now {
+        return;
+    }
+    let d = deadline - now;
+    if d > SPIN_WINDOW {
+        std::thread::sleep(d - SPIN_WINDOW);
+    }
+    while Instant::now() < deadline {
+        std::hint::spin_loop();
+    }
+}
+
+/// Feeder→endpoint queue depth. In-flight frames are bounded by the
+/// source's credited pool, so this only needs to exceed the largest
+/// pool the adaptive controller will size (BDP-scale, ~2000 blocks on
+/// the ANI WAN at 64 KiB blocks) — a full queue would back the BDP into
+/// kernel socket buffers and re-introduce the `rmem_max` throttle.
+const FEEDER_QUEUE: usize = 8192;
+
+/// The shared-link scheduling state one profile instantiates: all data
+/// channels serialize against one rate cap, like frames on one wire.
+#[derive(Clone)]
+struct Path {
+    one_way: Duration,
+    jitter: Duration,
+    loss_p: f64,
+    reorder_p: f64,
+    rate_bps: Option<f64>,
+    link_free: Arc<Mutex<Instant>>,
+}
+
+impl Path {
+    fn new(p: &WanProfile) -> Path {
+        Path {
+            one_way: p.one_way,
+            jitter: p.jitter,
+            loss_p: p.loss_p,
+            reorder_p: p.reorder_p,
+            rate_bps: p.rate_bps,
+            link_free: Arc::new(Mutex::new(Instant::now())),
+        }
+    }
+
+    /// Deliver-at instant for a frame of `wire_len` bytes arriving now:
+    /// queue behind whatever the link is already carrying, pay the
+    /// serialization time, then propagate.
+    fn schedule(&self, wire_len: usize, dice: &mut WanDice) -> Instant {
+        let arrival = Instant::now();
+        let txed = match self.rate_bps {
+            Some(r) => {
+                let ser = Duration::from_secs_f64(wire_len as f64 * 8.0 / r);
+                let mut free = self.link_free.lock();
+                let done = (*free).max(arrival) + ser;
+                *free = done;
+                done
+            }
+            None => arrival,
+        };
+        txed + self.one_way + dice.jitter(self.jitter)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Control link: delay only
+// ---------------------------------------------------------------------------
+
+enum CtrlEvt {
+    Msg(CtrlMsg, Instant),
+    Fail(io::Error),
+}
+
+struct NetemCtrlRx {
+    rx: Receiver<CtrlEvt>,
+}
+
+impl CtrlRx for NetemCtrlRx {
+    fn recv(&mut self) -> io::Result<Option<CtrlMsg>> {
+        match self.rx.recv() {
+            Err(_) => Ok(None),
+            Ok(CtrlEvt::Fail(e)) => Err(e),
+            Ok(CtrlEvt::Msg(msg, at)) => {
+                sleep_until(at);
+                Ok(Some(msg))
+            }
+        }
+    }
+}
+
+/// Feeder-thread delay for a control receive endpoint. Reading eagerly
+/// and stamping arrival + delay keeps messages *pipelined*: back-to-back
+/// frames each shift by one latency, they do not serialize one delay
+/// per frame.
+fn delay_ctrl_rx(
+    mut inner: Box<dyn CtrlRx>,
+    one_way: Duration,
+    jitter: Duration,
+    mut dice: WanDice,
+) -> Box<dyn CtrlRx> {
+    let (tx, rx) = bounded(FEEDER_QUEUE);
+    std::thread::Builder::new()
+        .name("netem-ctrl".into())
+        .spawn(move || loop {
+            match inner.recv() {
+                Ok(Some(msg)) => {
+                    let at = Instant::now() + one_way + dice.jitter(jitter);
+                    if tx.send(CtrlEvt::Msg(msg, at)).is_err() {
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    let _ = tx.send(CtrlEvt::Fail(e));
+                    break;
+                }
+            }
+        })
+        .expect("spawn netem control feeder");
+    Box::new(NetemCtrlRx { rx })
+}
+
+// ---------------------------------------------------------------------------
+// Data links: delay + jitter + rate + loss + reorder
+// ---------------------------------------------------------------------------
+
+struct Frame {
+    hdr: DataFrameHeader,
+    wire: Box<[u8]>,
+    at: Instant,
+}
+
+enum DataEvt {
+    Frame(Frame),
+    Fail(io::Error),
+}
+
+struct NetemDataRx {
+    rx: Receiver<DataEvt>,
+    pending: Option<Box<[u8]>>,
+}
+
+impl DataRx for NetemDataRx {
+    fn recv_header(&mut self) -> io::Result<Option<DataFrameHeader>> {
+        debug_assert!(self.pending.is_none(), "previous frame not consumed");
+        match self.rx.recv() {
+            Err(_) => Ok(None),
+            Ok(DataEvt::Fail(e)) => Err(e),
+            Ok(DataEvt::Frame(f)) => {
+                sleep_until(f.at);
+                self.pending = Some(f.wire);
+                Ok(Some(f.hdr))
+            }
+        }
+    }
+
+    fn recv_wire(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        let wire = self.pending.take().expect("recv_wire without a header");
+        buf[..wire.len()].copy_from_slice(&wire);
+        Ok(())
+    }
+
+    fn discard_wire(&mut self, _wire_len: usize) -> io::Result<()> {
+        self.pending.take().expect("discard_wire without a header");
+        Ok(())
+    }
+}
+
+fn impair_data_rx(mut inner: Box<dyn DataRx>, path: Path, mut dice: WanDice) -> Box<dyn DataRx> {
+    let (tx, rx) = bounded(FEEDER_QUEUE);
+    std::thread::Builder::new()
+        .name("netem-data".into())
+        .spawn(move || {
+            // At most one frame stashed for reordering: a stashed frame
+            // swaps with its successor, the minimal adjacent transposition
+            // real multi-path reorder produces at the receiver.
+            let mut stash: Option<Frame> = None;
+            loop {
+                let hdr = match inner.recv_header() {
+                    Ok(Some(hdr)) => hdr,
+                    Ok(None) => break,
+                    Err(e) => {
+                        let _ = tx.send(DataEvt::Fail(e));
+                        return;
+                    }
+                };
+                let wire_len = hdr.wire_len();
+                if dice.roll(path.loss_p) {
+                    // Lost on the wire: consume without placing. The
+                    // source's watchdog owns recovery.
+                    if let Err(e) = inner.discard_wire(wire_len) {
+                        let _ = tx.send(DataEvt::Fail(e));
+                        return;
+                    }
+                    continue;
+                }
+                let mut wire = vec![0u8; wire_len].into_boxed_slice();
+                if let Err(e) = inner.recv_wire(&mut wire) {
+                    let _ = tx.send(DataEvt::Fail(e));
+                    return;
+                }
+                let at = path.schedule(wire_len, &mut dice);
+                let frame = Frame { hdr, wire, at };
+                if stash.is_none() && dice.roll(path.reorder_p) {
+                    stash = Some(frame);
+                    continue;
+                }
+                if tx.send(DataEvt::Frame(frame)).is_err() {
+                    return;
+                }
+                if let Some(late) = stash.take() {
+                    if tx.send(DataEvt::Frame(late)).is_err() {
+                        return;
+                    }
+                }
+            }
+            // Clean end-of-stream: a frame still stashed for reorder was
+            // merely delayed, not lost — flush it before hanging up.
+            if let Some(late) = stash.take() {
+                let _ = tx.send(DataEvt::Frame(late));
+            }
+        })
+        .expect("spawn netem data feeder");
+    Box::new(NetemDataRx { rx, pending: None })
+}
+
+// ---------------------------------------------------------------------------
+// Source-side data impairment (for sinks that cannot host the shim)
+// ---------------------------------------------------------------------------
+
+struct LossyDataTx {
+    inner: Box<dyn DataTx>,
+    loss_p: f64,
+    dice: Mutex<WanDice>,
+}
+
+impl DataTx for LossyDataTx {
+    fn send(&self, hdr: DataFrameHeader, wire: &[u8]) -> io::Result<()> {
+        if self.dice.lock().roll(self.loss_p) {
+            return Ok(());
+        }
+        self.inner.send(hdr, wire)
+    }
+
+    fn send_block(
+        &self,
+        hdr: DataFrameHeader,
+        bufs: &[Mutex<crate::store::SlotBuf>],
+        block: u32,
+    ) -> io::Result<()> {
+        if self.dice.lock().roll(self.loss_p) {
+            return Ok(());
+        }
+        self.inner.send_block(hdr, bufs, block)
+    }
+
+    fn kick(&self) -> io::Result<()> {
+        self.inner.kick()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public wrappers
+// ---------------------------------------------------------------------------
+
+/// Wrap the sink half: inbound data frames pick up loss, reorder,
+/// serialization against the rate cap, propagation delay and jitter;
+/// inbound control frames pick up propagation delay and jitter.
+/// An identity profile returns the transport untouched.
+pub fn wrap_sink(t: SinkTransport, p: &WanProfile) -> SinkTransport {
+    if p.is_identity() {
+        return t;
+    }
+    let path = Path::new(p);
+    let data = t
+        .data
+        .into_iter()
+        .enumerate()
+        .map(|(i, rx)| impair_data_rx(rx, path.clone(), p.dice(1 + i as u64)))
+        .collect();
+    SinkTransport {
+        ctrl_tx: t.ctrl_tx,
+        ctrl_rx: delay_ctrl_rx(t.ctrl_rx, p.one_way, p.jitter, p.dice(0)),
+        data,
+        abort: t.abort,
+    }
+}
+
+/// Wrap the source half: the returning ack/credit stream picks up the
+/// sink→source propagation delay. Data impairment stays with the sink's
+/// shim (see [`wrap_source_datapath`] when the sink cannot host one).
+pub fn wrap_source(t: SourceTransport, p: &WanProfile) -> SourceTransport {
+    if p.is_identity() {
+        return t;
+    }
+    SourceTransport {
+        ctrl_rx: delay_ctrl_rx(t.ctrl_rx, p.one_way, p.jitter, p.dice(0x51)),
+        ..t
+    }
+}
+
+/// Wrap the source half for a sink that cannot host the shim (the
+/// io_uring sink's data path never passes through [`DataRx`]): the full
+/// round trip folds into the inbound control delay, and data loss is
+/// applied at send. Propagation on the data direction is approximated —
+/// the control loop still sees the true RTT, which is what the credit
+/// ramp, the watchdog, and the adaptive controller key on.
+pub fn wrap_source_datapath(t: SourceTransport, p: &WanProfile) -> SourceTransport {
+    if p.is_identity() {
+        return t;
+    }
+    let data: Vec<Box<dyn DataTx>> = Arc::try_unwrap(t.data)
+        .unwrap_or_else(|_| panic!("source data links already shared"))
+        .into_iter()
+        .enumerate()
+        .map(|(i, tx)| {
+            Box::new(LossyDataTx {
+                inner: tx,
+                loss_p: p.loss_p,
+                dice: Mutex::new(p.dice(0x7E + i as u64)),
+            }) as Box<dyn DataTx>
+        })
+        .collect();
+    SourceTransport {
+        ctrl_rx: delay_ctrl_rx(t.ctrl_rx, p.rtt(), p.jitter, p.dice(0x51)),
+        data: Arc::new(data),
+        ..t
+    }
+}
+
+/// Wrap both halves of an in-process pair — the full emulated path.
+pub fn wrap_pair(
+    pair: (SourceTransport, SinkTransport),
+    p: &WanProfile,
+) -> (SourceTransport, SinkTransport) {
+    (wrap_source(pair.0, p), wrap_sink(pair.1, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::channel_transport;
+
+    fn hdr(seq: u32) -> DataFrameHeader {
+        DataFrameHeader {
+            session: 1,
+            seq,
+            slot: 0,
+            len: 64,
+        }
+    }
+
+    fn send_frame(t: &SourceTransport, ch: usize, seq: u32) {
+        let h = hdr(seq);
+        let wire: Vec<u8> = (0..h.wire_len()).map(|i| (i as u8) ^ seq as u8).collect();
+        t.data[ch].send(h, &wire).unwrap();
+    }
+
+    fn drain_seqs(rx: &mut dyn DataRx) -> Vec<u32> {
+        let mut seqs = Vec::new();
+        while let Some(h) = rx.recv_header().unwrap() {
+            rx.discard_wire(h.wire_len()).unwrap();
+            seqs.push(h.seq);
+        }
+        seqs
+    }
+
+    #[test]
+    fn identity_profile_is_a_passthrough() {
+        let p = WanProfile::clean();
+        let (src, mut snk) = wrap_pair(channel_transport(1, 8), &p);
+        send_frame(&src, 0, 0);
+        let t0 = Instant::now();
+        let got = snk.data[0].recv_header().unwrap().unwrap();
+        assert_eq!(got.seq, 0);
+        assert!(t0.elapsed() < Duration::from_millis(5));
+        snk.data[0].discard_wire(got.wire_len()).unwrap();
+    }
+
+    #[test]
+    fn data_and_ctrl_pick_up_one_way_delay() {
+        let p = WanProfile::parse("rtt=20ms").unwrap();
+        let (src, mut snk) = wrap_pair(channel_transport(1, 8), &p);
+
+        let t0 = Instant::now();
+        send_frame(&src, 0, 7);
+        let got = snk.data[0].recv_header().unwrap().unwrap();
+        let data_lat = t0.elapsed();
+        assert_eq!(got.seq, 7);
+        assert!(data_lat >= Duration::from_millis(10), "{data_lat:?}");
+        let mut buf = vec![0u8; got.wire_len()];
+        snk.data[0].recv_wire(&mut buf).unwrap();
+        assert_eq!(buf[1], 1 ^ 7);
+
+        let t1 = Instant::now();
+        snk.ctrl_tx
+            .send(&CtrlMsg::MrRequest { session: 1 })
+            .unwrap();
+        let mut src = src;
+        let msg = src.ctrl_rx.recv().unwrap();
+        assert_eq!(msg, Some(CtrlMsg::MrRequest { session: 1 }));
+        assert!(t1.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn back_to_back_ctrl_frames_pipeline_instead_of_serializing() {
+        let p = WanProfile::parse("rtt=40ms").unwrap();
+        let (src, mut snk) = wrap_pair(channel_transport(1, 8), &p);
+        for s in 0..10 {
+            src.ctrl_tx
+                .send(&CtrlMsg::MrRequest { session: s })
+                .unwrap();
+        }
+        let t0 = Instant::now();
+        for s in 0..10 {
+            assert_eq!(
+                snk.ctrl_rx.recv().unwrap(),
+                Some(CtrlMsg::MrRequest { session: s })
+            );
+        }
+        let lat = t0.elapsed();
+        // One latency shift for the burst, not ten stacked delays.
+        assert!(lat >= Duration::from_millis(15), "{lat:?}");
+        assert!(
+            lat < Duration::from_millis(120),
+            "delays serialized: {lat:?}"
+        );
+    }
+
+    #[test]
+    fn certain_loss_drops_every_data_frame_but_no_ctrl() {
+        let p = WanProfile::parse("drop=1.0").unwrap();
+        let (src, mut snk) = wrap_pair(channel_transport(1, 8), &p);
+        for s in 0..4 {
+            send_frame(&src, 0, s);
+        }
+        src.ctrl_tx
+            .send(&CtrlMsg::MrRequest { session: 9 })
+            .unwrap();
+        (src.shutdown_write)();
+        assert_eq!(drain_seqs(snk.data[0].as_mut()), Vec::<u32>::new());
+        // Control is the reliable channel: delayed, never dropped.
+        assert_eq!(
+            snk.ctrl_rx.recv().unwrap(),
+            Some(CtrlMsg::MrRequest { session: 9 })
+        );
+    }
+
+    #[test]
+    fn certain_reorder_swaps_adjacent_frames() {
+        let p = WanProfile::parse("reorder=1.0").unwrap();
+        let (src, mut snk) = wrap_pair(channel_transport(1, 16), &p);
+        for s in 0..4 {
+            send_frame(&src, 0, s);
+        }
+        (src.shutdown_write)();
+        // Every frame stashes and swaps with its successor: 1,0,3,2.
+        assert_eq!(drain_seqs(snk.data[0].as_mut()), vec![1, 0, 3, 2]);
+    }
+
+    #[test]
+    fn trailing_reorder_stash_is_flushed_at_eof() {
+        let p = WanProfile::parse("reorder=1.0").unwrap();
+        let (src, mut snk) = wrap_pair(channel_transport(1, 16), &p);
+        for s in 0..3 {
+            send_frame(&src, 0, s);
+        }
+        (src.shutdown_write)();
+        // 0 stashes, 1 passes, 0 flushes behind it, 2 stashes → EOF flush.
+        assert_eq!(drain_seqs(snk.data[0].as_mut()), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn rate_cap_spaces_deliveries_by_serialization_time() {
+        // 1 Mbit/s over ~88-byte frames: ~0.7 ms each; 8 frames ≥ 4.9 ms
+        // of serialization even though the sends are instantaneous.
+        let p = WanProfile::parse("rate=1M").unwrap();
+        let (src, mut snk) = wrap_pair(channel_transport(1, 16), &p);
+        let t0 = Instant::now();
+        for s in 0..8 {
+            send_frame(&src, 0, s);
+        }
+        (src.shutdown_write)();
+        let seqs = drain_seqs(snk.data[0].as_mut());
+        let lat = t0.elapsed();
+        assert_eq!(seqs, (0..8).collect::<Vec<_>>());
+        assert!(lat >= Duration::from_millis(4), "{lat:?}");
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_survivors() {
+        let survivors = |seed: u64| -> Vec<u32> {
+            let p = WanProfile::parse(&format!("drop=0.5,seed={seed}")).unwrap();
+            let (src, mut snk) = wrap_pair(channel_transport(1, 64), &p);
+            for s in 0..32 {
+                send_frame(&src, 0, s);
+            }
+            (src.shutdown_write)();
+            drain_seqs(snk.data[0].as_mut())
+        };
+        let a = survivors(7);
+        assert_eq!(a, survivors(7), "same seed must replay the same drops");
+        assert_ne!(a, survivors(8), "different seed draws a different pattern");
+        assert!(!a.is_empty() && a.len() < 32, "p=0.5 drops some, not all");
+    }
+
+    #[test]
+    fn source_datapath_wrap_applies_loss_at_send() {
+        let p = WanProfile::parse("drop=1.0").unwrap();
+        let (src, snk) = channel_transport(1, 8);
+        let src = wrap_source_datapath(src, &p);
+        let mut snk = snk;
+        send_frame(&src, 0, 0);
+        (src.shutdown_write)();
+        assert_eq!(drain_seqs(snk.data[0].as_mut()), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn feeder_propagates_inner_errors() {
+        let p = WanProfile::parse("rtt=1ms").unwrap();
+        let (src, snk) = channel_transport(1, 8);
+        let mut snk = wrap_sink(snk, &p);
+        send_frame(&src, 0, 3);
+        let got = snk.data[0].recv_header().unwrap().unwrap();
+        snk.data[0].discard_wire(got.wire_len()).unwrap();
+        // Aborting tears the inner links down; the wrapped endpoints must
+        // surface end-of-stream (channel abort reads as EOF), not hang.
+        (src.abort)();
+        assert!(snk.data[0].recv_header().unwrap().is_none());
+        assert!(snk.ctrl_rx.recv().unwrap().is_none());
+    }
+}

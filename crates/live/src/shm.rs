@@ -1337,7 +1337,9 @@ mod imp {
             let stride = self.desc.stride as usize;
             let cap = self.desc.block_cap as usize;
             (0..self.desc.offsets.len())
-                .map(|i| Mutex::new(unsafe { SlotBuf::external(self.map.base().add(i * stride), cap) }))
+                .map(|i| {
+                    Mutex::new(unsafe { SlotBuf::external(self.map.base().add(i * stride), cap) })
+                })
                 .collect()
         }
 

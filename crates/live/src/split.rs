@@ -105,6 +105,146 @@ impl Fail {
 }
 
 // ---------------------------------------------------------------------------
+// Adaptive controller
+// ---------------------------------------------------------------------------
+
+/// Per-session adaptive control: one RFC 6298 estimator behind a lock,
+/// with every figure the hot paths consume (retransmit deadline, dwell
+/// window, in-flight depth target) mirrored into atomics so the watchdog
+/// and the coalescing loop read without contending on the estimator.
+///
+/// Each half runs its own controller off its own feedback loop:
+///
+/// * the **source** samples block-sent → ack-retired (Karn-filtered to
+///   first-attempt acks) and drives the retransmit deadline from
+///   `srtt + 4·rttvar` instead of the fixed `retx_timeout`, which fires
+///   spuriously the moment the path RTT approaches it;
+/// * the **sink** samples credit-granted → data-arrived per slot and
+///   drives the coalescing dwell (~srtt/8 instead of the loopback-tuned
+///   floor) and — when the offered path rate is known — a 2×BDP bound on
+///   outstanding credits, so a short pipe is not flooded with the whole
+///   pool and a long one is filled.
+pub(crate) struct Controller {
+    est: Mutex<rftp_core::RttEstimator>,
+    /// Derived figures, 0 = no estimate yet (fall back to the static knob).
+    rto_ns: AtomicU64,
+    dwell_ns: AtomicU64,
+    depth: AtomicU64,
+    first_block_ns: AtomicU64,
+    t0: Instant,
+    rate_bps: Option<f64>,
+    block_size: usize,
+    depth_cap: u32,
+    depth_floor: u32,
+}
+
+impl Controller {
+    pub(crate) fn new(cfg: &LiveConfig) -> Controller {
+        Controller {
+            est: Mutex::new(rftp_core::RttEstimator::new()),
+            rto_ns: AtomicU64::new(0),
+            dwell_ns: AtomicU64::new(0),
+            depth: AtomicU64::new(0),
+            first_block_ns: AtomicU64::new(0),
+            t0: Instant::now(),
+            rate_bps: cfg.wan_rate_bps,
+            block_size: cfg.block_size,
+            depth_cap: cfg.pool_blocks,
+            // Never throttle below two blocks per channel — the BDP of a
+            // LAN path rounds to almost nothing, but every channel still
+            // needs work in flight to overlap with the credit loop.
+            depth_floor: (cfg.channels as u32 * 2).min(cfg.pool_blocks),
+        }
+    }
+
+    /// Fold in one clean feedback-loop sample and refresh the derived
+    /// atomics. Callers apply Karn's rule (first-attempt acks only).
+    pub(crate) fn on_rtt_sample(&self, rtt: std::time::Duration) {
+        let mut est = self.est.lock();
+        est.on_sample(rtt);
+        if let Some(rto) = est.rto() {
+            // The controller's own depth target keeps ~2×BDP in flight,
+            // so a block lawfully waits ~3×min_rtt for its ack —
+            // propagation plus a full window draining ahead of it. The
+            // RFC 6298 deadline undershoots that during the ramp (srtt
+            // lags the queue it is busy building), so floor it at
+            // 4×min_rtt: by-design queueing must never read as loss.
+            // LAN paths are unaffected (µs-scale min_rtt, the 10 ms
+            // estimator floor dominates).
+            let floor = est
+                .min_rtt()
+                .map_or(0, |m| 4 * m.as_nanos().min(u64::MAX as u128 / 4) as u64);
+            self.rto_ns
+                .store((rto.as_nanos() as u64).max(floor), Ordering::Relaxed);
+        }
+        if let Some(dwell) = est.dwell() {
+            self.dwell_ns
+                .store(dwell.as_nanos() as u64, Ordering::Relaxed);
+        }
+        // The BDP depth target only means something on a propagation-
+        // dominated path: below ~1 ms the measured floor is mostly
+        // per-block service time (placement, checksum, scheduling), and
+        // a clamp computed from it starves the thread pipeline that the
+        // pool was sized for. LAN-class paths keep the full pool.
+        if let (Some(rate), Some(min_rtt)) = (self.rate_bps, est.min_rtt()) {
+            if min_rtt >= std::time::Duration::from_millis(1) {
+                if let Some(bdp) = est.bdp_blocks(rate, self.block_size) {
+                    let d = (bdp.min(self.depth_cap as u64) as u32).max(self.depth_floor);
+                    self.depth.store(d as u64, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// A watchdog deadline expired: count it toward the loss rate.
+    pub(crate) fn on_loss(&self) {
+        self.est.lock().on_loss();
+    }
+
+    /// Current retransmit deadline; `initial` until the first sample.
+    pub(crate) fn rto(&self, initial: std::time::Duration) -> std::time::Duration {
+        match self.rto_ns.load(Ordering::Relaxed) {
+            0 => initial,
+            ns => std::time::Duration::from_nanos(ns),
+        }
+    }
+
+    /// Current dwell window; `initial` until the first sample.
+    pub(crate) fn dwell(&self, initial: std::time::Duration) -> std::time::Duration {
+        match self.dwell_ns.load(Ordering::Relaxed) {
+            0 => initial,
+            ns => std::time::Duration::from_nanos(ns),
+        }
+    }
+
+    /// BDP-derived bound on outstanding credits, once rate and RTT are
+    /// both known; `None` = leave the pool-sized default alone.
+    pub(crate) fn depth(&self) -> Option<u32> {
+        match self.depth.load(Ordering::Relaxed) {
+            0 => None,
+            d => Some(d as u32),
+        }
+    }
+
+    /// Record first-block placement latency (idempotent; the first call
+    /// wins). Measured from controller construction, which both halves
+    /// do before the session handshake.
+    pub(crate) fn mark_first_block(&self) {
+        let ns = self.t0.elapsed().as_nanos().max(1) as u64;
+        let _ = self
+            .first_block_ns
+            .compare_exchange(0, ns, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> rftp_core::AdaptSnapshot {
+        let mut s = self.est.lock().snapshot();
+        s.effective_depth = self.depth.load(Ordering::Relaxed) as u32;
+        s.first_block_us = self.first_block_ns.load(Ordering::Relaxed) as f64 / 1e3;
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Source half
 // ---------------------------------------------------------------------------
 
@@ -155,6 +295,8 @@ pub fn run_split_source(cfg: &LiveConfig, t: SourceTransport) -> io::Result<Live
     let next_seq = AtomicU64::new(0);
     let done_flag = AtomicBool::new(false);
     let (loaded_tx, loaded_rx) = bounded::<u32>(cfg.pool_blocks as usize);
+    // The ack-loop estimator: block sent → ack retired, Karn-filtered.
+    let ctl = cfg.adaptive.then(|| Controller::new(cfg));
 
     let start = Instant::now();
     ctrl_tx.send(&CtrlMsg::SessionRequest {
@@ -425,31 +567,55 @@ pub fn run_split_source(cfg: &LiveConfig, t: SourceTransport) -> io::Result<Live
             })
         };
 
-        // Retransmit watchdog, as in the main pipeline: unacked past
-        // `retx_timeout` goes back on the wire.
-        let retx_watchdog = (cfg.fault_drop_p > 0.0).then(|| {
+        // Retransmit watchdog, as in the main pipeline: unacked past the
+        // deadline goes back on the wire. Statically configured runs use
+        // the fixed `retx_timeout`; adaptive runs start from a deadline
+        // that cannot fire before the path is measured (a fixed 100 ms
+        // default fires spuriously at WAN RTTs) and then track the
+        // estimator's `srtt + 4·rttvar`.
+        let retx_watchdog = (cfg.fault_drop_p > 0.0 || cfg.adaptive).then(|| {
             let data = data.clone();
             let (inflight, src_bufs) = (&inflight, &src_bufs);
-            let (done_flag, fail, cfg) = (&done_flag, &fail, &cfg);
+            let (done_flag, fail, cfg, ctl) = (&done_flag, &fail, &cfg, &ctl);
             s.spawn(move || {
                 let mut fault_rng = cfg.fault_seed ^ 0x5EED_5EED_5EED_5EED;
                 let mut rr = 0usize;
                 let mut retransmits = 0u64;
                 let mut dropped = 0u64;
+                let initial = match ctl {
+                    Some(_) => cfg.retx_timeout.max(std::time::Duration::from_millis(100)),
+                    None => cfg.retx_timeout,
+                };
                 while !done_flag.load(Ordering::Relaxed) && !fail.is_set() {
-                    std::thread::sleep(cfg.retx_timeout / 4);
+                    let deadline = ctl.as_ref().map_or(cfg.retx_timeout, |c| c.rto(initial));
+                    std::thread::sleep(deadline / 4);
                     for block in 0..cfg.pool_blocks {
                         // Hold the entry across the re-send so a racing
                         // ack cannot retire the block mid-send.
                         let mut inf = inflight[block as usize].lock();
                         let Some(i) = inf.as_mut() else { continue };
-                        if i.slot == u32::MAX || i.sent_at.elapsed() < cfg.retx_timeout {
+                        if i.slot == u32::MAX {
+                            continue;
+                        }
+                        // Karn's backoff: every unacked attempt doubles
+                        // this block's own deadline. The RTO tracks
+                        // *network* srtt, but the ack can also stall on
+                        // receiver-side work (write-behind flush, CPU
+                        // steal); without backoff one such stall expires
+                        // the whole window, and the retransmits re-queue
+                        // behind the stall and expire again — a storm
+                        // that feeds the loss EWMA instead of the pipe.
+                        let shift = i.attempts.saturating_sub(1).min(6);
+                        if i.sent_at.elapsed() < deadline.saturating_mul(1 << shift) {
                             continue;
                         }
                         assert!(i.attempts < 64, "block seq {} will not go through", i.seq);
                         i.sent_at = Instant::now();
                         i.attempts += 1;
                         retransmits += 1;
+                        if let Some(c) = ctl {
+                            c.on_loss();
+                        }
                         let ch = rr % data.len();
                         rr += 1;
                         if drop_roll(&mut fault_rng) < cfg.fault_drop_p {
@@ -484,7 +650,7 @@ pub fn run_split_source(cfg: &LiveConfig, t: SourceTransport) -> io::Result<Live
         let ctrl = {
             let ctrl_tx = ctrl_tx.clone();
             let (stock, src_pool, inflight, seq2block) = (&stock, &src_pool, &inflight, &seq2block);
-            let (done_flag, fail) = (&done_flag, &fail);
+            let (done_flag, fail, ctl) = (&done_flag, &fail, &ctl);
             s.spawn(move || {
                 let mut ctrl_count = 0u64;
                 let mut completed = 0u64;
@@ -498,6 +664,14 @@ pub fn run_split_source(cfg: &LiveConfig, t: SourceTransport) -> io::Result<Live
                         .take()
                         .ok_or_else(|| perr(format!("ack for idle block {block}")))?;
                     debug_assert_eq!(info.seq, seq);
+                    // Karn's rule: a retransmitted block's ack cannot be
+                    // attributed to an attempt, so only first-attempt
+                    // acks feed the estimator.
+                    if info.attempts == 1 {
+                        if let Some(c) = ctl {
+                            c.on_rtt_sample(info.sent_at.elapsed());
+                        }
+                    }
                     src_pool.complete(block).expect("FSM: complete");
                     Ok(())
                 };
@@ -639,6 +813,7 @@ pub fn run_split_source(cfg: &LiveConfig, t: SourceTransport) -> io::Result<Live
         transport_threads,
         direct_io_active,
         uring: None,
+        adapt: ctl.as_ref().map(Controller::snapshot),
     })
 }
 
@@ -681,6 +856,17 @@ pub(crate) struct SinkHandler<'a> {
     granter: &'a Mutex<Granter>,
     snk_bufs: &'a [&'a Mutex<SlotBuf>],
     fair: FairShare<'a>,
+    /// The grant-loop estimator (credit sent → data arrived), when this
+    /// session runs adaptively. Drives the dwell window and the
+    /// BDP-derived clamp on outstanding credits.
+    ctl: Option<&'a Controller>,
+    /// When each outstanding slot's grant left, for the grant-loop RTT
+    /// sample its arrival closes. Only maintained under `ctl`.
+    grant_at: HashMap<u32, Instant>,
+    /// Grant opportunities the depth clamp withheld; retried as blocks
+    /// free (a clamped completion grant must not evaporate, or the
+    /// credit loop leaks and the source starves into `MrRequest`s).
+    deferred: u32,
     verify_payload: bool,
     total_blocks: u64,
     pub(crate) reorder: ReorderBuffer<(u32, u32)>,
@@ -704,6 +890,7 @@ impl<'a> SinkHandler<'a> {
         granter: &'a Mutex<Granter>,
         snk_bufs: &'a [&'a Mutex<SlotBuf>],
         fair: FairShare<'a>,
+        ctl: Option<&'a Controller>,
     ) -> SinkHandler<'a> {
         SinkHandler {
             cfg,
@@ -712,6 +899,9 @@ impl<'a> SinkHandler<'a> {
             granter,
             snk_bufs,
             fair,
+            ctl,
+            grant_at: HashMap::new(),
+            deferred: 0,
             verify_payload: cfg.dst_file.is_none(),
             total_blocks: cfg.total_blocks(),
             reorder: ReorderBuffer::new(),
@@ -737,8 +927,23 @@ impl SinkHandler<'_> {
     /// Pop up to `want` free slots into the pending grant batch. Under
     /// a daemon the arbiter clamps `want` to this session's fair share
     /// first; slots the pool could not actually supply are returned to
-    /// the shared budget immediately.
+    /// the shared budget immediately. An adaptive session additionally
+    /// clamps to the controller's BDP depth target — withheld grants are
+    /// deferred, not dropped, and retried as blocks free.
     fn accumulate(&mut self, want: u32) {
+        let want = match self.ctl.and_then(Controller::depth) {
+            Some(depth) => {
+                // Everything not free is on loan to the source (granted,
+                // in flight, or awaiting in-order delivery) — including
+                // the slots already batched in `pending_credits`.
+                let outstanding =
+                    (self.cfg.pool_blocks as usize - self.snk_pool.free_count()) as u32;
+                let allowed = want.min(depth.saturating_sub(outstanding));
+                self.deferred = (self.deferred + (want - allowed)).min(self.cfg.pool_blocks);
+                allowed
+            }
+            None => want,
+        };
         let want = match self.fair {
             Some((fair, id)) => fair.allow(id, want),
             None => want,
@@ -770,6 +975,12 @@ impl SinkHandler<'_> {
                 slots: chunk.to_vec(),
             })?;
         }
+        if self.ctl.is_some() {
+            let now = Instant::now();
+            for &slot in &self.pending_credits {
+                self.grant_at.insert(slot, now);
+            }
+        }
         self.pending_credits.clear();
         Ok(())
     }
@@ -800,6 +1011,13 @@ impl SinkHandler<'_> {
     /// Verify and free one in-order delivery.
     fn deliver(&mut self, seq: u32, slot: u32, len: u32) -> io::Result<()> {
         assert_eq!(seq, self.expected_seq, "out-of-order delivery");
+        if self.delivered == 0 {
+            if let Some(c) = self.ctl {
+                // First-block latency: the credit-ramp figure. Proactive
+                // grants should land this inside 2·RTT of session start.
+                c.mark_first_block();
+            }
+        }
         self.expected_seq += 1;
         let t0 = Instant::now();
         {
@@ -831,6 +1049,12 @@ impl SinkHandler<'_> {
             self.accumulate(owed);
             self.flush_credits()?;
         }
+        // A freed block opens depth-clamp headroom: retry withheld
+        // grants (they ride the next batch flush, no urgency).
+        let retry = std::mem::take(&mut self.deferred);
+        if retry > 0 {
+            self.accumulate(retry);
+        }
         self.delivered += 1;
         Ok(())
     }
@@ -850,6 +1074,11 @@ impl CoalescedSink<SinkEvt> for SinkHandler<'_> {
         !self.idle()
     }
 
+    fn window(&self) -> std::time::Duration {
+        self.ctl
+            .map_or(self.cfg.flush_window, |c| c.dwell(self.cfg.flush_window))
+    }
+
     fn flush(&mut self) -> io::Result<()> {
         self.flush_acks()?;
         self.flush_credits()
@@ -858,6 +1087,15 @@ impl CoalescedSink<SinkEvt> for SinkHandler<'_> {
     fn handle(&mut self, ev: SinkEvt) -> io::Result<()> {
         match ev {
             SinkEvt::Arrival { seq, slot, len } => {
+                if let Some(c) = self.ctl {
+                    if let Some(granted) = self.grant_at.remove(&slot) {
+                        // Grant-loop sample: credit out → data in. A
+                        // retransmitted block inflates this (no Karn
+                        // attribution at the sink), which only widens
+                        // the dwell — conservative by construction.
+                        c.on_rtt_sample(granted.elapsed());
+                    }
+                }
                 self.snk_pool
                     .ready(slot)
                     .map_err(|e| perr(format!("arrival in non-granted slot {slot}: {e:?}")))?;
@@ -1020,6 +1258,8 @@ pub(crate) fn run_sink_session(
     assert_eq!(data.len(), cfg.channels, "one data link per channel");
     let fail = Fail::new(abort);
     let (evt_tx, evt_rx) = bounded::<SinkEvt>(1024);
+    // The grant-loop estimator: credit sent → data arrived, per slot.
+    let ctl = cfg.adaptive.then(|| Controller::new(cfg));
 
     let start = Instant::now();
     let mut tally = (0u64, 0u64, 0u64); // place_ns, flush_ns, duplicates
@@ -1144,12 +1384,20 @@ pub(crate) fn run_sink_session(
         drop(evt_tx);
 
         // The handler runs on the scope's own thread.
-        let mut h = SinkHandler::new(cfg, ctrl_tx.as_ref(), &snk_pool, &granter, snk_bufs, fair);
+        let mut h = SinkHandler::new(
+            cfg,
+            ctrl_tx.as_ref(),
+            &snk_pool,
+            &granter,
+            snk_bufs,
+            fair,
+            ctl.as_ref(),
+        );
         let run = (|| -> io::Result<()> {
             if let Some(msg) = first_ctrl {
                 h.handle(SinkEvt::Ctrl(msg))?;
             }
-            match drain_coalesced(&mut h, &mut channel_events(&evt_rx, 64), cfg.flush_window)? {
+            match drain_coalesced(&mut h, &mut channel_events(&evt_rx, 64))? {
                 DrainEnd::Done => Ok(()),
                 DrainEnd::Closed => Err(perr("event pipeline stopped before transfer completed")),
             }
@@ -1219,6 +1467,7 @@ pub(crate) fn run_sink_session(
         transport_threads: cfg.channels + 1,
         direct_io_active,
         uring: None,
+        adapt: ctl.as_ref().map(Controller::snapshot),
     })
 }
 
@@ -1226,7 +1475,20 @@ pub(crate) fn run_sink_session(
 /// the split pipeline's loopback. Source takes the `src_file`/fault side
 /// of `cfg`, sink the `dst_file` side. Returns `(source, sink)` reports.
 pub fn run_split_pair(cfg: &LiveConfig) -> io::Result<(LiveReport, LiveReport)> {
-    let (st, kt) = channel_transport(cfg.channels, cfg.channel_depth);
+    run_split_pair_wan(cfg, &rftp_faults::WanProfile::clean())
+}
+
+/// [`run_split_pair`] with a WAN impairment shim between the halves —
+/// the in-process form of a two-process `--wan` run: both directions of
+/// the in-proc transport are wrapped, so control and data feel the
+/// profile's full RTT, loss, and rate cap. A clean profile degenerates
+/// to the plain pair.
+pub fn run_split_pair_wan(
+    cfg: &LiveConfig,
+    wan: &rftp_faults::WanProfile,
+) -> io::Result<(LiveReport, LiveReport)> {
+    let pair = channel_transport(cfg.channels, cfg.channel_depth);
+    let (st, kt) = crate::netem::wrap_pair(pair, wan);
     let mut src_cfg = cfg.clone();
     src_cfg.dst_file = None;
     let mut snk_cfg = cfg.clone();
@@ -1317,6 +1579,91 @@ mod tests {
             let (_, snk) = run_split_pair(&cfg).expect("split transfer");
             assert_eq!(snk.checksum_failures, 0, "iteration {i}");
         }
+    }
+
+    /// Both halves over the in-proc transport with a WAN shim between
+    /// them — the unit-test form of the two-process `--wan` runs.
+    fn run_wan_pair(
+        cfg: &LiveConfig,
+        wan: &rftp_faults::WanProfile,
+    ) -> io::Result<(LiveReport, LiveReport)> {
+        let pair = channel_transport(cfg.channels, cfg.channel_depth);
+        let (st, kt) = crate::netem::wrap_pair(pair, wan);
+        let mut src_cfg = cfg.clone();
+        src_cfg.dst_file = None;
+        let mut snk_cfg = cfg.clone();
+        snk_cfg.src_file = None;
+        snk_cfg.fault_drop_p = 0.0;
+        std::thread::scope(|s| {
+            let sink = s.spawn(|| run_split_sink(&snk_cfg, kt, None));
+            let source = run_split_source(&src_cfg, st);
+            let sink = sink.join().expect("sink half panicked");
+            Ok((source?, sink?))
+        })
+    }
+
+    /// The watchdog regression ISSUE 10 names: at 49 ms RTT a clean
+    /// transfer must finish with **zero** retransmits. A fixed 100 ms
+    /// deadline survives this; the adaptive deadline must too, even
+    /// after `rttvar` has decayed and the RTO has tightened onto `srtt`.
+    #[test]
+    fn adaptive_clean_wan_run_performs_zero_retransmits() {
+        let wan = rftp_faults::WanProfile::parse("rtt=49ms").unwrap();
+        let mut cfg = LiveConfig::new(64 * 1024, 2, 2 << 20);
+        cfg.pool_blocks = 16;
+        cfg.apply_wan(&wan);
+        assert!(cfg.adaptive);
+        let (src, snk) = run_wan_pair(&cfg, &wan).expect("wan transfer");
+        assert_eq!(snk.checksum_failures, 0);
+        assert_eq!(src.retransmits, 0, "clean 49 ms path must not retransmit");
+        assert_eq!(snk.duplicate_payloads, 0);
+        let adapt = src.adapt.expect("adaptive source reports its estimator");
+        assert!(
+            adapt.srtt_us > 44_000.0,
+            "ack-loop srtt must see the path RTT: {} us",
+            adapt.srtt_us
+        );
+        assert_eq!(adapt.loss_rate, 0.0);
+        let snk_adapt = snk.adapt.expect("adaptive sink reports its estimator");
+        assert!(
+            snk_adapt.dwell_ns > 1_000_000,
+            "dwell must scale with RTT (~srtt/8), got {} ns",
+            snk_adapt.dwell_ns
+        );
+        assert!(
+            snk_adapt.first_block_us > 0.0,
+            "sink must record first-block latency"
+        );
+    }
+
+    /// With the path rate known, the controller bounds outstanding
+    /// credits to ~2×BDP instead of flooding the whole pool — and the
+    /// deferred-grant path keeps the credit loop alive under the clamp.
+    #[test]
+    fn adaptive_depth_clamp_tracks_bdp_and_completes() {
+        let wan = rftp_faults::WanProfile::parse("rtt=10ms,rate=80M").unwrap();
+        let mut cfg = LiveConfig::new(64 * 1024, 1, 1 << 20);
+        cfg.pool_blocks = 16;
+        cfg.apply_wan(&wan);
+        let (src, snk) = run_wan_pair(&cfg, &wan).expect("wan transfer");
+        assert_eq!(snk.checksum_failures, 0);
+        assert_eq!(src.retransmits, 0);
+        let adapt = snk.adapt.expect("adaptive sink snapshot");
+        // 80 Mbps × 10 ms = 100 KB BDP; 2× over 64 KiB blocks ≈ 4.
+        assert!(
+            adapt.effective_depth >= 2 && adapt.effective_depth < cfg.pool_blocks,
+            "depth target must clamp below the pool: {}",
+            adapt.effective_depth
+        );
+    }
+
+    /// Static configurations must not grow a controller: `adapt` stays
+    /// `None` and the fixed knobs keep running the transfer.
+    #[test]
+    fn static_runs_report_no_adapt_state() {
+        let cfg = LiveConfig::new(64 * 1024, 1, 512 << 10);
+        let (src, snk) = run_split_pair(&cfg).expect("split transfer");
+        assert!(src.adapt.is_none() && snk.adapt.is_none());
     }
 
     #[test]

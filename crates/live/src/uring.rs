@@ -75,7 +75,7 @@ mod linux {
     use crate::pipeline::{
         AtomicBitmap, LiveConfig, LiveReport, SnkBackend, StageBreakdown, SESSION,
     };
-    use crate::split::{perr, Fail, FairShare, SinkEvt, SinkHandler};
+    use crate::split::{perr, Controller, Fail, FairShare, SinkEvt, SinkHandler};
     use crate::store::SlotBuf;
     use crate::transport::{BufPool, DataTx, SourceTransport, UringStats};
     use parking_lot::Mutex;
@@ -2816,7 +2816,16 @@ mod linux {
         let ctrl_tx = NetCtrlTx(Mutex::new(ctrl_wr));
 
         let start = Instant::now();
-        let mut h = SinkHandler::new(cfg, &ctrl_tx, &snk_pool, &granter, snk_bufs, fair);
+        let ctl = cfg.adaptive.then(|| Controller::new(cfg));
+        let mut h = SinkHandler::new(
+            cfg,
+            &ctrl_tx,
+            &snk_pool,
+            &granter,
+            snk_bufs,
+            fair,
+            ctl.as_ref(),
+        );
         let mut drv = MultiDriver::new(
             &ring,
             snk_bufs,
@@ -2846,7 +2855,7 @@ mod linux {
                 h.handle(SinkEvt::Ctrl(msg))?;
             }
             drv.add_session(0, sess)?;
-            match drain_coalesced(&mut h, &mut |w, out| drv.pump(0, w, out), cfg.flush_window)? {
+            match drain_coalesced(&mut h, &mut |w, out| drv.pump(0, w, out))? {
                 DrainEnd::Done => Ok(()),
                 DrainEnd::Closed => Err(drv
                     .take_err(0)
@@ -2928,6 +2937,7 @@ mod linux {
             transport_threads: 1,
             direct_io_active,
             uring: Some(ring_stats),
+            adapt: ctl.as_ref().map(Controller::snapshot),
         })
     }
 
@@ -3248,7 +3258,16 @@ mod linux {
         let sid = hub.next_sid.fetch_add(1, Ordering::Relaxed);
 
         let start = Instant::now();
-        let mut h = SinkHandler::new(cfg, &ctrl_tx, &snk_pool, &granter, snk_bufs, fair);
+        let ctl = cfg.adaptive.then(|| Controller::new(cfg));
+        let mut h = SinkHandler::new(
+            cfg,
+            &ctrl_tx,
+            &snk_pool,
+            &granter,
+            snk_bufs,
+            fair,
+            ctl.as_ref(),
+        );
         let run = (|| -> io::Result<()> {
             // Register before answering the hello: the opening grants
             // go out only after the driver can be armed, so no data
@@ -3269,7 +3288,7 @@ mod linux {
             if let Some(msg) = first_ctrl {
                 h.handle(SinkEvt::Ctrl(msg))?;
             }
-            match drain_coalesced(&mut h, &mut channel_events(&evt_rx, 64), cfg.flush_window)? {
+            match drain_coalesced(&mut h, &mut channel_events(&evt_rx, 64))? {
                 DrainEnd::Done => Ok(()),
                 DrainEnd::Closed => Err(perr("event pipeline stopped before transfer completed")),
             }
@@ -3348,6 +3367,7 @@ mod linux {
             transport_threads: 1,
             direct_io_active,
             uring: Some(ring_stats),
+            adapt: ctl.as_ref().map(Controller::snapshot),
         })
     }
 

@@ -361,6 +361,137 @@ fn two_processes_move_a_file_byte_identically() {
     let _ = std::fs::remove_file(&dst_path);
 }
 
+/// The ANI WAN with residual loss turned up to 1%, rate-scaled so the
+/// BDP-sized pools stay test-friendly. Both processes run the shim;
+/// each impairs its own inbound direction, so the pair sees the full
+/// 49 ms RTT and the sink's inbound data loses frames.
+const WAN_SPEC: &str = "ani-wan,drop=0.01,rate=500e6";
+
+/// Read a counter off a process's report line, e.g.
+/// `extract(&out, "retransmitted")` from "… 3 retransmitted".
+fn count_before(stdout: &str, marker: &str) -> u64 {
+    stdout
+        .lines()
+        .find_map(|l| {
+            let ix = l.find(marker)?;
+            l[..ix].trim().rsplit(' ').next()?.parse().ok()
+        })
+        .unwrap_or_else(|| panic!("no \"{marker}\" counter in output: {stdout:?}"))
+}
+
+/// Exactly-once through a lossy emulated WAN, two real processes over
+/// TCP: dropped data frames are recovered by the adaptive watchdog,
+/// raced retransmits are deduped before placement, and the destination
+/// file is byte-identical — the paper's reliability claim, end to end.
+#[test]
+fn two_processes_exactly_once_through_lossy_wan_tcp() {
+    let src_path = tmp_path("wan_tcp_src");
+    let dst_path = tmp_path("wan_tcp_dst");
+    // Fixed size (not SCALE-shrunk): ~512 data frames keep the 1% loss
+    // from rounding to zero drops.
+    write_test_file(&src_path, (32 << 20) + 4097);
+
+    let (mut sink, addr) =
+        spawn_sink(&["--dst-file", dst_path.to_str().unwrap(), "--wan", WAN_SPEC]);
+    let mut source = rftp_live_cmd()
+        .args(["--connect", &addr, "--channels", "4", "--block", "64K"])
+        .args(["--wan", WAN_SPEC])
+        .args(["--src-file", src_path.to_str().unwrap()])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn rftp-live --connect --wan");
+
+    let src_status =
+        wait_timeout(&mut source, Duration::from_secs(180)).expect("source process hung");
+    let snk_status = wait_timeout(&mut sink, Duration::from_secs(60))
+        .expect("sink process hung after source finished");
+    // Success implies zero checksum failures on both ends (the binary
+    // exits 1 on verification failure).
+    assert!(src_status.success(), "source exited {src_status:?}");
+    assert!(snk_status.success(), "sink exited {snk_status:?}");
+
+    let mut src_out = String::new();
+    source
+        .stdout
+        .take()
+        .unwrap()
+        .read_to_string(&mut src_out)
+        .unwrap();
+    assert!(
+        count_before(&src_out, "retransmitted") >= 1,
+        "1% loss over ~512 frames must exercise the recovery path: {src_out:?}"
+    );
+
+    let (a, b) = (
+        std::fs::read(&src_path).unwrap(),
+        std::fs::read(&dst_path).unwrap(),
+    );
+    assert!(a == b, "destination differs from source through lossy WAN");
+    let _ = std::fs::remove_file(&src_path);
+    let _ = std::fs::remove_file(&dst_path);
+}
+
+/// The same lossy-WAN exactly-once contract over the io_uring backend.
+/// The uring sink's receive path cannot host the shim, so the source
+/// carries the whole impairment (`--wan-at-source`: full RTT on its
+/// control inbound, loss on its data outbound) — the wire sees the same
+/// path either way.
+#[test]
+fn two_processes_exactly_once_through_lossy_wan_uring() {
+    if !uring_or_skip() {
+        return;
+    }
+    let src_path = tmp_path("wan_ur_src");
+    let dst_path = tmp_path("wan_ur_dst");
+    write_test_file(&src_path, (32 << 20) + 4097);
+
+    let (mut sink, addr) = spawn_sink(&[
+        "--transport",
+        "uring",
+        "--dst-file",
+        dst_path.to_str().unwrap(),
+    ]);
+    let mut source = rftp_live_cmd()
+        .args(["--connect", &addr, "--channels", "4", "--block", "64K"])
+        .args(["--wan", WAN_SPEC, "--wan-at-source"])
+        .args(["--src-file", src_path.to_str().unwrap()])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn rftp-live --connect --wan --wan-at-source");
+
+    let src_status =
+        wait_timeout(&mut source, Duration::from_secs(180)).expect("source process hung");
+    let snk_status = wait_timeout(&mut sink, Duration::from_secs(60))
+        .expect("sink process hung after source finished");
+    assert!(src_status.success(), "source exited {src_status:?}");
+    assert!(snk_status.success(), "sink exited {snk_status:?}");
+
+    let mut src_out = String::new();
+    source
+        .stdout
+        .take()
+        .unwrap()
+        .read_to_string(&mut src_out)
+        .unwrap();
+    assert!(
+        count_before(&src_out, "retransmitted") >= 1,
+        "1% loss over ~512 frames must exercise the recovery path: {src_out:?}"
+    );
+
+    let (a, b) = (
+        std::fs::read(&src_path).unwrap(),
+        std::fs::read(&dst_path).unwrap(),
+    );
+    assert!(
+        a == b,
+        "destination differs from source through lossy WAN over io_uring"
+    );
+    let _ = std::fs::remove_file(&src_path);
+    let _ = std::fs::remove_file(&dst_path);
+}
+
 /// Killing the sink process mid-transfer must fail the source promptly —
 /// a broken-pipe style error, not a hang.
 #[test]
